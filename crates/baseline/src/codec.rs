@@ -1,0 +1,715 @@
+//! The hybrid codec's encode/decode loop.
+
+use crate::dct::{self, BS};
+use crate::plane::Plane;
+use crate::Profile;
+use nvc_entropy::container::{read_sections, Section, SectionWriter};
+use nvc_entropy::{BitReader, BitWriter, CodingError, Histogram, RangeDecoder, RangeEncoder};
+use nvc_tensor::{Shape, Tensor};
+use nvc_video::{Frame, Sequence, VideoError};
+use std::error::Error;
+use std::fmt;
+
+/// Error type for codec operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Input sequence problems.
+    Video(VideoError),
+    /// Entropy-coding problems (malformed bitstream on decode).
+    Coding(CodingError),
+    /// Semantic mismatch (e.g. decoding with the wrong profile).
+    BadInput(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Video(e) => write!(f, "video error: {e}"),
+            CodecError::Coding(e) => write!(f, "coding error: {e}"),
+            CodecError::BadInput(s) => write!(f, "bad input: {s}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+impl From<VideoError> for CodecError {
+    fn from(e: VideoError) -> Self {
+        CodecError::Video(e)
+    }
+}
+
+impl From<CodingError> for CodecError {
+    fn from(e: CodingError) -> Self {
+        CodecError::Coding(e)
+    }
+}
+
+/// Result of encoding a sequence: the bitstream, the decoder-side
+/// reconstruction and rate statistics.
+#[derive(Debug, Clone)]
+pub struct CodedSequence {
+    /// Complete bitstream (header + per-frame payloads).
+    pub bitstream: Vec<u8>,
+    /// Reconstruction as produced by the in-loop decoder.
+    pub decoded: Sequence,
+    /// Payload bytes per frame (excluding the sequence header).
+    pub bytes_per_frame: Vec<usize>,
+    /// Total bitstream size in bytes.
+    pub total_bytes: usize,
+    /// Bits per pixel over the whole sequence.
+    pub bpp: f64,
+}
+
+/// Per-frame symbol models, reset at every frame so encoder and decoder
+/// stay in sync without back-channel state.
+struct Models {
+    skip: Histogram,
+    mv: Histogram,
+    dc: Histogram,
+    last: Histogram,
+    ac: Histogram,
+    mv_offset: i32,
+}
+
+impl Models {
+    fn new(search_range: i32) -> Models {
+        // Half-pel units: [-2r-1, 2r+1].
+        let mv_offset = 2 * search_range + 1;
+        Models {
+            skip: Histogram::uniform(2),
+            mv: Histogram::uniform((2 * mv_offset + 1) as usize),
+            dc: Histogram::uniform(1025),
+            last: Histogram::uniform(65),
+            ac: Histogram::uniform(513),
+            mv_offset,
+        }
+    }
+}
+
+const DC_CLAMP: i32 = 512;
+const AC_CLAMP: i32 = 256;
+
+/// Classical hybrid block codec (see crate docs).
+#[derive(Debug, Clone)]
+pub struct HybridCodec {
+    profile: Profile,
+}
+
+impl HybridCodec {
+    /// Creates a codec with the given profile.
+    pub fn new(profile: Profile) -> Self {
+        HybridCodec { profile }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    fn frame_to_planes(frame: &Frame) -> [Plane; 3] {
+        let t = frame.tensor();
+        let (_, _, h, w) = t.shape().dims();
+        let mut planes = [Plane::zeros(w, h), Plane::zeros(w, h), Plane::zeros(w, h)];
+        for (c, plane) in planes.iter_mut().enumerate() {
+            for y in 0..h {
+                for x in 0..w {
+                    *plane.at_mut(y, x) = t.at(0, c, y, x);
+                }
+            }
+        }
+        planes
+    }
+
+    fn planes_to_frame(planes: &[Plane; 3]) -> Frame {
+        let (w, h) = (planes[0].width(), planes[0].height());
+        let t = Tensor::from_fn(Shape::new(1, 3, h, w), |_, c, y, x| {
+            planes[c].at(y, x).clamp(0.0, 1.0)
+        });
+        Frame::from_tensor(t).expect("well-formed planes")
+    }
+
+    fn luma(planes: &[Plane; 3]) -> Plane {
+        let (w, h) = (planes[0].width(), planes[0].height());
+        let mut out = Plane::zeros(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(y, x) = 0.299 * planes[0].at(y, x)
+                    + 0.587 * planes[1].at(y, x)
+                    + 0.114 * planes[2].at(y, x);
+            }
+        }
+        out
+    }
+
+    /// Encodes a sequence at quality `qp` (lower = better, 0..=51 useful).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Video`] if the sequence is malformed.
+    pub fn encode(&self, seq: &Sequence, qp: u8) -> Result<CodedSequence, CodecError> {
+        let step = dct::qp_to_step(qp);
+        let (w, h) = (seq.width(), seq.height());
+
+        // Sequence header.
+        let mut header = BitWriter::new();
+        header.write_bits(w as u32, 16);
+        header.write_bits(h as u32, 16);
+        header.write_bits(seq.frames().len() as u32, 16);
+        header.write_bits(qp as u32, 8);
+
+        let mut sections = SectionWriter::new();
+        sections.push(Section::SideInfo, header.finish());
+
+        let mut reference: Option<[Plane; 3]> = None;
+        let mut decoded_frames = Vec::with_capacity(seq.frames().len());
+        let mut bytes_per_frame = Vec::with_capacity(seq.frames().len());
+
+        for (fi, frame) in seq.frames().iter().enumerate() {
+            let planes = Self::frame_to_planes(frame);
+            let is_intra = fi == 0;
+            let mut models = Models::new(self.profile.search_range);
+            let mut rc = RangeEncoder::new();
+            let mut recon = [
+                Plane::zeros(w, h),
+                Plane::zeros(w, h),
+                Plane::zeros(w, h),
+            ];
+            if is_intra {
+                self.encode_intra(&planes, step, &mut models, &mut rc, &mut recon);
+            } else {
+                let reference = reference.as_ref().expect("P frame has a reference");
+                self.encode_inter(&planes, reference, step, &mut models, &mut rc, &mut recon);
+            }
+            if self.profile.deblock {
+                for p in &mut recon {
+                    deblock(p, step);
+                }
+            }
+            let payload = rc.finish();
+            bytes_per_frame.push(payload.len());
+            sections.push(if is_intra { Section::Intra } else { Section::Motion }, payload);
+            decoded_frames.push(Self::planes_to_frame(&recon));
+            reference = Some(recon);
+        }
+
+        let bitstream = sections.finish();
+        let total_bytes = bitstream.len();
+        let decoded = Sequence::new(
+            format!("{}-qp{qp}", self.profile.name),
+            decoded_frames,
+            seq.fps(),
+        )?;
+        let bpp = total_bytes as f64 * 8.0 / (seq.pixels_per_frame() * seq.frames().len()) as f64;
+        Ok(CodedSequence { bitstream, decoded, bytes_per_frame, total_bytes, bpp })
+    }
+
+    /// Decodes a bitstream produced by [`encode`](Self::encode) with the
+    /// same profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Coding`] on malformed input.
+    pub fn decode(&self, bitstream: &[u8]) -> Result<Sequence, CodecError> {
+        let sections = read_sections(bitstream)?;
+        let (first, rest) = sections
+            .split_first()
+            .ok_or_else(|| CodecError::BadInput("empty bitstream".into()))?;
+        if first.0 != Section::SideInfo {
+            return Err(CodecError::BadInput("missing sequence header".into()));
+        }
+        let mut hr = BitReader::new(&first.1);
+        let w = hr.read_bits(16)? as usize;
+        let h = hr.read_bits(16)? as usize;
+        let n_frames = hr.read_bits(16)? as usize;
+        let qp = hr.read_bits(8)? as u8;
+        if rest.len() != n_frames {
+            return Err(CodecError::BadInput(format!(
+                "header claims {n_frames} frames, found {}",
+                rest.len()
+            )));
+        }
+        let step = dct::qp_to_step(qp);
+        let mut reference: Option<[Plane; 3]> = None;
+        let mut frames = Vec::with_capacity(n_frames);
+        for (fi, (tag, payload)) in rest.iter().enumerate() {
+            let is_intra = *tag == Section::Intra;
+            if fi == 0 && !is_intra {
+                return Err(CodecError::BadInput("first frame must be intra".into()));
+            }
+            let mut models = Models::new(self.profile.search_range);
+            let mut rc = RangeDecoder::new(payload);
+            let mut recon = [Plane::zeros(w, h), Plane::zeros(w, h), Plane::zeros(w, h)];
+            if is_intra {
+                self.decode_intra(step, &mut models, &mut rc, &mut recon);
+            } else {
+                let reference = reference
+                    .as_ref()
+                    .ok_or_else(|| CodecError::BadInput("P frame without reference".into()))?;
+                self.decode_inter(reference, step, &mut models, &mut rc, &mut recon);
+            }
+            if self.profile.deblock {
+                for p in &mut recon {
+                    deblock(p, step);
+                }
+            }
+            frames.push(Self::planes_to_frame(&recon));
+            reference = Some(recon);
+        }
+        Ok(Sequence::new(format!("{}-decoded", self.profile.name), frames, 30.0)?)
+    }
+
+    // ---- intra ----
+
+    fn encode_intra(
+        &self,
+        planes: &[Plane; 3],
+        step: f32,
+        models: &mut Models,
+        rc: &mut RangeEncoder,
+        recon: &mut [Plane; 3],
+    ) {
+        let (w, h) = (planes[0].width(), planes[0].height());
+        for c in 0..3 {
+            for by in (0..h).step_by(BS) {
+                for bx in (0..w).step_by(BS) {
+                    // DC prediction from the reconstructed left block mean.
+                    let pred = intra_dc_pred(&recon[c], by, bx);
+                    let block = read_block(&planes[c], by, bx);
+                    let mut coef = dct::forward(&block);
+                    coef[0] -= pred * BS as f32; // orthonormal DC gain is 8
+                    let q = dct::quantize(&coef, step);
+                    code_block(rc, models, q, true);
+                    let mut dq = dct::dequantize(&q, step);
+                    dq[0] += pred * BS as f32;
+                    let rec = dct::inverse(&dq);
+                    write_block(&mut recon[c], by, bx, &rec);
+                }
+            }
+        }
+    }
+
+    fn decode_intra(
+        &self,
+        step: f32,
+        models: &mut Models,
+        rc: &mut RangeDecoder,
+        recon: &mut [Plane; 3],
+    ) {
+        let (w, h) = (recon[0].width(), recon[0].height());
+        for c in 0..3 {
+            for by in (0..h).step_by(BS) {
+                for bx in (0..w).step_by(BS) {
+                    let pred = intra_dc_pred(&recon[c], by, bx);
+                    let q = decode_block(rc, models, true);
+                    let mut dq = dct::dequantize(&q, step);
+                    dq[0] += pred * BS as f32;
+                    let rec = dct::inverse(&dq);
+                    write_block(&mut recon[c], by, bx, &rec);
+                }
+            }
+        }
+    }
+
+    // ---- inter ----
+
+    fn encode_inter(
+        &self,
+        planes: &[Plane; 3],
+        reference: &[Plane; 3],
+        step: f32,
+        models: &mut Models,
+        rc: &mut RangeEncoder,
+        recon: &mut [Plane; 3],
+    ) {
+        let (w, h) = (planes[0].width(), planes[0].height());
+        let mb = self.profile.mc_block;
+        let cur_luma = Self::luma(planes);
+        let ref_luma = Self::luma(reference);
+
+        for by in (0..h).step_by(mb) {
+            for bx in (0..w).step_by(mb) {
+                let bs = mb.min(h - by).min(w - bx); // effective block (edges)
+                let (mv_y, mv_x) = self.search_motion(&cur_luma, &ref_luma, by, bx, bs);
+                // Skip decision: zero MV and small prediction error.
+                let sad0 = cur_luma.sad(by, bx, bs, &ref_luma, by as isize * 2, bx as isize * 2);
+                let skip = mv_y == 0 && mv_x == 0 && sad0 / (bs * bs) as f64 <= 0.6 * step as f64;
+                encode_sym(rc, &mut models.skip, u32::from(skip));
+                if skip {
+                    for c in 0..3 {
+                        copy_mc_block(&reference[c], &mut recon[c], by, bx, bs, 0, 0);
+                    }
+                    continue;
+                }
+                let off = models.mv_offset;
+                encode_sym(rc, &mut models.mv, (mv_y + off) as u32);
+                encode_sym(rc, &mut models.mv, (mv_x + off) as u32);
+                for c in 0..3 {
+                    // Motion-compensated prediction, then transform-coded
+                    // residual on 8x8 sub-blocks.
+                    copy_mc_block(&reference[c], &mut recon[c], by, bx, bs, mv_y, mv_x);
+                    for sy in (0..bs).step_by(BS) {
+                        for sx in (0..bs).step_by(BS) {
+                            let (oy, ox) = (by + sy, bx + sx);
+                            let orig = read_block(&planes[c], oy, ox);
+                            let pred = read_block(&recon[c], oy, ox);
+                            let mut resid = [0.0_f32; BS * BS];
+                            for i in 0..BS * BS {
+                                resid[i] = orig[i] - pred[i];
+                            }
+                            let coef = dct::forward(&resid);
+                            let q = dct::quantize(&coef, step);
+                            code_block(rc, models, q, false);
+                            let dq = dct::dequantize(&q, step);
+                            let rec = dct::inverse(&dq);
+                            let mut out = [0.0_f32; BS * BS];
+                            for i in 0..BS * BS {
+                                out[i] = pred[i] + rec[i];
+                            }
+                            write_block(&mut recon[c], oy, ox, &out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode_inter(
+        &self,
+        reference: &[Plane; 3],
+        step: f32,
+        models: &mut Models,
+        rc: &mut RangeDecoder,
+        recon: &mut [Plane; 3],
+    ) {
+        let (w, h) = (recon[0].width(), recon[0].height());
+        let mb = self.profile.mc_block;
+        for by in (0..h).step_by(mb) {
+            for bx in (0..w).step_by(mb) {
+                let bs = mb.min(h - by).min(w - bx);
+                let skip = decode_sym(rc, &mut models.skip) == 1;
+                if skip {
+                    for c in 0..3 {
+                        copy_mc_block(&reference[c], &mut recon[c], by, bx, bs, 0, 0);
+                    }
+                    continue;
+                }
+                let off = models.mv_offset;
+                let mv_y = decode_sym(rc, &mut models.mv) as i32 - off;
+                let mv_x = decode_sym(rc, &mut models.mv) as i32 - off;
+                for c in 0..3 {
+                    copy_mc_block(&reference[c], &mut recon[c], by, bx, bs, mv_y, mv_x);
+                    for sy in (0..bs).step_by(BS) {
+                        for sx in (0..bs).step_by(BS) {
+                            let (oy, ox) = (by + sy, bx + sx);
+                            let pred = read_block(&recon[c], oy, ox);
+                            let q = decode_block(rc, models, false);
+                            let dq = dct::dequantize(&q, step);
+                            let rec = dct::inverse(&dq);
+                            let mut out = [0.0_f32; BS * BS];
+                            for i in 0..BS * BS {
+                                out[i] = pred[i] + rec[i];
+                            }
+                            write_block(&mut recon[c], oy, ox, &out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full-search (optionally half-pel-refined) motion estimation on the
+    /// luma plane. Returns the MV in half-pel units.
+    fn search_motion(&self, cur: &Plane, reference: &Plane, by: usize, bx: usize, bs: usize) -> (i32, i32) {
+        let r = self.profile.search_range;
+        let mut best = (0_i32, 0_i32);
+        let mut best_cost = f64::INFINITY;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let cost = cur.sad(
+                    by,
+                    bx,
+                    bs,
+                    reference,
+                    (by as i32 + dy) as isize * 2,
+                    (bx as i32 + dx) as isize * 2,
+                ) + 0.01 * (dy.abs() + dx.abs()) as f64; // small MV-rate bias
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = (dy * 2, dx * 2);
+                }
+            }
+        }
+        if self.profile.half_pel {
+            let (cy, cx) = best;
+            for dy in -1..=1_i32 {
+                for dx in -1..=1_i32 {
+                    let cand = (cy + dy, cx + dx);
+                    let cost = cur.sad(
+                        by,
+                        bx,
+                        bs,
+                        reference,
+                        by as isize * 2 + cand.0 as isize,
+                        bx as isize * 2 + cand.1 as isize,
+                    );
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = cand;
+                    }
+                }
+            }
+        }
+        // Clamp into the coded alphabet.
+        let off = 2 * r;
+        (best.0.clamp(-off, off), best.1.clamp(-off, off))
+    }
+}
+
+// ---- shared block helpers ----
+
+fn read_block(p: &Plane, by: usize, bx: usize) -> [f32; BS * BS] {
+    let mut out = [0.0_f32; BS * BS];
+    for y in 0..BS {
+        for x in 0..BS {
+            out[y * BS + x] = p.at_clamped((by + y) as isize, (bx + x) as isize);
+        }
+    }
+    out
+}
+
+fn write_block(p: &mut Plane, by: usize, bx: usize, block: &[f32; BS * BS]) {
+    let (w, h) = (p.width(), p.height());
+    for y in 0..BS {
+        for x in 0..BS {
+            if by + y < h && bx + x < w {
+                *p.at_mut(by + y, bx + x) = block[y * BS + x];
+            }
+        }
+    }
+}
+
+fn copy_mc_block(
+    reference: &Plane,
+    dst: &mut Plane,
+    by: usize,
+    bx: usize,
+    bs: usize,
+    mv_y: i32,
+    mv_x: i32,
+) {
+    let (w, h) = (dst.width(), dst.height());
+    for y in 0..bs {
+        for x in 0..bs {
+            if by + y < h && bx + x < w {
+                let v = reference.at_half_pel(
+                    (by + y) as isize * 2 + mv_y as isize,
+                    (bx + x) as isize * 2 + mv_x as isize,
+                );
+                *dst.at_mut(by + y, bx + x) = v;
+            }
+        }
+    }
+}
+
+fn intra_dc_pred(recon: &Plane, by: usize, bx: usize) -> f32 {
+    // Mean of the reconstructed column to the left / row above, 0.5 default.
+    let mut acc = 0.0;
+    let mut cnt = 0.0;
+    if bx >= 1 {
+        for y in 0..BS.min(recon.height() - by) {
+            acc += recon.at(by + y, bx - 1);
+            cnt += 1.0;
+        }
+    }
+    if by >= 1 {
+        for x in 0..BS.min(recon.width() - bx) {
+            acc += recon.at(by - 1, bx + x);
+            cnt += 1.0;
+        }
+    }
+    if cnt > 0.0 {
+        acc / cnt
+    } else {
+        0.5
+    }
+}
+
+fn encode_sym(rc: &mut RangeEncoder, model: &mut Histogram, sym: u32) {
+    rc.encode(&model.interval(sym), model.total());
+    model.record(sym);
+}
+
+fn decode_sym(rc: &mut RangeDecoder, model: &mut Histogram) -> u32 {
+    let f = rc.decode_freq(model.total());
+    let (sym, iv) = model.lookup(f);
+    rc.decode_update(&iv, model.total());
+    model.record(sym);
+    sym
+}
+
+/// Codes one quantized block: DC symbol, last-significant index, then the
+/// AC values up to `last` in zig-zag order.
+fn code_block(rc: &mut RangeEncoder, models: &mut Models, q: [i32; BS * BS], intra: bool) {
+    let order = dct::zigzag_order();
+    let dc = q[0].clamp(-DC_CLAMP, DC_CLAMP);
+    if intra {
+        encode_sym(rc, &mut models.dc, (dc + DC_CLAMP) as u32);
+    } else {
+        encode_sym(rc, &mut models.dc, (dc + DC_CLAMP) as u32);
+    }
+    // Last significant AC position in zig-zag order (1..=63), 0 = none.
+    let mut last = 0usize;
+    for (zi, &idx) in order.iter().enumerate().skip(1) {
+        if q[idx] != 0 {
+            last = zi;
+        }
+    }
+    encode_sym(rc, &mut models.last, last as u32);
+    for &idx in order.iter().take(last + 1).skip(1) {
+        let v = q[idx].clamp(-AC_CLAMP, AC_CLAMP);
+        encode_sym(rc, &mut models.ac, (v + AC_CLAMP) as u32);
+    }
+}
+
+fn decode_block(rc: &mut RangeDecoder, models: &mut Models, _intra: bool) -> [i32; BS * BS] {
+    let order = dct::zigzag_order();
+    let mut q = [0_i32; BS * BS];
+    q[0] = decode_sym(rc, &mut models.dc) as i32 - DC_CLAMP;
+    let last = decode_sym(rc, &mut models.last) as usize;
+    for &idx in order.iter().take(last + 1).skip(1) {
+        q[idx] = decode_sym(rc, &mut models.ac) as i32 - AC_CLAMP;
+    }
+    q
+}
+
+/// Light deblocking: smooths 1 sample each side of 8-pixel block
+/// boundaries where the boundary step is small (i.e. likely a coding
+/// artefact rather than a real edge).
+fn deblock(p: &mut Plane, step: f32) {
+    let (w, h) = (p.width(), p.height());
+    let thr = 4.0 * step;
+    // Vertical boundaries.
+    for x in (BS..w).step_by(BS) {
+        for y in 0..h {
+            let a = p.at(y, x - 1);
+            let b = p.at(y, x);
+            let d = b - a;
+            if d.abs() < thr {
+                *p.at_mut(y, x - 1) = a + d / 4.0;
+                *p.at_mut(y, x) = b - d / 4.0;
+            }
+        }
+    }
+    // Horizontal boundaries.
+    for y in (BS..h).step_by(BS) {
+        for x in 0..w {
+            let a = p.at(y - 1, x);
+            let b = p.at(y, x);
+            let d = b - a;
+            if d.abs() < thr {
+                *p.at_mut(y - 1, x) = a + d / 4.0;
+                *p.at_mut(y, x) = b - d / 4.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvc_video::metrics::psnr_sequence;
+    use nvc_video::synthetic::{SceneConfig, Synthesizer};
+
+    fn test_seq(frames: usize) -> Sequence {
+        Synthesizer::new(SceneConfig::uvg_like(64, 48, frames)).generate()
+    }
+
+    #[test]
+    fn encode_decode_bitstream_matches_loop_reconstruction() {
+        let seq = test_seq(3);
+        for profile in [Profile::avc_like(), Profile::hevc_like()] {
+            let codec = HybridCodec::new(profile.clone());
+            let coded = codec.encode(&seq, 24).unwrap();
+            let decoded = codec.decode(&coded.bitstream).unwrap();
+            assert_eq!(decoded.frames().len(), 3, "{}", profile.name);
+            for (a, b) in decoded.frames().iter().zip(coded.decoded.frames()) {
+                let diff = a.tensor().sub(b.tensor()).unwrap().max_abs();
+                assert!(diff < 1e-6, "{}: decoder drift {diff}", profile.name);
+            }
+        }
+    }
+
+    #[test]
+    fn quality_improves_with_lower_qp() {
+        let seq = test_seq(2);
+        let codec = HybridCodec::new(Profile::hevc_like());
+        let hi = codec.encode(&seq, 12).unwrap();
+        let lo = codec.encode(&seq, 36).unwrap();
+        let pairs_hi: Vec<_> = seq.frames().iter().zip(hi.decoded.frames()).collect();
+        let pairs_lo: Vec<_> = seq.frames().iter().zip(lo.decoded.frames()).collect();
+        let psnr_hi = psnr_sequence(&pairs_hi.iter().map(|(a, b)| (*a, *b)).collect::<Vec<_>>()).unwrap();
+        let psnr_lo = psnr_sequence(&pairs_lo.iter().map(|(a, b)| (*a, *b)).collect::<Vec<_>>()).unwrap();
+        assert!(psnr_hi > psnr_lo + 3.0, "qp12 {psnr_hi} vs qp36 {psnr_lo}");
+        assert!(hi.total_bytes > lo.total_bytes);
+    }
+
+    #[test]
+    fn hevc_profile_beats_avc_profile() {
+        // At equal QP the HEVC-like toolset should spend fewer bits
+        // (better prediction) for at-least-comparable quality.
+        let seq = Synthesizer::new(SceneConfig::hevc_b_like(64, 48, 4)).generate();
+        let qp = 26;
+        let avc = HybridCodec::new(Profile::avc_like()).encode(&seq, qp).unwrap();
+        let hevc = HybridCodec::new(Profile::hevc_like()).encode(&seq, qp).unwrap();
+        let p_avc = psnr_sequence(
+            &seq.frames().iter().zip(avc.decoded.frames()).map(|(a, b)| (a, b)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let p_hevc = psnr_sequence(
+            &seq.frames().iter().zip(hevc.decoded.frames()).map(|(a, b)| (a, b)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        // Accept either fewer bits at similar quality or better quality.
+        let rate_gain = avc.total_bytes as f64 / hevc.total_bytes as f64;
+        assert!(
+            rate_gain > 1.02 || p_hevc > p_avc + 0.2,
+            "HEVC-like must beat AVC-like: rate x{rate_gain:.3}, psnr {p_hevc:.2} vs {p_avc:.2}"
+        );
+    }
+
+    #[test]
+    fn still_sequence_is_nearly_free() {
+        // A static scene: P frames should be almost all skip blocks.
+        let f = test_seq(1).frames()[0].clone();
+        let frames = vec![f.clone(), f.clone(), f.clone(), f];
+        let seq = Sequence::new("static", frames, 30.0).unwrap();
+        let coded = HybridCodec::new(Profile::hevc_like()).encode(&seq, 24).unwrap();
+        let intra = coded.bytes_per_frame[0];
+        for &p in &coded.bytes_per_frame[1..] {
+            // P frames still pay per-block skip flags plus coder flush.
+            assert!(p * 5 < intra, "P frame {p} bytes vs intra {intra}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let codec = HybridCodec::new(Profile::hevc_like());
+        assert!(codec.decode(&[]).is_err());
+        assert!(codec.decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn non_multiple_of_block_sizes_roundtrip() {
+        let seq = Synthesizer::new(SceneConfig::mcl_jcv_like(52, 38, 2)).generate();
+        let codec = HybridCodec::new(Profile::hevc_like());
+        let coded = codec.encode(&seq, 20).unwrap();
+        let decoded = codec.decode(&coded.bitstream).unwrap();
+        assert_eq!(decoded.width(), 52);
+        assert_eq!(decoded.height(), 38);
+        for (a, b) in decoded.frames().iter().zip(coded.decoded.frames()) {
+            assert!(a.tensor().sub(b.tensor()).unwrap().max_abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! 8×8 DCT-II / DCT-III transform pair, dead-zone quantization and zig-zag
+//! scanning — the transform toolbox of the classical hybrid codec.
+
+/// Transform block size.
+pub const BS: usize = 8;
+
+fn dct_basis(u: usize, x: usize) -> f32 {
+    let n = BS as f32;
+    let scale = if u == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+    scale * ((std::f32::consts::PI * (x as f32 + 0.5) * u as f32) / n).cos()
+}
+
+/// Forward 8×8 DCT-II (orthonormal) of a row-major block.
+pub fn forward(block: &[f32; BS * BS]) -> [f32; BS * BS] {
+    let mut tmp = [0.0_f32; BS * BS];
+    // Rows.
+    for y in 0..BS {
+        for u in 0..BS {
+            let mut acc = 0.0;
+            for x in 0..BS {
+                acc += block[y * BS + x] * dct_basis(u, x);
+            }
+            tmp[y * BS + u] = acc;
+        }
+    }
+    // Columns.
+    let mut out = [0.0_f32; BS * BS];
+    for v in 0..BS {
+        for u in 0..BS {
+            let mut acc = 0.0;
+            for y in 0..BS {
+                acc += tmp[y * BS + u] * dct_basis(v, y);
+            }
+            out[v * BS + u] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (DCT-III, orthonormal).
+pub fn inverse(coef: &[f32; BS * BS]) -> [f32; BS * BS] {
+    let mut tmp = [0.0_f32; BS * BS];
+    // Columns.
+    for u in 0..BS {
+        for y in 0..BS {
+            let mut acc = 0.0;
+            for v in 0..BS {
+                acc += coef[v * BS + u] * dct_basis(v, y);
+            }
+            tmp[y * BS + u] = acc;
+        }
+    }
+    // Rows.
+    let mut out = [0.0_f32; BS * BS];
+    for y in 0..BS {
+        for x in 0..BS {
+            let mut acc = 0.0;
+            for u in 0..BS {
+                acc += tmp[y * BS + u] * dct_basis(u, x);
+            }
+            out[y * BS + x] = acc;
+        }
+    }
+    out
+}
+
+/// Maps a quality parameter (0 = finest) to a quantizer step, H.26x-style:
+/// the step doubles every 6 QP.
+pub fn qp_to_step(qp: u8) -> f32 {
+    0.002 * (2.0_f32).powf(qp as f32 / 6.0)
+}
+
+/// Dead-zone quantization: `sign(c) · floor(|c|/step + bias)` with
+/// `bias = 1/3` (encoder-side rounding typical of hybrid codecs).
+pub fn quantize(coef: &[f32; BS * BS], step: f32) -> [i32; BS * BS] {
+    let mut out = [0_i32; BS * BS];
+    for (o, &c) in out.iter_mut().zip(coef) {
+        let mag = (c.abs() / step + 1.0 / 3.0).floor() as i32;
+        *o = if c < 0.0 { -mag } else { mag };
+    }
+    out
+}
+
+/// Reconstruction: `q · step`.
+pub fn dequantize(q: &[i32; BS * BS], step: f32) -> [f32; BS * BS] {
+    let mut out = [0.0_f32; BS * BS];
+    for (o, &v) in out.iter_mut().zip(q) {
+        *o = v as f32 * step;
+    }
+    out
+}
+
+/// The standard 8×8 zig-zag scan order (JPEG/H.26x).
+pub fn zigzag_order() -> [usize; BS * BS] {
+    let mut order = [0usize; BS * BS];
+    let mut idx = 0;
+    for s in 0..(2 * BS - 1) {
+        let coords: Vec<(usize, usize)> = (0..=s)
+            .filter_map(|i| {
+                let (y, x) = (i, s - i);
+                (y < BS && x < BS).then_some((y, x))
+            })
+            .collect();
+        let iter: Box<dyn Iterator<Item = &(usize, usize)>> =
+            if s % 2 == 0 { Box::new(coords.iter().rev()) } else { Box::new(coords.iter()) };
+        for &(y, x) in iter {
+            order[idx] = y * BS + x;
+            idx += 1;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: f32) -> [f32; 64] {
+        let mut b = [0.0_f32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as f32 * 0.7 + seed).sin() * 0.4 + 0.5).clamp(0.0, 1.0);
+        }
+        b
+    }
+
+    #[test]
+    fn dct_roundtrips() {
+        let b = sample_block(1.0);
+        let rec = inverse(&forward(&b));
+        for (a, r) in b.iter().zip(&rec) {
+            assert!((a - r).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dct_is_orthonormal() {
+        // Energy preservation (Parseval).
+        let b = sample_block(2.0);
+        let c = forward(&b);
+        let eb: f32 = b.iter().map(|v| v * v).sum();
+        let ec: f32 = c.iter().map(|v| v * v).sum();
+        assert!((eb - ec).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        let b = [0.5_f32; 64];
+        let c = forward(&b);
+        // DC = 8 * mean for an orthonormal 8x8 DCT.
+        assert!((c[0] - 4.0).abs() < 1e-5);
+        for &ac in &c[1..] {
+            assert!(ac.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn quantization_roundtrip_error_is_bounded() {
+        let b = sample_block(3.0);
+        let c = forward(&b);
+        let step = 0.05;
+        let q = quantize(&c, step);
+        let dq = dequantize(&q, step);
+        for (orig, rec) in c.iter().zip(&dq) {
+            assert!((orig - rec).abs() <= step, "{orig} vs {rec}");
+        }
+    }
+
+    #[test]
+    fn dead_zone_zeroes_small_coefficients() {
+        let mut c = [0.0_f32; 64];
+        c[5] = 0.03;
+        c[6] = -0.03;
+        let q = quantize(&c, 0.05); // |c|/step = 0.6 < 1 - 1/3 ... floor(0.6+0.333)=0
+        assert_eq!(q[5], 0);
+        assert_eq!(q[6], 0);
+    }
+
+    #[test]
+    fn qp_doubles_every_six() {
+        let s0 = qp_to_step(10);
+        let s6 = qp_to_step(16);
+        assert!((s6 / s0 - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let order = zigzag_order();
+        let mut seen = [false; 64];
+        for &i in &order {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        // First entries follow the canonical pattern.
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1);
+        assert_eq!(order[2], 8);
+        assert_eq!(order[3], 16);
+        assert_eq!(order[4], 9);
+        assert_eq!(order[5], 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks, one group per table/figure family.
+//!
+//! These complement the `src/bin/*` harnesses (which print the full
+//! tables): Criterion tracks the hot kernels behind each experiment so
+//! regressions in the fast operators, the codec loop or the simulator are
+//! visible as timing changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvc_baseline::{HybridCodec, Profile};
+use nvc_fastalg::{FastConv2d, FastDeConv2d, Sparsity};
+use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
+use nvc_sim::Dataflow;
+use nvc_tensor::ops::{Conv2d, DeConv2d};
+use nvc_tensor::{Shape, Tensor};
+use nvc_video::metrics::{ms_ssim, psnr};
+use nvc_video::synthetic::{SceneConfig, Synthesizer};
+use nvca::Nvca;
+use std::hint::black_box;
+
+/// Fig. 8 / Table I hot path: codec rate points.
+fn bench_rd_points(c: &mut Criterion) {
+    let seq = Synthesizer::new(SceneConfig::uvg_like(48, 32, 2)).generate();
+    let ctvc = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).expect("config");
+    let hybrid = HybridCodec::new(Profile::hevc_like());
+    let mut g = c.benchmark_group("table1_fig8_rd");
+    g.sample_size(10);
+    g.bench_function("ctvc_encode_48x32x2", |b| {
+        b.iter(|| black_box(ctvc.encode(&seq, RatePoint::new(1)).expect("encode")))
+    });
+    let coded = ctvc.encode(&seq, RatePoint::new(1)).expect("encode");
+    g.bench_function("ctvc_decode_48x32x2", |b| {
+        b.iter(|| black_box(ctvc.decode(&coded.bitstream).expect("decode")))
+    });
+    g.bench_function("hevc_like_encode_48x32x2", |b| {
+        b.iter(|| black_box(hybrid.encode(&seq, 24).expect("encode")))
+    });
+    let hc = hybrid.encode(&seq, 24).expect("encode");
+    g.bench_function("hevc_like_decode_48x32x2", |b| {
+        b.iter(|| black_box(hybrid.decode(&hc.bitstream).expect("decode")))
+    });
+    g.finish();
+}
+
+/// §III-B fast algorithms: transform-domain operators vs direct.
+fn bench_fastalg(c: &mut Criterion) {
+    let x = Tensor::from_fn(Shape::new(1, 12, 48, 48), |_, ch, y, xx| {
+        ((ch + y + xx) as f32 * 0.37).sin()
+    });
+    let conv = Conv2d::randn(12, 12, 3, 1, 1, 1).expect("conv");
+    let wino = FastConv2d::from_conv(&conv).expect("fast");
+    let wino_sparse =
+        FastConv2d::from_conv_pruned(&conv, Sparsity::new(0.5).expect("rho")).expect("sparse");
+    let deconv = DeConv2d::randn(12, 12, 4, 2, 1, 2).expect("deconv");
+    let fta = FastDeConv2d::from_deconv(&deconv).expect("fast");
+    let mut g = c.benchmark_group("ablation_fastalg");
+    g.bench_function("direct_conv3x3_12ch_48", |b| {
+        b.iter(|| black_box(conv.forward(&x).expect("fwd")))
+    });
+    g.bench_function("winograd_dense_12ch_48", |b| {
+        b.iter(|| black_box(wino.forward(&x).expect("fwd")))
+    });
+    g.bench_function("winograd_sparse50_12ch_48", |b| {
+        b.iter(|| black_box(wino_sparse.forward(&x).expect("fwd")))
+    });
+    g.bench_function("direct_deconv4x4_12ch_48", |b| {
+        b.iter(|| black_box(deconv.forward(&x).expect("fwd")))
+    });
+    g.bench_function("fta_dense_12ch_48", |b| {
+        b.iter(|| black_box(fta.forward(&x).expect("fwd")))
+    });
+    g.finish();
+}
+
+/// Table II / Fig. 9 hot path: the cycle-level simulator at 1080p.
+fn bench_simulator(c: &mut Criterion) {
+    let nvca = Nvca::paper_design(CtvcConfig::ctvc_sparse(36)).expect("design");
+    let wl = nvca.decoder_workload(1088, 1920);
+    let mut g = c.benchmark_group("table2_fig9_simulator");
+    g.bench_function("simulate_1080p_chained", |b| {
+        b.iter(|| black_box(nvca.simulator().run(&wl, Dataflow::Chained)))
+    });
+    g.bench_function("simulate_1080p_layer_by_layer", |b| {
+        b.iter(|| black_box(nvca.simulator().run(&wl, Dataflow::LayerByLayer)))
+    });
+    g.finish();
+}
+
+/// Fig. 8 metric kernels: PSNR and MS-SSIM.
+fn bench_metrics(c: &mut Criterion) {
+    let seq = Synthesizer::new(SceneConfig::hevc_b_like(96, 64, 2)).generate();
+    let (a, b2) = (&seq.frames()[0], &seq.frames()[1]);
+    let mut g = c.benchmark_group("fig8_metrics");
+    g.bench_function("psnr_96x64", |b| b.iter(|| black_box(psnr(a, b2).expect("psnr"))));
+    g.bench_function("ms_ssim_96x64", |b| {
+        b.iter(|| black_box(ms_ssim(a, b2).expect("ms-ssim")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rd_points, bench_fastalg, bench_simulator, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation **E7**: multiplication counts and simulated cycles of the
+//! fast algorithms vs direct execution (paper §III-B: 16 vs 36 muls for
+//! `F(2×2,3×3)`; 64 muls per `T3(6×6,4×4)` tile).
+
+use nvc_fastalg::{fta_t3_6x6_4x4, winograd_f2x2_3x3, FastConv2d, FastDeConv2d, Sparsity};
+use nvc_sim::{Dataflow, NvcaConfig, SimLayer, SimOp, Simulator, Workload};
+use nvc_tensor::ops::{Conv2d, DeConv2d};
+
+fn main() {
+    println!("=== Ablation: fast algorithms vs direct execution ===\n");
+    let wino = winograd_f2x2_3x3();
+    let fta = fta_t3_6x6_4x4();
+    println!("per-tile multiplications:");
+    println!(
+        "  F(2x2,3x3): direct {:>3}, dense fast {:>3}, sparse(50%) {:>3}",
+        wino.direct_mults_per_tile(),
+        wino.mults_per_tile(),
+        wino.mults_per_tile() / 2
+    );
+    println!(
+        "  T3(6x6,4x4): direct {:>3}, dense fast {:>3}, sparse(50%) {:>3}",
+        fta.direct_mults_per_tile(),
+        fta.mults_per_tile(),
+        fta.mults_per_tile() / 2
+    );
+
+    // Whole-layer Hadamard-mult counts (36 channels at 1080p/2 feature res).
+    let conv = Conv2d::randn(36, 36, 3, 1, 1, 1).expect("conv");
+    let dense = FastConv2d::from_conv(&conv).expect("fast");
+    let sparse = FastConv2d::from_conv_pruned(&conv, Sparsity::new(0.5).expect("rho"))
+        .expect("fast sparse");
+    let direct = conv.macs(544, 960);
+    println!("\n3x3 conv, 36ch @ 544x960:");
+    println!("  direct MACs        {:>14}", direct);
+    println!("  winograd dense     {:>14}", dense.hadamard_mults(544, 960));
+    println!("  winograd sparse50  {:>14}", sparse.hadamard_mults(544, 960));
+
+    let deconv = DeConv2d::randn(36, 36, 4, 2, 1, 2).expect("deconv");
+    let fdense = FastDeConv2d::from_deconv(&deconv).expect("fast");
+    let fsparse = FastDeConv2d::from_deconv_pruned(&deconv, Sparsity::new(0.5).expect("rho"))
+        .expect("fast sparse");
+    println!("\n4x4 s2 deconv, 36ch @ 272x480 -> 544x960:");
+    println!("  direct MACs        {:>14}", deconv.macs(272, 480));
+    println!("  fta dense          {:>14}", fdense.hadamard_mults(272, 480));
+    println!("  fta sparse50       {:>14}", fsparse.hadamard_mults(272, 480));
+
+    // Simulated cycles: same layer under fast vs plain MAC execution.
+    println!("\nsimulated cycles for one 36ch 3x3 conv @ 544x960:");
+    let sim = Simulator::new(NvcaConfig::paper());
+    let fast_wl = Workload::new(vec![SimLayer::new(
+        "conv",
+        "m",
+        SimOp::Conv3x3 { c_in: 36, c_out: 36, h_out: 544, w_out: 960, stride: 1 },
+    )]);
+    // Plain-mode equivalent: expose the same MACs as a 1x1 shape.
+    let plain_wl = Workload::new(vec![SimLayer::new(
+        "conv_plain",
+        "m",
+        SimOp::Conv1x1 { c_in: 36 * 9, c_out: 36, h_out: 544, w_out: 960 },
+    )]);
+    let fast_rep = sim.run(&fast_wl, Dataflow::Chained);
+    let plain_rep = sim.run(&plain_wl, Dataflow::Chained);
+    let fc: u64 = fast_rep.layers.iter().map(|l| l.compute_cycles).sum();
+    let pc: u64 = plain_rep.layers.iter().map(|l| l.compute_cycles).sum();
+    println!("  sparse winograd    {fc:>14}");
+    println!("  plain MAC mode     {pc:>14}");
+    println!("  speedup            {:>13.2}x", pc as f64 / fc as f64);
+    println!("\nShape check: 36/16 = 2.25x from Winograd, x2 from 50% sparsity (~4.5x);");
+    println!("FTA turns a 576-mult direct deconv tile into 64 (32 sparse).");
+}

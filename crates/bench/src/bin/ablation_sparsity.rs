@@ -1,0 +1,52 @@
+//! Ablation **E6**: sparsity ρ sweep — RD impact of transform-domain
+//! pruning vs the SCU multiplier budget and simulated throughput.
+
+use nvc_bench::{BENCH_FRAMES, BENCH_H, BENCH_N, BENCH_W};
+use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
+use nvc_sim::{Dataflow, NvcaConfig};
+use nvc_video::metrics::psnr_sequence;
+use nvc_video::synthetic::{SceneConfig, Synthesizer};
+use nvca::Nvca;
+
+fn main() {
+    println!("=== Ablation: sparsity rho sweep (paper operates at rho = 50%) ===\n");
+    let seq =
+        Synthesizer::new(SceneConfig::uvg_like(BENCH_W, BENCH_H, BENCH_FRAMES)).generate();
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "rho", "SCU muls", "PSNR dB", "bpp", "sim fps", "gates M"
+    );
+    for rho in [0.0, 0.25, 0.5, 0.625, 0.75] {
+        // Functional quality at this sparsity.
+        let mut cfg = CtvcConfig::ctvc_fxp(BENCH_N);
+        cfg.sparsity = if rho > 0.0 { Some(rho) } else { None };
+        let codec = CtvcCodec::new(cfg).expect("config");
+        let coded = codec.encode(&seq, RatePoint::new(1)).expect("encode");
+        let pairs: Vec<_> = seq
+            .frames()
+            .iter()
+            .zip(coded.decoded.frames())
+            .map(|(a, b)| (a, b))
+            .collect();
+        let psnr = psnr_sequence(&pairs).expect("psnr");
+
+        // Hardware at this sparsity (N = 36 paper workload).
+        let mut hw = NvcaConfig::paper();
+        hw.rho = rho;
+        let mut model = CtvcConfig::ctvc_sparse(36);
+        model.sparsity = if rho > 0.0 { Some(rho) } else { None };
+        let nvca = Nvca::new(model, hw.clone()).expect("design");
+        let rep = nvca.simulate_decode(1088, 1920, Dataflow::Chained);
+        println!(
+            "{:>5.0}% {:>12} {:>10.2} {:>10.4} {:>12.1} {:>10.2}",
+            rho * 100.0,
+            hw.scu_multipliers(),
+            psnr,
+            coded.bpp,
+            rep.fps,
+            hw.gate_count_m()
+        );
+    }
+    println!("\nShape check: quality degrades gracefully up to rho = 50% then faster;");
+    println!("multiplier count (area) halves at rho = 50% — the paper's design point.");
+}

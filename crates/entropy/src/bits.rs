@@ -1,0 +1,258 @@
+//! MSB-first bit I/O and Exp-Golomb codes.
+
+use crate::CodingError;
+
+/// MSB-first bit writer.
+///
+/// # Example
+///
+/// ```
+/// use nvc_entropy::{BitReader, BitWriter};
+/// # fn main() -> Result<(), nvc_entropy::CodingError> {
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_ue(17);
+/// w.write_se(-4);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_ue()?, 17);
+/// assert_eq!(r.read_se()?, -4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the lowest `n` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn write_bits(&mut self, value: u32, n: u8) {
+        assert!(n <= 32, "cannot write more than 32 bits at once");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            self.acc = (self.acc << 1) | bit as u8;
+            self.nbits += 1;
+            if self.nbits == 8 {
+                self.bytes.push(self.acc);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Writes one bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u32::from(bit), 1);
+    }
+
+    /// Writes an unsigned Exp-Golomb code (H.264 `ue(v)`).
+    pub fn write_ue(&mut self, value: u32) {
+        let x = value as u64 + 1;
+        let len = 64 - x.leading_zeros();
+        self.write_bits(0, (len - 1) as u8);
+        self.write_bits(x as u32, len as u8);
+    }
+
+    /// Writes a signed Exp-Golomb code (H.264 `se(v)`).
+    pub fn write_se(&mut self, value: i32) {
+        let mapped = if value > 0 { (value as u32) * 2 - 1 } else { (-(value as i64) * 2) as u32 };
+        self.write_ue(mapped);
+    }
+
+    /// Number of whole bytes written so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty() && self.nbits == 0
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.acc <<= 8 - self.nbits;
+            self.bytes.push(self.acc);
+        }
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0, bit: 0 }
+    }
+
+    /// Reads `n` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] past the end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn read_bits(&mut self, n: u8) -> Result<u32, CodingError> {
+        assert!(n <= 32, "cannot read more than 32 bits at once");
+        let mut out = 0u32;
+        for _ in 0..n {
+            let byte = self.bytes.get(self.pos).ok_or(CodingError::UnexpectedEof)?;
+            let bit = (byte >> (7 - self.bit)) & 1;
+            out = (out << 1) | bit as u32;
+            self.bit += 1;
+            if self.bit == 8 {
+                self.bit = 0;
+                self.pos += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] past the end of input.
+    pub fn read_bit(&mut self) -> Result<bool, CodingError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Reads an unsigned Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] past the end of input.
+    pub fn read_ue(&mut self) -> Result<u32, CodingError> {
+        let mut zeros = 0u8;
+        while !self.read_bit()? {
+            zeros += 1;
+            if zeros > 32 {
+                return Err(CodingError::UnexpectedEof);
+            }
+        }
+        let rest = if zeros == 0 { 0 } else { self.read_bits(zeros)? };
+        Ok((1u32 << zeros) - 1 + rest)
+    }
+
+    /// Reads a signed Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] past the end of input.
+    pub fn read_se(&mut self) -> Result<i32, CodingError> {
+        let mapped = self.read_ue()?;
+        Ok(if mapped % 2 == 1 { ((mapped + 1) / 2) as i32 } else { -((mapped / 2) as i32) })
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_position(&self) -> usize {
+        self.pos * 8 + self.bit as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD, 16);
+        w.write_bits(0b1, 1);
+        w.write_bits(0x3F, 6);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(6).unwrap(), 0x3F);
+    }
+
+    #[test]
+    fn exp_golomb_known_codes() {
+        // ue(0) = "1", ue(1) = "010", ue(2) = "011".
+        let mut w = BitWriter::new();
+        w.write_ue(0);
+        w.write_ue(1);
+        w.write_ue(2);
+        assert_eq!(w.bit_len(), 1 + 3 + 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_ue().unwrap(), 0);
+        assert_eq!(r.read_ue().unwrap(), 1);
+        assert_eq!(r.read_ue().unwrap(), 2);
+    }
+
+    #[test]
+    fn exp_golomb_roundtrip_many() {
+        let values: Vec<u32> = (0..200).map(|i| i * i % 1021).collect();
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn signed_exp_golomb_roundtrip() {
+        let values: Vec<i32> = (-60..=60).collect();
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn eof_detection() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1).unwrap_err(), CodingError::UnexpectedEof);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert!(w.is_empty());
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        assert_eq!(w.len(), 0);
+        w.write_bits(0, 5);
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Sectioned bitstream container.
+//!
+//! A coded frame in the NVC pipeline carries several independent streams
+//! (quantized motion latents, quantized residual latents, side
+//! information). The container frames them as `[tag: u8][len: u32 LE]
+//! [payload]` sections so the decoder can route each stream to its
+//! synthesis module, mirroring how the paper's DMA controller distributes
+//! "Sparse Index / Intermediate data / Weight" regions.
+//!
+//! # Example
+//!
+//! ```
+//! use nvc_entropy::container::{Section, SectionWriter, read_sections};
+//! # fn main() -> Result<(), nvc_entropy::CodingError> {
+//! let mut w = SectionWriter::new();
+//! w.push(Section::Motion, vec![1, 2, 3]);
+//! w.push(Section::Residual, vec![4]);
+//! let bytes = w.finish();
+//! let sections = read_sections(&bytes)?;
+//! assert_eq!(sections.len(), 2);
+//! assert_eq!(sections[0].0, Section::Motion);
+//! assert_eq!(sections[1].1, vec![4]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::CodingError;
+
+/// Section tags used by the codecs in this repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Section {
+    /// Quantized motion latents.
+    Motion,
+    /// Quantized residual latents.
+    Residual,
+    /// Side information (entropy-model parameters, dynamic ranges).
+    SideInfo,
+    /// Intra-coded (keyframe) payload.
+    Intra,
+}
+
+impl Section {
+    fn tag(self) -> u8 {
+        match self {
+            Section::Motion => 0x4D,   // 'M'
+            Section::Residual => 0x52, // 'R'
+            Section::SideInfo => 0x53, // 'S'
+            Section::Intra => 0x49,    // 'I'
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodingError> {
+        match tag {
+            0x4D => Ok(Section::Motion),
+            0x52 => Ok(Section::Residual),
+            0x53 => Ok(Section::SideInfo),
+            0x49 => Ok(Section::Intra),
+            other => Err(CodingError::BadContainer { reason: format!("unknown tag 0x{other:02X}") }),
+        }
+    }
+}
+
+/// Accumulates tagged sections into a frame payload.
+#[derive(Debug, Clone, Default)]
+pub struct SectionWriter {
+    bytes: Vec<u8>,
+}
+
+impl SectionWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one section.
+    pub fn push(&mut self, section: Section, payload: Vec<u8>) {
+        self.bytes.push(section.tag());
+        self.bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.bytes.extend_from_slice(&payload);
+    }
+
+    /// Total bytes so far (including section headers).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether no sections were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Returns the framed bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Parses a frame payload back into its sections, in order.
+///
+/// # Errors
+///
+/// Returns [`CodingError::BadContainer`] on truncation or unknown tags.
+pub fn read_sections(bytes: &[u8]) -> Result<Vec<(Section, Vec<u8>)>, CodingError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if pos + 5 > bytes.len() {
+            return Err(CodingError::BadContainer { reason: "truncated section header".into() });
+        }
+        let section = Section::from_tag(bytes[pos])?;
+        let len = u32::from_le_bytes(
+            bytes[pos + 1..pos + 5].try_into().expect("slice is 4 bytes"),
+        ) as usize;
+        pos += 5;
+        if pos + len > bytes.len() {
+            return Err(CodingError::BadContainer {
+                reason: format!("section claims {len} bytes, {} remain", bytes.len() - pos),
+            });
+        }
+        out.push((section, bytes[pos..pos + len].to_vec()));
+        pos += len;
+    }
+    Ok(out)
+}
+
+/// Finds the first section with the given tag.
+///
+/// # Errors
+///
+/// Returns [`CodingError::BadContainer`] if the section is absent (or the
+/// container is malformed).
+pub fn find_section(bytes: &[u8], section: Section) -> Result<Vec<u8>, CodingError> {
+    read_sections(bytes)?
+        .into_iter()
+        .find(|(s, _)| *s == section)
+        .map(|(_, payload)| payload)
+        .ok_or_else(|| CodingError::BadContainer { reason: format!("missing section {section:?}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_sections() {
+        let mut w = SectionWriter::new();
+        w.push(Section::SideInfo, vec![9; 17]);
+        w.push(Section::Motion, vec![1, 2]);
+        w.push(Section::Residual, Vec::new());
+        let bytes = w.finish();
+        let sections = read_sections(&bytes).unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0], (Section::SideInfo, vec![9; 17]));
+        assert_eq!(sections[1], (Section::Motion, vec![1, 2]));
+        assert_eq!(sections[2], (Section::Residual, Vec::new()));
+    }
+
+    #[test]
+    fn find_section_locates_payload() {
+        let mut w = SectionWriter::new();
+        w.push(Section::Motion, vec![5]);
+        w.push(Section::Residual, vec![6, 7]);
+        let bytes = w.finish();
+        assert_eq!(find_section(&bytes, Section::Residual).unwrap(), vec![6, 7]);
+        assert!(find_section(&bytes, Section::Intra).is_err());
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut w = SectionWriter::new();
+        w.push(Section::Motion, vec![1, 2, 3]);
+        let mut bytes = w.finish();
+        // Truncate payload.
+        bytes.pop();
+        assert!(read_sections(&bytes).is_err());
+        // Unknown tag.
+        let bad = vec![0xEE, 0, 0, 0, 0];
+        assert!(read_sections(&bad).is_err());
+        // Truncated header.
+        assert!(read_sections(&[0x4D, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_container_is_valid() {
+        assert!(read_sections(&[]).unwrap().is_empty());
+        assert!(SectionWriter::new().is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! LZMA-style carry-propagating range coder.
+//!
+//! The coder works on explicit cumulative-frequency intervals
+//! ([`Interval`]) under a model total, so any model that can produce
+//! `(cum_low, cum_high, total)` triples can drive it. Totals must stay
+//! below 2²² so `range / total` never becomes zero after normalization.
+
+use crate::models::Interval;
+
+const TOP: u32 = 1 << 24;
+
+/// Maximum allowed model total (exclusive).
+pub(crate) const MAX_TOTAL: u32 = 1 << 22;
+
+/// Range encoder producing a byte vector.
+///
+/// See the crate-level example for coupled encoder/decoder usage.
+#[derive(Debug, Clone)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    bytes: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, bytes: Vec::new() }
+    }
+
+    /// Encodes one symbol occupying `interval` under a model with total
+    /// frequency `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty, exceeds `total`, or `total` is not
+    /// in `1..2²²`.
+    pub fn encode(&mut self, interval: &Interval, total: u32) {
+        assert!(total > 0 && total < MAX_TOTAL, "total {total} out of range");
+        assert!(
+            interval.low < interval.high && interval.high <= total,
+            "bad interval {interval:?} for total {total}"
+        );
+        let r = self.range / total;
+        self.low += r as u64 * interval.low as u64;
+        self.range = r * (interval.high - interval.low);
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    fn shift_low(&mut self) {
+        if (self.low as u32) < 0xFF00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            let mut cs = self.cache_size;
+            while cs != 0 {
+                self.bytes.push(self.cache.wrapping_add(carry));
+                self.cache = 0xFF;
+                cs -= 1;
+            }
+            self.cache = (self.low >> 24) as u8;
+            self.cache_size = 0;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Number of bytes emitted so far (excluding buffered carry bytes).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Flushes the coder state and returns the finished byte stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.bytes
+    }
+}
+
+/// Range decoder consuming a byte slice produced by [`RangeEncoder`].
+#[derive(Debug, Clone)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Creates a decoder over `bytes`. Reading past the end yields zero
+    /// bytes, matching the encoder's implicit zero tail.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        let mut dec = RangeDecoder { code: 0, range: u32::MAX, bytes, pos: 0 };
+        // First byte is the encoder's initial zero cache; skip it, then
+        // load 4 code bytes.
+        dec.next_byte();
+        for _ in 0..4 {
+            dec.code = (dec.code << 8) | dec.next_byte() as u32;
+        }
+        dec
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Returns the cumulative frequency the next symbol falls into, for a
+    /// model with total frequency `total`. Must be followed by
+    /// [`decode_update`](Self::decode_update) with the symbol's interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is not in `1..2²²`.
+    pub fn decode_freq(&mut self, total: u32) -> u32 {
+        assert!(total > 0 && total < MAX_TOTAL, "total {total} out of range");
+        self.range /= total;
+        (self.code / self.range).min(total - 1)
+    }
+
+    /// Consumes the symbol occupying `interval` (as returned by the model
+    /// for the frequency from [`decode_freq`](Self::decode_freq)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    pub fn decode_update(&mut self, interval: &Interval, _total: u32) {
+        assert!(interval.low < interval.high, "bad interval {interval:?}");
+        self.code -= interval.low * self.range;
+        self.range *= interval.high - interval.low;
+        while self.range < TOP {
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.range <<= 8;
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Histogram;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(symbols: &[u32], model: &Histogram) -> Vec<u32> {
+        let mut enc = RangeEncoder::new();
+        for &s in symbols {
+            enc.encode(&model.interval(s), model.total());
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        symbols
+            .iter()
+            .map(|_| {
+                let f = dec.decode_freq(model.total());
+                let (s, iv) = model.lookup(f);
+                dec.decode_update(&iv, model.total());
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_stream() {
+        let enc = RangeEncoder::new();
+        assert!(enc.is_empty());
+        let bytes = enc.finish();
+        assert_eq!(bytes.len(), 5);
+    }
+
+    #[test]
+    fn static_uniform_roundtrip() {
+        let model = Histogram::uniform(16);
+        let symbols: Vec<u32> = (0..500).map(|i| (i * 7 + 3) % 16).collect();
+        assert_eq!(roundtrip(&symbols, &model), symbols);
+    }
+
+    #[test]
+    fn skewed_model_compresses() {
+        // 99% zeros under a strongly skewed model: ~0.08 bits/symbol ideal.
+        let mut freqs = vec![1u32; 4];
+        freqs[0] = 1000;
+        let model = Histogram::from_freqs(&freqs).unwrap();
+        let symbols: Vec<u32> = (0..10_000).map(|i| u32::from(i % 100 == 0)).collect();
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            enc.encode(&model.interval(s), model.total());
+        }
+        let bytes = enc.finish();
+        // Ideal ≈ 10000 * H ≈ 10000 * 0.09 bits ≈ 115 bytes.
+        assert!(bytes.len() < 400, "got {} bytes", bytes.len());
+        let mut dec = RangeDecoder::new(&bytes);
+        for &expect in &symbols {
+            let f = dec.decode_freq(model.total());
+            let (s, iv) = model.lookup(f);
+            dec.decode_update(&iv, model.total());
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn random_models_random_symbols_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(0xC0DE);
+        for _ in 0..20 {
+            let n_sym = rng.gen_range(2..40usize);
+            let freqs: Vec<u32> = (0..n_sym).map(|_| rng.gen_range(1..500u32)).collect();
+            let model = Histogram::from_freqs(&freqs).unwrap();
+            let symbols: Vec<u32> =
+                (0..rng.gen_range(1..2000)).map(|_| rng.gen_range(0..n_sym as u32)).collect();
+            assert_eq!(roundtrip(&symbols, &model), symbols);
+        }
+    }
+
+    #[test]
+    fn adaptive_model_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let symbols: Vec<u32> = (0..3000).map(|_| rng.gen_range(0..8u32)).collect();
+        let mut enc_model = Histogram::uniform(8);
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            enc.encode(&enc_model.interval(s), enc_model.total());
+            enc_model.record(s);
+        }
+        let bytes = enc.finish();
+        let mut dec_model = Histogram::uniform(8);
+        let mut dec = RangeDecoder::new(&bytes);
+        for &expect in &symbols {
+            let f = dec.decode_freq(dec_model.total());
+            let (s, iv) = dec_model.lookup(f);
+            dec.decode_update(&iv, dec_model.total());
+            dec_model.record(s);
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total")]
+    fn rejects_oversized_total() {
+        let mut enc = RangeEncoder::new();
+        enc.encode(&Interval { low: 0, high: 1 }, 1 << 23);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: the entropy stack must be lossless for arbitrary
+//! symbol streams, and code length must track model entropy.
+
+use nvc_entropy::container::{read_sections, Section, SectionWriter};
+use nvc_entropy::{BitReader, BitWriter, Histogram, LaplaceModel, RangeDecoder, RangeEncoder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any symbol stream under any valid static histogram roundtrips.
+    #[test]
+    fn range_coder_roundtrips(
+        freqs in proptest::collection::vec(1u32..300, 2..24),
+        raw_symbols in proptest::collection::vec(0u32..1000, 0..600),
+    ) {
+        let model = Histogram::from_freqs(&freqs).unwrap();
+        let n = model.len() as u32;
+        let symbols: Vec<u32> = raw_symbols.iter().map(|s| s % n).collect();
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            enc.encode(&model.interval(s), model.total());
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for &expect in &symbols {
+            let f = dec.decode_freq(model.total());
+            let (s, iv) = model.lookup(f);
+            dec.decode_update(&iv, model.total());
+            prop_assert_eq!(s, expect);
+        }
+    }
+
+    /// Laplace-coded integer streams roundtrip, including clamped values.
+    #[test]
+    fn laplace_roundtrips(
+        b in 0.2f64..8.0,
+        max_sym in 4i32..64,
+        values in proptest::collection::vec(-200i32..200, 0..400),
+    ) {
+        let model = LaplaceModel::new(b, max_sym).unwrap();
+        let clamped: Vec<i32> = values.iter().map(|&v| model.clamp(v)).collect();
+        let mut enc = RangeEncoder::new();
+        for &v in &clamped {
+            enc.encode(&model.interval(v), model.total());
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for &expect in &clamped {
+            let f = dec.decode_freq(model.total());
+            let (v, iv) = model.lookup(f);
+            dec.decode_update(&iv, model.total());
+            prop_assert_eq!(v, expect);
+        }
+    }
+
+    /// Measured code length stays within a few percent of the model's
+    /// ideal entropy for long streams.
+    #[test]
+    fn code_length_tracks_entropy(seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let model = LaplaceModel::new(1.5, 32).unwrap();
+        // Sample from the model itself.
+        let total = model.total();
+        let mut ideal_bits = 0.0;
+        let mut enc = RangeEncoder::new();
+        let n = 4000;
+        for _ in 0..n {
+            let f = rng.gen_range(0..total);
+            let (v, _) = model.lookup(f);
+            ideal_bits += model.expected_bits(v);
+            enc.encode(&model.interval(v), total);
+        }
+        let actual_bits = (enc.finish().len() * 8) as f64;
+        // Range coding overhead is bounded; allow 3% + flush slack.
+        prop_assert!(actual_bits <= ideal_bits * 1.03 + 64.0,
+            "actual {actual_bits} vs ideal {ideal_bits}");
+    }
+
+    /// Bit I/O with mixed fixed-width and Exp-Golomb fields roundtrips.
+    #[test]
+    fn bit_io_roundtrips(
+        fields in proptest::collection::vec((0u32..65536, 1u8..17), 0..100),
+        ue_vals in proptest::collection::vec(0u32..10_000, 0..100),
+        se_vals in proptest::collection::vec(-5000i32..5000, 0..100),
+    ) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v & ((1u32 << n) - 1), n);
+        }
+        for &v in &ue_vals {
+            w.write_ue(v);
+        }
+        for &v in &se_vals {
+            w.write_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & ((1u32 << n) - 1));
+        }
+        for &v in &ue_vals {
+            prop_assert_eq!(r.read_ue().unwrap(), v);
+        }
+        for &v in &se_vals {
+            prop_assert_eq!(r.read_se().unwrap(), v);
+        }
+    }
+
+    /// Containers with arbitrary payloads roundtrip in order.
+    #[test]
+    fn container_roundtrips(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 0..10),
+    ) {
+        let tags = [Section::Motion, Section::Residual, Section::SideInfo, Section::Intra];
+        let mut w = SectionWriter::new();
+        for (i, p) in payloads.iter().enumerate() {
+            w.push(tags[i % 4], p.clone());
+        }
+        let bytes = w.finish();
+        let sections = read_sections(&bytes).unwrap();
+        prop_assert_eq!(sections.len(), payloads.len());
+        for (i, (tag, payload)) in sections.iter().enumerate() {
+            prop_assert_eq!(*tag, tags[i % 4]);
+            prop_assert_eq!(payload, &payloads[i]);
+        }
+    }
+}

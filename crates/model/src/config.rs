@@ -1,0 +1,197 @@
+use std::fmt;
+
+/// Numeric precision of the deployed network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 32-bit floating point (the paper's "CTVC-Net (FP)").
+    Fp32,
+    /// Fixed point: 16-bit weights, 12-bit activations (the paper's
+    /// deployment precision, Table II "FXP 12-16").
+    Fxp,
+}
+
+/// Rate point selecting the latent quantization step. Index 0 is the
+/// coarsest (lowest rate); each step halves the quantizer step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatePoint(u8);
+
+impl RatePoint {
+    /// Creates a rate point; indices `0..=5` are meaningful.
+    pub fn new(index: u8) -> Self {
+        RatePoint(index.min(5))
+    }
+
+    /// The rate index.
+    pub fn index(&self) -> u8 {
+        self.0
+    }
+
+    /// Latent quantizer step for this rate point.
+    pub fn latent_step(&self) -> f32 {
+        0.08 * 0.5_f32.powi(self.0 as i32)
+    }
+
+    /// Quantizer step for intra-coded features (somewhat finer than inter
+    /// latents, since the first frame anchors the whole GOP).
+    pub fn intra_step(&self) -> f32 {
+        self.latent_step() * 0.5
+    }
+
+    /// The standard four-point sweep used by the RD experiments.
+    pub fn sweep() -> [RatePoint; 4] {
+        [RatePoint(0), RatePoint(1), RatePoint(2), RatePoint(3)]
+    }
+}
+
+impl fmt::Display for RatePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Full configuration of a CTVC-Net instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtvcConfig {
+    /// Human-readable variant name for reports.
+    pub name: &'static str,
+    /// Base channel count `N` (paper: 36). Must be even and ≥ 6.
+    pub n: usize,
+    /// Enables the Swin-AM adaptive quantization gain.
+    pub attention: bool,
+    /// Enables deformable (sub-pel warped) compensation; when off,
+    /// compensation degrades to full-pel block copy (DVC-like).
+    pub deformable: bool,
+    /// Half-pel motion estimation.
+    pub half_pel_motion: bool,
+    /// Motion-estimation block size in feature-grid pixels.
+    pub me_block: usize,
+    /// Motion search range in feature-grid pixels.
+    pub me_range: i32,
+    /// Numeric precision.
+    pub precision: Precision,
+    /// Transform-domain sparsity ρ (None = dense execution).
+    pub sparsity: Option<f64>,
+    /// Seed for all procedurally generated weights.
+    pub seed: u64,
+}
+
+impl CtvcConfig {
+    fn base(name: &'static str, n: usize) -> Self {
+        CtvcConfig {
+            name,
+            n,
+            attention: true,
+            deformable: true,
+            half_pel_motion: true,
+            me_block: 8,
+            me_range: 12,
+            precision: Precision::Fp32,
+            sparsity: None,
+            seed: 0xC7C7_2024,
+        }
+    }
+
+    /// Full-precision CTVC-Net (Table I "CTVC-Net (FP)").
+    pub fn ctvc_fp(n: usize) -> Self {
+        Self::base("CTVC-Net(FP)", n)
+    }
+
+    /// Fixed-point CTVC-Net (Table I "CTVC-Net (FXP)").
+    pub fn ctvc_fxp(n: usize) -> Self {
+        CtvcConfig { name: "CTVC-Net(FXP)", precision: Precision::Fxp, ..Self::base("", n) }
+    }
+
+    /// Sparse fixed-point CTVC-Net at ρ = 50 % (Table I "CTVC-Net
+    /// (Sparse)") — the configuration NVCA executes.
+    pub fn ctvc_sparse(n: usize) -> Self {
+        CtvcConfig {
+            name: "CTVC-Net(Sparse)",
+            precision: Precision::Fxp,
+            sparsity: Some(0.5),
+            ..Self::base("", n)
+        }
+    }
+
+    /// FVC-like ablation: feature-space coding without attention.
+    pub fn fvc_like(n: usize) -> Self {
+        CtvcConfig { name: "FVC-like", attention: false, ..Self::base("", n) }
+    }
+
+    /// DVC-like ablation: no attention, no deformable warp, full-pel
+    /// motion on coarse blocks — the first-generation learned-codec
+    /// baseline.
+    pub fn dvc_like(n: usize) -> Self {
+        CtvcConfig {
+            name: "DVC-like",
+            attention: false,
+            deformable: false,
+            half_pel_motion: false,
+            me_block: 16,
+            me_range: 8,
+            ..Self::base("", n)
+        }
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 6 || self.n % 2 != 0 {
+            return Err(format!("N must be even and >= 6, got {}", self.n));
+        }
+        if self.me_block == 0 || self.me_range <= 0 {
+            return Err("motion parameters must be positive".into());
+        }
+        if let Some(rho) = self.sparsity {
+            if !(0.0..1.0).contains(&rho) {
+                return Err(format!("sparsity {rho} outside [0, 1)"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_points_are_monotone() {
+        let steps: Vec<f32> = RatePoint::sweep().iter().map(|r| r.latent_step()).collect();
+        for w in steps.windows(2) {
+            assert!(w[0] > w[1], "steps must shrink: {w:?}");
+        }
+        assert!(RatePoint::new(9).index() <= 5);
+        assert!(RatePoint::new(1).intra_step() < RatePoint::new(1).latent_step());
+    }
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            CtvcConfig::ctvc_fp(36),
+            CtvcConfig::ctvc_fxp(36),
+            CtvcConfig::ctvc_sparse(36),
+            CtvcConfig::fvc_like(12),
+            CtvcConfig::dvc_like(12),
+        ] {
+            assert!(cfg.validate().is_ok(), "{}", cfg.name);
+        }
+        assert!(CtvcConfig::ctvc_fp(5).validate().is_err());
+        assert!(CtvcConfig::ctvc_fp(7).validate().is_err());
+        let mut bad = CtvcConfig::ctvc_fp(12);
+        bad.sparsity = Some(1.5);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn preset_flags_follow_the_ladder() {
+        assert!(CtvcConfig::ctvc_fp(36).attention);
+        assert!(!CtvcConfig::fvc_like(36).attention);
+        let dvc = CtvcConfig::dvc_like(36);
+        assert!(!dvc.attention && !dvc.deformable && !dvc.half_pel_motion);
+        assert_eq!(CtvcConfig::ctvc_sparse(36).sparsity, Some(0.5));
+        assert_eq!(CtvcConfig::ctvc_sparse(36).precision, Precision::Fxp);
+    }
+}

@@ -1,0 +1,363 @@
+//! Decoder layer-graph export: the workload description the NVCA hardware
+//! simulator consumes.
+//!
+//! [`decoder_graph`] enumerates every layer the CTVC-Net *decoder* runs
+//! per P frame — exactly the five modules of the paper's Fig. 9(b):
+//! feature extraction (of the previous decoded frame), motion synthesis,
+//! deformable compensation, residual synthesis and frame reconstruction —
+//! with concrete shapes for a given output resolution.
+
+use crate::config::CtvcConfig;
+
+/// Operator class of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// Standard convolution (kernel, stride).
+    Conv {
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Transposed convolution (kernel, stride).
+    DeConv {
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Deformable convolution (kernel, groups).
+    DfConv {
+        /// Kernel size.
+        k: usize,
+        /// Deformable groups.
+        groups: usize,
+    },
+    /// Windowed self-attention (window, heads).
+    SwinAttention {
+        /// Window size.
+        window: usize,
+        /// Head count.
+        heads: usize,
+    },
+    /// Max pooling.
+    Pool {
+        /// Window/stride.
+        k: usize,
+    },
+}
+
+/// One decoder layer with concrete shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerDesc {
+    /// Module the layer belongs to (Fig. 9(b) granularity).
+    pub module: &'static str,
+    /// Layer name within the module.
+    pub name: String,
+    /// Operator class.
+    pub kind: LayerKind,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Input height.
+    pub h_in: usize,
+    /// Input width.
+    pub w_in: usize,
+    /// Output height.
+    pub h_out: usize,
+    /// Output width.
+    pub w_out: usize,
+}
+
+impl LayerDesc {
+    /// Multiply–accumulate count of the layer.
+    pub fn macs(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv { k, .. } => {
+                (self.c_in * self.c_out * k * k) as u64 * (self.h_out * self.w_out) as u64
+            }
+            LayerKind::DeConv { k, .. } => {
+                (self.c_in * self.c_out * k * k) as u64 * (self.h_in * self.w_in) as u64
+            }
+            LayerKind::DfConv { k, .. } => {
+                (self.c_in * self.c_out * k * k) as u64 * (self.h_out * self.w_out) as u64
+            }
+            LayerKind::SwinAttention { window, heads } => {
+                let t = (window * window) as u64;
+                let c = self.c_in as u64;
+                let d = c / heads as u64;
+                let windows =
+                    (self.h_in.div_ceil(window) * self.w_in.div_ceil(window)) as u64;
+                windows * (2 * t * c * c + heads as u64 * 2 * t * t * d)
+            }
+            LayerKind::Pool { k } => (self.h_out * self.w_out * self.c_out * k * k) as u64,
+        }
+    }
+
+    /// Whether the SFTC can execute this layer through a fast transform:
+    /// `Some("winograd")` for 3×3/s1 convs, `Some("fta")` for 4×4/s2
+    /// deconvs, `None` otherwise (DCC or scalar fallback).
+    pub fn fast_algorithm(&self) -> Option<&'static str> {
+        match self.kind {
+            LayerKind::Conv { k: 3, stride: 1 } => Some("winograd"),
+            LayerKind::DeConv { k: 4, stride: 2 } => Some("fta"),
+            _ => None,
+        }
+    }
+
+    /// Input activation volume in elements.
+    pub fn input_elems(&self) -> u64 {
+        (self.c_in * self.h_in * self.w_in) as u64
+    }
+
+    /// Output activation volume in elements.
+    pub fn output_elems(&self) -> u64 {
+        (self.c_out * self.h_out * self.w_out) as u64
+    }
+
+    /// Weight volume in elements.
+    pub fn weight_elems(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv { k, .. } | LayerKind::DeConv { k, .. } | LayerKind::DfConv { k, .. } => {
+                (self.c_in * self.c_out * k * k) as u64
+            }
+            LayerKind::SwinAttention { .. } => (2 * self.c_in * self.c_in) as u64,
+            LayerKind::Pool { .. } => 0,
+        }
+    }
+}
+
+fn conv(
+    module: &'static str,
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+) -> LayerDesc {
+    LayerDesc {
+        module,
+        name: name.to_string(),
+        kind: LayerKind::Conv { k, stride },
+        c_in,
+        c_out,
+        h_in: h,
+        w_in: w,
+        h_out: h / stride,
+        w_out: w / stride,
+    }
+}
+
+fn deconv(
+    module: &'static str,
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+    h: usize,
+    w: usize,
+) -> LayerDesc {
+    LayerDesc {
+        module,
+        name: name.to_string(),
+        kind: LayerKind::DeConv { k: 4, stride: 2 },
+        c_in,
+        c_out,
+        h_in: h,
+        w_in: w,
+        h_out: h * 2,
+        w_out: w * 2,
+    }
+}
+
+fn resblock(
+    out: &mut Vec<LayerDesc>,
+    module: &'static str,
+    prefix: &str,
+    c: usize,
+    h: usize,
+    w: usize,
+) {
+    out.push(conv(module, &format!("{prefix}.conv1"), c, c, h, w, 3, 1));
+    out.push(conv(module, &format!("{prefix}.conv2"), c, c, h, w, 3, 1));
+}
+
+fn synthesis(out: &mut Vec<LayerDesc>, module: &'static str, n: usize, h16: usize, w16: usize) {
+    let mut h = h16;
+    let mut w = w16;
+    for stage in 0..3 {
+        resblock(out, module, &format!("stage{stage}.res"), n, h, w);
+        out.push(deconv(module, &format!("stage{stage}.up"), n, n, h, w));
+        h *= 2;
+        w *= 2;
+    }
+}
+
+fn swin_am_mask(
+    out: &mut Vec<LayerDesc>,
+    module: &'static str,
+    c2: usize,
+    h: usize,
+    w: usize,
+) {
+    out.push(LayerDesc {
+        module,
+        name: "swin_am.attn".to_string(),
+        kind: LayerKind::SwinAttention { window: 3, heads: 2 },
+        c_in: c2,
+        c_out: c2,
+        h_in: h,
+        w_in: w,
+        h_out: h,
+        w_out: w,
+    });
+    resblock(out, module, "swin_am.res", c2, h, w);
+    out.push(conv(module, "swin_am.mask", c2, c2, h, w, 1, 1));
+}
+
+/// Enumerates the decoder layer graph for one P frame at output
+/// resolution `w × h` (must be multiples of 16).
+///
+/// # Panics
+///
+/// Panics if `h` or `w` is not a positive multiple of 16.
+pub fn decoder_graph(cfg: &CtvcConfig, h: usize, w: usize) -> Vec<LayerDesc> {
+    assert!(h > 0 && w > 0 && h % 16 == 0 && w % 16 == 0, "resolution must be a multiple of 16");
+    let n = cfg.n;
+    let (h2, w2) = (h / 2, w / 2);
+    let (h16, w16) = (h / 16, w / 16);
+    let mut g = Vec::new();
+
+    // 1. Feature extraction of the previous decoded frame (Fig. 2a).
+    g.push(conv("feature_extraction", "conv1", 3, n, h, w, 3, 1));
+    g.push(LayerDesc {
+        module: "feature_extraction",
+        name: "maxpool".to_string(),
+        kind: LayerKind::Pool { k: 2 },
+        c_in: n,
+        c_out: n,
+        h_in: h,
+        w_in: w,
+        h_out: h2,
+        w_out: w2,
+    });
+    resblock(&mut g, "feature_extraction", "res", n, h2, w2);
+
+    // 2. Motion synthesis (Fig. 2e right) + decoder-side Swin-AM mask.
+    if cfg.attention {
+        swin_am_mask(&mut g, "motion_synthesis", 2 * n, h16, w16);
+    }
+    synthesis(&mut g, "motion_synthesis", n, h16, w16);
+
+    // 3. Deformable compensation (Fig. 2d).
+    g.push(conv("deformable_compensation", "offset", n, 36, h2, w2, 3, 1));
+    g.push(LayerDesc {
+        module: "deformable_compensation",
+        name: "dfconv".to_string(),
+        kind: LayerKind::DfConv { k: 3, groups: 2 },
+        c_in: n,
+        c_out: n,
+        h_in: h2,
+        w_in: w2,
+        h_out: h2,
+        w_out: w2,
+    });
+    g.push(conv("deformable_compensation", "refine1", n, n, h2, w2, 3, 1));
+    g.push(conv("deformable_compensation", "refine2", n, n, h2, w2, 3, 1));
+
+    // 4. Residual synthesis.
+    if cfg.attention {
+        swin_am_mask(&mut g, "residual_synthesis", 2 * n, h16, w16);
+    }
+    synthesis(&mut g, "residual_synthesis", n, h16, w16);
+
+    // 5. Frame reconstruction (Fig. 2b).
+    resblock(&mut g, "frame_reconstruction", "res", n, h2, w2);
+    g.push(deconv("frame_reconstruction", "up", n, 3, h2, w2));
+
+    g
+}
+
+/// The five decoder module names in execution order (Fig. 9(b) x-axis).
+pub const DECODER_MODULES: [&str; 5] = [
+    "feature_extraction",
+    "motion_synthesis",
+    "deformable_compensation",
+    "residual_synthesis",
+    "frame_reconstruction",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_covers_all_modules() {
+        let cfg = CtvcConfig::ctvc_sparse(36);
+        let g = decoder_graph(&cfg, 1088, 1920);
+        for m in DECODER_MODULES {
+            assert!(g.iter().any(|l| l.module == m), "missing module {m}");
+        }
+        // All shapes are internally consistent.
+        for l in &g {
+            assert!(l.macs() > 0, "{}.{} has zero MACs", l.module, l.name);
+            assert!(l.h_out > 0 && l.w_out > 0);
+        }
+    }
+
+    #[test]
+    fn fast_algorithm_classification() {
+        let cfg = CtvcConfig::ctvc_sparse(36);
+        let g = decoder_graph(&cfg, 64, 64);
+        let wino = g.iter().filter(|l| l.fast_algorithm() == Some("winograd")).count();
+        let fta = g.iter().filter(|l| l.fast_algorithm() == Some("fta")).count();
+        assert!(wino >= 10, "expected many Winograd-eligible convs, got {wino}");
+        // 3 deconv stages per synthesis × 2 + frame reconstruction = 7.
+        assert_eq!(fta, 7);
+        // Pool / DfConv / attention are not fast-transformable.
+        for l in &g {
+            if matches!(l.kind, LayerKind::DfConv { .. } | LayerKind::Pool { .. }) {
+                assert_eq!(l.fast_algorithm(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn macs_scale_with_resolution() {
+        let cfg = CtvcConfig::ctvc_fp(36);
+        let small: u64 = decoder_graph(&cfg, 64, 64).iter().map(|l| l.macs()).sum();
+        let large: u64 = decoder_graph(&cfg, 128, 128).iter().map(|l| l.macs()).sum();
+        let ratio = large as f64 / small as f64;
+        assert!((3.0..5.0).contains(&ratio), "expected ~4x, got {ratio}");
+    }
+
+    #[test]
+    fn attention_adds_decoder_layers() {
+        let with = decoder_graph(&CtvcConfig::ctvc_fp(36), 64, 64).len();
+        let without = decoder_graph(&CtvcConfig::fvc_like(36), 64, 64).len();
+        assert!(with > without);
+    }
+
+    #[test]
+    fn total_macs_at_1080p_are_plausible() {
+        // The decoder at 1080p should land in the tens of GMACs — the
+        // workload class the paper's 3.5 TOPS accelerator sustains at
+        // 25 fps.
+        let cfg = CtvcConfig::ctvc_sparse(36);
+        let total: u64 = decoder_graph(&cfg, 1088, 1920).iter().map(|l| l.macs()).sum();
+        let gmacs = total as f64 / 1e9;
+        assert!(
+            (5.0..200.0).contains(&gmacs),
+            "decoder workload {gmacs:.1} GMAC outside plausible range"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_bad_resolution() {
+        let _ = decoder_graph(&CtvcConfig::ctvc_fp(36), 100, 64);
+    }
+}

@@ -1,0 +1,658 @@
+//! Composite layers: numeric context, fast/direct operator wrappers,
+//! residual blocks and the Swin attention machinery.
+
+use crate::config::Precision;
+use nvc_fastalg::{FastConv2d, FastDeConv2d, Sparsity};
+use nvc_quant::{fake_quantize_dynamic, QFormat};
+use nvc_tensor::mat::Mat;
+use nvc_tensor::ops::{relu, Conv2d, DeConv2d, Linear};
+use nvc_tensor::{Shape, Tensor, TensorError};
+
+/// Numeric execution context: applies the configured activation
+/// quantization after every operator (FXP12 in the paper's deployment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericCtx {
+    act_bits: Option<u32>,
+}
+
+impl NumericCtx {
+    /// Context for a precision setting.
+    pub fn new(precision: Precision) -> Self {
+        NumericCtx {
+            act_bits: match precision {
+                Precision::Fp32 => None,
+                Precision::Fxp => Some(12),
+            },
+        }
+    }
+
+    /// Quantizes activations if the context is fixed-point.
+    pub fn actq(&self, t: Tensor) -> Tensor {
+        match self.act_bits {
+            None => t,
+            Some(bits) => fake_quantize_dynamic(&t, bits)
+                .map(|(q, _)| q)
+                .unwrap_or(t),
+        }
+    }
+}
+
+/// Quantizes an operator's weights in place for FXP deployment.
+pub fn quantize_conv_weights(conv: &mut Conv2d, precision: Precision) {
+    if precision == Precision::Fxp {
+        let fmt = QFormat::weights16();
+        for w in conv.weight_mut() {
+            *w = fmt.roundtrip(*w);
+        }
+    }
+}
+
+/// Quantizes a deconvolution's weights in place for FXP deployment.
+pub fn quantize_deconv_weights(deconv: &mut DeConv2d, precision: Precision) {
+    if precision == Precision::Fxp {
+        let fmt = QFormat::weights16();
+        for w in deconv.weight_mut() {
+            *w = fmt.roundtrip(*w);
+        }
+    }
+}
+
+/// A 3×3 stride-1 convolution that executes either directly or through the
+/// (optionally pruned) Winograd pipeline — the software switch mirroring
+/// the SFTC's reconfigurability.
+#[derive(Debug, Clone)]
+pub enum ConvOp {
+    /// Direct execution.
+    Direct(Conv2d),
+    /// Winograd transform-domain execution (dense or pruned).
+    Fast(FastConv2d),
+}
+
+impl ConvOp {
+    /// Builds the operator: FXP weight quantization first, then (for
+    /// eligible 3×3/s1/p1 convolutions with sparsity requested) the fast
+    /// pruned path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the fast path.
+    pub fn build(
+        mut conv: Conv2d,
+        precision: Precision,
+        sparsity: Option<f64>,
+    ) -> Result<Self, TensorError> {
+        quantize_conv_weights(&mut conv, precision);
+        match sparsity {
+            Some(rho)
+                if conv.kernel() == 3 && conv.stride() == 1 && conv.padding() == 1 =>
+            {
+                Ok(ConvOp::Fast(FastConv2d::from_conv_pruned(&conv, Sparsity::new(rho)?)?))
+            }
+            _ => Ok(ConvOp::Direct(conv)),
+        }
+    }
+
+    /// Runs the convolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        match self {
+            ConvOp::Direct(c) => c.forward(x),
+            ConvOp::Fast(c) => c.forward(x),
+        }
+    }
+
+}
+
+/// A 4×4 stride-2 deconvolution executing directly or through the FTA
+/// pipeline.
+#[derive(Debug, Clone)]
+pub enum DeconvOp {
+    /// Direct execution.
+    Direct(DeConv2d),
+    /// FTA transform-domain execution (dense or pruned).
+    Fast(FastDeConv2d),
+}
+
+impl DeconvOp {
+    /// Builds the operator (see [`ConvOp::build`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the fast path.
+    pub fn build(
+        mut deconv: DeConv2d,
+        precision: Precision,
+        sparsity: Option<f64>,
+    ) -> Result<Self, TensorError> {
+        quantize_deconv_weights(&mut deconv, precision);
+        match sparsity {
+            Some(rho)
+                if deconv.kernel() == 4 && deconv.stride() == 2 && deconv.padding() == 1 =>
+            {
+                Ok(DeconvOp::Fast(FastDeConv2d::from_deconv_pruned(
+                    &deconv,
+                    Sparsity::new(rho)?,
+                )?))
+            }
+            _ => Ok(DeconvOp::Direct(deconv)),
+        }
+    }
+
+    /// Runs the deconvolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        match self {
+            DeconvOp::Direct(d) => d.forward(x),
+            DeconvOp::Fast(d) => d.forward(x),
+        }
+    }
+}
+
+/// Residual block (paper Fig. 2f): `x + Conv(ReLU(Conv(ReLU(x))))`.
+#[derive(Debug, Clone)]
+pub struct ResBlock {
+    conv1: ConvOp,
+    conv2: ConvOp,
+    ctx: NumericCtx,
+}
+
+impl ResBlock {
+    /// Builds a residual block from two convolutions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator construction errors.
+    pub fn new(
+        conv1: Conv2d,
+        conv2: Conv2d,
+        precision: Precision,
+        sparsity: Option<f64>,
+    ) -> Result<Self, TensorError> {
+        Ok(ResBlock {
+            conv1: ConvOp::build(conv1, precision, sparsity)?,
+            conv2: ConvOp::build(conv2, precision, sparsity)?,
+            ctx: NumericCtx::new(precision),
+        })
+    }
+
+    /// Near-identity block with seeded perturbations, the analytic stand-in
+    /// for a trained refinement block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator construction errors.
+    pub fn near_identity(
+        c: usize,
+        precision: Precision,
+        sparsity: Option<f64>,
+        seed: u64,
+    ) -> Result<Self, TensorError> {
+        // Perturbation scale trades "the block does something" against
+        // the codec's reconstruction ceiling; these blocks sit in the
+        // critical signal path of every frame.
+        let conv1 = crate::weights::near_identity_conv(c, 0.001, seed)?;
+        let conv2 = crate::weights::small_random_conv(c, c, 0.001, seed ^ 0x5a5a)?;
+        ResBlock::new(conv1, conv2, precision, sparsity)
+    }
+
+    /// Runs the block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let a = self.ctx.actq(self.conv1.forward(&relu(x))?);
+        let b = self.ctx.actq(self.conv2.forward(&relu(&a))?);
+        x.add(&b)
+    }
+}
+
+/// Shift-window multi-head self-attention (SwinAtten of paper Fig. 3b).
+///
+/// The `V` and output projections are identity so channel pairing survives
+/// the attention (see crate docs); `Q`/`K` are seeded random projections
+/// that shape the window attention pattern.
+#[derive(Debug, Clone)]
+pub struct SwinAttention {
+    c: usize,
+    window: usize,
+    shift: usize,
+    heads: usize,
+    wq: Linear,
+    wk: Linear,
+}
+
+impl SwinAttention {
+    /// Creates the attention with `c` channels, window size `window`,
+    /// cyclic shift `shift` and `heads` heads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `heads` divides `c` and `shift < window`.
+    pub fn new(c: usize, window: usize, shift: usize, heads: usize, seed: u64) -> Result<Self, TensorError> {
+        if heads == 0 || c % heads != 0 {
+            return Err(TensorError::invalid(format!("heads {heads} must divide channels {c}")));
+        }
+        if window == 0 || shift >= window {
+            return Err(TensorError::invalid(format!(
+                "shift {shift} must be < window {window}"
+            )));
+        }
+        let scale = (1.0 / (c as f32)).sqrt();
+        // Rows r and r + c/2 of the Q/K projections are identical, so the
+        // per-head attention scores agree across heads and the ±channel
+        // pairing of the Swin-AM input survives attention exactly.
+        let head_sym = |seed: u64| -> Result<Mat, TensorError> {
+            let half = c / 2;
+            let base = nvc_tensor::init::randn_vec(half.max(1) * c, scale, seed);
+            let mut data = vec![0.0_f32; c * c];
+            for r in 0..c {
+                let src = r % half.max(1);
+                data[r * c..(r + 1) * c].copy_from_slice(&base[src * c..(src + 1) * c]);
+            }
+            Mat::from_vec(c, c, data)
+        };
+        let wq = Linear::new(head_sym(seed)?, vec![0.0; c])?;
+        let wk = Linear::new(head_sym(seed ^ 0x1234)?, vec![0.0; c])?;
+        Ok(SwinAttention { c, window, shift, heads, wq, wk })
+    }
+
+    /// Window size `R`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Cyclic shift `Shf`.
+    pub fn shift(&self) -> usize {
+        self.shift
+    }
+
+    /// Head count `P`.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Runs windowed attention; output shape equals input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the channel count differs from construction.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let (n, c, h, w) = x.shape().dims();
+        if c != self.c {
+            return Err(TensorError::incompatible(format!(
+                "attention expects {} channels, got {c}",
+                self.c
+            )));
+        }
+        let r = self.window;
+        // Pad to window multiples.
+        let ph = h.div_ceil(r) * r;
+        let pw = w.div_ceil(r) * r;
+        let padded = x.pad_to(ph, pw)?;
+        // Cyclic shift.
+        let shifted = roll(&padded, self.shift as isize, self.shift as isize);
+        let mut out = Tensor::zeros(shifted.shape());
+
+        let d = self.c / self.heads;
+        let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+
+        for nn in 0..n {
+            for wy in (0..ph).step_by(r) {
+                for wx in (0..pw).step_by(r) {
+                    // Gather window tokens: r² × c.
+                    let mut tokens = Mat::zeros(r * r, self.c);
+                    for ty in 0..r {
+                        for tx in 0..r {
+                            for ch in 0..self.c {
+                                *tokens.at_mut(ty * r + tx, ch) =
+                                    shifted.at(nn, ch, wy + ty, wx + tx);
+                            }
+                        }
+                    }
+                    let q = self.wq.forward(&tokens)?;
+                    let k = self.wk.forward(&tokens)?;
+                    // Per-head attention; V = identity(tokens).
+                    let mut result = Mat::zeros(r * r, self.c);
+                    for head in 0..self.heads {
+                        let c0 = head * d;
+                        // scores = Qh Khᵀ / √d.
+                        let mut scores = Mat::zeros(r * r, r * r);
+                        for i in 0..r * r {
+                            for j in 0..r * r {
+                                let mut acc = 0.0;
+                                for ch in c0..c0 + d {
+                                    acc += q.at(i, ch) * k.at(j, ch);
+                                }
+                                *scores.at_mut(i, j) = acc * inv_sqrt_d;
+                            }
+                        }
+                        let attn = scores.softmax_rows();
+                        for i in 0..r * r {
+                            for ch in c0..c0 + d {
+                                let mut acc = 0.0;
+                                for j in 0..r * r {
+                                    acc += attn.at(i, j) * tokens.at(j, ch);
+                                }
+                                *result.at_mut(i, ch) = acc;
+                            }
+                        }
+                    }
+                    for ty in 0..r {
+                        for tx in 0..r {
+                            for ch in 0..self.c {
+                                *out.at_mut(nn, ch, wy + ty, wx + tx) =
+                                    result.at(ty * r + tx, ch);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Unshift and crop.
+        let unshifted = roll(&out, -(self.shift as isize), -(self.shift as isize));
+        unshifted.crop(h, w)
+    }
+
+    /// Multiply–accumulate count for an `h × w` input (projections +
+    /// attention matrix + aggregation).
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let r = self.window;
+        let ph = h.div_ceil(r) * r;
+        let pw = w.div_ceil(r) * r;
+        let windows = (ph / r) * (pw / r);
+        let t = (r * r) as u64;
+        let c = self.c as u64;
+        let d = (self.c / self.heads) as u64;
+        // Q,K projections + P·(T²·d scores + T²·d aggregation).
+        windows as u64 * (2 * t * c * c + self.heads as u64 * (2 * t * t * d))
+    }
+}
+
+/// Cyclic roll of the spatial dimensions by `(dy, dx)` (negative = down/right).
+fn roll(t: &Tensor, dy: isize, dx: isize) -> Tensor {
+    let (n, c, h, w) = t.shape().dims();
+    Tensor::from_fn(Shape::new(n, c, h, w), |nn, ch, y, x| {
+        let sy = (y as isize + dy).rem_euclid(h as isize) as usize;
+        let sx = (x as isize + dx).rem_euclid(w as isize) as usize;
+        t.at(nn, ch, sy, sx)
+    })
+}
+
+/// Swin-Transformer-based Attention Module (paper Fig. 3a).
+///
+/// Branch 1: SwinAtten → ResBlock → Conv(2N,1,1) → Sigmoid produces the
+/// spatial-channel mask. Branch 2: stacked ResBlocks. Branch 3: identity.
+/// `forward` composes them (`x + mask ⊙ branch2(x)`); `mask` exposes the
+/// attention mask alone, which the codec uses as its backward-adaptive
+/// quantization gain (see crate docs).
+#[derive(Debug, Clone)]
+pub struct SwinAm {
+    attn: SwinAttention,
+    // Branch-1 ResBlock is built for |·| extraction over (z, −z) pairs.
+    abs_conv1: ConvOp,
+    abs_conv2: ConvOp,
+    mask_conv: Conv2d,
+    branch2: Vec<ResBlock>,
+    ctx: NumericCtx,
+    half: usize,
+}
+
+impl SwinAm {
+    /// Creates a Swin-AM over `c` channels (must be even: the module pairs
+    /// channel `j` with `j + c/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `c` is odd or attention parameters are invalid.
+    pub fn new(
+        c: usize,
+        window: usize,
+        shift: usize,
+        heads: usize,
+        precision: Precision,
+        sparsity: Option<f64>,
+        seed: u64,
+    ) -> Result<Self, TensorError> {
+        if c % 2 != 0 {
+            return Err(TensorError::invalid("Swin-AM channel count must be even"));
+        }
+        let half = c / 2;
+        let attn = SwinAttention::new(c, window, shift, heads, seed)?;
+        // Branch-1 ResBlock: conv1 = identity passthrough, conv2 sums the
+        // (j, j+half) pair so that with paired ±input the ReLU'd halves
+        // combine to |u|.
+        let abs_conv1 = crate::weights::dirac_conv(c, c, |co| vec![(co, 1.0)])?;
+        let abs_conv2 = crate::weights::dirac_conv(c, c, move |co| {
+            let j = co % half;
+            vec![(j, 2.0), (j + half, 2.0)]
+        })?;
+        // Mask head: 1×1 conv reading the |·| features with a negative
+        // bias so flat regions map below 0.5.
+        let mut mask_conv = Conv2d::from_fn(c, c, 1, 1, 0, |co, ci, _, _| {
+            if co == ci {
+                1.2
+            } else {
+                0.0
+            }
+        })?;
+        for b in mask_conv.bias_mut() {
+            *b = -0.9;
+        }
+        let branch2 = (0..3)
+            .map(|i| ResBlock::near_identity(c, precision, sparsity, seed ^ (0xB2 + i as u64)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SwinAm {
+            attn,
+            abs_conv1: ConvOp::build(abs_conv1, precision, sparsity)?,
+            abs_conv2: ConvOp::build(abs_conv2, precision, sparsity)?,
+            mask_conv,
+            branch2,
+            ctx: NumericCtx::new(precision),
+            half,
+        })
+    }
+
+    /// The underlying attention.
+    pub fn attention(&self) -> &SwinAttention {
+        &self.attn
+    }
+
+    /// Computes the branch-1 attention mask in `(0, 1)`, same shape as the
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn mask(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let u = self.ctx.actq(self.attn.forward(x)?);
+        // ResBlock with |·| pairing: u + conv2(ReLU(conv1(ReLU(u)))).
+        let a = self.abs_conv1.forward(&relu(&u))?;
+        let b = self.abs_conv2.forward(&relu(&a))?;
+        let res = self.ctx.actq(u.add(&b)?);
+        let logits = self.mask_conv.forward(&res)?;
+        Ok(nvc_tensor::ops::sigmoid(&logits))
+    }
+
+    /// Full Swin-AM composition: `x + mask(x) ⊙ branch2(x)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let mask = self.mask(x)?;
+        let mut f2 = x.clone();
+        for rb in &self.branch2 {
+            f2 = self.ctx.actq(rb.forward(&f2)?);
+        }
+        // Branch-2 output enters as a *correction*; keep it residual-scaled
+        // so the analytic network stays near-identity.
+        let delta = f2.sub(x)?;
+        x.add(&mask.hadamard(&delta)?)
+    }
+
+    /// Pairs channel `j` with `j + c/2` (used by the codec to build the
+    /// ±latent input).
+    pub fn half(&self) -> usize {
+        self.half
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_fn(Shape::new(1, c, h, w), |_, ch, y, x| {
+            0.3 * ((y as f32 * 0.7 + x as f32 * 0.5 + ch as f32).sin())
+        })
+    }
+
+    #[test]
+    fn resblock_is_near_identity() {
+        let rb = ResBlock::near_identity(4, Precision::Fp32, None, 7).unwrap();
+        let x = smooth(4, 8, 8);
+        let y = rb.forward(&x).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        let rel = y.sub(&x).unwrap().max_abs() / x.max_abs();
+        assert!(rel < 0.3, "{rel}");
+        assert!(rel > 0.0, "block must not be a pure no-op");
+    }
+
+    #[test]
+    fn attention_preserves_shape_and_pairing() {
+        let c = 8;
+        let attn = SwinAttention::new(c, 3, 0, 2, 11).unwrap();
+        // Paired input: ch j+4 = -ch j.
+        let base = smooth(4, 7, 5);
+        let x = Tensor::from_fn(Shape::new(1, c, 7, 5), |_, ch, y, xx| {
+            let v = base.at(0, ch % 4, y, xx);
+            if ch < 4 {
+                v
+            } else {
+                -v
+            }
+        });
+        let y = attn.forward(&x).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        // Identity V preserves the ± pairing exactly.
+        for ch in 0..4 {
+            for yy in 0..7 {
+                for xx in 0..5 {
+                    let d = (y.at(0, ch, yy, xx) + y.at(0, ch + 4, yy, xx)).abs();
+                    assert!(d < 1e-4, "pairing broken at ({ch},{yy},{xx}): {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attention_output_is_window_convex_combination() {
+        // With softmax weights, each output is a convex combination of
+        // window inputs: bounded by window min/max. Use shift 0 and an
+        // exact multiple of the window so windows are clean.
+        let attn = SwinAttention::new(4, 3, 0, 2, 3).unwrap();
+        let x = smooth(4, 6, 6);
+        let y = attn.forward(&x).unwrap();
+        for ch in 0..4 {
+            for wy in (0..6).step_by(3) {
+                for wx in (0..6).step_by(3) {
+                    let mut lo = f32::INFINITY;
+                    let mut hi = f32::NEG_INFINITY;
+                    for ty in 0..3 {
+                        for tx in 0..3 {
+                            let v = x.at(0, ch, wy + ty, wx + tx);
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                    }
+                    for ty in 0..3 {
+                        for tx in 0..3 {
+                            let v = y.at(0, ch, wy + ty, wx + tx);
+                            assert!(
+                                v >= lo - 1e-4 && v <= hi + 1e-4,
+                                "({ch},{},{}) out of hull: {v} not in [{lo},{hi}]",
+                                wy + ty,
+                                wx + tx
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_attention_differs_from_unshifted() {
+        let a0 = SwinAttention::new(4, 3, 0, 2, 5).unwrap();
+        let a2 = SwinAttention::new(4, 3, 2, 2, 5).unwrap();
+        let x = smooth(4, 9, 9);
+        let y0 = a0.forward(&x).unwrap();
+        let y2 = a2.forward(&x).unwrap();
+        assert!(y0.sub(&y2).unwrap().max_abs() > 1e-4, "shift must change windows");
+    }
+
+    #[test]
+    fn swin_am_mask_tracks_activity() {
+        let am = SwinAm::new(8, 3, 0, 2, Precision::Fp32, None, 9).unwrap();
+        // Active region: strong ± pair in the left half, zeros right.
+        let x = Tensor::from_fn(Shape::new(1, 8, 6, 12), |_, ch, _, xx| {
+            let v = if xx < 6 { 0.8 } else { 0.0 };
+            match ch {
+                0..=3 => v,
+                _ => -v,
+            }
+        });
+        let mask = am.mask(&x).unwrap();
+        let mut active = 0.0;
+        let mut flat = 0.0;
+        for y in 0..6 {
+            for ch in 0..8 {
+                active += mask.at(0, ch, y, 1);
+                flat += mask.at(0, ch, y, 10);
+            }
+        }
+        assert!(
+            active > flat + 1.0,
+            "mask must be higher in active regions: {active} vs {flat}"
+        );
+        // Masks stay in (0, 1).
+        for v in mask.as_slice() {
+            assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn swin_am_forward_is_gentle() {
+        let am = SwinAm::new(8, 3, 2, 2, Precision::Fp32, None, 13).unwrap();
+        let x = smooth(8, 9, 9);
+        let y = am.forward(&x).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        let rel = y.sub(&x).unwrap().max_abs() / x.max_abs();
+        assert!(rel < 0.5, "Swin-AM must perturb, not destroy: {rel}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SwinAttention::new(8, 3, 3, 2, 0).is_err()); // shift >= window
+        assert!(SwinAttention::new(8, 3, 0, 3, 0).is_err()); // heads ∤ c
+        assert!(SwinAttention::new(8, 0, 0, 2, 0).is_err());
+        assert!(SwinAm::new(7, 3, 0, 1, Precision::Fp32, None, 0).is_err());
+    }
+
+    #[test]
+    fn fxp_context_quantizes() {
+        let ctx = NumericCtx::new(Precision::Fxp);
+        let x = smooth(2, 4, 4);
+        let q = ctx.actq(x.clone());
+        assert!(q.sub(&x).unwrap().max_abs() > 0.0);
+        let ctx_fp = NumericCtx::new(Precision::Fp32);
+        assert_eq!(ctx_fp.actq(x.clone()), x);
+    }
+}

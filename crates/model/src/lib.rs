@@ -1,0 +1,73 @@
+//! CTVC-Net — the CNN-Transformer hybrid neural video codec of the paper
+//! (§III), implemented as an inference-only network with analytically
+//! constructed weights.
+//!
+//! # Topology (faithful to paper Fig. 2/3)
+//!
+//! * **Feature extraction** (Fig. 2a): `Conv(N,3,1) → MaxPool(2) →
+//!   ResBlock(N,3)`, pixel domain → `N × H/2 × W/2` features.
+//! * **Frame reconstruction** (Fig. 2b): `ResBlock(N,3) → DeConv(3,4,2)`.
+//! * **Motion estimation** (Fig. 2c): `Conv(2N,3,1) → Conv(N,3,1)` over
+//!   concatenated features.
+//! * **Deformable compensation** (Fig. 2d): offset `Conv(N,3,1)` +
+//!   `DfConv(N,3,1,G=2)` + two refinement convs with a skip.
+//! * **Motion/residual compression** (Fig. 2e): analysis = three
+//!   `Conv(2N,3,2)` stages with ResBlocks and two **Swin-AM** attention
+//!   modules; synthesis = three `ResBlock + DeConv(N,4,2)` stages.
+//! * **ResBlock** (Fig. 2f): `x + Conv(ReLU(Conv(ReLU(x))))`.
+//!
+//! # Substitutions (recorded in `DESIGN.md`)
+//!
+//! With no training loop available, "learned" weights are replaced by
+//! analytic constructions that make the network a *working* codec:
+//! polyphase ±identity + blur kernels in feature extraction, bilinear
+//! synthesis kernels, anti-aliased pyramid kernels in the analysis
+//! transforms, Dirac warping kernels in the deformable compensation, and
+//! near-identity residual blocks. Motion is estimated functionally by
+//! hierarchical block matching (the paper's ME CNN runs as a compute
+//! shell). The Swin-AM attention modules drive a **backward-adaptive
+//! quantization gain**: the mask computed from the latent modulates the
+//! quantizer step, and the decoder reconstructs the same mask from the
+//! dequantized latent — the only functionally meaningful reading of an
+//! encoder-side attention mask under fixed weights.
+//!
+//! # Variants
+//!
+//! [`CtvcConfig`] presets give every row of the paper's Table I ladder:
+//! `ctvc_fp`, `ctvc_fxp` (FXP16 weights / FXP12 activations), and
+//! `ctvc_sparse` (50 % transform-domain pruning executed through the
+//! Winograd/FTA fast operators), plus `fvc_like` (no attention) and
+//! `dvc_like` (no attention, no deformable warp, full-pel motion).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
+//! use nvc_video::synthetic::{SceneConfig, Synthesizer};
+//!
+//! # fn main() -> Result<(), nvc_model::CtvcError> {
+//! let seq = Synthesizer::new(SceneConfig::uvg_like(64, 48, 3)).generate();
+//! let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(12))?;
+//! let coded = codec.encode(&seq, RatePoint::new(1))?;
+//! let decoded = codec.decode(&coded.bitstream)?;
+//! assert_eq!(decoded.frames().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod codec;
+mod config;
+pub mod graph;
+mod latent;
+mod layers;
+mod modules;
+mod motion;
+mod weights;
+
+pub use codec::{CtvcCodec, CtvcCoded, CtvcError};
+pub use config::{CtvcConfig, Precision, RatePoint};
+pub use graph::{decoder_graph, LayerDesc, LayerKind};
+pub use layers::{ResBlock, SwinAm, SwinAttention};

@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor and operator APIs in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A tensor was constructed from a buffer whose length does not match
+    /// the requested shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand, as `(n, c, h, w)`.
+        left: (usize, usize, usize, usize),
+        /// Shape of the right-hand operand, as `(n, c, h, w)`.
+        right: (usize, usize, usize, usize),
+    },
+    /// An operator received an input whose channel count (or another
+    /// structural property) is incompatible with its weights.
+    Incompatible {
+        /// Human-readable description of the incompatibility.
+        reason: String,
+    },
+    /// A parameter value is outside its legal range (zero stride, even
+    /// kernel where odd is required, and so on).
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::Incompatible`].
+    pub fn incompatible(reason: impl Into<String>) -> Self {
+        TensorError::Incompatible { reason: reason.into() }
+    }
+
+    /// Convenience constructor for [`TensorError::InvalidParameter`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        TensorError::InvalidParameter { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {left:?} vs {right:?}"
+            ),
+            TensorError::Incompatible { reason } => write!(f, "incompatible operands: {reason}"),
+            TensorError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::LengthMismatch { expected: 12, actual: 7 };
+        assert!(err.to_string().contains("12"));
+        assert!(err.to_string().contains("7"));
+        let err = TensorError::incompatible("channels 3 vs 4");
+        assert!(err.to_string().contains("channels 3 vs 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

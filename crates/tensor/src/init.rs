@@ -1,0 +1,129 @@
+//! Deterministic weight-initialisation helpers.
+//!
+//! The reproduction has no training loop, so every "learned" parameter in
+//! the repository is produced by one of these constructors with a fixed
+//! seed. Gaussian draws use [`rand::rngs::SmallRng`] seeded explicitly, so
+//! the whole experiment suite is bit-reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic Gaussian sampler based on the Box–Muller transform.
+///
+/// `rand` without `rand_distr` has no normal distribution; this tiny
+/// implementation keeps the dependency footprint at the sanctioned set.
+///
+/// # Example
+///
+/// ```
+/// use nvc_tensor::init::Gaussian;
+/// let mut g = Gaussian::new(42);
+/// let x = g.sample(0.0, 1.0);
+/// let y = g.sample(0.0, 1.0);
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    rng: SmallRng,
+    cached: Option<f32>,
+}
+
+impl Gaussian {
+    /// Creates a sampler from a seed.
+    pub fn new(seed: u64) -> Self {
+        Gaussian { rng: SmallRng::seed_from_u64(seed), cached: None }
+    }
+
+    /// Draws one sample from `N(mean, std²)`.
+    pub fn sample(&mut self, mean: f32, std: f32) -> f32 {
+        let z = if let Some(z) = self.cached.take() {
+            z
+        } else {
+            // Box–Muller: two uniforms in (0, 1] -> two independent normals.
+            let u1: f32 = 1.0 - self.rng.gen::<f32>();
+            let u2: f32 = self.rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            self.cached = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        mean + std * z
+    }
+
+    /// Fills a buffer with `N(0, std²)` samples.
+    pub fn fill(&mut self, buf: &mut [f32], std: f32) {
+        for v in buf {
+            *v = self.sample(0.0, std);
+        }
+    }
+}
+
+/// He/Kaiming-style standard deviation for a convolution with `fan_in`
+/// input connections (`cin * k * k`).
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+/// Generates a `len`-element Gaussian vector with the given seed and std.
+pub fn randn_vec(len: usize, std: f32, seed: u64) -> Vec<f32> {
+    let mut g = Gaussian::new(seed);
+    let mut v = vec![0.0; len];
+    g.fill(&mut v, std);
+    v
+}
+
+/// Row `u` of the orthonormal `k`-point DCT-II basis, evaluated at column
+/// `x`. Used to build analytic (perfect-reconstruction) filter banks for
+/// the codec's analysis/synthesis transforms.
+pub fn dct2_basis(k: usize, u: usize, x: usize) -> f32 {
+    let kf = k as f32;
+    let scale = if u == 0 { (1.0 / kf).sqrt() } else { (2.0 / kf).sqrt() };
+    scale * ((std::f32::consts::PI * (x as f32 + 0.5) * u as f32) / kf).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_is_deterministic_per_seed() {
+        let mut a = Gaussian::new(7);
+        let mut b = Gaussian::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.sample(0.0, 1.0), b.sample(0.0, 1.0));
+        }
+        let mut c = Gaussian::new(8);
+        let same: Vec<f32> = (0..8).map(|_| c.sample(0.0, 1.0)).collect();
+        let mut a2 = Gaussian::new(7);
+        let diff: Vec<f32> = (0..8).map(|_| a2.sample(0.0, 1.0)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let v = randn_vec(20_000, 1.0, 123);
+        let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let var: f64 =
+            v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn dct_basis_is_orthonormal() {
+        let k = 4;
+        for u in 0..k {
+            for v in 0..k {
+                let dot: f32 = (0..k).map(|x| dct2_basis(k, u, x) * dct2_basis(k, v, x)).sum();
+                let expect = if u == v { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-5, "u={u} v={v} dot={dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn he_std_shrinks_with_fan_in() {
+        assert!(he_std(9) > he_std(144));
+        assert!(he_std(0).is_finite());
+    }
+}

@@ -1,0 +1,261 @@
+//! Small dense row-major matrix type used by the attention blocks and by
+//! the fast-transform algebra.
+//!
+//! The Winograd/FTA transform matrices (`A`, `B`, `G` in Eq. (1) of the
+//! paper) and the per-window `Q/K/V` projections of the Swin attention
+//! module are all small dense matrices; [`Mat`] gives them an explicit type
+//! with checked multiplication rather than ad-hoc nested `Vec`s.
+
+use crate::TensorError;
+use std::fmt;
+
+/// Dense row-major `rows × cols` matrix of `f32`.
+///
+/// # Example
+///
+/// ```
+/// use nvc_tensor::mat::Mat;
+/// # fn main() -> Result<(), nvc_tensor::TensorError> {
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let i = Mat::identity(2);
+/// assert_eq!(a.matmul(&i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            *m.at_mut(i, i) = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Incompatible`] if rows have unequal lengths
+    /// or no rows are given.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self, TensorError> {
+        let r = rows.len();
+        let c = rows.first().map(|r| r.len()).ok_or_else(|| {
+            TensorError::incompatible("matrix must have at least one row")
+        })?;
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(TensorError::incompatible("ragged rows"));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Mat { rows: r, cols: c, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read-only flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range for {self}");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range for {self}");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Incompatible`] if the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat, TensorError> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::incompatible(format!(
+                "matmul {}x{} * {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Incompatible`] if the shapes differ.
+    pub fn hadamard(&self, rhs: &Mat) -> Result<Mat, TensorError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(TensorError::incompatible("hadamard shape mismatch"));
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a * b).collect();
+        Ok(Mat { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Softmax applied independently to each row (used by attention).
+    pub fn softmax_rows(&self) -> Mat {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference to another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, rhs: &Mat) -> f32 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .fold(0.0_f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mat{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        assert!(a.matmul(&Mat::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let a = Mat::from_rows(&[&[0.0, 1.0, 2.0], &[10.0, 10.0, 10.0]]).unwrap();
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!((s.at(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!(s.at(0, 2) > s.at(0, 0));
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Mat::from_rows(&[]).is_err());
+        let ragged: [&[f32]; 2] = [&[1.0], &[1.0, 2.0]];
+        assert!(Mat::from_rows(&ragged).is_err());
+        assert!(Mat::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Mat::from_rows(&[&[1.5, -2.0], &[0.25, 4.0]]).unwrap();
+        assert_eq!(Mat::identity(2).matmul(&a).unwrap(), a);
+        assert_eq!(a.matmul(&Mat::identity(2)).unwrap(), a);
+    }
+}

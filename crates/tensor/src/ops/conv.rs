@@ -1,0 +1,341 @@
+use crate::init::{he_std, Gaussian};
+use crate::{Shape, Tensor, TensorError};
+
+/// 2-D convolution with square kernel, symmetric zero padding and uniform
+/// stride — the workhorse of CTVC-Net (`Conv(N, k, s)` in paper Fig. 2).
+///
+/// Weight layout is `[c_out][c_in][k][k]` row-major; one bias per output
+/// channel.
+///
+/// # Example
+///
+/// ```
+/// use nvc_tensor::{Shape, Tensor, ops::Conv2d};
+/// # fn main() -> Result<(), nvc_tensor::TensorError> {
+/// // 3x3 box filter that preserves resolution.
+/// let conv = Conv2d::from_fn(1, 1, 3, 1, 1, |_, _, _, _| 1.0 / 9.0)?;
+/// let x = Tensor::filled(Shape::new(1, 1, 5, 5), 9.0);
+/// let y = conv.forward(&x)?;
+/// assert_eq!(y.at(0, 0, 2, 2), 9.0); // interior average of a constant
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    c_out: usize,
+    c_in: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution from explicit weights and biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer lengths do not match
+    /// `c_out * c_in * k * k` / `c_out`, or if `stride == 0` or `k == 0`.
+    pub fn new(
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, TensorError> {
+        if k == 0 || stride == 0 {
+            return Err(TensorError::invalid("kernel size and stride must be non-zero"));
+        }
+        if weight.len() != c_out * c_in * k * k {
+            return Err(TensorError::LengthMismatch {
+                expected: c_out * c_in * k * k,
+                actual: weight.len(),
+            });
+        }
+        if bias.len() != c_out {
+            return Err(TensorError::LengthMismatch { expected: c_out, actual: bias.len() });
+        }
+        Ok(Conv2d { weight, bias, c_out, c_in, k, stride, padding })
+    }
+
+    /// Creates a convolution with He-initialised Gaussian weights and zero
+    /// biases, deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `stride == 0` or `k == 0`.
+    pub fn randn(
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Result<Self, TensorError> {
+        let mut g = Gaussian::new(seed);
+        let mut weight = vec![0.0; c_out * c_in * k * k];
+        g.fill(&mut weight, he_std(c_in * k * k));
+        Conv2d::new(weight, vec![0.0; c_out], c_out, c_in, k, stride, padding)
+    }
+
+    /// Creates a convolution whose weight at `(c_out, c_in, kh, kw)` is
+    /// produced by `f`, with zero biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `stride == 0` or `k == 0`.
+    pub fn from_fn(
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Result<Self, TensorError> {
+        let mut weight = Vec::with_capacity(c_out * c_in * k * k);
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                for kh in 0..k {
+                    for kw in 0..k {
+                        weight.push(f(co, ci, kh, kw));
+                    }
+                }
+            }
+        }
+        Conv2d::new(weight, vec![0.0; c_out], c_out, c_in, k, stride, padding)
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding applied on each spatial border.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Read-only weight buffer, `[c_out][c_in][k][k]` row-major.
+    pub fn weight(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Mutable weight buffer (used by the pruning pass).
+    pub fn weight_mut(&mut self) -> &mut [f32] {
+        &mut self.weight
+    }
+
+    /// Read-only bias buffer.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias buffer.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// The `k × k` kernel for output channel `co`, input channel `ci`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `co` or `ci` is out of range.
+    pub fn kernel_slice(&self, co: usize, ci: usize) -> &[f32] {
+        assert!(co < self.c_out && ci < self.c_in, "kernel ({co},{ci}) out of range");
+        let kk = self.k * self.k;
+        let base = (co * self.c_in + ci) * kk;
+        &self.weight[base..base + kk]
+    }
+
+    /// Spatial output size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.padding - self.k) / self.stride + 1,
+            (w + 2 * self.padding - self.k) / self.stride + 1,
+        )
+    }
+
+    /// Runs the convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Incompatible`] if the input channel count is
+    /// not `c_in` or the padded input is smaller than the kernel.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let (n, c, h, w) = input.shape().dims();
+        if c != self.c_in {
+            return Err(TensorError::incompatible(format!(
+                "conv expects {} input channels, got {c}",
+                self.c_in
+            )));
+        }
+        if h + 2 * self.padding < self.k || w + 2 * self.padding < self.k {
+            return Err(TensorError::incompatible(format!(
+                "input {h}x{w} (pad {}) smaller than kernel {}",
+                self.padding, self.k
+            )));
+        }
+        let (oh, ow) = self.output_hw(h, w);
+        let out_shape = Shape::new(n, self.c_out, oh, ow);
+        let mut out = Tensor::zeros(out_shape);
+        let in_data = input.as_slice();
+        let in_shape = input.shape();
+        let pad = self.padding as isize;
+
+        for nn in 0..n {
+            for co in 0..self.c_out {
+                let bias = self.bias[co];
+                let out_base = out_shape.index(nn, co, 0, 0);
+                {
+                    let out_plane = &mut out.as_mut_slice()[out_base..out_base + oh * ow];
+                    out_plane.iter_mut().for_each(|v| *v = bias);
+                }
+                for ci in 0..self.c_in {
+                    let kernel = self.kernel_slice(co, ci);
+                    let in_base = in_shape.index(nn, ci, 0, 0);
+                    let in_plane = &in_data[in_base..in_base + h * w];
+                    for oy in 0..oh {
+                        let iy0 = (oy * self.stride) as isize - pad;
+                        for (ki, kv) in kernel.iter().enumerate() {
+                            if *kv == 0.0 {
+                                continue;
+                            }
+                            let kh = (ki / self.k) as isize;
+                            let kw = (ki % self.k) as isize;
+                            let iy = iy0 + kh;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            let in_row = &in_plane[iy as usize * w..(iy as usize + 1) * w];
+                            let out_row_base = out_base + oy * ow;
+                            let out_data = out.as_mut_slice();
+                            for ox in 0..ow {
+                                let ix = (ox * self.stride) as isize - pad + kw;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                out_data[out_row_base + ox] += kv * in_row[ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of multiply–accumulate operations for an `h × w` input, used
+    /// by the performance model.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.output_hw(h, w);
+        (self.c_out * self.c_in * self.k * self.k) as u64 * (oh * ow) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 3x3 Dirac kernel.
+        let conv = Conv2d::from_fn(1, 1, 3, 1, 1, |_, _, kh, kw| {
+            if kh == 1 && kw == 1 { 1.0 } else { 0.0 }
+        })
+        .unwrap();
+        let x = Tensor::from_fn(Shape::new(1, 1, 4, 5), |_, _, h, w| (h * 5 + w) as f32);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn known_3x3_convolution_value() {
+        // All-ones kernel on a ramp; interior output = sum of 3x3 patch.
+        let conv = Conv2d::from_fn(1, 1, 3, 1, 1, |_, _, _, _| 1.0).unwrap();
+        let x = Tensor::from_fn(Shape::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w) as f32);
+        let y = conv.forward(&x).unwrap();
+        // Centre: sum 0..=8 = 36.
+        assert_eq!(y.at(0, 0, 1, 1), 36.0);
+        // Corner (0,0): only pixels (0,0),(0,1),(1,0),(1,1) = 0+1+3+4 = 8.
+        assert_eq!(y.at(0, 0, 0, 0), 8.0);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let conv = Conv2d::from_fn(2, 3, 3, 2, 1, |_, _, _, _| 0.1).unwrap();
+        let x = Tensor::zeros(Shape::new(1, 3, 8, 10));
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), (1, 2, 4, 5));
+    }
+
+    #[test]
+    fn one_by_one_conv_mixes_channels() {
+        let conv = Conv2d::new(
+            vec![1.0, 2.0], // out0 = in0 + 2*in1
+            vec![0.5],
+            1,
+            2,
+            1,
+            1,
+            0,
+        )
+        .unwrap();
+        let x = Tensor::from_vec(
+            Shape::new(1, 2, 1, 2),
+            vec![1.0, 2.0, /* ch1 */ 10.0, 20.0],
+        )
+        .unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[21.5, 42.5]);
+    }
+
+    #[test]
+    fn bias_is_applied_per_channel() {
+        let conv = Conv2d::new(vec![0.0; 2 * 9], vec![3.0, -1.0], 2, 1, 3, 1, 1).unwrap();
+        let x = Tensor::zeros(Shape::new(1, 1, 2, 2));
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.at(0, 0, 0, 0), 3.0);
+        assert_eq!(y.at(0, 1, 1, 1), -1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_config() {
+        assert!(Conv2d::new(vec![0.0; 8], vec![0.0], 1, 1, 3, 1, 1).is_err());
+        assert!(Conv2d::new(vec![0.0; 9], vec![0.0; 2], 1, 1, 3, 1, 1).is_err());
+        assert!(Conv2d::randn(1, 1, 0, 1, 0, 0).is_err());
+        assert!(Conv2d::randn(1, 1, 3, 0, 1, 0).is_err());
+        let conv = Conv2d::randn(4, 3, 3, 1, 1, 0).unwrap();
+        let bad = Tensor::zeros(Shape::new(1, 2, 8, 8));
+        assert!(conv.forward(&bad).is_err());
+        let tiny = Tensor::zeros(Shape::new(1, 3, 1, 1));
+        let nopad = Conv2d::randn(4, 3, 3, 1, 0, 0).unwrap();
+        assert!(nopad.forward(&tiny).is_err());
+    }
+
+    #[test]
+    fn macs_counts_match_shape() {
+        let conv = Conv2d::randn(8, 4, 3, 1, 1, 0).unwrap();
+        assert_eq!(conv.macs(10, 10), 8 * 4 * 9 * 100);
+        let s2 = Conv2d::randn(8, 4, 3, 2, 1, 0).unwrap();
+        assert_eq!(s2.macs(10, 10), 8 * 4 * 9 * 25);
+    }
+}

@@ -1,0 +1,327 @@
+use crate::init::{he_std, Gaussian};
+use crate::{Shape, Tensor, TensorError};
+
+/// 2-D transposed convolution ("deconvolution", `DeConv(N, k, s)` in paper
+/// Fig. 2), implemented as input-driven scatter-accumulate.
+///
+/// For input size `h × w`, output size is `(h-1)·s − 2p + k` per dimension.
+/// CTVC-Net uses `DeConv(·, 4, 2)` with padding 1, which exactly doubles
+/// the resolution — the configuration the FTA fast algorithm `T3(6×6, 4×4)`
+/// targets.
+///
+/// Weight layout is `[c_in][c_out][k][k]` row-major (PyTorch convention for
+/// `ConvTranspose2d`), one bias per output channel.
+///
+/// # Example
+///
+/// ```
+/// use nvc_tensor::{Shape, Tensor, ops::DeConv2d};
+/// # fn main() -> Result<(), nvc_tensor::TensorError> {
+/// let up = DeConv2d::randn(8, 16, 4, 2, 1, 7)?;
+/// let x = Tensor::zeros(Shape::new(1, 16, 6, 5));
+/// assert_eq!(up.forward(&x)?.shape().dims(), (1, 8, 12, 10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeConv2d {
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    c_out: usize,
+    c_in: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl DeConv2d {
+    /// Creates a transposed convolution from explicit weights and biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on zero kernel/stride or mismatched buffer lengths.
+    pub fn new(
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, TensorError> {
+        if k == 0 || stride == 0 {
+            return Err(TensorError::invalid("kernel size and stride must be non-zero"));
+        }
+        if k < 2 * padding + 1 {
+            return Err(TensorError::invalid(format!(
+                "padding {padding} too large for kernel {k}"
+            )));
+        }
+        if weight.len() != c_out * c_in * k * k {
+            return Err(TensorError::LengthMismatch {
+                expected: c_out * c_in * k * k,
+                actual: weight.len(),
+            });
+        }
+        if bias.len() != c_out {
+            return Err(TensorError::LengthMismatch { expected: c_out, actual: bias.len() });
+        }
+        Ok(DeConv2d { weight, bias, c_out, c_in, k, stride, padding })
+    }
+
+    /// Creates a transposed convolution with He-initialised Gaussian
+    /// weights and zero biases, deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on zero kernel/stride.
+    pub fn randn(
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Result<Self, TensorError> {
+        let mut g = Gaussian::new(seed);
+        let mut weight = vec![0.0; c_out * c_in * k * k];
+        g.fill(&mut weight, he_std(c_in * k * k));
+        DeConv2d::new(weight, vec![0.0; c_out], c_out, c_in, k, stride, padding)
+    }
+
+    /// Creates a transposed convolution whose weight at
+    /// `(c_in, c_out, kh, kw)` is produced by `f`, with zero biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on zero kernel/stride.
+    pub fn from_fn(
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Result<Self, TensorError> {
+        let mut weight = Vec::with_capacity(c_out * c_in * k * k);
+        for ci in 0..c_in {
+            for co in 0..c_out {
+                for kh in 0..k {
+                    for kw in 0..k {
+                        weight.push(f(ci, co, kh, kw));
+                    }
+                }
+            }
+        }
+        DeConv2d::new(weight, vec![0.0; c_out], c_out, c_in, k, stride, padding)
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Stride (upsampling factor).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding (in transposed-convolution convention).
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Read-only weight buffer, `[c_in][c_out][k][k]` row-major.
+    pub fn weight(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Mutable weight buffer (used by the pruning pass).
+    pub fn weight_mut(&mut self) -> &mut [f32] {
+        &mut self.weight
+    }
+
+    /// Read-only bias buffer.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// The `k × k` kernel connecting input channel `ci` to output channel
+    /// `co`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` or `co` is out of range.
+    pub fn kernel_slice(&self, ci: usize, co: usize) -> &[f32] {
+        assert!(ci < self.c_in && co < self.c_out, "kernel ({ci},{co}) out of range");
+        let kk = self.k * self.k;
+        let base = (ci * self.c_out + co) * kk;
+        &self.weight[base..base + kk]
+    }
+
+    /// Spatial output size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h - 1) * self.stride + self.k - 2 * self.padding,
+            (w - 1) * self.stride + self.k - 2 * self.padding,
+        )
+    }
+
+    /// Runs the transposed convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Incompatible`] if the input channel count
+    /// differs from `c_in` or the input is empty.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let (n, c, h, w) = input.shape().dims();
+        if c != self.c_in {
+            return Err(TensorError::incompatible(format!(
+                "deconv expects {} input channels, got {c}",
+                self.c_in
+            )));
+        }
+        if h == 0 || w == 0 {
+            return Err(TensorError::incompatible("empty input"));
+        }
+        let (oh, ow) = self.output_hw(h, w);
+        let out_shape = Shape::new(n, self.c_out, oh, ow);
+        let mut out = Tensor::zeros(out_shape);
+
+        // Initialise biases.
+        for nn in 0..n {
+            for co in 0..self.c_out {
+                let base = out_shape.index(nn, co, 0, 0);
+                let bias = self.bias[co];
+                out.as_mut_slice()[base..base + oh * ow]
+                    .iter_mut()
+                    .for_each(|v| *v = bias);
+            }
+        }
+
+        let pad = self.padding as isize;
+        let in_shape = input.shape();
+        for nn in 0..n {
+            for ci in 0..self.c_in {
+                let in_base = in_shape.index(nn, ci, 0, 0);
+                let in_plane = &input.as_slice()[in_base..in_base + h * w];
+                for co in 0..self.c_out {
+                    let kernel = self.kernel_slice(ci, co);
+                    let out_base = out_shape.index(nn, co, 0, 0);
+                    for iy in 0..h {
+                        for ix in 0..w {
+                            let x = in_plane[iy * w + ix];
+                            if x == 0.0 {
+                                continue;
+                            }
+                            let oy0 = (iy * self.stride) as isize - pad;
+                            let ox0 = (ix * self.stride) as isize - pad;
+                            for kh in 0..self.k {
+                                let oy = oy0 + kh as isize;
+                                if oy < 0 || oy as usize >= oh {
+                                    continue;
+                                }
+                                let row = out_base + oy as usize * ow;
+                                let out_data = out.as_mut_slice();
+                                for kw in 0..self.k {
+                                    let ox = ox0 + kw as isize;
+                                    if ox < 0 || ox as usize >= ow {
+                                        continue;
+                                    }
+                                    out_data[row + ox as usize] += x * kernel[kh * self.k + kw];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of multiply–accumulate operations for an `h × w` input.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        (self.c_out * self.c_in * self.k * self.k) as u64 * (h * w) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_doubles_for_k4_s2_p1() {
+        let d = DeConv2d::randn(3, 5, 4, 2, 1, 0).unwrap();
+        assert_eq!(d.output_hw(6, 7), (12, 14));
+        let x = Tensor::zeros(Shape::new(1, 5, 6, 7));
+        assert_eq!(d.forward(&x).unwrap().shape().dims(), (1, 3, 12, 14));
+    }
+
+    #[test]
+    fn single_impulse_scatters_kernel() {
+        // k=4, s=2, p=1, single input pixel at (1,1); kernel values are
+        // (kh*4+kw) so the scatter pattern is directly visible.
+        let d = DeConv2d::from_fn(1, 1, 4, 2, 1, |_, _, kh, kw| (kh * 4 + kw) as f32).unwrap();
+        let mut x = Tensor::zeros(Shape::new(1, 1, 3, 3));
+        *x.at_mut(0, 0, 1, 1) = 1.0;
+        let y = d.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), (1, 1, 6, 6));
+        // Output pixel (oy, ox) = (iy*2 - 1 + kh, ix*2 - 1 + kw) = (1 + kh, 1 + kw).
+        for kh in 0..4 {
+            for kw in 0..4 {
+                assert_eq!(y.at(0, 0, 1 + kh, 1 + kw), (kh * 4 + kw) as f32);
+            }
+        }
+        assert_eq!(y.at(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn matches_manual_overlap_sum() {
+        // Two adjacent impulses: overlapping scatter regions must sum.
+        let d = DeConv2d::from_fn(1, 1, 4, 2, 1, |_, _, _, _| 1.0).unwrap();
+        let mut x = Tensor::zeros(Shape::new(1, 1, 1, 2));
+        *x.at_mut(0, 0, 0, 0) = 1.0;
+        *x.at_mut(0, 0, 0, 1) = 1.0;
+        let y = d.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), (1, 1, 2, 4));
+        // Columns where both kernels overlap get 2.0.
+        // impulse0 covers ox in [-1..2] clipped, impulse1 covers ox in [1..4] clipped.
+        assert_eq!(y.at(0, 0, 0, 1), 2.0);
+        assert_eq!(y.at(0, 0, 0, 2), 2.0);
+        assert_eq!(y.at(0, 0, 0, 0), 1.0);
+        assert_eq!(y.at(0, 0, 0, 3), 1.0);
+    }
+
+    #[test]
+    fn bias_fills_output() {
+        let d = DeConv2d::new(vec![0.0; 16], vec![2.5], 1, 1, 4, 2, 1).unwrap();
+        let x = Tensor::zeros(Shape::new(1, 1, 2, 2));
+        let y = d.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn validation_rejects_bad_config() {
+        assert!(DeConv2d::new(vec![0.0; 15], vec![0.0], 1, 1, 4, 2, 1).is_err());
+        assert!(DeConv2d::randn(1, 1, 4, 0, 1, 0).is_err());
+        assert!(DeConv2d::randn(1, 1, 3, 2, 2, 0).is_err()); // pad too big
+        let d = DeConv2d::randn(2, 3, 4, 2, 1, 0).unwrap();
+        assert!(d.forward(&Tensor::zeros(Shape::new(1, 4, 4, 4))).is_err());
+    }
+
+    #[test]
+    fn macs_scale_with_input_area() {
+        let d = DeConv2d::randn(2, 3, 4, 2, 1, 0).unwrap();
+        assert_eq!(d.macs(5, 5), (2 * 3 * 16 * 25) as u64);
+    }
+}

@@ -1,0 +1,283 @@
+use crate::init::{he_std, Gaussian};
+use crate::{Shape, Tensor, TensorError};
+
+/// Deformable convolution v1 (`DfConv(N, k, s, G)` in paper Fig. 2(d)).
+///
+/// A regular convolution samples input pixels on a fixed grid; a deformable
+/// convolution adds a per-position, per-kernel-tap fractional offset
+/// `(Δy, Δx)` and samples bilinearly. CTVC-Net uses it for motion
+/// compensation in the feature domain: the reconstructed motion field
+/// provides the offsets, so the same machinery performs warping.
+///
+/// The input channels are split into `groups` deformable groups; each group
+/// has its own offset field. The offset tensor therefore carries
+/// `2 · groups · k · k` channels, ordered `(group, tap, [dy, dx])`, with the
+/// same spatial size as the output.
+///
+/// Only stride 1 is supported (the paper only instantiates stride-1
+/// deformable convolutions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeformConv2d {
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    c_out: usize,
+    c_in: usize,
+    k: usize,
+    padding: usize,
+    groups: usize,
+}
+
+impl DeformConv2d {
+    /// Creates a deformable convolution from explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if buffer lengths mismatch, `k == 0`, or
+    /// `c_in` is not divisible by `groups`.
+    pub fn new(
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        padding: usize,
+        groups: usize,
+    ) -> Result<Self, TensorError> {
+        if k == 0 {
+            return Err(TensorError::invalid("kernel size must be non-zero"));
+        }
+        if groups == 0 || c_in % groups != 0 {
+            return Err(TensorError::invalid(format!(
+                "groups {groups} must divide input channels {c_in}"
+            )));
+        }
+        if weight.len() != c_out * c_in * k * k {
+            return Err(TensorError::LengthMismatch {
+                expected: c_out * c_in * k * k,
+                actual: weight.len(),
+            });
+        }
+        if bias.len() != c_out {
+            return Err(TensorError::LengthMismatch { expected: c_out, actual: bias.len() });
+        }
+        Ok(DeformConv2d { weight, bias, c_out, c_in, k, padding, groups })
+    }
+
+    /// Creates a deformable convolution with He-initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `k == 0` or `groups` does not divide `c_in`.
+    pub fn randn(
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        padding: usize,
+        groups: usize,
+        seed: u64,
+    ) -> Result<Self, TensorError> {
+        let mut g = Gaussian::new(seed);
+        let mut weight = vec![0.0; c_out * c_in * k * k];
+        g.fill(&mut weight, he_std(c_in * k * k));
+        DeformConv2d::new(weight, vec![0.0; c_out], c_out, c_in, k, padding, groups)
+    }
+
+    /// Number of deformable groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Channel count the offset tensor must have: `2 · groups · k · k`.
+    pub fn offset_channels(&self) -> usize {
+        2 * self.groups * self.k * self.k
+    }
+
+    /// Runs the deformable convolution.
+    ///
+    /// `offsets` must have [`offset_channels`](Self::offset_channels)
+    /// channels and the same spatial size as `input` (stride is 1, padding
+    /// preserves resolution when `padding == k / 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Incompatible`] on channel or spatial-size
+    /// mismatch.
+    pub fn forward(&self, input: &Tensor, offsets: &Tensor) -> Result<Tensor, TensorError> {
+        let (n, c, h, w) = input.shape().dims();
+        if c != self.c_in {
+            return Err(TensorError::incompatible(format!(
+                "dfconv expects {} input channels, got {c}",
+                self.c_in
+            )));
+        }
+        let (on, oc, ooh, oow) = offsets.shape().dims();
+        let out_h = h + 2 * self.padding - self.k + 1;
+        let out_w = w + 2 * self.padding - self.k + 1;
+        if on != n || oc != self.offset_channels() || ooh != out_h || oow != out_w {
+            return Err(TensorError::incompatible(format!(
+                "offset tensor {:?} incompatible (want ({n}, {}, {out_h}, {out_w}))",
+                offsets.shape().dims(),
+                self.offset_channels()
+            )));
+        }
+        let out_shape = Shape::new(n, self.c_out, out_h, out_w);
+        let mut out = Tensor::zeros(out_shape);
+        let ch_per_group = self.c_in / self.groups;
+        let kk = self.k * self.k;
+        let pad = self.padding as f32;
+
+        for nn in 0..n {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    // Pre-sample the deformed input patch once per (oy, ox):
+                    // sampled[ci][tap].
+                    let mut sampled = vec![0.0_f32; self.c_in * kk];
+                    for g in 0..self.groups {
+                        for tap in 0..kk {
+                            let kh = (tap / self.k) as f32;
+                            let kw = (tap % self.k) as f32;
+                            let dy = offsets.at(nn, (g * kk + tap) * 2, oy, ox);
+                            let dx = offsets.at(nn, (g * kk + tap) * 2 + 1, oy, ox);
+                            let sy = oy as f32 - pad + kh + dy;
+                            let sx = ox as f32 - pad + kw + dx;
+                            for cg in 0..ch_per_group {
+                                let ci = g * ch_per_group + cg;
+                                sampled[ci * kk + tap] =
+                                    input.sample_bilinear(nn, ci, sy, sx);
+                            }
+                        }
+                    }
+                    for co in 0..self.c_out {
+                        let mut acc = self.bias[co];
+                        let wbase = co * self.c_in * kk;
+                        for (s, wv) in sampled.iter().zip(&self.weight[wbase..wbase + self.c_in * kk]) {
+                            acc += s * wv;
+                        }
+                        *out.at_mut(nn, co, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of multiply–accumulate operations for an `h × w` input
+    /// (excluding the bilinear-sampling interpolation arithmetic).
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let oh = h + 2 * self.padding - self.k + 1;
+        let ow = w + 2 * self.padding - self.k + 1;
+        (self.c_out * self.c_in * self.k * self.k) as u64 * (oh * ow) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With all offsets zero, a deformable conv must equal a regular conv.
+    #[test]
+    fn zero_offsets_match_regular_conv() {
+        use crate::ops::Conv2d;
+        let c_out = 3;
+        let c_in = 4;
+        let k = 3;
+        let dconv = DeformConv2d::randn(c_out, c_in, k, 1, 2, 99).unwrap();
+        let conv = Conv2d::new(
+            dconv.weight.clone(),
+            dconv.bias.clone(),
+            c_out,
+            c_in,
+            k,
+            1,
+            1,
+        )
+        .unwrap();
+        let x = Tensor::from_fn(Shape::new(1, c_in, 6, 7), |_, c, h, w| {
+            ((c + 1) * (h + 2) + w) as f32 * 0.1
+        });
+        let offsets = Tensor::zeros(Shape::new(1, dconv.offset_channels(), 6, 7));
+        let yd = dconv.forward(&x, &offsets).unwrap();
+        let yc = conv.forward(&x).unwrap();
+        let diff = yd.sub(&yc).unwrap().max_abs();
+        assert!(diff < 1e-4, "max diff {diff}");
+    }
+
+    /// Integer offsets shift the sampling grid exactly.
+    #[test]
+    fn integer_offset_translates_sampling() {
+        // 1x1 kernel, no padding: output(o) = input(o + offset).
+        let dconv = DeformConv2d::new(vec![1.0], vec![0.0], 1, 1, 1, 0, 1).unwrap();
+        let x = Tensor::from_fn(Shape::new(1, 1, 4, 4), |_, _, h, w| (h * 4 + w) as f32);
+        let mut off = Tensor::zeros(Shape::new(1, 2, 4, 4));
+        // dy = 1 everywhere.
+        for h in 0..4 {
+            for w in 0..4 {
+                *off.at_mut(0, 0, h, w) = 1.0;
+            }
+        }
+        let y = dconv.forward(&x, &off).unwrap();
+        assert_eq!(y.at(0, 0, 0, 0), x.at(0, 0, 1, 0));
+        assert_eq!(y.at(0, 0, 2, 3), x.at(0, 0, 3, 3));
+        // Row beyond the frame samples zero padding.
+        assert_eq!(y.at(0, 0, 3, 0), 0.0);
+    }
+
+    /// Fractional offsets interpolate bilinearly.
+    #[test]
+    fn fractional_offset_interpolates() {
+        let dconv = DeformConv2d::new(vec![1.0], vec![0.0], 1, 1, 1, 0, 1).unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 2), vec![0.0, 10.0]).unwrap();
+        let mut off = Tensor::zeros(Shape::new(1, 2, 1, 2));
+        *off.at_mut(0, 1, 0, 0) = 0.5; // dx = 0.5 at the first pixel
+        let y = dconv.forward(&x, &off).unwrap();
+        assert!((y.at(0, 0, 0, 0) - 5.0).abs() < 1e-6);
+    }
+
+    /// Groups get independent offset fields.
+    #[test]
+    fn groups_use_independent_offsets() {
+        // 2 channels, 2 groups, 1x1 kernel, weights sum both channels.
+        let dconv =
+            DeformConv2d::new(vec![1.0, 1.0], vec![0.0], 1, 2, 1, 0, 2).unwrap();
+        let x = Tensor::from_fn(Shape::new(1, 2, 1, 3), |_, c, _, w| {
+            if c == 0 { w as f32 } else { 100.0 * w as f32 }
+        });
+        let mut off = Tensor::zeros(Shape::new(1, 4, 1, 3));
+        // Group 0: dx = +1; group 1: dx = 0.
+        for w in 0..3 {
+            *off.at_mut(0, 1, 0, w) = 1.0;
+        }
+        let y = dconv.forward(&x, &off).unwrap();
+        // Pixel 0: group0 samples x0[1] = 1, group1 samples x1[0] = 0.
+        assert!((y.at(0, 0, 0, 0) - 1.0).abs() < 1e-6);
+        // Pixel 1: group0 samples x0[2] = 2, group1 samples x1[1] = 100.
+        assert!((y.at(0, 0, 0, 1) - 102.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_rejects_bad_config() {
+        assert!(DeformConv2d::randn(4, 3, 3, 1, 2, 0).is_err()); // 2 ∤ 3
+        assert!(DeformConv2d::randn(4, 4, 0, 0, 2, 0).is_err());
+        let d = DeformConv2d::randn(4, 4, 3, 1, 2, 0).unwrap();
+        let x = Tensor::zeros(Shape::new(1, 4, 5, 5));
+        let bad_off = Tensor::zeros(Shape::new(1, 7, 5, 5));
+        assert!(d.forward(&x, &bad_off).is_err());
+        let bad_spatial = Tensor::zeros(Shape::new(1, d.offset_channels(), 4, 5));
+        assert!(d.forward(&x, &bad_spatial).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+use crate::init::{he_std, Gaussian};
+use crate::mat::Mat;
+use crate::TensorError;
+
+/// Dense (fully connected) layer `y = x Wᵀ + b`, operating on [`Mat`] whose
+/// rows are tokens. Used for the Q/K/V/output projections inside the Swin
+/// attention module.
+///
+/// # Example
+///
+/// ```
+/// use nvc_tensor::{mat::Mat, ops::Linear};
+/// # fn main() -> Result<(), nvc_tensor::TensorError> {
+/// let lin = Linear::randn(8, 4, 3)?;
+/// let tokens = Mat::zeros(9, 4); // 9 tokens of width 4
+/// assert_eq!(lin.forward(&tokens)?.cols(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Mat, // out x in
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer from an `out × in` weight matrix and a bias of
+    /// length `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bias.len() != weight.rows()`.
+    pub fn new(weight: Mat, bias: Vec<f32>) -> Result<Self, TensorError> {
+        if bias.len() != weight.rows() {
+            return Err(TensorError::LengthMismatch {
+                expected: weight.rows(),
+                actual: bias.len(),
+            });
+        }
+        Ok(Linear { weight, bias })
+    }
+
+    /// Creates a layer with He-initialised Gaussian weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for uniformity with other
+    /// constructors.
+    pub fn randn(out_features: usize, in_features: usize, seed: u64) -> Result<Self, TensorError> {
+        let mut g = Gaussian::new(seed);
+        let mut w = vec![0.0; out_features * in_features];
+        g.fill(&mut w, he_std(in_features));
+        Linear::new(Mat::from_vec(out_features, in_features, w)?, vec![0.0; out_features])
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Read-only weight matrix (`out × in`).
+    pub fn weight(&self) -> &Mat {
+        &self.weight
+    }
+
+    /// Applies the layer to a token matrix (`tokens × in`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != in_features`.
+    pub fn forward(&self, x: &Mat) -> Result<Mat, TensorError> {
+        let mut y = x.matmul(&self.weight.transpose())?;
+        for r in 0..y.rows() {
+            for c in 0..y.cols() {
+                *y.at_mut(r, c) += self.bias[c];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Multiply–accumulate count for a token matrix with `tokens` rows.
+    pub fn macs(&self, tokens: usize) -> u64 {
+        (tokens * self.weight.rows() * self.weight.cols()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let w = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let lin = Linear::new(w, vec![0.0, 0.0, 10.0]).unwrap();
+        let x = Mat::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let y = lin.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 8.0, 17.0]);
+        assert_eq!(lin.out_features(), 3);
+        assert_eq!(lin.in_features(), 2);
+        assert_eq!(lin.macs(5), 30);
+    }
+
+    #[test]
+    fn validation() {
+        let w = Mat::zeros(3, 2);
+        assert!(Linear::new(w.clone(), vec![0.0; 2]).is_err());
+        let lin = Linear::new(w, vec![0.0; 3]).unwrap();
+        assert!(lin.forward(&Mat::zeros(4, 3)).is_err());
+    }
+}

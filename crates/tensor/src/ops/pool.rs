@@ -1,0 +1,107 @@
+use crate::{Shape, Tensor, TensorError};
+
+/// Max pooling with square window and equal stride (`Maxpooling` in paper
+/// Fig. 2(a), used once in feature extraction to halve resolution).
+///
+/// # Example
+///
+/// ```
+/// use nvc_tensor::{Shape, Tensor, ops::MaxPool2d};
+/// # fn main() -> Result<(), nvc_tensor::TensorError> {
+/// let pool = MaxPool2d::new(2)?;
+/// let x = Tensor::zeros(Shape::new(1, 4, 8, 8));
+/// assert_eq!(pool.forward(&x)?.shape().dims(), (1, 4, 4, 4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    k: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling operator with window and stride `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `k == 0`.
+    pub fn new(k: usize) -> Result<Self, TensorError> {
+        if k == 0 {
+            return Err(TensorError::invalid("pool window must be non-zero"));
+        }
+        Ok(MaxPool2d { k })
+    }
+
+    /// Window/stride size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+
+    /// Runs the pooling operator. Output size is `floor(h/k) × floor(w/k)`;
+    /// trailing rows/columns that do not fill a window are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Incompatible`] if the input is smaller than
+    /// one window.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let (n, c, h, w) = input.shape().dims();
+        if h < self.k || w < self.k {
+            return Err(TensorError::incompatible(format!(
+                "input {h}x{w} smaller than pool window {}",
+                self.k
+            )));
+        }
+        let oh = h / self.k;
+        let ow = w / self.k;
+        let out_shape = Shape::new(n, c, oh, ow);
+        let mut out = Tensor::zeros(out_shape);
+        for nn in 0..n {
+            for cc in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut m = f32::NEG_INFINITY;
+                        for dy in 0..self.k {
+                            for dx in 0..self.k {
+                                m = m.max(input.at(nn, cc, oy * self.k + dy, ox * self.k + dx));
+                            }
+                        }
+                        *out.at_mut(nn, cc, oy, ox) = m;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_window_maximum() {
+        let pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(
+            Shape::new(1, 1, 2, 4),
+            vec![1.0, 5.0, -1.0, 0.0, 2.0, 3.0, 7.0, -2.0],
+        )
+        .unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn drops_partial_windows() {
+        let pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::zeros(Shape::new(1, 1, 5, 7));
+        assert_eq!(pool.forward(&x).unwrap().shape().dims(), (1, 1, 2, 3));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MaxPool2d::new(0).is_err());
+        let pool = MaxPool2d::new(4).unwrap();
+        assert!(pool.forward(&Tensor::zeros(Shape::new(1, 1, 2, 8))).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Bjøntegaard delta metrics — the BDBR(%) of the paper's Table I.
+//!
+//! Given two rate–distortion curves (rate in bits per pixel, distortion in
+//! dB PSNR or MS-SSIM), [`bd_rate`] fits a cubic polynomial to
+//! `log(rate)` as a function of distortion for each curve, integrates both
+//! over the overlapping distortion interval, and reports the average rate
+//! difference in percent. Negative values mean the test codec saves rate
+//! at equal quality.
+
+use crate::frame::VideoError;
+
+/// One rate–distortion sample: `(rate, distortion)`. Rate must be
+/// positive; distortion is typically PSNR in dB or `-10·log10(1−MS-SSIM)`.
+pub type RdPoint = (f64, f64);
+
+/// Least-squares polynomial fit of degree `deg` for `y(x)`; returns
+/// coefficients `c[0] + c[1]·x + …`.
+fn polyfit(xs: &[f64], ys: &[f64], deg: usize) -> Vec<f64> {
+    let n = deg + 1;
+    // Normal equations: (VᵀV) c = Vᵀ y, V Vandermonde.
+    let mut ata = vec![vec![0.0_f64; n]; n];
+    let mut aty = vec![0.0_f64; n];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut powers = vec![1.0_f64; n];
+        for i in 1..n {
+            powers[i] = powers[i - 1] * x;
+        }
+        for i in 0..n {
+            aty[i] += powers[i] * y;
+            for j in 0..n {
+                ata[i][j] += powers[i] * powers[j];
+            }
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut m = ata;
+    let mut b = aty;
+    for col in 0..n {
+        let mut pivot = col;
+        for row in col + 1..n {
+            if m[row][col].abs() > m[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = m[col][col];
+        if diag.abs() < 1e-12 {
+            continue; // singular: degenerate fit, coefficient stays 0
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = m[row][col] / diag;
+            for k in 0..n {
+                m[row][k] -= f * m[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    (0..n)
+        .map(|i| if m[i][i].abs() < 1e-12 { 0.0 } else { b[i] / m[i][i] })
+        .collect()
+}
+
+/// Definite integral of the polynomial with coefficients `c` over
+/// `[lo, hi]`.
+fn polyint(c: &[f64], lo: f64, hi: f64) -> f64 {
+    let eval_antideriv = |x: f64| -> f64 {
+        c.iter()
+            .enumerate()
+            .map(|(i, &ci)| ci * x.powi(i as i32 + 1) / (i as f64 + 1.0))
+            .sum()
+    };
+    eval_antideriv(hi) - eval_antideriv(lo)
+}
+
+fn validate(curve: &[RdPoint]) -> Result<(), VideoError> {
+    if curve.len() < 3 {
+        return Err(VideoError::BadDimensions {
+            reason: format!("need >= 3 RD points, got {}", curve.len()),
+        });
+    }
+    for &(r, d) in curve {
+        if !(r.is_finite() && r > 0.0 && d.is_finite()) {
+            return Err(VideoError::BadDimensions {
+                reason: format!("invalid RD point ({r}, {d})"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Bjøntegaard delta rate of `test` against `anchor`, in percent.
+///
+/// Negative values mean `test` needs less rate than `anchor` at the same
+/// distortion (i.e. `test` is better).
+///
+/// # Errors
+///
+/// Returns [`VideoError::BadDimensions`] if either curve has fewer than 3
+/// points, non-positive rates, or the distortion ranges do not overlap.
+pub fn bd_rate(anchor: &[RdPoint], test: &[RdPoint]) -> Result<f64, VideoError> {
+    validate(anchor)?;
+    validate(test)?;
+    let log_anchor: Vec<(f64, f64)> = anchor.iter().map(|&(r, d)| (d, r.ln())).collect();
+    let log_test: Vec<(f64, f64)> = test.iter().map(|&(r, d)| (d, r.ln())).collect();
+
+    let lo = log_anchor
+        .iter()
+        .chain(&log_test)
+        .map(|&(d, _)| d)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .min(
+            log_anchor.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min).max(
+                log_test.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min),
+            ),
+        );
+    let d_min = log_anchor
+        .iter()
+        .map(|&(d, _)| d)
+        .fold(f64::INFINITY, f64::min)
+        .max(log_test.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min));
+    let d_max = log_anchor
+        .iter()
+        .map(|&(d, _)| d)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .min(log_test.iter().map(|&(d, _)| d).fold(f64::NEG_INFINITY, f64::max));
+    let _ = lo;
+    if d_max - d_min < 1e-9 {
+        return Err(VideoError::BadDimensions {
+            reason: format!("distortion ranges do not overlap: [{d_min}, {d_max}]"),
+        });
+    }
+
+    let deg = 3.min(anchor.len() - 1).min(test.len() - 1);
+    let (dx_a, ry_a): (Vec<f64>, Vec<f64>) = log_anchor.iter().copied().unzip();
+    let (dx_t, ry_t): (Vec<f64>, Vec<f64>) = log_test.iter().copied().unzip();
+    let ca = polyfit(&dx_a, &ry_a, deg);
+    let ct = polyfit(&dx_t, &ry_t, deg);
+    let int_a = polyint(&ca, d_min, d_max);
+    let int_t = polyint(&ct, d_min, d_max);
+    let avg_diff = (int_t - int_a) / (d_max - d_min);
+    Ok((avg_diff.exp() - 1.0) * 100.0)
+}
+
+/// Bjøntegaard delta PSNR of `test` against `anchor`, in dB: the average
+/// distortion gain at equal rate. Positive values mean `test` is better.
+///
+/// # Errors
+///
+/// Same conditions as [`bd_rate`], with rate ranges instead of distortion
+/// ranges overlapping.
+pub fn bd_psnr(anchor: &[RdPoint], test: &[RdPoint]) -> Result<f64, VideoError> {
+    validate(anchor)?;
+    validate(test)?;
+    // Fit distortion as a function of log rate.
+    let xa: Vec<f64> = anchor.iter().map(|&(r, _)| r.ln()).collect();
+    let ya: Vec<f64> = anchor.iter().map(|&(_, d)| d).collect();
+    let xt: Vec<f64> = test.iter().map(|&(r, _)| r.ln()).collect();
+    let yt: Vec<f64> = test.iter().map(|&(_, d)| d).collect();
+    let r_min = xa.iter().copied().fold(f64::INFINITY, f64::min).max(
+        xt.iter().copied().fold(f64::INFINITY, f64::min),
+    );
+    let r_max = xa.iter().copied().fold(f64::NEG_INFINITY, f64::max).min(
+        xt.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    if r_max - r_min < 1e-9 {
+        return Err(VideoError::BadDimensions {
+            reason: "rate ranges do not overlap".into(),
+        });
+    }
+    let deg = 3.min(anchor.len() - 1).min(test.len() - 1);
+    let ca = polyfit(&xa, &ya, deg);
+    let ct = polyfit(&xt, &yt, deg);
+    Ok((polyint(&ct, r_min, r_max) - polyint(&ca, r_min, r_max)) / (r_max - r_min))
+}
+
+/// Converts an MS-SSIM value to the dB-like scale customarily used for
+/// BD-rate computation on MS-SSIM curves: `−10·log10(1 − msssim)`.
+pub fn ms_ssim_db(msssim: f64) -> f64 {
+    -10.0 * (1.0 - msssim).max(1e-12).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(f64, f64)]) -> Vec<RdPoint> {
+        points.to_vec()
+    }
+
+    #[test]
+    fn identical_curves_give_zero() {
+        let c = curve(&[(0.05, 32.0), (0.1, 35.0), (0.2, 38.0), (0.4, 41.0)]);
+        let bd = bd_rate(&c, &c).unwrap();
+        assert!(bd.abs() < 1e-9, "{bd}");
+        let bp = bd_psnr(&c, &c).unwrap();
+        assert!(bp.abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_rate_scaling_is_recovered() {
+        let anchor = curve(&[(0.05, 32.0), (0.1, 35.0), (0.2, 38.0), (0.4, 41.0)]);
+        // Test codec uses 20% less rate at every quality.
+        let test: Vec<RdPoint> = anchor.iter().map(|&(r, d)| (r * 0.8, d)).collect();
+        let bd = bd_rate(&anchor, &test).unwrap();
+        assert!((bd + 20.0).abs() < 0.5, "expected ≈ -20%, got {bd}");
+        // And the reverse comparison: +25%.
+        let bd_rev = bd_rate(&test, &anchor).unwrap();
+        assert!((bd_rev - 25.0).abs() < 0.7, "expected ≈ +25%, got {bd_rev}");
+    }
+
+    #[test]
+    fn bd_psnr_detects_quality_offset() {
+        let anchor = curve(&[(0.05, 32.0), (0.1, 35.0), (0.2, 38.0), (0.4, 41.0)]);
+        let test: Vec<RdPoint> = anchor.iter().map(|&(r, d)| (r, d + 1.5)).collect();
+        let bp = bd_psnr(&anchor, &test).unwrap();
+        assert!((bp - 1.5).abs() < 0.01, "{bp}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let short = curve(&[(0.1, 30.0), (0.2, 33.0)]);
+        let ok = curve(&[(0.05, 32.0), (0.1, 35.0), (0.2, 38.0)]);
+        assert!(bd_rate(&short, &ok).is_err());
+        let bad_rate = curve(&[(0.0, 30.0), (0.1, 33.0), (0.2, 36.0)]);
+        assert!(bd_rate(&bad_rate, &ok).is_err());
+        let disjoint = curve(&[(0.05, 10.0), (0.1, 12.0), (0.2, 14.0)]);
+        assert!(bd_rate(&disjoint, &ok).is_err());
+    }
+
+    #[test]
+    fn three_point_curves_use_quadratic_fit() {
+        let anchor = curve(&[(0.1, 33.0), (0.2, 36.0), (0.4, 39.0)]);
+        let test: Vec<RdPoint> = anchor.iter().map(|&(r, d)| (r * 0.9, d)).collect();
+        let bd = bd_rate(&anchor, &test).unwrap();
+        assert!((bd + 10.0).abs() < 0.5, "{bd}");
+    }
+
+    #[test]
+    fn ms_ssim_db_is_monotone() {
+        assert!(ms_ssim_db(0.99) > ms_ssim_db(0.95));
+        assert!(ms_ssim_db(0.999) > ms_ssim_db(0.99));
+        // 0.99 → 20 dB exactly.
+        assert!((ms_ssim_db(0.99) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_polynomial() {
+        // y = 2 - x + 0.5 x² on 6 points.
+        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 - x + 0.5 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2);
+        assert!((c[0] - 2.0).abs() < 1e-8);
+        assert!((c[1] + 1.0).abs() < 1e-8);
+        assert!((c[2] - 0.5).abs() < 1e-8);
+    }
+}

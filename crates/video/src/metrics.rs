@@ -1,0 +1,373 @@
+//! Video quality metrics: PSNR and multi-scale SSIM.
+
+use crate::frame::{Frame, VideoError};
+
+/// Peak signal-to-noise ratio between two frames in dB (peak = 1.0),
+/// averaged over the three RGB channels.
+///
+/// Returns `f64::INFINITY` for identical frames.
+///
+/// # Errors
+///
+/// Returns [`VideoError`] if the frames differ in size.
+pub fn psnr(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
+    let mse = a.tensor().mse(b.tensor())?;
+    if mse == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (1.0 / mse).log10())
+}
+
+/// Mean PSNR over a sequence of (reference, distorted) frame pairs.
+///
+/// # Errors
+///
+/// Returns [`VideoError`] on size mismatch or empty input.
+pub fn psnr_sequence(pairs: &[(&Frame, &Frame)]) -> Result<f64, VideoError> {
+    if pairs.is_empty() {
+        return Err(VideoError::BadDimensions { reason: "no frame pairs".into() });
+    }
+    let mut acc = 0.0;
+    for (a, b) in pairs {
+        acc += psnr(a, b)?;
+    }
+    Ok(acc / pairs.len() as f64)
+}
+
+/// 11-tap Gaussian window with σ = 1.5 (the standard SSIM window).
+fn gaussian_window() -> [f64; 11] {
+    let sigma = 1.5_f64;
+    let mut w = [0.0; 11];
+    let mut sum = 0.0;
+    for (i, wi) in w.iter_mut().enumerate() {
+        let d = i as f64 - 5.0;
+        *wi = (-d * d / (2.0 * sigma * sigma)).exp();
+        sum += *wi;
+    }
+    for wi in &mut w {
+        *wi /= sum;
+    }
+    w
+}
+
+/// Grey-scale plane helper.
+struct Plane {
+    w: usize,
+    h: usize,
+    data: Vec<f64>,
+}
+
+impl Plane {
+    fn from_frame(f: &Frame) -> Plane {
+        let luma = f.luma();
+        let (_, _, h, w) = luma.shape().dims();
+        Plane { w, h, data: luma.as_slice().iter().map(|&v| v as f64).collect() }
+    }
+
+    fn at(&self, y: isize, x: isize) -> f64 {
+        // Clamp-to-edge padding.
+        let y = y.clamp(0, self.h as isize - 1) as usize;
+        let x = x.clamp(0, self.w as isize - 1) as usize;
+        self.data[y * self.w + x]
+    }
+
+    /// Separable Gaussian filtering.
+    fn blur(&self, win: &[f64; 11]) -> Plane {
+        let mut tmp = vec![0.0; self.w * self.h];
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let mut acc = 0.0;
+                for (i, &wi) in win.iter().enumerate() {
+                    acc += wi * self.at(y as isize, x as isize + i as isize - 5);
+                }
+                tmp[y * self.w + x] = acc;
+            }
+        }
+        let tmp_plane = Plane { w: self.w, h: self.h, data: tmp };
+        let mut out = vec![0.0; self.w * self.h];
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let mut acc = 0.0;
+                for (i, &wi) in win.iter().enumerate() {
+                    acc += wi * tmp_plane.at(y as isize + i as isize - 5, x as isize);
+                }
+                out[y * self.w + x] = acc;
+            }
+        }
+        Plane { w: self.w, h: self.h, data: out }
+    }
+
+    /// 2× downsampling by 2×2 averaging.
+    fn half(&self) -> Plane {
+        let w = (self.w / 2).max(1);
+        let h = (self.h / 2).max(1);
+        let mut data = vec![0.0; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let sy = y * 2 + dy;
+                        let sx = x * 2 + dx;
+                        if sy < self.h && sx < self.w {
+                            acc += self.data[sy * self.w + sx];
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                data[y * w + x] = acc / cnt;
+            }
+        }
+        Plane { w, h, data }
+    }
+
+    fn zip(&self, other: &Plane, f: impl Fn(f64, f64) -> f64) -> Plane {
+        Plane {
+            w: self.w,
+            h: self.h,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+}
+
+const C1: f64 = 0.01 * 0.01; // (k1·L)², L = 1
+const C2: f64 = 0.03 * 0.03; // (k2·L)²
+
+/// Luminance, contrast and structure components at one scale, returned as
+/// `(l, cs)` where `cs` is the contrast·structure product.
+fn ssim_components(a: &Plane, b: &Plane) -> (f64, f64) {
+    let win = gaussian_window();
+    let mu_a = a.blur(&win);
+    let mu_b = b.blur(&win);
+    let aa = a.zip(a, |x, y| x * y).blur(&win);
+    let bb = b.zip(b, |x, y| x * y).blur(&win);
+    let ab = a.zip(b, |x, y| x * y).blur(&win);
+
+    let mut l_acc = 0.0;
+    let mut cs_acc = 0.0;
+    let n = a.data.len() as f64;
+    for i in 0..a.data.len() {
+        let ma = mu_a.data[i];
+        let mb = mu_b.data[i];
+        let va = (aa.data[i] - ma * ma).max(0.0);
+        let vb = (bb.data[i] - mb * mb).max(0.0);
+        let cov = ab.data[i] - ma * mb;
+        let l = (2.0 * ma * mb + C1) / (ma * ma + mb * mb + C1);
+        let cs = (2.0 * cov + C2) / (va + vb + C2);
+        l_acc += l;
+        cs_acc += cs;
+    }
+    (l_acc / n, cs_acc / n)
+}
+
+/// Single-scale SSIM on luma.
+///
+/// # Errors
+///
+/// Returns [`VideoError`] if the frames differ in size.
+pub fn ssim(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
+    if a.width() != b.width() || a.height() != b.height() {
+        return Err(VideoError::BadDimensions {
+            reason: format!(
+                "{}x{} vs {}x{}",
+                a.width(),
+                a.height(),
+                b.width(),
+                b.height()
+            ),
+        });
+    }
+    let pa = Plane::from_frame(a);
+    let pb = Plane::from_frame(b);
+    let (l, cs) = ssim_components(&pa, &pb);
+    Ok(l * cs)
+}
+
+/// Standard 5-scale MS-SSIM weights (Wang et al. 2003).
+const MS_WEIGHTS: [f64; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// Multi-scale SSIM on luma — the MS-SSIM of the paper's Table I / Fig. 8.
+///
+/// Uses as many of the standard 5 scales as the frame size allows (each
+/// scale halves the resolution; a scale needs at least 11×11 pixels), with
+/// weights renormalised accordingly.
+///
+/// # Errors
+///
+/// Returns [`VideoError`] if the frames differ in size or are smaller than
+/// one window.
+pub fn ms_ssim(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
+    if a.width() != b.width() || a.height() != b.height() {
+        return Err(VideoError::BadDimensions {
+            reason: format!(
+                "{}x{} vs {}x{}",
+                a.width(),
+                a.height(),
+                b.width(),
+                b.height()
+            ),
+        });
+    }
+    if a.width() < 11 || a.height() < 11 {
+        return Err(VideoError::BadDimensions { reason: "frame smaller than SSIM window".into() });
+    }
+    let mut pa = Plane::from_frame(a);
+    let mut pb = Plane::from_frame(b);
+    let mut scales = 0usize;
+    let mut cs_vals = [0.0_f64; 5];
+    let mut final_l = 1.0;
+    for s in 0..5 {
+        let (l, cs) = ssim_components(&pa, &pb);
+        cs_vals[s] = cs;
+        final_l = l;
+        scales = s + 1;
+        if s < 4 {
+            let na = pa.half();
+            let nb = pb.half();
+            if na.w < 11 || na.h < 11 {
+                break;
+            }
+            pa = na;
+            pb = nb;
+        }
+    }
+    // Renormalise weights over the scales actually used.
+    let wsum: f64 = MS_WEIGHTS[..scales].iter().sum();
+    let mut acc = 1.0_f64;
+    for s in 0..scales {
+        let w = MS_WEIGHTS[s] / wsum;
+        let base = if s + 1 == scales { final_l * cs_vals[s] } else { cs_vals[s] };
+        // Clamp: slightly negative structure values can appear on tiny
+        // frames; MS-SSIM is defined on non-negative components.
+        acc *= base.max(1e-6).powf(w);
+    }
+    Ok(acc)
+}
+
+/// Mean MS-SSIM over (reference, distorted) pairs.
+///
+/// # Errors
+///
+/// Returns [`VideoError`] on size mismatch or empty input.
+pub fn ms_ssim_sequence(pairs: &[(&Frame, &Frame)]) -> Result<f64, VideoError> {
+    if pairs.is_empty() {
+        return Err(VideoError::BadDimensions { reason: "no frame pairs".into() });
+    }
+    let mut acc = 0.0;
+    for (a, b) in pairs {
+        acc += ms_ssim(a, b)?;
+    }
+    Ok(acc / pairs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SceneConfig, Synthesizer};
+    use nvc_tensor::{Shape, Tensor};
+
+    fn noisy(f: &Frame, sigma: f32, seed: u64) -> Frame {
+        let mut g = nvc_tensor::init::Gaussian::new(seed);
+        let src = f.tensor();
+        let t = Tensor::from_fn(src.shape(), |n, c, h, w| {
+            (src.at(n, c, h, w) + g.sample(0.0, sigma)).clamp(0.0, 1.0)
+        });
+        Frame::from_tensor(t).unwrap()
+    }
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let f = Frame::filled(16, 16, [0.3, 0.5, 0.7]).unwrap();
+        assert!(psnr(&f, &f).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        let a = Frame::filled(8, 8, [0.5; 3]).unwrap();
+        let b = Frame::filled(8, 8, [0.6; 3]).unwrap();
+        // MSE = 0.01, PSNR = 10·log10(1/0.01) = 20 dB (f32 rounding slack).
+        assert!((psnr(&a, &b).unwrap() - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let seq = Synthesizer::new(SceneConfig::uvg_like(64, 48, 1)).generate();
+        let f = &seq.frames()[0];
+        let small = psnr(f, &noisy(f, 0.01, 1)).unwrap();
+        let big = psnr(f, &noisy(f, 0.05, 2)).unwrap();
+        assert!(small > big, "{small} vs {big}");
+        assert!(small > 35.0 && small < 45.0, "σ=0.01 → ≈40 dB, got {small}");
+    }
+
+    #[test]
+    fn ssim_bounds_and_identity() {
+        let seq = Synthesizer::new(SceneConfig::hevc_b_like(64, 48, 1)).generate();
+        let f = &seq.frames()[0];
+        let s_self = ssim(f, f).unwrap();
+        assert!((s_self - 1.0).abs() < 1e-9);
+        let s = ssim(f, &noisy(f, 0.05, 3)).unwrap();
+        assert!(s < 1.0 && s > 0.0);
+    }
+
+    #[test]
+    fn ms_ssim_orders_distortions() {
+        let seq = Synthesizer::new(SceneConfig::uvg_like(96, 64, 1)).generate();
+        let f = &seq.frames()[0];
+        let s_self = ms_ssim(f, f).unwrap();
+        assert!(s_self > 0.999, "{s_self}");
+        let light = ms_ssim(f, &noisy(f, 0.01, 4)).unwrap();
+        let heavy = ms_ssim(f, &noisy(f, 0.08, 5)).unwrap();
+        assert!(light > heavy, "{light} vs {heavy}");
+    }
+
+    #[test]
+    fn ms_ssim_distinguishes_equal_mse_distortions() {
+        // PSNR cannot tell blur from noise at matched MSE; a structural
+        // metric must. (SSIM penalises blur harder: the lost variance
+        // collapses the contrast term.)
+        // Sharp-textured content where blur visibly removes structure.
+        let seq = Synthesizer::new(SceneConfig::mcl_jcv_like(96, 64, 1)).generate();
+        let f = &seq.frames()[0];
+        // Strong blur via 7x7 box.
+        let t = f.tensor();
+        let (_, _, h, w) = t.shape().dims();
+        let blurred = Tensor::from_fn(Shape::new(1, 3, h, w), |_, c, y, x| {
+            let mut acc = 0.0;
+            for dy in -3..=3_isize {
+                for dx in -3..=3_isize {
+                    let yy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                    let xx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                    acc += t.at(0, c, yy, xx);
+                }
+            }
+            acc / 49.0
+        });
+        let fb = Frame::from_tensor(blurred).unwrap();
+        let blur_mse = f.tensor().mse(fb.tensor()).unwrap();
+        let sigma = (blur_mse as f32).sqrt();
+        let fn_ = noisy(f, sigma, 6); // matched-MSE noise
+        let p_blur = psnr(f, &fb).unwrap();
+        let p_noise = psnr(f, &fn_).unwrap();
+        assert!((p_blur - p_noise).abs() < 1.0, "MSE should match: {p_blur} vs {p_noise}");
+        let s_blur = ms_ssim(f, &fb).unwrap();
+        let s_noise = ms_ssim(f, &fn_).unwrap();
+        assert!(
+            (s_blur - s_noise).abs() > 0.01,
+            "MS-SSIM must separate blur from noise: {s_blur} vs {s_noise}"
+        );
+        assert!(s_blur < s_noise, "SSIM's contrast term penalises blur harder");
+    }
+
+    #[test]
+    fn size_mismatch_is_error() {
+        let a = Frame::filled(16, 16, [0.5; 3]).unwrap();
+        let b = Frame::filled(16, 12, [0.5; 3]).unwrap();
+        assert!(psnr(&a, &b).is_err());
+        assert!(ms_ssim(&a, &b).is_err());
+        let tiny = Frame::filled(8, 8, [0.5; 3]).unwrap();
+        assert!(ms_ssim(&tiny, &tiny).is_err());
+        assert!(psnr_sequence(&[]).is_err());
+        assert!(ms_ssim_sequence(&[]).is_err());
+    }
+}

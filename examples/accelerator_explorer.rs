@@ -1,0 +1,44 @@
+//! Accelerator design-space exploration: sweep the SCU array size and
+//! sparsity of the NVCA design and watch fps / power / area move — the
+//! co-design loop the paper's §IV enables.
+//!
+//! Run with: `cargo run --release --example accelerator_explorer`
+
+use nvc_model::CtvcConfig;
+use nvc_sim::{Dataflow, NvcaConfig};
+use nvca::Nvca;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("NVCA design-space sweep, CTVC-Net decode @1080p, chained dataflow\n");
+    println!(
+        "{:>10} {:>6} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "array", "rho", "fps", "GOPS", "chip W", "GOPS/W", "gates M"
+    );
+    for (pif, pof) in [(8, 8), (12, 12), (16, 16)] {
+        for rho in [0.0, 0.5] {
+            let mut hw = NvcaConfig::paper();
+            hw.pif = pif;
+            hw.pof = pof;
+            hw.rho = rho;
+            let mut model = CtvcConfig::ctvc_sparse(36);
+            model.sparsity = if rho > 0.0 { Some(rho) } else { None };
+            let nvca = Nvca::new(model, hw.clone())?;
+            let rep = nvca.simulate_decode(1088, 1920, Dataflow::Chained);
+            println!(
+                "{:>7}x{:<2} {:>5.0}% {:>8.1} {:>10.0} {:>10.2} {:>10.0} {:>10.2}",
+                pif,
+                pof,
+                rho * 100.0,
+                rep.fps,
+                rep.physical_gops,
+                rep.power_w,
+                rep.gops_per_watt,
+                hw.gate_count_m()
+            );
+        }
+    }
+    println!("\nThe paper's 12x12 @ rho=50% point balances real-time 1080p decoding");
+    println!("against area: doubling the array helps little once the workload");
+    println!("becomes memory-bound, while sparsity halves multiplier area outright.");
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Workspace umbrella crate for the NVCA reproduction.
+//!
+//! Re-exports the member crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the real APIs.
+
+pub use nvc_baseline as baseline;
+pub use nvc_entropy as entropy;
+pub use nvc_fastalg as fastalg;
+pub use nvc_model as model;
+pub use nvc_quant as quant;
+pub use nvc_sim as sim;
+pub use nvc_tensor as tensor;
+pub use nvc_video as video;
+pub use nvca as core;

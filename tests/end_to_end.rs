@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the full pipeline from synthetic video
+//! through the CTVC codec onto the NVCA simulator, plus the Table I
+//! ordering the reproduction promises.
+
+use nvc_baseline::{HybridCodec, Profile};
+use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
+use nvc_sim::Dataflow;
+use nvc_video::bdrate::bd_rate;
+use nvc_video::metrics::psnr_sequence;
+use nvc_video::synthetic::{SceneConfig, Synthesizer};
+use nvc_video::Sequence;
+use nvca::Nvca;
+
+fn mean_psnr(a: &Sequence, b: &Sequence) -> f64 {
+    let pairs: Vec<_> = a.frames().iter().zip(b.frames()).collect();
+    psnr_sequence(&pairs.iter().map(|(x, y)| (*x, *y)).collect::<Vec<_>>()).unwrap()
+}
+
+/// The full co-design loop: encode on the model, decode, and check the
+/// hardware report for the same configuration.
+#[test]
+fn codesign_pipeline_end_to_end() {
+    let seq = Synthesizer::new(SceneConfig::uvg_like(64, 48, 3)).generate();
+    let nvca = Nvca::paper_design(CtvcConfig::ctvc_sparse(8)).unwrap();
+    let coded = nvca.codec().encode(&seq, RatePoint::new(1)).unwrap();
+    let decoded = nvca.codec().decode(&coded.bitstream).unwrap();
+    assert_eq!(decoded.frames().len(), 3);
+    assert!(mean_psnr(&seq, &decoded) > 22.0);
+    // The simulated accelerator runs the same network shape.
+    let report = nvca.simulate_decode(1088, 1920, Dataflow::Chained);
+    assert!(report.fps > 1.0);
+    assert!(report.dram_bytes > 0);
+}
+
+/// Bitstreams are portable across codec instances built from the same
+/// configuration (decoder state is reconstructed, not shared).
+#[test]
+fn bitstreams_are_portable_across_instances() {
+    let seq = Synthesizer::new(SceneConfig::mcl_jcv_like(48, 32, 3)).generate();
+    let enc = CtvcCodec::new(CtvcConfig::ctvc_fxp(8)).unwrap();
+    let coded = enc.encode(&seq, RatePoint::new(2)).unwrap();
+    let dec = CtvcCodec::new(CtvcConfig::ctvc_fxp(8)).unwrap();
+    let decoded = dec.decode(&coded.bitstream).unwrap();
+    for (a, b) in decoded.frames().iter().zip(coded.decoded.frames()) {
+        assert!(a.tensor().sub(b.tensor()).unwrap().max_abs() < 1e-6);
+    }
+}
+
+/// Table I ordering, restricted to what the reproduction can promise
+/// without trained weights (see EXPERIMENTS.md §E1): the classical
+/// generation gap (AVC-like loses to the anchor), the learned-ladder
+/// ordering (CTVC beats its DVC-like ablation), and the paper's central
+/// rate mechanism — CTVC P-frames cost a fraction of classical P-frames.
+#[test]
+fn table1_ordering_holds() {
+    let seq = Synthesizer::new(SceneConfig::uvg_like(96, 64, 8)).generate();
+
+    // Mid QPs: at ultra-coarse QPs per-block overheads dominate and the
+    // bigger AVC partitions artificially win; the generation gap the
+    // profiles model lives in the moderate-rate regime.
+    let anchor_codec = HybridCodec::new(Profile::hevc_like());
+    let anchor: Vec<(f64, f64)> = [40u8, 34, 28, 22]
+        .iter()
+        .map(|&qp| {
+            let c = anchor_codec.encode(&seq, qp).unwrap();
+            (c.bpp, mean_psnr(&seq, &c.decoded))
+        })
+        .collect();
+
+    let avc: Vec<(f64, f64)> = [40u8, 34, 28, 22]
+        .iter()
+        .map(|&qp| {
+            let c = HybridCodec::new(Profile::avc_like()).encode(&seq, qp).unwrap();
+            (c.bpp, mean_psnr(&seq, &c.decoded))
+        })
+        .collect();
+
+    // Generation gap: AVC-like needs more rate than the anchor.
+    if let Ok(bd_avc) = bd_rate(&anchor, &avc) {
+        assert!(bd_avc > 0.0, "AVC-like must lose to the anchor, got {bd_avc:.1}%");
+    }
+
+    // Learned ladder: full CTVC beats the DVC-like ablation at the same
+    // rate point (better PSNR at comparable-or-lower rate, or lower rate
+    // at comparable PSNR).
+    let ctvc = CtvcCodec::new(CtvcConfig::ctvc_fp(12)).unwrap();
+    let dvc = CtvcCodec::new(CtvcConfig::dvc_like(12)).unwrap();
+    let c_ctvc = ctvc.encode(&seq, RatePoint::new(1)).unwrap();
+    let c_dvc = dvc.encode(&seq, RatePoint::new(1)).unwrap();
+    let p_ctvc = mean_psnr(&seq, &c_ctvc.decoded);
+    let p_dvc = mean_psnr(&seq, &c_dvc.decoded);
+    assert!(
+        p_ctvc > p_dvc - 0.1,
+        "CTVC ({p_ctvc:.2} dB) must not lose to DVC-like ({p_dvc:.2} dB)"
+    );
+
+    // The rate mechanism: CTVC P-frames are much cheaper than classical
+    // P-frames at comparable quality.
+    let anchor_coded = anchor_codec.encode(&seq, 46).unwrap();
+    let anchor_p: f64 = anchor_coded.bytes_per_frame[1..]
+        .iter()
+        .map(|&b| b as f64)
+        .sum::<f64>()
+        / (anchor_coded.bytes_per_frame.len() - 1) as f64;
+    let ctvc_p: f64 = c_ctvc.bytes_per_frame[1..].iter().map(|&b| b as f64).sum::<f64>()
+        / (c_ctvc.bytes_per_frame.len() - 1) as f64;
+    assert!(
+        ctvc_p < anchor_p,
+        "CTVC P-frames ({ctvc_p:.0} B) must undercut classical P-frames ({anchor_p:.0} B)"
+    );
+}
+
+/// The hardware side of the story: chaining reduces traffic, sparsity
+/// reduces area, and the design point sustains real-time-class decode.
+#[test]
+fn hardware_story_holds() {
+    let nvca = Nvca::paper_design(CtvcConfig::ctvc_sparse(36)).unwrap();
+    let lbl = nvca.simulate_decode(1088, 1920, Dataflow::LayerByLayer);
+    let ch = nvca.simulate_decode(1088, 1920, Dataflow::Chained);
+    assert!(ch.dram_bytes < lbl.dram_bytes);
+    assert!(ch.fps > lbl.fps);
+    assert!(ch.fps > 20.0, "real-time-class decode, got {:.1}", ch.fps);
+
+    let rows = nvca::offchip_comparison(&nvca, 1088, 1920);
+    assert_eq!(rows.len(), 5);
+    let overall: f64 = 1.0
+        - rows.iter().map(|r| r.chained_bytes).sum::<u64>() as f64
+            / rows.iter().map(|r| r.baseline_bytes).sum::<u64>() as f64;
+    assert!(overall > 0.2, "overall reduction {:.2}", overall);
+}
+
+/// FXP deployment must stay close to FP in end-to-end quality — the
+/// premise of Table I's FXP row.
+#[test]
+fn fxp_tracks_fp_quality() {
+    let seq = Synthesizer::new(SceneConfig::hevc_b_like(64, 48, 3)).generate();
+    let fp = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let fxp = CtvcCodec::new(CtvcConfig::ctvc_fxp(8)).unwrap();
+    let cfp = fp.encode(&seq, RatePoint::new(1)).unwrap();
+    let cfxp = fxp.encode(&seq, RatePoint::new(1)).unwrap();
+    let dp = mean_psnr(&seq, &cfp.decoded);
+    let dq = mean_psnr(&seq, &cfxp.decoded);
+    assert!(dp - dq < 2.0, "FXP must track FP: {dq:.2} vs {dp:.2} dB");
+}
