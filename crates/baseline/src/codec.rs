@@ -1,11 +1,18 @@
-//! The hybrid codec's encode/decode loop.
+//! The hybrid codec's encode/decode loop, organized as streaming
+//! sessions ([`HybridEncoderSession`] / [`HybridDecoderSession`]) behind
+//! the workspace-wide [`VideoCodec`](nvc_video::VideoCodec) trait; the
+//! whole-sequence `encode`/`decode` methods are wrappers over them.
 
 use crate::dct::{self, BS};
 use crate::plane::Plane;
 use crate::Profile;
-use nvc_entropy::container::{read_sections, Section, SectionWriter};
+use nvc_entropy::container::{read_sections, FrameKind, Packet, Section, SectionWriter};
 use nvc_entropy::{BitReader, BitWriter, CodingError, Histogram, RangeDecoder, RangeEncoder};
 use nvc_tensor::{Shape, Tensor};
+use nvc_video::codec::{
+    DecoderSession as DecoderSessionTrait, EncoderSession as EncoderSessionTrait, StreamStats,
+    VideoCodec,
+};
 use nvc_video::{Frame, Sequence, VideoError};
 use std::error::Error;
 use std::fmt;
@@ -143,121 +150,62 @@ impl HybridCodec {
         out
     }
 
-    /// Encodes a sequence at quality `qp` (lower = better, 0..=51 useful).
+    /// Opens a streaming encoder session at quality `qp` (lower = better,
+    /// 0..=51 useful).
+    pub fn start_encode(&self, qp: u8) -> HybridEncoderSession<'_> {
+        HybridEncoderSession {
+            codec: self,
+            qp,
+            step: dct::qp_to_step(qp),
+            dims: None,
+            reference: None,
+            next_index: 0,
+            bytes_per_frame: Vec::new(),
+            total_bytes: 0,
+            last_recon: None,
+        }
+    }
+
+    /// Opens a streaming decoder session; geometry and QP come from the
+    /// first packet's embedded header.
+    pub fn start_decode(&self) -> HybridDecoderSession<'_> {
+        HybridDecoderSession {
+            codec: self,
+            stream: None,
+            reference: None,
+            next_index: 0,
+        }
+    }
+
+    /// Encodes a sequence at quality `qp` — a thin wrapper pushing every
+    /// frame through a [`HybridEncoderSession`].
     ///
     /// # Errors
     ///
     /// Returns [`CodecError::Video`] if the sequence is malformed.
     pub fn encode(&self, seq: &Sequence, qp: u8) -> Result<CodedSequence, CodecError> {
-        let step = dct::qp_to_step(qp);
-        let (w, h) = (seq.width(), seq.height());
-
-        // Sequence header.
-        let mut header = BitWriter::new();
-        header.write_bits(w as u32, 16);
-        header.write_bits(h as u32, 16);
-        header.write_bits(seq.frames().len() as u32, 16);
-        header.write_bits(qp as u32, 8);
-
-        let mut sections = SectionWriter::new();
-        sections.push(Section::SideInfo, header.finish());
-
-        let mut reference: Option<[Plane; 3]> = None;
-        let mut decoded_frames = Vec::with_capacity(seq.frames().len());
-        let mut bytes_per_frame = Vec::with_capacity(seq.frames().len());
-
-        for (fi, frame) in seq.frames().iter().enumerate() {
-            let planes = Self::frame_to_planes(frame);
-            let is_intra = fi == 0;
-            let mut models = Models::new(self.profile.search_range);
-            let mut rc = RangeEncoder::new();
-            let mut recon = [
-                Plane::zeros(w, h),
-                Plane::zeros(w, h),
-                Plane::zeros(w, h),
-            ];
-            if is_intra {
-                self.encode_intra(&planes, step, &mut models, &mut rc, &mut recon);
-            } else {
-                let reference = reference.as_ref().expect("P frame has a reference");
-                self.encode_inter(&planes, reference, step, &mut models, &mut rc, &mut recon);
-            }
-            if self.profile.deblock {
-                for p in &mut recon {
-                    deblock(p, step);
-                }
-            }
-            let payload = rc.finish();
-            bytes_per_frame.push(payload.len());
-            sections.push(if is_intra { Section::Intra } else { Section::Motion }, payload);
-            decoded_frames.push(Self::planes_to_frame(&recon));
-            reference = Some(recon);
-        }
-
-        let bitstream = sections.finish();
-        let total_bytes = bitstream.len();
-        let decoded = Sequence::new(
-            format!("{}-qp{qp}", self.profile.name),
-            decoded_frames,
-            seq.fps(),
-        )?;
-        let bpp = total_bytes as f64 * 8.0 / (seq.pixels_per_frame() * seq.frames().len()) as f64;
-        Ok(CodedSequence { bitstream, decoded, bytes_per_frame, total_bytes, bpp })
+        let coded = nvc_video::codec::encode_sequence(self, seq, qp)?;
+        let bitstream = coded.to_bytes();
+        Ok(CodedSequence {
+            bitstream,
+            decoded: coded
+                .decoded
+                .renamed(format!("{}-qp{qp}", self.profile.name)),
+            bpp: coded.stats.bpp(seq.pixels_per_frame()),
+            bytes_per_frame: coded.stats.bytes_per_frame,
+            total_bytes: coded.stats.total_bytes,
+        })
     }
 
-    /// Decodes a bitstream produced by [`encode`](Self::encode) with the
-    /// same profile.
+    /// Decodes a packetized bitstream produced by
+    /// [`encode`](Self::encode) with the same profile — a thin wrapper
+    /// over [`HybridDecoderSession`].
     ///
     /// # Errors
     ///
     /// Returns [`CodecError::Coding`] on malformed input.
     pub fn decode(&self, bitstream: &[u8]) -> Result<Sequence, CodecError> {
-        let sections = read_sections(bitstream)?;
-        let (first, rest) = sections
-            .split_first()
-            .ok_or_else(|| CodecError::BadInput("empty bitstream".into()))?;
-        if first.0 != Section::SideInfo {
-            return Err(CodecError::BadInput("missing sequence header".into()));
-        }
-        let mut hr = BitReader::new(&first.1);
-        let w = hr.read_bits(16)? as usize;
-        let h = hr.read_bits(16)? as usize;
-        let n_frames = hr.read_bits(16)? as usize;
-        let qp = hr.read_bits(8)? as u8;
-        if rest.len() != n_frames {
-            return Err(CodecError::BadInput(format!(
-                "header claims {n_frames} frames, found {}",
-                rest.len()
-            )));
-        }
-        let step = dct::qp_to_step(qp);
-        let mut reference: Option<[Plane; 3]> = None;
-        let mut frames = Vec::with_capacity(n_frames);
-        for (fi, (tag, payload)) in rest.iter().enumerate() {
-            let is_intra = *tag == Section::Intra;
-            if fi == 0 && !is_intra {
-                return Err(CodecError::BadInput("first frame must be intra".into()));
-            }
-            let mut models = Models::new(self.profile.search_range);
-            let mut rc = RangeDecoder::new(payload);
-            let mut recon = [Plane::zeros(w, h), Plane::zeros(w, h), Plane::zeros(w, h)];
-            if is_intra {
-                self.decode_intra(step, &mut models, &mut rc, &mut recon);
-            } else {
-                let reference = reference
-                    .as_ref()
-                    .ok_or_else(|| CodecError::BadInput("P frame without reference".into()))?;
-                self.decode_inter(reference, step, &mut models, &mut rc, &mut recon);
-            }
-            if self.profile.deblock {
-                for p in &mut recon {
-                    deblock(p, step);
-                }
-            }
-            frames.push(Self::planes_to_frame(&recon));
-            reference = Some(recon);
-        }
-        Ok(Sequence::new(format!("{}-decoded", self.profile.name), frames, 30.0)?)
+        nvc_video::codec::decode_bitstream(self, bitstream)
     }
 
     // ---- intra ----
@@ -298,15 +246,15 @@ impl HybridCodec {
         recon: &mut [Plane; 3],
     ) {
         let (w, h) = (recon[0].width(), recon[0].height());
-        for c in 0..3 {
+        for plane in recon.iter_mut() {
             for by in (0..h).step_by(BS) {
                 for bx in (0..w).step_by(BS) {
-                    let pred = intra_dc_pred(&recon[c], by, bx);
+                    let pred = intra_dc_pred(plane, by, bx);
                     let q = decode_block(rc, models, true);
                     let mut dq = dct::dequantize(&q, step);
                     dq[0] += pred * BS as f32;
                     let rec = dct::inverse(&dq);
-                    write_block(&mut recon[c], by, bx, &rec);
+                    write_block(plane, by, bx, &rec);
                 }
             }
         }
@@ -421,7 +369,14 @@ impl HybridCodec {
 
     /// Full-search (optionally half-pel-refined) motion estimation on the
     /// luma plane. Returns the MV in half-pel units.
-    fn search_motion(&self, cur: &Plane, reference: &Plane, by: usize, bx: usize, bs: usize) -> (i32, i32) {
+    fn search_motion(
+        &self,
+        cur: &Plane,
+        reference: &Plane,
+        by: usize,
+        bx: usize,
+        bs: usize,
+    ) -> (i32, i32) {
         let r = self.profile.search_range;
         let mut best = (0_i32, 0_i32);
         let mut best_cost = f64::INFINITY;
@@ -464,6 +419,224 @@ impl HybridCodec {
         // Clamp into the coded alphabet.
         let off = 2 * r;
         (best.0.clamp(-off, off), best.1.clamp(-off, off))
+    }
+}
+
+/// Streaming encoder session for [`HybridCodec`]: carries the previous
+/// reconstruction (the prediction reference) across frames.
+#[derive(Debug)]
+pub struct HybridEncoderSession<'a> {
+    codec: &'a HybridCodec,
+    qp: u8,
+    step: f32,
+    dims: Option<(usize, usize)>,
+    reference: Option<[Plane; 3]>,
+    next_index: u32,
+    bytes_per_frame: Vec<usize>,
+    total_bytes: usize,
+    last_recon: Option<Frame>,
+}
+
+impl HybridEncoderSession<'_> {
+    /// The quality parameter this session encodes at.
+    pub fn qp(&self) -> u8 {
+        self.qp
+    }
+
+    /// Forces the next pushed frame to be coded intra, restarting the
+    /// prediction chain.
+    pub fn restart_gop(&mut self) {
+        self.reference = None;
+    }
+}
+
+impl EncoderSessionTrait for HybridEncoderSession<'_> {
+    type Error = CodecError;
+
+    fn push_frame(&mut self, frame: &Frame) -> Result<Packet, CodecError> {
+        let (w, h) = (frame.width(), frame.height());
+        match self.dims {
+            None => self.dims = Some((w, h)),
+            Some(dims) if dims != (w, h) => {
+                return Err(CodecError::BadInput(format!(
+                    "frame {w}x{h} does not match stream {}x{}",
+                    dims.0, dims.1
+                )));
+            }
+            Some(_) => {}
+        }
+        let mut sections = SectionWriter::new();
+        if self.next_index == 0 {
+            let mut header = BitWriter::new();
+            header.write_bits(w as u32, 16);
+            header.write_bits(h as u32, 16);
+            header.write_bits(u32::from(self.qp), 8);
+            sections.push(Section::SideInfo, header.finish());
+        }
+        let planes = HybridCodec::frame_to_planes(frame);
+        let is_intra = self.reference.is_none();
+        let mut models = Models::new(self.codec.profile.search_range);
+        let mut rc = RangeEncoder::new();
+        let mut recon = [Plane::zeros(w, h), Plane::zeros(w, h), Plane::zeros(w, h)];
+        if is_intra {
+            self.codec
+                .encode_intra(&planes, self.step, &mut models, &mut rc, &mut recon);
+        } else {
+            let reference = self.reference.as_ref().expect("P frame has a reference");
+            self.codec.encode_inter(
+                &planes,
+                reference,
+                self.step,
+                &mut models,
+                &mut rc,
+                &mut recon,
+            );
+        }
+        if self.codec.profile.deblock {
+            for p in &mut recon {
+                deblock(p, self.step);
+            }
+        }
+        let payload = rc.finish();
+        self.bytes_per_frame.push(payload.len());
+        let (kind, section) = if is_intra {
+            (FrameKind::Intra, Section::Intra)
+        } else {
+            (FrameKind::Predicted, Section::Motion)
+        };
+        sections.push(section, payload);
+        self.last_recon = Some(HybridCodec::planes_to_frame(&recon));
+        self.reference = Some(recon);
+        let packet = Packet::new(self.next_index, kind, sections.finish());
+        self.total_bytes += packet.encoded_len();
+        self.next_index += 1;
+        Ok(packet)
+    }
+
+    fn last_reconstruction(&self) -> Option<&Frame> {
+        self.last_recon.as_ref()
+    }
+
+    fn frames_pushed(&self) -> usize {
+        self.next_index as usize
+    }
+
+    fn finish(self) -> Result<StreamStats, CodecError> {
+        Ok(StreamStats {
+            frames: self.next_index as usize,
+            bytes_per_frame: self.bytes_per_frame,
+            total_bytes: self.total_bytes,
+        })
+    }
+}
+
+/// Streaming decoder session for [`HybridCodec`].
+#[derive(Debug)]
+pub struct HybridDecoderSession<'a> {
+    codec: &'a HybridCodec,
+    /// `(w, h, step)` from the stream header.
+    stream: Option<(usize, usize, f32)>,
+    reference: Option<[Plane; 3]>,
+    next_index: u32,
+}
+
+impl DecoderSessionTrait for HybridDecoderSession<'_> {
+    type Error = CodecError;
+
+    fn push_packet(&mut self, bytes: &[u8]) -> Result<Frame, CodecError> {
+        let (packet, consumed) = Packet::from_bytes(bytes)?;
+        if consumed != bytes.len() {
+            return Err(CodecError::BadInput(format!(
+                "{} trailing bytes after packet",
+                bytes.len() - consumed
+            )));
+        }
+        if packet.frame_index != self.next_index {
+            return Err(CodecError::BadInput(format!(
+                "expected frame {}, got packet for frame {}",
+                self.next_index, packet.frame_index
+            )));
+        }
+        let sections = read_sections(&packet.payload)?;
+        let mut rest: &[(Section, Vec<u8>)] = &sections;
+        if self.next_index == 0 {
+            let (first, tail) = rest
+                .split_first()
+                .ok_or_else(|| CodecError::BadInput("first packet has no sections".into()))?;
+            if first.0 != Section::SideInfo {
+                return Err(CodecError::BadInput("missing stream header".into()));
+            }
+            let mut hr = BitReader::new(&first.1);
+            let w = hr.read_bits(16)? as usize;
+            let h = hr.read_bits(16)? as usize;
+            let qp = hr.read_bits(8)? as u8;
+            if w == 0 || h == 0 {
+                return Err(CodecError::BadInput(format!("bad stream geometry {w}x{h}")));
+            }
+            self.stream = Some((w, h, dct::qp_to_step(qp)));
+            rest = tail;
+        }
+        let (w, h, step) = self
+            .stream
+            .ok_or_else(|| CodecError::BadInput("no stream header yet".into()))?;
+        let payload = match (packet.kind, rest) {
+            (FrameKind::Intra, [(Section::Intra, payload)]) => payload,
+            (FrameKind::Predicted, [(Section::Motion, payload)]) => payload,
+            _ => {
+                return Err(CodecError::BadInput(
+                    "packet sections do not match its frame kind".into(),
+                ))
+            }
+        };
+        let mut models = Models::new(self.codec.profile.search_range);
+        let mut rc = RangeDecoder::new(payload);
+        let mut recon = [Plane::zeros(w, h), Plane::zeros(w, h), Plane::zeros(w, h)];
+        match packet.kind {
+            FrameKind::Intra => {
+                self.codec
+                    .decode_intra(step, &mut models, &mut rc, &mut recon);
+            }
+            FrameKind::Predicted => {
+                let reference = self
+                    .reference
+                    .as_ref()
+                    .ok_or_else(|| CodecError::BadInput("P frame without reference".into()))?;
+                self.codec
+                    .decode_inter(reference, step, &mut models, &mut rc, &mut recon);
+            }
+        }
+        if self.codec.profile.deblock {
+            for p in &mut recon {
+                deblock(p, step);
+            }
+        }
+        let frame = HybridCodec::planes_to_frame(&recon);
+        self.reference = Some(recon);
+        self.next_index += 1;
+        Ok(frame)
+    }
+
+    fn frames_decoded(&self) -> usize {
+        self.next_index as usize
+    }
+}
+
+impl VideoCodec for HybridCodec {
+    type Error = CodecError;
+    type Rate = u8;
+    type Encoder<'a> = HybridEncoderSession<'a>;
+    type Decoder<'a> = HybridDecoderSession<'a>;
+
+    fn codec_name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn start_encode(&self, qp: u8) -> Result<HybridEncoderSession<'_>, CodecError> {
+        Ok(HybridCodec::start_encode(self, qp))
+    }
+
+    fn start_decode(&self) -> HybridDecoderSession<'_> {
+        HybridCodec::start_decode(self)
     }
 }
 
@@ -551,14 +724,10 @@ fn decode_sym(rc: &mut RangeDecoder, model: &mut Histogram) -> u32 {
 
 /// Codes one quantized block: DC symbol, last-significant index, then the
 /// AC values up to `last` in zig-zag order.
-fn code_block(rc: &mut RangeEncoder, models: &mut Models, q: [i32; BS * BS], intra: bool) {
+fn code_block(rc: &mut RangeEncoder, models: &mut Models, q: [i32; BS * BS], _intra: bool) {
     let order = dct::zigzag_order();
     let dc = q[0].clamp(-DC_CLAMP, DC_CLAMP);
-    if intra {
-        encode_sym(rc, &mut models.dc, (dc + DC_CLAMP) as u32);
-    } else {
-        encode_sym(rc, &mut models.dc, (dc + DC_CLAMP) as u32);
-    }
+    encode_sym(rc, &mut models.dc, (dc + DC_CLAMP) as u32);
     // Last significant AC position in zig-zag order (1..=63), 0 = none.
     let mut last = 0usize;
     for (zi, &idx) in order.iter().enumerate().skip(1) {
@@ -649,8 +818,10 @@ mod tests {
         let lo = codec.encode(&seq, 36).unwrap();
         let pairs_hi: Vec<_> = seq.frames().iter().zip(hi.decoded.frames()).collect();
         let pairs_lo: Vec<_> = seq.frames().iter().zip(lo.decoded.frames()).collect();
-        let psnr_hi = psnr_sequence(&pairs_hi.iter().map(|(a, b)| (*a, *b)).collect::<Vec<_>>()).unwrap();
-        let psnr_lo = psnr_sequence(&pairs_lo.iter().map(|(a, b)| (*a, *b)).collect::<Vec<_>>()).unwrap();
+        let psnr_hi =
+            psnr_sequence(&pairs_hi.iter().map(|(a, b)| (*a, *b)).collect::<Vec<_>>()).unwrap();
+        let psnr_lo =
+            psnr_sequence(&pairs_lo.iter().map(|(a, b)| (*a, *b)).collect::<Vec<_>>()).unwrap();
         assert!(psnr_hi > psnr_lo + 3.0, "qp12 {psnr_hi} vs qp36 {psnr_lo}");
         assert!(hi.total_bytes > lo.total_bytes);
     }
@@ -661,14 +832,24 @@ mod tests {
         // (better prediction) for at-least-comparable quality.
         let seq = Synthesizer::new(SceneConfig::hevc_b_like(64, 48, 4)).generate();
         let qp = 26;
-        let avc = HybridCodec::new(Profile::avc_like()).encode(&seq, qp).unwrap();
-        let hevc = HybridCodec::new(Profile::hevc_like()).encode(&seq, qp).unwrap();
+        let avc = HybridCodec::new(Profile::avc_like())
+            .encode(&seq, qp)
+            .unwrap();
+        let hevc = HybridCodec::new(Profile::hevc_like())
+            .encode(&seq, qp)
+            .unwrap();
         let p_avc = psnr_sequence(
-            &seq.frames().iter().zip(avc.decoded.frames()).map(|(a, b)| (a, b)).collect::<Vec<_>>(),
+            &seq.frames()
+                .iter()
+                .zip(avc.decoded.frames())
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let p_hevc = psnr_sequence(
-            &seq.frames().iter().zip(hevc.decoded.frames()).map(|(a, b)| (a, b)).collect::<Vec<_>>(),
+            &seq.frames()
+                .iter()
+                .zip(hevc.decoded.frames())
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         // Accept either fewer bits at similar quality or better quality.
@@ -685,7 +866,9 @@ mod tests {
         let f = test_seq(1).frames()[0].clone();
         let frames = vec![f.clone(), f.clone(), f.clone(), f];
         let seq = Sequence::new("static", frames, 30.0).unwrap();
-        let coded = HybridCodec::new(Profile::hevc_like()).encode(&seq, 24).unwrap();
+        let coded = HybridCodec::new(Profile::hevc_like())
+            .encode(&seq, 24)
+            .unwrap();
         let intra = coded.bytes_per_frame[0];
         for &p in &coded.bytes_per_frame[1..] {
             // P frames still pay per-block skip flags plus coder flush.
@@ -698,6 +881,44 @@ mod tests {
         let codec = HybridCodec::new(Profile::hevc_like());
         assert!(codec.decode(&[]).is_err());
         assert!(codec.decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        use nvc_video::codec::stream_roundtrip;
+        let seq = test_seq(3);
+        let codec = HybridCodec::new(Profile::hevc_like());
+        let (coded, drift) = stream_roundtrip(&codec, &seq, 24).unwrap();
+        assert_eq!(
+            drift, 0.0,
+            "streaming decode must match the closed loop exactly"
+        );
+        let one_shot = codec.decode(&coded.to_bytes()).unwrap();
+        for (a, b) in one_shot.frames().iter().zip(coded.decoded.frames()) {
+            assert_eq!(a.tensor().as_slice(), b.tensor().as_slice());
+        }
+    }
+
+    #[test]
+    fn decoder_session_rejects_malformed_packets() {
+        use nvc_video::codec::DecoderSession as _;
+        let seq = test_seq(3);
+        let codec = HybridCodec::new(Profile::hevc_like());
+        let coded = nvc_video::codec::encode_sequence(&codec, &seq, 24).unwrap();
+        let bytes: Vec<Vec<u8>> = coded.packets.iter().map(|p| p.to_bytes()).collect();
+        // Truncation and corruption of the first packet.
+        assert!(codec
+            .start_decode()
+            .push_packet(&bytes[0][..bytes[0].len() - 1])
+            .is_err());
+        let mut corrupt = bytes[0].clone();
+        corrupt[20] ^= 0x55;
+        assert!(codec.start_decode().push_packet(&corrupt).is_err());
+        // P packet cannot lead a stream; frame indices cannot skip.
+        assert!(codec.start_decode().push_packet(&bytes[1]).is_err());
+        let mut dec = codec.start_decode();
+        dec.push_packet(&bytes[0]).unwrap();
+        assert!(dec.push_packet(&bytes[2]).is_err());
     }
 
     #[test]

@@ -6,7 +6,11 @@ pub const BS: usize = 8;
 
 fn dct_basis(u: usize, x: usize) -> f32 {
     let n = BS as f32;
-    let scale = if u == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+    let scale = if u == 0 {
+        (1.0 / n).sqrt()
+    } else {
+        (2.0 / n).sqrt()
+    };
     scale * ((std::f32::consts::PI * (x as f32 + 0.5) * u as f32) / n).cos()
 }
 
@@ -101,8 +105,11 @@ pub fn zigzag_order() -> [usize; BS * BS] {
                 (y < BS && x < BS).then_some((y, x))
             })
             .collect();
-        let iter: Box<dyn Iterator<Item = &(usize, usize)>> =
-            if s % 2 == 0 { Box::new(coords.iter().rev()) } else { Box::new(coords.iter()) };
+        let iter: Box<dyn Iterator<Item = &(usize, usize)>> = if s % 2 == 0 {
+            Box::new(coords.iter().rev())
+        } else {
+            Box::new(coords.iter())
+        };
         for &(y, x) in iter {
             order[idx] = y * BS + x;
             idx += 1;

@@ -41,7 +41,9 @@ mod codec;
 mod dct;
 mod plane;
 
-pub use codec::{CodedSequence, CodecError, HybridCodec};
+pub use codec::{
+    CodecError, CodedSequence, HybridCodec, HybridDecoderSession, HybridEncoderSession,
+};
 pub use plane::Plane;
 
 /// Configuration of the hybrid codec's toolset.
@@ -66,12 +68,24 @@ impl Profile {
     /// H.264/AVC-like toolset: 16×16 motion partitions, full-pel search,
     /// no deblocking.
     pub fn avc_like() -> Self {
-        Profile { name: "AVC-like", mc_block: 16, search_range: 8, half_pel: false, deblock: false }
+        Profile {
+            name: "AVC-like",
+            mc_block: 16,
+            search_range: 8,
+            half_pel: false,
+            deblock: false,
+        }
     }
 
     /// H.265/HEVC-like toolset: 8×8 motion partitions, half-pel search,
     /// deblocking. This profile is the BD-rate anchor.
     pub fn hevc_like() -> Self {
-        Profile { name: "HEVC-like", mc_block: 8, search_range: 12, half_pel: true, deblock: true }
+        Profile {
+            name: "HEVC-like",
+            mc_block: 8,
+            search_range: 12,
+            half_pel: true,
+            deblock: true,
+        }
     }
 }

@@ -17,7 +17,11 @@ impl Plane {
     /// Panics if either dimension is zero.
     pub fn zeros(w: usize, h: usize) -> Self {
         assert!(w > 0 && h > 0, "plane must be non-empty");
-        Plane { w, h, data: vec![0.0; w * h] }
+        Plane {
+            w,
+            h,
+            data: vec![0.0; w * h],
+        }
     }
 
     /// Creates a plane from a row-major buffer.
@@ -98,7 +102,15 @@ impl Plane {
 
     /// Sum of absolute differences between a `bs × bs` block at `(y, x)`
     /// in `self` and the block at half-pel position `(ry2, rx2)` in `reference`.
-    pub fn sad(&self, y: usize, x: usize, bs: usize, reference: &Plane, ry2: isize, rx2: isize) -> f64 {
+    pub fn sad(
+        &self,
+        y: usize,
+        x: usize,
+        bs: usize,
+        reference: &Plane,
+        ry2: isize,
+        rx2: isize,
+    ) -> f64 {
         let mut acc = 0.0_f64;
         for by in 0..bs {
             for bx in 0..bs {

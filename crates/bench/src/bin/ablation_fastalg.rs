@@ -27,13 +27,19 @@ fn main() {
     // Whole-layer Hadamard-mult counts (36 channels at 1080p/2 feature res).
     let conv = Conv2d::randn(36, 36, 3, 1, 1, 1).expect("conv");
     let dense = FastConv2d::from_conv(&conv).expect("fast");
-    let sparse = FastConv2d::from_conv_pruned(&conv, Sparsity::new(0.5).expect("rho"))
-        .expect("fast sparse");
+    let sparse =
+        FastConv2d::from_conv_pruned(&conv, Sparsity::new(0.5).expect("rho")).expect("fast sparse");
     let direct = conv.macs(544, 960);
     println!("\n3x3 conv, 36ch @ 544x960:");
     println!("  direct MACs        {:>14}", direct);
-    println!("  winograd dense     {:>14}", dense.hadamard_mults(544, 960));
-    println!("  winograd sparse50  {:>14}", sparse.hadamard_mults(544, 960));
+    println!(
+        "  winograd dense     {:>14}",
+        dense.hadamard_mults(544, 960)
+    );
+    println!(
+        "  winograd sparse50  {:>14}",
+        sparse.hadamard_mults(544, 960)
+    );
 
     let deconv = DeConv2d::randn(36, 36, 4, 2, 1, 2).expect("deconv");
     let fdense = FastDeConv2d::from_deconv(&deconv).expect("fast");
@@ -41,8 +47,14 @@ fn main() {
         .expect("fast sparse");
     println!("\n4x4 s2 deconv, 36ch @ 272x480 -> 544x960:");
     println!("  direct MACs        {:>14}", deconv.macs(272, 480));
-    println!("  fta dense          {:>14}", fdense.hadamard_mults(272, 480));
-    println!("  fta sparse50       {:>14}", fsparse.hadamard_mults(272, 480));
+    println!(
+        "  fta dense          {:>14}",
+        fdense.hadamard_mults(272, 480)
+    );
+    println!(
+        "  fta sparse50       {:>14}",
+        fsparse.hadamard_mults(272, 480)
+    );
 
     // Simulated cycles: same layer under fast vs plain MAC execution.
     println!("\nsimulated cycles for one 36ch 3x3 conv @ 544x960:");
@@ -50,13 +62,24 @@ fn main() {
     let fast_wl = Workload::new(vec![SimLayer::new(
         "conv",
         "m",
-        SimOp::Conv3x3 { c_in: 36, c_out: 36, h_out: 544, w_out: 960, stride: 1 },
+        SimOp::Conv3x3 {
+            c_in: 36,
+            c_out: 36,
+            h_out: 544,
+            w_out: 960,
+            stride: 1,
+        },
     )]);
     // Plain-mode equivalent: expose the same MACs as a 1x1 shape.
     let plain_wl = Workload::new(vec![SimLayer::new(
         "conv_plain",
         "m",
-        SimOp::Conv1x1 { c_in: 36 * 9, c_out: 36, h_out: 544, w_out: 960 },
+        SimOp::Conv1x1 {
+            c_in: 36 * 9,
+            c_out: 36,
+            h_out: 544,
+            w_out: 960,
+        },
     )]);
     let fast_rep = sim.run(&fast_wl, Dataflow::Chained);
     let plain_rep = sim.run(&plain_wl, Dataflow::Chained);

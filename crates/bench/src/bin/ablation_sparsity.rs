@@ -10,8 +10,7 @@ use nvca::Nvca;
 
 fn main() {
     println!("=== Ablation: sparsity rho sweep (paper operates at rho = 50%) ===\n");
-    let seq =
-        Synthesizer::new(SceneConfig::uvg_like(BENCH_W, BENCH_H, BENCH_FRAMES)).generate();
+    let seq = Synthesizer::new(SceneConfig::uvg_like(BENCH_W, BENCH_H, BENCH_FRAMES)).generate();
     println!(
         "{:>6} {:>12} {:>10} {:>10} {:>12} {:>10}",
         "rho", "SCU muls", "PSNR dB", "bpp", "sim fps", "gates M"
@@ -22,12 +21,7 @@ fn main() {
         cfg.sparsity = if rho > 0.0 { Some(rho) } else { None };
         let codec = CtvcCodec::new(cfg).expect("config");
         let coded = codec.encode(&seq, RatePoint::new(1)).expect("encode");
-        let pairs: Vec<_> = seq
-            .frames()
-            .iter()
-            .zip(coded.decoded.frames())
-            .map(|(a, b)| (a, b))
-            .collect();
+        let pairs: Vec<_> = seq.frames().iter().zip(coded.decoded.frames()).collect();
         let psnr = psnr_sequence(&pairs).expect("psnr");
 
         // Hardware at this sparsity (N = 36 paper workload).

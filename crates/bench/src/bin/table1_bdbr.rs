@@ -1,9 +1,7 @@
 //! Regenerates **Table I**: BDBR(%) against the H.265-like anchor, for
 //! PSNR and MS-SSIM, on the three dataset presets.
 
-use nvc_bench::{
-    dataset_presets, fmt_bd, msssim_curve, psnr_curve, rd_sweep, LadderCodec,
-};
+use nvc_bench::{dataset_presets, fmt_bd, msssim_curve, psnr_curve, rd_sweep, LadderCodec};
 use nvc_video::bdrate::bd_rate;
 use nvc_video::synthetic::Synthesizer;
 
@@ -29,13 +27,7 @@ fn main() {
 
     println!(
         "{:<22} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10}",
-        "codec",
-        "UVG/PSNR",
-        "HB/PSNR",
-        "MCL/PSNR",
-        "UVG/SSIM",
-        "HB/SSIM",
-        "MCL/SSIM"
+        "codec", "UVG/PSNR", "HB/PSNR", "MCL/PSNR", "UVG/SSIM", "HB/SSIM", "MCL/SSIM"
     );
     for codec in LadderCodec::all() {
         let mut psnr_cols = Vec::new();
@@ -45,7 +37,10 @@ fn main() {
             let samples = rd_sweep(codec, seq);
             let anchor = &anchors[i].1;
             psnr_cols.push(fmt_bd(bd_rate(&psnr_curve(anchor), &psnr_curve(&samples))));
-            ssim_cols.push(fmt_bd(bd_rate(&msssim_curve(anchor), &msssim_curve(&samples))));
+            ssim_cols.push(fmt_bd(bd_rate(
+                &msssim_curve(anchor),
+                &msssim_curve(&samples),
+            )));
         }
         println!(
             "{:<22} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10}",

@@ -76,11 +76,15 @@ fn main() {
     );
 
     let rep = nvca.simulate_decode(1088, 1920, nvc_sim::Dataflow::Chained);
-    println!("\nNVCA simulated 1080p decode: {:.1} fps, {:.2} W chip ({:.2} W with DRAM),",
-        rep.fps, rep.power_w, rep.system_power_w);
-    println!("utilization {:.0}%, {:.1} GB/s off-chip.",
+    println!(
+        "\nNVCA simulated 1080p decode: {:.1} fps, {:.2} W chip ({:.2} W with DRAM),",
+        rep.fps, rep.power_w, rep.system_power_w
+    );
+    println!(
+        "utilization {:.0}%, {:.1} GB/s off-chip.",
         rep.utilization * 100.0,
-        rep.dram_bytes as f64 * rep.fps / 1e9);
+        rep.dram_bytes as f64 * rep.fps / 1e9
+    );
     println!("\nShape check: NVCA-class throughput >> CPU; GOPS/W in the thousands");
     println!("(paper: 3525 GOPS, 4638 GOPS/W, 2.4x GPU / 11.1x CPU throughput).");
 }

@@ -87,9 +87,18 @@ pub struct RdSample {
 /// The three dataset presets of the paper's evaluation.
 pub fn dataset_presets() -> Vec<(&'static str, SceneConfig)> {
     vec![
-        ("UVG-like", SceneConfig::uvg_like(BENCH_W, BENCH_H, BENCH_FRAMES)),
-        ("HEVC-B-like", SceneConfig::hevc_b_like(BENCH_W, BENCH_H, BENCH_FRAMES)),
-        ("MCL-JCV-like", SceneConfig::mcl_jcv_like(BENCH_W, BENCH_H, BENCH_FRAMES)),
+        (
+            "UVG-like",
+            SceneConfig::uvg_like(BENCH_W, BENCH_H, BENCH_FRAMES),
+        ),
+        (
+            "HEVC-B-like",
+            SceneConfig::hevc_b_like(BENCH_W, BENCH_H, BENCH_FRAMES),
+        ),
+        (
+            "MCL-JCV-like",
+            SceneConfig::mcl_jcv_like(BENCH_W, BENCH_H, BENCH_FRAMES),
+        ),
     ]
 }
 
@@ -155,7 +164,10 @@ pub fn psnr_curve(samples: &[RdSample]) -> Vec<RdPoint> {
 
 /// Converts samples to `(rate, MS-SSIM-dB)` points for BD-rate.
 pub fn msssim_curve(samples: &[RdSample]) -> Vec<RdPoint> {
-    samples.iter().map(|s| (s.bpp, ms_ssim_db(s.ms_ssim))).collect()
+    samples
+        .iter()
+        .map(|s| (s.bpp, ms_ssim_db(s.ms_ssim)))
+        .collect()
 }
 
 /// Formats a BD-rate value (or n/a when curves do not overlap).
@@ -189,7 +201,11 @@ mod tests {
 
     #[test]
     fn curves_convert() {
-        let s = [RdSample { bpp: 0.1, psnr: 30.0, ms_ssim: 0.95 }];
+        let s = [RdSample {
+            bpp: 0.1,
+            psnr: 30.0,
+            ms_ssim: 0.95,
+        }];
         assert_eq!(psnr_curve(&s)[0], (0.1, 30.0));
         assert!(msssim_curve(&s)[0].1 > 12.0);
     }

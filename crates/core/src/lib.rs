@@ -41,11 +41,15 @@
 
 mod report;
 
+pub use nvc_entropy::container::FrameKind;
 pub use report::{offchip_comparison, OffchipRow};
 
+use nvc_entropy::container::{split_packets, Packet};
+use nvc_model::graph::LayerDesc;
 use nvc_model::{CtvcCodec, CtvcConfig, CtvcError, LayerKind};
 use nvc_sim::comparators::{PlatformRow, Provenance};
 use nvc_sim::{Dataflow, NvcaConfig, SimLayer, SimOp, SimReport, Simulator, Workload};
+use nvc_video::codec::DecoderSession;
 
 /// A CTVC-Net instance deployed on the NVCA accelerator.
 #[derive(Debug, Clone)]
@@ -62,7 +66,10 @@ impl Nvca {
     ///
     /// Returns [`CtvcError::Config`] for invalid model configurations.
     pub fn new(model: CtvcConfig, hw: NvcaConfig) -> Result<Self, CtvcError> {
-        Ok(Nvca { codec: CtvcCodec::new(model)?, simulator: Simulator::new(hw) })
+        Ok(Nvca {
+            codec: CtvcCodec::new(model)?,
+            simulator: Simulator::new(hw),
+        })
     }
 
     /// Deploys on the paper's design point (12×12 SCUs, ρ from the model
@@ -90,72 +97,85 @@ impl Nvca {
     /// Maps the decoder layer graph at `h × w` to a simulator workload.
     pub fn decoder_workload(&self, h: usize, w: usize) -> Workload {
         let graph = nvc_model::decoder_graph(self.codec.config(), h, w);
-        let layers = graph
-            .iter()
-            .map(|l| {
-                let op = match l.kind {
-                    LayerKind::Conv { k: 3, stride } => SimOp::Conv3x3 {
-                        c_in: l.c_in,
-                        c_out: l.c_out,
-                        h_out: l.h_out,
-                        w_out: l.w_out,
-                        stride,
-                    },
-                    LayerKind::Conv { k: 1, .. } => SimOp::Conv1x1 {
-                        c_in: l.c_in,
-                        c_out: l.c_out,
-                        h_out: l.h_out,
-                        w_out: l.w_out,
-                    },
-                    LayerKind::Conv { k, stride } => {
-                        // Generic odd kernels run in plain MAC mode via an
-                        // equivalent-MAC 1×1 shape.
-                        SimOp::Conv1x1 {
-                            c_in: l.c_in * k * k,
-                            c_out: l.c_out,
-                            h_out: l.h_out / stride.max(1),
-                            w_out: l.w_out,
-                        }
-                    }
-                    LayerKind::DeConv { .. } => SimOp::Deconv4x4 {
-                        c_in: l.c_in,
-                        c_out: l.c_out,
-                        h_out: l.h_out,
-                        w_out: l.w_out,
-                    },
-                    LayerKind::DfConv { groups, .. } => SimOp::DfConv3x3 {
-                        c_in: l.c_in,
-                        c_out: l.c_out,
-                        h_out: l.h_out,
-                        w_out: l.w_out,
-                        groups,
-                    },
-                    LayerKind::SwinAttention { window, heads } => SimOp::Attention {
-                        c: l.c_in,
-                        h: l.h_in,
-                        w: l.w_in,
-                        window,
-                        heads,
-                    },
-                    LayerKind::Pool { k } => SimOp::Pool {
-                        c: l.c_out,
-                        h_out: l.h_out,
-                        w_out: l.w_out,
-                        k,
-                    },
-                    // `LayerKind` is non-exhaustive; future kinds map to a
-                    // traffic-only placeholder until explicitly modelled.
-                    _ => SimOp::Pool { c: l.c_out, h_out: l.h_out, w_out: l.w_out, k: 1 },
-                };
-                SimLayer::new(format!("{}.{}", l.module, l.name), l.module, op)
-            })
-            .collect();
-        Workload::new(layers)
+        Workload::new(graph.iter().map(map_layer).collect())
+    }
+
+    /// Workload of decoding an *intra* frame at `h × w`: only the frame
+    /// reconstruction module runs (the intra payload is dequantized
+    /// straight into features; no motion/residual synthesis, no
+    /// compensation).
+    pub fn intra_workload(&self, h: usize, w: usize) -> Workload {
+        let graph = nvc_model::decoder_graph(self.codec.config(), h, w);
+        Workload::new(
+            graph
+                .iter()
+                .filter(|l| l.module == "frame_reconstruction")
+                .map(map_layer)
+                .collect(),
+        )
     }
 
     /// Simulates decoding one P frame at `h × w` under a dataflow.
     pub fn simulate_decode(&self, h: usize, w: usize, dataflow: Dataflow) -> SimReport {
         self.simulator.run(&self.decoder_workload(h, w), dataflow)
+    }
+
+    /// Maps a packetized CTVC bitstream onto the accelerator, packet by
+    /// packet: each packet is functionally decoded through a streaming
+    /// [`DecoderSession`] (validating framing, CRCs and prediction
+    /// structure) and simultaneously charged to the simulator with the
+    /// workload matching its frame type — intra packets run only frame
+    /// reconstruction, predicted packets run the full five-module decoder
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtvcError`] on any malformed packet (the stream is
+    /// validated exactly as a real decode would).
+    pub fn simulate_decode_stream(
+        &self,
+        bitstream: &[u8],
+        dataflow: Dataflow,
+    ) -> Result<StreamSimReport, CtvcError> {
+        let chunks = split_packets(bitstream)?;
+        if chunks.is_empty() {
+            return Err(CtvcError::BadInput("empty bitstream".into()));
+        }
+        let mut session = self.codec.start_decode();
+        let mut frames = Vec::with_capacity(chunks.len());
+        let (mut w, mut h) = (0usize, 0usize);
+        // The session enforces constant geometry, so the two workloads
+        // (intra / predicted) are built once, after the first decode.
+        let mut workloads: Option<(Workload, Workload)> = None;
+        for chunk in chunks {
+            let (frame_index, kind, payload_bytes) = Packet::peek_header(chunk)?;
+            let frame = session.push_packet(chunk)?;
+            (w, h) = (frame.width(), frame.height());
+            let (intra_wl, predicted_wl) = workloads
+                .get_or_insert_with(|| (self.intra_workload(h, w), self.decoder_workload(h, w)));
+            let workload = match kind {
+                FrameKind::Intra => &*intra_wl,
+                FrameKind::Predicted => &*predicted_wl,
+            };
+            frames.push(FrameSimReport {
+                frame_index,
+                kind,
+                payload_bytes,
+                report: self.simulator.run(workload, dataflow),
+            });
+        }
+        let total_cycles: u64 = frames.iter().map(|f| f.report.total_cycles).sum();
+        let dram_bytes: u64 = frames.iter().map(|f| f.report.dram_bytes).sum();
+        let fps = frames.len() as f64 * self.simulator.config().freq_mhz * 1e6
+            / total_cycles.max(1) as f64;
+        Ok(StreamSimReport {
+            width: w,
+            height: h,
+            frames,
+            total_cycles,
+            dram_bytes,
+            fps,
+        })
     }
 
     /// Produces this design's Table II row from the simulator at the
@@ -178,9 +198,106 @@ impl Nvca {
     }
 }
 
+/// Maps one decoder-graph layer onto the simulator's operator zoo.
+fn map_layer(l: &LayerDesc) -> SimLayer {
+    let op = match l.kind {
+        LayerKind::Conv { k: 3, stride } => SimOp::Conv3x3 {
+            c_in: l.c_in,
+            c_out: l.c_out,
+            h_out: l.h_out,
+            w_out: l.w_out,
+            stride,
+        },
+        LayerKind::Conv { k: 1, .. } => SimOp::Conv1x1 {
+            c_in: l.c_in,
+            c_out: l.c_out,
+            h_out: l.h_out,
+            w_out: l.w_out,
+        },
+        LayerKind::Conv { k, stride } => {
+            // Generic odd kernels run in plain MAC mode via an
+            // equivalent-MAC 1×1 shape.
+            SimOp::Conv1x1 {
+                c_in: l.c_in * k * k,
+                c_out: l.c_out,
+                h_out: l.h_out / stride.max(1),
+                w_out: l.w_out,
+            }
+        }
+        LayerKind::DeConv { .. } => SimOp::Deconv4x4 {
+            c_in: l.c_in,
+            c_out: l.c_out,
+            h_out: l.h_out,
+            w_out: l.w_out,
+        },
+        LayerKind::DfConv { groups, .. } => SimOp::DfConv3x3 {
+            c_in: l.c_in,
+            c_out: l.c_out,
+            h_out: l.h_out,
+            w_out: l.w_out,
+            groups,
+        },
+        LayerKind::SwinAttention { window, heads } => SimOp::Attention {
+            c: l.c_in,
+            h: l.h_in,
+            w: l.w_in,
+            window,
+            heads,
+        },
+        LayerKind::Pool { k } => SimOp::Pool {
+            c: l.c_out,
+            h_out: l.h_out,
+            w_out: l.w_out,
+            k,
+        },
+        // `LayerKind` is non-exhaustive; future kinds map to a
+        // traffic-only placeholder until explicitly modelled.
+        _ => SimOp::Pool {
+            c: l.c_out,
+            h_out: l.h_out,
+            w_out: l.w_out,
+            k: 1,
+        },
+    };
+    SimLayer::new(format!("{}.{}", l.module, l.name), l.module, op)
+}
+
+/// Hardware cost of decoding one packet of a stream.
+#[derive(Debug, Clone)]
+pub struct FrameSimReport {
+    /// Frame index from the packet header.
+    pub frame_index: u32,
+    /// Frame type from the packet header.
+    pub kind: FrameKind,
+    /// Coded payload bytes of the packet.
+    pub payload_bytes: usize,
+    /// Simulator report for this frame's workload.
+    pub report: SimReport,
+}
+
+/// Aggregate hardware cost of decoding a packetized stream (see
+/// [`Nvca::simulate_decode_stream`]).
+#[derive(Debug, Clone)]
+pub struct StreamSimReport {
+    /// Stream width in pixels.
+    pub width: usize,
+    /// Stream height in pixels.
+    pub height: usize,
+    /// Per-packet breakdown, in decode order.
+    pub frames: Vec<FrameSimReport>,
+    /// Total cycles across all packets.
+    pub total_cycles: u64,
+    /// Total DRAM traffic across all packets.
+    pub dram_bytes: u64,
+    /// Sustained decode rate over the stream.
+    pub fps: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nvc_model::RatePoint;
+    use nvc_video::synthetic::{SceneConfig, Synthesizer};
 
     #[test]
     fn workload_mapping_preserves_macs() {
@@ -190,7 +307,10 @@ mod tests {
         let wl = nvca.decoder_workload(128, 128);
         let wl_macs = wl.total_macs();
         let rel = (graph_macs as f64 - wl_macs as f64).abs() / graph_macs as f64;
-        assert!(rel < 0.05, "MAC mismatch: graph {graph_macs} vs workload {wl_macs}");
+        assert!(
+            rel < 0.05,
+            "MAC mismatch: graph {graph_macs} vs workload {wl_macs}"
+        );
     }
 
     #[test]
@@ -200,7 +320,11 @@ mod tests {
         // order of magnitude, correct side of real-time).
         let nvca = Nvca::paper_design(CtvcConfig::ctvc_sparse(36)).unwrap();
         let rep = nvca.simulate_decode(1088, 1920, Dataflow::Chained);
-        assert!(rep.fps >= 20.0, "must sustain ≈ real time, got {:.1} fps", rep.fps);
+        assert!(
+            rep.fps >= 20.0,
+            "must sustain ≈ real time, got {:.1} fps",
+            rep.fps
+        );
         assert!(rep.fps < 500.0, "implausibly fast: {:.1} fps", rep.fps);
         assert!(
             (0.2..3.0).contains(&rep.power_w),
@@ -227,6 +351,40 @@ mod tests {
             reduction * 100.0
         );
         assert!(ch.fps >= lbl.fps);
+    }
+
+    #[test]
+    fn stream_simulation_tracks_frame_types() {
+        let nvca = Nvca::paper_design(CtvcConfig::ctvc_sparse(8)).unwrap();
+        let seq = Synthesizer::new(SceneConfig::uvg_like(48, 32, 3)).generate();
+        let coded = nvca.codec().encode(&seq, RatePoint::new(1)).unwrap();
+        let rep = nvca
+            .simulate_decode_stream(&coded.bitstream, Dataflow::Chained)
+            .unwrap();
+        assert_eq!((rep.width, rep.height), (48, 32));
+        assert_eq!(rep.frames.len(), 3);
+        assert_eq!(rep.frames[0].kind, FrameKind::Intra);
+        assert!(rep.frames[1..]
+            .iter()
+            .all(|f| f.kind == FrameKind::Predicted));
+        // Intra decode exercises only frame reconstruction: strictly
+        // cheaper than a predicted frame.
+        assert!(rep.frames[0].report.total_cycles < rep.frames[1].report.total_cycles);
+        assert_eq!(
+            rep.total_cycles,
+            rep.frames
+                .iter()
+                .map(|f| f.report.total_cycles)
+                .sum::<u64>()
+        );
+        assert!(rep.fps > 0.0);
+        // Malformed streams are rejected, never panic.
+        assert!(nvca.simulate_decode_stream(&[], Dataflow::Chained).is_err());
+        let mut bad = coded.bitstream.clone();
+        bad.truncate(bad.len() - 3);
+        assert!(nvca
+            .simulate_decode_stream(&bad, Dataflow::Chained)
+            .is_err());
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub fn offchip_comparison(nvca: &Nvca, h: usize, w: usize) -> Vec<OffchipRow> {
         let b = baseline.module_dram_bytes.get(module).copied().unwrap_or(0);
         let c = chained.module_dram_bytes.get(module).copied().unwrap_or(0);
         if b > 0 || c > 0 {
-            rows.push(OffchipRow { module, baseline_bytes: b, chained_bytes: c });
+            rows.push(OffchipRow {
+                module,
+                baseline_bytes: b,
+                chained_bytes: c,
+            });
         }
     }
     rows
@@ -65,7 +69,11 @@ mod tests {
 
     #[test]
     fn reduction_pct_handles_zero_baseline() {
-        let row = OffchipRow { module: "x", baseline_bytes: 0, chained_bytes: 0 };
+        let row = OffchipRow {
+            module: "x",
+            baseline_bytes: 0,
+            chained_bytes: 0,
+        };
         assert_eq!(row.reduction_pct(), 0.0);
     }
 }

@@ -68,7 +68,11 @@ impl BitWriter {
 
     /// Writes a signed Exp-Golomb code (H.264 `se(v)`).
     pub fn write_se(&mut self, value: i32) {
-        let mapped = if value > 0 { (value as u32) * 2 - 1 } else { (-(value as i64) * 2) as u32 };
+        let mapped = if value > 0 {
+            (value as u32) * 2 - 1
+        } else {
+            (-(value as i64) * 2) as u32
+        };
         self.write_ue(mapped);
     }
 
@@ -108,7 +112,11 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0, bit: 0 }
+        BitReader {
+            bytes,
+            pos: 0,
+            bit: 0,
+        }
     }
 
     /// Reads `n` bits MSB-first.
@@ -158,7 +166,11 @@ impl<'a> BitReader<'a> {
                 return Err(CodingError::UnexpectedEof);
             }
         }
-        let rest = if zeros == 0 { 0 } else { self.read_bits(zeros)? };
+        let rest = if zeros == 0 {
+            0
+        } else {
+            self.read_bits(zeros)?
+        };
         Ok((1u32 << zeros) - 1 + rest)
     }
 
@@ -169,7 +181,11 @@ impl<'a> BitReader<'a> {
     /// Returns [`CodingError::UnexpectedEof`] past the end of input.
     pub fn read_se(&mut self) -> Result<i32, CodingError> {
         let mapped = self.read_ue()?;
-        Ok(if mapped % 2 == 1 { ((mapped + 1) / 2) as i32 } else { -((mapped / 2) as i32) })
+        Ok(if mapped % 2 == 1 {
+            mapped.div_ceil(2) as i32
+        } else {
+            -((mapped / 2) as i32)
+        })
     }
 
     /// Bits consumed so far.

@@ -1,11 +1,20 @@
-//! Sectioned bitstream container.
+//! Sectioned bitstream container and length-delimited frame packets.
 //!
-//! A coded frame in the NVC pipeline carries several independent streams
-//! (quantized motion latents, quantized residual latents, side
-//! information). The container frames them as `[tag: u8][len: u32 LE]
-//! [payload]` sections so the decoder can route each stream to its
-//! synthesis module, mirroring how the paper's DMA controller distributes
-//! "Sparse Index / Intermediate data / Weight" regions.
+//! Two framing layers live here:
+//!
+//! * **Sections** — a coded frame in the NVC pipeline carries several
+//!   independent streams (quantized motion latents, quantized residual
+//!   latents, side information). The container frames them as
+//!   `[tag: u8][len: u32 LE][payload]` sections so the decoder can route
+//!   each stream to its synthesis module, mirroring how the paper's DMA
+//!   controller distributes "Sparse Index / Intermediate data / Weight"
+//!   regions.
+//! * **Packets** — one [`Packet`] per coded frame wraps the frame's
+//!   sections with a small header (`[len: u32 LE][frame_index: u32 LE]
+//!   [frame_kind: u8][crc32: u32 LE]`) so bitstreams can be *streamed*:
+//!   packets are length-delimited (a decoder can pull one frame at a time
+//!   off a byte stream), truncation is always detected, and payload
+//!   corruption is caught by the CRC before any entropy decoding runs.
 //!
 //! # Example
 //!
@@ -56,7 +65,9 @@ impl Section {
             0x52 => Ok(Section::Residual),
             0x53 => Ok(Section::SideInfo),
             0x49 => Ok(Section::Intra),
-            other => Err(CodingError::BadContainer { reason: format!("unknown tag 0x{other:02X}") }),
+            other => Err(CodingError::BadContainer {
+                reason: format!("unknown tag 0x{other:02X}"),
+            }),
         }
     }
 }
@@ -76,7 +87,8 @@ impl SectionWriter {
     /// Appends one section.
     pub fn push(&mut self, section: Section, payload: Vec<u8>) {
         self.bytes.push(section.tag());
-        self.bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.bytes
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.bytes.extend_from_slice(&payload);
     }
 
@@ -106,11 +118,15 @@ pub fn read_sections(bytes: &[u8]) -> Result<Vec<(Section, Vec<u8>)>, CodingErro
     let mut pos = 0usize;
     while pos < bytes.len() {
         if pos + 5 > bytes.len() {
-            return Err(CodingError::BadContainer { reason: "truncated section header".into() });
+            return Err(CodingError::BadContainer {
+                reason: "truncated section header".into(),
+            });
         }
         let section = Section::from_tag(bytes[pos])?;
         let len = u32::from_le_bytes(
-            bytes[pos + 1..pos + 5].try_into().expect("slice is 4 bytes"),
+            bytes[pos + 1..pos + 5]
+                .try_into()
+                .expect("slice is 4 bytes"),
         ) as usize;
         pos += 5;
         if pos + len > bytes.len() {
@@ -135,7 +151,217 @@ pub fn find_section(bytes: &[u8], section: Section) -> Result<Vec<u8>, CodingErr
         .into_iter()
         .find(|(s, _)| *s == section)
         .map(|(_, payload)| payload)
-        .ok_or_else(|| CodingError::BadContainer { reason: format!("missing section {section:?}") })
+        .ok_or_else(|| CodingError::BadContainer {
+            reason: format!("missing section {section:?}"),
+        })
+}
+
+/// Frame type carried in a packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Intra-coded frame: decodable without a reference; (re)starts the
+    /// prediction chain. Its payload also carries the stream header when
+    /// it is the first packet of a stream.
+    Intra,
+    /// Predicted frame: requires the previous reconstruction.
+    Predicted,
+}
+
+impl FrameKind {
+    fn tag(self) -> u8 {
+        match self {
+            FrameKind::Intra => 0x49,     // 'I'
+            FrameKind::Predicted => 0x50, // 'P'
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodingError> {
+        match tag {
+            0x49 => Ok(FrameKind::Intra),
+            0x50 => Ok(FrameKind::Predicted),
+            other => Err(CodingError::BadContainer {
+                reason: format!("unknown frame kind 0x{other:02X}"),
+            }),
+        }
+    }
+}
+
+/// Size of the fixed packet header:
+/// `[len: u32][frame_index: u32][frame_kind: u8][crc32: u32]`.
+pub const PACKET_HEADER_BYTES: usize = 13;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One length-delimited coded frame of a packetized bitstream.
+///
+/// # Example
+///
+/// ```
+/// use nvc_entropy::container::{FrameKind, Packet};
+/// # fn main() -> Result<(), nvc_entropy::CodingError> {
+/// let p = Packet::new(0, FrameKind::Intra, vec![1, 2, 3]);
+/// let bytes = p.to_bytes();
+/// let (back, consumed) = Packet::from_bytes(&bytes)?;
+/// assert_eq!(back, p);
+/// assert_eq!(consumed, bytes.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Zero-based frame index within the stream.
+    pub frame_index: u32,
+    /// Frame type.
+    pub kind: FrameKind,
+    /// The frame's coded payload (its sections).
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(frame_index: u32, kind: FrameKind, payload: Vec<u8>) -> Self {
+        Packet {
+            frame_index,
+            kind,
+            payload,
+        }
+    }
+
+    /// Total serialized size (header + payload).
+    pub fn encoded_len(&self) -> usize {
+        PACKET_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Serializes the packet: header followed by the payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.frame_index.to_le_bytes());
+        out.push(self.kind.tag());
+        out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses just the fixed header fields — `(frame_index, kind,
+    /// payload_len)` — without copying the payload or checking its CRC.
+    /// Cheap routing primitive for muxers/schedulers; full validation
+    /// still happens in [`Packet::from_bytes`] / the decoder session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadContainer`] on a truncated header or an
+    /// unknown frame kind.
+    pub fn peek_header(bytes: &[u8]) -> Result<(u32, FrameKind, usize), CodingError> {
+        if bytes.len() < PACKET_HEADER_BYTES {
+            return Err(CodingError::BadContainer {
+                reason: format!(
+                    "truncated packet header: {} of {PACKET_HEADER_BYTES} bytes",
+                    bytes.len()
+                ),
+            });
+        }
+        let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+        let frame_index = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let kind = FrameKind::from_tag(bytes[8])?;
+        Ok((frame_index, kind, len))
+    }
+
+    /// Parses one packet off the front of `bytes`, validating the header
+    /// and the payload CRC. Returns the packet and the number of bytes
+    /// consumed (trailing bytes are left for the next packet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadContainer`] on truncation, an unknown
+    /// frame kind, or a CRC mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(Packet, usize), CodingError> {
+        if bytes.len() < PACKET_HEADER_BYTES {
+            return Err(CodingError::BadContainer {
+                reason: format!(
+                    "truncated packet header: {} of {PACKET_HEADER_BYTES} bytes",
+                    bytes.len()
+                ),
+            });
+        }
+        let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+        let frame_index = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let kind = FrameKind::from_tag(bytes[8])?;
+        let crc = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes"));
+        let total =
+            len.checked_add(PACKET_HEADER_BYTES)
+                .ok_or_else(|| CodingError::BadContainer {
+                    reason: format!("packet length {len} overflows"),
+                })?;
+        if bytes.len() < total {
+            return Err(CodingError::BadContainer {
+                reason: format!(
+                    "truncated packet: payload claims {len} bytes, {} remain",
+                    bytes.len() - PACKET_HEADER_BYTES
+                ),
+            });
+        }
+        let payload = &bytes[PACKET_HEADER_BYTES..total];
+        let actual = crc32(payload);
+        if actual != crc {
+            return Err(CodingError::BadContainer {
+                reason: format!("packet CRC mismatch: stored {crc:08X}, computed {actual:08X}"),
+            });
+        }
+        Ok((Packet::new(frame_index, kind, payload.to_vec()), total))
+    }
+}
+
+/// Splits a concatenated packet stream into per-packet byte slices using
+/// only the length fields (no CRC validation — that happens when each
+/// slice is handed to [`Packet::from_bytes`] or a decoder session).
+///
+/// The split detects any *mid-packet* truncation. Loss of whole trailing
+/// packets is invisible here by design: a packet stream is open-ended
+/// (a live encoder does not know its length up front), so total frame
+/// count is transport-level metadata, exactly as in RTP-class protocols.
+///
+/// # Errors
+///
+/// Returns [`CodingError::BadContainer`] if the stream ends mid-packet.
+pub fn split_packets(bytes: &[u8]) -> Result<Vec<&[u8]>, CodingError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if pos + PACKET_HEADER_BYTES > bytes.len() {
+            return Err(CodingError::BadContainer {
+                reason: "truncated packet header in stream".into(),
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let total =
+            len.checked_add(PACKET_HEADER_BYTES)
+                .ok_or_else(|| CodingError::BadContainer {
+                    reason: format!("packet length {len} overflows"),
+                })?;
+        if total > bytes.len() - pos {
+            return Err(CodingError::BadContainer {
+                reason: format!(
+                    "truncated packet in stream: claims {len} payload bytes, {} remain",
+                    bytes.len() - pos - PACKET_HEADER_BYTES
+                ),
+            });
+        }
+        out.push(&bytes[pos..pos + total]);
+        pos += total;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -185,5 +411,51 @@ mod tests {
     fn empty_container_is_valid() {
         assert!(read_sections(&[]).unwrap().is_empty());
         assert!(SectionWriter::new().is_empty());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn packet_stream_splits_and_validates() {
+        let a = Packet::new(0, FrameKind::Intra, vec![7; 10]);
+        let b = Packet::new(1, FrameKind::Predicted, Vec::new());
+        let mut stream = a.to_bytes();
+        stream.extend(b.to_bytes());
+        let chunks = split_packets(&stream).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(Packet::from_bytes(chunks[0]).unwrap().0, a);
+        assert_eq!(Packet::from_bytes(chunks[1]).unwrap().0, b);
+        // Stream truncation is detected at the split layer.
+        assert!(split_packets(&stream[..stream.len() - 1]).is_err());
+        assert!(split_packets(&stream[..5]).is_err());
+    }
+
+    #[test]
+    fn packet_rejects_hostile_length_field() {
+        // Maximum u32 length must produce a clean error (no arithmetic
+        // overflow), on every pointer width.
+        let mut bytes = vec![0xFF, 0xFF, 0xFF, 0xFF]; // len = u32::MAX
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // frame_index
+        bytes.push(0x49); // Intra
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // crc
+        bytes.extend_from_slice(&[0; 64]);
+        assert!(Packet::from_bytes(&bytes).is_err());
+        assert!(split_packets(&bytes).is_err());
+    }
+
+    #[test]
+    fn packet_rejects_bad_kind_and_crc() {
+        let p = Packet::new(4, FrameKind::Predicted, vec![1, 2, 3, 4]);
+        let mut bytes = p.to_bytes();
+        bytes[8] = 0xFF; // invalid frame kind
+        assert!(Packet::from_bytes(&bytes).is_err());
+        let mut bytes = p.to_bytes();
+        *bytes.last_mut().unwrap() ^= 1; // payload corruption
+        assert!(Packet::from_bytes(&bytes).is_err());
     }
 }

@@ -43,10 +43,14 @@ impl Histogram {
     /// or the total exceeds the coder limit.
     pub fn from_freqs(freqs: &[u32]) -> Result<Self, CodingError> {
         if freqs.is_empty() {
-            return Err(CodingError::InvalidModel { reason: "empty alphabet".into() });
+            return Err(CodingError::InvalidModel {
+                reason: "empty alphabet".into(),
+            });
         }
-        if freqs.iter().any(|&f| f == 0) {
-            return Err(CodingError::InvalidModel { reason: "zero frequency".into() });
+        if freqs.contains(&0) {
+            return Err(CodingError::InvalidModel {
+                reason: "zero frequency".into(),
+            });
         }
         let total: u64 = freqs.iter().map(|&f| f as u64).sum();
         if total >= (crate::range::MAX_TOTAL as u64) {
@@ -54,7 +58,11 @@ impl Histogram {
                 reason: format!("total {total} exceeds coder limit"),
             });
         }
-        let mut h = Histogram { freqs: freqs.to_vec(), cum: Vec::new(), dirty: true };
+        let mut h = Histogram {
+            freqs: freqs.to_vec(),
+            cum: Vec::new(),
+            dirty: true,
+        };
         h.rebuild();
         Ok(h)
     }
@@ -93,7 +101,10 @@ impl Histogram {
     pub fn interval(&self, symbol: u32) -> Interval {
         let s = symbol as usize;
         assert!(s < self.freqs.len(), "symbol {symbol} outside alphabet");
-        Interval { low: self.cum[s], high: self.cum[s + 1] }
+        Interval {
+            low: self.cum[s],
+            high: self.cum[s + 1],
+        }
     }
 
     /// Finds the symbol whose interval contains cumulative frequency `f`.
@@ -114,7 +125,13 @@ impl Histogram {
                 hi = mid;
             }
         }
-        (lo as u32, Interval { low: self.cum[lo], high: self.cum[lo + 1] })
+        (
+            lo as u32,
+            Interval {
+                low: self.cum[lo],
+                high: self.cum[lo + 1],
+            },
+        )
     }
 
     /// Adaptive update: increments `symbol`'s frequency by 32, halving the
@@ -167,7 +184,9 @@ impl LaplaceModel {
     /// or `max_sym` is 0 or enormous.
     pub fn new(b: f64, max_sym: i32) -> Result<Self, CodingError> {
         if !(b.is_finite() && b > 0.0) {
-            return Err(CodingError::InvalidModel { reason: format!("scale {b} must be > 0") });
+            return Err(CodingError::InvalidModel {
+                reason: format!("scale {b} must be > 0"),
+            });
         }
         if max_sym <= 0 || max_sym > 4096 {
             return Err(CodingError::InvalidModel {
@@ -193,7 +212,10 @@ impl LaplaceModel {
         // Ensure central symbol dominates ties for determinism.
         let centre = max_sym as usize;
         freqs[centre] = freqs[centre].max(2);
-        Ok(LaplaceModel { hist: Histogram::from_freqs(&freqs)?, max_sym })
+        Ok(LaplaceModel {
+            hist: Histogram::from_freqs(&freqs)?,
+            max_sym,
+        })
     }
 
     /// Largest representable magnitude; values beyond are clamped by

@@ -33,7 +33,13 @@ impl Default for RangeEncoder {
 impl RangeEncoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
-        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, bytes: Vec::new() }
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            bytes: Vec::new(),
+        }
     }
 
     /// Encodes one symbol occupying `interval` under a model with total
@@ -106,7 +112,12 @@ impl<'a> RangeDecoder<'a> {
     /// Creates a decoder over `bytes`. Reading past the end yields zero
     /// bytes, matching the encoder's implicit zero tail.
     pub fn new(bytes: &'a [u8]) -> Self {
-        let mut dec = RangeDecoder { code: 0, range: u32::MAX, bytes, pos: 0 };
+        let mut dec = RangeDecoder {
+            code: 0,
+            range: u32::MAX,
+            bytes,
+            pos: 0,
+        };
         // First byte is the encoder's initial zero cache; skip it, then
         // load 4 code bytes.
         dec.next_byte();
@@ -161,8 +172,21 @@ impl<'a> RangeDecoder<'a> {
 mod tests {
     use super::*;
     use crate::models::Histogram;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use nvc_tensor::init::SplitMix64;
+
+    /// Thin uniform-range wrapper over the workspace's shared PRNG.
+    struct TestRng(SplitMix64);
+
+    impl TestRng {
+        fn seeded(seed: u64) -> Self {
+            TestRng(SplitMix64::new(seed))
+        }
+
+        /// Uniform in `[lo, hi)`.
+        fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.0.next_u64() % (hi - lo)
+        }
+    }
 
     fn roundtrip(symbols: &[u32], model: &Histogram) -> Vec<u32> {
         let mut enc = RangeEncoder::new();
@@ -222,21 +246,22 @@ mod tests {
 
     #[test]
     fn random_models_random_symbols_roundtrip() {
-        let mut rng = SmallRng::seed_from_u64(0xC0DE);
+        let mut rng = TestRng::seeded(0xC0DE);
         for _ in 0..20 {
-            let n_sym = rng.gen_range(2..40usize);
-            let freqs: Vec<u32> = (0..n_sym).map(|_| rng.gen_range(1..500u32)).collect();
+            let n_sym = rng.range(2, 40) as usize;
+            let freqs: Vec<u32> = (0..n_sym).map(|_| rng.range(1, 500) as u32).collect();
             let model = Histogram::from_freqs(&freqs).unwrap();
-            let symbols: Vec<u32> =
-                (0..rng.gen_range(1..2000)).map(|_| rng.gen_range(0..n_sym as u32)).collect();
+            let symbols: Vec<u32> = (0..rng.range(1, 2000))
+                .map(|_| rng.range(0, n_sym as u64) as u32)
+                .collect();
             assert_eq!(roundtrip(&symbols, &model), symbols);
         }
     }
 
     #[test]
     fn adaptive_model_roundtrip() {
-        let mut rng = SmallRng::seed_from_u64(7);
-        let symbols: Vec<u32> = (0..3000).map(|_| rng.gen_range(0..8u32)).collect();
+        let mut rng = TestRng::seeded(7);
+        let symbols: Vec<u32> = (0..3000).map(|_| rng.range(0, 8) as u32).collect();
         let mut enc_model = Histogram::uniform(8);
         let mut enc = RangeEncoder::new();
         for &s in &symbols {

@@ -1,22 +1,43 @@
-//! Property tests: the entropy stack must be lossless for arbitrary
-//! symbol streams, and code length must track model entropy.
+//! Randomized-but-deterministic tests: the entropy stack must be lossless
+//! for arbitrary symbol streams, code length must track model entropy, and
+//! the packetized container must reject every corruption it can detect.
+//!
+//! The workspace's shared SplitMix64 PRNG drives the case generation so
+//! the crate needs no external test dependencies.
 
-use nvc_entropy::container::{read_sections, Section, SectionWriter};
+use nvc_entropy::container::{
+    read_sections, split_packets, FrameKind, Packet, Section, SectionWriter, PACKET_HEADER_BYTES,
+};
 use nvc_entropy::{BitReader, BitWriter, Histogram, LaplaceModel, RangeDecoder, RangeEncoder};
-use proptest::prelude::*;
+use nvc_tensor::init::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+struct Rng(SplitMix64);
 
-    /// Any symbol stream under any valid static histogram roundtrips.
-    #[test]
-    fn range_coder_roundtrips(
-        freqs in proptest::collection::vec(1u32..300, 2..24),
-        raw_symbols in proptest::collection::vec(0u32..1000, 0..600),
-    ) {
+impl Rng {
+    fn seeded(seed: u64) -> Self {
+        Rng(SplitMix64::new(seed))
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.0.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.0.next_u64() as u8).collect()
+    }
+}
+
+/// Any symbol stream under any valid static histogram roundtrips.
+#[test]
+fn range_coder_roundtrips() {
+    let mut rng = Rng::seeded(0x5EED_0001);
+    for _ in 0..48 {
+        let n = rng.range(2, 24) as usize;
+        let freqs: Vec<u32> = (0..n).map(|_| rng.range(1, 300) as u32).collect();
         let model = Histogram::from_freqs(&freqs).unwrap();
-        let n = model.len() as u32;
-        let symbols: Vec<u32> = raw_symbols.iter().map(|s| s % n).collect();
+        let len = rng.range(0, 600) as usize;
+        let symbols: Vec<u32> = (0..len).map(|_| rng.range(0, n as i64) as u32).collect();
         let mut enc = RangeEncoder::new();
         for &s in &symbols {
             enc.encode(&model.interval(s), model.total());
@@ -27,19 +48,23 @@ proptest! {
             let f = dec.decode_freq(model.total());
             let (s, iv) = model.lookup(f);
             dec.decode_update(&iv, model.total());
-            prop_assert_eq!(s, expect);
+            assert_eq!(s, expect);
         }
     }
+}
 
-    /// Laplace-coded integer streams roundtrip, including clamped values.
-    #[test]
-    fn laplace_roundtrips(
-        b in 0.2f64..8.0,
-        max_sym in 4i32..64,
-        values in proptest::collection::vec(-200i32..200, 0..400),
-    ) {
+/// Laplace-coded integer streams roundtrip, including clamped values.
+#[test]
+fn laplace_roundtrips() {
+    let mut rng = Rng::seeded(0x5EED_0002);
+    for _ in 0..48 {
+        let b = 0.2 + rng.range(0, 780) as f64 / 100.0;
+        let max_sym = rng.range(4, 64) as i32;
         let model = LaplaceModel::new(b, max_sym).unwrap();
-        let clamped: Vec<i32> = values.iter().map(|&v| model.clamp(v)).collect();
+        let len = rng.range(0, 400) as usize;
+        let clamped: Vec<i32> = (0..len)
+            .map(|_| model.clamp(rng.range(-200, 200) as i32))
+            .collect();
         let mut enc = RangeEncoder::new();
         for &v in &clamped {
             enc.encode(&model.interval(v), model.total());
@@ -50,16 +75,17 @@ proptest! {
             let f = dec.decode_freq(model.total());
             let (v, iv) = model.lookup(f);
             dec.decode_update(&iv, model.total());
-            prop_assert_eq!(v, expect);
+            assert_eq!(v, expect);
         }
     }
+}
 
-    /// Measured code length stays within a few percent of the model's
-    /// ideal entropy for long streams.
-    #[test]
-    fn code_length_tracks_entropy(seed in 0u64..200) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+/// Measured code length stays within a few percent of the model's ideal
+/// entropy for long streams.
+#[test]
+fn code_length_tracks_entropy() {
+    for seed in [3u64, 77, 190] {
+        let mut rng = Rng::seeded(seed);
         let model = LaplaceModel::new(1.5, 32).unwrap();
         // Sample from the model itself.
         let total = model.total();
@@ -67,24 +93,34 @@ proptest! {
         let mut enc = RangeEncoder::new();
         let n = 4000;
         for _ in 0..n {
-            let f = rng.gen_range(0..total);
+            let f = rng.range(0, total as i64) as u32;
             let (v, _) = model.lookup(f);
             ideal_bits += model.expected_bits(v);
             enc.encode(&model.interval(v), total);
         }
         let actual_bits = (enc.finish().len() * 8) as f64;
         // Range coding overhead is bounded; allow 3% + flush slack.
-        prop_assert!(actual_bits <= ideal_bits * 1.03 + 64.0,
-            "actual {actual_bits} vs ideal {ideal_bits}");
+        assert!(
+            actual_bits <= ideal_bits * 1.03 + 64.0,
+            "actual {actual_bits} vs ideal {ideal_bits}"
+        );
     }
+}
 
-    /// Bit I/O with mixed fixed-width and Exp-Golomb fields roundtrips.
-    #[test]
-    fn bit_io_roundtrips(
-        fields in proptest::collection::vec((0u32..65536, 1u8..17), 0..100),
-        ue_vals in proptest::collection::vec(0u32..10_000, 0..100),
-        se_vals in proptest::collection::vec(-5000i32..5000, 0..100),
-    ) {
+/// Bit I/O with mixed fixed-width and Exp-Golomb fields roundtrips.
+#[test]
+fn bit_io_roundtrips() {
+    let mut rng = Rng::seeded(0x5EED_0003);
+    for _ in 0..48 {
+        let fields: Vec<(u32, u8)> = (0..rng.range(0, 100))
+            .map(|_| (rng.range(0, 65536) as u32, rng.range(1, 17) as u8))
+            .collect();
+        let ue_vals: Vec<u32> = (0..rng.range(0, 100))
+            .map(|_| rng.range(0, 10_000) as u32)
+            .collect();
+        let se_vals: Vec<i32> = (0..rng.range(0, 100))
+            .map(|_| rng.range(-5000, 5000) as i32)
+            .collect();
         let mut w = BitWriter::new();
         for &(v, n) in &fields {
             w.write_bits(v & ((1u32 << n) - 1), n);
@@ -98,33 +134,120 @@ proptest! {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         for &(v, n) in &fields {
-            prop_assert_eq!(r.read_bits(n).unwrap(), v & ((1u32 << n) - 1));
+            assert_eq!(r.read_bits(n).unwrap(), v & ((1u32 << n) - 1));
         }
         for &v in &ue_vals {
-            prop_assert_eq!(r.read_ue().unwrap(), v);
+            assert_eq!(r.read_ue().unwrap(), v);
         }
         for &v in &se_vals {
-            prop_assert_eq!(r.read_se().unwrap(), v);
+            assert_eq!(r.read_se().unwrap(), v);
         }
     }
+}
 
-    /// Containers with arbitrary payloads roundtrip in order.
-    #[test]
-    fn container_roundtrips(
-        payloads in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..200), 0..10),
-    ) {
-        let tags = [Section::Motion, Section::Residual, Section::SideInfo, Section::Intra];
+/// Containers with arbitrary payloads roundtrip in order.
+#[test]
+fn container_roundtrips() {
+    let mut rng = Rng::seeded(0x5EED_0004);
+    let tags = [
+        Section::Motion,
+        Section::Residual,
+        Section::SideInfo,
+        Section::Intra,
+    ];
+    for _ in 0..48 {
+        let payloads: Vec<Vec<u8>> = (0..rng.range(0, 10))
+            .map(|_| {
+                let len = rng.range(0, 200) as usize;
+                rng.bytes(len)
+            })
+            .collect();
         let mut w = SectionWriter::new();
         for (i, p) in payloads.iter().enumerate() {
             w.push(tags[i % 4], p.clone());
         }
         let bytes = w.finish();
         let sections = read_sections(&bytes).unwrap();
-        prop_assert_eq!(sections.len(), payloads.len());
+        assert_eq!(sections.len(), payloads.len());
         for (i, (tag, payload)) in sections.iter().enumerate() {
-            prop_assert_eq!(*tag, tags[i % 4]);
-            prop_assert_eq!(payload, &payloads[i]);
+            assert_eq!(*tag, tags[i % 4]);
+            assert_eq!(payload, &payloads[i]);
+        }
+    }
+}
+
+/// Frame packets roundtrip through serialization, individually and as a
+/// concatenated stream.
+#[test]
+fn packets_roundtrip() {
+    let mut rng = Rng::seeded(0x5EED_0005);
+    for _ in 0..48 {
+        let n = rng.range(1, 12) as usize;
+        let packets: Vec<Packet> = (0..n)
+            .map(|i| {
+                let kind = if i == 0 {
+                    FrameKind::Intra
+                } else {
+                    FrameKind::Predicted
+                };
+                let len = rng.range(0, 300) as usize;
+                Packet::new(i as u32, kind, rng.bytes(len))
+            })
+            .collect();
+        // Individual roundtrip.
+        for p in &packets {
+            let bytes = p.to_bytes();
+            assert_eq!(bytes.len(), PACKET_HEADER_BYTES + p.payload.len());
+            let (back, consumed) = Packet::from_bytes(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(&back, p);
+        }
+        // Stream roundtrip.
+        let stream: Vec<u8> = packets.iter().flat_map(|p| p.to_bytes()).collect();
+        let chunks = split_packets(&stream).unwrap();
+        assert_eq!(chunks.len(), packets.len());
+        for (chunk, p) in chunks.iter().zip(&packets) {
+            let (back, _) = Packet::from_bytes(chunk).unwrap();
+            assert_eq!(&back, p);
+        }
+    }
+}
+
+/// Every single-byte corruption of a packet is either caught by the CRC /
+/// header validation or changes only header fields that are themselves
+/// validated downstream — `Packet::from_bytes` never panics and never
+/// returns the original payload under a corrupted CRC.
+#[test]
+fn packet_corruption_is_detected() {
+    let mut rng = Rng::seeded(0x5EED_0006);
+    let p = Packet::new(3, FrameKind::Predicted, rng.bytes(64));
+    let clean = p.to_bytes();
+
+    // Truncation at every possible length fails (except the full length).
+    for cut in 0..clean.len() {
+        assert!(
+            Packet::from_bytes(&clean[..cut]).is_err(),
+            "truncation to {cut} bytes must be rejected"
+        );
+    }
+
+    // Flip each byte in turn: payload corruption must be caught by the
+    // CRC; header corruption must either error or alter header fields
+    // without delivering a payload that fails its CRC.
+    for i in 0..clean.len() {
+        let mut bad = clean.clone();
+        bad[i] ^= 0x5A;
+        match Packet::from_bytes(&bad) {
+            Err(_) => {}
+            Ok((q, _)) => {
+                // A successful parse under corruption can only happen for
+                // header-field bytes (index/kind); the payload must still
+                // match its CRC.
+                assert_eq!(
+                    q.payload, p.payload,
+                    "byte {i}: CRC missed payload corruption"
+                );
+            }
         }
     }
 }

@@ -172,19 +172,15 @@ impl FastConv2d {
                 for tx in 0..tx_n {
                     let iy0 = (ty * step) as isize - offset;
                     let ix0 = (tx * step) as isize - offset;
-                    for ci in 0..self.c_in {
+                    for (ci, tile) in y_tiles.iter_mut().enumerate() {
                         for py in 0..p {
                             for px in 0..p {
-                                *patch.at_mut(py, px) = input.at_padded(
-                                    nn,
-                                    ci,
-                                    iy0 + py as isize,
-                                    ix0 + px as isize,
-                                );
+                                *patch.at_mut(py, px) =
+                                    input.at_padded(nn, ci, iy0 + py as isize, ix0 + px as isize);
                             }
                         }
                         let y = self.transform.transform_input(&patch)?;
-                        y_tiles[ci].copy_from_slice(y.as_slice());
+                        tile.copy_from_slice(y.as_slice());
                     }
                     for co in 0..self.c_out {
                         u_acc.iter_mut().for_each(|v| *v = 0.0);
@@ -287,7 +283,10 @@ mod tests {
         let ys = sparse.forward(&x).unwrap();
         let rel = ys.sub(&yd).unwrap().max_abs() / yd.max_abs().max(1e-6);
         assert!(rel > 0.0, "pruning at 50% must change something");
-        assert!(rel < 0.5, "pruning must keep smooth kernels close, rel={rel}");
+        assert!(
+            rel < 0.5,
+            "pruning must keep smooth kernels close, rel={rel}"
+        );
     }
 
     #[test]
@@ -298,7 +297,9 @@ mod tests {
         assert!(FastConv2d::from_conv(&s2).is_err());
         let conv = Conv2d::randn(2, 3, 3, 1, 1, 0).unwrap();
         let fast = FastConv2d::from_conv(&conv).unwrap();
-        assert!(fast.forward(&Tensor::zeros(Shape::new(1, 2, 4, 4))).is_err());
+        assert!(fast
+            .forward(&Tensor::zeros(Shape::new(1, 2, 4, 4)))
+            .is_err());
     }
 
     #[test]

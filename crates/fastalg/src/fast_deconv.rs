@@ -172,19 +172,15 @@ impl FastDeConv2d {
                     // original rows [3T-1, 3T+4).
                     let iy0 = (ty * step) as isize - offset;
                     let ix0 = (tx * step) as isize - offset;
-                    for ci in 0..self.c_in {
+                    for (ci, tile) in y_tiles.iter_mut().enumerate() {
                         for py in 0..p {
                             for px in 0..p {
-                                *patch.at_mut(py, px) = input.at_padded(
-                                    nn,
-                                    ci,
-                                    iy0 + py as isize,
-                                    ix0 + px as isize,
-                                );
+                                *patch.at_mut(py, px) =
+                                    input.at_padded(nn, ci, iy0 + py as isize, ix0 + px as isize);
                             }
                         }
                         let y = self.transform.transform_input(&patch)?;
-                        y_tiles[ci].copy_from_slice(y.as_slice());
+                        tile.copy_from_slice(y.as_slice());
                     }
                     for co in 0..self.c_out {
                         u_acc.iter_mut().for_each(|v| *v = 0.0);
@@ -257,7 +253,9 @@ mod tests {
         weight.iter_mut().for_each(|v| *v = 0.0);
         let deconv = DeConv2d::new(weight, vec![0.75, -2.0], 2, 1, 4, 2, 1).unwrap();
         let fast = FastDeConv2d::from_deconv(&deconv).unwrap();
-        let y = fast.forward(&Tensor::zeros(Shape::new(1, 1, 3, 3))).unwrap();
+        let y = fast
+            .forward(&Tensor::zeros(Shape::new(1, 1, 3, 3)))
+            .unwrap();
         assert!((y.at(0, 0, 3, 3) - 0.75).abs() < 1e-6);
         assert!((y.at(0, 1, 0, 0) + 2.0).abs() < 1e-6);
     }
@@ -285,7 +283,10 @@ mod tests {
         let yd = dense.forward(&x).unwrap();
         let ys = sparse.forward(&x).unwrap();
         let rel = ys.sub(&yd).unwrap().max_abs() / yd.max_abs().max(1e-6);
-        assert!(rel < 0.6, "pruning must keep smooth kernels close, rel={rel}");
+        assert!(
+            rel < 0.6,
+            "pruning must keep smooth kernels close, rel={rel}"
+        );
     }
 
     #[test]
@@ -296,7 +297,9 @@ mod tests {
         assert!(FastDeConv2d::from_deconv(&s1).is_err());
         let deconv = DeConv2d::randn(2, 3, 4, 2, 1, 0).unwrap();
         let fast = FastDeConv2d::from_deconv(&deconv).unwrap();
-        assert!(fast.forward(&Tensor::zeros(Shape::new(1, 2, 4, 4))).is_err());
+        assert!(fast
+            .forward(&Tensor::zeros(Shape::new(1, 2, 4, 4)))
+            .is_err());
     }
 
     #[test]

@@ -26,7 +26,9 @@ impl Sparsity {
     /// Returns an error unless `0.0 <= rho < 1.0`.
     pub fn new(rho: f64) -> Result<Self, TensorError> {
         if !(0.0..1.0).contains(&rho) {
-            return Err(TensorError::invalid(format!("sparsity {rho} outside [0, 1)")));
+            return Err(TensorError::invalid(format!(
+                "sparsity {rho} outside [0, 1)"
+            )));
         }
         Ok(Sparsity(rho))
     }
@@ -89,7 +91,11 @@ impl SparseKernel {
                 indices.push(i as u16);
             }
         }
-        Ok(SparseKernel { mu, values, indices })
+        Ok(SparseKernel {
+            mu,
+            values,
+            indices,
+        })
     }
 
     /// Transform-domain side length µ.
@@ -164,7 +170,11 @@ pub struct PruneReport {
 /// # Errors
 ///
 /// Returns an error if `e` and the transform's µ disagree.
-pub fn prune(transform: &TransformPair, e: &Mat, rho: Sparsity) -> Result<PruneReport, TensorError> {
+pub fn prune(
+    transform: &TransformPair,
+    e: &Mat,
+    rho: Sparsity,
+) -> Result<PruneReport, TensorError> {
     let mu = transform.mu();
     if e.rows() != mu || e.cols() != mu {
         return Err(TensorError::incompatible(format!(
@@ -184,14 +194,23 @@ pub fn prune(transform: &TransformPair, e: &Mat, rho: Sparsity) -> Result<PruneR
         })
         .collect();
     // Sort descending by score; ties broken by index for determinism.
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
     let mut masked = Mat::zeros(mu, mu);
     let mut threshold = f64::INFINITY;
     for &(score, idx) in scored.iter().take(kept) {
         masked.as_mut_slice()[idx] = e.as_slice()[idx];
         threshold = threshold.min(score);
     }
-    Ok(PruneReport { masked, kept, pruned: total - kept, threshold })
+    Ok(PruneReport {
+        masked,
+        kept,
+        pruned: total - kept,
+        threshold,
+    })
 }
 
 #[cfg(test)]
@@ -254,7 +273,10 @@ mod tests {
             }
         }
         let ratio = q.as_slice()[max_i] / q.as_slice()[min_i];
-        assert!(ratio > 1.0 + 1e-3, "transform must have non-uniform importance");
+        assert!(
+            ratio > 1.0 + 1e-3,
+            "transform must have non-uniform importance"
+        );
         // Value at min-importance slightly larger in magnitude, but not
         // enough to overcome the importance gap.
         e.as_mut_slice()[min_i] = 1.1;

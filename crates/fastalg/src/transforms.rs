@@ -208,11 +208,8 @@ pub fn winograd_f2x2_3x3() -> TransformPair {
         &[0.0, 0.0, 1.0],
     ])
     .expect("static matrix");
-    let at = Mat::from_rows(&[
-        &[1.0, 1.0, 1.0, 0.0],
-        &[0.0, 1.0, -1.0, -1.0],
-    ])
-    .expect("static matrix");
+    let at =
+        Mat::from_rows(&[&[1.0, 1.0, 1.0, 0.0], &[0.0, 1.0, -1.0, -1.0]]).expect("static matrix");
     TransformPair {
         name: "F(2x2,3x3)",
         bt,

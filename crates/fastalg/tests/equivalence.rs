@@ -1,96 +1,105 @@
-//! Property-based equivalence tests: the fast (transform-domain) operators
-//! must reproduce the direct operators for arbitrary inputs and weights,
-//! and pruning must behave monotonically.
+//! Randomized-but-deterministic equivalence tests: the fast
+//! (transform-domain) operators must reproduce the direct operators for
+//! arbitrary inputs and weights, and pruning must behave monotonically.
+//! Case generation uses the in-tree SplitMix64 PRNG from `nvc-tensor`.
 
 use nvc_fastalg::{fta_t3_6x6_4x4, prune, winograd_f2x2_3x3, FastConv2d, FastDeConv2d, Sparsity};
+use nvc_tensor::init::SplitMix64;
 use nvc_tensor::mat::Mat;
 use nvc_tensor::ops::{Conv2d, DeConv2d};
 use nvc_tensor::{Shape, Tensor};
-use proptest::prelude::*;
 
-fn tensor_strategy(c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-2.0_f32..2.0, c * h * w)
-        .prop_map(move |data| Tensor::from_vec(Shape::new(1, c, h, w), data).unwrap())
+const CASES: usize = 32;
+
+fn rand_tensor(rng: &mut SplitMix64, c: usize, h: usize, w: usize) -> Tensor {
+    let data: Vec<f32> = (0..c * h * w).map(|_| rng.next_f32() * 4.0 - 2.0).collect();
+    Tensor::from_vec(Shape::new(1, c, h, w), data).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Winograd F(2x2,3x3) equals direct 3x3 convolution for any input.
-    #[test]
-    fn fast_conv_equals_direct(
-        x in tensor_strategy(3, 9, 11),
-        seed in 0u64..500,
-    ) {
+/// Winograd F(2x2,3x3) equals direct 3x3 convolution for any input.
+#[test]
+fn fast_conv_equals_direct() {
+    let mut rng = SplitMix64::new(0xFA57_0001);
+    for _ in 0..CASES {
+        let x = rand_tensor(&mut rng, 3, 9, 11);
+        let seed = rng.next_u64() % 500;
         let conv = Conv2d::randn(4, 3, 3, 1, 1, seed).unwrap();
         let fast = FastConv2d::from_conv(&conv).unwrap();
         let direct = conv.forward(&x).unwrap();
         let fastv = fast.forward(&x).unwrap();
         let scale = direct.max_abs().max(1.0);
-        prop_assert!(direct.sub(&fastv).unwrap().max_abs() < 1e-3 * scale);
+        assert!(direct.sub(&fastv).unwrap().max_abs() < 1e-3 * scale);
     }
+}
 
-    /// FTA T3(6x6,4x4) equals direct 4x4 stride-2 deconvolution.
-    #[test]
-    fn fast_deconv_equals_direct(
-        x in tensor_strategy(2, 7, 5),
-        seed in 0u64..500,
-    ) {
+/// FTA T3(6x6,4x4) equals direct 4x4 stride-2 deconvolution.
+#[test]
+fn fast_deconv_equals_direct() {
+    let mut rng = SplitMix64::new(0xFA57_0002);
+    for _ in 0..CASES {
+        let x = rand_tensor(&mut rng, 2, 7, 5);
+        let seed = rng.next_u64() % 500;
         let deconv = DeConv2d::randn(3, 2, 4, 2, 1, seed).unwrap();
         let fast = FastDeConv2d::from_deconv(&deconv).unwrap();
         let direct = deconv.forward(&x).unwrap();
         let fastv = fast.forward(&x).unwrap();
-        prop_assert_eq!(direct.shape(), fastv.shape());
+        assert_eq!(direct.shape(), fastv.shape());
         let scale = direct.max_abs().max(1.0);
-        prop_assert!(direct.sub(&fastv).unwrap().max_abs() < 1e-3 * scale);
+        assert!(direct.sub(&fastv).unwrap().max_abs() < 1e-3 * scale);
     }
+}
 
-    /// Pruning is monotone: higher sparsity keeps a subset of the scores,
-    /// and kept counts decrease.
-    #[test]
-    fn pruning_is_monotone(seed in 0u64..500) {
+/// Pruning is monotone: higher sparsity keeps a subset of the scores,
+/// and kept counts decrease.
+#[test]
+fn pruning_is_monotone() {
+    let mut rng = SplitMix64::new(0xFA57_0003);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 500;
         for t in [winograd_f2x2_3x3(), fta_t3_6x6_4x4()] {
             let k = t.kernel();
-            let w = Mat::from_vec(
-                k,
-                k,
-                nvc_tensor::init::randn_vec(k * k, 1.0, seed),
-            ).unwrap();
+            let w = Mat::from_vec(k, k, nvc_tensor::init::randn_vec(k * k, 1.0, seed)).unwrap();
             let e = t.transform_kernel(&w).unwrap();
             let mut prev_kept = usize::MAX;
             for rho in [0.0, 0.25, 0.5, 0.75] {
                 let rep = prune(&t, &e, Sparsity::new(rho).unwrap()).unwrap();
-                prop_assert!(rep.kept <= prev_kept);
-                prop_assert_eq!(rep.kept + rep.pruned, t.mu() * t.mu());
+                assert!(rep.kept <= prev_kept);
+                assert_eq!(rep.kept + rep.pruned, t.mu() * t.mu());
                 prev_kept = rep.kept;
             }
         }
     }
+}
 
-    /// The masked kernel always has its non-zeros among the original
-    /// kernel's positions (pruning never invents weights).
-    #[test]
-    fn pruning_never_invents_weights(seed in 0u64..500) {
+/// The masked kernel always has its non-zeros among the original
+/// kernel's positions (pruning never invents weights).
+#[test]
+fn pruning_never_invents_weights() {
+    let mut rng = SplitMix64::new(0xFA57_0004);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 500;
         let t = fta_t3_6x6_4x4();
         let w = Mat::from_vec(4, 4, nvc_tensor::init::randn_vec(16, 1.0, seed)).unwrap();
         let e = t.transform_kernel(&w).unwrap();
         let rep = prune(&t, &e, Sparsity::new(0.5).unwrap()).unwrap();
         for (orig, masked) in e.as_slice().iter().zip(rep.masked.as_slice()) {
-            prop_assert!(*masked == 0.0 || masked == orig);
+            assert!(*masked == 0.0 || masked == orig);
         }
     }
+}
 
-    /// A sparse fast conv at rho=0 equals the dense fast conv exactly.
-    #[test]
-    fn zero_sparsity_equals_dense(
-        x in tensor_strategy(2, 6, 6),
-        seed in 0u64..200,
-    ) {
+/// A sparse fast conv at rho=0 equals the dense fast conv exactly.
+#[test]
+fn zero_sparsity_equals_dense() {
+    let mut rng = SplitMix64::new(0xFA57_0005);
+    for _ in 0..CASES {
+        let x = rand_tensor(&mut rng, 2, 6, 6);
+        let seed = rng.next_u64() % 200;
         let conv = Conv2d::randn(2, 2, 3, 1, 1, seed).unwrap();
         let dense = FastConv2d::from_conv(&conv).unwrap();
         let rho0 = FastConv2d::from_conv_pruned(&conv, Sparsity::dense()).unwrap();
         let a = dense.forward(&x).unwrap();
         let b = rho0.forward(&x).unwrap();
-        prop_assert!(a.sub(&b).unwrap().max_abs() == 0.0);
+        assert!(a.sub(&b).unwrap().max_abs() == 0.0);
     }
 }

@@ -1,4 +1,13 @@
 //! End-to-end CTVC codec: encoder, bitstream format and decoder.
+//!
+//! The codec is organized around streaming sessions ([`CtvcEncoderSession`]
+//! / [`CtvcDecoderSession`], via the workspace-wide
+//! [`VideoCodec`](nvc_video::VideoCodec) trait): frames go in one at a
+//! time, length-delimited CRC-protected packets come out, and all carried
+//! state (the reference feature tensor, stream geometry, GOP position)
+//! lives in the session structs. The whole-sequence
+//! [`encode`](CtvcCodec::encode) / [`decode`](CtvcCodec::decode) methods
+//! are thin wrappers over the sessions.
 
 use crate::config::{CtvcConfig, RatePoint};
 use crate::latent;
@@ -7,9 +16,13 @@ use crate::modules::{
     MotionCnn, MOTION_SCALE,
 };
 use crate::motion;
-use nvc_entropy::container::{read_sections, Section, SectionWriter};
+use nvc_entropy::container::{read_sections, FrameKind, Packet, Section, SectionWriter};
 use nvc_entropy::{BitReader, BitWriter, CodingError};
 use nvc_tensor::{Shape, Tensor, TensorError};
+use nvc_video::codec::{
+    DecoderSession as DecoderSessionTrait, EncoderSession as EncoderSessionTrait, StreamStats,
+    VideoCodec,
+};
 use nvc_video::{Frame, Sequence, VideoError};
 use std::error::Error;
 use std::fmt;
@@ -120,7 +133,7 @@ impl CtvcCodec {
     }
 
     fn check_dims(&self, w: usize, h: usize) -> Result<(), CtvcError> {
-        if w % 16 != 0 || h % 16 != 0 || w == 0 || h == 0 {
+        if !w.is_multiple_of(16) || !h.is_multiple_of(16) || w == 0 || h == 0 {
             return Err(CtvcError::BadInput(format!(
                 "resolution {w}x{h} must be a non-zero multiple of 16"
             )));
@@ -128,10 +141,7 @@ impl CtvcCodec {
         Ok(())
     }
 
-    fn mask_fn<'a>(
-        &'a self,
-        ae: &'a CompressionAutoencoder,
-    ) -> Option<Box<dyn Fn(&Tensor) -> Result<Tensor, TensorError> + 'a>> {
+    fn mask_fn<'a>(&'a self, ae: &'a CompressionAutoencoder) -> Option<Box<latent::MaskFn<'a>>> {
         if self.cfg.attention {
             Some(Box::new(move |z: &Tensor| ae.latent_mask(z)))
         } else {
@@ -165,7 +175,12 @@ impl CtvcCodec {
     ) -> Result<Tensor, CtvcError> {
         let symbols = latent::decode_payload(payload, shape)?;
         let mask_fn = self.mask_fn(ae);
-        Ok(latent::dequantize(&symbols, shape, step, mask_fn.as_deref())?)
+        Ok(latent::dequantize(
+            &symbols,
+            shape,
+            step,
+            mask_fn.as_deref(),
+        )?)
     }
 
     /// Reconstructed motion tensor → dense motion field usable by the
@@ -196,7 +211,12 @@ impl CtvcCodec {
     ) -> Result<(Tensor, Tensor), CtvcError> {
         let (_, _, h2, w2) = f_ref.shape().dims();
         let latent_shape = Shape::new(1, self.cfg.n, h2 / 8, w2 / 8);
-        let zm = self.decode_latent(motion_payload, latent_shape, &self.motion_ae, rate.latent_step())?;
+        let zm = self.decode_latent(
+            motion_payload,
+            latent_shape,
+            &self.motion_ae,
+            rate.latent_step(),
+        )?;
         let o_hat = self.motion_ae.synthesis.forward(&zm)?;
         let o_mc = self.motion_for_compensation(&o_hat);
         let f_bar = self.comp.forward(f_ref, &o_mc)?;
@@ -228,179 +248,354 @@ impl CtvcCodec {
         Ok((f_hat, px))
     }
 
-    /// Encodes a sequence at the given rate point.
+    /// Opens a streaming encoder session at the given rate point.
+    ///
+    /// The first pushed frame fixes the stream resolution and is coded
+    /// intra; later frames are predicted unless
+    /// [`CtvcEncoderSession::restart_gop`] is called.
+    pub fn start_encode(&self, rate: RatePoint) -> CtvcEncoderSession<'_> {
+        CtvcEncoderSession {
+            codec: self,
+            rate,
+            dims: None,
+            reference_f: None,
+            next_index: 0,
+            gop_position: 0,
+            bytes_per_frame: Vec::new(),
+            total_bytes: 0,
+            last_recon: None,
+        }
+    }
+
+    /// Opens a streaming decoder session. Stream geometry and rate are
+    /// read from the first packet's embedded header.
+    pub fn start_decode(&self) -> CtvcDecoderSession<'_> {
+        CtvcDecoderSession {
+            codec: self,
+            stream: None,
+            reference_f: None,
+            next_index: 0,
+        }
+    }
+
+    /// Encodes a sequence at the given rate point — a thin wrapper that
+    /// pushes every frame through a [`CtvcEncoderSession`].
     ///
     /// # Errors
     ///
     /// Returns [`CtvcError::BadInput`] unless both dimensions are
     /// multiples of 16.
     pub fn encode(&self, seq: &Sequence, rate: RatePoint) -> Result<CtvcCoded, CtvcError> {
-        let (w, h) = (seq.width(), seq.height());
-        self.check_dims(w, h)?;
-
-        let mut header = BitWriter::new();
-        header.write_bits(w as u32, 16);
-        header.write_bits(h as u32, 16);
-        header.write_bits(seq.frames().len() as u32, 16);
-        header.write_bits(self.cfg.n as u32, 16);
-        header.write_bits(rate.index() as u32, 8);
-        header.write_bit(self.cfg.attention);
-        header.write_bit(self.cfg.deformable);
-
-        let mut sections = SectionWriter::new();
-        sections.push(Section::SideInfo, header.finish());
-
-        let mut bytes_per_frame = Vec::with_capacity(seq.frames().len());
-        let mut decoded_frames: Vec<Frame> = Vec::with_capacity(seq.frames().len());
-        // Closed-loop reference *features* (FVC-style feature-space state).
-        let mut reference_f: Option<Tensor> = None;
-
-        for frame in seq.frames() {
-            let x = frame.tensor();
-            match &reference_f {
-                None => {
-                    // Intra: quantize the features and code them with the
-                    // predictive (pair + DPCM) intra coder.
-                    let f = self.fe.forward(x)?;
-                    let symbols = latent::quantize(&f, rate.intra_step(), None)?;
-                    let payload = latent::encode_intra_payload(&symbols, f.shape())?;
-                    let (f_hat, rec) = self.reconstruct_intra(&payload, w, h, rate)?;
-                    bytes_per_frame.push(payload.len());
-                    sections.push(Section::Intra, payload);
-                    decoded_frames.push(Frame::from_tensor(rec)?);
-                    reference_f = Some(f_hat);
-                }
-                Some(f_ref) => {
-                    let f_ref = f_ref.clone();
-                    let f_cur = self.fe.forward(x)?;
-                    // Functional motion estimation (block matching).
-                    let field = motion::estimate_motion(
-                        &motion::matching_plane(&f_cur),
-                        &motion::matching_plane(&f_ref),
-                        self.cfg.me_block,
-                        self.cfg.me_range,
-                        self.cfg.half_pel_motion,
-                    );
-                    // Embed into the N-channel motion tensor O_t.
-                    let (_, _, fh, fw) = f_cur.shape().dims();
-                    let n = self.cfg.n;
-                    let o_t = Tensor::from_fn(Shape::new(1, n, fh, fw), |_, c, yy, xx| match c {
-                        0 => field.at(0, 0, yy, xx) / MOTION_SCALE,
-                        1 => field.at(0, 1, yy, xx) / MOTION_SCALE,
-                        _ => 0.0,
-                    });
-                    let zm = self.motion_ae.analysis.forward(&o_t)?;
-                    let (motion_payload, zm_hat) =
-                        self.code_latent(&zm, &self.motion_ae, rate.latent_step())?;
-                    // Closed loop: compensate with the *reconstructed* motion.
-                    let o_hat = self.motion_ae.synthesis.forward(&zm_hat)?;
-                    let o_mc = self.motion_for_compensation(&o_hat);
-                    let f_bar = self.comp.forward(&f_ref, &o_mc)?;
-                    let r_t = f_cur.sub(&f_bar)?;
-                    let zr = self.residual_ae.analysis.forward(&r_t)?;
-                    let (residual_payload, _zr_hat) =
-                        self.code_latent(&zr, &self.residual_ae, rate.latent_step())?;
-                    // Reconstruct exactly like the decoder will.
-                    let (f_hat, rec) =
-                        self.reconstruct_p(&f_ref, &motion_payload, &residual_payload, rate)?;
-                    bytes_per_frame.push(motion_payload.len() + residual_payload.len());
-                    sections.push(Section::Motion, motion_payload);
-                    sections.push(Section::Residual, residual_payload);
-                    decoded_frames.push(Frame::from_tensor(rec)?);
-                    reference_f = Some(f_hat);
-                }
-            }
-        }
-
-        let bitstream = sections.finish();
-        let total_bytes = bitstream.len();
-        let bpp = total_bytes as f64 * 8.0 / (w * h * seq.frames().len()) as f64;
+        let coded = nvc_video::codec::encode_sequence(self, seq, rate)?;
+        let bitstream = coded.to_bytes();
         Ok(CtvcCoded {
             bitstream,
-            decoded: Sequence::new(
-                format!("{}-{rate}", self.cfg.name),
-                decoded_frames,
-                seq.fps(),
-            )?,
-            bytes_per_frame,
-            total_bytes,
-            bpp,
+            decoded: coded.decoded.renamed(format!("{}-{rate}", self.cfg.name)),
+            bpp: coded.stats.bpp(seq.pixels_per_frame()),
+            bytes_per_frame: coded.stats.bytes_per_frame,
+            total_bytes: coded.stats.total_bytes,
         })
     }
 
-    /// Decodes a bitstream produced by [`encode`](Self::encode) with a
-    /// codec built from the same configuration.
+    /// Decodes a packetized bitstream produced by [`encode`](Self::encode)
+    /// (or by serializing session packets) with a codec built from the
+    /// same configuration — a thin wrapper over [`CtvcDecoderSession`].
     ///
     /// # Errors
     ///
     /// Returns [`CtvcError::BadInput`] on header/configuration mismatch
-    /// and [`CtvcError::Coding`] on malformed payloads.
+    /// and [`CtvcError::Coding`] on malformed packets or payloads.
     pub fn decode(&self, bitstream: &[u8]) -> Result<Sequence, CtvcError> {
-        let sections = read_sections(bitstream)?;
-        let (first, rest) = sections
-            .split_first()
-            .ok_or_else(|| CtvcError::BadInput("empty bitstream".into()))?;
-        if first.0 != Section::SideInfo {
-            return Err(CtvcError::BadInput("missing header".into()));
-        }
-        let mut hr = BitReader::new(&first.1);
-        let w = hr.read_bits(16)? as usize;
-        let h = hr.read_bits(16)? as usize;
-        let n_frames = hr.read_bits(16)? as usize;
-        let n = hr.read_bits(16)? as usize;
-        let rate = RatePoint::new(hr.read_bits(8)? as u8);
-        let attention = hr.read_bit()?;
-        let deformable = hr.read_bit()?;
-        if n != self.cfg.n || attention != self.cfg.attention || deformable != self.cfg.deformable
-        {
-            return Err(CtvcError::BadInput(format!(
-                "bitstream coded with N={n}, attention={attention}, deformable={deformable}; \
-                 decoder configured as N={}, attention={}, deformable={}",
-                self.cfg.n, self.cfg.attention, self.cfg.deformable
-            )));
-        }
-        self.check_dims(w, h)?;
+        nvc_video::codec::decode_bitstream(self, bitstream)
+    }
+}
 
-        let mut frames = Vec::with_capacity(n_frames);
-        let mut reference_f: Option<Tensor> = None;
-        let mut i = 0usize;
-        while i < rest.len() {
-            match rest[i].0 {
-                Section::Intra => {
-                    let (f_hat, rec) = self.reconstruct_intra(&rest[i].1, w, h, rate)?;
-                    frames.push(Frame::from_tensor(rec)?);
-                    reference_f = Some(f_hat);
-                    i += 1;
-                }
-                Section::Motion => {
-                    let residual = rest
-                        .get(i + 1)
-                        .filter(|(s, _)| *s == Section::Residual)
-                        .ok_or_else(|| {
-                            CtvcError::BadInput("motion section without residual".into())
-                        })?;
-                    let f_ref = reference_f
-                        .as_ref()
-                        .ok_or_else(|| CtvcError::BadInput("P frame before intra".into()))?;
-                    let (f_hat, rec) = self.reconstruct_p(f_ref, &rest[i].1, &residual.1, rate)?;
-                    frames.push(Frame::from_tensor(rec)?);
-                    reference_f = Some(f_hat);
-                    i += 2;
-                }
-                other => {
-                    return Err(CtvcError::BadInput(format!(
-                        "unexpected section {other:?}"
-                    )))
-                }
+/// Geometry and rate of an open decode stream (from the stream header).
+#[derive(Debug, Clone, Copy)]
+struct StreamInfo {
+    w: usize,
+    h: usize,
+    rate: RatePoint,
+}
+
+/// Streaming encoder session for [`CtvcCodec`].
+///
+/// Carries the closed-loop reference *features* (FVC-style feature-space
+/// state), the stream geometry and the GOP position explicitly, instead
+/// of recomputing them per whole-sequence call.
+#[derive(Debug)]
+pub struct CtvcEncoderSession<'a> {
+    codec: &'a CtvcCodec,
+    rate: RatePoint,
+    dims: Option<(usize, usize)>,
+    reference_f: Option<Tensor>,
+    next_index: u32,
+    gop_position: u32,
+    bytes_per_frame: Vec<usize>,
+    total_bytes: usize,
+    last_recon: Option<Frame>,
+}
+
+impl CtvcEncoderSession<'_> {
+    /// The rate point this session encodes at.
+    pub fn rate(&self) -> RatePoint {
+        self.rate
+    }
+
+    /// Frames since the last intra frame (0 = the upcoming frame starts
+    /// a new GOP).
+    pub fn gop_position(&self) -> u32 {
+        self.gop_position
+    }
+
+    /// Forces the next pushed frame to be coded intra, restarting the
+    /// prediction chain (stream-join / error-recovery point).
+    pub fn restart_gop(&mut self) {
+        self.reference_f = None;
+        self.gop_position = 0;
+    }
+
+    fn encode_intra(&mut self, x: &Tensor, w: usize, h: usize) -> Result<Vec<u8>, CtvcError> {
+        let codec = self.codec;
+        let f = codec.fe.forward(x)?;
+        let symbols = latent::quantize(&f, self.rate.intra_step(), None)?;
+        let payload = latent::encode_intra_payload(&symbols, f.shape())?;
+        let (f_hat, rec) = codec.reconstruct_intra(&payload, w, h, self.rate)?;
+        self.reference_f = Some(f_hat);
+        self.last_recon = Some(Frame::from_tensor(rec)?);
+        Ok(payload)
+    }
+
+    fn encode_predicted(
+        &mut self,
+        x: &Tensor,
+        f_ref: Tensor,
+    ) -> Result<(Vec<u8>, Vec<u8>), CtvcError> {
+        let codec = self.codec;
+        let f_cur = codec.fe.forward(x)?;
+        // Functional motion estimation (block matching).
+        let field = motion::estimate_motion(
+            &motion::matching_plane(&f_cur),
+            &motion::matching_plane(&f_ref),
+            codec.cfg.me_block,
+            codec.cfg.me_range,
+            codec.cfg.half_pel_motion,
+        );
+        // Embed into the N-channel motion tensor O_t.
+        let (_, _, fh, fw) = f_cur.shape().dims();
+        let n = codec.cfg.n;
+        let o_t = Tensor::from_fn(Shape::new(1, n, fh, fw), |_, c, yy, xx| match c {
+            0 => field.at(0, 0, yy, xx) / MOTION_SCALE,
+            1 => field.at(0, 1, yy, xx) / MOTION_SCALE,
+            _ => 0.0,
+        });
+        let zm = codec.motion_ae.analysis.forward(&o_t)?;
+        let (motion_payload, zm_hat) =
+            codec.code_latent(&zm, &codec.motion_ae, self.rate.latent_step())?;
+        // Closed loop: compensate with the *reconstructed* motion.
+        let o_hat = codec.motion_ae.synthesis.forward(&zm_hat)?;
+        let o_mc = codec.motion_for_compensation(&o_hat);
+        let f_bar = codec.comp.forward(&f_ref, &o_mc)?;
+        let r_t = f_cur.sub(&f_bar)?;
+        let zr = codec.residual_ae.analysis.forward(&r_t)?;
+        let (residual_payload, _zr_hat) =
+            codec.code_latent(&zr, &codec.residual_ae, self.rate.latent_step())?;
+        // Reconstruct exactly like the decoder will.
+        let (f_hat, rec) =
+            codec.reconstruct_p(&f_ref, &motion_payload, &residual_payload, self.rate)?;
+        self.reference_f = Some(f_hat);
+        self.last_recon = Some(Frame::from_tensor(rec)?);
+        Ok((motion_payload, residual_payload))
+    }
+}
+
+impl EncoderSessionTrait for CtvcEncoderSession<'_> {
+    type Error = CtvcError;
+
+    fn push_frame(&mut self, frame: &Frame) -> Result<Packet, CtvcError> {
+        let (w, h) = (frame.width(), frame.height());
+        match self.dims {
+            None => {
+                self.codec.check_dims(w, h)?;
+                self.dims = Some((w, h));
             }
+            Some(dims) if dims != (w, h) => {
+                return Err(CtvcError::BadInput(format!(
+                    "frame {w}x{h} does not match stream {}x{}",
+                    dims.0, dims.1
+                )));
+            }
+            Some(_) => {}
         }
-        if frames.len() != n_frames {
+        let mut sections = SectionWriter::new();
+        if self.next_index == 0 {
+            // Stream header rides in the first packet.
+            let mut header = BitWriter::new();
+            header.write_bits(w as u32, 16);
+            header.write_bits(h as u32, 16);
+            header.write_bits(self.codec.cfg.n as u32, 16);
+            header.write_bits(u32::from(self.rate.index()), 8);
+            header.write_bit(self.codec.cfg.attention);
+            header.write_bit(self.codec.cfg.deformable);
+            sections.push(Section::SideInfo, header.finish());
+        }
+        let x = frame.tensor();
+        let kind = match self.reference_f.take() {
+            None => {
+                let payload = self.encode_intra(x, w, h)?;
+                self.bytes_per_frame.push(payload.len());
+                sections.push(Section::Intra, payload);
+                self.gop_position = 0;
+                FrameKind::Intra
+            }
+            Some(f_ref) => {
+                let (motion_payload, residual_payload) = self.encode_predicted(x, f_ref)?;
+                self.bytes_per_frame
+                    .push(motion_payload.len() + residual_payload.len());
+                sections.push(Section::Motion, motion_payload);
+                sections.push(Section::Residual, residual_payload);
+                self.gop_position += 1;
+                FrameKind::Predicted
+            }
+        };
+        let packet = Packet::new(self.next_index, kind, sections.finish());
+        self.total_bytes += packet.encoded_len();
+        self.next_index += 1;
+        Ok(packet)
+    }
+
+    fn last_reconstruction(&self) -> Option<&Frame> {
+        self.last_recon.as_ref()
+    }
+
+    fn frames_pushed(&self) -> usize {
+        self.next_index as usize
+    }
+
+    fn finish(self) -> Result<StreamStats, CtvcError> {
+        Ok(StreamStats {
+            frames: self.next_index as usize,
+            bytes_per_frame: self.bytes_per_frame,
+            total_bytes: self.total_bytes,
+        })
+    }
+}
+
+/// Streaming decoder session for [`CtvcCodec`].
+#[derive(Debug)]
+pub struct CtvcDecoderSession<'a> {
+    codec: &'a CtvcCodec,
+    stream: Option<StreamInfo>,
+    reference_f: Option<Tensor>,
+    next_index: u32,
+}
+
+impl DecoderSessionTrait for CtvcDecoderSession<'_> {
+    type Error = CtvcError;
+
+    fn push_packet(&mut self, bytes: &[u8]) -> Result<Frame, CtvcError> {
+        let (packet, consumed) = Packet::from_bytes(bytes)?;
+        if consumed != bytes.len() {
             return Err(CtvcError::BadInput(format!(
-                "expected {n_frames} frames, decoded {}",
-                frames.len()
+                "{} trailing bytes after packet",
+                bytes.len() - consumed
             )));
         }
-        Ok(Sequence::new(format!("{}-decoded", self.cfg.name), frames, 30.0)?)
+        if packet.frame_index != self.next_index {
+            return Err(CtvcError::BadInput(format!(
+                "expected frame {}, got packet for frame {}",
+                self.next_index, packet.frame_index
+            )));
+        }
+        let sections = read_sections(&packet.payload)?;
+        let mut rest: &[(Section, Vec<u8>)] = &sections;
+        if self.next_index == 0 {
+            let (first, tail) = rest
+                .split_first()
+                .ok_or_else(|| CtvcError::BadInput("first packet has no sections".into()))?;
+            if first.0 != Section::SideInfo {
+                return Err(CtvcError::BadInput("missing stream header".into()));
+            }
+            let mut hr = BitReader::new(&first.1);
+            let w = hr.read_bits(16)? as usize;
+            let h = hr.read_bits(16)? as usize;
+            let n = hr.read_bits(16)? as usize;
+            let rate = RatePoint::new(hr.read_bits(8)? as u8);
+            let attention = hr.read_bit()?;
+            let deformable = hr.read_bit()?;
+            let cfg = &self.codec.cfg;
+            if n != cfg.n || attention != cfg.attention || deformable != cfg.deformable {
+                return Err(CtvcError::BadInput(format!(
+                    "bitstream coded with N={n}, attention={attention}, \
+                     deformable={deformable}; decoder configured as N={}, attention={}, \
+                     deformable={}",
+                    cfg.n, cfg.attention, cfg.deformable
+                )));
+            }
+            self.codec.check_dims(w, h)?;
+            self.stream = Some(StreamInfo { w, h, rate });
+            rest = tail;
+        }
+        let StreamInfo { w, h, rate } = self
+            .stream
+            .ok_or_else(|| CtvcError::BadInput("no stream header yet".into()))?;
+        let rec = match packet.kind {
+            FrameKind::Intra => {
+                let payload = match rest {
+                    [(Section::Intra, payload)] => payload,
+                    _ => {
+                        return Err(CtvcError::BadInput(
+                            "intra packet must carry exactly one intra section".into(),
+                        ))
+                    }
+                };
+                let (f_hat, rec) = self.codec.reconstruct_intra(payload, w, h, rate)?;
+                self.reference_f = Some(f_hat);
+                rec
+            }
+            FrameKind::Predicted => {
+                let (motion, residual) = match rest {
+                    [(Section::Motion, m), (Section::Residual, r)] => (m, r),
+                    _ => {
+                        return Err(CtvcError::BadInput(
+                            "predicted packet must carry motion + residual sections".into(),
+                        ))
+                    }
+                };
+                let f_ref = self
+                    .reference_f
+                    .as_ref()
+                    .ok_or_else(|| CtvcError::BadInput("P frame before intra".into()))?;
+                let (f_hat, rec) = self.codec.reconstruct_p(f_ref, motion, residual, rate)?;
+                self.reference_f = Some(f_hat);
+                rec
+            }
+        };
+        self.next_index += 1;
+        Ok(Frame::from_tensor(rec)?)
+    }
+
+    fn frames_decoded(&self) -> usize {
+        self.next_index as usize
+    }
+}
+
+impl VideoCodec for CtvcCodec {
+    type Error = CtvcError;
+    type Rate = RatePoint;
+    type Encoder<'a> = CtvcEncoderSession<'a>;
+    type Decoder<'a> = CtvcDecoderSession<'a>;
+
+    fn codec_name(&self) -> &str {
+        self.cfg.name
+    }
+
+    fn start_encode(&self, rate: RatePoint) -> Result<CtvcEncoderSession<'_>, CtvcError> {
+        Ok(CtvcCodec::start_encode(self, rate))
+    }
+
+    fn start_decode(&self) -> CtvcDecoderSession<'_> {
+        CtvcCodec::start_decode(self)
     }
 }
 
@@ -483,6 +678,92 @@ mod tests {
             let p = mean_psnr(&s, &coded.decoded);
             assert!(p > 20.0, "{name}: implausibly low quality {p:.2} dB");
         }
+    }
+
+    #[test]
+    fn streaming_decode_is_bit_exact_with_one_shot() {
+        use nvc_video::codec::stream_roundtrip;
+        let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+        let s = seq(4);
+        // Session path: encode to packets, decode packet-by-packet.
+        let (coded, drift) = stream_roundtrip(&codec, &s, RatePoint::new(1)).unwrap();
+        assert_eq!(
+            drift, 0.0,
+            "streaming decode must match the closed loop exactly"
+        );
+        // One-shot path over the same packets.
+        let one_shot = codec.decode(&coded.to_bytes()).unwrap();
+        for (a, b) in one_shot.frames().iter().zip(coded.decoded.frames()) {
+            assert_eq!(
+                a.tensor().as_slice(),
+                b.tensor().as_slice(),
+                "one-shot decode must be bit-exact with streaming"
+            );
+        }
+    }
+
+    #[test]
+    fn encoder_session_tracks_gop_and_restarts() {
+        use nvc_video::codec::{DecoderSession as _, EncoderSession as _};
+        let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+        let s = seq(4);
+        let mut enc = codec.start_encode(RatePoint::new(1));
+        let mut packets = Vec::new();
+        for (i, frame) in s.frames().iter().enumerate() {
+            if i == 2 {
+                enc.restart_gop(); // force a mid-stream intra refresh
+            }
+            packets.push(enc.push_frame(frame).unwrap());
+            assert_eq!(enc.frames_pushed(), i + 1);
+        }
+        assert_eq!(packets[0].kind, FrameKind::Intra);
+        assert_eq!(packets[1].kind, FrameKind::Predicted);
+        assert_eq!(
+            packets[2].kind,
+            FrameKind::Intra,
+            "restart_gop must force intra"
+        );
+        assert_eq!(packets[3].kind, FrameKind::Predicted);
+        assert_eq!(enc.gop_position(), 1);
+        // The refreshed stream still decodes end to end.
+        let mut dec = codec.start_decode();
+        for p in &packets {
+            dec.push_packet(&p.to_bytes()).unwrap();
+        }
+        assert_eq!(dec.frames_decoded(), 4);
+    }
+
+    #[test]
+    fn decoder_session_rejects_malformed_packets() {
+        use nvc_video::codec::DecoderSession as _;
+        let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+        let s = seq(3);
+        let coded = nvc_video::codec::encode_sequence(&codec, &s, RatePoint::new(1)).unwrap();
+        let bytes: Vec<Vec<u8>> = coded.packets.iter().map(|p| p.to_bytes()).collect();
+
+        // Truncation at every prefix of the first packet.
+        for cut in 0..bytes[0].len() {
+            let mut dec = codec.start_decode();
+            assert!(dec.push_packet(&bytes[0][..cut]).is_err(), "cut {cut}");
+        }
+        // Payload corruption is caught by the CRC.
+        let mut corrupt = bytes[0].clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert!(codec.start_decode().push_packet(&corrupt).is_err());
+        // Out-of-order delivery is rejected.
+        let mut dec = codec.start_decode();
+        assert!(
+            dec.push_packet(&bytes[1]).is_err(),
+            "P packet before intra/header"
+        );
+        let mut dec = codec.start_decode();
+        dec.push_packet(&bytes[0]).unwrap();
+        assert!(dec.push_packet(&bytes[2]).is_err(), "skipped frame index");
+        // Trailing garbage after a whole packet is rejected.
+        let mut padded = bytes[0].clone();
+        padded.push(0);
+        assert!(codec.start_decode().push_packet(&padded).is_err());
     }
 
     #[test]

@@ -11,14 +11,38 @@ pub enum Precision {
 }
 
 /// Rate point selecting the latent quantization step. Index 0 is the
-/// coarsest (lowest rate); each step halves the quantizer step.
+/// coarsest (lowest rate); each step halves the quantizer step. Valid
+/// indices are exactly the 4-point sweep `0..=3` ([`RatePoint::sweep`]):
+/// the analytic weight construction is only calibrated over that range,
+/// and finer steps would silently extrapolate `latent_step`/`intra_step`
+/// into regimes the codec was never validated in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RatePoint(u8);
 
 impl RatePoint {
-    /// Creates a rate point; indices `0..=5` are meaningful.
+    /// Highest valid rate index (the sweep is `0..=MAX_INDEX`).
+    pub const MAX_INDEX: u8 = 3;
+
+    /// Creates a rate point, clamping the index into the 4-point sweep.
+    /// Use [`RatePoint::try_new`] to reject out-of-range indices instead.
     pub fn new(index: u8) -> Self {
-        RatePoint(index.min(5))
+        RatePoint(index.min(Self::MAX_INDEX))
+    }
+
+    /// Creates a rate point, validating the index against the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the valid range for indices above
+    /// [`RatePoint::MAX_INDEX`].
+    pub fn try_new(index: u8) -> Result<Self, String> {
+        if index > Self::MAX_INDEX {
+            return Err(format!(
+                "rate index {index} outside the calibrated sweep 0..={}",
+                Self::MAX_INDEX
+            ));
+        }
+        Ok(RatePoint(index))
     }
 
     /// The rate index.
@@ -98,7 +122,11 @@ impl CtvcConfig {
 
     /// Fixed-point CTVC-Net (Table I "CTVC-Net (FXP)").
     pub fn ctvc_fxp(n: usize) -> Self {
-        CtvcConfig { name: "CTVC-Net(FXP)", precision: Precision::Fxp, ..Self::base("", n) }
+        CtvcConfig {
+            name: "CTVC-Net(FXP)",
+            precision: Precision::Fxp,
+            ..Self::base("", n)
+        }
     }
 
     /// Sparse fixed-point CTVC-Net at ρ = 50 % (Table I "CTVC-Net
@@ -114,7 +142,11 @@ impl CtvcConfig {
 
     /// FVC-like ablation: feature-space coding without attention.
     pub fn fvc_like(n: usize) -> Self {
-        CtvcConfig { name: "FVC-like", attention: false, ..Self::base("", n) }
+        CtvcConfig {
+            name: "FVC-like",
+            attention: false,
+            ..Self::base("", n)
+        }
     }
 
     /// DVC-like ablation: no attention, no deformable warp, full-pel
@@ -138,7 +170,7 @@ impl CtvcConfig {
     ///
     /// Returns a description of the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.n < 6 || self.n % 2 != 0 {
+        if self.n < 6 || !self.n.is_multiple_of(2) {
             return Err(format!("N must be even and >= 6, got {}", self.n));
         }
         if self.me_block == 0 || self.me_range <= 0 {
@@ -163,8 +195,25 @@ mod tests {
         for w in steps.windows(2) {
             assert!(w[0] > w[1], "steps must shrink: {w:?}");
         }
-        assert!(RatePoint::new(9).index() <= 5);
         assert!(RatePoint::new(1).intra_step() < RatePoint::new(1).latent_step());
+    }
+
+    #[test]
+    fn rate_points_clamp_to_the_sweep() {
+        // `new` clamps instead of extrapolating the quantizer step…
+        assert_eq!(RatePoint::new(9).index(), RatePoint::MAX_INDEX);
+        assert_eq!(
+            RatePoint::new(9).latent_step(),
+            RatePoint::new(3).latent_step()
+        );
+        assert_eq!(RatePoint::new(255).index(), RatePoint::MAX_INDEX);
+        // …`try_new` rejects outright…
+        assert!(RatePoint::try_new(4).is_err());
+        assert!(RatePoint::try_new(3).is_ok());
+        // …and every sweep point is constructible both ways.
+        for r in RatePoint::sweep() {
+            assert_eq!(RatePoint::try_new(r.index()).unwrap(), r);
+        }
     }
 
     #[test]

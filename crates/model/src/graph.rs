@@ -88,8 +88,7 @@ impl LayerDesc {
                 let t = (window * window) as u64;
                 let c = self.c_in as u64;
                 let d = c / heads as u64;
-                let windows =
-                    (self.h_in.div_ceil(window) * self.w_in.div_ceil(window)) as u64;
+                let windows = (self.h_in.div_ceil(window) * self.w_in.div_ceil(window)) as u64;
                 windows * (2 * t * c * c + heads as u64 * 2 * t * t * d)
             }
             LayerKind::Pool { k } => (self.h_out * self.w_out * self.c_out * k * k) as u64,
@@ -120,15 +119,16 @@ impl LayerDesc {
     /// Weight volume in elements.
     pub fn weight_elems(&self) -> u64 {
         match self.kind {
-            LayerKind::Conv { k, .. } | LayerKind::DeConv { k, .. } | LayerKind::DfConv { k, .. } => {
-                (self.c_in * self.c_out * k * k) as u64
-            }
+            LayerKind::Conv { k, .. }
+            | LayerKind::DeConv { k, .. }
+            | LayerKind::DfConv { k, .. } => (self.c_in * self.c_out * k * k) as u64,
             LayerKind::SwinAttention { .. } => (2 * self.c_in * self.c_in) as u64,
             LayerKind::Pool { .. } => 0,
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)] // layer geometry is naturally 8 scalars
 fn conv(
     module: &'static str,
     name: &str,
@@ -196,17 +196,14 @@ fn synthesis(out: &mut Vec<LayerDesc>, module: &'static str, n: usize, h16: usiz
     }
 }
 
-fn swin_am_mask(
-    out: &mut Vec<LayerDesc>,
-    module: &'static str,
-    c2: usize,
-    h: usize,
-    w: usize,
-) {
+fn swin_am_mask(out: &mut Vec<LayerDesc>, module: &'static str, c2: usize, h: usize, w: usize) {
     out.push(LayerDesc {
         module,
         name: "swin_am.attn".to_string(),
-        kind: LayerKind::SwinAttention { window: 3, heads: 2 },
+        kind: LayerKind::SwinAttention {
+            window: 3,
+            heads: 2,
+        },
         c_in: c2,
         c_out: c2,
         h_in: h,
@@ -225,7 +222,10 @@ fn swin_am_mask(
 ///
 /// Panics if `h` or `w` is not a positive multiple of 16.
 pub fn decoder_graph(cfg: &CtvcConfig, h: usize, w: usize) -> Vec<LayerDesc> {
-    assert!(h > 0 && w > 0 && h % 16 == 0 && w % 16 == 0, "resolution must be a multiple of 16");
+    assert!(
+        h > 0 && w > 0 && h.is_multiple_of(16) && w.is_multiple_of(16),
+        "resolution must be a multiple of 16"
+    );
     let n = cfg.n;
     let (h2, w2) = (h / 2, w / 2);
     let (h16, w16) = (h / 16, w / 16);
@@ -253,7 +253,16 @@ pub fn decoder_graph(cfg: &CtvcConfig, h: usize, w: usize) -> Vec<LayerDesc> {
     synthesis(&mut g, "motion_synthesis", n, h16, w16);
 
     // 3. Deformable compensation (Fig. 2d).
-    g.push(conv("deformable_compensation", "offset", n, 36, h2, w2, 3, 1));
+    g.push(conv(
+        "deformable_compensation",
+        "offset",
+        n,
+        36,
+        h2,
+        w2,
+        3,
+        1,
+    ));
     g.push(LayerDesc {
         module: "deformable_compensation",
         name: "dfconv".to_string(),
@@ -265,8 +274,26 @@ pub fn decoder_graph(cfg: &CtvcConfig, h: usize, w: usize) -> Vec<LayerDesc> {
         h_out: h2,
         w_out: w2,
     });
-    g.push(conv("deformable_compensation", "refine1", n, n, h2, w2, 3, 1));
-    g.push(conv("deformable_compensation", "refine2", n, n, h2, w2, 3, 1));
+    g.push(conv(
+        "deformable_compensation",
+        "refine1",
+        n,
+        n,
+        h2,
+        w2,
+        3,
+        1,
+    ));
+    g.push(conv(
+        "deformable_compensation",
+        "refine2",
+        n,
+        n,
+        h2,
+        w2,
+        3,
+        1,
+    ));
 
     // 4. Residual synthesis.
     if cfg.attention {
@@ -312,9 +339,18 @@ mod tests {
     fn fast_algorithm_classification() {
         let cfg = CtvcConfig::ctvc_sparse(36);
         let g = decoder_graph(&cfg, 64, 64);
-        let wino = g.iter().filter(|l| l.fast_algorithm() == Some("winograd")).count();
-        let fta = g.iter().filter(|l| l.fast_algorithm() == Some("fta")).count();
-        assert!(wino >= 10, "expected many Winograd-eligible convs, got {wino}");
+        let wino = g
+            .iter()
+            .filter(|l| l.fast_algorithm() == Some("winograd"))
+            .count();
+        let fta = g
+            .iter()
+            .filter(|l| l.fast_algorithm() == Some("fta"))
+            .count();
+        assert!(
+            wino >= 10,
+            "expected many Winograd-eligible convs, got {wino}"
+        );
         // 3 deconv stages per synthesis × 2 + frame reconstruction = 7.
         assert_eq!(fta, 7);
         // Pool / DfConv / attention are not fast-transformable.
@@ -347,7 +383,10 @@ mod tests {
         // workload class the paper's 3.5 TOPS accelerator sustains at
         // 25 fps.
         let cfg = CtvcConfig::ctvc_sparse(36);
-        let total: u64 = decoder_graph(&cfg, 1088, 1920).iter().map(|l| l.macs()).sum();
+        let total: u64 = decoder_graph(&cfg, 1088, 1920)
+            .iter()
+            .map(|l| l.macs())
+            .sum();
         let gmacs = total as f64 / 1e9;
         assert!(
             (5.0..200.0).contains(&gmacs),

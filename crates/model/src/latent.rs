@@ -8,6 +8,10 @@
 use nvc_entropy::{CodingError, LaplaceModel, RangeDecoder, RangeEncoder};
 use nvc_tensor::{Shape, Tensor, TensorError};
 
+/// Mask evaluator: reconstructs the Swin-AM attention mask from a latent
+/// (the decoder-reproducible half of the backward-adaptive gain).
+pub type MaskFn<'a> = dyn Fn(&Tensor) -> Result<Tensor, TensorError> + 'a;
+
 /// Largest coded symbol magnitude; finer values saturate (adds a little
 /// distortion at extreme rate points instead of failing).
 pub const MAX_SYM: i32 = 1023;
@@ -66,7 +70,7 @@ pub fn dequantize(
     symbols: &[i32],
     shape: Shape,
     step: f32,
-    mask_fn: Option<&dyn Fn(&Tensor) -> Result<Tensor, TensorError>>,
+    mask_fn: Option<&MaskFn<'_>>,
 ) -> Result<Tensor, TensorError> {
     let raw: Vec<f32> = symbols.iter().map(|&s| s as f32 * step).collect();
     match mask_fn {
@@ -98,7 +102,8 @@ pub fn encode_payload(symbols: &[i32], shape: Shape) -> Result<Vec<u8>, CodingEr
     let mut models = Vec::with_capacity(c);
     for ch in 0..c {
         let s = &symbols[ch * plane..(ch + 1) * plane];
-        let mean_abs = s.iter().map(|&v| v.unsigned_abs() as f64).sum::<f64>() / plane.max(1) as f64;
+        let mean_abs =
+            s.iter().map(|&v| v.unsigned_abs() as f64).sum::<f64>() / plane.max(1) as f64;
         let idx = scale_to_byte(mean_abs.max(0.05));
         bytes.push(idx);
         models.push(LaplaceModel::new(byte_to_scale(idx), MAX_SYM)?);
@@ -196,9 +201,21 @@ fn intra_transform(symbols: &[i32], shape: Shape, forward: bool) -> Vec<i32> {
             let base = ch * plane;
             for y in 0..h {
                 for x in 0..w {
-                    let a = if x > 0 { paired[base + y * w + x - 1] } else { 0 };
-                    let b = if y > 0 { paired[base + (y - 1) * w + x] } else { 0 };
-                    let cc = if x > 0 && y > 0 { paired[base + (y - 1) * w + x - 1] } else { 0 };
+                    let a = if x > 0 {
+                        paired[base + y * w + x - 1]
+                    } else {
+                        0
+                    };
+                    let b = if y > 0 {
+                        paired[base + (y - 1) * w + x]
+                    } else {
+                        0
+                    };
+                    let cc = if x > 0 && y > 0 {
+                        paired[base + (y - 1) * w + x - 1]
+                    } else {
+                        0
+                    };
                     out[base + y * w + x] = paired[base + y * w + x] - med_predict(a, b, cc);
                 }
             }
@@ -210,8 +227,16 @@ fn intra_transform(symbols: &[i32], shape: Shape, forward: bool) -> Vec<i32> {
             for y in 0..h {
                 for x in 0..w {
                     let a = if x > 0 { out[base + y * w + x - 1] } else { 0 };
-                    let b = if y > 0 { out[base + (y - 1) * w + x] } else { 0 };
-                    let cc = if x > 0 && y > 0 { out[base + (y - 1) * w + x - 1] } else { 0 };
+                    let b = if y > 0 {
+                        out[base + (y - 1) * w + x]
+                    } else {
+                        0
+                    };
+                    let cc = if x > 0 && y > 0 {
+                        out[base + (y - 1) * w + x - 1]
+                    } else {
+                        0
+                    };
                     out[base + y * w + x] += med_predict(a, b, cc);
                 }
             }
@@ -311,7 +336,12 @@ mod tests {
         let z = latent(4, 8, 8);
         let coarse = encode_payload(&quantize(&z, 0.2, None).unwrap(), z.shape()).unwrap();
         let fine = encode_payload(&quantize(&z, 0.01, None).unwrap(), z.shape()).unwrap();
-        assert!(fine.len() > coarse.len(), "{} vs {}", fine.len(), coarse.len());
+        assert!(
+            fine.len() > coarse.len(),
+            "{} vs {}",
+            fine.len(),
+            coarse.len()
+        );
     }
 
     #[test]
@@ -377,7 +407,7 @@ mod tests {
     #[test]
     fn intra_transform_is_involutive() {
         let shape = Shape::new(1, 7, 3, 5);
-        let symbols: Vec<i32> = (0..7 * 15).map(|i| ((i * 37) % 200) as i32 - 100).collect();
+        let symbols: Vec<i32> = (0..7 * 15).map(|i| ((i * 37) % 200) - 100).collect();
         let fwd = intra_transform(&symbols, shape, true);
         let back = intra_transform(&fwd, shape, false);
         assert_eq!(symbols, back);

@@ -30,9 +30,7 @@ impl NumericCtx {
     pub fn actq(&self, t: Tensor) -> Tensor {
         match self.act_bits {
             None => t,
-            Some(bits) => fake_quantize_dynamic(&t, bits)
-                .map(|(q, _)| q)
-                .unwrap_or(t),
+            Some(bits) => fake_quantize_dynamic(&t, bits).map(|(q, _)| q).unwrap_or(t),
         }
     }
 }
@@ -83,11 +81,9 @@ impl ConvOp {
     ) -> Result<Self, TensorError> {
         quantize_conv_weights(&mut conv, precision);
         match sparsity {
-            Some(rho)
-                if conv.kernel() == 3 && conv.stride() == 1 && conv.padding() == 1 =>
-            {
-                Ok(ConvOp::Fast(FastConv2d::from_conv_pruned(&conv, Sparsity::new(rho)?)?))
-            }
+            Some(rho) if conv.kernel() == 3 && conv.stride() == 1 && conv.padding() == 1 => Ok(
+                ConvOp::Fast(FastConv2d::from_conv_pruned(&conv, Sparsity::new(rho)?)?),
+            ),
             _ => Ok(ConvOp::Direct(conv)),
         }
     }
@@ -103,7 +99,6 @@ impl ConvOp {
             ConvOp::Fast(c) => c.forward(x),
         }
     }
-
 }
 
 /// A 4×4 stride-2 deconvolution executing directly or through the FTA
@@ -129,9 +124,7 @@ impl DeconvOp {
     ) -> Result<Self, TensorError> {
         quantize_deconv_weights(&mut deconv, precision);
         match sparsity {
-            Some(rho)
-                if deconv.kernel() == 4 && deconv.stride() == 2 && deconv.padding() == 1 =>
-            {
+            Some(rho) if deconv.kernel() == 4 && deconv.stride() == 2 && deconv.padding() == 1 => {
                 Ok(DeconvOp::Fast(FastDeConv2d::from_deconv_pruned(
                     &deconv,
                     Sparsity::new(rho)?,
@@ -235,9 +228,17 @@ impl SwinAttention {
     /// # Errors
     ///
     /// Returns an error unless `heads` divides `c` and `shift < window`.
-    pub fn new(c: usize, window: usize, shift: usize, heads: usize, seed: u64) -> Result<Self, TensorError> {
-        if heads == 0 || c % heads != 0 {
-            return Err(TensorError::invalid(format!("heads {heads} must divide channels {c}")));
+    pub fn new(
+        c: usize,
+        window: usize,
+        shift: usize,
+        heads: usize,
+        seed: u64,
+    ) -> Result<Self, TensorError> {
+        if heads == 0 || !c.is_multiple_of(heads) {
+            return Err(TensorError::invalid(format!(
+                "heads {heads} must divide channels {c}"
+            )));
         }
         if window == 0 || shift >= window {
             return Err(TensorError::invalid(format!(
@@ -260,7 +261,14 @@ impl SwinAttention {
         };
         let wq = Linear::new(head_sym(seed)?, vec![0.0; c])?;
         let wk = Linear::new(head_sym(seed ^ 0x1234)?, vec![0.0; c])?;
-        Ok(SwinAttention { c, window, shift, heads, wq, wk })
+        Ok(SwinAttention {
+            c,
+            window,
+            shift,
+            heads,
+            wq,
+            wk,
+        })
     }
 
     /// Window size `R`.
@@ -347,8 +355,7 @@ impl SwinAttention {
                     for ty in 0..r {
                         for tx in 0..r {
                             for ch in 0..self.c {
-                                *out.at_mut(nn, ch, wy + ty, wx + tx) =
-                                    result.at(ty * r + tx, ch);
+                                *out.at_mut(nn, ch, wy + ty, wx + tx) = result.at(ty * r + tx, ch);
                             }
                         }
                     }
@@ -420,7 +427,7 @@ impl SwinAm {
         sparsity: Option<f64>,
         seed: u64,
     ) -> Result<Self, TensorError> {
-        if c % 2 != 0 {
+        if !c.is_multiple_of(2) {
             return Err(TensorError::invalid("Swin-AM channel count must be even"));
         }
         let half = c / 2;
@@ -435,13 +442,20 @@ impl SwinAm {
         })?;
         // Mask head: 1×1 conv reading the |·| features with a negative
         // bias so flat regions map below 0.5.
-        let mut mask_conv = Conv2d::from_fn(c, c, 1, 1, 0, |co, ci, _, _| {
-            if co == ci {
-                1.2
-            } else {
-                0.0
-            }
-        })?;
+        let mut mask_conv = Conv2d::from_fn(
+            c,
+            c,
+            1,
+            1,
+            0,
+            |co, ci, _, _| {
+                if co == ci {
+                    1.2
+                } else {
+                    0.0
+                }
+            },
+        )?;
         for b in mask_conv.bias_mut() {
             *b = -0.9;
         }
@@ -595,7 +609,10 @@ mod tests {
         let x = smooth(4, 9, 9);
         let y0 = a0.forward(&x).unwrap();
         let y2 = a2.forward(&x).unwrap();
-        assert!(y0.sub(&y2).unwrap().max_abs() > 1e-4, "shift must change windows");
+        assert!(
+            y0.sub(&y2).unwrap().max_abs() > 1e-4,
+            "shift must change windows"
+        );
     }
 
     #[test]

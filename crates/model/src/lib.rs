@@ -67,7 +67,7 @@ mod modules;
 mod motion;
 mod weights;
 
-pub use codec::{CtvcCodec, CtvcCoded, CtvcError};
+pub use codec::{CtvcCodec, CtvcCoded, CtvcDecoderSession, CtvcEncoderSession, CtvcError};
 pub use config::{CtvcConfig, Precision, RatePoint};
 pub use graph::{decoder_graph, LayerDesc, LayerKind};
 pub use layers::{ResBlock, SwinAm, SwinAttention};

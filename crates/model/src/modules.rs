@@ -42,9 +42,17 @@ impl FeatureExtractor {
         let conv1 = Conv2d::from_fn(n, 3, 3, 1, 1, |co, ci, kh, kw| {
             let centre = kh == 1 && kw == 1;
             if co < 3 {
-                if centre && ci == co { 1.0 } else { 0.0 }
+                if centre && ci == co {
+                    1.0
+                } else {
+                    0.0
+                }
             } else if co < 6 {
-                if centre && ci == co - 3 { -1.0 } else { 0.0 }
+                if centre && ci == co - 3 {
+                    -1.0
+                } else {
+                    0.0
+                }
             } else if co < 9 && co - 6 < 3 {
                 // Low-gain blurred RGB: exercises compute without bloating
                 // the intra-coded feature entropy.
@@ -259,7 +267,14 @@ impl Analysis {
         Ok(Analysis {
             down1: weights::pyramid_down_conv(2 * n, n, n, seed ^ 0xA1)?,
             res: (0..3)
-                .map(|i| ResBlock::near_identity(2 * n, cfg.precision, cfg.sparsity, seed ^ (0xA2 + i as u64)))
+                .map(|i| {
+                    ResBlock::near_identity(
+                        2 * n,
+                        cfg.precision,
+                        cfg.sparsity,
+                        seed ^ (0xA2 + i as u64),
+                    )
+                })
                 .collect::<Result<Vec<_>, _>>()?,
             down2: weights::pyramid_down_conv(2 * n, 2 * n, n, seed ^ 0xA3)?,
             swin1: SwinAm::new(2 * n, 3, 0, heads, cfg.precision, cfg.sparsity, seed ^ 0xA4)?,
@@ -306,7 +321,12 @@ impl Synthesis {
         let n = cfg.n;
         let stages = (0..3)
             .map(|i| {
-                let rb = ResBlock::near_identity(n, cfg.precision, cfg.sparsity, seed ^ (0x51 + i as u64))?;
+                let rb = ResBlock::near_identity(
+                    n,
+                    cfg.precision,
+                    cfg.sparsity,
+                    seed ^ (0x51 + i as u64),
+                )?;
                 let up = DeconvOp::build(
                     weights::bilinear_up_deconv(n, n, n, 1.0)?,
                     cfg.precision,
@@ -315,7 +335,10 @@ impl Synthesis {
                 Ok((rb, up))
             })
             .collect::<Result<Vec<_>, TensorError>>()?;
-        Ok(Synthesis { stages, ctx: NumericCtx::new(cfg.precision) })
+        Ok(Synthesis {
+            stages,
+            ctx: NumericCtx::new(cfg.precision),
+        })
     }
 
     /// Maps the `N × h/8 × w/8` latent back to `N × h × w`.
@@ -355,7 +378,15 @@ impl CompressionAutoencoder {
         Ok(CompressionAutoencoder {
             analysis: Analysis::new(cfg, seed)?,
             synthesis: Synthesis::new(cfg, seed ^ 0x5EED)?,
-            mask_am: SwinAm::new(2 * cfg.n, 3, 2, 2, cfg.precision, cfg.sparsity, seed ^ 0x3A5C)?,
+            mask_am: SwinAm::new(
+                2 * cfg.n,
+                3,
+                2,
+                2,
+                cfg.precision,
+                cfg.sparsity,
+                seed ^ 0x3A5C,
+            )?,
         })
     }
 

@@ -35,6 +35,7 @@ pub fn dirac_conv(
 /// Builds a 3×3 convolution whose output channel `co` applies a separable
 /// Gaussian blur to input channel `src(co)` with gain `g(co)`, plus small
 /// seeded texture kernels for channels with no source.
+#[allow(dead_code)] // part of the analytic weight-construction toolkit
 pub fn blur_conv(
     c_out: usize,
     c_in: usize,
@@ -44,7 +45,9 @@ pub fn blur_conv(
 ) -> Result<Conv2d, TensorError> {
     let mut g = Gaussian::new(seed);
     Conv2d::from_fn(c_out, c_in, 3, 1, 1, |co, ci, kh, kw| match src(co) {
-        Some((s, gain)) if s == ci => gain * GAUSS3[kh] * GAUSS3[kw] / (GAUSS3[1] * GAUSS3[1]) * 0.25,
+        Some((s, gain)) if s == ci => {
+            gain * GAUSS3[kh] * GAUSS3[kw] / (GAUSS3[1] * GAUSS3[1]) * 0.25
+        }
         Some(_) => 0.0,
         None => g.sample(0.0, noise_std),
     })
@@ -111,13 +114,22 @@ pub fn rgb_synthesis_deconv(c_in: usize) -> Result<DeConv2d, TensorError> {
 pub fn near_identity_conv(c: usize, std: f32, seed: u64) -> Result<Conv2d, TensorError> {
     let mut g = Gaussian::new(seed);
     Conv2d::from_fn(c, c, 3, 1, 1, |co, ci, kh, kw| {
-        let base = if co == ci && kh == 1 && kw == 1 { 1.0 } else { 0.0 };
+        let base = if co == ci && kh == 1 && kw == 1 {
+            1.0
+        } else {
+            0.0
+        };
         base + g.sample(0.0, std)
     })
 }
 
 /// Small random 3×3 convolution (residual-branch second conv).
-pub fn small_random_conv(c_out: usize, c_in: usize, std: f32, seed: u64) -> Result<Conv2d, TensorError> {
+pub fn small_random_conv(
+    c_out: usize,
+    c_in: usize,
+    std: f32,
+    seed: u64,
+) -> Result<Conv2d, TensorError> {
     let mut g = Gaussian::new(seed);
     Conv2d::from_fn(c_out, c_in, 3, 1, 1, |_, _, _, _| g.sample(0.0, std))
 }

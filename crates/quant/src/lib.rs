@@ -55,7 +55,9 @@ pub enum QuantError {
 impl fmt::Display for QuantError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QuantError::InvalidFormat { reason } => write!(f, "invalid fixed-point format: {reason}"),
+            QuantError::InvalidFormat { reason } => {
+                write!(f, "invalid fixed-point format: {reason}")
+            }
         }
     }
 }
@@ -92,19 +94,28 @@ impl QFormat {
                 reason: format!("frac bits {frac_bits} must be < total bits {total_bits}"),
             });
         }
-        Ok(QFormat { total_bits, frac_bits })
+        Ok(QFormat {
+            total_bits,
+            frac_bits,
+        })
     }
 
     /// The paper's weight format: 16-bit fixed point. Integer bits are
     /// chosen for a ±2 weight range (Q1.14).
     pub fn weights16() -> Self {
-        QFormat { total_bits: 16, frac_bits: 14 }
+        QFormat {
+            total_bits: 16,
+            frac_bits: 14,
+        }
     }
 
     /// The paper's activation format: 12-bit fixed point with a ±8 range
     /// (Q3.8).
     pub fn activations12() -> Self {
-        QFormat { total_bits: 12, frac_bits: 8 }
+        QFormat {
+            total_bits: 12,
+            frac_bits: 8,
+        }
     }
 
     /// Picks the format with `total_bits` width whose range just covers
@@ -156,7 +167,11 @@ impl QFormat {
     /// (matching typical DSP hardware).
     pub fn quantize(&self, v: f32) -> i32 {
         let scaled = (v / self.step()) as f64;
-        let rounded = if scaled >= 0.0 { (scaled + 0.5).floor() } else { (scaled - 0.5).ceil() };
+        let rounded = if scaled >= 0.0 {
+            (scaled + 0.5).floor()
+        } else {
+            (scaled - 0.5).ceil()
+        };
         let lo = -(1_i64 << (self.total_bits - 1));
         let hi = (1_i64 << (self.total_bits - 1)) - 1;
         (rounded as i64).clamp(lo, hi) as i32
@@ -223,7 +238,11 @@ impl QuantTensor {
 
     /// Reconstructs the real-valued tensor.
     pub fn dequantize(&self) -> Tensor {
-        let data = self.codes.iter().map(|&c| self.format.dequantize(c)).collect();
+        let data = self
+            .codes
+            .iter()
+            .map(|&c| self.format.dequantize(c))
+            .collect();
         Tensor::from_vec(self.shape, data).expect("codes length matches shape by construction")
     }
 }

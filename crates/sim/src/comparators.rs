@@ -132,7 +132,13 @@ pub fn nvca_published() -> PlatformRow {
 
 /// All cited comparator rows in the paper's column order.
 pub fn cited_rows() -> Vec<PlatformRow> {
-    vec![cpu_i9_9900x(), gpu_rtx3090(), shao_tcas2022(), alchemist(), nvca_published()]
+    vec![
+        cpu_i9_9900x(),
+        gpu_rtx3090(),
+        shao_tcas2022(),
+        alchemist(),
+        nvca_published(),
+    ]
 }
 
 #[cfg(test)]

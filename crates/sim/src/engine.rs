@@ -77,7 +77,10 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a simulator with the default 28 nm energy model.
     pub fn new(cfg: NvcaConfig) -> Self {
-        Simulator { cfg, energy: EnergyModel::default() }
+        Simulator {
+            cfg,
+            energy: EnergyModel::default(),
+        }
     }
 
     /// Creates a simulator with an explicit energy model.
@@ -118,26 +121,37 @@ impl Simulator {
         let pof = self.cfg.pof as u64;
         let keep = 1.0 - self.cfg.rho;
         match *op {
-            SimOp::Conv3x3 { c_in, c_out, h_out, w_out, stride } => {
+            SimOp::Conv3x3 {
+                c_in,
+                c_out,
+                h_out,
+                w_out,
+                stride,
+            } => {
                 if stride == 1 {
                     // Winograd F(2x2,3x3): 2×2 output tiles, 4 tiles per
                     // SCU pass, 16·(1−ρ) muls per kernel-tile.
                     let tiles = (h_out.div_ceil(2) * w_out.div_ceil(2)) as u64;
                     let passes = (c_in as u64).div_ceil(pif) * (c_out as u64).div_ceil(pof);
                     let cycles = passes * tiles.div_ceil(4) + self.cfg.layer_overhead_cycles;
-                    let muls = (tiles as f64
-                        * (c_in * c_out) as f64
-                        * 16.0
-                        * keep) as u64;
+                    let muls = (tiles as f64 * (c_in * c_out) as f64 * 16.0 * keep) as u64;
                     (cycles, muls)
                 } else {
                     // Strided convs run in plain MAC mode.
                     let macs = op.macs();
                     let per_cycle = self.cfg.array_multipliers();
-                    (macs.div_ceil(per_cycle) + self.cfg.layer_overhead_cycles, macs)
+                    (
+                        macs.div_ceil(per_cycle) + self.cfg.layer_overhead_cycles,
+                        macs,
+                    )
                 }
             }
-            SimOp::Deconv4x4 { c_in, c_out, h_out, w_out } => {
+            SimOp::Deconv4x4 {
+                c_in,
+                c_out,
+                h_out,
+                w_out,
+            } => {
                 // FTA T3(6x6,4x4): one 6×6 tile per SCU pass, 64·(1−ρ)
                 // muls per kernel-tile.
                 let tiles = (h_out.div_ceil(6) * w_out.div_ceil(6)) as u64;
@@ -149,7 +163,10 @@ impl Simulator {
             SimOp::Conv1x1 { .. } | SimOp::Attention { .. } => {
                 let macs = op.macs();
                 let per_cycle = self.cfg.array_multipliers();
-                (macs.div_ceil(per_cycle) + self.cfg.layer_overhead_cycles, macs)
+                (
+                    macs.div_ceil(per_cycle) + self.cfg.layer_overhead_cycles,
+                    macs,
+                )
             }
             SimOp::DfConv3x3 { .. } => {
                 let macs = op.macs();
@@ -160,7 +177,10 @@ impl Simulator {
             }
             SimOp::Pool { c, h_out, w_out, k } => {
                 let elems = (c * h_out * w_out * k * k) as u64;
-                (elems.div_ceil(self.cfg.array_multipliers()) + self.cfg.layer_overhead_cycles, 0)
+                (
+                    elems.div_ceil(self.cfg.array_multipliers()) + self.cfg.layer_overhead_cycles,
+                    0,
+                )
             }
         }
     }
@@ -201,7 +221,12 @@ impl Simulator {
         let mut worst = 0u64;
         for l in chain {
             let (c, w) = match l.op {
-                SimOp::Conv3x3 { c_out, w_out, stride, .. } => (c_out as u64, (w_out * stride) as u64),
+                SimOp::Conv3x3 {
+                    c_out,
+                    w_out,
+                    stride,
+                    ..
+                } => (c_out as u64, (w_out * stride) as u64),
                 SimOp::Conv1x1 { c_out, w_out, .. } => (c_out as u64, w_out as u64),
                 SimOp::Deconv4x4 { c_in, w_out, .. } => (c_in as u64, (w_out / 2) as u64),
                 _ => (0, 0),
@@ -280,7 +305,11 @@ impl Simulator {
 
         let secs = total_cycles as f64 / (self.cfg.freq_mhz * 1e6);
         let frame_ms = secs * 1e3;
-        let fps = if secs > 0.0 { 1.0 / secs } else { f64::INFINITY };
+        let fps = if secs > 0.0 {
+            1.0 / secs
+        } else {
+            f64::INFINITY
+        };
         let physical_gops = 2.0 * physical as f64 / secs.max(1e-12) / 1e9;
         let effective_gops = 2.0 * effective as f64 / secs.max(1e-12) / 1e9;
 
@@ -290,15 +319,10 @@ impl Simulator {
         let sram_bits: f64 = layer_reports
             .iter()
             .map(|l| {
-                let op = wl
-                    .layers()
-                    .iter()
-                    .find(|x| x.name == l.name)
-                    .map(|x| &x.op);
+                let op = wl.layers().iter().find(|x| x.name == l.name).map(|x| &x.op);
                 match op {
                     Some(op) => {
-                        ((self.act_bytes(op.input_elems()) + self.act_bytes(op.output_elems()))
-                            * 2
+                        ((self.act_bytes(op.input_elems()) + self.act_bytes(op.output_elems())) * 2
                             + self.weight_bytes(op)) as f64
                             * 8.0
                     }
@@ -336,14 +360,34 @@ impl Simulator {
 
 fn layer_whw(op: &SimOp) -> (u64, u64, u64) {
     match *op {
-        SimOp::Conv3x3 { c_out, h_out, w_out, .. }
-        | SimOp::Conv1x1 { c_out, h_out, w_out, .. }
-        | SimOp::Deconv4x4 { c_out, h_out, w_out, .. }
-        | SimOp::DfConv3x3 { c_out, h_out, w_out, .. } => {
-            (c_out as u64, h_out as u64, (c_out * w_out) as u64)
+        SimOp::Conv3x3 {
+            c_out,
+            h_out,
+            w_out,
+            ..
         }
+        | SimOp::Conv1x1 {
+            c_out,
+            h_out,
+            w_out,
+            ..
+        }
+        | SimOp::Deconv4x4 {
+            c_out,
+            h_out,
+            w_out,
+            ..
+        }
+        | SimOp::DfConv3x3 {
+            c_out,
+            h_out,
+            w_out,
+            ..
+        } => (c_out as u64, h_out as u64, (c_out * w_out) as u64),
         SimOp::Attention { c, h, w, .. } => (c as u64, h as u64, (c * w) as u64),
-        SimOp::Pool { c, h_out, w_out, .. } => (c as u64, h_out as u64, (c * w_out) as u64),
+        SimOp::Pool {
+            c, h_out, w_out, ..
+        } => (c as u64, h_out as u64, (c * w_out) as u64),
     }
 }
 
@@ -355,7 +399,13 @@ mod tests {
         SimLayer::new(
             name,
             module,
-            SimOp::Conv3x3 { c_in: c, c_out: c, h_out: hw, w_out: hw, stride: 1 },
+            SimOp::Conv3x3 {
+                c_in: c,
+                c_out: c,
+                h_out: hw,
+                w_out: hw,
+                stride: 1,
+            },
         )
     }
 
@@ -363,7 +413,12 @@ mod tests {
         SimLayer::new(
             name,
             module,
-            SimOp::Deconv4x4 { c_in: c, c_out: c, h_out: hw_out, w_out: hw_out },
+            SimOp::Deconv4x4 {
+                c_in: c,
+                c_out: c,
+                h_out: hw_out,
+                w_out: hw_out,
+            },
         )
     }
 
@@ -398,7 +453,13 @@ mod tests {
         // plain mode: transform execution needs ~2.25× fewer cycles at
         // dense, ~4.5× at ρ=0.5... verified via physical muls.
         let sim = Simulator::new(NvcaConfig::paper());
-        let fast = SimOp::Conv3x3 { c_in: 36, c_out: 36, h_out: 96, w_out: 96, stride: 1 };
+        let fast = SimOp::Conv3x3 {
+            c_in: 36,
+            c_out: 36,
+            h_out: 96,
+            w_out: 96,
+            stride: 1,
+        };
         let (cycles, muls) = sim.compute(&fast);
         let direct_macs = fast.macs();
         // Physical muls at ρ=0.5 are 16/9·0.5 ≈ 0.89× the direct MACs...
@@ -414,7 +475,13 @@ mod tests {
     #[test]
     fn dfconv_runs_on_dcc() {
         let sim = Simulator::new(NvcaConfig::paper());
-        let df = SimOp::DfConv3x3 { c_in: 36, c_out: 36, h_out: 64, w_out: 64, groups: 2 };
+        let df = SimOp::DfConv3x3 {
+            c_in: 36,
+            c_out: 36,
+            h_out: 64,
+            w_out: 64,
+            groups: 2,
+        };
         let (cycles, muls) = sim.compute(&df);
         assert_eq!(muls, df.macs());
         assert!(cycles >= df.macs() / sim.config().dcc_macs_per_cycle);
@@ -427,12 +494,22 @@ mod tests {
         let wl = Workload::new(vec![SimLayer::new(
             "pool",
             "m",
-            SimOp::Pool { c: 36, h_out: 256, w_out: 256, k: 2 },
+            SimOp::Pool {
+                c: 36,
+                h_out: 256,
+                w_out: 256,
+                k: 2,
+            },
         )]);
         let sim = Simulator::new(NvcaConfig::paper());
         let rep = sim.run(&wl, Dataflow::LayerByLayer);
         let l = &rep.layers[0];
-        assert!(l.cycles > l.compute_cycles, "{} vs {}", l.cycles, l.compute_cycles);
+        assert!(
+            l.cycles > l.compute_cycles,
+            "{} vs {}",
+            l.cycles,
+            l.compute_cycles
+        );
     }
 
     #[test]
@@ -446,17 +523,22 @@ mod tests {
         let rep = sim.run(&wl, Dataflow::Chained);
         assert!(rep.utilization > 0.0 && rep.utilization <= 1.0);
         assert!(rep.physical_gops > 0.0 && rep.physical_gops <= sim.config().peak_gops() * 1.01);
-        assert!(rep.power_w > 0.0 && rep.power_w < 10.0, "power {}", rep.power_w);
-        assert!(rep.gops_per_watt > 100.0, "efficiency {}", rep.gops_per_watt);
+        assert!(
+            rep.power_w > 0.0 && rep.power_w < 10.0,
+            "power {}",
+            rep.power_w
+        );
+        assert!(
+            rep.gops_per_watt > 100.0,
+            "efficiency {}",
+            rep.gops_per_watt
+        );
         assert!(rep.fps.is_finite());
     }
 
     #[test]
     fn per_module_traffic_accounts_everything() {
-        let wl = Workload::new(vec![
-            conv("m1", "a", 12, 32),
-            conv("m2", "b", 12, 32),
-        ]);
+        let wl = Workload::new(vec![conv("m1", "a", 12, 32), conv("m2", "b", 12, 32)]);
         let sim = Simulator::new(NvcaConfig::paper());
         let rep = sim.run(&wl, Dataflow::LayerByLayer);
         let sum: u64 = rep.module_dram_bytes.values().sum();
@@ -469,7 +551,17 @@ mod tests {
         let wl = Workload::new(vec![
             conv("m1", "a", 4, 8),
             conv("m1", "b", 4, 8),
-            SimLayer::new("df", "m1", SimOp::DfConv3x3 { c_in: 4, c_out: 4, h_out: 8, w_out: 8, groups: 2 }),
+            SimLayer::new(
+                "df",
+                "m1",
+                SimOp::DfConv3x3 {
+                    c_in: 4,
+                    c_out: 4,
+                    h_out: 8,
+                    w_out: 8,
+                    groups: 2,
+                },
+            ),
             conv("m2", "c", 4, 8),
             deconv("m2", "d", 4, 16),
             conv("m2", "e", 4, 16),

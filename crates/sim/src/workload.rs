@@ -82,19 +82,39 @@ impl SimOp {
     /// Direct-algorithm multiply–accumulates of the operator.
     pub fn macs(&self) -> u64 {
         match *self {
-            SimOp::Conv3x3 { c_in, c_out, h_out, w_out, .. } => {
-                (c_in * c_out * 9) as u64 * (h_out * w_out) as u64
-            }
-            SimOp::Conv1x1 { c_in, c_out, h_out, w_out } => {
-                (c_in * c_out) as u64 * (h_out * w_out) as u64
-            }
-            SimOp::Deconv4x4 { c_in, c_out, h_out, w_out } => {
-                (c_in * c_out * 16) as u64 * ((h_out / 2) * (w_out / 2)) as u64
-            }
-            SimOp::DfConv3x3 { c_in, c_out, h_out, w_out, .. } => {
-                (c_in * c_out * 9) as u64 * (h_out * w_out) as u64
-            }
-            SimOp::Attention { c, h, w, window, heads } => {
+            SimOp::Conv3x3 {
+                c_in,
+                c_out,
+                h_out,
+                w_out,
+                ..
+            } => (c_in * c_out * 9) as u64 * (h_out * w_out) as u64,
+            SimOp::Conv1x1 {
+                c_in,
+                c_out,
+                h_out,
+                w_out,
+            } => (c_in * c_out) as u64 * (h_out * w_out) as u64,
+            SimOp::Deconv4x4 {
+                c_in,
+                c_out,
+                h_out,
+                w_out,
+            } => (c_in * c_out * 16) as u64 * ((h_out / 2) * (w_out / 2)) as u64,
+            SimOp::DfConv3x3 {
+                c_in,
+                c_out,
+                h_out,
+                w_out,
+                ..
+            } => (c_in * c_out * 9) as u64 * (h_out * w_out) as u64,
+            SimOp::Attention {
+                c,
+                h,
+                w,
+                window,
+                heads,
+            } => {
                 let t = (window * window) as u64;
                 let windows = (h.div_ceil(window) * w.div_ceil(window)) as u64;
                 let d = (c / heads.max(1)) as u64;
@@ -107,14 +127,22 @@ impl SimOp {
     /// Input activation elements.
     pub fn input_elems(&self) -> u64 {
         match *self {
-            SimOp::Conv3x3 { c_in, h_out, w_out, stride, .. } => {
-                (c_in * h_out * stride * w_out * stride) as u64
-            }
-            SimOp::Conv1x1 { c_in, h_out, w_out, .. } => (c_in * h_out * w_out) as u64,
-            SimOp::Deconv4x4 { c_in, h_out, w_out, .. } => {
-                (c_in * (h_out / 2) * (w_out / 2)) as u64
-            }
-            SimOp::DfConv3x3 { c_in, h_out, w_out, .. } => {
+            SimOp::Conv3x3 {
+                c_in,
+                h_out,
+                w_out,
+                stride,
+                ..
+            } => (c_in * h_out * stride * w_out * stride) as u64,
+            SimOp::Conv1x1 {
+                c_in, h_out, w_out, ..
+            } => (c_in * h_out * w_out) as u64,
+            SimOp::Deconv4x4 {
+                c_in, h_out, w_out, ..
+            } => (c_in * (h_out / 2) * (w_out / 2)) as u64,
+            SimOp::DfConv3x3 {
+                c_in, h_out, w_out, ..
+            } => {
                 // Input features plus the offset field (2·G·9 channels).
                 (c_in * h_out * w_out) as u64 + (36 * h_out * w_out) as u64
             }
@@ -126,12 +154,34 @@ impl SimOp {
     /// Output activation elements.
     pub fn output_elems(&self) -> u64 {
         match *self {
-            SimOp::Conv3x3 { c_out, h_out, w_out, .. }
-            | SimOp::Conv1x1 { c_out, h_out, w_out, .. }
-            | SimOp::Deconv4x4 { c_out, h_out, w_out, .. }
-            | SimOp::DfConv3x3 { c_out, h_out, w_out, .. } => (c_out * h_out * w_out) as u64,
+            SimOp::Conv3x3 {
+                c_out,
+                h_out,
+                w_out,
+                ..
+            }
+            | SimOp::Conv1x1 {
+                c_out,
+                h_out,
+                w_out,
+                ..
+            }
+            | SimOp::Deconv4x4 {
+                c_out,
+                h_out,
+                w_out,
+                ..
+            }
+            | SimOp::DfConv3x3 {
+                c_out,
+                h_out,
+                w_out,
+                ..
+            } => (c_out * h_out * w_out) as u64,
             SimOp::Attention { c, h, w, .. } => (c * h * w) as u64,
-            SimOp::Pool { c, h_out, w_out, .. } => (c * h_out * w_out) as u64,
+            SimOp::Pool {
+                c, h_out, w_out, ..
+            } => (c * h_out * w_out) as u64,
         }
     }
 
@@ -187,7 +237,11 @@ pub struct SimLayer {
 impl SimLayer {
     /// Creates a layer.
     pub fn new(name: impl Into<String>, module: &'static str, op: SimOp) -> Self {
-        SimLayer { name: name.into(), module, op }
+        SimLayer {
+            name: name.into(),
+            module,
+            op,
+        }
     }
 }
 
@@ -231,30 +285,76 @@ mod tests {
 
     #[test]
     fn mac_counts_match_formulae() {
-        let conv = SimOp::Conv3x3 { c_in: 4, c_out: 8, h_out: 10, w_out: 10, stride: 1 };
+        let conv = SimOp::Conv3x3 {
+            c_in: 4,
+            c_out: 8,
+            h_out: 10,
+            w_out: 10,
+            stride: 1,
+        };
         assert_eq!(conv.macs(), 4 * 8 * 9 * 100);
-        let deconv = SimOp::Deconv4x4 { c_in: 4, c_out: 8, h_out: 20, w_out: 20 };
+        let deconv = SimOp::Deconv4x4 {
+            c_in: 4,
+            c_out: 8,
+            h_out: 20,
+            w_out: 20,
+        };
         assert_eq!(deconv.macs(), 4 * 8 * 16 * 100);
-        assert_eq!(SimOp::Pool { c: 3, h_out: 5, w_out: 5, k: 2 }.macs(), 0);
+        assert_eq!(
+            SimOp::Pool {
+                c: 3,
+                h_out: 5,
+                w_out: 5,
+                k: 2
+            }
+            .macs(),
+            0
+        );
     }
 
     #[test]
     fn fast_transform_classification() {
         assert_eq!(
-            SimOp::Conv3x3 { c_in: 1, c_out: 1, h_out: 1, w_out: 1, stride: 1 }.fast_transform(),
+            SimOp::Conv3x3 {
+                c_in: 1,
+                c_out: 1,
+                h_out: 1,
+                w_out: 1,
+                stride: 1
+            }
+            .fast_transform(),
             Some("winograd")
         );
         assert_eq!(
-            SimOp::Conv3x3 { c_in: 1, c_out: 1, h_out: 1, w_out: 1, stride: 2 }.fast_transform(),
+            SimOp::Conv3x3 {
+                c_in: 1,
+                c_out: 1,
+                h_out: 1,
+                w_out: 1,
+                stride: 2
+            }
+            .fast_transform(),
             None
         );
         assert_eq!(
-            SimOp::Deconv4x4 { c_in: 1, c_out: 1, h_out: 2, w_out: 2 }.fast_transform(),
+            SimOp::Deconv4x4 {
+                c_in: 1,
+                c_out: 1,
+                h_out: 2,
+                w_out: 2
+            }
+            .fast_transform(),
             Some("fta")
         );
         assert_eq!(
-            SimOp::DfConv3x3 { c_in: 1, c_out: 1, h_out: 1, w_out: 1, groups: 2 }
-                .fast_transform(),
+            SimOp::DfConv3x3 {
+                c_in: 1,
+                c_out: 1,
+                h_out: 1,
+                w_out: 1,
+                groups: 2
+            }
+            .fast_transform(),
             None
         );
     }
@@ -262,9 +362,37 @@ mod tests {
     #[test]
     fn workload_aggregation() {
         let wl = Workload::new(vec![
-            SimLayer::new("a", "m1", SimOp::Conv3x3 { c_in: 2, c_out: 2, h_out: 4, w_out: 4, stride: 1 }),
-            SimLayer::new("b", "m2", SimOp::Conv1x1 { c_in: 2, c_out: 2, h_out: 4, w_out: 4 }),
-            SimLayer::new("c", "m1", SimOp::Pool { c: 2, h_out: 2, w_out: 2, k: 2 }),
+            SimLayer::new(
+                "a",
+                "m1",
+                SimOp::Conv3x3 {
+                    c_in: 2,
+                    c_out: 2,
+                    h_out: 4,
+                    w_out: 4,
+                    stride: 1,
+                },
+            ),
+            SimLayer::new(
+                "b",
+                "m2",
+                SimOp::Conv1x1 {
+                    c_in: 2,
+                    c_out: 2,
+                    h_out: 4,
+                    w_out: 4,
+                },
+            ),
+            SimLayer::new(
+                "c",
+                "m1",
+                SimOp::Pool {
+                    c: 2,
+                    h_out: 2,
+                    w_out: 2,
+                    k: 2,
+                },
+            ),
         ]);
         assert_eq!(wl.total_macs(), 2 * 2 * 9 * 16 + 2 * 2 * 16);
         assert_eq!(wl.modules(), vec!["m1", "m2"]);

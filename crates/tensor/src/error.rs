@@ -37,12 +37,16 @@ pub enum TensorError {
 impl TensorError {
     /// Convenience constructor for [`TensorError::Incompatible`].
     pub fn incompatible(reason: impl Into<String>) -> Self {
-        TensorError::Incompatible { reason: reason.into() }
+        TensorError::Incompatible {
+            reason: reason.into(),
+        }
     }
 
     /// Convenience constructor for [`TensorError::InvalidParameter`].
     pub fn invalid(reason: impl Into<String>) -> Self {
-        TensorError::InvalidParameter { reason: reason.into() }
+        TensorError::InvalidParameter {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -53,10 +57,9 @@ impl fmt::Display for TensorError {
                 f,
                 "buffer length {actual} does not match shape volume {expected}"
             ),
-            TensorError::ShapeMismatch { left, right } => write!(
-                f,
-                "shape mismatch: {left:?} vs {right:?}"
-            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
             TensorError::Incompatible { reason } => write!(f, "incompatible operands: {reason}"),
             TensorError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
         }
@@ -71,7 +74,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = TensorError::LengthMismatch { expected: 12, actual: 7 };
+        let err = TensorError::LengthMismatch {
+            expected: 12,
+            actual: 7,
+        };
         assert!(err.to_string().contains("12"));
         assert!(err.to_string().contains("7"));
         let err = TensorError::incompatible("channels 3 vs 4");

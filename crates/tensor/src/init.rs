@@ -2,16 +2,44 @@
 //!
 //! The reproduction has no training loop, so every "learned" parameter in
 //! the repository is produced by one of these constructors with a fixed
-//! seed. Gaussian draws use [`rand::rngs::SmallRng`] seeded explicitly, so
-//! the whole experiment suite is bit-reproducible.
+//! seed. Gaussian draws use [`SplitMix64`] seeded explicitly, so the whole
+//! experiment suite is bit-reproducible with zero external dependencies.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// Minimal deterministic PRNG (SplitMix64, Steele et al.). Passes BigCrush
+/// on its own and is more than adequate for weight initialisation; kept
+/// in-tree so the workspace builds with no external crates.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)` from the top 24 bits.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform `usize` in `[0, n)`; `n` must be non-zero.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
 
 /// Deterministic Gaussian sampler based on the Box–Muller transform.
-///
-/// `rand` without `rand_distr` has no normal distribution; this tiny
-/// implementation keeps the dependency footprint at the sanctioned set.
 ///
 /// # Example
 ///
@@ -24,14 +52,17 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Gaussian {
-    rng: SmallRng,
+    rng: SplitMix64,
     cached: Option<f32>,
 }
 
 impl Gaussian {
     /// Creates a sampler from a seed.
     pub fn new(seed: u64) -> Self {
-        Gaussian { rng: SmallRng::seed_from_u64(seed), cached: None }
+        Gaussian {
+            rng: SplitMix64::new(seed),
+            cached: None,
+        }
     }
 
     /// Draws one sample from `N(mean, std²)`.
@@ -40,8 +71,8 @@ impl Gaussian {
             z
         } else {
             // Box–Muller: two uniforms in (0, 1] -> two independent normals.
-            let u1: f32 = 1.0 - self.rng.gen::<f32>();
-            let u2: f32 = self.rng.gen();
+            let u1: f32 = 1.0 - self.rng.next_f32();
+            let u2: f32 = self.rng.next_f32();
             let r = (-2.0 * u1.ln()).sqrt();
             let theta = 2.0 * std::f32::consts::PI * u2;
             self.cached = Some(r * theta.sin());
@@ -77,7 +108,11 @@ pub fn randn_vec(len: usize, std: f32, seed: u64) -> Vec<f32> {
 /// the codec's analysis/synthesis transforms.
 pub fn dct2_basis(k: usize, u: usize, x: usize) -> f32 {
     let kf = k as f32;
-    let scale = if u == 0 { (1.0 / kf).sqrt() } else { (2.0 / kf).sqrt() };
+    let scale = if u == 0 {
+        (1.0 / kf).sqrt()
+    } else {
+        (2.0 / kf).sqrt()
+    };
     scale * ((std::f32::consts::PI * (x as f32 + 0.5) * u as f32) / kf).cos()
 }
 
@@ -103,8 +138,7 @@ mod tests {
     fn gaussian_moments_are_plausible() {
         let v = randn_vec(20_000, 1.0, 123);
         let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
-        let var: f64 =
-            v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        let var: f64 = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
@@ -114,7 +148,9 @@ mod tests {
         let k = 4;
         for u in 0..k {
             for v in 0..k {
-                let dot: f32 = (0..k).map(|x| dct2_basis(k, u, x) * dct2_basis(k, v, x)).sum();
+                let dot: f32 = (0..k)
+                    .map(|x| dct2_basis(k, u, x) * dct2_basis(k, v, x))
+                    .sum();
                 let expect = if u == v { 1.0 } else { 0.0 };
                 assert!((dot - expect).abs() < 1e-5, "u={u} v={v} dot={dot}");
             }

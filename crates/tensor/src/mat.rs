@@ -32,7 +32,11 @@ pub struct Mat {
 impl Mat {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an identity matrix.
@@ -51,7 +55,10 @@ impl Mat {
     /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != rows * cols {
-            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Mat { rows, cols, data })
     }
@@ -64,9 +71,10 @@ impl Mat {
     /// or no rows are given.
     pub fn from_rows(rows: &[&[f32]]) -> Result<Self, TensorError> {
         let r = rows.len();
-        let c = rows.first().map(|r| r.len()).ok_or_else(|| {
-            TensorError::incompatible("matrix must have at least one row")
-        })?;
+        let c = rows
+            .first()
+            .map(|r| r.len())
+            .ok_or_else(|| TensorError::incompatible("matrix must have at least one row"))?;
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
             if row.len() != c {
@@ -74,7 +82,11 @@ impl Mat {
             }
             data.extend_from_slice(row);
         }
-        Ok(Mat { rows: r, cols: c, data })
+        Ok(Mat {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -104,7 +116,10 @@ impl Mat {
     /// Panics if `r` or `c` is out of range.
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range for {self}");
+        assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of range for {self}"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -115,7 +130,10 @@ impl Mat {
     /// Panics if `r` or `c` is out of range.
     #[inline]
     pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range for {self}");
+        assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of range for {self}"
+        );
         &mut self.data[r * self.cols + c]
     }
 
@@ -168,8 +186,17 @@ impl Mat {
         if self.rows != rhs.rows || self.cols != rhs.cols {
             return Err(TensorError::incompatible("hadamard shape mismatch"));
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a * b).collect();
-        Ok(Mat { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Ok(Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Softmax applied independently to each row (used by attention).
@@ -198,7 +225,11 @@ impl Mat {
     ///
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, rhs: &Mat) -> f32 {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&rhs.data)

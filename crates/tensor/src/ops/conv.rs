@@ -48,7 +48,9 @@ impl Conv2d {
         padding: usize,
     ) -> Result<Self, TensorError> {
         if k == 0 || stride == 0 {
-            return Err(TensorError::invalid("kernel size and stride must be non-zero"));
+            return Err(TensorError::invalid(
+                "kernel size and stride must be non-zero",
+            ));
         }
         if weight.len() != c_out * c_in * k * k {
             return Err(TensorError::LengthMismatch {
@@ -57,9 +59,20 @@ impl Conv2d {
             });
         }
         if bias.len() != c_out {
-            return Err(TensorError::LengthMismatch { expected: c_out, actual: bias.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: c_out,
+                actual: bias.len(),
+            });
         }
-        Ok(Conv2d { weight, bias, c_out, c_in, k, stride, padding })
+        Ok(Conv2d {
+            weight,
+            bias,
+            c_out,
+            c_in,
+            k,
+            stride,
+            padding,
+        })
     }
 
     /// Creates a convolution with He-initialised Gaussian weights and zero
@@ -160,7 +173,10 @@ impl Conv2d {
     ///
     /// Panics if `co` or `ci` is out of range.
     pub fn kernel_slice(&self, co: usize, ci: usize) -> &[f32] {
-        assert!(co < self.c_out && ci < self.c_in, "kernel ({co},{ci}) out of range");
+        assert!(
+            co < self.c_out && ci < self.c_in,
+            "kernel ({co},{ci}) out of range"
+        );
         let kk = self.k * self.k;
         let base = (co * self.c_in + ci) * kk;
         &self.weight[base..base + kk]
@@ -258,9 +274,20 @@ mod tests {
     #[test]
     fn identity_kernel_preserves_input() {
         // 3x3 Dirac kernel.
-        let conv = Conv2d::from_fn(1, 1, 3, 1, 1, |_, _, kh, kw| {
-            if kh == 1 && kw == 1 { 1.0 } else { 0.0 }
-        })
+        let conv = Conv2d::from_fn(
+            1,
+            1,
+            3,
+            1,
+            1,
+            |_, _, kh, kw| {
+                if kh == 1 && kw == 1 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
         .unwrap();
         let x = Tensor::from_fn(Shape::new(1, 1, 4, 5), |_, _, h, w| (h * 5 + w) as f32);
         let y = conv.forward(&x).unwrap();
@@ -299,11 +326,8 @@ mod tests {
             0,
         )
         .unwrap();
-        let x = Tensor::from_vec(
-            Shape::new(1, 2, 1, 2),
-            vec![1.0, 2.0, /* ch1 */ 10.0, 20.0],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(Shape::new(1, 2, 1, 2), vec![1.0, 2.0, /* ch1 */ 10.0, 20.0]).unwrap();
         let y = conv.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[21.5, 42.5]);
     }

@@ -50,7 +50,9 @@ impl DeConv2d {
         padding: usize,
     ) -> Result<Self, TensorError> {
         if k == 0 || stride == 0 {
-            return Err(TensorError::invalid("kernel size and stride must be non-zero"));
+            return Err(TensorError::invalid(
+                "kernel size and stride must be non-zero",
+            ));
         }
         if k < 2 * padding + 1 {
             return Err(TensorError::invalid(format!(
@@ -64,9 +66,20 @@ impl DeConv2d {
             });
         }
         if bias.len() != c_out {
-            return Err(TensorError::LengthMismatch { expected: c_out, actual: bias.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: c_out,
+                actual: bias.len(),
+            });
         }
-        Ok(DeConv2d { weight, bias, c_out, c_in, k, stride, padding })
+        Ok(DeConv2d {
+            weight,
+            bias,
+            c_out,
+            c_in,
+            k,
+            stride,
+            padding,
+        })
     }
 
     /// Creates a transposed convolution with He-initialised Gaussian
@@ -163,7 +176,10 @@ impl DeConv2d {
     ///
     /// Panics if `ci` or `co` is out of range.
     pub fn kernel_slice(&self, ci: usize, co: usize) -> &[f32] {
-        assert!(ci < self.c_in && co < self.c_out, "kernel ({ci},{co}) out of range");
+        assert!(
+            ci < self.c_in && co < self.c_out,
+            "kernel ({ci},{co}) out of range"
+        );
         let kk = self.k * self.k;
         let base = (ci * self.c_out + co) * kk;
         &self.weight[base..base + kk]

@@ -46,7 +46,7 @@ impl DeformConv2d {
         if k == 0 {
             return Err(TensorError::invalid("kernel size must be non-zero"));
         }
-        if groups == 0 || c_in % groups != 0 {
+        if groups == 0 || !c_in.is_multiple_of(groups) {
             return Err(TensorError::invalid(format!(
                 "groups {groups} must divide input channels {c_in}"
             )));
@@ -58,9 +58,20 @@ impl DeformConv2d {
             });
         }
         if bias.len() != c_out {
-            return Err(TensorError::LengthMismatch { expected: c_out, actual: bias.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: c_out,
+                actual: bias.len(),
+            });
         }
-        Ok(DeformConv2d { weight, bias, c_out, c_in, k, padding, groups })
+        Ok(DeformConv2d {
+            weight,
+            bias,
+            c_out,
+            c_in,
+            k,
+            padding,
+            groups,
+        })
     }
 
     /// Creates a deformable convolution with He-initialised weights.
@@ -157,15 +168,17 @@ impl DeformConv2d {
                             let sx = ox as f32 - pad + kw + dx;
                             for cg in 0..ch_per_group {
                                 let ci = g * ch_per_group + cg;
-                                sampled[ci * kk + tap] =
-                                    input.sample_bilinear(nn, ci, sy, sx);
+                                sampled[ci * kk + tap] = input.sample_bilinear(nn, ci, sy, sx);
                             }
                         }
                     }
                     for co in 0..self.c_out {
                         let mut acc = self.bias[co];
                         let wbase = co * self.c_in * kk;
-                        for (s, wv) in sampled.iter().zip(&self.weight[wbase..wbase + self.c_in * kk]) {
+                        for (s, wv) in sampled
+                            .iter()
+                            .zip(&self.weight[wbase..wbase + self.c_in * kk])
+                        {
                             acc += s * wv;
                         }
                         *out.at_mut(nn, co, oy, ox) = acc;
@@ -252,10 +265,13 @@ mod tests {
     #[test]
     fn groups_use_independent_offsets() {
         // 2 channels, 2 groups, 1x1 kernel, weights sum both channels.
-        let dconv =
-            DeformConv2d::new(vec![1.0, 1.0], vec![0.0], 1, 2, 1, 0, 2).unwrap();
+        let dconv = DeformConv2d::new(vec![1.0, 1.0], vec![0.0], 1, 2, 1, 0, 2).unwrap();
         let x = Tensor::from_fn(Shape::new(1, 2, 1, 3), |_, c, _, w| {
-            if c == 0 { w as f32 } else { 100.0 * w as f32 }
+            if c == 0 {
+                w as f32
+            } else {
+                100.0 * w as f32
+            }
         });
         let mut off = Tensor::zeros(Shape::new(1, 4, 1, 3));
         // Group 0: dx = +1; group 1: dx = 0.

@@ -50,7 +50,10 @@ impl Linear {
         let mut g = Gaussian::new(seed);
         let mut w = vec![0.0; out_features * in_features];
         g.fill(&mut w, he_std(in_features));
-        Linear::new(Mat::from_vec(out_features, in_features, w)?, vec![0.0; out_features])
+        Linear::new(
+            Mat::from_vec(out_features, in_features, w)?,
+            vec![0.0; out_features],
+        )
     }
 
     /// Output feature count.

@@ -102,6 +102,8 @@ mod tests {
     fn validation() {
         assert!(MaxPool2d::new(0).is_err());
         let pool = MaxPool2d::new(4).unwrap();
-        assert!(pool.forward(&Tensor::zeros(Shape::new(1, 1, 2, 8))).is_err());
+        assert!(pool
+            .forward(&Tensor::zeros(Shape::new(1, 1, 2, 8)))
+            .is_err());
     }
 }

@@ -65,8 +65,10 @@ impl Shape {
     /// Panics in debug builds if any coordinate is out of range.
     #[inline]
     pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
-        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
-            "index ({n},{c},{h},{w}) out of bounds for shape {self}");
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for shape {self}"
+        );
         ((n * self.c + c) * self.h + h) * self.w + w
     }
 

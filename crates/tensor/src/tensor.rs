@@ -29,12 +29,18 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a tensor of zeros.
     pub fn zeros(shape: Shape) -> Self {
-        Tensor { shape, data: vec![0.0; shape.volume()] }
+        Tensor {
+            shape,
+            data: vec![0.0; shape.volume()],
+        }
     }
 
     /// Creates a tensor where every element equals `value`.
     pub fn filled(shape: Shape, value: f32) -> Self {
-        Tensor { shape, data: vec![value; shape.volume()] }
+        Tensor {
+            shape,
+            data: vec![value; shape.volume()],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -344,7 +350,13 @@ impl Tensor {
     ///
     /// Returns [`TensorError::Incompatible`] if the region exceeds the
     /// tensor extent.
-    pub fn crop_region(&self, y0: usize, x0: usize, h: usize, w: usize) -> Result<Tensor, TensorError> {
+    pub fn crop_region(
+        &self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<Tensor, TensorError> {
         let (n, c, sh, sw) = self.shape.dims();
         if y0 + h > sh || x0 + w > sw {
             return Err(TensorError::incompatible(format!(
@@ -419,7 +431,13 @@ mod tests {
     #[test]
     fn from_vec_validates_length() {
         let err = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![0.0; 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
         assert!(Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![0.0; 4]).is_ok());
     }
 

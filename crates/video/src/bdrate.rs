@@ -48,19 +48,26 @@ fn polyfit(xs: &[f64], ys: &[f64], deg: usize) -> Vec<f64> {
         if diag.abs() < 1e-12 {
             continue; // singular: degenerate fit, coefficient stays 0
         }
+        let pivot_row = m[col].clone();
         for row in 0..n {
             if row == col {
                 continue;
             }
             let f = m[row][col] / diag;
-            for k in 0..n {
-                m[row][k] -= f * m[col][k];
+            for (mk, pk) in m[row].iter_mut().zip(&pivot_row) {
+                *mk -= f * pk;
             }
             b[row] -= f * b[col];
         }
     }
     (0..n)
-        .map(|i| if m[i][i].abs() < 1e-12 { 0.0 } else { b[i] / m[i][i] })
+        .map(|i| {
+            if m[i][i].abs() < 1e-12 {
+                0.0
+            } else {
+                b[i] / m[i][i]
+            }
+        })
         .collect()
 }
 
@@ -113,20 +120,37 @@ pub fn bd_rate(anchor: &[RdPoint], test: &[RdPoint]) -> Result<f64, VideoError> 
         .map(|&(d, _)| d)
         .fold(f64::NEG_INFINITY, f64::max)
         .min(
-            log_anchor.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min).max(
-                log_test.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min),
-            ),
+            log_anchor
+                .iter()
+                .map(|&(d, _)| d)
+                .fold(f64::INFINITY, f64::min)
+                .max(
+                    log_test
+                        .iter()
+                        .map(|&(d, _)| d)
+                        .fold(f64::INFINITY, f64::min),
+                ),
         );
     let d_min = log_anchor
         .iter()
         .map(|&(d, _)| d)
         .fold(f64::INFINITY, f64::min)
-        .max(log_test.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min));
+        .max(
+            log_test
+                .iter()
+                .map(|&(d, _)| d)
+                .fold(f64::INFINITY, f64::min),
+        );
     let d_max = log_anchor
         .iter()
         .map(|&(d, _)| d)
         .fold(f64::NEG_INFINITY, f64::max)
-        .min(log_test.iter().map(|&(d, _)| d).fold(f64::NEG_INFINITY, f64::max));
+        .min(
+            log_test
+                .iter()
+                .map(|&(d, _)| d)
+                .fold(f64::NEG_INFINITY, f64::max),
+        );
     let _ = lo;
     if d_max - d_min < 1e-9 {
         return Err(VideoError::BadDimensions {
@@ -160,12 +184,16 @@ pub fn bd_psnr(anchor: &[RdPoint], test: &[RdPoint]) -> Result<f64, VideoError> 
     let ya: Vec<f64> = anchor.iter().map(|&(_, d)| d).collect();
     let xt: Vec<f64> = test.iter().map(|&(r, _)| r.ln()).collect();
     let yt: Vec<f64> = test.iter().map(|&(_, d)| d).collect();
-    let r_min = xa.iter().copied().fold(f64::INFINITY, f64::min).max(
-        xt.iter().copied().fold(f64::INFINITY, f64::min),
-    );
-    let r_max = xa.iter().copied().fold(f64::NEG_INFINITY, f64::max).min(
-        xt.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-    );
+    let r_min = xa
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .max(xt.iter().copied().fold(f64::INFINITY, f64::min));
+    let r_max = xa
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .min(xt.iter().copied().fold(f64::NEG_INFINITY, f64::max));
     if r_max - r_min < 1e-9 {
         return Err(VideoError::BadDimensions {
             reason: "rate ranges do not overlap".into(),

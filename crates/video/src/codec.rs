@@ -1,0 +1,242 @@
+//! The workspace-wide streaming codec abstraction.
+//!
+//! Every codec in this repository — the learned CTVC-Net and the
+//! classical hybrid baseline — speaks the same session protocol:
+//!
+//! * [`VideoCodec::start_encode`] opens an [`EncoderSession`]; each
+//!   [`EncoderSession::push_frame`] consumes one frame and returns one
+//!   length-delimited [`Packet`] (frame index, frame type, payload CRC).
+//! * [`VideoCodec::start_decode`] opens a [`DecoderSession`]; each
+//!   [`DecoderSession::push_packet`] consumes one packet's bytes and
+//!   returns the reconstructed frame.
+//!
+//! The carried state (previous reconstruction, entropy-model context, GOP
+//! position) lives in the session structs, so decoding proceeds
+//! frame-at-a-time with constant memory — the shape the paper's NVCA
+//! hardware decodes in, and the shape a live-traffic serving stack needs.
+//! Whole-sequence `encode`/`decode` methods on the concrete codecs are
+//! thin wrappers over these sessions (see [`encode_sequence`] /
+//! [`decode_bitstream`]), so the two paths are bit-identical by
+//! construction.
+
+use crate::{Frame, Sequence};
+use nvc_entropy::container::{split_packets, Packet};
+use nvc_entropy::CodingError;
+use std::error::Error;
+
+/// Summary statistics returned by [`EncoderSession::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of frames pushed.
+    pub frames: usize,
+    /// Coded payload bytes per frame (excluding packet/section framing),
+    /// matching the accounting of the one-shot `encode` results.
+    pub bytes_per_frame: Vec<usize>,
+    /// Total serialized stream size in bytes, including packet headers.
+    pub total_bytes: usize,
+}
+
+impl StreamStats {
+    /// Bits per pixel over `frames` frames of `pixels_per_frame` pixels.
+    pub fn bpp(&self, pixels_per_frame: usize) -> f64 {
+        if self.frames == 0 || pixels_per_frame == 0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 * 8.0 / (pixels_per_frame * self.frames) as f64
+    }
+}
+
+/// An in-progress encode: push frames, pull packets.
+pub trait EncoderSession {
+    /// Error type of the owning codec.
+    type Error: Error;
+
+    /// Encodes one frame and returns its packet. The first pushed frame
+    /// fixes the stream's resolution and is coded intra; subsequent
+    /// frames are predicted from the carried reconstruction state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec's error on invalid frames (e.g. a resolution
+    /// change mid-stream).
+    fn push_frame(&mut self, frame: &Frame) -> Result<Packet, Self::Error>;
+
+    /// Decoder-identical reconstruction of the most recently pushed
+    /// frame (the encoder runs its loop closed).
+    fn last_reconstruction(&self) -> Option<&Frame>;
+
+    /// Number of frames pushed so far.
+    fn frames_pushed(&self) -> usize;
+
+    /// Ends the stream and returns its statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec's error if the stream cannot be finalized.
+    fn finish(self) -> Result<StreamStats, Self::Error>;
+}
+
+/// An in-progress decode: push packets, pull frames.
+pub trait DecoderSession {
+    /// Error type of the owning codec.
+    type Error: Error;
+
+    /// Decodes exactly one packet (as produced by
+    /// [`EncoderSession::push_frame`], serialized) and returns the
+    /// reconstructed frame.
+    ///
+    /// Malformed input — truncated packets, CRC mismatches, out-of-order
+    /// frame indices, payloads that fail entropy decoding — yields an
+    /// `Err`; this method never panics on untrusted bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec's error on any malformed or out-of-sequence
+    /// packet.
+    fn push_packet(&mut self, packet: &[u8]) -> Result<Frame, Self::Error>;
+
+    /// Number of frames decoded so far.
+    fn frames_decoded(&self) -> usize;
+}
+
+/// A video codec with streaming encode/decode sessions.
+///
+/// Implementors: `nvc_model::CtvcCodec` (learned, rate selected by a
+/// `RatePoint`) and `nvc_baseline::HybridCodec` (classical, rate selected
+/// by a QP). Code generic over this trait works identically with both —
+/// see [`encode_sequence`] and [`decode_bitstream`].
+pub trait VideoCodec {
+    /// Codec error type. `From<CodingError>` lets generic stream-level
+    /// framing errors surface through the codec's own error.
+    type Error: Error + From<CodingError>;
+    /// Rate-control parameter for an encode session.
+    type Rate: Copy + std::fmt::Debug;
+    /// Encoder session type, borrowing the codec.
+    type Encoder<'a>: EncoderSession<Error = Self::Error>
+    where
+        Self: 'a;
+    /// Decoder session type, borrowing the codec.
+    type Decoder<'a>: DecoderSession<Error = Self::Error>
+    where
+        Self: 'a;
+
+    /// Human-readable codec name for reports.
+    fn codec_name(&self) -> &str;
+
+    /// Opens an encoder session at the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec's error for invalid rate parameters.
+    fn start_encode(&self, rate: Self::Rate) -> Result<Self::Encoder<'_>, Self::Error>;
+
+    /// Opens a decoder session.
+    fn start_decode(&self) -> Self::Decoder<'_>;
+}
+
+/// Result of a generic whole-sequence encode over sessions.
+#[derive(Debug, Clone)]
+pub struct EncodedStream {
+    /// One packet per frame, in order.
+    pub packets: Vec<Packet>,
+    /// Decoder-identical reconstruction.
+    pub decoded: Sequence,
+    /// Stream statistics.
+    pub stats: StreamStats,
+}
+
+impl EncodedStream {
+    /// Serializes all packets into one contiguous bitstream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.stats.total_bytes);
+        for p in &self.packets {
+            out.extend_from_slice(&p.to_bytes());
+        }
+        out
+    }
+}
+
+/// Encodes a whole sequence through a fresh [`EncoderSession`] — the
+/// shared body of every one-shot `encode` wrapper.
+///
+/// # Errors
+///
+/// Propagates the codec's error from any frame.
+pub fn encode_sequence<C: VideoCodec>(
+    codec: &C,
+    seq: &Sequence,
+    rate: C::Rate,
+) -> Result<EncodedStream, C::Error> {
+    let mut enc = codec.start_encode(rate)?;
+    let mut packets = Vec::with_capacity(seq.frames().len());
+    let mut decoded = Vec::with_capacity(seq.frames().len());
+    for frame in seq.frames() {
+        let packet = enc.push_frame(frame)?;
+        decoded.push(
+            enc.last_reconstruction()
+                .expect("push_frame succeeded, reconstruction available")
+                .clone(),
+        );
+        packets.push(packet);
+    }
+    let stats = enc.finish()?;
+    let decoded = Sequence::new(codec.codec_name(), decoded, seq.fps())
+        .map_err(|e| bad_stream::<C>(format!("reconstruction: {e}")))?;
+    Ok(EncodedStream {
+        packets,
+        decoded,
+        stats,
+    })
+}
+
+/// Decodes a packetized bitstream through a fresh [`DecoderSession`] —
+/// the shared body of every one-shot `decode` wrapper.
+///
+/// # Errors
+///
+/// Returns the codec's error on an empty, truncated or corrupted stream.
+pub fn decode_bitstream<C: VideoCodec>(codec: &C, bitstream: &[u8]) -> Result<Sequence, C::Error> {
+    let chunks = split_packets(bitstream)?;
+    if chunks.is_empty() {
+        return Err(bad_stream::<C>("empty bitstream".into()));
+    }
+    let mut dec = codec.start_decode();
+    let mut frames = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        frames.push(dec.push_packet(chunk)?);
+    }
+    Sequence::new(format!("{}-decoded", codec.codec_name()), frames, 30.0)
+        .map_err(|e| bad_stream::<C>(format!("decoded sequence: {e}")))
+}
+
+fn bad_stream<C: VideoCodec>(reason: String) -> C::Error {
+    C::Error::from(CodingError::BadContainer { reason })
+}
+
+/// Round-trips `seq` through streaming encode + streaming decode and
+/// checks the decode against the encoder's closed-loop reconstruction.
+/// Returns the maximum absolute reconstruction mismatch (0.0 for a
+/// bit-exact codec) together with the stream.
+///
+/// # Errors
+///
+/// Propagates codec errors from either direction.
+pub fn stream_roundtrip<C: VideoCodec>(
+    codec: &C,
+    seq: &Sequence,
+    rate: C::Rate,
+) -> Result<(EncodedStream, f64), C::Error> {
+    let coded = encode_sequence(codec, seq, rate)?;
+    let mut dec = codec.start_decode();
+    let mut worst = 0.0f64;
+    for (packet, reference) in coded.packets.iter().zip(coded.decoded.frames()) {
+        let frame = dec.push_packet(&packet.to_bytes())?;
+        let drift = frame
+            .tensor()
+            .sub(reference.tensor())
+            .map_err(|e| bad_stream::<C>(format!("mismatched frame: {e}")))?
+            .max_abs() as f64;
+        worst = worst.max(drift);
+    }
+    Ok((coded, worst))
+}

@@ -83,7 +83,9 @@ impl Frame {
     /// Returns [`VideoError::BadDimensions`] if `width` or `height` is 0.
     pub fn filled(width: usize, height: usize, rgb: [f32; 3]) -> Result<Self, VideoError> {
         if width == 0 || height == 0 {
-            return Err(VideoError::BadDimensions { reason: "zero spatial size".into() });
+            return Err(VideoError::BadDimensions {
+                reason: "zero spatial size".into(),
+            });
         }
         let t = Tensor::from_fn(Shape::new(1, 3, height, width), |_, c, _, _| rgb[c]);
         Frame::from_tensor(t)
@@ -121,7 +123,9 @@ impl Frame {
 
     /// Returns a copy with all samples clamped to `[0, 1]`.
     pub fn clamped(&self) -> Frame {
-        Frame { rgb: self.rgb.map(|v| v.clamp(0.0, 1.0)) }
+        Frame {
+            rgb: self.rgb.map(|v| v.clamp(0.0, 1.0)),
+        }
     }
 
     /// Number of pixels (`h · w`).
@@ -147,25 +151,44 @@ impl Sequence {
     /// the list is empty, or `fps` is not positive.
     pub fn new(name: impl Into<String>, frames: Vec<Frame>, fps: f64) -> Result<Self, VideoError> {
         if frames.is_empty() {
-            return Err(VideoError::BadDimensions { reason: "empty sequence".into() });
+            return Err(VideoError::BadDimensions {
+                reason: "empty sequence".into(),
+            });
         }
         if !(fps.is_finite() && fps > 0.0) {
-            return Err(VideoError::BadDimensions { reason: format!("bad fps {fps}") });
+            return Err(VideoError::BadDimensions {
+                reason: format!("bad fps {fps}"),
+            });
         }
         let (w, h) = (frames[0].width(), frames[0].height());
         for (i, f) in frames.iter().enumerate() {
             if f.width() != w || f.height() != h {
                 return Err(VideoError::BadDimensions {
-                    reason: format!("frame {i} is {}x{}, expected {w}x{h}", f.width(), f.height()),
+                    reason: format!(
+                        "frame {i} is {}x{}, expected {w}x{h}",
+                        f.width(),
+                        f.height()
+                    ),
                 });
             }
         }
-        Ok(Sequence { name: name.into(), frames, fps })
+        Ok(Sequence {
+            name: name.into(),
+            frames,
+            fps,
+        })
     }
 
     /// Sequence name (used in reports).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Returns the sequence carrying a different name (frames are moved,
+    /// not cloned).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
     }
 
     /// The frames, in display order.

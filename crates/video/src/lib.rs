@@ -33,8 +33,13 @@
 #![forbid(unsafe_code)]
 
 pub mod bdrate;
+pub mod codec;
 mod frame;
 pub mod metrics;
 pub mod synthetic;
 
+pub use codec::{
+    decode_bitstream, encode_sequence, DecoderSession, EncodedStream, EncoderSession, StreamStats,
+    VideoCodec,
+};
 pub use frame::{Frame, Sequence, VideoError};

@@ -25,7 +25,9 @@ pub fn psnr(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
 /// Returns [`VideoError`] on size mismatch or empty input.
 pub fn psnr_sequence(pairs: &[(&Frame, &Frame)]) -> Result<f64, VideoError> {
     if pairs.is_empty() {
-        return Err(VideoError::BadDimensions { reason: "no frame pairs".into() });
+        return Err(VideoError::BadDimensions {
+            reason: "no frame pairs".into(),
+        });
     }
     let mut acc = 0.0;
     for (a, b) in pairs {
@@ -61,7 +63,11 @@ impl Plane {
     fn from_frame(f: &Frame) -> Plane {
         let luma = f.luma();
         let (_, _, h, w) = luma.shape().dims();
-        Plane { w, h, data: luma.as_slice().iter().map(|&v| v as f64).collect() }
+        Plane {
+            w,
+            h,
+            data: luma.as_slice().iter().map(|&v| v as f64).collect(),
+        }
     }
 
     fn at(&self, y: isize, x: isize) -> f64 {
@@ -83,7 +89,11 @@ impl Plane {
                 tmp[y * self.w + x] = acc;
             }
         }
-        let tmp_plane = Plane { w: self.w, h: self.h, data: tmp };
+        let tmp_plane = Plane {
+            w: self.w,
+            h: self.h,
+            data: tmp,
+        };
         let mut out = vec![0.0; self.w * self.h];
         for y in 0..self.h {
             for x in 0..self.w {
@@ -94,7 +104,11 @@ impl Plane {
                 out[y * self.w + x] = acc;
             }
         }
-        Plane { w: self.w, h: self.h, data: out }
+        Plane {
+            w: self.w,
+            h: self.h,
+            data: out,
+        }
     }
 
     /// 2× downsampling by 2×2 averaging.
@@ -126,7 +140,12 @@ impl Plane {
         Plane {
             w: self.w,
             h: self.h,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 }
@@ -210,16 +229,18 @@ pub fn ms_ssim(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
         });
     }
     if a.width() < 11 || a.height() < 11 {
-        return Err(VideoError::BadDimensions { reason: "frame smaller than SSIM window".into() });
+        return Err(VideoError::BadDimensions {
+            reason: "frame smaller than SSIM window".into(),
+        });
     }
     let mut pa = Plane::from_frame(a);
     let mut pb = Plane::from_frame(b);
     let mut scales = 0usize;
     let mut cs_vals = [0.0_f64; 5];
     let mut final_l = 1.0;
-    for s in 0..5 {
+    for (s, slot) in cs_vals.iter_mut().enumerate() {
         let (l, cs) = ssim_components(&pa, &pb);
-        cs_vals[s] = cs;
+        *slot = cs;
         final_l = l;
         scales = s + 1;
         if s < 4 {
@@ -237,7 +258,11 @@ pub fn ms_ssim(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
     let mut acc = 1.0_f64;
     for s in 0..scales {
         let w = MS_WEIGHTS[s] / wsum;
-        let base = if s + 1 == scales { final_l * cs_vals[s] } else { cs_vals[s] };
+        let base = if s + 1 == scales {
+            final_l * cs_vals[s]
+        } else {
+            cs_vals[s]
+        };
         // Clamp: slightly negative structure values can appear on tiny
         // frames; MS-SSIM is defined on non-negative components.
         acc *= base.max(1e-6).powf(w);
@@ -252,7 +277,9 @@ pub fn ms_ssim(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
 /// Returns [`VideoError`] on size mismatch or empty input.
 pub fn ms_ssim_sequence(pairs: &[(&Frame, &Frame)]) -> Result<f64, VideoError> {
     if pairs.is_empty() {
-        return Err(VideoError::BadDimensions { reason: "no frame pairs".into() });
+        return Err(VideoError::BadDimensions {
+            reason: "no frame pairs".into(),
+        });
     }
     let mut acc = 0.0;
     for (a, b) in pairs {
@@ -349,14 +376,20 @@ mod tests {
         let fn_ = noisy(f, sigma, 6); // matched-MSE noise
         let p_blur = psnr(f, &fb).unwrap();
         let p_noise = psnr(f, &fn_).unwrap();
-        assert!((p_blur - p_noise).abs() < 1.0, "MSE should match: {p_blur} vs {p_noise}");
+        assert!(
+            (p_blur - p_noise).abs() < 1.0,
+            "MSE should match: {p_blur} vs {p_noise}"
+        );
         let s_blur = ms_ssim(f, &fb).unwrap();
         let s_noise = ms_ssim(f, &fn_).unwrap();
         assert!(
             (s_blur - s_noise).abs() > 0.01,
             "MS-SSIM must separate blur from noise: {s_blur} vs {s_noise}"
         );
-        assert!(s_blur < s_noise, "SSIM's contrast term penalises blur harder");
+        assert!(
+            s_blur < s_noise,
+            "SSIM's contrast term penalises blur harder"
+        );
     }
 
     #[test]

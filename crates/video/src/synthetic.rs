@@ -265,7 +265,7 @@ impl Synthesizer {
                 let d = (dx * dx + dy * dy).sqrt();
                 if d < m.radius + 1.0 {
                     // Anti-aliased edge; object-space texture moves with it.
-                    let alpha = ((m.radius + 1.0 - d).min(1.0)).max(0.0);
+                    let alpha = (m.radius + 1.0 - d).clamp(0.0, 1.0);
                     let otex = fractal_noise(
                         dx / (period * 0.5),
                         dy / (period * 0.5),
@@ -296,8 +296,10 @@ impl Synthesizer {
     ///
     /// Panics if the configuration has zero frames or zero spatial size.
     pub fn generate(&self) -> Sequence {
-        assert!(self.cfg.frames > 0 && self.cfg.width > 0 && self.cfg.height > 0,
-            "scene must have at least one frame and non-zero size");
+        assert!(
+            self.cfg.frames > 0 && self.cfg.width > 0 && self.cfg.height > 0,
+            "scene must have at least one frame and non-zero size"
+        );
         let frames: Vec<Frame> = (0..self.cfg.frames).map(|t| self.render_frame(t)).collect();
         Sequence::new(self.cfg.label(), frames, self.cfg.fps).expect("frames agree by construction")
     }
@@ -364,7 +366,10 @@ mod tests {
         let p02 = psnr(&seq.frames()[0], &seq.frames()[2]).unwrap();
         // Frames differ (finite PSNR) and differences accumulate.
         assert!(p01.is_finite());
-        assert!(p02 <= p01 + 0.5, "more motion must not increase similarity: {p02} vs {p01}");
+        assert!(
+            p02 <= p01 + 0.5,
+            "more motion must not increase similarity: {p02} vs {p01}"
+        );
     }
 
     #[test]
@@ -384,6 +389,9 @@ mod tests {
         // closer than frame 0 and the middle frame.
         let mid = psnr(&seq.frames()[0], &seq.frames()[3]).unwrap();
         let end = psnr(&seq.frames()[0], &seq.frames()[5]).unwrap();
-        assert!(end > mid, "after the cut the scene should pan back: {end} vs {mid}");
+        assert!(
+            end > mid,
+            "after the cut the scene should pan back: {end} vs {mid}"
+        );
     }
 }

@@ -1,10 +1,12 @@
-//! Quickstart: encode a synthetic clip with CTVC-Net, decode it, measure
-//! quality, and ask the NVCA simulator what the hardware would do.
+//! Quickstart: encode a synthetic clip with CTVC-Net (one-shot and
+//! streaming), decode it, measure quality, and ask the NVCA simulator
+//! what the hardware would do.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use nvc_model::{CtvcConfig, RatePoint};
 use nvc_sim::Dataflow;
+use nvc_video::codec::{DecoderSession, EncoderSession};
 use nvc_video::metrics::{ms_ssim_sequence, psnr_sequence};
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
 use nvca::Nvca;
@@ -12,7 +14,12 @@ use nvca::Nvca;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small synthetic clip (UVG-like preset).
     let seq = Synthesizer::new(SceneConfig::uvg_like(96, 64, 4)).generate();
-    println!("source: {}x{}, {} frames", seq.width(), seq.height(), seq.frames().len());
+    println!(
+        "source: {}x{}, {} frames",
+        seq.width(),
+        seq.height(),
+        seq.frames().len()
+    );
 
     // 2. Deploy the sparse CTVC-Net on the paper's accelerator design.
     let nvca = Nvca::paper_design(CtvcConfig::ctvc_sparse(12))?;
@@ -30,7 +37,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ms_ssim_sequence(&pairs)?
     );
 
-    // 4. Hardware: what does decoding 1080p cost on NVCA?
+    // 4. The same codec, streaming: push frames, pull CRC-protected
+    //    packets, decode them one at a time on the other side.
+    let mut enc = nvca.codec().start_encode(RatePoint::new(1));
+    let mut dec = nvca.codec().start_decode();
+    for (i, frame) in seq.frames().iter().enumerate() {
+        let packet = enc.push_frame(frame)?;
+        let rec = dec.push_packet(&packet.to_bytes())?;
+        println!(
+            "  frame {i}: {:?} packet, {} bytes -> decoded {}x{}",
+            packet.kind,
+            packet.encoded_len(),
+            rec.width(),
+            rec.height()
+        );
+    }
+    let stats = enc.finish()?;
+    println!(
+        "streamed {} frames, {} bytes total",
+        stats.frames, stats.total_bytes
+    );
+
+    // 5. Hardware: what does decoding the packet stream cost on NVCA?
+    let stream_rep = nvca.simulate_decode_stream(&coded.bitstream, Dataflow::Chained)?;
+    println!(
+        "NVCA decode of this stream: {:.0} fps sustained, {:.2} KB off-chip",
+        stream_rep.fps,
+        stream_rep.dram_bytes as f64 / 1e3
+    );
+
+    // 6. Hardware: what does decoding 1080p cost on NVCA?
     let report = nvca.simulate_decode(1088, 1920, Dataflow::Chained);
     println!(
         "NVCA @1080p: {:.1} fps, {:.2} W chip power, {:.0} GOPS, {:.0} GOPS/W, {:.1} MB off-chip/frame",

@@ -6,10 +6,11 @@ use nvc_baseline::{HybridCodec, Profile};
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_sim::Dataflow;
 use nvc_video::bdrate::bd_rate;
+use nvc_video::codec::{stream_roundtrip, DecoderSession, VideoCodec};
 use nvc_video::metrics::psnr_sequence;
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
 use nvc_video::Sequence;
-use nvca::Nvca;
+use nvca::{FrameKind, Nvca};
 
 fn mean_psnr(a: &Sequence, b: &Sequence) -> f64 {
     let pairs: Vec<_> = a.frames().iter().zip(b.frames()).collect();
@@ -30,6 +31,91 @@ fn codesign_pipeline_end_to_end() {
     let report = nvca.simulate_decode(1088, 1920, Dataflow::Chained);
     assert!(report.fps > 1.0);
     assert!(report.dram_bytes > 0);
+}
+
+/// The streaming-session contract, written once, generically over the
+/// [`VideoCodec`] trait, and checked against both codec families:
+///
+/// 1. streaming decode of the packets produced by a streaming encode is
+///    bit-exact with the one-shot decode of the concatenated bitstream;
+/// 2. truncating or corrupting a packet yields an `Err`, never a panic.
+fn assert_streaming_contract<C: VideoCodec>(codec: &C, seq: &Sequence, rate: C::Rate) {
+    // (1) Streaming roundtrip matches the encoder's closed loop exactly…
+    let (coded, drift) = stream_roundtrip(codec, seq, rate).expect("stream roundtrip");
+    assert_eq!(
+        drift,
+        0.0,
+        "{}: streaming decode drifted",
+        codec.codec_name()
+    );
+    // …and the one-shot wrapper decodes the very same packets identically.
+    let bitstream = coded.to_bytes();
+    let one_shot = nvc_video::codec::decode_bitstream(codec, &bitstream).expect("one-shot decode");
+    assert_eq!(one_shot.frames().len(), coded.decoded.frames().len());
+    for (a, b) in one_shot.frames().iter().zip(coded.decoded.frames()) {
+        assert_eq!(
+            a.tensor().as_slice(),
+            b.tensor().as_slice(),
+            "{}: one-shot decode differs from streaming",
+            codec.codec_name()
+        );
+    }
+
+    // (2) Malformed packets error instead of panicking.
+    let first = coded.packets[0].to_bytes();
+    for cut in [0, 5, first.len() / 2, first.len() - 1] {
+        let mut dec = codec.start_decode();
+        assert!(
+            dec.push_packet(&first[..cut]).is_err(),
+            "{}: truncation to {cut} bytes must fail",
+            codec.codec_name()
+        );
+    }
+    for victim in [13, first.len() - 1] {
+        let mut corrupt = first.clone();
+        corrupt[victim] ^= 0xA5;
+        let mut dec = codec.start_decode();
+        assert!(
+            dec.push_packet(&corrupt).is_err(),
+            "{}: corrupted byte {victim} must fail",
+            codec.codec_name()
+        );
+    }
+}
+
+#[test]
+fn streaming_contract_holds_for_both_codec_families() {
+    let seq = Synthesizer::new(SceneConfig::uvg_like(48, 32, 4)).generate();
+    assert_streaming_contract(
+        &CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap(),
+        &seq,
+        RatePoint::new(1),
+    );
+    assert_streaming_contract(
+        &CtvcCodec::new(CtvcConfig::ctvc_sparse(8)).unwrap(),
+        &seq,
+        RatePoint::new(2),
+    );
+    assert_streaming_contract(&HybridCodec::new(Profile::hevc_like()), &seq, 24u8);
+    assert_streaming_contract(&HybridCodec::new(Profile::avc_like()), &seq, 30u8);
+}
+
+/// Live-pipeline shape: packets stream from an encoder session straight
+/// into both the functional decoder session and the accelerator
+/// simulator, one frame at a time.
+#[test]
+fn streamed_packets_drive_the_simulator() {
+    let seq = Synthesizer::new(SceneConfig::uvg_like(48, 32, 3)).generate();
+    let nvca = Nvca::paper_design(CtvcConfig::ctvc_sparse(8)).unwrap();
+    let coded = nvca.codec().encode(&seq, RatePoint::new(1)).unwrap();
+    let rep = nvca
+        .simulate_decode_stream(&coded.bitstream, Dataflow::Chained)
+        .unwrap();
+    assert_eq!(rep.frames.len(), seq.frames().len());
+    assert_eq!(rep.frames[0].kind, FrameKind::Intra);
+    assert!(rep.fps > 0.0);
+    // Intra packets charge only the reconstruction module.
+    assert!(rep.frames[0].report.total_cycles < rep.frames[1].report.total_cycles);
 }
 
 /// Bitstreams are portable across codec instances built from the same
@@ -70,14 +156,19 @@ fn table1_ordering_holds() {
     let avc: Vec<(f64, f64)> = [40u8, 34, 28, 22]
         .iter()
         .map(|&qp| {
-            let c = HybridCodec::new(Profile::avc_like()).encode(&seq, qp).unwrap();
+            let c = HybridCodec::new(Profile::avc_like())
+                .encode(&seq, qp)
+                .unwrap();
             (c.bpp, mean_psnr(&seq, &c.decoded))
         })
         .collect();
 
     // Generation gap: AVC-like needs more rate than the anchor.
     if let Ok(bd_avc) = bd_rate(&anchor, &avc) {
-        assert!(bd_avc > 0.0, "AVC-like must lose to the anchor, got {bd_avc:.1}%");
+        assert!(
+            bd_avc > 0.0,
+            "AVC-like must lose to the anchor, got {bd_avc:.1}%"
+        );
     }
 
     // Learned ladder: full CTVC beats the DVC-like ablation at the same
@@ -102,7 +193,10 @@ fn table1_ordering_holds() {
         .map(|&b| b as f64)
         .sum::<f64>()
         / (anchor_coded.bytes_per_frame.len() - 1) as f64;
-    let ctvc_p: f64 = c_ctvc.bytes_per_frame[1..].iter().map(|&b| b as f64).sum::<f64>()
+    let ctvc_p: f64 = c_ctvc.bytes_per_frame[1..]
+        .iter()
+        .map(|&b| b as f64)
+        .sum::<f64>()
         / (c_ctvc.bytes_per_frame.len() - 1) as f64;
     assert!(
         ctvc_p < anchor_p,
