@@ -6,6 +6,7 @@
 use crate::dct::{self, BS};
 use crate::plane::Plane;
 use crate::Profile;
+use nvc_core::ExecCtx;
 use nvc_entropy::container::{read_sections, FrameKind, Packet, Section, SectionWriter};
 use nvc_entropy::{BitReader, BitWriter, CodingError, Histogram, RangeDecoder, RangeEncoder};
 use nvc_tensor::{Shape, Tensor};
@@ -102,12 +103,30 @@ const AC_CLAMP: i32 = 256;
 #[derive(Debug, Clone)]
 pub struct HybridCodec {
     profile: Profile,
+    exec: ExecCtx,
 }
 
 impl HybridCodec {
-    /// Creates a codec with the given profile.
+    /// Creates a codec with the given profile, using all available
+    /// hardware parallelism for motion estimation. The parallel split is
+    /// per block with unchanged per-block search, so bitstreams are
+    /// bit-identical for every thread count.
     pub fn new(profile: Profile) -> Self {
-        HybridCodec { profile }
+        Self::with_threads(profile, 0)
+    }
+
+    /// Creates a codec with an explicit worker-thread count (`0` = all
+    /// available cores).
+    pub fn with_threads(profile: Profile, threads: usize) -> Self {
+        HybridCodec {
+            profile,
+            exec: ExecCtx::with_threads(threads),
+        }
+    }
+
+    /// The execution context encoder sessions fan motion search out on.
+    pub fn exec(&self) -> &ExecCtx {
+        &self.exec
     }
 
     /// The active profile.
@@ -276,47 +295,62 @@ impl HybridCodec {
         let cur_luma = Self::luma(planes);
         let ref_luma = Self::luma(reference);
 
-        for by in (0..h).step_by(mb) {
-            for bx in (0..w).step_by(mb) {
-                let bs = mb.min(h - by).min(w - bx); // effective block (edges)
-                let (mv_y, mv_x) = self.search_motion(&cur_luma, &ref_luma, by, bx, bs);
-                // Skip decision: zero MV and small prediction error.
-                let sad0 = cur_luma.sad(by, bx, bs, &ref_luma, by as isize * 2, bx as isize * 2);
-                let skip = mv_y == 0 && mv_x == 0 && sad0 / (bs * bs) as f64 <= 0.6 * step as f64;
-                encode_sym(rc, &mut models.skip, u32::from(skip));
-                if skip {
-                    for c in 0..3 {
-                        copy_mc_block(&reference[c], &mut recon[c], by, bx, bs, 0, 0);
-                    }
-                    continue;
-                }
-                let off = models.mv_offset;
-                encode_sym(rc, &mut models.mv, (mv_y + off) as u32);
-                encode_sym(rc, &mut models.mv, (mv_x + off) as u32);
+        // Phase 1 — motion decisions. Every block's full search and skip
+        // test read only the two fixed luma planes, so they fan out over
+        // the worker pool; entropy coding stays strictly sequential in
+        // phase 2 and consumes the decisions in raster order, producing
+        // the same bitstream for every thread count.
+        let block_coords: Vec<(usize, usize)> = (0..h)
+            .step_by(mb)
+            .flat_map(|by| (0..w).step_by(mb).map(move |bx| (by, bx)))
+            .collect();
+        let mut decisions = vec![(0_i32, 0_i32, false); block_coords.len()];
+        self.exec.par_chunks_mut(&mut decisions, 1, |bi, d| {
+            let (by, bx) = block_coords[bi];
+            let bs = mb.min(h - by).min(w - bx); // effective block (edges)
+            let (mv_y, mv_x) = self.search_motion(&cur_luma, &ref_luma, by, bx, bs);
+            // Skip decision: zero MV and small prediction error.
+            let sad0 = cur_luma.sad(by, bx, bs, &ref_luma, by as isize * 2, bx as isize * 2);
+            let skip = mv_y == 0 && mv_x == 0 && sad0 / (bs * bs) as f64 <= 0.6 * step as f64;
+            d[0] = (mv_y, mv_x, skip);
+        });
+
+        // Phase 2 — sequential transform coding and reconstruction.
+        for (&(by, bx), &(mv_y, mv_x, skip)) in block_coords.iter().zip(&decisions) {
+            let bs = mb.min(h - by).min(w - bx);
+            encode_sym(rc, &mut models.skip, u32::from(skip));
+            if skip {
                 for c in 0..3 {
-                    // Motion-compensated prediction, then transform-coded
-                    // residual on 8x8 sub-blocks.
-                    copy_mc_block(&reference[c], &mut recon[c], by, bx, bs, mv_y, mv_x);
-                    for sy in (0..bs).step_by(BS) {
-                        for sx in (0..bs).step_by(BS) {
-                            let (oy, ox) = (by + sy, bx + sx);
-                            let orig = read_block(&planes[c], oy, ox);
-                            let pred = read_block(&recon[c], oy, ox);
-                            let mut resid = [0.0_f32; BS * BS];
-                            for i in 0..BS * BS {
-                                resid[i] = orig[i] - pred[i];
-                            }
-                            let coef = dct::forward(&resid);
-                            let q = dct::quantize(&coef, step);
-                            code_block(rc, models, q, false);
-                            let dq = dct::dequantize(&q, step);
-                            let rec = dct::inverse(&dq);
-                            let mut out = [0.0_f32; BS * BS];
-                            for i in 0..BS * BS {
-                                out[i] = pred[i] + rec[i];
-                            }
-                            write_block(&mut recon[c], oy, ox, &out);
+                    copy_mc_block(&reference[c], &mut recon[c], by, bx, bs, 0, 0);
+                }
+                continue;
+            }
+            let off = models.mv_offset;
+            encode_sym(rc, &mut models.mv, (mv_y + off) as u32);
+            encode_sym(rc, &mut models.mv, (mv_x + off) as u32);
+            for c in 0..3 {
+                // Motion-compensated prediction, then transform-coded
+                // residual on 8x8 sub-blocks.
+                copy_mc_block(&reference[c], &mut recon[c], by, bx, bs, mv_y, mv_x);
+                for sy in (0..bs).step_by(BS) {
+                    for sx in (0..bs).step_by(BS) {
+                        let (oy, ox) = (by + sy, bx + sx);
+                        let orig = read_block(&planes[c], oy, ox);
+                        let pred = read_block(&recon[c], oy, ox);
+                        let mut resid = [0.0_f32; BS * BS];
+                        for i in 0..BS * BS {
+                            resid[i] = orig[i] - pred[i];
                         }
+                        let coef = dct::forward(&resid);
+                        let q = dct::quantize(&coef, step);
+                        code_block(rc, models, q, false);
+                        let dq = dct::dequantize(&q, step);
+                        let rec = dct::inverse(&dq);
+                        let mut out = [0.0_f32; BS * BS];
+                        for i in 0..BS * BS {
+                            out[i] = pred[i] + rec[i];
+                        }
+                        write_block(&mut recon[c], oy, ox, &out);
                     }
                 }
             }

@@ -1,0 +1,344 @@
+//! Execution engine for the workspace's compute hot path.
+//!
+//! Every layer of CTVC-Net (and the classical baseline's motion search) is
+//! embarrassingly parallel over *output channels*, *tiles* or *blocks*:
+//! disjoint regions of the output, each with a fixed, serial accumulation
+//! order. [`ExecCtx`] exploits exactly that structure and nothing more:
+//!
+//! * [`ExecCtx::par_chunks_mut`] splits a flat output buffer into
+//!   fixed-size chunks (one per channel plane / tile / block) and fans
+//!   contiguous chunk ranges out over `std::thread::scope` workers. A
+//!   worker owns each chunk exclusively and computes it with the same code
+//!   and the same accumulation order regardless of the worker count, so
+//!   results are **bit-identical** for `threads = 1, 2, …, max` by
+//!   construction.
+//! * [`ScratchPool`] lends reusable `Vec<f32>` buffers (transform-domain
+//!   tile stores, per-layer staging) so steady-state forward passes stay
+//!   allocation-free across calls.
+//!
+//! The crate is `std`-only (the build environment is offline); the pool is
+//! scoped rather than persistent, which keeps borrowed inputs/outputs safe
+//! without any `unsafe`.
+//!
+//! # Example
+//!
+//! ```
+//! use nvc_core::ExecCtx;
+//! let ctx = ExecCtx::with_threads(4);
+//! let mut out = vec![0.0_f32; 12];
+//! // Three chunks of four elements, computed independently.
+//! ctx.par_chunks_mut(&mut out, 4, |chunk_idx, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (chunk_idx * 4 + i) as f32;
+//!     }
+//! });
+//! assert_eq!(out[5], 5.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// Upper bound on cached scratch buffers, to keep the pool from hoarding
+/// memory when layers of very different sizes alternate.
+const MAX_POOLED_BUFFERS: usize = 16;
+
+/// Upper bound on total cached scratch capacity (in `f32` elements,
+/// ≈ 128 MB). A buffer whose return would push the pool past this budget
+/// is dropped instead of cached, so a single huge layer cannot pin its
+/// peak working set for the context's whole lifetime.
+const MAX_POOLED_FLOATS: usize = 32 << 20;
+
+/// A pool of reusable `f32` buffers.
+///
+/// `take` hands out a zeroed buffer of the requested length (recycling a
+/// previously returned allocation when one exists); `put` returns a buffer
+/// to the pool. The pool is internally synchronized, so an [`ExecCtx`]
+/// shared across scoped workers can lend buffers concurrently.
+#[derive(Default)]
+pub struct ScratchPool {
+    bufs: Mutex<Vec<Vec<f32>>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows a zeroed buffer of exactly `len` elements.
+    pub fn take(&self, len: usize) -> Vec<f32> {
+        let recycled = self
+            .bufs
+            .lock()
+            .ok()
+            .and_then(|mut bufs| bufs.pop())
+            .unwrap_or_default();
+        let mut buf = recycled;
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse. Buffers that would push
+    /// the pool past its count or byte budget are dropped instead.
+    pub fn put(&self, buf: Vec<f32>) {
+        if let Ok(mut bufs) = self.bufs.lock() {
+            let cached_floats: usize = bufs.iter().map(|b| b.capacity()).sum();
+            if bufs.len() < MAX_POOLED_BUFFERS
+                && cached_floats + buf.capacity() <= MAX_POOLED_FLOATS
+            {
+                bufs.push(buf);
+            }
+        }
+    }
+
+    /// Number of buffers currently cached.
+    pub fn cached(&self) -> usize {
+        self.bufs.lock().map(|b| b.len()).unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScratchPool({} cached)", self.cached())
+    }
+}
+
+/// Execution context: a worker count plus a scratch-buffer pool.
+///
+/// Passed by reference through `nvc_tensor::ops`, `nvc_fastalg` and
+/// `nvc_model`; the codec owns one and reuses it for every layer, so
+/// scratch buffers survive across forward passes.
+pub struct ExecCtx {
+    threads: usize,
+    scratch: ScratchPool,
+}
+
+impl ExecCtx {
+    /// A single-threaded context (the reference execution order).
+    pub fn serial() -> Self {
+        ExecCtx {
+            threads: 1,
+            scratch: ScratchPool::new(),
+        }
+    }
+
+    /// A context using all available hardware parallelism.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecCtx {
+            threads,
+            scratch: ScratchPool::new(),
+        }
+    }
+
+    /// A context with an explicit worker count; `0` selects
+    /// [`ExecCtx::auto`].
+    pub fn with_threads(threads: usize) -> Self {
+        if threads == 0 {
+            ExecCtx::auto()
+        } else {
+            ExecCtx {
+                threads,
+                scratch: ScratchPool::new(),
+            }
+        }
+    }
+
+    /// The worker count (always ≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The scratch-buffer pool.
+    pub fn scratch(&self) -> &ScratchPool {
+        &self.scratch
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk_len` elements (the
+    /// final chunk may be shorter) and calls `f(chunk_index, chunk)` for
+    /// each, fanning contiguous chunk ranges out across the worker pool.
+    ///
+    /// Each chunk is visited exactly once, by exactly one worker, with
+    /// `chunk_index` counting chunks in order from the start of `data` —
+    /// so any computation that writes only through its own chunk and reads
+    /// only shared immutable state produces output independent of the
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`, or propagates a worker panic.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be non-zero");
+        let n_chunks = data.len().div_ceil(chunk_len);
+        let workers = self.threads.min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        // Contiguous block partition: worker t owns chunk indices
+        // [start_t, start_t + count_t) and the matching sub-slice.
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = data;
+            let mut next_chunk = 0usize;
+            let mut own: Option<(usize, &mut [T])> = None;
+            for t in 0..workers {
+                let count = n_chunks / workers + usize::from(t < n_chunks % workers);
+                let split = (count * chunk_len).min(rest.len());
+                let (head, tail) = rest.split_at_mut(split);
+                rest = tail;
+                let start = next_chunk;
+                next_chunk += count;
+                if t == 0 {
+                    // The calling thread works too, on the first range.
+                    own = Some((start, head));
+                } else {
+                    scope.spawn(move || {
+                        for (j, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                            f(start + j, chunk);
+                        }
+                    });
+                }
+            }
+            if let Some((start, head)) = own {
+                for (j, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(start + j, chunk);
+                }
+            }
+        });
+    }
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        ExecCtx::auto()
+    }
+}
+
+impl Clone for ExecCtx {
+    /// Clones the worker-count configuration; the scratch pool starts
+    /// empty (it is a cache, not state).
+    fn clone(&self) -> Self {
+        ExecCtx {
+            threads: self.threads,
+            scratch: ScratchPool::new(),
+        }
+    }
+}
+
+impl fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExecCtx({} threads, {:?})", self.threads, self.scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn run_chunks(ctx: &ExecCtx, len: usize, chunk: usize) -> Vec<f32> {
+        let mut data = vec![-1.0_f32; len];
+        ctx.par_chunks_mut(&mut data, chunk, |idx, c| {
+            for (i, v) in c.iter_mut().enumerate() {
+                *v = (idx * 1000 + i) as f32;
+            }
+        });
+        data
+    }
+
+    #[test]
+    fn chunk_indices_and_coverage_are_worker_count_independent() {
+        let reference = run_chunks(&ExecCtx::serial(), 103, 10);
+        for threads in [2, 3, 4, 7, 64] {
+            let got = run_chunks(&ExecCtx::with_threads(threads), 103, 10);
+            assert_eq!(got, reference, "threads={threads}");
+        }
+        // Every element visited exactly once (none left at the sentinel).
+        assert!(reference.iter().all(|&v| v >= 0.0));
+        // Final partial chunk got the right index.
+        assert_eq!(reference[100], 10_000.0);
+    }
+
+    #[test]
+    fn all_chunks_visited_once() {
+        let counter = AtomicUsize::new(0);
+        let mut data = vec![0u8; 64];
+        ExecCtx::with_threads(5).par_chunks_mut(&mut data, 4, |_, c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(c.len(), 4);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn more_workers_than_chunks_degrades_gracefully() {
+        let got = run_chunks(&ExecCtx::with_threads(16), 8, 4);
+        assert_eq!(got, run_chunks(&ExecCtx::serial(), 8, 4));
+        // Empty input is a no-op.
+        let mut empty: [f32; 0] = [];
+        ExecCtx::with_threads(4).par_chunks_mut(&mut empty, 4, |_, _| panic!("no chunks"));
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ExecCtx::serial().threads(), 1);
+        assert!(ExecCtx::auto().threads() >= 1);
+        assert_eq!(ExecCtx::with_threads(3).threads(), 3);
+        assert_eq!(
+            ExecCtx::with_threads(0).threads(),
+            ExecCtx::auto().threads()
+        );
+        assert_eq!(ExecCtx::default().threads(), ExecCtx::auto().threads());
+        let c = ExecCtx::with_threads(2);
+        c.scratch().put(vec![0.0; 9]);
+        assert_eq!(c.clone().threads(), 2);
+        assert_eq!(c.clone().scratch().cached(), 0, "clone starts empty");
+    }
+
+    #[test]
+    fn scratch_recycles_buffers() {
+        let pool = ScratchPool::new();
+        let mut a = pool.take(8);
+        assert_eq!(a, vec![0.0; 8]);
+        a[3] = 7.0;
+        pool.put(a);
+        assert_eq!(pool.cached(), 1);
+        // Recycled buffer comes back zeroed at the new length.
+        let b = pool.take(4);
+        assert_eq!(b, vec![0.0; 4]);
+        assert_eq!(pool.cached(), 0);
+        let c = pool.take(12);
+        assert_eq!(c, vec![0.0; 12]);
+    }
+
+    #[test]
+    fn scratch_respects_byte_budget() {
+        let pool = ScratchPool::new();
+        // An over-budget buffer is dropped, not cached.
+        pool.put(Vec::with_capacity(MAX_POOLED_FLOATS + 1));
+        assert_eq!(pool.cached(), 0);
+        // Small buffers still pool normally alongside the budget check.
+        pool.put(vec![0.0; 8]);
+        assert_eq!(pool.cached(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len")]
+    fn zero_chunk_len_panics() {
+        let mut data = vec![0.0_f32; 4];
+        ExecCtx::serial().par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+}

@@ -1,8 +1,10 @@
 use crate::sparse::{prune, SparseKernel, Sparsity};
+use crate::tile_exec::{forward_tiled, TileProblem};
 use crate::transforms::{winograd_f2x2_3x3, TransformPair};
+use nvc_core::ExecCtx;
 use nvc_tensor::mat::Mat;
 use nvc_tensor::ops::Conv2d;
-use nvc_tensor::{Shape, Tensor, TensorError};
+use nvc_tensor::{Tensor, TensorError};
 
 /// A 3×3 stride-1 convolution executed through the Winograd
 /// `F(2×2, 3×3)` transform pipeline, optionally with transform-domain
@@ -139,81 +141,53 @@ impl FastConv2d {
         (ty * tx) as u64 * self.nnz_total() as u64
     }
 
-    /// Runs the fast convolution.
+    /// Runs the fast convolution single-threaded.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::Incompatible`] if the input channel count
     /// differs from `c_in`.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
-        let (n, c, h, w) = input.shape().dims();
+        self.forward_ctx(input, &ExecCtx::serial())
+    }
+
+    /// Runs the fast convolution through the two-phase tiled executor
+    /// (see [`crate::tile_exec`]'s module docs in the source): input
+    /// transforms fan out over tiles, channel reduction + inverse
+    /// transforms fan out over output planes, and the hot loops are
+    /// allocation-free. Results are bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FastConv2d::forward`].
+    pub fn forward_ctx(&self, input: &Tensor, ctx: &ExecCtx) -> Result<Tensor, TensorError> {
+        let (_, c, h, w) = input.shape().dims();
         if c != self.c_in {
             return Err(TensorError::incompatible(format!(
                 "fast conv expects {} input channels, got {c}",
                 self.c_in
             )));
         }
-        let p = self.transform.patch();
-        let m = self.transform.tile();
-        let mu = self.transform.mu();
-        let step = self.transform.in_step();
-        let offset = self.transform.in_offset() as isize;
-        let (ty_n, tx_n) = self.tile_count(h, w);
-        let out_shape = Shape::new(n, self.c_out, h, w);
-        let mut out = Tensor::zeros(out_shape);
-
-        let mut patch = Mat::zeros(p, p);
-        // Per-tile transform-domain inputs for every in-channel.
-        let mut y_tiles: Vec<Vec<f32>> = vec![vec![0.0; mu * mu]; self.c_in];
-        let mut u_acc = vec![0.0_f32; mu * mu];
-
-        for nn in 0..n {
-            for ty in 0..ty_n {
-                for tx in 0..tx_n {
-                    let iy0 = (ty * step) as isize - offset;
-                    let ix0 = (tx * step) as isize - offset;
-                    for (ci, tile) in y_tiles.iter_mut().enumerate() {
-                        for py in 0..p {
-                            for px in 0..p {
-                                *patch.at_mut(py, px) =
-                                    input.at_padded(nn, ci, iy0 + py as isize, ix0 + px as isize);
-                            }
-                        }
-                        let y = self.transform.transform_input(&patch)?;
-                        tile.copy_from_slice(y.as_slice());
-                    }
-                    for co in 0..self.c_out {
-                        u_acc.iter_mut().for_each(|v| *v = 0.0);
-                        for (ci, y) in y_tiles.iter().enumerate() {
-                            self.kernels[co * self.c_in + ci].hadamard_accumulate(y, &mut u_acc);
-                        }
-                        let u = Mat::from_vec(mu, mu, u_acc.clone())?;
-                        let v = self.transform.inverse(&u)?;
-                        let bias = self.bias[co];
-                        for vy in 0..m {
-                            let oy = ty * m + vy;
-                            if oy >= h {
-                                break;
-                            }
-                            for vx in 0..m {
-                                let ox = tx * m + vx;
-                                if ox >= w {
-                                    break;
-                                }
-                                *out.at_mut(nn, co, oy, ox) = v.at(vy, vx) + bias;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(out)
+        forward_tiled(
+            &TileProblem {
+                transform: &self.transform,
+                kernels: &self.kernels,
+                bias: &self.bias,
+                c_in: self.c_in,
+                c_out: self.c_out,
+                out_h: h,
+                out_w: w,
+            },
+            input,
+            ctx,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nvc_tensor::Shape;
 
     fn ramp(c: usize, h: usize, w: usize) -> Tensor {
         Tensor::from_fn(Shape::new(1, c, h, w), |_, ci, y, x| {

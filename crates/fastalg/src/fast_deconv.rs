@@ -1,8 +1,10 @@
 use crate::sparse::{prune, SparseKernel, Sparsity};
+use crate::tile_exec::{forward_tiled, TileProblem};
 use crate::transforms::{fta_t3_6x6_4x4, TransformPair};
+use nvc_core::ExecCtx;
 use nvc_tensor::mat::Mat;
 use nvc_tensor::ops::DeConv2d;
-use nvc_tensor::{Shape, Tensor, TensorError};
+use nvc_tensor::{Tensor, TensorError};
 
 /// A 4×4 stride-2 transposed convolution executed through the FTA
 /// `T3(6×6, 4×4)` transform pipeline, optionally pruned — the software
@@ -137,83 +139,52 @@ impl FastDeConv2d {
         (ty * tx) as u64 * self.nnz_total() as u64
     }
 
-    /// Runs the fast deconvolution.
+    /// Runs the fast deconvolution single-threaded.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::Incompatible`] if the input channel count
     /// differs from `c_in`.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
-        let (n, c, h, w) = input.shape().dims();
+        self.forward_ctx(input, &ExecCtx::serial())
+    }
+
+    /// Runs the fast deconvolution through the two-phase tiled executor
+    /// (tiles, then output planes; allocation-free hot loops — see
+    /// [`FastConv2d::forward_ctx`](crate::FastConv2d::forward_ctx)).
+    /// Results are bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FastDeConv2d::forward`].
+    pub fn forward_ctx(&self, input: &Tensor, ctx: &ExecCtx) -> Result<Tensor, TensorError> {
+        let (_, c, h, w) = input.shape().dims();
         if c != self.c_in {
             return Err(TensorError::incompatible(format!(
                 "fast deconv expects {} input channels, got {c}",
                 self.c_in
             )));
         }
-        let p = self.transform.patch();
-        let m = self.transform.tile();
-        let mu = self.transform.mu();
-        let step = self.transform.in_step();
-        let offset = self.transform.in_offset() as isize;
-        let (oh, ow) = (2 * h, 2 * w);
-        let (ty_n, tx_n) = self.tile_count(h, w);
-        let out_shape = Shape::new(n, self.c_out, oh, ow);
-        let mut out = Tensor::zeros(out_shape);
-
-        let mut patch = Mat::zeros(p, p);
-        let mut y_tiles: Vec<Vec<f32>> = vec![vec![0.0; mu * mu]; self.c_in];
-        let mut u_acc = vec![0.0_f32; mu * mu];
-
-        for nn in 0..n {
-            for ty in 0..ty_n {
-                for tx in 0..tx_n {
-                    // Tile T reads padded input rows [3T, 3T+5), i.e.
-                    // original rows [3T-1, 3T+4).
-                    let iy0 = (ty * step) as isize - offset;
-                    let ix0 = (tx * step) as isize - offset;
-                    for (ci, tile) in y_tiles.iter_mut().enumerate() {
-                        for py in 0..p {
-                            for px in 0..p {
-                                *patch.at_mut(py, px) =
-                                    input.at_padded(nn, ci, iy0 + py as isize, ix0 + px as isize);
-                            }
-                        }
-                        let y = self.transform.transform_input(&patch)?;
-                        tile.copy_from_slice(y.as_slice());
-                    }
-                    for co in 0..self.c_out {
-                        u_acc.iter_mut().for_each(|v| *v = 0.0);
-                        for (ci, y) in y_tiles.iter().enumerate() {
-                            self.kernels[co * self.c_in + ci].hadamard_accumulate(y, &mut u_acc);
-                        }
-                        let u = Mat::from_vec(mu, mu, u_acc.clone())?;
-                        let v = self.transform.inverse(&u)?;
-                        let bias = self.bias[co];
-                        for vy in 0..m {
-                            let oy = ty * m + vy;
-                            if oy >= oh {
-                                break;
-                            }
-                            for vx in 0..m {
-                                let ox = tx * m + vx;
-                                if ox >= ow {
-                                    break;
-                                }
-                                *out.at_mut(nn, co, oy, ox) = v.at(vy, vx) + bias;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(out)
+        forward_tiled(
+            &TileProblem {
+                transform: &self.transform,
+                kernels: &self.kernels,
+                bias: &self.bias,
+                c_in: self.c_in,
+                c_out: self.c_out,
+                out_h: 2 * h,
+                out_w: 2 * w,
+            },
+            input,
+            ctx,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nvc_tensor::Shape;
 
     fn ramp(c: usize, h: usize, w: usize) -> Tensor {
         Tensor::from_fn(Shape::new(1, c, h, w), |_, ci, y, x| {

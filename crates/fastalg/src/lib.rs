@@ -52,6 +52,7 @@
 mod fast_conv;
 mod fast_deconv;
 mod sparse;
+mod tile_exec;
 mod transforms;
 
 pub use fast_conv::FastConv2d;

@@ -66,6 +66,14 @@ pub struct SparseKernel {
     mu: usize,
     values: Vec<f32>,
     indices: Vec<u16>,
+    /// Dense µ² execution buffer (zeros at pruned positions). The
+    /// compressed `(values, indices)` pair is what the Weight/Index
+    /// Buffers of the SCU hold and what the cost model counts; software
+    /// execution runs the padded buffer instead because a contiguous
+    /// multiply-accumulate vectorizes where an 8-element indexed gather
+    /// cannot. Both produce the same sums (pruned positions contribute
+    /// `+0.0`).
+    exec: Vec<f32>,
 }
 
 impl SparseKernel {
@@ -95,6 +103,7 @@ impl SparseKernel {
             mu,
             values,
             indices,
+            exec: e.as_slice().to_vec(),
         })
     }
 
@@ -127,19 +136,22 @@ impl SparseKernel {
         m
     }
 
-    /// Sparse Hadamard-accumulate: `acc[idx] += value · y[idx]` for every
-    /// stored non-zero, where `y` is the flattened transform-domain input
-    /// tile. This is exactly the SCU inner loop ("non-zero element
-    /// selector" feeding the multipliers).
+    /// Hadamard-accumulate: `acc[idx] += value · y[idx]` for every stored
+    /// non-zero, where `y` is the flattened transform-domain input tile —
+    /// the SCU inner loop ("non-zero element selector" feeding the
+    /// multipliers). Executes over the dense padded buffer (see the
+    /// `exec` field) so the loop vectorizes; pruned positions contribute
+    /// `+0.0` and the sums equal the indexed formulation exactly.
     ///
     /// # Panics
     ///
     /// Panics if `y` or `acc` is shorter than `µ²`.
     #[inline]
     pub fn hadamard_accumulate(&self, y: &[f32], acc: &mut [f32]) {
-        assert!(y.len() >= self.mu * self.mu && acc.len() >= self.mu * self.mu);
-        for (&v, &i) in self.values.iter().zip(&self.indices) {
-            acc[i as usize] += v * y[i as usize];
+        let mu2 = self.mu * self.mu;
+        assert!(y.len() >= mu2 && acc.len() >= mu2);
+        for ((a, &v), &yv) in acc[..mu2].iter_mut().zip(&self.exec).zip(&y[..mu2]) {
+            *a += v * yv;
         }
     }
 }

@@ -1,0 +1,155 @@
+//! Shared tiled execution engine for [`FastConv2d`](crate::FastConv2d)
+//! and [`FastDeConv2d`](crate::FastDeConv2d).
+//!
+//! Both fast operators are the same computation with different transform
+//! geometry: per tile, transform every input channel's patch
+//! (`Y = Bᵀ X B`), accumulate `Σ_ci E ⊙ Y` in the transform domain, and
+//! inverse-transform once per output channel (`V = Aᵀ U A`).
+//!
+//! The executor runs that in two phases per *band* of tile rows,
+//! mirroring the SCU array's dataflow:
+//!
+//! 1. **Input transform** — parallel over the band's tiles. Transformed
+//!    tiles land in a flat staging buffer (borrowed from the
+//!    [`ExecCtx`]'s scratch pool), laid out `[tile][c_in][µ²]` so each
+//!    tile is one contiguous chunk.
+//! 2. **Channel reduction + inverse transform** — parallel over output
+//!    channels. Each worker owns one output plane, walks the band's
+//!    tiles, accumulates the sparse Hadamard products over `c_in` in
+//!    ascending order into a stack accumulator, and writes the
+//!    inverse-transformed tile (plus bias) into its plane.
+//!
+//! Banding bounds the staging buffer (≈ [`BAND_FLOATS`] elements) so
+//! peak memory stays constant in the frame area — a 1080p layer streams
+//! through the same few megabytes a thumbnail does — while both phases
+//! keep enough tiles in flight to feed every worker.
+//!
+//! Accumulation order is fixed per output element regardless of the
+//! worker count or band height, so serial and parallel execution are
+//! **bit-identical**. The hot loops allocate nothing: patches,
+//! accumulators and inverse tiles are stack arrays; the staging buffer
+//! is recycled across calls.
+
+use crate::sparse::SparseKernel;
+use crate::transforms::{TransformPair, MAX_MU, MAX_PATCH, MAX_TILE};
+use nvc_core::ExecCtx;
+use nvc_tensor::{Shape, Tensor, TensorError};
+
+/// One fast-operator invocation, described geometrically.
+pub(crate) struct TileProblem<'a> {
+    /// The transform pair (fixes patch/tile/µ geometry).
+    pub transform: &'a TransformPair,
+    /// Transform-domain kernels, indexed `[co * c_in + ci]`.
+    pub kernels: &'a [SparseKernel],
+    /// One bias per output channel.
+    pub bias: &'a [f32],
+    /// Input channel count.
+    pub c_in: usize,
+    /// Output channel count.
+    pub c_out: usize,
+    /// Output height (equals input height for conv, doubles for deconv).
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+/// Target staging-buffer size in `f32` elements (≈ 8 MB). The band
+/// height in tile rows is chosen so `band_tiles · c_in · µ²` stays near
+/// this budget.
+const BAND_FLOATS: usize = 1 << 21;
+
+/// Runs the banded two-phase tiled forward pass (see module docs).
+pub(crate) fn forward_tiled(
+    prob: &TileProblem<'_>,
+    input: &Tensor,
+    ctx: &ExecCtx,
+) -> Result<Tensor, TensorError> {
+    let (n, _, in_h, in_w) = input.shape().dims();
+    let in_data = input.as_slice();
+    let t = prob.transform;
+    let (p, m, mu) = (t.patch(), t.tile(), t.mu());
+    debug_assert!(p <= MAX_PATCH && m <= MAX_TILE && mu <= MAX_MU);
+    let mu2 = mu * mu;
+    let step = t.in_step();
+    let offset = t.in_offset() as isize;
+    let (oh, ow) = (prob.out_h, prob.out_w);
+    let (ty_n, tx_n) = (oh.div_ceil(m), ow.div_ceil(m));
+    let out_shape = Shape::new(n, prob.c_out, oh, ow);
+    let mut out = Tensor::zeros(out_shape);
+    let plane = oh * ow;
+
+    let tile_floats = prob.c_in * mu2;
+    let band_rows = (BAND_FLOATS / (tx_n * tile_floats).max(1)).clamp(1, ty_n);
+    let mut y_band = ctx.scratch().take(band_rows * tx_n * tile_floats);
+    for nn in 0..n {
+        let mut ty_band = 0;
+        while ty_band < ty_n {
+            let band_end = (ty_band + band_rows).min(ty_n);
+            let band_tiles = (band_end - ty_band) * tx_n;
+            // Phase 1: input transforms, one chunk per tile in the band.
+            ctx.par_chunks_mut(
+                &mut y_band[..band_tiles * tile_floats],
+                tile_floats,
+                |band_idx, chunk| {
+                    let ty = ty_band + band_idx / tx_n;
+                    let tx = band_idx % tx_n;
+                    let iy0 = (ty * step) as isize - offset;
+                    let ix0 = (tx * step) as isize - offset;
+                    // Clip the patch footprint against the input once per
+                    // tile; interior rows then gather with one slice copy.
+                    let py0 = (-iy0).clamp(0, p as isize) as usize;
+                    let py1 = ((in_h as isize - iy0).clamp(0, p as isize)) as usize;
+                    let px0 = (-ix0).clamp(0, p as isize) as usize;
+                    let px1 = ((in_w as isize - ix0).clamp(0, p as isize)) as usize;
+                    let mut patch = [0.0_f32; MAX_PATCH * MAX_PATCH];
+                    for (ci, y_tile) in chunk.chunks_mut(mu2).enumerate() {
+                        patch[..p * p].fill(0.0);
+                        if px0 < px1 {
+                            let plane =
+                                &in_data[(nn * prob.c_in + ci) * in_h * in_w..][..in_h * in_w];
+                            for py in py0..py1 {
+                                let iy = (iy0 + py as isize) as usize;
+                                let ix = (ix0 + px0 as isize) as usize;
+                                patch[py * p + px0..py * p + px1]
+                                    .copy_from_slice(&plane[iy * in_w + ix..][..px1 - px0]);
+                            }
+                        }
+                        t.transform_input_slice(&patch[..p * p], y_tile);
+                    }
+                },
+            );
+            // Phase 2: channel reduction + inverse transform, one chunk
+            // per output plane (each worker writes only the band's rows).
+            let y_ref: &[f32] = &y_band;
+            let batch = &mut out.as_mut_slice()[nn * prob.c_out * plane..][..prob.c_out * plane];
+            ctx.par_chunks_mut(batch, plane, |co, out_plane| {
+                let bias = prob.bias[co];
+                let kernels = &prob.kernels[co * prob.c_in..][..prob.c_in];
+                let mut u_acc = [0.0_f32; MAX_MU * MAX_MU];
+                let mut v = [0.0_f32; MAX_TILE * MAX_TILE];
+                for ty in ty_band..band_end {
+                    let vy_max = m.min(oh - ty * m);
+                    for tx in 0..tx_n {
+                        let band_idx = (ty - ty_band) * tx_n + tx;
+                        u_acc[..mu2].fill(0.0);
+                        let y_tiles = &y_ref[band_idx * tile_floats..][..tile_floats];
+                        for (ci, kernel) in kernels.iter().enumerate() {
+                            kernel.hadamard_accumulate(&y_tiles[ci * mu2..][..mu2], &mut u_acc);
+                        }
+                        t.inverse_slice(&u_acc[..mu2], &mut v[..m * m]);
+                        let vx_max = m.min(ow - tx * m);
+                        for vy in 0..vy_max {
+                            let out_row = &mut out_plane[(ty * m + vy) * ow + tx * m..][..vx_max];
+                            for (o, &vv) in out_row.iter_mut().zip(&v[vy * m..][..vx_max]) {
+                                *o = vv + bias;
+                            }
+                        }
+                    }
+                }
+            });
+            ty_band = band_end;
+        }
+    }
+    ctx.scratch().put(y_band);
+    Ok(out)
+}

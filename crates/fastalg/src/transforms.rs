@@ -1,6 +1,13 @@
 use nvc_tensor::mat::Mat;
 use nvc_tensor::TensorError;
 
+/// Largest input patch side supported by any transform (`p` of T3).
+pub const MAX_PATCH: usize = 5;
+/// Largest transform-domain side supported (`µ` of T3).
+pub const MAX_MU: usize = 8;
+/// Largest output tile side supported (`m` of T3).
+pub const MAX_TILE: usize = 6;
+
 /// A complete set of fast-algorithm transform matrices for Eq. (1) of the
 /// paper, together with the tiling geometry that makes a whole-layer
 /// computation out of per-tile transforms.
@@ -125,7 +132,49 @@ impl TransformPair {
                 x.cols()
             )));
         }
-        self.bt.matmul(x)?.matmul(&self.bt.transpose())
+        let mut out = Mat::zeros(self.mu, self.mu);
+        self.transform_input_slice(x.as_slice(), out.as_mut_slice());
+        Ok(out)
+    }
+
+    /// Allocation-free input transform: reads a `p × p` row-major patch
+    /// from `x`, writes the `µ × µ` row-major result to `out`. This is
+    /// the per-tile hot kernel; all intermediates live on the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `debug_assert!`/indexing) if the slices are shorter
+    /// than `p²` / `µ²`.
+    #[inline]
+    pub fn transform_input_slice(&self, x: &[f32], out: &mut [f32]) {
+        let (p, mu) = (self.p, self.mu);
+        debug_assert!(x.len() >= p * p && out.len() >= mu * mu);
+        let bt = self.bt.as_slice(); // µ × p
+                                     // tmp = Bᵀ · X  (µ × p); Bᵀ rows are sparse (±1, ±0.5).
+        let mut tmp = [0.0_f32; MAX_MU * MAX_PATCH];
+        for i in 0..mu {
+            let row = &mut tmp[i * p..][..p];
+            for (k, &a) in bt[i * p..][..p].iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (t, &xv) in row.iter_mut().zip(&x[k * p..][..p]) {
+                    *t += a * xv;
+                }
+            }
+        }
+        // out = tmp · B = tmp · (Bᵀ)ᵀ: out[i][j] = Σ_k tmp[i][k]·Bᵀ[j][k].
+        for i in 0..mu {
+            let trow = &tmp[i * p..][..p];
+            for j in 0..mu {
+                let brow = &bt[j * p..][..p];
+                let mut acc = 0.0;
+                for (&t, &b) in trow.iter().zip(brow) {
+                    acc += t * b;
+                }
+                out[i * mu + j] = acc;
+            }
+        }
     }
 
     /// Inverse transform `V = Aᵀ U A` for a `µ × µ` transform-domain tile.
@@ -142,7 +191,49 @@ impl TransformPair {
                 u.cols()
             )));
         }
-        self.at.matmul(u)?.matmul(&self.at.transpose())
+        let mut out = Mat::zeros(self.m, self.m);
+        self.inverse_slice(u.as_slice(), out.as_mut_slice());
+        Ok(out)
+    }
+
+    /// Allocation-free inverse transform: reads a `µ × µ` row-major tile
+    /// from `u`, writes the `m × m` row-major result to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `debug_assert!`/indexing) if the slices are shorter
+    /// than `µ²` / `m²`.
+    #[inline]
+    pub fn inverse_slice(&self, u: &[f32], out: &mut [f32]) {
+        let (mu, m) = (self.mu, self.m);
+        debug_assert!(u.len() >= mu * mu && out.len() >= m * m);
+        let at = self.at.as_slice(); // m × µ
+                                     // tmp = Aᵀ · U  (m × µ); Aᵀ rows are sparse (0, ±1).
+        let mut tmp = [0.0_f32; MAX_TILE * MAX_MU];
+        for i in 0..m {
+            let row = &mut tmp[i * mu..][..mu];
+            row.fill(0.0);
+            for (k, &a) in at[i * mu..][..mu].iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (t, &uv) in row.iter_mut().zip(&u[k * mu..][..mu]) {
+                    *t += a * uv;
+                }
+            }
+        }
+        // out = tmp · A = tmp · (Aᵀ)ᵀ: out[i][j] = Σ_k tmp[i][k]·Aᵀ[j][k].
+        for i in 0..m {
+            let trow = &tmp[i * mu..][..mu];
+            for j in 0..m {
+                let arow = &at[j * mu..][..mu];
+                let mut acc = 0.0;
+                for (&t, &a) in trow.iter().zip(arow) {
+                    acc += t * a;
+                }
+                out[i * m + j] = acc;
+            }
+        }
     }
 
     /// Whole-tile reference evaluation of Eq. (1):

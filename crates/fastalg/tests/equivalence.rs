@@ -3,6 +3,7 @@
 //! arbitrary inputs and weights, and pruning must behave monotonically.
 //! Case generation uses the in-tree SplitMix64 PRNG from `nvc-tensor`.
 
+use nvc_core::ExecCtx;
 use nvc_fastalg::{fta_t3_6x6_4x4, prune, winograd_f2x2_3x3, FastConv2d, FastDeConv2d, Sparsity};
 use nvc_tensor::init::SplitMix64;
 use nvc_tensor::mat::Mat;
@@ -85,6 +86,93 @@ fn pruning_never_invents_weights() {
         for (orig, masked) in e.as_slice().iter().zip(rep.masked.as_slice()) {
             assert!(*masked == 0.0 || masked == orig);
         }
+    }
+}
+
+/// Worker counts the determinism sweep exercises: serial, even/odd
+/// splits, more workers than work.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 5, 16];
+
+/// Parallel execution of every parallelized operator is bit-identical to
+/// serial execution — the partition is over output channels/tiles only
+/// and each accumulation keeps a fixed summation order.
+#[test]
+fn parallel_operators_are_bit_exact() {
+    let mut rng = SplitMix64::new(0xFA57_0006);
+    for case in 0..8 {
+        // Odd sizes force partial tiles and uneven chunk partitions.
+        let x = rand_tensor(&mut rng, 3, 11, 13);
+        let seed = rng.next_u64() % 500;
+        let conv = Conv2d::randn(5, 3, 3, 1, 1, seed).unwrap();
+        let fast =
+            FastConv2d::from_conv_pruned(&conv, Sparsity::new(0.25 * (case % 3) as f64).unwrap())
+                .unwrap();
+        let deconv = DeConv2d::randn(4, 3, 4, 2, 1, seed ^ 7).unwrap();
+        let fast_de = FastDeConv2d::from_deconv(&deconv).unwrap();
+
+        let conv_ref = conv.forward(&x).unwrap();
+        let fast_ref = fast.forward(&x).unwrap();
+        let deconv_ref = deconv.forward(&x).unwrap();
+        let fast_de_ref = fast_de.forward(&x).unwrap();
+        for threads in THREAD_SWEEP {
+            let ctx = ExecCtx::with_threads(threads);
+            assert_eq!(
+                conv.forward_ctx(&x, &ctx).unwrap().as_slice(),
+                conv_ref.as_slice(),
+                "Conv2d diverged at {threads} threads"
+            );
+            assert_eq!(
+                fast.forward_ctx(&x, &ctx).unwrap().as_slice(),
+                fast_ref.as_slice(),
+                "FastConv2d diverged at {threads} threads"
+            );
+            assert_eq!(
+                deconv.forward_ctx(&x, &ctx).unwrap().as_slice(),
+                deconv_ref.as_slice(),
+                "DeConv2d diverged at {threads} threads"
+            );
+            assert_eq!(
+                fast_de.forward_ctx(&x, &ctx).unwrap().as_slice(),
+                fast_de_ref.as_slice(),
+                "FastDeConv2d diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// A layer large enough to split into multiple staging bands (the tiled
+/// executor bounds its transform-domain buffer to ~8 MB) still matches
+/// the direct operator and stays bit-exact across thread counts.
+#[test]
+fn multi_band_execution_matches_direct() {
+    let mut rng = SplitMix64::new(0xFA57_0008);
+    // 64 in-channels at 96x96 -> 192x192 output: 32x32 FTA tiles at
+    // 64·64 floats each = two bands at the executor's budget.
+    let x = rand_tensor(&mut rng, 64, 96, 96);
+    let deconv = DeConv2d::randn(3, 64, 4, 2, 1, 901).unwrap();
+    let fast = FastDeConv2d::from_deconv(&deconv).unwrap();
+    let direct = deconv.forward(&x).unwrap();
+    let fastv = fast.forward(&x).unwrap();
+    assert_eq!(direct.shape(), fastv.shape());
+    let scale = direct.max_abs().max(1.0);
+    assert!(direct.sub(&fastv).unwrap().max_abs() < 1e-2 * scale);
+    let par = fast.forward_ctx(&x, &ExecCtx::with_threads(4)).unwrap();
+    assert_eq!(fastv.as_slice(), par.as_slice());
+}
+
+/// A context's scratch pool is reused across calls without leaking state
+/// between forward passes.
+#[test]
+fn scratch_reuse_does_not_change_results() {
+    let mut rng = SplitMix64::new(0xFA57_0007);
+    let ctx = ExecCtx::with_threads(3);
+    let conv = Conv2d::randn(4, 2, 3, 1, 1, 42).unwrap();
+    let fast = FastConv2d::from_conv(&conv).unwrap();
+    for _ in 0..4 {
+        let x = rand_tensor(&mut rng, 2, 9, 7);
+        let fresh = fast.forward_ctx(&x, &ExecCtx::with_threads(3)).unwrap();
+        let reused = fast.forward_ctx(&x, &ctx).unwrap();
+        assert_eq!(fresh.as_slice(), reused.as_slice());
     }
 }
 

@@ -16,6 +16,7 @@ use crate::modules::{
     MotionCnn, MOTION_SCALE,
 };
 use crate::motion;
+use nvc_core::ExecCtx;
 use nvc_entropy::container::{read_sections, FrameKind, Packet, Section, SectionWriter};
 use nvc_entropy::{BitReader, BitWriter, CodingError};
 use nvc_tensor::{Shape, Tensor, TensorError};
@@ -100,6 +101,7 @@ pub struct CtvcCodec {
     comp: DeformableCompensation,
     motion_ae: CompressionAutoencoder,
     residual_ae: CompressionAutoencoder,
+    exec: ExecCtx,
 }
 
 impl CtvcCodec {
@@ -117,8 +119,15 @@ impl CtvcCodec {
             comp: DeformableCompensation::new(&cfg)?,
             motion_ae: CompressionAutoencoder::new(&cfg, cfg.seed ^ 0x0001)?,
             residual_ae: CompressionAutoencoder::new(&cfg, cfg.seed ^ 0x0002)?,
+            exec: ExecCtx::with_threads(cfg.threads),
             cfg,
         })
+    }
+
+    /// The execution context layer work fans out on (configured by
+    /// [`CtvcConfig::threads`]).
+    pub fn exec(&self) -> &ExecCtx {
+        &self.exec
     }
 
     /// The configuration.
@@ -143,7 +152,9 @@ impl CtvcCodec {
 
     fn mask_fn<'a>(&'a self, ae: &'a CompressionAutoencoder) -> Option<Box<latent::MaskFn<'a>>> {
         if self.cfg.attention {
-            Some(Box::new(move |z: &Tensor| ae.latent_mask(z)))
+            Some(Box::new(move |z: &Tensor| {
+                ae.latent_mask_ctx(z, &self.exec)
+            }))
         } else {
             None
         }
@@ -217,18 +228,21 @@ impl CtvcCodec {
             &self.motion_ae,
             rate.latent_step(),
         )?;
-        let o_hat = self.motion_ae.synthesis.forward(&zm)?;
+        let o_hat = self.motion_ae.synthesis.forward_ctx(&zm, &self.exec)?;
         let o_mc = self.motion_for_compensation(&o_hat);
-        let f_bar = self.comp.forward(f_ref, &o_mc)?;
+        let f_bar = self.comp.forward_ctx(f_ref, &o_mc, &self.exec)?;
         let zr = self.decode_latent(
             residual_payload,
             latent_shape,
             &self.residual_ae,
             rate.latent_step(),
         )?;
-        let r_hat = self.residual_ae.synthesis.forward(&zr)?;
+        let r_hat = self.residual_ae.synthesis.forward_ctx(&zr, &self.exec)?;
         let f_hat = f_bar.add(&r_hat)?;
-        let px = self.fr.forward(&f_hat)?.map(|v| v.clamp(0.0, 1.0));
+        let px = self
+            .fr
+            .forward_ctx(&f_hat, &self.exec)?
+            .map(|v| v.clamp(0.0, 1.0));
         Ok((f_hat, px))
     }
 
@@ -244,7 +258,10 @@ impl CtvcCodec {
         let shape = Shape::new(1, self.cfg.n, h / 2, w / 2);
         let symbols = latent::decode_intra_payload(payload, shape)?;
         let f_hat = latent::dequantize(&symbols, shape, rate.intra_step(), None)?;
-        let px = self.fr.forward(&f_hat)?.map(|v| v.clamp(0.0, 1.0));
+        let px = self
+            .fr
+            .forward_ctx(&f_hat, &self.exec)?
+            .map(|v| v.clamp(0.0, 1.0));
         Ok((f_hat, px))
     }
 
@@ -357,7 +374,7 @@ impl CtvcEncoderSession<'_> {
 
     fn encode_intra(&mut self, x: &Tensor, w: usize, h: usize) -> Result<Vec<u8>, CtvcError> {
         let codec = self.codec;
-        let f = codec.fe.forward(x)?;
+        let f = codec.fe.forward_ctx(x, &codec.exec)?;
         let symbols = latent::quantize(&f, self.rate.intra_step(), None)?;
         let payload = latent::encode_intra_payload(&symbols, f.shape())?;
         let (f_hat, rec) = codec.reconstruct_intra(&payload, w, h, self.rate)?;
@@ -372,14 +389,15 @@ impl CtvcEncoderSession<'_> {
         f_ref: Tensor,
     ) -> Result<(Vec<u8>, Vec<u8>), CtvcError> {
         let codec = self.codec;
-        let f_cur = codec.fe.forward(x)?;
+        let f_cur = codec.fe.forward_ctx(x, &codec.exec)?;
         // Functional motion estimation (block matching).
-        let field = motion::estimate_motion(
+        let field = motion::estimate_motion_ctx(
             &motion::matching_plane(&f_cur),
             &motion::matching_plane(&f_ref),
             codec.cfg.me_block,
             codec.cfg.me_range,
             codec.cfg.half_pel_motion,
+            &codec.exec,
         );
         // Embed into the N-channel motion tensor O_t.
         let (_, _, fh, fw) = f_cur.shape().dims();
@@ -389,15 +407,18 @@ impl CtvcEncoderSession<'_> {
             1 => field.at(0, 1, yy, xx) / MOTION_SCALE,
             _ => 0.0,
         });
-        let zm = codec.motion_ae.analysis.forward(&o_t)?;
+        let zm = codec.motion_ae.analysis.forward_ctx(&o_t, &codec.exec)?;
         let (motion_payload, zm_hat) =
             codec.code_latent(&zm, &codec.motion_ae, self.rate.latent_step())?;
         // Closed loop: compensate with the *reconstructed* motion.
-        let o_hat = codec.motion_ae.synthesis.forward(&zm_hat)?;
+        let o_hat = codec
+            .motion_ae
+            .synthesis
+            .forward_ctx(&zm_hat, &codec.exec)?;
         let o_mc = codec.motion_for_compensation(&o_hat);
-        let f_bar = codec.comp.forward(&f_ref, &o_mc)?;
+        let f_bar = codec.comp.forward_ctx(&f_ref, &o_mc, &codec.exec)?;
         let r_t = f_cur.sub(&f_bar)?;
-        let zr = codec.residual_ae.analysis.forward(&r_t)?;
+        let zr = codec.residual_ae.analysis.forward_ctx(&r_t, &codec.exec)?;
         let (residual_payload, _zr_hat) =
             codec.code_latent(&zr, &codec.residual_ae, self.rate.latent_step())?;
         // Reconstruct exactly like the decoder will.

@@ -97,6 +97,11 @@ pub struct CtvcConfig {
     pub sparsity: Option<f64>,
     /// Seed for all procedurally generated weights.
     pub seed: u64,
+    /// Worker threads for layer execution (`0` = use all available
+    /// hardware parallelism). Parallel splits are over output channels,
+    /// tiles and windows only, so every thread count produces
+    /// bit-identical bitstreams and reconstructions.
+    pub threads: usize,
 }
 
 impl CtvcConfig {
@@ -112,7 +117,15 @@ impl CtvcConfig {
             precision: Precision::Fp32,
             sparsity: None,
             seed: 0xC7C7_2024,
+            threads: 0,
         }
+    }
+
+    /// Returns a copy of this configuration pinned to `threads` worker
+    /// threads (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Full-precision CTVC-Net (Table I "CTVC-Net (FP)").

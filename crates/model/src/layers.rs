@@ -2,9 +2,10 @@
 //! residual blocks and the Swin attention machinery.
 
 use crate::config::Precision;
+use nvc_core::ExecCtx;
 use nvc_fastalg::{FastConv2d, FastDeConv2d, Sparsity};
 use nvc_quant::{fake_quantize_dynamic, QFormat};
-use nvc_tensor::mat::Mat;
+use nvc_tensor::mat::{softmax_rows_inplace, Mat};
 use nvc_tensor::ops::{relu, Conv2d, DeConv2d, Linear};
 use nvc_tensor::{Shape, Tensor, TensorError};
 
@@ -88,15 +89,25 @@ impl ConvOp {
         }
     }
 
-    /// Runs the convolution.
+    /// Runs the convolution single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        self.forward_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Runs the convolution on `exec`'s worker pool (bit-identical for
+    /// every worker count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
         match self {
-            ConvOp::Direct(c) => c.forward(x),
-            ConvOp::Fast(c) => c.forward(x),
+            ConvOp::Direct(c) => c.forward_ctx(x, exec),
+            ConvOp::Fast(c) => c.forward_ctx(x, exec),
         }
     }
 }
@@ -134,15 +145,25 @@ impl DeconvOp {
         }
     }
 
-    /// Runs the deconvolution.
+    /// Runs the deconvolution single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        self.forward_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Runs the deconvolution on `exec`'s worker pool (bit-identical for
+    /// every worker count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
         match self {
-            DeconvOp::Direct(d) => d.forward(x),
-            DeconvOp::Fast(d) => d.forward(x),
+            DeconvOp::Direct(d) => d.forward_ctx(x, exec),
+            DeconvOp::Fast(d) => d.forward_ctx(x, exec),
         }
     }
 }
@@ -194,14 +215,23 @@ impl ResBlock {
         ResBlock::new(conv1, conv2, precision, sparsity)
     }
 
-    /// Runs the block.
+    /// Runs the block single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
-        let a = self.ctx.actq(self.conv1.forward(&relu(x))?);
-        let b = self.ctx.actq(self.conv2.forward(&relu(&a))?);
+        self.forward_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Runs the block on `exec`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
+        let a = self.ctx.actq(self.conv1.forward_ctx(&relu(x), exec)?);
+        let b = self.ctx.actq(self.conv2.forward_ctx(&relu(&a), exec)?);
         x.add(&b)
     }
 }
@@ -286,12 +316,25 @@ impl SwinAttention {
         self.heads
     }
 
-    /// Runs windowed attention; output shape equals input shape.
+    /// Runs windowed attention single-threaded; output shape equals input
+    /// shape.
     ///
     /// # Errors
     ///
     /// Returns an error if the channel count differs from construction.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        self.forward_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Runs windowed attention, fanning windows across `exec`'s worker
+    /// pool (VCT-style block parallelism: every window is independent).
+    /// Per-window results land in disjoint chunks of a staging buffer,
+    /// so the output is bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the channel count differs from construction.
+    pub fn forward_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
         let (n, c, h, w) = x.shape().dims();
         if c != self.c {
             return Err(TensorError::incompatible(format!(
@@ -310,58 +353,77 @@ impl SwinAttention {
 
         let d = self.c / self.heads;
         let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+        let t = r * r;
+        let wins_x = pw / r;
+        let windows = (ph / r) * wins_x;
 
+        // Staging layout: [window][token][channel].
+        let mut win_out = exec.scratch().take(windows * t * self.c);
         for nn in 0..n {
-            for wy in (0..ph).step_by(r) {
-                for wx in (0..pw).step_by(r) {
-                    // Gather window tokens: r² × c.
-                    let mut tokens = Mat::zeros(r * r, self.c);
-                    for ty in 0..r {
-                        for tx in 0..r {
-                            for ch in 0..self.c {
-                                *tokens.at_mut(ty * r + tx, ch) =
-                                    shifted.at(nn, ch, wy + ty, wx + tx);
+            if nn > 0 {
+                win_out.fill(0.0);
+            }
+            exec.par_chunks_mut(&mut win_out, t * self.c, |widx, result| {
+                let wy = (widx / wins_x) * r;
+                let wx = (widx % wins_x) * r;
+                // Gather window tokens: r² × c.
+                let mut tokens = Mat::zeros(t, self.c);
+                for ty in 0..r {
+                    for tx in 0..r {
+                        let row = &mut tokens.as_mut_slice()[(ty * r + tx) * self.c..][..self.c];
+                        for (ch, v) in row.iter_mut().enumerate() {
+                            *v = shifted.at(nn, ch, wy + ty, wx + tx);
+                        }
+                    }
+                }
+                let q = self.wq.forward(&tokens).expect("channel count validated");
+                let k = self.wk.forward(&tokens).expect("channel count validated");
+                let (q, k, tok) = (q.as_slice(), k.as_slice(), tokens.as_slice());
+                // Per-head attention; V = identity(tokens).
+                let mut scores = vec![0.0_f32; t * t];
+                for head in 0..self.heads {
+                    let c0 = head * d;
+                    // scores = Qh Khᵀ / √d.
+                    for i in 0..t {
+                        let q_row = &q[i * self.c + c0..][..d];
+                        for j in 0..t {
+                            let k_row = &k[j * self.c + c0..][..d];
+                            let mut acc = 0.0;
+                            for (&a, &b) in q_row.iter().zip(k_row) {
+                                acc += a * b;
+                            }
+                            scores[i * t + j] = acc * inv_sqrt_d;
+                        }
+                    }
+                    softmax_rows_inplace(&mut scores, t);
+                    for i in 0..t {
+                        let attn_row = &scores[i * t..][..t];
+                        let out_row = &mut result[i * self.c + c0..][..d];
+                        for (j, &a) in attn_row.iter().enumerate() {
+                            let tok_row = &tok[j * self.c + c0..][..d];
+                            for (o, &v) in out_row.iter_mut().zip(tok_row) {
+                                *o += a * v;
                             }
                         }
                     }
-                    let q = self.wq.forward(&tokens)?;
-                    let k = self.wk.forward(&tokens)?;
-                    // Per-head attention; V = identity(tokens).
-                    let mut result = Mat::zeros(r * r, self.c);
-                    for head in 0..self.heads {
-                        let c0 = head * d;
-                        // scores = Qh Khᵀ / √d.
-                        let mut scores = Mat::zeros(r * r, r * r);
-                        for i in 0..r * r {
-                            for j in 0..r * r {
-                                let mut acc = 0.0;
-                                for ch in c0..c0 + d {
-                                    acc += q.at(i, ch) * k.at(j, ch);
-                                }
-                                *scores.at_mut(i, j) = acc * inv_sqrt_d;
-                            }
-                        }
-                        let attn = scores.softmax_rows();
-                        for i in 0..r * r {
-                            for ch in c0..c0 + d {
-                                let mut acc = 0.0;
-                                for j in 0..r * r {
-                                    acc += attn.at(i, j) * tokens.at(j, ch);
-                                }
-                                *result.at_mut(i, ch) = acc;
-                            }
-                        }
-                    }
-                    for ty in 0..r {
-                        for tx in 0..r {
-                            for ch in 0..self.c {
-                                *out.at_mut(nn, ch, wy + ty, wx + tx) = result.at(ty * r + tx, ch);
-                            }
+                }
+            });
+            // Scatter staged windows back into spatial layout.
+            for widx in 0..windows {
+                let wy = (widx / wins_x) * r;
+                let wx = (widx % wins_x) * r;
+                let result = &win_out[widx * t * self.c..][..t * self.c];
+                for ty in 0..r {
+                    for tx in 0..r {
+                        let row = &result[(ty * r + tx) * self.c..][..self.c];
+                        for (ch, &v) in row.iter().enumerate() {
+                            *out.at_mut(nn, ch, wy + ty, wx + tx) = v;
                         }
                     }
                 }
             }
         }
+        exec.scratch().put(win_out);
         // Unshift and crop.
         let unshifted = roll(&out, -(self.shift as isize), -(self.shift as isize));
         unshifted.crop(h, w)
@@ -479,31 +541,50 @@ impl SwinAm {
     }
 
     /// Computes the branch-1 attention mask in `(0, 1)`, same shape as the
-    /// input.
+    /// input, single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn mask(&self, x: &Tensor) -> Result<Tensor, TensorError> {
-        let u = self.ctx.actq(self.attn.forward(x)?);
+        self.mask_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Computes the branch-1 attention mask on `exec`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn mask_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
+        let u = self.ctx.actq(self.attn.forward_ctx(x, exec)?);
         // ResBlock with |·| pairing: u + conv2(ReLU(conv1(ReLU(u)))).
-        let a = self.abs_conv1.forward(&relu(&u))?;
-        let b = self.abs_conv2.forward(&relu(&a))?;
+        let a = self.abs_conv1.forward_ctx(&relu(&u), exec)?;
+        let b = self.abs_conv2.forward_ctx(&relu(&a), exec)?;
         let res = self.ctx.actq(u.add(&b)?);
-        let logits = self.mask_conv.forward(&res)?;
+        let logits = self.mask_conv.forward_ctx(&res, exec)?;
         Ok(nvc_tensor::ops::sigmoid(&logits))
     }
 
-    /// Full Swin-AM composition: `x + mask(x) ⊙ branch2(x)`.
+    /// Full Swin-AM composition: `x + mask(x) ⊙ branch2(x)`,
+    /// single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
-        let mask = self.mask(x)?;
+        self.forward_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Full Swin-AM composition on `exec`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
+        let mask = self.mask_ctx(x, exec)?;
         let mut f2 = x.clone();
         for rb in &self.branch2 {
-            f2 = self.ctx.actq(rb.forward(&f2)?);
+            f2 = self.ctx.actq(rb.forward_ctx(&f2, exec)?);
         }
         // Branch-2 output enters as a *correction*; keep it residual-scaled
         // so the analytic network stays near-identity.

@@ -64,10 +64,14 @@ pub mod graph;
 mod latent;
 mod layers;
 mod modules;
-mod motion;
+pub mod motion;
 mod weights;
 
 pub use codec::{CtvcCodec, CtvcCoded, CtvcDecoderSession, CtvcEncoderSession, CtvcError};
 pub use config::{CtvcConfig, Precision, RatePoint};
 pub use graph::{decoder_graph, LayerDesc, LayerKind};
-pub use layers::{ResBlock, SwinAm, SwinAttention};
+pub use layers::{ConvOp, DeconvOp, ResBlock, SwinAm, SwinAttention};
+pub use modules::{
+    Analysis, CompressionAutoencoder, DeformableCompensation, FeatureExtractor, FrameReconstructor,
+    MotionCnn, Synthesis,
+};

@@ -3,15 +3,16 @@
 use crate::config::CtvcConfig;
 use crate::layers::{ConvOp, DeconvOp, NumericCtx, ResBlock, SwinAm};
 use crate::weights;
+use nvc_core::ExecCtx;
 use nvc_tensor::ops::{relu, Conv2d, DeformConv2d, MaxPool2d};
 use nvc_tensor::{Tensor, TensorError};
 
 /// Runs a stride-2 deconvolution with edge-replicated input padding so the
 /// upsampled output has no zero-padding falloff at the borders (standard
 /// edge handling; the operator itself is unchanged).
-fn padded_deconv(op: &DeconvOp, x: &Tensor) -> Result<Tensor, TensorError> {
+fn padded_deconv(op: &DeconvOp, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
     let (_, _, h, w) = x.shape().dims();
-    let y = op.forward(&x.replicate_pad(1))?;
+    let y = op.forward_ctx(&x.replicate_pad(1), exec)?;
     y.crop_region(2, 2, 2 * h, 2 * w)
 }
 
@@ -73,15 +74,25 @@ impl FeatureExtractor {
         })
     }
 
-    /// Maps a `3 × H × W` frame tensor to `N × H/2 × W/2` features.
+    /// Maps a `3 × H × W` frame tensor to `N × H/2 × W/2` features,
+    /// single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors (H, W must be even).
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
-        let a = self.ctx.actq(self.conv1.forward(x)?);
+        self.forward_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Same as [`FeatureExtractor::forward`], on `exec`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (H, W must be even).
+    pub fn forward_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
+        let a = self.ctx.actq(self.conv1.forward_ctx(x, exec)?);
         let p = self.pool.forward(&a)?;
-        let out = self.res.forward(&p)?;
+        let out = self.res.forward_ctx(&p, exec)?;
         Ok(self.ctx.actq(out))
     }
 }
@@ -112,14 +123,24 @@ impl FrameReconstructor {
         })
     }
 
-    /// Maps `N × H/2 × W/2` features back to a `3 × H × W` frame tensor.
+    /// Maps `N × H/2 × W/2` features back to a `3 × H × W` frame tensor,
+    /// single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn forward(&self, f: &Tensor) -> Result<Tensor, TensorError> {
-        let a = self.ctx.actq(self.res.forward(f)?);
-        padded_deconv(&self.deconv, &a)
+        self.forward_ctx(f, &ExecCtx::serial())
+    }
+
+    /// Same as [`FrameReconstructor::forward`], on `exec`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_ctx(&self, f: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
+        let a = self.ctx.actq(self.res.forward_ctx(f, exec)?);
+        padded_deconv(&self.deconv, &a, exec)
     }
 }
 
@@ -159,14 +180,23 @@ impl MotionCnn {
     }
 
     /// Runs the shell over concatenated features (`2N` channels in, `N`
-    /// out).
+    /// out), single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
-        let a = self.ctx.actq(self.conv1.forward(&relu(x))?);
-        self.conv2.forward(&relu(&a))
+        self.forward_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Same as [`MotionCnn::forward`], on `exec`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
+        let a = self.ctx.actq(self.conv1.forward_ctx(&relu(x), exec)?);
+        self.conv2.forward_ctx(&relu(&a), exec)
     }
 }
 
@@ -230,16 +260,35 @@ impl DeformableCompensation {
     }
 
     /// Warps the reference features by the reconstructed motion `ô_t` and
-    /// refines: returns the predicted features `F̄_t`.
+    /// refines: returns the predicted features `F̄_t`. Single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn forward(&self, reference: &Tensor, o_hat: &Tensor) -> Result<Tensor, TensorError> {
-        let offsets = self.offset_conv.forward(o_hat)?;
-        let warped = self.ctx.actq(self.dfconv.forward(reference, &offsets)?);
-        let r = self.ctx.actq(self.refine1.forward(&relu(&warped))?);
-        let r = self.refine2.forward(&relu(&r))?;
+        self.forward_ctx(reference, o_hat, &ExecCtx::serial())
+    }
+
+    /// Same as [`DeformableCompensation::forward`], on `exec`'s worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_ctx(
+        &self,
+        reference: &Tensor,
+        o_hat: &Tensor,
+        exec: &ExecCtx,
+    ) -> Result<Tensor, TensorError> {
+        let offsets = self.offset_conv.forward_ctx(o_hat, exec)?;
+        let warped = self
+            .ctx
+            .actq(self.dfconv.forward_ctx(reference, &offsets, exec)?);
+        let r = self
+            .ctx
+            .actq(self.refine1.forward_ctx(&relu(&warped), exec)?);
+        let r = self.refine2.forward_ctx(&relu(&r), exec)?;
         warped.add(&r)
     }
 }
@@ -286,25 +335,35 @@ impl Analysis {
         })
     }
 
-    /// Maps `N × h × w` input to the `N × h/8 × w/8` latent.
+    /// Maps `N × h × w` input to the `N × h/8 × w/8` latent,
+    /// single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors (h, w must be divisible by 8).
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, TensorError> {
-        let mut t = self.ctx.actq(self.down1.forward(x)?);
+        self.forward_ctx(x, &ExecCtx::serial())
+    }
+
+    /// Same as [`Analysis::forward`], on `exec`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (h, w must be divisible by 8).
+    pub fn forward_ctx(&self, x: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
+        let mut t = self.ctx.actq(self.down1.forward_ctx(x, exec)?);
         for rb in &self.res {
-            t = self.ctx.actq(rb.forward(&t)?);
+            t = self.ctx.actq(rb.forward_ctx(&t, exec)?);
         }
-        t = self.ctx.actq(self.down2.forward(&t)?);
+        t = self.ctx.actq(self.down2.forward_ctx(&t, exec)?);
         if self.use_attention {
-            t = self.ctx.actq(self.swin1.forward(&t)?);
+            t = self.ctx.actq(self.swin1.forward_ctx(&t, exec)?);
         }
-        t = self.ctx.actq(self.down3.forward(&t)?);
+        t = self.ctx.actq(self.down3.forward_ctx(&t, exec)?);
         if self.use_attention {
-            t = self.ctx.actq(self.swin2.forward(&t)?);
+            t = self.ctx.actq(self.swin2.forward_ctx(&t, exec)?);
         }
-        self.select.forward(&t)
+        self.select.forward_ctx(&t, exec)
     }
 }
 
@@ -341,16 +400,26 @@ impl Synthesis {
         })
     }
 
-    /// Maps the `N × h/8 × w/8` latent back to `N × h × w`.
+    /// Maps the `N × h/8 × w/8` latent back to `N × h × w`,
+    /// single-threaded.
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
     pub fn forward(&self, z: &Tensor) -> Result<Tensor, TensorError> {
+        self.forward_ctx(z, &ExecCtx::serial())
+    }
+
+    /// Same as [`Synthesis::forward`], on `exec`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_ctx(&self, z: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
         let mut t = z.clone();
         for (rb, up) in &self.stages {
-            t = self.ctx.actq(rb.forward(&t)?);
-            t = self.ctx.actq(padded_deconv(up, &t)?);
+            t = self.ctx.actq(rb.forward_ctx(&t, exec)?);
+            t = self.ctx.actq(padded_deconv(up, &t, exec)?);
         }
         Ok(t)
     }
@@ -398,9 +467,19 @@ impl CompressionAutoencoder {
     ///
     /// Propagates shape errors.
     pub fn latent_mask(&self, z: &Tensor) -> Result<Tensor, TensorError> {
+        self.latent_mask_ctx(z, &ExecCtx::serial())
+    }
+
+    /// Same as [`CompressionAutoencoder::latent_mask`], on `exec`'s
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn latent_mask_ctx(&self, z: &Tensor, exec: &ExecCtx) -> Result<Tensor, TensorError> {
         let neg = z.scale(-1.0);
         let paired = Tensor::concat_channels(&[z, &neg])?;
-        let mask = self.mask_am.mask(&paired)?;
+        let mask = self.mask_am.mask_ctx(&paired, exec)?;
         mask.slice_channels(0, z.shape().c())
     }
 }

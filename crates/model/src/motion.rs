@@ -6,6 +6,7 @@
 //! field that the motion-compression autoencoder codes and the deformable
 //! compensation consumes.
 
+use nvc_core::ExecCtx;
 use nvc_tensor::{Shape, Tensor};
 
 /// Mean of the first three channels (the ±RGB passthrough features) as a
@@ -18,6 +19,12 @@ pub fn matching_plane(features: &Tensor) -> Tensor {
 }
 
 fn sad(cur: &Tensor, reference: &Tensor, by: usize, bx: usize, bs: usize, dy: f32, dx: f32) -> f64 {
+    // Bilinear sampling at whole-pel offsets reduces exactly to the
+    // integer sample (the fractional weights are 0/1), so the full-pel
+    // search can skip the interpolation arithmetic entirely.
+    if dy.fract() == 0.0 && dx.fract() == 0.0 {
+        return sad_full_pel(cur, reference, by, bx, bs, dy as isize, dx as isize);
+    }
     let mut acc = 0.0_f64;
     for y in 0..bs {
         for x in 0..bs {
@@ -25,6 +32,28 @@ fn sad(cur: &Tensor, reference: &Tensor, by: usize, bx: usize, bs: usize, dy: f3
             let cx = bx + x;
             let c = cur.at_padded(0, 0, cy as isize, cx as isize);
             let r = reference.sample_bilinear(0, 0, cy as f32 + dy, cx as f32 + dx);
+            acc += (c - r).abs() as f64;
+        }
+    }
+    acc
+}
+
+fn sad_full_pel(
+    cur: &Tensor,
+    reference: &Tensor,
+    by: usize,
+    bx: usize,
+    bs: usize,
+    dy: isize,
+    dx: isize,
+) -> f64 {
+    let mut acc = 0.0_f64;
+    for y in 0..bs {
+        let cy = (by + y) as isize;
+        for x in 0..bs {
+            let cx = (bx + x) as isize;
+            let c = cur.at_padded(0, 0, cy, cx);
+            let r = reference.at_padded(0, 0, cy + dy, cx + dx);
             acc += (c - r).abs() as f64;
         }
     }
@@ -48,49 +77,76 @@ pub fn estimate_motion(
     range: i32,
     half_pel: bool,
 ) -> Tensor {
+    estimate_motion_ctx(cur, reference, block, range, half_pel, &ExecCtx::serial())
+}
+
+/// [`estimate_motion`] with the per-block full searches fanned across
+/// `exec`'s worker pool. Every block's search is independent and reads
+/// only the two fixed planes, so the field is bit-identical for every
+/// worker count.
+///
+/// # Panics
+///
+/// Panics if the planes differ in shape or are not single-channel.
+pub fn estimate_motion_ctx(
+    cur: &Tensor,
+    reference: &Tensor,
+    block: usize,
+    range: i32,
+    half_pel: bool,
+    exec: &ExecCtx,
+) -> Tensor {
     assert_eq!(cur.shape(), reference.shape(), "plane shapes must match");
     assert_eq!(cur.shape().c(), 1, "motion estimation runs on one plane");
     let (_, _, h, w) = cur.shape().dims();
-    let mut field = Tensor::zeros(Shape::new(1, 2, h, w));
-    for by in (0..h).step_by(block) {
-        for bx in (0..w).step_by(block) {
-            let bs = block.min(h - by).min(w - bx);
-            let mut best = (0.0_f32, 0.0_f32);
-            // Small bias toward shorter vectors stabilises flat regions.
-            let mut best_cost = sad(cur, reference, by, bx, bs, 0.0, 0.0);
-            for dy in -range..=range {
-                for dx in -range..=range {
-                    if dy == 0 && dx == 0 {
+    let coords: Vec<(usize, usize)> = (0..h)
+        .step_by(block)
+        .flat_map(|by| (0..w).step_by(block).map(move |bx| (by, bx)))
+        .collect();
+    let mut vectors = vec![(0.0_f32, 0.0_f32); coords.len()];
+    exec.par_chunks_mut(&mut vectors, 1, |bi, v| {
+        let (by, bx) = coords[bi];
+        let bs = block.min(h - by).min(w - bx);
+        let mut best = (0.0_f32, 0.0_f32);
+        // Small bias toward shorter vectors stabilises flat regions.
+        let mut best_cost = sad(cur, reference, by, bx, bs, 0.0, 0.0);
+        for dy in -range..=range {
+            for dx in -range..=range {
+                if dy == 0 && dx == 0 {
+                    continue;
+                }
+                let cost = sad(cur, reference, by, bx, bs, dy as f32, dx as f32)
+                    + 0.02 * (dy.abs() + dx.abs()) as f64;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = (dy as f32, dx as f32);
+                }
+            }
+        }
+        if half_pel {
+            let (cy, cx) = best;
+            for sy in [-0.5_f32, 0.0, 0.5] {
+                for sx in [-0.5_f32, 0.0, 0.5] {
+                    if sy == 0.0 && sx == 0.0 {
                         continue;
                     }
-                    let cost = sad(cur, reference, by, bx, bs, dy as f32, dx as f32)
-                        + 0.02 * (dy.abs() + dx.abs()) as f64;
+                    let cost = sad(cur, reference, by, bx, bs, cy + sy, cx + sx);
                     if cost < best_cost {
                         best_cost = cost;
-                        best = (dy as f32, dx as f32);
+                        best = (cy + sy, cx + sx);
                     }
                 }
             }
-            if half_pel {
-                let (cy, cx) = best;
-                for sy in [-0.5_f32, 0.0, 0.5] {
-                    for sx in [-0.5_f32, 0.0, 0.5] {
-                        if sy == 0.0 && sx == 0.0 {
-                            continue;
-                        }
-                        let cost = sad(cur, reference, by, bx, bs, cy + sy, cx + sx);
-                        if cost < best_cost {
-                            best_cost = cost;
-                            best = (cy + sy, cx + sx);
-                        }
-                    }
-                }
-            }
-            for y in 0..bs {
-                for x in 0..bs {
-                    *field.at_mut(0, 0, by + y, bx + x) = best.0;
-                    *field.at_mut(0, 1, by + y, bx + x) = best.1;
-                }
+        }
+        v[0] = best;
+    });
+    let mut field = Tensor::zeros(Shape::new(1, 2, h, w));
+    for (&(by, bx), &(dy, dx)) in coords.iter().zip(&vectors) {
+        let bs = block.min(h - by).min(w - bx);
+        for y in 0..bs {
+            for x in 0..bs {
+                *field.at_mut(0, 0, by + y, bx + x) = dy;
+                *field.at_mut(0, 1, by + y, bx + x) = dx;
             }
         }
     }

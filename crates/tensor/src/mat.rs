@@ -90,21 +90,25 @@ impl Mat {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Read-only flat row-major buffer.
+    #[inline]
     pub fn as_slice(&self) -> &[f32] {
         &self.data
     }
 
     /// Mutable flat row-major buffer.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
     }
@@ -139,6 +143,9 @@ impl Mat {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Implemented by transposing `rhs` once and dispatching to the
+    /// cache-blocked [`Mat::matmul_transposed`] inner kernel.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::Incompatible`] if the inner dimensions differ.
@@ -149,19 +156,44 @@ impl Mat {
                 self.rows, self.cols, rhs.rows, rhs.cols
             )));
         }
-        let mut out = Mat::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+        self.matmul_transposed(&rhs.transpose())
+    }
+
+    /// Matrix product `self * rhs_tᵀ` where `rhs_t` is already transposed
+    /// (`n × k` for a `k × n` logical right-hand side).
+    ///
+    /// This is the hot inner kernel feeding the Swin attention
+    /// projections: both operands are traversed row-major, every dot
+    /// product runs over two contiguous slices, and output columns are
+    /// visited in cache-sized blocks so the active `rhs_t` rows stay in
+    /// L1 across the `i` loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Incompatible`] if the inner dimensions
+    /// (`self.cols` vs `rhs_t.cols`) differ.
+    pub fn matmul_transposed(&self, rhs_t: &Mat) -> Result<Mat, TensorError> {
+        if self.cols != rhs_t.cols {
+            return Err(TensorError::incompatible(format!(
+                "matmul_transposed {}x{} * ({}x{})^T",
+                self.rows, self.cols, rhs_t.rows, rhs_t.cols
+            )));
+        }
+        let (m, n, k) = (self.rows, rhs_t.rows, self.cols);
+        let mut out = Mat::zeros(m, n);
+        // Column-block size: 32 rows of rhs_t at k ≤ 128 stay within L1.
+        const JB: usize = 32;
+        let mut jb = 0;
+        while jb < n {
+            let jend = (jb + JB).min(n);
+            for i in 0..m {
+                let a_row = &self.data[i * k..][..k];
+                let out_block = &mut out.data[i * n + jb..i * n + jend];
+                for (o, j) in out_block.iter_mut().zip(jb..jend) {
+                    *o = dot(a_row, &rhs_t.data[j * k..][..k]);
                 }
             }
+            jb = jend;
         }
         Ok(out)
     }
@@ -202,20 +234,7 @@ impl Mat {
     /// Softmax applied independently to each row (used by attention).
     pub fn softmax_rows(&self) -> Mat {
         let mut out = self.clone();
-        for r in 0..self.rows {
-            let row = &mut out.data[r * self.cols..(r + 1) * self.cols];
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            if sum > 0.0 {
-                for v in row.iter_mut() {
-                    *v /= sum;
-                }
-            }
-        }
+        softmax_rows_inplace(&mut out.data, self.cols);
         out
     }
 
@@ -235,6 +254,50 @@ impl Mat {
             .zip(&rhs.data)
             .fold(0.0_f32, |m, (&a, &b)| m.max((a - b).abs()))
     }
+}
+
+/// Row-wise softmax over a row-major buffer of `cols`-wide rows, in
+/// place. Each row is max-shifted for stability; a row whose shifted
+/// exponentials sum to zero (possible only for `-inf`/NaN inputs) is
+/// left unnormalized.
+pub fn softmax_rows_inplace(data: &mut [f32], cols: usize) {
+    for row in data.chunks_mut(cols) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// Four-lane unrolled dot product of two equal-length slices. The fixed
+/// lane structure gives a deterministic summation order independent of
+/// the caller's blocking.
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0_f32; 4];
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let rem_a = chunks_a.remainder();
+    let rem_b = chunks_b.remainder();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        lanes[0] += ca[0] * cb[0];
+        lanes[1] += ca[1] * cb[1];
+        lanes[2] += ca[2] * cb[2];
+        lanes[3] += ca[3] * cb[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (&x, &y) in rem_a.iter().zip(rem_b) {
+        acc += x * y;
+    }
+    acc
 }
 
 impl fmt::Display for Mat {
@@ -281,6 +344,25 @@ mod tests {
         let ragged: [&[f32]; 2] = [&[1.0], &[1.0, 2.0]];
         assert!(Mat::from_rows(&ragged).is_err());
         assert!(Mat::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matmul_transposed_matches_matmul() {
+        // Odd sizes exercise the dot-product remainder lanes and the
+        // column blocking together.
+        let mut a = Mat::zeros(7, 13);
+        let mut b = Mat::zeros(13, 37);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 7919) % 23) as f32 * 0.25 - 2.0;
+        }
+        for (i, v) in b.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 104_729) % 19) as f32 * 0.5 - 4.0;
+        }
+        let via_t = a.matmul_transposed(&b.transpose()).unwrap();
+        assert_eq!(a.matmul(&b).unwrap(), via_t);
+        assert_eq!(via_t.rows(), 7);
+        assert_eq!(via_t.cols(), 37);
+        assert!(a.matmul_transposed(&Mat::zeros(4, 5)).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use crate::init::{he_std, Gaussian};
 use crate::{Shape, Tensor, TensorError};
+use nvc_core::ExecCtx;
 
 /// 2-D convolution with square kernel, symmetric zero padding and uniform
 /// stride — the workhorse of CTVC-Net (`Conv(N, k, s)` in paper Fig. 2).
@@ -190,13 +191,25 @@ impl Conv2d {
         )
     }
 
-    /// Runs the convolution.
+    /// Runs the convolution single-threaded.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::Incompatible`] if the input channel count is
     /// not `c_in` or the padded input is smaller than the kernel.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        self.forward_ctx(input, &ExecCtx::serial())
+    }
+
+    /// Runs the convolution, fanning output channels across `ctx`'s worker
+    /// pool. Each output plane is computed independently with a fixed
+    /// accumulation order (`c_in` ascending, then kernel taps row-major),
+    /// so the result is bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Conv2d::forward`].
+    pub fn forward_ctx(&self, input: &Tensor, ctx: &ExecCtx) -> Result<Tensor, TensorError> {
         let (n, c, h, w) = input.shape().dims();
         if c != self.c_in {
             return Err(TensorError::incompatible(format!(
@@ -214,49 +227,81 @@ impl Conv2d {
         let out_shape = Shape::new(n, self.c_out, oh, ow);
         let mut out = Tensor::zeros(out_shape);
         let in_data = input.as_slice();
-        let in_shape = input.shape();
-        let pad = self.padding as isize;
+        ctx.par_chunks_mut(out.as_mut_slice(), oh * ow, |plane_idx, out_plane| {
+            let nn = plane_idx / self.c_out;
+            let co = plane_idx % self.c_out;
+            let in_planes = &in_data[nn * self.c_in * h * w..][..self.c_in * h * w];
+            self.forward_plane(in_planes, h, w, co, oh, ow, out_plane);
+        });
+        Ok(out)
+    }
 
-        for nn in 0..n {
-            for co in 0..self.c_out {
-                let bias = self.bias[co];
-                let out_base = out_shape.index(nn, co, 0, 0);
-                {
-                    let out_plane = &mut out.as_mut_slice()[out_base..out_base + oh * ow];
-                    out_plane.iter_mut().for_each(|v| *v = bias);
+    /// Computes one output-channel plane. Row interiors run over
+    /// pre-clipped slice windows, so the inner loop carries no bounds or
+    /// padding checks.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_plane(
+        &self,
+        in_planes: &[f32],
+        h: usize,
+        w: usize,
+        co: usize,
+        oh: usize,
+        ow: usize,
+        out_plane: &mut [f32],
+    ) {
+        out_plane.fill(self.bias[co]);
+        let s = self.stride;
+        let pad = self.padding as isize;
+        for ci in 0..self.c_in {
+            let in_plane = &in_planes[ci * h * w..][..h * w];
+            let kernel = self.kernel_slice(co, ci);
+            for (ki, &kv) in kernel.iter().enumerate() {
+                if kv == 0.0 {
+                    continue;
                 }
-                for ci in 0..self.c_in {
-                    let kernel = self.kernel_slice(co, ci);
-                    let in_base = in_shape.index(nn, ci, 0, 0);
-                    let in_plane = &in_data[in_base..in_base + h * w];
-                    for oy in 0..oh {
-                        let iy0 = (oy * self.stride) as isize - pad;
-                        for (ki, kv) in kernel.iter().enumerate() {
-                            if *kv == 0.0 {
-                                continue;
-                            }
-                            let kh = (ki / self.k) as isize;
-                            let kw = (ki % self.k) as isize;
-                            let iy = iy0 + kh;
-                            if iy < 0 || iy as usize >= h {
-                                continue;
-                            }
-                            let in_row = &in_plane[iy as usize * w..(iy as usize + 1) * w];
-                            let out_row_base = out_base + oy * ow;
-                            let out_data = out.as_mut_slice();
-                            for ox in 0..ow {
-                                let ix = (ox * self.stride) as isize - pad + kw;
-                                if ix < 0 || ix as usize >= w {
-                                    continue;
-                                }
-                                out_data[out_row_base + ox] += kv * in_row[ix as usize];
-                            }
+                let kh = (ki / self.k) as isize;
+                let kw = (ki % self.k) as isize;
+                let shift = kw - pad; // ix = ox·s + shift
+                let ox_min = if shift >= 0 {
+                    0
+                } else {
+                    ((-shift) as usize).div_ceil(s)
+                };
+                let lim = w as isize - shift; // need ox·s < lim
+                if lim <= 0 {
+                    continue;
+                }
+                let ox_end = ((lim as usize - 1) / s + 1).min(ow);
+                if ox_min >= ox_end {
+                    continue;
+                }
+                for oy in 0..oh {
+                    let iy = (oy * s) as isize - pad + kh;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    let in_row = &in_plane[iy as usize * w..][..w];
+                    let out_row = &mut out_plane[oy * ow..][..ow];
+                    if s == 1 {
+                        let ix0 = (ox_min as isize + shift) as usize;
+                        let count = ox_end - ox_min;
+                        for (o, &v) in out_row[ox_min..ox_end]
+                            .iter_mut()
+                            .zip(&in_row[ix0..ix0 + count])
+                        {
+                            *o += kv * v;
+                        }
+                    } else {
+                        let mut ix = ((ox_min * s) as isize + shift) as usize;
+                        for o in out_row[ox_min..ox_end].iter_mut() {
+                            *o += kv * in_row[ix];
+                            ix += s;
                         }
                     }
                 }
             }
         }
-        Ok(out)
     }
 
     /// Number of multiply–accumulate operations for an `h × w` input, used

@@ -1,5 +1,6 @@
 use crate::init::{he_std, Gaussian};
 use crate::{Shape, Tensor, TensorError};
+use nvc_core::ExecCtx;
 
 /// 2-D transposed convolution ("deconvolution", `DeConv(N, k, s)` in paper
 /// Fig. 2), implemented as input-driven scatter-accumulate.
@@ -193,13 +194,26 @@ impl DeConv2d {
         )
     }
 
-    /// Runs the transposed convolution.
+    /// Runs the transposed convolution single-threaded.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::Incompatible`] if the input channel count
     /// differs from `c_in` or the input is empty.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        self.forward_ctx(input, &ExecCtx::serial())
+    }
+
+    /// Runs the transposed convolution, fanning output channels across
+    /// `ctx`'s worker pool. Each output plane accumulates its scattered
+    /// contributions in a fixed order (`c_in` ascending, then input pixels
+    /// row-major, then kernel taps), so the result is bit-identical for
+    /// every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeConv2d::forward`].
+    pub fn forward_ctx(&self, input: &Tensor, ctx: &ExecCtx) -> Result<Tensor, TensorError> {
         let (n, c, h, w) = input.shape().dims();
         if c != self.c_in {
             return Err(TensorError::incompatible(format!(
@@ -213,55 +227,47 @@ impl DeConv2d {
         let (oh, ow) = self.output_hw(h, w);
         let out_shape = Shape::new(n, self.c_out, oh, ow);
         let mut out = Tensor::zeros(out_shape);
-
-        // Initialise biases.
-        for nn in 0..n {
-            for co in 0..self.c_out {
-                let base = out_shape.index(nn, co, 0, 0);
-                let bias = self.bias[co];
-                out.as_mut_slice()[base..base + oh * ow]
-                    .iter_mut()
-                    .for_each(|v| *v = bias);
-            }
-        }
-
+        let in_data = input.as_slice();
         let pad = self.padding as isize;
-        let in_shape = input.shape();
-        for nn in 0..n {
+        let s = self.stride;
+        let k = self.k;
+        ctx.par_chunks_mut(out.as_mut_slice(), oh * ow, |plane_idx, out_plane| {
+            let nn = plane_idx / self.c_out;
+            let co = plane_idx % self.c_out;
+            out_plane.fill(self.bias[co]);
             for ci in 0..self.c_in {
-                let in_base = in_shape.index(nn, ci, 0, 0);
-                let in_plane = &input.as_slice()[in_base..in_base + h * w];
-                for co in 0..self.c_out {
-                    let kernel = self.kernel_slice(ci, co);
-                    let out_base = out_shape.index(nn, co, 0, 0);
-                    for iy in 0..h {
-                        for ix in 0..w {
-                            let x = in_plane[iy * w + ix];
-                            if x == 0.0 {
+                let in_plane = &in_data[(nn * self.c_in + ci) * h * w..][..h * w];
+                let kernel = self.kernel_slice(ci, co);
+                for iy in 0..h {
+                    let oy0 = (iy * s) as isize - pad;
+                    let in_row = &in_plane[iy * w..][..w];
+                    for (ix, &x) in in_row.iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let ox0 = (ix * s) as isize - pad;
+                        let kw_min = if ox0 >= 0 { 0 } else { (-ox0) as usize };
+                        let kw_max = ((ow as isize - ox0).max(0) as usize).min(k);
+                        if kw_min >= kw_max {
+                            continue;
+                        }
+                        let obase = (ox0 + kw_min as isize) as usize;
+                        for kh in 0..k {
+                            let oy = oy0 + kh as isize;
+                            if oy < 0 || oy as usize >= oh {
                                 continue;
                             }
-                            let oy0 = (iy * self.stride) as isize - pad;
-                            let ox0 = (ix * self.stride) as isize - pad;
-                            for kh in 0..self.k {
-                                let oy = oy0 + kh as isize;
-                                if oy < 0 || oy as usize >= oh {
-                                    continue;
-                                }
-                                let row = out_base + oy as usize * ow;
-                                let out_data = out.as_mut_slice();
-                                for kw in 0..self.k {
-                                    let ox = ox0 + kw as isize;
-                                    if ox < 0 || ox as usize >= ow {
-                                        continue;
-                                    }
-                                    out_data[row + ox as usize] += x * kernel[kh * self.k + kw];
-                                }
+                            let out_row =
+                                &mut out_plane[oy as usize * ow + obase..][..kw_max - kw_min];
+                            let k_row = &kernel[kh * k + kw_min..kh * k + kw_max];
+                            for (o, &kv) in out_row.iter_mut().zip(k_row) {
+                                *o += x * kv;
                             }
                         }
                     }
                 }
             }
-        }
+        });
         Ok(out)
     }
 

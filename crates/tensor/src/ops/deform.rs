@@ -1,5 +1,6 @@
 use crate::init::{he_std, Gaussian};
 use crate::{Shape, Tensor, TensorError};
+use nvc_core::ExecCtx;
 
 /// Deformable convolution v1 (`DfConv(N, k, s, G)` in paper Fig. 2(d)).
 ///
@@ -118,7 +119,7 @@ impl DeformConv2d {
         2 * self.groups * self.k * self.k
     }
 
-    /// Runs the deformable convolution.
+    /// Runs the deformable convolution single-threaded.
     ///
     /// `offsets` must have [`offset_channels`](Self::offset_channels)
     /// channels and the same spatial size as `input` (stride is 1, padding
@@ -129,6 +130,26 @@ impl DeformConv2d {
     /// Returns [`TensorError::Incompatible`] on channel or spatial-size
     /// mismatch.
     pub fn forward(&self, input: &Tensor, offsets: &Tensor) -> Result<Tensor, TensorError> {
+        self.forward_ctx(input, offsets, &ExecCtx::serial())
+    }
+
+    /// Runs the deformable convolution, fanning output rows across
+    /// `exec`'s worker pool. Each row stages `[co][ox]` results in its own
+    /// chunk (bilinear samples computed once per pixel, shared across
+    /// output channels); the reduction skips the structurally zero taps
+    /// of the warping kernels, which for the codec's Dirac-style
+    /// compensation kernels removes almost the entire dot product.
+    /// Results are bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeformConv2d::forward`].
+    pub fn forward_ctx(
+        &self,
+        input: &Tensor,
+        offsets: &Tensor,
+        exec: &ExecCtx,
+    ) -> Result<Tensor, TensorError> {
         let (n, c, h, w) = input.shape().dims();
         if c != self.c_in {
             return Err(TensorError::incompatible(format!(
@@ -152,12 +173,29 @@ impl DeformConv2d {
         let kk = self.k * self.k;
         let pad = self.padding as f32;
 
+        // Non-zero taps per output channel, in ascending index order (so
+        // the pruned dot product accumulates in the same order as the
+        // dense one, minus exact-zero terms).
+        let nz: Vec<Vec<(u32, f32)>> = (0..self.c_out)
+            .map(|co| {
+                let wbase = co * self.c_in * kk;
+                self.weight[wbase..wbase + self.c_in * kk]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect()
+            })
+            .collect();
+
         for nn in 0..n {
-            for oy in 0..out_h {
+            // Staging layout: [oy][co][ox], one chunk per output row.
+            let mut rows = exec.scratch().take(out_h * self.c_out * out_w);
+            exec.par_chunks_mut(&mut rows, self.c_out * out_w, |oy, row| {
+                let mut sampled = vec![0.0_f32; self.c_in * kk];
                 for ox in 0..out_w {
-                    // Pre-sample the deformed input patch once per (oy, ox):
+                    // Pre-sample the deformed patch once per (oy, ox):
                     // sampled[ci][tap].
-                    let mut sampled = vec![0.0_f32; self.c_in * kk];
                     for g in 0..self.groups {
                         for tap in 0..kk {
                             let kh = (tap / self.k) as f32;
@@ -172,19 +210,25 @@ impl DeformConv2d {
                             }
                         }
                     }
-                    for co in 0..self.c_out {
+                    for (co, taps) in nz.iter().enumerate() {
                         let mut acc = self.bias[co];
-                        let wbase = co * self.c_in * kk;
-                        for (s, wv) in sampled
-                            .iter()
-                            .zip(&self.weight[wbase..wbase + self.c_in * kk])
-                        {
-                            acc += s * wv;
+                        for &(i, wv) in taps {
+                            acc += sampled[i as usize] * wv;
                         }
-                        *out.at_mut(nn, co, oy, ox) = acc;
+                        row[co * out_w + ox] = acc;
                     }
                 }
+            });
+            // Scatter staged rows into NCHW.
+            let out_data = out.as_mut_slice();
+            for oy in 0..out_h {
+                let row = &rows[oy * self.c_out * out_w..][..self.c_out * out_w];
+                for co in 0..self.c_out {
+                    let dst = ((nn * self.c_out + co) * out_h + oy) * out_w;
+                    out_data[dst..dst + out_w].copy_from_slice(&row[co * out_w..][..out_w]);
+                }
             }
+            exec.scratch().put(rows);
         }
         Ok(out)
     }

@@ -73,14 +73,19 @@ impl Linear {
 
     /// Applies the layer to a token matrix (`tokens × in`).
     ///
+    /// The stored `out × in` weight layout is already the transposed
+    /// right-hand side `matmul_transposed` wants, so no per-call
+    /// transpose is materialized.
+    ///
     /// # Errors
     ///
     /// Returns an error if `x.cols() != in_features`.
     pub fn forward(&self, x: &Mat) -> Result<Mat, TensorError> {
-        let mut y = x.matmul(&self.weight.transpose())?;
-        for r in 0..y.rows() {
-            for c in 0..y.cols() {
-                *y.at_mut(r, c) += self.bias[c];
+        let mut y = x.matmul_transposed(&self.weight)?;
+        let cols = y.cols();
+        for row in y.as_mut_slice().chunks_exact_mut(cols) {
+            for (v, &b) in row.iter_mut().zip(&self.bias) {
+                *v += b;
             }
         }
         Ok(y)

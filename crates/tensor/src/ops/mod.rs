@@ -2,9 +2,12 @@
 //!
 //! Every operator validates its configuration at construction time and its
 //! input shape at `forward` time, returning [`TensorError`](crate::TensorError)
-//! on mismatch. All operators are deterministic and single-threaded; the
-//! hardware simulator reasons about their cost analytically, so the software
-//! implementations favour clarity over micro-optimisation.
+//! on mismatch. All operators are deterministic: `forward` runs serially,
+//! `forward_ctx` fans disjoint output regions (channel planes, rows)
+//! across an [`nvc_core::ExecCtx`] worker pool while keeping every
+//! accumulation's summation order fixed, so both paths are bit-identical
+//! for every worker count. The hardware simulator reasons about operator
+//! cost analytically and is unaffected by the software execution strategy.
 
 mod conv;
 mod deconv;

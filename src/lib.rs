@@ -4,6 +4,7 @@
 //! a single dependency. See the individual crates for the real APIs.
 
 pub use nvc_baseline as baseline;
+pub use nvc_core as exec;
 pub use nvc_entropy as entropy;
 pub use nvc_fastalg as fastalg;
 pub use nvc_model as model;

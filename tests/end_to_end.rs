@@ -118,6 +118,39 @@ fn streamed_packets_drive_the_simulator() {
     assert!(rep.frames[0].report.total_cycles < rep.frames[1].report.total_cycles);
 }
 
+/// The worker-pool execution engine is bit-exact across thread counts
+/// for **both codec families**: same packets, same reconstructions.
+#[test]
+fn parallel_execution_is_bit_exact_for_both_codec_families() {
+    let seq = Synthesizer::new(SceneConfig::uvg_like(48, 32, 3)).generate();
+
+    // Learned codec: serial vs 4-thread sessions.
+    let serial = CtvcCodec::new(CtvcConfig::ctvc_sparse(8).with_threads(1)).unwrap();
+    let parallel = CtvcCodec::new(CtvcConfig::ctvc_sparse(8).with_threads(4)).unwrap();
+    let cs = serial.encode(&seq, RatePoint::new(1)).unwrap();
+    let cp = parallel.encode(&seq, RatePoint::new(1)).unwrap();
+    assert_eq!(cs.bitstream, cp.bitstream, "CTVC packets diverged");
+    for (a, b) in cs.decoded.frames().iter().zip(cp.decoded.frames()) {
+        assert_eq!(a.tensor().as_slice(), b.tensor().as_slice());
+    }
+    let ds = serial.decode(&cp.bitstream).unwrap();
+    let dp = parallel.decode(&cs.bitstream).unwrap();
+    for (a, b) in ds.frames().iter().zip(dp.frames()) {
+        assert_eq!(a.tensor().as_slice(), b.tensor().as_slice());
+    }
+
+    // Classical codec: parallel motion estimation must produce the same
+    // decisions, hence the same bitstream.
+    let hs = HybridCodec::with_threads(Profile::hevc_like(), 1);
+    let hp = HybridCodec::with_threads(Profile::hevc_like(), 4);
+    let cs = hs.encode(&seq, 24).unwrap();
+    let cp = hp.encode(&seq, 24).unwrap();
+    assert_eq!(cs.bitstream, cp.bitstream, "hybrid packets diverged");
+    for (a, b) in cs.decoded.frames().iter().zip(cp.decoded.frames()) {
+        assert_eq!(a.tensor().as_slice(), b.tensor().as_slice());
+    }
+}
+
 /// Bitstreams are portable across codec instances built from the same
 /// configuration (decoder state is reconstructed, not shared).
 #[test]
