@@ -1,5 +1,11 @@
 //! Ablation **E6**: sparsity ρ sweep — RD impact of transform-domain
 //! pruning vs the SCU multiplier budget and simulated throughput.
+//!
+//! `--quick` runs the CI guard instead: it times the dense and the
+//! ρ = 50 % pruned fast operators on the real executor and exits
+//! non-zero unless the sparse path is measurably *faster* (> 1.0×).
+//! This is what keeps the dense-padded-buffer detour — where pruning
+//! bought storage but zero compute — from silently coming back.
 
 use nvc_bench::{BENCH_FRAMES, BENCH_H, BENCH_N, BENCH_W};
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
@@ -8,7 +14,76 @@ use nvc_video::metrics::psnr_sequence;
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
 use nvca::Nvca;
 
+/// Best-of-`reps` wall time of `f`, in seconds (one untimed warmup).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// CI guard: compressed-kernel execution must beat dense execution.
+fn quick_guard() {
+    use nvc_fastalg::{FastConv2d, FastDeConv2d, Sparsity};
+    use nvc_tensor::ops::{Conv2d, DeConv2d};
+    use nvc_tensor::{Shape, Tensor};
+
+    let n_ch = 24;
+    let (h, w) = (48, 48);
+    let x = Tensor::from_fn(Shape::new(1, n_ch, h, w), |_, c, y, xx| {
+        0.3 * ((c as f32 * 0.7 + y as f32 * 0.29 + xx as f32 * 0.13).sin())
+    });
+    let rho = Sparsity::new(0.5).unwrap();
+
+    let conv = Conv2d::randn(n_ch, n_ch, 3, 1, 1, 7).unwrap();
+    let dense = FastConv2d::from_conv(&conv).unwrap();
+    let sparse = FastConv2d::from_conv_pruned(&conv, rho).unwrap();
+    let t_dense = best_of(3, || {
+        dense.forward(&x).unwrap();
+    });
+    let t_sparse = best_of(3, || {
+        sparse.forward(&x).unwrap();
+    });
+    let conv_speedup = t_dense / t_sparse;
+
+    let deconv = DeConv2d::randn(n_ch, n_ch, 4, 2, 1, 9).unwrap();
+    let de_dense = FastDeConv2d::from_deconv(&deconv).unwrap();
+    let de_sparse = FastDeConv2d::from_deconv_pruned(&deconv, rho).unwrap();
+    let t_de_dense = best_of(3, || {
+        de_dense.forward(&x).unwrap();
+    });
+    let t_de_sparse = best_of(3, || {
+        de_sparse.forward(&x).unwrap();
+    });
+    let deconv_speedup = t_de_dense / t_de_sparse;
+
+    println!(
+        "ablation_sparsity --quick: fastconv rho=0.5 speedup {conv_speedup:.2}x \
+         ({:.2} -> {:.2} ms), fastdeconv {deconv_speedup:.2}x ({:.2} -> {:.2} ms)",
+        t_dense * 1e3,
+        t_sparse * 1e3,
+        t_de_dense * 1e3,
+        t_de_sparse * 1e3
+    );
+    if conv_speedup <= 1.0 || deconv_speedup <= 1.0 {
+        eprintln!(
+            "FAIL: pruned execution is not faster than dense — the sparse \
+             path has regressed to dense-equivalent work"
+        );
+        std::process::exit(1);
+    }
+    println!("sparse execution pays: pruning cuts wall time, not just stored weights");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_guard();
+        return;
+    }
     println!("=== Ablation: sparsity rho sweep (paper operates at rho = 50%) ===\n");
     let seq = Synthesizer::new(SceneConfig::uvg_like(BENCH_W, BENCH_H, BENCH_FRAMES)).generate();
     println!(

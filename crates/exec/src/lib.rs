@@ -12,6 +12,16 @@
 //!   and the same accumulation order regardless of the worker count, so
 //!   results are **bit-identical** for `threads = 1, 2, …, max` by
 //!   construction.
+//! * [`ExecCtx::par_chunks_mut_gated`] adds per-shape work-size gating on
+//!   top: callers pass an estimate of the call's arithmetic work, and
+//!   below [`PAR_MIN_WORK`] the fan-out is skipped entirely — spawning
+//!   scoped workers costs tens of microseconds, which dwarfs the compute
+//!   of a small decode-side plane. Gating never changes results (serial
+//!   and parallel execution are bit-identical by construction).
+//! * [`ExecCtx::join`] runs two independent computations on two workers —
+//!   the coarse grain the codec uses to overlap whole module invocations
+//!   (motion-compensation branch ∥ residual-synthesis branch) instead of
+//!   relying on row/tile fan-out alone.
 //! * [`ScratchPool`] lends reusable `Vec<f32>` buffers (transform-domain
 //!   tile stores, per-layer staging) so steady-state forward passes stay
 //!   allocation-free across calls.
@@ -40,6 +50,13 @@
 
 use std::fmt;
 use std::sync::Mutex;
+
+/// Minimum arithmetic work (multiply–accumulates, or comparable scalar
+/// ops) a [`ExecCtx::par_chunks_mut_gated`] call must carry before the
+/// worker fan-out pays for itself. Spawning + joining scoped threads
+/// costs tens of microseconds; below this threshold a small layer (the
+/// decode-side latent planes especially) finishes faster serially.
+pub const PAR_MIN_WORK: u64 = 1 << 18;
 
 /// Upper bound on cached scratch buffers, to keep the pool from hoarding
 /// memory when layers of very different sizes alternate.
@@ -219,6 +236,65 @@ impl ExecCtx {
             }
         });
     }
+
+    /// [`ExecCtx::par_chunks_mut`] with per-shape work-size gating: `work`
+    /// estimates the call's total arithmetic (multiply–accumulates or
+    /// comparable); below [`PAR_MIN_WORK`] the chunks run serially on the
+    /// calling thread instead of fanning out, because worker spawn/join
+    /// overhead exceeds the compute. Results are bit-identical either way,
+    /// so gating is purely a latency decision.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ExecCtx::par_chunks_mut`].
+    pub fn par_chunks_mut_gated<T, F>(&self, data: &mut [T], chunk_len: usize, work: u64, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be non-zero");
+        if self.threads <= 1 || work < PAR_MIN_WORK {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        self.par_chunks_mut(data, chunk_len, f);
+    }
+
+    /// Runs two independent computations, on two workers when the context
+    /// has them (`b` on a scoped thread, `a` on the calling thread),
+    /// serially otherwise. This is the codec's coarse parallel grain:
+    /// whole module invocations (e.g. the motion-compensation branch and
+    /// the residual-synthesis branch of a P frame) overlap instead of
+    /// relying on per-layer row/tile fan-out alone.
+    ///
+    /// Both closures compute independent values, so the results are
+    /// identical for every worker count by construction.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from either closure.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            return (a(), b());
+        }
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(b);
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        })
+    }
 }
 
 impl Default for ExecCtx {
@@ -340,5 +416,61 @@ mod tests {
     fn zero_chunk_len_panics() {
         let mut data = vec![0.0_f32; 4];
         ExecCtx::serial().par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn gated_execution_matches_ungated() {
+        let reference = run_chunks(&ExecCtx::serial(), 103, 10);
+        for work in [0, PAR_MIN_WORK - 1, PAR_MIN_WORK, u64::MAX] {
+            let ctx = ExecCtx::with_threads(4);
+            let mut data = vec![-1.0_f32; 103];
+            ctx.par_chunks_mut_gated(&mut data, 10, work, |idx, c| {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = (idx * 1000 + i) as f32;
+                }
+            });
+            assert_eq!(data, reference, "work={work}");
+        }
+    }
+
+    #[test]
+    fn small_work_stays_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let mut data = vec![0u8; 64];
+        ExecCtx::with_threads(8).par_chunks_mut_gated(&mut data, 4, PAR_MIN_WORK - 1, |_, _| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "gated call must not fan out"
+            );
+        });
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        for threads in [1, 2, 4] {
+            let ctx = ExecCtx::with_threads(threads);
+            let (a, b) = ctx.join(|| 2 + 2, || "ok".to_string());
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn join_overlaps_on_multiple_workers() {
+        let ctx = ExecCtx::with_threads(2);
+        let caller = std::thread::current().id();
+        let (ta, tb) = ctx.join(
+            || std::thread::current().id(),
+            || std::thread::current().id(),
+        );
+        assert_eq!(ta, caller, "closure a runs on the calling thread");
+        assert_ne!(tb, caller, "closure b runs on a scoped worker");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn join_propagates_worker_panics() {
+        ExecCtx::with_threads(2).join(|| (), || panic!("boom"));
     }
 }

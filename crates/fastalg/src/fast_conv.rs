@@ -1,4 +1,4 @@
-use crate::sparse::{prune, SparseKernel, Sparsity};
+use crate::sparse::{pack_co_streams, prune, CoStream, SparseKernel, Sparsity};
 use crate::tile_exec::{forward_tiled, TileProblem};
 use crate::transforms::{winograd_f2x2_3x3, TransformPair};
 use nvc_core::ExecCtx;
@@ -34,6 +34,10 @@ pub struct FastConv2d {
     transform: TransformPair,
     /// Compressed transform-domain kernels, indexed `[co * c_in + ci]`.
     kernels: Vec<SparseKernel>,
+    /// Packed per-output-channel reduction streams, built once at
+    /// construction when any kernel is pruned (the grouped compressed
+    /// executor consumes these; `None` selects the dense path).
+    streams: Option<Vec<CoStream>>,
     bias: Vec<f32>,
     c_out: usize,
     c_in: usize,
@@ -81,9 +85,14 @@ impl FastConv2d {
                 kernels.push(SparseKernel::from_dense(&masked)?);
             }
         }
+        let streams = kernels
+            .iter()
+            .any(|k| !k.is_dense())
+            .then(|| pack_co_streams(&kernels, conv.c_in()));
         Ok(FastConv2d {
             transform,
             kernels,
+            streams,
             bias: conv.bias().to_vec(),
             c_out: conv.c_out(),
             c_in: conv.c_in(),
@@ -155,7 +164,11 @@ impl FastConv2d {
     /// (see [`crate::tile_exec`]'s module docs in the source): input
     /// transforms fan out over tiles, channel reduction + inverse
     /// transforms fan out over output planes, and the hot loops are
-    /// allocation-free. Results are bit-identical for every worker count.
+    /// allocation-free. Pruned kernels execute in compressed
+    /// `(value, index)` form — the reduction iterates only the kept
+    /// transform-domain coefficients, lane-grouped across tiles so it
+    /// still vectorizes — so sparsity ρ cuts the reduction work by ρ.
+    /// Results are bit-identical for every worker count.
     ///
     /// # Errors
     ///
@@ -172,6 +185,7 @@ impl FastConv2d {
             &TileProblem {
                 transform: &self.transform,
                 kernels: &self.kernels,
+                streams: self.streams.as_deref(),
                 bias: &self.bias,
                 c_in: self.c_in,
                 c_out: self.c_out,

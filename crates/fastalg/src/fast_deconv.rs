@@ -1,4 +1,4 @@
-use crate::sparse::{prune, SparseKernel, Sparsity};
+use crate::sparse::{pack_co_streams, prune, CoStream, SparseKernel, Sparsity};
 use crate::tile_exec::{forward_tiled, TileProblem};
 use crate::transforms::{fta_t3_6x6_4x4, TransformPair};
 use nvc_core::ExecCtx;
@@ -34,6 +34,9 @@ pub struct FastDeConv2d {
     transform: TransformPair,
     /// Compressed transform-domain kernels, indexed `[co * c_in + ci]`.
     kernels: Vec<SparseKernel>,
+    /// Packed per-output-channel reduction streams (`Some` iff any
+    /// kernel is pruned; selects the grouped compressed executor).
+    streams: Option<Vec<CoStream>>,
     bias: Vec<f32>,
     c_out: usize,
     c_in: usize,
@@ -80,9 +83,14 @@ impl FastDeConv2d {
                 kernels.push(SparseKernel::from_dense(&masked)?);
             }
         }
+        let streams = kernels
+            .iter()
+            .any(|k| !k.is_dense())
+            .then(|| pack_co_streams(&kernels, deconv.c_in()));
         Ok(FastDeConv2d {
             transform,
             kernels,
+            streams,
             bias: deconv.bias().to_vec(),
             c_out: deconv.c_out(),
             c_in: deconv.c_in(),
@@ -150,7 +158,8 @@ impl FastDeConv2d {
     }
 
     /// Runs the fast deconvolution through the two-phase tiled executor
-    /// (tiles, then output planes; allocation-free hot loops — see
+    /// (tiles, then output planes; allocation-free hot loops; pruned
+    /// kernels consumed in compressed `(value, index)` form — see
     /// [`FastConv2d::forward_ctx`](crate::FastConv2d::forward_ctx)).
     /// Results are bit-identical for every worker count.
     ///
@@ -169,6 +178,7 @@ impl FastDeConv2d {
             &TileProblem {
                 transform: &self.transform,
                 kernels: &self.kernels,
+                streams: self.streams.as_deref(),
                 bias: &self.bias,
                 c_in: self.c_in,
                 c_out: self.c_out,

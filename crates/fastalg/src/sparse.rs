@@ -57,7 +57,11 @@ impl Default for Sparsity {
 }
 
 /// A pruned transform-domain kernel in compressed (value, index) form —
-/// what the paper's Weight Buffer and Index Buffer hold.
+/// what the paper's Weight Buffer and Index Buffer hold, and what the
+/// software executor consumes directly (the tiled executor's grouped
+/// sparse kernel iterates exactly these pairs; see
+/// `crate::tile_exec`). There is no dense execution copy: pruning a
+/// kernel shrinks both its storage and its per-tile work.
 ///
 /// Indices address the flattened `µ × µ` transform-domain tile in row-major
 /// order and are strictly increasing.
@@ -66,14 +70,6 @@ pub struct SparseKernel {
     mu: usize,
     values: Vec<f32>,
     indices: Vec<u16>,
-    /// Dense µ² execution buffer (zeros at pruned positions). The
-    /// compressed `(values, indices)` pair is what the Weight/Index
-    /// Buffers of the SCU hold and what the cost model counts; software
-    /// execution runs the padded buffer instead because a contiguous
-    /// multiply-accumulate vectorizes where an 8-element indexed gather
-    /// cannot. Both produce the same sums (pruned positions contribute
-    /// `+0.0`).
-    exec: Vec<f32>,
 }
 
 impl SparseKernel {
@@ -103,7 +99,6 @@ impl SparseKernel {
             mu,
             values,
             indices,
-            exec: e.as_slice().to_vec(),
         })
     }
 
@@ -136,12 +131,22 @@ impl SparseKernel {
         m
     }
 
+    /// Whether every transform-domain position is populated. Fully dense
+    /// kernels execute through a contiguous multiply–accumulate (their
+    /// indices are exactly `0..µ²`); pruned kernels go through the
+    /// compressed `(value, index)` iteration.
+    pub fn is_dense(&self) -> bool {
+        self.values.len() == self.mu * self.mu
+    }
+
     /// Hadamard-accumulate: `acc[idx] += value · y[idx]` for every stored
     /// non-zero, where `y` is the flattened transform-domain input tile —
     /// the SCU inner loop ("non-zero element selector" feeding the
-    /// multipliers). Executes over the dense padded buffer (see the
-    /// `exec` field) so the loop vectorizes; pruned positions contribute
-    /// `+0.0` and the sums equal the indexed formulation exactly.
+    /// multipliers). Consumes the compressed `(value, index)` form
+    /// directly: pruned positions are skipped, not multiplied by zero, so
+    /// the work per tile is `nnz`, not `µ²`. Skipping cannot change the
+    /// sums: a zero contribution adds exactly `+0.0`, and an IEEE-754
+    /// accumulator seeded with `+0.0` is unaffected by adding `±0.0`.
     ///
     /// # Panics
     ///
@@ -150,10 +155,73 @@ impl SparseKernel {
     pub fn hadamard_accumulate(&self, y: &[f32], acc: &mut [f32]) {
         let mu2 = self.mu * self.mu;
         assert!(y.len() >= mu2 && acc.len() >= mu2);
-        for ((a, &v), &yv) in acc[..mu2].iter_mut().zip(&self.exec).zip(&y[..mu2]) {
-            *a += v * yv;
+        if self.is_dense() {
+            // Contiguous fast path for unpruned kernels.
+            for ((a, &v), &yv) in acc[..mu2].iter_mut().zip(&self.values).zip(&y[..mu2]) {
+                *a += v * yv;
+            }
+            return;
+        }
+        for (&v, &i) in self.values.iter().zip(&self.indices) {
+            acc[i as usize] += v * y[i as usize];
         }
     }
+}
+
+/// One output channel's packed compressed-reduction stream for the
+/// grouped tiled executor, in coefficient-major CSR form: for every
+/// transform-domain coefficient `j`, the `(input channel, value)` pairs
+/// of the kernels that kept `j`, with `ci` ascending inside each row.
+///
+/// Grouping per output channel (and walking coefficients outermost)
+/// keeps the summation order of every output element fixed —
+/// contributions still arrive in ascending `c_in`, one per kept
+/// coefficient — while letting the executor hold coefficient `j`'s
+/// accumulator lanes in registers across the whole channel reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CoStream {
+    /// CSR row starts, one per coefficient plus the end (`µ² + 1`).
+    pub starts: Vec<u32>,
+    /// Kept transform-domain weights, coefficient-major.
+    pub values: Vec<f32>,
+    /// Input-channel index per value.
+    pub ci: Vec<u16>,
+}
+
+/// Packs the kernels of a `[co][ci]`-indexed kernel table into one
+/// [`CoStream`] per output channel (see its docs for the ordering
+/// guarantee).
+pub(crate) fn pack_co_streams(kernels: &[SparseKernel], c_in: usize) -> Vec<CoStream> {
+    debug_assert!(c_in > 0 && kernels.len().is_multiple_of(c_in));
+    let mu2 = kernels.first().map_or(0, |k| k.mu * k.mu);
+    kernels
+        .chunks(c_in)
+        .map(|row| {
+            // Bucket each kernel's non-zeros by coefficient; the ci loop
+            // is outermost, so every bucket ends up ci-ascending.
+            let mut buckets: Vec<Vec<(u16, f32)>> = vec![Vec::new(); mu2];
+            for (ci, k) in row.iter().enumerate() {
+                for (&v, &i) in k.values.iter().zip(&k.indices) {
+                    buckets[i as usize].push((ci as u16, v));
+                }
+            }
+            let nnz: usize = buckets.iter().map(Vec::len).sum();
+            let mut stream = CoStream {
+                starts: Vec::with_capacity(mu2 + 1),
+                values: Vec::with_capacity(nnz),
+                ci: Vec::with_capacity(nnz),
+            };
+            stream.starts.push(0);
+            for bucket in &buckets {
+                for &(ci, v) in bucket {
+                    stream.ci.push(ci);
+                    stream.values.push(v);
+                }
+                stream.starts.push(stream.values.len() as u32);
+            }
+            stream
+        })
+        .collect()
 }
 
 /// Outcome of pruning one kernel: the masked dense kernel plus bookkeeping.
@@ -328,6 +396,58 @@ mod tests {
         for (a, b) in acc.iter().zip(dense.as_slice()) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn packed_streams_cover_every_kernel_in_ci_order() {
+        let t = fta_t3_6x6_4x4();
+        let kernels: Vec<SparseKernel> = (0..6)
+            .map(|seed| {
+                let w = randmat(4, 4, seed);
+                let e = t.transform_kernel(&w).unwrap();
+                let rep = prune(&t, &e, Sparsity::new(0.5).unwrap()).unwrap();
+                SparseKernel::from_dense(&rep.masked).unwrap()
+            })
+            .collect();
+        let c_in = 3;
+        let streams = pack_co_streams(&kernels, c_in);
+        assert_eq!(streams.len(), 2);
+        for (co, stream) in streams.iter().enumerate() {
+            assert_eq!(stream.starts.len(), 65);
+            assert_eq!(
+                stream.values.len(),
+                kernels[co * c_in..][..c_in]
+                    .iter()
+                    .map(SparseKernel::nnz)
+                    .sum::<usize>()
+            );
+            // Every CSR row is ci-ascending (the fixed summation order),
+            // and each (ci, coeff) entry matches the source kernel.
+            for j in 0..64 {
+                let (s0, s1) = (stream.starts[j] as usize, stream.starts[j + 1] as usize);
+                let row_ci = &stream.ci[s0..s1];
+                assert!(row_ci.windows(2).all(|w| w[0] < w[1]), "co={co} j={j}");
+                for (&ci, &v) in row_ci.iter().zip(&stream.values[s0..s1]) {
+                    let k = &kernels[co * c_in + ci as usize];
+                    let dense = k.to_dense();
+                    assert_eq!(dense.as_slice()[j], v, "co={co} ci={ci} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_kernels_report_density() {
+        let t = winograd_f2x2_3x3();
+        let mut e = Mat::zeros(4, 4);
+        for (i, v) in e.as_mut_slice().iter_mut().enumerate() {
+            *v = (i + 1) as f32;
+        }
+        let dense = SparseKernel::from_dense(&e).unwrap();
+        assert!(dense.is_dense());
+        let rep = prune(&t, &e, Sparsity::new(0.5).unwrap()).unwrap();
+        let sparse = SparseKernel::from_dense(&rep.masked).unwrap();
+        assert!(!sparse.is_dense());
     }
 
     #[test]

@@ -6,31 +6,51 @@
 //! (`Y = Bᵀ X B`), accumulate `Σ_ci E ⊙ Y` in the transform domain, and
 //! inverse-transform once per output channel (`V = Aᵀ U A`).
 //!
-//! The executor runs that in two phases per *band* of tile rows,
-//! mirroring the SCU array's dataflow:
+//! The executor has two code paths selected by the kernels themselves:
 //!
-//! 1. **Input transform** — parallel over the band's tiles. Transformed
-//!    tiles land in a flat staging buffer (borrowed from the
-//!    [`ExecCtx`]'s scratch pool), laid out `[tile][c_in][µ²]` so each
-//!    tile is one contiguous chunk.
+//! * **Dense** — every kernel keeps all `µ²` transform-domain weights.
+//!   Tiles stage contiguously (`[tile][c_in][µ²]`) and the channel
+//!   reduction is a contiguous `µ²`-wide multiply–accumulate per
+//!   `(co, ci)` pair, exactly as fast as a padded buffer can be.
+//! * **Grouped compressed** — at least one kernel is pruned. Tiles stage
+//!   in groups of [`LANES`] with coefficient-major lane layout
+//!   (`[group][coeff][c_in][lane]`), and each output channel reduces by
+//!   walking its packed CSR stream (`CoStream`): per coefficient, the
+//!   kept `(c_in, value)` pairs each perform one `LANES`-wide
+//!   multiply–accumulate onto a register-resident accumulator. Work per
+//!   tile is `nnz`, not `µ²`, and the fixed lane width keeps the loop
+//!   vectorized — pruning at ρ = 50 % really halves the reduction
+//!   compute instead of detouring through a zero-padded dense buffer.
+//!
+//! Both paths run two phases per *band* of tiles, mirroring the SCU
+//! array's dataflow:
+//!
+//! 1. **Input transform** — parallel over the band's tiles (or tile
+//!    groups). Transformed tiles land in a flat staging buffer borrowed
+//!    from the [`ExecCtx`]'s scratch pool.
 //! 2. **Channel reduction + inverse transform** — parallel over output
-//!    channels. Each worker owns one output plane, walks the band's
-//!    tiles, accumulates the sparse Hadamard products over `c_in` in
-//!    ascending order into a stack accumulator, and writes the
-//!    inverse-transformed tile (plus bias) into its plane.
+//!    channels. Each worker owns one output plane, walks the band,
+//!    accumulates the Hadamard products over `c_in` in ascending order
+//!    into a stack accumulator, and writes the inverse-transformed tile
+//!    (plus bias) into its plane.
 //!
 //! Banding bounds the staging buffer (≈ [`BAND_FLOATS`] elements) so
-//! peak memory stays constant in the frame area — a 1080p layer streams
-//! through the same few megabytes a thumbnail does — while both phases
-//! keep enough tiles in flight to feed every worker.
+//! peak memory stays constant in the frame area. Both fan-outs are
+//! work-size gated ([`ExecCtx::par_chunks_mut_gated`]): a small plane
+//! (decode-side latents especially) runs serially because worker
+//! spawn/join overhead would dominate.
 //!
 //! Accumulation order is fixed per output element regardless of the
-//! worker count or band height, so serial and parallel execution are
-//! **bit-identical**. The hot loops allocate nothing: patches,
-//! accumulators and inverse tiles are stack arrays; the staging buffer
-//! is recycled across calls.
+//! worker count, band height or lane grouping: contributions arrive in
+//! ascending `c_in` order, each position exactly once, so serial,
+//! parallel, dense-applied and compressed-applied execution are all
+//! **bit-identical** (a skipped pruned position would have contributed
+//! exactly `+0.0`, which cannot change an IEEE-754 accumulator seeded
+//! with `+0.0`). The hot loops allocate nothing: patches, accumulators
+//! and inverse tiles are stack arrays; the staging buffer is recycled
+//! across calls.
 
-use crate::sparse::SparseKernel;
+use crate::sparse::{CoStream, SparseKernel};
 use crate::transforms::{TransformPair, MAX_MU, MAX_PATCH, MAX_TILE};
 use nvc_core::ExecCtx;
 use nvc_tensor::{Shape, Tensor, TensorError};
@@ -41,6 +61,9 @@ pub(crate) struct TileProblem<'a> {
     pub transform: &'a TransformPair,
     /// Transform-domain kernels, indexed `[co * c_in + ci]`.
     pub kernels: &'a [SparseKernel],
+    /// Packed per-output-channel reduction streams; `Some` iff any
+    /// kernel is pruned, selecting the grouped compressed path.
+    pub streams: Option<&'a [CoStream]>,
     /// One bias per output channel.
     pub bias: &'a [f32],
     /// Input channel count.
@@ -53,13 +76,77 @@ pub(crate) struct TileProblem<'a> {
     pub out_w: usize,
 }
 
-/// Target staging-buffer size in `f32` elements (≈ 8 MB). The band
-/// height in tile rows is chosen so `band_tiles · c_in · µ²` stays near
+/// Target staging-buffer size in `f32` elements (≈ 8 MB). The band size
+/// in tiles is chosen so the staged transform-domain data stays near
 /// this budget.
 const BAND_FLOATS: usize = 1 << 21;
 
-/// Runs the banded two-phase tiled forward pass (see module docs).
+/// Tiles processed together by the grouped compressed path: every stored
+/// `(value, index)` pair turns into one `LANES`-wide multiply–accumulate
+/// across the group, so the sparse reduction vectorizes as well as the
+/// dense contiguous loop while doing only `nnz / µ²` of its work. Wider
+/// groups amortize the per-weight index/bounds overhead over more tiles;
+/// 32 keeps the per-coefficient accumulator within the SIMD register
+/// file and the per-group staging within L2.
+const LANES: usize = 32;
+
+/// Copies the (clipped, zero-padded) `p × p` input patch of one channel
+/// at tile origin `(iy0, ix0)` into `patch`. Interior rows gather with
+/// one slice copy each; out-of-bounds rows/columns stay zero.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gather_patch(
+    plane: &[f32],
+    in_h: usize,
+    in_w: usize,
+    iy0: isize,
+    ix0: isize,
+    p: usize,
+    patch: &mut [f32],
+) {
+    let py0 = (-iy0).clamp(0, p as isize) as usize;
+    let py1 = ((in_h as isize - iy0).clamp(0, p as isize)) as usize;
+    let px0 = (-ix0).clamp(0, p as isize) as usize;
+    let px1 = ((in_w as isize - ix0).clamp(0, p as isize)) as usize;
+    patch[..p * p].fill(0.0);
+    if px0 < px1 {
+        for py in py0..py1 {
+            let iy = (iy0 + py as isize) as usize;
+            let ix = (ix0 + px0 as isize) as usize;
+            patch[py * p + px0..py * p + px1]
+                .copy_from_slice(&plane[iy * in_w + ix..][..px1 - px0]);
+        }
+    }
+}
+
+/// Runs the banded two-phase tiled forward pass (see module docs),
+/// dispatching to the grouped compressed path when any kernel is pruned.
 pub(crate) fn forward_tiled(
+    prob: &TileProblem<'_>,
+    input: &Tensor,
+    ctx: &ExecCtx,
+) -> Result<Tensor, TensorError> {
+    match prob.streams {
+        Some(streams) => forward_grouped(prob, streams, input, ctx),
+        None => forward_dense(prob, input, ctx),
+    }
+}
+
+/// Per-tile-channel input-transform cost in multiplies (`Bᵀ X B`), used
+/// for work-size gating.
+fn transform_work(t: &TransformPair) -> u64 {
+    let (p, mu) = (t.patch() as u64, t.mu() as u64);
+    mu * p * (p + mu)
+}
+
+/// Per-tile inverse-transform cost in multiplies (`Aᵀ U A`).
+fn inverse_work(t: &TransformPair) -> u64 {
+    let (m, mu) = (t.tile() as u64, t.mu() as u64);
+    m * mu * (mu + m)
+}
+
+/// Dense path: contiguous per-tile staging, contiguous `µ²` reduction.
+fn forward_dense(
     prob: &TileProblem<'_>,
     input: &Tensor,
     ctx: &ExecCtx,
@@ -87,33 +174,20 @@ pub(crate) fn forward_tiled(
             let band_end = (ty_band + band_rows).min(ty_n);
             let band_tiles = (band_end - ty_band) * tx_n;
             // Phase 1: input transforms, one chunk per tile in the band.
-            ctx.par_chunks_mut(
+            let p1_work = (band_tiles * prob.c_in) as u64 * transform_work(t);
+            ctx.par_chunks_mut_gated(
                 &mut y_band[..band_tiles * tile_floats],
                 tile_floats,
+                p1_work,
                 |band_idx, chunk| {
                     let ty = ty_band + band_idx / tx_n;
                     let tx = band_idx % tx_n;
                     let iy0 = (ty * step) as isize - offset;
                     let ix0 = (tx * step) as isize - offset;
-                    // Clip the patch footprint against the input once per
-                    // tile; interior rows then gather with one slice copy.
-                    let py0 = (-iy0).clamp(0, p as isize) as usize;
-                    let py1 = ((in_h as isize - iy0).clamp(0, p as isize)) as usize;
-                    let px0 = (-ix0).clamp(0, p as isize) as usize;
-                    let px1 = ((in_w as isize - ix0).clamp(0, p as isize)) as usize;
                     let mut patch = [0.0_f32; MAX_PATCH * MAX_PATCH];
                     for (ci, y_tile) in chunk.chunks_mut(mu2).enumerate() {
-                        patch[..p * p].fill(0.0);
-                        if px0 < px1 {
-                            let plane =
-                                &in_data[(nn * prob.c_in + ci) * in_h * in_w..][..in_h * in_w];
-                            for py in py0..py1 {
-                                let iy = (iy0 + py as isize) as usize;
-                                let ix = (ix0 + px0 as isize) as usize;
-                                patch[py * p + px0..py * p + px1]
-                                    .copy_from_slice(&plane[iy * in_w + ix..][..px1 - px0]);
-                            }
-                        }
+                        let plane = &in_data[(nn * prob.c_in + ci) * in_h * in_w..][..in_h * in_w];
+                        gather_patch(plane, in_h, in_w, iy0, ix0, p, &mut patch);
                         t.transform_input_slice(&patch[..p * p], y_tile);
                     }
                 },
@@ -122,7 +196,9 @@ pub(crate) fn forward_tiled(
             // per output plane (each worker writes only the band's rows).
             let y_ref: &[f32] = &y_band;
             let batch = &mut out.as_mut_slice()[nn * prob.c_out * plane..][..prob.c_out * plane];
-            ctx.par_chunks_mut(batch, plane, |co, out_plane| {
+            let p2_work = (band_tiles * prob.c_out) as u64
+                * (prob.c_in as u64 * mu2 as u64 + inverse_work(t));
+            ctx.par_chunks_mut_gated(batch, plane, p2_work, |co, out_plane| {
                 let bias = prob.bias[co];
                 let kernels = &prob.kernels[co * prob.c_in..][..prob.c_in];
                 let mut u_acc = [0.0_f32; MAX_MU * MAX_MU];
@@ -148,6 +224,146 @@ pub(crate) fn forward_tiled(
                 }
             });
             ty_band = band_end;
+        }
+    }
+    ctx.scratch().put(y_band);
+    Ok(out)
+}
+
+/// Grouped compressed path: lane-major staging in groups of [`LANES`]
+/// tiles, reduction as one flat sweep over each output channel's packed
+/// `(value, coefficient, source)` stream.
+fn forward_grouped(
+    prob: &TileProblem<'_>,
+    streams: &[CoStream],
+    input: &Tensor,
+    ctx: &ExecCtx,
+) -> Result<Tensor, TensorError> {
+    let (n, _, in_h, in_w) = input.shape().dims();
+    let in_data = input.as_slice();
+    let t = prob.transform;
+    let (p, m, mu) = (t.patch(), t.tile(), t.mu());
+    debug_assert!(p <= MAX_PATCH && m <= MAX_TILE && mu <= MAX_MU);
+    let mu2 = mu * mu;
+    let step = t.in_step();
+    let offset = t.in_offset() as isize;
+    let (oh, ow) = (prob.out_h, prob.out_w);
+    let (ty_n, tx_n) = (oh.div_ceil(m), ow.div_ceil(m));
+    let tiles_total = ty_n * tx_n;
+    let groups_total = tiles_total.div_ceil(LANES);
+    let out_shape = Shape::new(n, prob.c_out, oh, ow);
+    let mut out = Tensor::zeros(out_shape);
+    let plane = oh * ow;
+    let nnz_total: u64 = prob.kernels.iter().map(|k| k.nnz() as u64).sum();
+
+    // Compressed kernels shrink the reduction, not the staged input
+    // transforms, so the band budget still divides by the full `µ²` —
+    // but groups are padded to LANES tiles, so size in whole groups.
+    let group_floats = LANES * prob.c_in * mu2;
+    let band_groups = (BAND_FLOATS / group_floats.max(1)).clamp(1, groups_total);
+    let mut y_band = ctx.scratch().take(band_groups * group_floats);
+    for nn in 0..n {
+        let mut g0 = 0;
+        while g0 < groups_total {
+            let g_end = (g0 + band_groups).min(groups_total);
+            let bg = g_end - g0;
+            // Phase 1: input transforms, one chunk per tile group;
+            // coefficient-major lane layout [coeff][c_in][lane] inside
+            // the chunk, matching the CSR walk of phase 2.
+            let p1_work = (bg * LANES * prob.c_in) as u64 * transform_work(t);
+            ctx.par_chunks_mut_gated(
+                &mut y_band[..bg * group_floats],
+                group_floats,
+                p1_work,
+                |bi, chunk| {
+                    let tile0 = (g0 + bi) * LANES;
+                    let lanes = LANES.min(tiles_total - tile0);
+                    if lanes < LANES {
+                        // Zero the unused lanes (and stale recycled
+                        // data) of a partial trailing group; full groups
+                        // overwrite every slot below.
+                        chunk.fill(0.0);
+                    }
+                    let mut patch = [0.0_f32; MAX_PATCH * MAX_PATCH];
+                    // All of one channel's lane transforms, [lane][µ²] —
+                    // an L1-resident transpose source, so the lane-major
+                    // scatter below writes LANES-contiguous runs instead
+                    // of striding a cache line per coefficient.
+                    let mut y_ci = [0.0_f32; MAX_MU * MAX_MU * LANES];
+                    for ci in 0..prob.c_in {
+                        let plane = &in_data[(nn * prob.c_in + ci) * in_h * in_w..][..in_h * in_w];
+                        for lane in 0..lanes {
+                            let tile = tile0 + lane;
+                            let (ty, tx) = (tile / tx_n, tile % tx_n);
+                            let iy0 = (ty * step) as isize - offset;
+                            let ix0 = (tx * step) as isize - offset;
+                            gather_patch(plane, in_h, in_w, iy0, ix0, p, &mut patch);
+                            t.transform_input_slice(
+                                &patch[..p * p],
+                                &mut y_ci[lane * mu2..][..mu2],
+                            );
+                        }
+                        for j in 0..mu2 {
+                            let run = &mut chunk[(j * prob.c_in + ci) * LANES..][..lanes];
+                            for (lane, slot) in run.iter_mut().enumerate() {
+                                *slot = y_ci[lane * mu2 + j];
+                            }
+                        }
+                    }
+                },
+            );
+            // Phase 2: grouped compressed reduction + inverse transform,
+            // one chunk per output plane.
+            let y_ref: &[f32] = &y_band;
+            let batch = &mut out.as_mut_slice()[nn * prob.c_out * plane..][..prob.c_out * plane];
+            let p2_work = (bg * LANES) as u64 * nnz_total
+                + (bg * LANES * prob.c_out) as u64 * inverse_work(t);
+            ctx.par_chunks_mut_gated(batch, plane, p2_work, |co, out_plane| {
+                let bias = prob.bias[co];
+                let stream = &streams[co];
+                let mut u_lanes = [0.0_f32; MAX_MU * MAX_MU * LANES];
+                let mut u_tile = [0.0_f32; MAX_MU * MAX_MU];
+                let mut v = [0.0_f32; MAX_TILE * MAX_TILE];
+                for bi in 0..bg {
+                    let tile0 = (g0 + bi) * LANES;
+                    let lanes = LANES.min(tiles_total - tile0);
+                    let y_group = &y_ref[bi * group_floats..][..group_floats];
+                    // CSR walk: coefficient `j`'s accumulator lanes live
+                    // in registers across its whole channel reduction;
+                    // each kept weight is one LANES-wide broadcast
+                    // multiply–accumulate from the staged row.
+                    for j in 0..mu2 {
+                        let row = &y_group[j * prob.c_in * LANES..][..prob.c_in * LANES];
+                        let s0 = stream.starts[j] as usize;
+                        let s1 = stream.starts[j + 1] as usize;
+                        let mut acc = [0.0_f32; LANES];
+                        for (&w, &ci) in stream.values[s0..s1].iter().zip(&stream.ci[s0..s1]) {
+                            let src = &row[ci as usize * LANES..][..LANES];
+                            for (a, &yv) in acc.iter_mut().zip(src) {
+                                *a += w * yv;
+                            }
+                        }
+                        u_lanes[j * LANES..][..LANES].copy_from_slice(&acc);
+                    }
+                    for lane in 0..lanes {
+                        let tile = tile0 + lane;
+                        let (ty, tx) = (tile / tx_n, tile % tx_n);
+                        for (j, u) in u_tile[..mu2].iter_mut().enumerate() {
+                            *u = u_lanes[j * LANES + lane];
+                        }
+                        t.inverse_slice(&u_tile[..mu2], &mut v[..m * m]);
+                        let vy_max = m.min(oh - ty * m);
+                        let vx_max = m.min(ow - tx * m);
+                        for vy in 0..vy_max {
+                            let out_row = &mut out_plane[(ty * m + vy) * ow + tx * m..][..vx_max];
+                            for (o, &vv) in out_row.iter_mut().zip(&v[vy * m..][..vx_max]) {
+                                *o = vv + bias;
+                            }
+                        }
+                    }
+                }
+            });
+            g0 = g_end;
         }
     }
     ctx.scratch().put(y_band);

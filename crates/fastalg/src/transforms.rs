@@ -139,7 +139,10 @@ impl TransformPair {
 
     /// Allocation-free input transform: reads a `p × p` row-major patch
     /// from `x`, writes the `µ × µ` row-major result to `out`. This is
-    /// the per-tile hot kernel; all intermediates live on the stack.
+    /// the per-tile hot kernel; all intermediates live on the stack, and
+    /// the two supported geometries dispatch to const-sized bodies so the
+    /// inner loops fully unroll (identical arithmetic order — the
+    /// results are bit-identical to the generic body).
     ///
     /// # Panics
     ///
@@ -147,10 +150,49 @@ impl TransformPair {
     /// than `p²` / `µ²`.
     #[inline]
     pub fn transform_input_slice(&self, x: &[f32], out: &mut [f32]) {
-        let (p, mu) = (self.p, self.mu);
-        debug_assert!(x.len() >= p * p && out.len() >= mu * mu);
+        debug_assert!(x.len() >= self.p * self.p && out.len() >= self.mu * self.mu);
+        match (self.p, self.mu) {
+            (4, 4) => self.input_fixed::<4, 4>(x, out),
+            (5, 8) => self.input_fixed::<5, 8>(x, out),
+            _ => self.input_fixed_generic(self.p, self.mu, x, out),
+        }
+    }
+
+    /// Input-transform body with const dimensions (see
+    /// [`TransformPair::transform_input_slice`]).
+    #[inline]
+    fn input_fixed<const P: usize, const MU: usize>(&self, x: &[f32], out: &mut [f32]) {
         let bt = self.bt.as_slice(); // µ × p
-                                     // tmp = Bᵀ · X  (µ × p); Bᵀ rows are sparse (±1, ±0.5).
+        let x = &x[..P * P];
+        // tmp = Bᵀ · X  (µ × p); Bᵀ rows are sparse (±1, ±0.5).
+        let mut tmp = [0.0_f32; MAX_MU * MAX_PATCH];
+        for i in 0..MU {
+            for k in 0..P {
+                let a = bt[i * P + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..P {
+                    tmp[i * P + j] += a * x[k * P + j];
+                }
+            }
+        }
+        // out = tmp · B = tmp · (Bᵀ)ᵀ: out[i][j] = Σ_k tmp[i][k]·Bᵀ[j][k].
+        for i in 0..MU {
+            for j in 0..MU {
+                let mut acc = 0.0;
+                for k in 0..P {
+                    acc += tmp[i * P + k] * bt[j * P + k];
+                }
+                out[i * MU + j] = acc;
+            }
+        }
+    }
+
+    /// Fallback input-transform body with runtime dimensions — the same
+    /// loops as [`TransformPair::input_fixed`], in the same order.
+    fn input_fixed_generic(&self, p: usize, mu: usize, x: &[f32], out: &mut [f32]) {
+        let bt = self.bt.as_slice();
         let mut tmp = [0.0_f32; MAX_MU * MAX_PATCH];
         for i in 0..mu {
             let row = &mut tmp[i * p..][..p];
@@ -163,7 +205,6 @@ impl TransformPair {
                 }
             }
         }
-        // out = tmp · B = tmp · (Bᵀ)ᵀ: out[i][j] = Σ_k tmp[i][k]·Bᵀ[j][k].
         for i in 0..mu {
             let trow = &tmp[i * p..][..p];
             for j in 0..mu {
@@ -197,7 +238,10 @@ impl TransformPair {
     }
 
     /// Allocation-free inverse transform: reads a `µ × µ` row-major tile
-    /// from `u`, writes the `m × m` row-major result to `out`.
+    /// from `u`, writes the `m × m` row-major result to `out`. The two
+    /// supported geometries dispatch to const-sized bodies (identical
+    /// arithmetic order, bit-identical results — see
+    /// [`TransformPair::transform_input_slice`]).
     ///
     /// # Panics
     ///
@@ -205,10 +249,48 @@ impl TransformPair {
     /// than `µ²` / `m²`.
     #[inline]
     pub fn inverse_slice(&self, u: &[f32], out: &mut [f32]) {
-        let (mu, m) = (self.mu, self.m);
-        debug_assert!(u.len() >= mu * mu && out.len() >= m * m);
+        debug_assert!(u.len() >= self.mu * self.mu && out.len() >= self.m * self.m);
+        match (self.m, self.mu) {
+            (2, 4) => self.inverse_fixed::<2, 4>(u, out),
+            (6, 8) => self.inverse_fixed::<6, 8>(u, out),
+            _ => self.inverse_fixed_generic(self.m, self.mu, u, out),
+        }
+    }
+
+    /// Inverse-transform body with const dimensions.
+    #[inline]
+    fn inverse_fixed<const M: usize, const MU: usize>(&self, u: &[f32], out: &mut [f32]) {
         let at = self.at.as_slice(); // m × µ
-                                     // tmp = Aᵀ · U  (m × µ); Aᵀ rows are sparse (0, ±1).
+        let u = &u[..MU * MU];
+        // tmp = Aᵀ · U  (m × µ); Aᵀ rows are sparse (0, ±1).
+        let mut tmp = [0.0_f32; MAX_TILE * MAX_MU];
+        for i in 0..M {
+            for k in 0..MU {
+                let a = at[i * MU + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..MU {
+                    tmp[i * MU + j] += a * u[k * MU + j];
+                }
+            }
+        }
+        // out = tmp · A = tmp · (Aᵀ)ᵀ: out[i][j] = Σ_k tmp[i][k]·Aᵀ[j][k].
+        for i in 0..M {
+            for j in 0..M {
+                let mut acc = 0.0;
+                for k in 0..MU {
+                    acc += tmp[i * MU + k] * at[j * MU + k];
+                }
+                out[i * M + j] = acc;
+            }
+        }
+    }
+
+    /// Fallback inverse-transform body with runtime dimensions — the
+    /// same loops as [`TransformPair::inverse_fixed`], in the same order.
+    fn inverse_fixed_generic(&self, m: usize, mu: usize, u: &[f32], out: &mut [f32]) {
+        let at = self.at.as_slice();
         let mut tmp = [0.0_f32; MAX_TILE * MAX_MU];
         for i in 0..m {
             let row = &mut tmp[i * mu..][..mu];
@@ -222,7 +304,6 @@ impl TransformPair {
                 }
             }
         }
-        // out = tmp · A = tmp · (Aᵀ)ᵀ: out[i][j] = Σ_k tmp[i][k]·Aᵀ[j][k].
         for i in 0..m {
             let trow = &tmp[i * mu..][..mu];
             for j in 0..m {

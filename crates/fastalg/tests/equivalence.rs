@@ -176,6 +176,177 @@ fn scratch_reuse_does_not_change_results() {
     }
 }
 
+/// Reference "dense application" of a fast conv's (possibly pruned)
+/// kernels: the padded-buffer execution the executor used before
+/// compressed-kernel execution — per tile, every kernel multiplies all
+/// µ² positions (pruned positions contribute exactly `+0.0`), `c_in`
+/// ascending. The compressed executor must match this **bit for bit**:
+/// an IEEE-754 accumulator seeded with `+0.0` is unaffected by adding
+/// the `±0.0` of a pruned position.
+fn dense_apply_conv(fast: &FastConv2d, input: &Tensor) -> Tensor {
+    let t = fast.transform();
+    let (p, m, mu) = (t.patch(), t.tile(), t.mu());
+    let mu2 = mu * mu;
+    let (n, _, h, w) = input.shape().dims();
+    let (ty_n, tx_n) = fast.tile_count(h, w);
+    let step = t.in_step();
+    let offset = t.in_offset() as isize;
+    let mut out = Tensor::zeros(Shape::new(n, fast.c_out(), h, w));
+    // Padded dense buffers reconstructed from the compressed kernels.
+    let dense: Vec<Vec<f32>> = (0..fast.c_out())
+        .flat_map(|co| (0..fast.c_in()).map(move |ci| (co, ci)))
+        .map(|(co, ci)| fast.kernel(co, ci).to_dense().as_slice().to_vec())
+        .collect();
+    let mut patch = vec![0.0_f32; p * p];
+    let mut y_tiles = vec![0.0_f32; fast.c_in() * mu2];
+    let mut u_acc = vec![0.0_f32; mu2];
+    let mut v = vec![0.0_f32; m * m];
+    for nn in 0..n {
+        for ty in 0..ty_n {
+            for tx in 0..tx_n {
+                let iy0 = (ty * step) as isize - offset;
+                let ix0 = (tx * step) as isize - offset;
+                for ci in 0..fast.c_in() {
+                    for py in 0..p {
+                        for px in 0..p {
+                            patch[py * p + px] =
+                                input.at_padded(nn, ci, iy0 + py as isize, ix0 + px as isize);
+                        }
+                    }
+                    t.transform_input_slice(&patch, &mut y_tiles[ci * mu2..ci * mu2 + mu2]);
+                }
+                for co in 0..fast.c_out() {
+                    u_acc.iter_mut().for_each(|a| *a = 0.0);
+                    for ci in 0..fast.c_in() {
+                        let e = &dense[co * fast.c_in() + ci];
+                        let y = &y_tiles[ci * mu2..][..mu2];
+                        for ((a, &ev), &yv) in u_acc.iter_mut().zip(e).zip(y) {
+                            *a += ev * yv;
+                        }
+                    }
+                    t.inverse_slice(&u_acc, &mut v);
+                    for vy in 0..m.min(h - ty * m) {
+                        for vx in 0..m.min(w - tx * m) {
+                            *out.at_mut(nn, co, ty * m + vy, tx * m + vx) = v[vy * m + vx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Satellite coverage for compressed-kernel execution: at every pruning
+/// level the executor consumes the `(value, index)` form, and the result
+/// must be bit-for-bit identical to applying the same pruned kernels
+/// densely over a zero-padded buffer.
+#[test]
+fn sparse_apply_matches_dense_apply_bit_for_bit() {
+    let mut rng = SplitMix64::new(0xFA57_0009);
+    for rho in [0.25, 0.5, 0.75, 0.9] {
+        for case in 0..4 {
+            // Odd sizes force partial tiles at the right/bottom borders.
+            let x = rand_tensor(&mut rng, 3, 11, 13);
+            let seed = rng.next_u64() % 500;
+            let conv = Conv2d::randn(4, 3, 3, 1, 1, seed).unwrap();
+            let fast = FastConv2d::from_conv_pruned(&conv, Sparsity::new(rho).unwrap()).unwrap();
+            let reference = dense_apply_conv(&fast, &x);
+            let got = fast.forward(&x).unwrap();
+            assert_eq!(
+                got.as_slice(),
+                reference.as_slice(),
+                "rho={rho} case={case}: compressed execution diverged from dense application"
+            );
+            // Bias rides on top of the tile sums; re-check with one.
+            let mut biased = conv.clone();
+            biased.bias_mut()[1] = 0.375;
+            let fast_b =
+                FastConv2d::from_conv_pruned(&biased, Sparsity::new(rho).unwrap()).unwrap();
+            let with_bias = fast_b.forward(&x).unwrap();
+            let base = fast.forward(&x).unwrap();
+            for c in 0..4 {
+                let expect = if c == 1 { 0.375 } else { 0.0 };
+                let d = with_bias
+                    .as_slice()
+                    .iter()
+                    .zip(base.as_slice())
+                    .skip(c * 11 * 13)
+                    .take(11 * 13)
+                    .map(|(a, b)| (a - b - expect).abs())
+                    .fold(0.0_f32, f32::max);
+                assert!(d < 1e-6, "rho={rho}: bias handling drifted by {d}");
+            }
+        }
+    }
+}
+
+/// The deconv executor's compressed path must also match dense
+/// application bit for bit at every pruning level. (The executor is
+/// shared with conv, but the T3 geometry exercises µ = 8 and the
+/// two-phase output tiling differently.)
+#[test]
+fn sparse_deconv_matches_sparsely_reconstructed_dense_kernels() {
+    let mut rng = SplitMix64::new(0xFA57_000A);
+    for rho in [0.25, 0.5, 0.75, 0.9] {
+        let x = rand_tensor(&mut rng, 2, 7, 5);
+        let seed = rng.next_u64() % 500;
+        let deconv = DeConv2d::randn(3, 2, 4, 2, 1, seed).unwrap();
+        let fast = FastDeConv2d::from_deconv_pruned(&deconv, Sparsity::new(rho).unwrap()).unwrap();
+        let got = fast.forward(&x).unwrap();
+        // Dense-apply reference: every masked kernel reconstructed to
+        // its padded µ² buffer and multiplied in full, c_in ascending.
+        let t = fast.transform();
+        let (p, m, mu) = (t.patch(), t.tile(), t.mu());
+        let mu2 = mu * mu;
+        let (ty_n, tx_n) = fast.tile_count(7, 5);
+        let (oh, ow) = (14, 10);
+        let step = t.in_step();
+        let offset = t.in_offset() as isize;
+        let mut reference = Tensor::zeros(Shape::new(1, 3, oh, ow));
+        let mut patch = vec![0.0_f32; p * p];
+        let mut y_tiles = vec![0.0_f32; 2 * mu2];
+        let mut u_acc = vec![0.0_f32; mu2];
+        let mut v = vec![0.0_f32; m * m];
+        for ty in 0..ty_n {
+            for tx in 0..tx_n {
+                let iy0 = (ty * step) as isize - offset;
+                let ix0 = (tx * step) as isize - offset;
+                for ci in 0..2 {
+                    for py in 0..p {
+                        for px in 0..p {
+                            patch[py * p + px] =
+                                x.at_padded(0, ci, iy0 + py as isize, ix0 + px as isize);
+                        }
+                    }
+                    t.transform_input_slice(&patch, &mut y_tiles[ci * mu2..ci * mu2 + mu2]);
+                }
+                for co in 0..3 {
+                    u_acc.iter_mut().for_each(|a| *a = 0.0);
+                    for ci in 0..2 {
+                        let e = fast.kernel(co, ci).to_dense();
+                        let y = &y_tiles[ci * mu2..][..mu2];
+                        for ((a, &ev), &yv) in u_acc.iter_mut().zip(e.as_slice()).zip(y) {
+                            *a += ev * yv;
+                        }
+                    }
+                    t.inverse_slice(&u_acc, &mut v);
+                    for vy in 0..m.min(oh - ty * m) {
+                        for vx in 0..m.min(ow - tx * m) {
+                            *reference.at_mut(0, co, ty * m + vy, tx * m + vx) = v[vy * m + vx];
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            got.as_slice(),
+            reference.as_slice(),
+            "rho={rho}: deconv compressed execution diverged from dense application"
+        );
+    }
+}
+
 /// A sparse fast conv at rho=0 equals the dense fast conv exactly.
 #[test]
 fn zero_sparsity_equals_dense() {

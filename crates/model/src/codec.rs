@@ -213,6 +213,12 @@ impl CtvcCodec {
     /// space"), the decoder's reference is the feature tensor itself —
     /// re-extracting features from decoded pixels every frame would
     /// compound the feature↔pixel roundtrip error across the GOP.
+    /// The two halves of P-frame reconstruction are independent until the
+    /// final `F̄_t + R̂_t` sum, so they run as whole-module parallel work
+    /// on [`ExecCtx::join`] — the coarse grain that actually fills the
+    /// pool on small frames, where per-layer row/tile fan-out is gated
+    /// off. Each branch is deterministic on its own, so the join changes
+    /// nothing about bit-exactness across thread counts.
     fn reconstruct_p(
         &self,
         f_ref: &Tensor,
@@ -222,23 +228,29 @@ impl CtvcCodec {
     ) -> Result<(Tensor, Tensor), CtvcError> {
         let (_, _, h2, w2) = f_ref.shape().dims();
         let latent_shape = Shape::new(1, self.cfg.n, h2 / 8, w2 / 8);
-        let zm = self.decode_latent(
-            motion_payload,
-            latent_shape,
-            &self.motion_ae,
-            rate.latent_step(),
-        )?;
-        let o_hat = self.motion_ae.synthesis.forward_ctx(&zm, &self.exec)?;
-        let o_mc = self.motion_for_compensation(&o_hat);
-        let f_bar = self.comp.forward_ctx(f_ref, &o_mc, &self.exec)?;
-        let zr = self.decode_latent(
-            residual_payload,
-            latent_shape,
-            &self.residual_ae,
-            rate.latent_step(),
-        )?;
-        let r_hat = self.residual_ae.synthesis.forward_ctx(&zr, &self.exec)?;
-        let f_hat = f_bar.add(&r_hat)?;
+        let (f_bar, r_hat) = self.exec.join(
+            || -> Result<Tensor, CtvcError> {
+                let zm = self.decode_latent(
+                    motion_payload,
+                    latent_shape,
+                    &self.motion_ae,
+                    rate.latent_step(),
+                )?;
+                let o_hat = self.motion_ae.synthesis.forward_ctx(&zm, &self.exec)?;
+                let o_mc = self.motion_for_compensation(&o_hat);
+                Ok(self.comp.forward_ctx(f_ref, &o_mc, &self.exec)?)
+            },
+            || -> Result<Tensor, CtvcError> {
+                let zr = self.decode_latent(
+                    residual_payload,
+                    latent_shape,
+                    &self.residual_ae,
+                    rate.latent_step(),
+                )?;
+                Ok(self.residual_ae.synthesis.forward_ctx(&zr, &self.exec)?)
+            },
+        );
+        let f_hat = f_bar?.add(&r_hat?)?;
         let px = self
             .fr
             .forward_ctx(&f_hat, &self.exec)?

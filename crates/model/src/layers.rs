@@ -363,7 +363,10 @@ impl SwinAttention {
             if nn > 0 {
                 win_out.fill(0.0);
             }
-            exec.par_chunks_mut(&mut win_out, t * self.c, |widx, result| {
+            // Work-size gated: tiny latent planes (a handful of windows)
+            // run serially rather than paying worker spawn overhead.
+            let attn_work = self.macs(h, w);
+            exec.par_chunks_mut_gated(&mut win_out, t * self.c, attn_work, |widx, result| {
                 let wy = (widx / wins_x) * r;
                 let wx = (widx % wins_x) * r;
                 // Gather window tokens: r² × c.

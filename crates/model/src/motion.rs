@@ -104,7 +104,11 @@ pub fn estimate_motion_ctx(
         .flat_map(|by| (0..w).step_by(block).map(move |bx| (by, bx)))
         .collect();
     let mut vectors = vec![(0.0_f32, 0.0_f32); coords.len()];
-    exec.par_chunks_mut(&mut vectors, 1, |bi, v| {
+    // Each block evaluates (2·range + 1)² SAD candidates of bs² pixels;
+    // gate the fan-out so small planes search serially.
+    let search_points = (2 * range as u64 + 1).pow(2) + if half_pel { 8 } else { 0 };
+    let work = (h * w) as u64 * search_points;
+    exec.par_chunks_mut_gated(&mut vectors, 1, work, |bi, v| {
         let (by, bx) = coords[bi];
         let bs = block.min(h - by).min(w - bx);
         let mut best = (0.0_f32, 0.0_f32);

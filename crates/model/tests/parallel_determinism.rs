@@ -67,6 +67,57 @@ fn encode_decode_streams_are_thread_count_invariant() {
     }
 }
 
+/// The compressed-kernel (sparse) execution path is bit-exact across
+/// worker counts at every pruning level — the grouped lane reduction
+/// partitions over output planes and tile groups only, never over
+/// accumulation order.
+#[test]
+fn sparse_operators_are_thread_count_invariant() {
+    use nvc_fastalg::{FastConv2d, FastDeConv2d, Sparsity};
+    use nvc_tensor::ops::{Conv2d, DeConv2d};
+    let x = Tensor::from_fn(Shape::new(1, 3, 11, 13), |_, c, y, xx| {
+        0.5 * ((c as f32 * 1.3 + y as f32 * 0.41 + xx as f32 * 0.23).sin())
+    });
+    for rho in [0.25, 0.5, 0.75, 0.9] {
+        let conv = Conv2d::randn(5, 3, 3, 1, 1, 1234).unwrap();
+        let fast = FastConv2d::from_conv_pruned(&conv, Sparsity::new(rho).unwrap()).unwrap();
+        let deconv = DeConv2d::randn(4, 3, 4, 2, 1, 777).unwrap();
+        let fast_de =
+            FastDeConv2d::from_deconv_pruned(&deconv, Sparsity::new(rho).unwrap()).unwrap();
+        let conv_ref = fast.forward(&x).unwrap();
+        let deconv_ref = fast_de.forward(&x).unwrap();
+        for threads in [2, 5, 16] {
+            let ctx = ExecCtx::with_threads(threads);
+            assert_eq!(
+                fast.forward_ctx(&x, &ctx).unwrap().as_slice(),
+                conv_ref.as_slice(),
+                "sparse FastConv2d rho={rho} diverged at {threads} threads"
+            );
+            assert_eq!(
+                fast_de.forward_ctx(&x, &ctx).unwrap().as_slice(),
+                deconv_ref.as_slice(),
+                "sparse FastDeConv2d rho={rho} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// End-to-end determinism of the sparse codec at a pruning level other
+/// than the stock 50 % (the config knob feeds every ConvOp/DeconvOp):
+/// packets and reconstructions must not depend on the worker count.
+#[test]
+fn sparse_codec_at_custom_rho_is_thread_count_invariant() {
+    let s = seq(2);
+    let mut cfg = CtvcConfig::ctvc_sparse(8);
+    cfg.sparsity = Some(0.75);
+    let (ref_packets, ref_recon) = encode_with_threads(cfg.clone(), 1, &s);
+    for threads in [2, 4] {
+        let (packets, recon) = encode_with_threads(cfg.clone(), threads, &s);
+        assert_eq!(packets, ref_packets, "rho=0.75 packets diverged");
+        assert_eq!(recon, ref_recon, "rho=0.75 reconstructions diverged");
+    }
+}
+
 /// The window-parallel Swin attention is bit-exact across worker counts,
 /// including shifted windows and non-multiple spatial sizes.
 #[test]

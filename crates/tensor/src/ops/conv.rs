@@ -204,7 +204,9 @@ impl Conv2d {
     /// Runs the convolution, fanning output channels across `ctx`'s worker
     /// pool. Each output plane is computed independently with a fixed
     /// accumulation order (`c_in` ascending, then kernel taps row-major),
-    /// so the result is bit-identical for every worker count.
+    /// so the result is bit-identical for every worker count. The fan-out
+    /// is work-size gated: small planes (decode-side latent shapes) run
+    /// serially because worker spawn overhead would dominate.
     ///
     /// # Errors
     ///
@@ -227,7 +229,8 @@ impl Conv2d {
         let out_shape = Shape::new(n, self.c_out, oh, ow);
         let mut out = Tensor::zeros(out_shape);
         let in_data = input.as_slice();
-        ctx.par_chunks_mut(out.as_mut_slice(), oh * ow, |plane_idx, out_plane| {
+        let work = n as u64 * self.macs(h, w);
+        ctx.par_chunks_mut_gated(out.as_mut_slice(), oh * ow, work, |plane_idx, out_plane| {
             let nn = plane_idx / self.c_out;
             let co = plane_idx % self.c_out;
             let in_planes = &in_data[nn * self.c_in * h * w..][..self.c_in * h * w];

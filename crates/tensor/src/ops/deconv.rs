@@ -208,7 +208,8 @@ impl DeConv2d {
     /// `ctx`'s worker pool. Each output plane accumulates its scattered
     /// contributions in a fixed order (`c_in` ascending, then input pixels
     /// row-major, then kernel taps), so the result is bit-identical for
-    /// every worker count.
+    /// every worker count. The fan-out is work-size gated (small planes
+    /// run serially).
     ///
     /// # Errors
     ///
@@ -231,7 +232,8 @@ impl DeConv2d {
         let pad = self.padding as isize;
         let s = self.stride;
         let k = self.k;
-        ctx.par_chunks_mut(out.as_mut_slice(), oh * ow, |plane_idx, out_plane| {
+        let work = n as u64 * self.macs(h, w);
+        ctx.par_chunks_mut_gated(out.as_mut_slice(), oh * ow, work, |plane_idx, out_plane| {
             let nn = plane_idx / self.c_out;
             let co = plane_idx % self.c_out;
             out_plane.fill(self.bias[co]);

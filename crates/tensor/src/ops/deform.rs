@@ -191,7 +191,10 @@ impl DeformConv2d {
         for nn in 0..n {
             // Staging layout: [oy][co][ox], one chunk per output row.
             let mut rows = exec.scratch().take(out_h * self.c_out * out_w);
-            exec.par_chunks_mut(&mut rows, self.c_out * out_w, |oy, row| {
+            // Sampling (4-tap bilinear per position) dominates the dot
+            // product here, so gate on it rather than the MAC count.
+            let work = (out_h * out_w * self.c_in * kk) as u64 * 4;
+            exec.par_chunks_mut_gated(&mut rows, self.c_out * out_w, work, |oy, row| {
                 let mut sampled = vec![0.0_f32; self.c_in * kk];
                 for ox in 0..out_w {
                     // Pre-sample the deformed patch once per (oy, ox):
