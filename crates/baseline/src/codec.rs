@@ -180,6 +180,7 @@ impl HybridCodec {
             reference: None,
             next_index: 0,
             bytes_per_frame: Vec::new(),
+            bits_per_frame: Vec::new(),
             total_bytes: 0,
             last_recon: None,
         }
@@ -467,6 +468,7 @@ pub struct HybridEncoderSession<'a> {
     reference: Option<[Plane; 3]>,
     next_index: u32,
     bytes_per_frame: Vec<usize>,
+    bits_per_frame: Vec<u64>,
     total_bytes: usize,
     last_recon: Option<Frame>,
 }
@@ -543,6 +545,7 @@ impl EncoderSessionTrait for HybridEncoderSession<'_> {
         self.reference = Some(recon);
         let packet = Packet::new(self.next_index, kind, sections.finish());
         self.total_bytes += packet.encoded_len();
+        self.bits_per_frame.push(packet.encoded_len() as u64 * 8);
         self.next_index += 1;
         Ok(packet)
     }
@@ -559,6 +562,7 @@ impl EncoderSessionTrait for HybridEncoderSession<'_> {
         Ok(StreamStats {
             frames: self.next_index as usize,
             bytes_per_frame: self.bytes_per_frame,
+            bits_per_frame: self.bits_per_frame,
             total_bytes: self.total_bytes,
         })
     }

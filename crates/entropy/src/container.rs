@@ -34,6 +34,7 @@
 //! ```
 
 use crate::CodingError;
+use std::io::Read;
 
 /// Section tags used by the codecs in this repository.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -190,6 +191,19 @@ impl FrameKind {
 /// `[len: u32][frame_index: u32][frame_kind: u8][crc32: u32]`.
 pub const PACKET_HEADER_BYTES: usize = 13;
 
+/// Upper bound on a packet payload accepted by the incremental reader
+/// ([`Packet::read_into`] / [`Packet::read_from`]). A coded frame in this
+/// repository is kilobytes; the cap exists so a hostile length field read
+/// off a socket can never force a multi-gigabyte allocation before the
+/// CRC check has a chance to run.
+pub const MAX_PAYLOAD_BYTES: usize = 64 << 20;
+
+fn truncated(what: &str, e: std::io::Error) -> CodingError {
+    CodingError::BadContainer {
+        reason: format!("{what}: {e}"),
+    }
+}
+
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
@@ -280,46 +294,74 @@ impl Packet {
 
     /// Parses one packet off the front of `bytes`, validating the header
     /// and the payload CRC. Returns the packet and the number of bytes
-    /// consumed (trailing bytes are left for the next packet).
+    /// consumed (trailing bytes are left for the next packet). Thin
+    /// wrapper over [`Packet::read_from`] with the slice as the reader.
     ///
     /// # Errors
     ///
     /// Returns [`CodingError::BadContainer`] on truncation, an unknown
-    /// frame kind, or a CRC mismatch.
+    /// frame kind, an implausible length field, or a CRC mismatch.
     pub fn from_bytes(bytes: &[u8]) -> Result<(Packet, usize), CodingError> {
-        if bytes.len() < PACKET_HEADER_BYTES {
+        let mut cursor = bytes;
+        let packet = Packet::read_from(&mut cursor)?;
+        Ok((packet, bytes.len() - cursor.len()))
+    }
+
+    /// Reads exactly one packet off a byte stream, validating the header
+    /// and the payload CRC — the incremental form of
+    /// [`Packet::from_bytes`], for transports where the whole stream is
+    /// never resident (sockets, files). Convenience wrapper over
+    /// [`Packet::read_into`] that allocates a fresh payload.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Packet::read_into`].
+    pub fn read_from(r: &mut impl Read) -> Result<Packet, CodingError> {
+        let mut packet = Packet::new(0, FrameKind::Intra, Vec::new());
+        packet.read_into(r)?;
+        Ok(packet)
+    }
+
+    /// Reads one packet off a byte stream *into* `self`, reusing the
+    /// existing payload allocation — the steady-state read primitive for
+    /// a server pulling length-delimited frames off a socket without ever
+    /// buffering the whole stream. Reads exactly one packet's bytes
+    /// (header, then payload), leaving the reader positioned at the next
+    /// packet.
+    ///
+    /// On error, `self` is left with unspecified (but valid) contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadContainer`] if the reader ends or fails
+    /// mid-packet, on an unknown frame kind, a length field above
+    /// [`MAX_PAYLOAD_BYTES`], or a CRC mismatch.
+    pub fn read_into(&mut self, r: &mut impl Read) -> Result<(), CodingError> {
+        let mut header = [0u8; PACKET_HEADER_BYTES];
+        r.read_exact(&mut header)
+            .map_err(|e| truncated("truncated packet header", e))?;
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let frame_index = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let kind = FrameKind::from_tag(header[8])?;
+        let crc = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD_BYTES {
             return Err(CodingError::BadContainer {
-                reason: format!(
-                    "truncated packet header: {} of {PACKET_HEADER_BYTES} bytes",
-                    bytes.len()
-                ),
+                reason: format!("packet claims {len} payload bytes (cap {MAX_PAYLOAD_BYTES})"),
             });
         }
-        let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
-        let frame_index = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        let kind = FrameKind::from_tag(bytes[8])?;
-        let crc = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes"));
-        let total =
-            len.checked_add(PACKET_HEADER_BYTES)
-                .ok_or_else(|| CodingError::BadContainer {
-                    reason: format!("packet length {len} overflows"),
-                })?;
-        if bytes.len() < total {
-            return Err(CodingError::BadContainer {
-                reason: format!(
-                    "truncated packet: payload claims {len} bytes, {} remain",
-                    bytes.len() - PACKET_HEADER_BYTES
-                ),
-            });
-        }
-        let payload = &bytes[PACKET_HEADER_BYTES..total];
-        let actual = crc32(payload);
+        self.payload.clear();
+        self.payload.resize(len, 0);
+        r.read_exact(&mut self.payload)
+            .map_err(|e| truncated("truncated packet payload", e))?;
+        let actual = crc32(&self.payload);
         if actual != crc {
             return Err(CodingError::BadContainer {
                 reason: format!("packet CRC mismatch: stored {crc:08X}, computed {actual:08X}"),
             });
         }
-        Ok((Packet::new(frame_index, kind, payload.to_vec()), total))
+        self.frame_index = frame_index;
+        self.kind = kind;
+        Ok(())
     }
 }
 
@@ -446,6 +488,62 @@ mod tests {
         bytes.extend_from_slice(&[0; 64]);
         assert!(Packet::from_bytes(&bytes).is_err());
         assert!(split_packets(&bytes).is_err());
+    }
+
+    #[test]
+    fn incremental_read_walks_a_stream_and_reuses_the_allocation() {
+        let a = Packet::new(0, FrameKind::Intra, vec![9; 4096]);
+        let b = Packet::new(1, FrameKind::Predicted, vec![3; 7]);
+        let mut stream = a.to_bytes();
+        stream.extend(b.to_bytes());
+        let mut r: &[u8] = &stream;
+
+        let mut scratch = Packet::new(0, FrameKind::Intra, Vec::new());
+        scratch.read_into(&mut r).unwrap();
+        assert_eq!(scratch, a);
+        let cap_after_big = scratch.payload.capacity();
+        scratch.read_into(&mut r).unwrap();
+        assert_eq!(scratch, b);
+        assert_eq!(
+            scratch.payload.capacity(),
+            cap_after_big,
+            "small read must reuse the large payload allocation"
+        );
+        assert!(r.is_empty(), "reader stops exactly at the packet boundary");
+        // A further read hits EOF cleanly.
+        assert!(scratch.read_into(&mut r).is_err());
+    }
+
+    #[test]
+    fn incremental_read_detects_truncation_and_corruption() {
+        let p = Packet::new(2, FrameKind::Predicted, vec![1, 2, 3, 4, 5]);
+        let bytes = p.to_bytes();
+        // Truncation at every prefix fails cleanly.
+        for cut in 0..bytes.len() {
+            let mut r = &bytes[..cut];
+            assert!(Packet::read_from(&mut r).is_err(), "cut {cut}");
+        }
+        // Whole packet round-trips.
+        let mut r: &[u8] = &bytes;
+        assert_eq!(Packet::read_from(&mut r).unwrap(), p);
+        // Payload corruption is caught by the CRC.
+        let mut corrupt = bytes.clone();
+        *corrupt.last_mut().unwrap() ^= 1;
+        assert!(Packet::read_from(&mut &corrupt[..]).is_err());
+    }
+
+    #[test]
+    fn incremental_read_caps_hostile_lengths() {
+        // A length just above the cap must be rejected before any
+        // payload allocation happens, even though "enough" bytes could
+        // keep streaming in.
+        let mut bytes = ((MAX_PAYLOAD_BYTES + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.push(0x49);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut r: &[u8] = &bytes;
+        let err = Packet::read_from(&mut r).unwrap_err();
+        assert!(format!("{err}").contains("cap"), "{err}");
     }
 
     #[test]

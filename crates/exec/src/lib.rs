@@ -49,7 +49,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Minimum arithmetic work (multiply–accumulates, or comparable scalar
 /// ops) a [`ExecCtx::par_chunks_mut_gated`] call must carry before the
@@ -303,6 +303,162 @@ impl Default for ExecCtx {
     }
 }
 
+/// A shared, capped budget of worker-thread permits.
+///
+/// One process-wide `ExecPool` coordinates many concurrent [`ExecCtx`]
+/// users — typically the serving layer, where every connection owns a
+/// session whose layer work fans out on its own context. Each unit of
+/// scheduled work takes a [`lease`](ExecPool::lease) for as many permits
+/// as the threads it is about to occupy; when all permits are out,
+/// further leases block until one is returned. The combined fan-out
+/// across sessions therefore never oversubscribes the cap, no matter how
+/// many connections are live.
+///
+/// Leases are all-or-nothing and never nest, so the pool cannot
+/// deadlock: every holder eventually drops its lease, waking a waiter.
+/// Cloning the pool is cheap and shares the same budget.
+///
+/// # Example
+///
+/// ```
+/// use nvc_core::ExecPool;
+/// let pool = ExecPool::new(4);
+/// let a = pool.lease(3);
+/// assert_eq!(a.permits(), 3);
+/// assert_eq!(pool.available(), 1);
+/// assert!(pool.try_lease(2).is_none()); // only 1 permit left
+/// drop(a);
+/// assert_eq!(pool.available(), 4);
+/// ```
+#[derive(Clone)]
+pub struct ExecPool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    cap: usize,
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl ExecPool {
+    /// Creates a pool with `cap` thread permits (`0` = all available
+    /// hardware parallelism).
+    pub fn new(cap: usize) -> Self {
+        let cap = if cap == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cap
+        };
+        ExecPool {
+            inner: Arc::new(PoolInner {
+                cap,
+                available: Mutex::new(cap),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The total permit budget.
+    pub fn cap(&self) -> usize {
+        self.inner.cap
+    }
+
+    /// Permits not currently leased (a snapshot; other holders may take
+    /// or return permits immediately after).
+    pub fn available(&self) -> usize {
+        *self.inner.available.lock().expect("pool lock")
+    }
+
+    /// Takes `want.clamp(1, cap)` permits, blocking until they are all
+    /// free. The returned lease carries an [`ExecCtx`] sized to the
+    /// granted permits, for callers that thread a context through their
+    /// work; callers whose sessions own a fixed-width context instead use
+    /// the lease purely as an admission token of equal width.
+    pub fn lease(&self, want: usize) -> ExecLease {
+        let want = want.clamp(1, self.inner.cap);
+        let mut available = self.inner.available.lock().expect("pool lock");
+        while *available < want {
+            available = self.inner.freed.wait(available).expect("pool lock");
+        }
+        *available -= want;
+        drop(available);
+        self.grant(want)
+    }
+
+    /// Non-blocking [`ExecPool::lease`]: returns `None` when the permits
+    /// are not currently free.
+    pub fn try_lease(&self, want: usize) -> Option<ExecLease> {
+        let want = want.clamp(1, self.inner.cap);
+        let mut available = self.inner.available.lock().expect("pool lock");
+        if *available < want {
+            return None;
+        }
+        *available -= want;
+        drop(available);
+        Some(self.grant(want))
+    }
+
+    fn grant(&self, permits: usize) -> ExecLease {
+        ExecLease {
+            inner: Arc::clone(&self.inner),
+            ctx: ExecCtx::with_threads(permits),
+            permits,
+        }
+    }
+}
+
+impl fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExecPool({}/{} free)", self.available(), self.cap())
+    }
+}
+
+/// A granted permit bundle from an [`ExecPool`]; permits return to the
+/// pool on drop. Derefs to the carried [`ExecCtx`] (sized to the grant).
+pub struct ExecLease {
+    inner: Arc<PoolInner>,
+    ctx: ExecCtx,
+    permits: usize,
+}
+
+impl ExecLease {
+    /// Number of permits held.
+    pub fn permits(&self) -> usize {
+        self.permits
+    }
+
+    /// The execution context sized to this grant.
+    pub fn ctx(&self) -> &ExecCtx {
+        &self.ctx
+    }
+}
+
+impl std::ops::Deref for ExecLease {
+    type Target = ExecCtx;
+
+    fn deref(&self) -> &ExecCtx {
+        &self.ctx
+    }
+}
+
+impl Drop for ExecLease {
+    fn drop(&mut self) {
+        if let Ok(mut available) = self.inner.available.lock() {
+            *available += self.permits;
+        }
+        self.inner.freed.notify_all();
+    }
+}
+
+impl fmt::Debug for ExecLease {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExecLease({} permits)", self.permits)
+    }
+}
+
 impl Clone for ExecCtx {
     /// Clones the worker-count configuration; the scratch pool starts
     /// empty (it is a cache, not state).
@@ -472,5 +628,47 @@ mod tests {
     #[should_panic(expected = "boom")]
     fn join_propagates_worker_panics() {
         ExecCtx::with_threads(2).join(|| (), || panic!("boom"));
+    }
+
+    #[test]
+    fn pool_caps_and_returns_permits() {
+        let pool = ExecPool::new(3);
+        assert_eq!(pool.cap(), 3);
+        let a = pool.lease(2);
+        assert_eq!(a.permits(), 2);
+        assert_eq!(a.ctx().threads(), 2);
+        assert_eq!(a.threads(), 2, "lease derefs to its context");
+        assert_eq!(pool.available(), 1);
+        // Oversized requests clamp to the cap instead of deadlocking.
+        assert!(pool.try_lease(10).is_none(), "clamped want 10 -> 3 > 1");
+        let b = pool.try_lease(1).expect("one permit free");
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.available(), 3);
+        let full = pool.lease(10);
+        assert_eq!(full.permits(), 3);
+    }
+
+    #[test]
+    fn pool_blocks_until_permits_return() {
+        let pool = ExecPool::new(2);
+        let held = pool.lease(2);
+        let clone = pool.clone();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(move || clone.lease(2).permits());
+            // Give the waiter time to block, then release.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(held);
+            assert_eq!(waiter.join().unwrap(), 2);
+        });
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn pool_auto_cap_matches_hardware() {
+        assert_eq!(ExecPool::new(0).cap(), ExecCtx::auto().threads());
+        let zero = ExecPool::new(1);
+        assert_eq!(zero.lease(0).permits(), 1, "want 0 clamps to 1");
     }
 }

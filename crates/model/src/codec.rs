@@ -291,6 +291,7 @@ impl CtvcCodec {
             next_index: 0,
             gop_position: 0,
             bytes_per_frame: Vec::new(),
+            bits_per_frame: Vec::new(),
             total_bytes: 0,
             last_recon: None,
         }
@@ -361,6 +362,7 @@ pub struct CtvcEncoderSession<'a> {
     next_index: u32,
     gop_position: u32,
     bytes_per_frame: Vec<usize>,
+    bits_per_frame: Vec<u64>,
     total_bytes: usize,
     last_recon: Option<Frame>,
 }
@@ -493,6 +495,7 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
         };
         let packet = Packet::new(self.next_index, kind, sections.finish());
         self.total_bytes += packet.encoded_len();
+        self.bits_per_frame.push(packet.encoded_len() as u64 * 8);
         self.next_index += 1;
         Ok(packet)
     }
@@ -509,6 +512,7 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
         Ok(StreamStats {
             frames: self.next_index as usize,
             bytes_per_frame: self.bytes_per_frame,
+            bits_per_frame: self.bits_per_frame,
             total_bytes: self.total_bytes,
         })
     }
@@ -723,6 +727,12 @@ mod tests {
         assert_eq!(
             drift, 0.0,
             "streaming decode must match the closed loop exactly"
+        );
+        assert_eq!(coded.stats.bits_per_frame.len(), coded.stats.frames);
+        assert_eq!(
+            coded.stats.bits_per_frame.iter().sum::<u64>(),
+            8 * coded.stats.total_bytes as u64,
+            "per-frame bit counts must add up to the serialized stream"
         );
         // One-shot path over the same packets.
         let one_shot = codec.decode(&coded.to_bytes()).unwrap();

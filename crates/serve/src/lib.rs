@@ -1,0 +1,131 @@
+//! `nvc-serve` — a `std::net`-only multi-session streaming server and
+//! client library for the workspace's codecs.
+//!
+//! The packet container ([`nvc_entropy::container::Packet`]: length
+//! prefix + CRC) and the session API
+//! ([`nvc_video::codec::EncoderSession`] / [`DecoderSession`]) were built
+//! transport-shaped; this crate is the transport. A connection speaks a
+//! small tagged-message protocol (see [`proto`]):
+//!
+//! 1. a [`Hello`] handshake fixes the codec family (learned CTVC-Net or
+//!    the classical hybrid), the stream geometry, the rate
+//!    (`RatePoint`/QP, validated server-side) and the *direction* —
+//!    whether the server runs the encoder (raw frames in, packets out)
+//!    or the decoder (packets in, reconstructed frames out);
+//! 2. length-delimited messages stream one coded [`Packet`] or one raw
+//!    frame at a time, each answered in order by the opposite kind;
+//! 3. an end-of-stream marker is answered with a
+//!    [`nvc_video::StreamStats`] trailer (per-frame byte and bit
+//!    counts), then the connection closes.
+//!
+//! Server side, a [`Server`] runs an acceptor plus a session pool:
+//! every connection owns one live encoder/decoder session (the carried
+//! reference state stays resident between packets, VCT-style), a
+//! per-connection reader thread parses and CRC-validates messages into a
+//! bounded queue (backpressure), and a fixed set of workers schedules
+//! sessions onto the compute in GOP-grain batches — packet *N + 1* of
+//! stream A is parsed and validated while packet *N* of stream B runs
+//! reconstruction. Total compute fan-out is capped by a shared
+//! [`nvc_core::ExecPool`]. Client side, a blocking [`StreamClient`]
+//! pipelines up to a window of messages per stream.
+//!
+//! Malformed input — a bogus handshake, a truncated or CRC-corrupted
+//! packet, geometry that does not match the stream — yields a clean
+//! error message to the peer and a closed connection, never a panic or a
+//! hang; bitstreams and reconstructions are bit-identical to the
+//! in-process session API at every worker count.
+//!
+//! # Example
+//!
+//! ```
+//! use nvc_model::CtvcConfig;
+//! use nvc_serve::{Hello, ServeConfig, Server, StreamClient};
+//! use nvc_video::synthetic::{SceneConfig, Synthesizer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ServeConfig {
+//!     ctvc: CtvcConfig::ctvc_fp(8),
+//!     ..ServeConfig::default()
+//! };
+//! let server = Server::spawn("127.0.0.1:0", cfg)?;
+//!
+//! // Remote-encode two frames; the server returns the coded packets.
+//! let seq = Synthesizer::new(SceneConfig::uvg_like(32, 32, 2)).generate();
+//! let mut client = StreamClient::connect(server.addr(), Hello::ctvc_encode(1, 32, 32))?;
+//! for frame in seq.frames() {
+//!     client.send_frame(frame)?;
+//! }
+//! let summary = client.finish()?;
+//! assert_eq!(summary.packets.len(), 2);
+//! assert_eq!(summary.stats.frames, 2);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+pub mod proto;
+mod server;
+
+pub use client::{StreamClient, StreamSummary};
+pub use proto::{Direction, Family, Hello};
+pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type of the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed wire data detected locally (bad tag, bad CRC, bad
+    /// geometry, truncation).
+    Protocol(String),
+    /// A failure reported by the peer before it closed the connection.
+    Remote(String),
+    /// Codec-side failure (invalid frame, undecodable payload).
+    Codec(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Protocol(s) => write!(f, "protocol error: {s}"),
+            ServeError::Remote(s) => write!(f, "remote error: {s}"),
+            ServeError::Codec(s) => write!(f, "codec error: {s}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<nvc_entropy::CodingError> for ServeError {
+    fn from(e: nvc_entropy::CodingError) -> Self {
+        ServeError::Protocol(e.to_string())
+    }
+}
+
+impl From<nvc_video::VideoError> for ServeError {
+    fn from(e: nvc_video::VideoError) -> Self {
+        ServeError::Codec(e.to_string())
+    }
+}

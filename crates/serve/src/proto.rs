@@ -1,0 +1,550 @@
+//! The `nvc-serve` wire protocol.
+//!
+//! Everything on the socket is a tagged message; all integers are
+//! little-endian. A connection is:
+//!
+//! ```text
+//! client                                server
+//!   |-- Hello ("NVCS", ver, family,       |
+//!   |          direction, w, h, rate) --> |
+//!   |<------------- 'A' ack (rate) ------ |   (or 'X' error + close)
+//!   |-- 'P' packet / 'F' frame ---------> |   one per coded/raw frame
+//!   |<-- 'F' frame / 'P' packet --------- |   same order, same count
+//!   |-- 'E' end ------------------------> |
+//!   |<-- 'S' stats trailer -------------- |   then both sides close
+//! ```
+//!
+//! * `'P'` carries one serialized [`Packet`] (self-delimiting: length
+//!   prefix, frame index, frame kind, payload CRC32).
+//! * `'F'` carries one raw frame:
+//!   `[index: u32][w: u16][h: u16][crc32: u32][rgb: 3·w·h f32 LE]`.
+//!   The CRC covers the pixel bytes, so a decode client detects
+//!   corruption exactly as the server detects it on coded packets.
+//! * `'S'` carries the stream's [`StreamStats`]: per-frame payload bytes
+//!   and per-frame serialized bits.
+//! * `'X'` carries a UTF-8 failure description; the sender closes the
+//!   connection right after. It is valid at any point, including instead
+//!   of the handshake ack.
+//!
+//! The module is public so alternative transports (or tests) can speak
+//! the protocol directly; [`StreamClient`](crate::StreamClient) and
+//! [`Server`](crate::Server) are the intended entry points.
+
+use crate::ServeError;
+use nvc_entropy::container::{crc32, Packet};
+use nvc_tensor::{Shape, Tensor};
+use nvc_video::{Frame, StreamStats};
+use std::io::{Read, Write};
+
+/// Handshake magic: every connection starts with these four bytes.
+pub const MAGIC: [u8; 4] = *b"NVCS";
+
+/// Wire-protocol version.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on frame dimensions accepted from the wire, keeping a
+/// hostile `Hello` or frame header from forcing a giant allocation.
+pub const MAX_DIM: usize = 8192;
+
+/// Cap on an error-message body.
+pub const MAX_ERROR_BYTES: usize = 1 << 16;
+
+/// Cap on the frame count a stats trailer may claim.
+pub const MAX_STATS_FRAMES: usize = 1 << 20;
+
+/// Message tag: handshake acknowledgement (server → client).
+pub const MSG_ACK: u8 = b'A';
+/// Message tag: one serialized coded packet.
+pub const MSG_PACKET: u8 = b'P';
+/// Message tag: one raw frame.
+pub const MSG_FRAME: u8 = b'F';
+/// Message tag: end of stream (client → server).
+pub const MSG_END: u8 = b'E';
+/// Message tag: stream statistics trailer (server → client).
+pub const MSG_STATS: u8 = b'S';
+/// Message tag: failure description, connection closes after.
+pub const MSG_ERROR: u8 = b'X';
+
+/// Which codec family serves the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// The learned CTVC-Net codec (rate = `RatePoint` index, validated
+    /// via `RatePoint::try_new`).
+    Ctvc,
+    /// The classical hybrid baseline (rate = QP).
+    Hybrid,
+}
+
+impl Family {
+    fn tag(self) -> u8 {
+        match self {
+            Family::Ctvc => 0,
+            Family::Hybrid => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, ServeError> {
+        match tag {
+            0 => Ok(Family::Ctvc),
+            1 => Ok(Family::Hybrid),
+            other => Err(ServeError::Protocol(format!(
+                "unknown codec family 0x{other:02X}"
+            ))),
+        }
+    }
+}
+
+/// Which side of the codec the *server* runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Server encodes: the client streams raw frames and receives coded
+    /// packets.
+    Encode,
+    /// Server decodes: the client streams coded packets and receives
+    /// reconstructed frames.
+    Decode,
+}
+
+impl Direction {
+    fn tag(self) -> u8 {
+        match self {
+            Direction::Encode => 0,
+            Direction::Decode => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, ServeError> {
+        match tag {
+            0 => Ok(Direction::Encode),
+            1 => Ok(Direction::Decode),
+            other => Err(ServeError::Protocol(format!(
+                "unknown direction 0x{other:02X}"
+            ))),
+        }
+    }
+}
+
+/// The handshake opening every connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Codec family serving the stream.
+    pub family: Family,
+    /// Which side of the codec the server runs.
+    pub direction: Direction,
+    /// Stream width in pixels.
+    pub width: usize,
+    /// Stream height in pixels.
+    pub height: usize,
+    /// Rate parameter: a `RatePoint` index for [`Family::Ctvc`]
+    /// (validated server-side via `try_new`), a QP for
+    /// [`Family::Hybrid`]. For decode streams the authoritative rate
+    /// rides in the bitstream header; the handshake value is still
+    /// validated so a bogus request fails fast.
+    pub rate: u8,
+}
+
+impl Hello {
+    /// Handshake for a CTVC decode stream (client sends packets).
+    pub fn ctvc_decode(rate: u8, width: usize, height: usize) -> Self {
+        Hello {
+            family: Family::Ctvc,
+            direction: Direction::Decode,
+            width,
+            height,
+            rate,
+        }
+    }
+
+    /// Handshake for a CTVC encode stream (client sends raw frames).
+    pub fn ctvc_encode(rate: u8, width: usize, height: usize) -> Self {
+        Hello {
+            family: Family::Ctvc,
+            direction: Direction::Encode,
+            width,
+            height,
+            rate,
+        }
+    }
+
+    /// Handshake for a hybrid-baseline decode stream.
+    pub fn hybrid_decode(qp: u8, width: usize, height: usize) -> Self {
+        Hello {
+            family: Family::Hybrid,
+            direction: Direction::Decode,
+            width,
+            height,
+            rate: qp,
+        }
+    }
+
+    /// Handshake for a hybrid-baseline encode stream.
+    pub fn hybrid_encode(qp: u8, width: usize, height: usize) -> Self {
+        Hello {
+            family: Family::Hybrid,
+            direction: Direction::Encode,
+            width,
+            height,
+            rate: qp,
+        }
+    }
+
+    /// Serializes the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` for geometry outside `1..=`[`MAX_DIM`]
+    /// (which would otherwise truncate silently in the `u16` wire
+    /// fields); propagates writer failures.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        check_wire_dims(self.width, self.height)?;
+        w.write_all(&MAGIC)?;
+        w.write_all(&[VERSION, self.family.tag(), self.direction.tag(), self.rate])?;
+        w.write_all(&(self.width as u16).to_le_bytes())?;
+        w.write_all(&(self.height as u16).to_le_bytes())
+    }
+
+    /// Reads and structurally validates a handshake (magic, version,
+    /// known tags, plausible geometry). Semantic validation — rate range,
+    /// codec-specific geometry constraints — happens server-side after
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] on anything that is not a
+    /// well-formed version-1 handshake.
+    pub fn read_from(r: &mut impl Read) -> Result<Hello, ServeError> {
+        let mut head = [0u8; 8];
+        r.read_exact(&mut head)
+            .map_err(|e| ServeError::Protocol(format!("truncated handshake: {e}")))?;
+        if head[0..4] != MAGIC {
+            return Err(ServeError::Protocol(format!(
+                "bad magic {:02X?} (expected \"NVCS\")",
+                &head[0..4]
+            )));
+        }
+        if head[4] != VERSION {
+            return Err(ServeError::Protocol(format!(
+                "unsupported protocol version {} (expected {VERSION})",
+                head[4]
+            )));
+        }
+        let family = Family::from_tag(head[5])?;
+        let direction = Direction::from_tag(head[6])?;
+        let rate = head[7];
+        let width = read_u16(r)? as usize;
+        let height = read_u16(r)? as usize;
+        if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+            return Err(ServeError::Protocol(format!(
+                "implausible stream geometry {width}x{height}"
+            )));
+        }
+        Ok(Hello {
+            family,
+            direction,
+            width,
+            height,
+            rate,
+        })
+    }
+}
+
+fn check_wire_dims(width: usize, height: usize) -> std::io::Result<()> {
+    if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("geometry {width}x{height} outside the wire range 1..={MAX_DIM}"),
+        ));
+    }
+    Ok(())
+}
+
+pub(crate) fn read_u8(r: &mut impl Read) -> std::io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+pub(crate) fn read_u16(r: &mut impl Read) -> std::io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+pub(crate) fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+pub(crate) fn read_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes one raw-frame message (`'F'` tag + body).
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for frames outside the wire's geometry range
+/// (see [`MAX_DIM`]); propagates writer failures.
+pub fn write_frame_msg(w: &mut impl Write, index: u32, frame: &Frame) -> std::io::Result<()> {
+    check_wire_dims(frame.width(), frame.height())?;
+    let data = frame.tensor().as_slice();
+    let mut payload = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&[MSG_FRAME])?;
+    w.write_all(&index.to_le_bytes())?;
+    w.write_all(&(frame.width() as u16).to_le_bytes())?;
+    w.write_all(&(frame.height() as u16).to_le_bytes())?;
+    w.write_all(&crc32(&payload).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Reads a raw-frame body (after its `'F'` tag), validating geometry
+/// plausibility and the pixel CRC. Returns the sender's frame index and
+/// the frame; f32 bit patterns round-trip exactly.
+///
+/// When `expect` gives the stream's negotiated geometry, the header is
+/// checked against it *before* any payload is read — a hostile size
+/// field can then never drive an allocation or a blocking bulk read.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on truncation, implausible or
+/// mismatched geometry, or CRC mismatch.
+pub fn read_frame_body(
+    r: &mut impl Read,
+    expect: Option<(usize, usize)>,
+) -> Result<(u32, Frame), ServeError> {
+    let index = read_u32(r)?;
+    let width = read_u16(r)? as usize;
+    let height = read_u16(r)? as usize;
+    let crc = read_u32(r)?;
+    if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+        return Err(ServeError::Protocol(format!(
+            "implausible frame geometry {width}x{height}"
+        )));
+    }
+    if let Some((ew, eh)) = expect {
+        if (width, height) != (ew, eh) {
+            return Err(ServeError::Protocol(format!(
+                "frame {width}x{height} does not match negotiated {ew}x{eh}"
+            )));
+        }
+    }
+    let mut payload = vec![0u8; 12 * width * height];
+    r.read_exact(&mut payload)
+        .map_err(|e| ServeError::Protocol(format!("truncated frame payload: {e}")))?;
+    let actual = crc32(&payload);
+    if actual != crc {
+        return Err(ServeError::Protocol(format!(
+            "frame CRC mismatch: stored {crc:08X}, computed {actual:08X}"
+        )));
+    }
+    let mut tensor = Tensor::zeros(Shape::new(1, 3, height, width));
+    for (v, chunk) in tensor
+        .as_mut_slice()
+        .iter_mut()
+        .zip(payload.chunks_exact(4))
+    {
+        *v = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    let frame = Frame::from_tensor(tensor).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    Ok((index, frame))
+}
+
+/// Writes one coded-packet message (`'P'` tag + serialized packet).
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_packet_msg(w: &mut impl Write, packet: &Packet) -> std::io::Result<()> {
+    w.write_all(&[MSG_PACKET])?;
+    w.write_all(&packet.to_bytes())
+}
+
+/// Writes the stream-statistics trailer (`'S'` tag + body).
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_stats_msg(w: &mut impl Write, stats: &StreamStats) -> std::io::Result<()> {
+    w.write_all(&[MSG_STATS])?;
+    w.write_all(&(stats.frames as u32).to_le_bytes())?;
+    w.write_all(&(stats.total_bytes as u64).to_le_bytes())?;
+    for &b in &stats.bytes_per_frame {
+        w.write_all(&(b as u32).to_le_bytes())?;
+    }
+    for &b in &stats.bits_per_frame {
+        w.write_all(&b.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a stream-statistics body (after its `'S'` tag).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on truncation or an implausible
+/// frame count.
+pub fn read_stats_body(r: &mut impl Read) -> Result<StreamStats, ServeError> {
+    let frames = read_u32(r)? as usize;
+    if frames > MAX_STATS_FRAMES {
+        return Err(ServeError::Protocol(format!(
+            "stats trailer claims {frames} frames"
+        )));
+    }
+    let total_bytes = read_u64(r)? as usize;
+    let mut bytes_per_frame = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        bytes_per_frame.push(read_u32(r)? as usize);
+    }
+    let mut bits_per_frame = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        bits_per_frame.push(read_u64(r)?);
+    }
+    Ok(StreamStats {
+        frames,
+        bytes_per_frame,
+        bits_per_frame,
+        total_bytes,
+    })
+}
+
+/// Writes a failure-description message (`'X'` tag + body). The sender
+/// closes the connection after this.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_error_msg(w: &mut impl Write, message: &str) -> std::io::Result<()> {
+    let bytes = message.as_bytes();
+    let len = bytes.len().min(MAX_ERROR_BYTES);
+    w.write_all(&[MSG_ERROR])?;
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&bytes[..len])
+}
+
+/// Reads a failure-description body (after its `'X'` tag).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on truncation or an oversized body.
+pub fn read_error_body(r: &mut impl Read) -> Result<String, ServeError> {
+    let len = read_u32(r)? as usize;
+    if len > MAX_ERROR_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "error message claims {len} bytes"
+        )));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)
+        .map_err(|e| ServeError::Protocol(format!("truncated error message: {e}")))?;
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrips() {
+        let h = Hello::ctvc_decode(2, 96, 64);
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(Hello::read_from(&mut &buf[..]).unwrap(), h);
+        for h in [
+            Hello::ctvc_encode(0, 16, 16),
+            Hello::hybrid_decode(40, 640, 368),
+            Hello::hybrid_encode(28, 1920, 1088),
+        ] {
+            let mut buf = Vec::new();
+            h.write_to(&mut buf).unwrap();
+            assert_eq!(Hello::read_from(&mut &buf[..]).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn hello_rejects_garbage() {
+        // Bad magic.
+        assert!(Hello::read_from(&mut &b"XXXX\x01\x00\x00\x00\x10\x00\x10\x00"[..]).is_err());
+        // Bad version.
+        assert!(Hello::read_from(&mut &b"NVCS\x09\x00\x00\x00\x10\x00\x10\x00"[..]).is_err());
+        // Unknown family / direction tags.
+        assert!(Hello::read_from(&mut &b"NVCS\x01\x07\x00\x00\x10\x00\x10\x00"[..]).is_err());
+        assert!(Hello::read_from(&mut &b"NVCS\x01\x00\x07\x00\x10\x00\x10\x00"[..]).is_err());
+        // Zero geometry.
+        assert!(Hello::read_from(&mut &b"NVCS\x01\x00\x00\x00\x00\x00\x10\x00"[..]).is_err());
+        // Truncation at every prefix.
+        let mut buf = Vec::new();
+        Hello::ctvc_decode(1, 32, 32).write_to(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(Hello::read_from(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_message_roundtrips_bit_exactly() {
+        let frame = Frame::from_tensor(Tensor::from_fn(Shape::new(1, 3, 6, 4), |_, c, y, x| {
+            (c * 100 + y * 10 + x) as f32 * 0.01 - 0.3
+        }))
+        .unwrap();
+        let mut buf = Vec::new();
+        write_frame_msg(&mut buf, 7, &frame).unwrap();
+        assert_eq!(buf[0], MSG_FRAME);
+        let (index, back) = read_frame_body(&mut &buf[1..], None).unwrap();
+        assert_eq!(index, 7);
+        assert_eq!(back.tensor().as_slice(), frame.tensor().as_slice());
+        // A negotiated-geometry mismatch is caught on the header alone.
+        assert!(read_frame_body(&mut &buf[1..], Some((4, 6))).is_ok());
+        assert!(read_frame_body(&mut &buf[1..13], Some((16, 16))).is_err());
+        // Pixel corruption is caught by the CRC.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(read_frame_body(&mut &buf[1..], None).is_err());
+        // Truncation fails cleanly.
+        assert!(read_frame_body(&mut &buf[1..buf.len() - 4], None).is_err());
+    }
+
+    #[test]
+    fn write_side_rejects_untransmittable_geometry() {
+        let mut buf = Vec::new();
+        let hello = Hello::ctvc_encode(1, MAX_DIM + 16, 32);
+        let err = hello.write_to(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "nothing may hit the wire on rejection");
+    }
+
+    #[test]
+    fn stats_message_roundtrips() {
+        let stats = StreamStats {
+            frames: 3,
+            bytes_per_frame: vec![120, 40, 41],
+            bits_per_frame: vec![1064, 424, 432],
+            total_bytes: 240,
+        };
+        let mut buf = Vec::new();
+        write_stats_msg(&mut buf, &stats).unwrap();
+        assert_eq!(buf[0], MSG_STATS);
+        assert_eq!(read_stats_body(&mut &buf[1..]).unwrap(), stats);
+        assert!(read_stats_body(&mut &buf[1..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn error_message_roundtrips_and_caps() {
+        let mut buf = Vec::new();
+        write_error_msg(&mut buf, "decode: packet CRC mismatch").unwrap();
+        assert_eq!(buf[0], MSG_ERROR);
+        assert_eq!(
+            read_error_body(&mut &buf[1..]).unwrap(),
+            "decode: packet CRC mismatch"
+        );
+        // A hostile length field is rejected without allocating.
+        let mut hostile = vec![0xFF, 0xFF, 0xFF, 0x7F];
+        hostile.extend_from_slice(b"x");
+        assert!(read_error_body(&mut &hostile[..]).is_err());
+    }
+}

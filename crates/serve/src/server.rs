@@ -1,0 +1,804 @@
+//! The serving side: acceptor, per-connection reader threads, and a
+//! session pool scheduling GOP-grain batches onto shared compute.
+//!
+//! # Threading model
+//!
+//! ```text
+//! acceptor ──┬── reader(conn 1) ──► slot 1 queue ─┐   ready    ┌─ worker 1
+//!            ├── reader(conn 2) ──► slot 2 queue ─┼──►queue ──►┼─ worker 2
+//!            └── reader(conn K) ──► slot K queue ─┘            └─ worker W
+//! ```
+//!
+//! * Each **reader** parses and CRC-validates messages off its socket
+//!   ([`Packet::read_from`] — the stream is never buffered whole) into
+//!   the connection's bounded queue. A full queue blocks the reader,
+//!   which stops reading the socket, which backpressures the client
+//!   through TCP.
+//! * Each **worker** pops a ready session and runs one *GOP-grain batch*
+//!   of its queued jobs: up to [`ServeConfig::gop_batch`] frames,
+//!   cutting before the next intra packet so a scheduling quantum never
+//!   straddles a GOP boundary. One session is never on two workers at
+//!   once (frames of a stream are strictly ordered); different sessions
+//!   overlap freely — packet *N + 1* of stream A parses and validates
+//!   while packet *N* of stream B reconstructs.
+//! * Every batch holds an [`ExecPool`] lease for the session's context
+//!   width while it computes, so total fan-out across all sessions stays
+//!   under [`ServeConfig::exec_cap`] regardless of the connection count.
+
+use crate::proto::{
+    read_frame_body, read_u8, write_error_msg, write_frame_msg, write_packet_msg, write_stats_msg,
+    Direction, Family, Hello, MSG_ACK, MSG_END, MSG_FRAME, MSG_PACKET,
+};
+use nvc_baseline::{HybridCodec, Profile};
+use nvc_core::ExecPool;
+use nvc_entropy::container::{FrameKind, Packet};
+use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
+use nvc_video::codec::{DecoderSession, EncoderSession, StreamStats};
+use nvc_video::Frame;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll interval for stop-flag checks in blocking reads and accepts.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Write timeout on server-side sockets, so a vanished client can never
+/// wedge a pool worker mid-response.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long an error-terminated connection drains unread peer data
+/// before hard-closing (see `hangup`).
+const DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Configuration of the served CTVC-Net codec ([`Family::Ctvc`]
+    /// streams). Its `threads` field is overridden by
+    /// [`ServeConfig::threads_per_session`].
+    pub ctvc: CtvcConfig,
+    /// Profile of the served hybrid baseline ([`Family::Hybrid`]).
+    pub hybrid: Profile,
+    /// Pool workers — the number of sessions computing concurrently
+    /// (`0` = all available hardware parallelism).
+    pub workers: usize,
+    /// `ExecCtx` width per session (layer-level fan-out inside one
+    /// frame). Serving throughput favors many narrow sessions over few
+    /// wide ones, so the default is 1.
+    pub threads_per_session: usize,
+    /// Total compute-thread permits shared by all sessions (`0` = all
+    /// available hardware parallelism). See [`ExecPool`].
+    pub exec_cap: usize,
+    /// Per-session pending-job bound; a full queue blocks the
+    /// connection's reader (backpressure).
+    pub queue_depth: usize,
+    /// Maximum jobs one scheduling quantum may run before the session
+    /// goes back to the ready queue (quanta also cut at GOP boundaries).
+    pub gop_batch: usize,
+    /// Maximum concurrent sessions; further connections are rejected
+    /// with an error message.
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            ctvc: CtvcConfig::ctvc_fp(12),
+            hybrid: Profile::hevc_like(),
+            workers: 0,
+            threads_per_session: 1,
+            exec_cap: 0,
+            queue_depth: 4,
+            gop_batch: 8,
+            max_sessions: 64,
+        }
+    }
+}
+
+/// Lifetime counters reported by [`ServerHandle::shutdown`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Sessions that completed the handshake.
+    pub sessions: usize,
+    /// Connections rejected (failed handshake or over capacity).
+    pub rejected: usize,
+    /// Frames processed across all sessions (encoded + decoded).
+    pub frames: u64,
+    /// Sessions that ended in an error (protocol or codec failure).
+    pub errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    sessions: AtomicUsize,
+    rejected: AtomicUsize,
+    active: AtomicUsize,
+    frames: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Counters {
+    fn report(&self) -> ServeReport {
+        ServeReport {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The `nvc-serve` TCP server. See [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` and starts serving on a background thread. The
+    /// returned handle exposes the bound address (bind to port 0 for an
+    /// ephemeral one) and shuts the server down when dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound or the served
+    /// codec configuration is invalid.
+    pub fn spawn(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let threads = cfg.threads_per_session.max(1);
+        let ctvc = CtvcCodec::new(cfg.ctvc.clone().with_threads(threads))
+            .map_err(|e| io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+        let hybrid = HybridCodec::with_threads(cfg.hybrid.clone(), threads);
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let (stop2, counters2) = (Arc::clone(&stop), Arc::clone(&counters));
+        let join = std::thread::Builder::new()
+            .name("nvc-serve".into())
+            .spawn(move || run(listener, cfg, ctvc, hybrid, &stop2, &counters2))?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            counters,
+            join: Some(join),
+        })
+    }
+}
+
+/// Handle to a running [`Server`]; shuts it down on drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time snapshot of the serving counters.
+    pub fn report(&self) -> ServeReport {
+        self.counters.report()
+    }
+
+    /// Stops accepting, drains worker threads and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.stop_and_join();
+        self.counters.report()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduling structures
+// ---------------------------------------------------------------------
+
+/// One unit of session work, produced by a reader, consumed by a worker.
+enum Job {
+    /// A parsed, CRC-validated coded packet (decode sessions).
+    Packet(Packet),
+    /// A raw frame (encode sessions).
+    Frame(Frame),
+    /// Clean end of stream: finalize, send the stats trailer.
+    End,
+    /// Reader-detected failure: report to the peer and close.
+    Abort(String),
+}
+
+impl Job {
+    fn is_control(&self) -> bool {
+        matches!(self, Job::End | Job::Abort(_))
+    }
+}
+
+#[derive(Default)]
+struct SlotState {
+    pending: VecDeque<Job>,
+    /// In the ready queue or on a worker. Guarantees one-worker-at-a-time
+    /// (stream order) and at most one ready-queue entry per slot.
+    scheduled: bool,
+    dead: bool,
+}
+
+/// Per-connection session state shared between its reader and the pool.
+struct Slot<'env> {
+    state: Mutex<SlotState>,
+    /// Signalled when a worker drains jobs (readers wait here when the
+    /// queue is full) and when the slot dies.
+    space: Condvar,
+    runner: Mutex<Box<dyn SessionRunner + Send + 'env>>,
+}
+
+struct Scheduler<'env> {
+    ready: Mutex<VecDeque<Arc<Slot<'env>>>>,
+    work: Condvar,
+    queue_depth: usize,
+    gop_batch: usize,
+}
+
+impl<'env> Scheduler<'env> {
+    fn new(queue_depth: usize, gop_batch: usize) -> Self {
+        Scheduler {
+            ready: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            queue_depth: queue_depth.max(1),
+            gop_batch: gop_batch.max(1),
+        }
+    }
+
+    /// Queues one job for a session, blocking while the queue is full
+    /// (control jobs bypass the bound so a stream can always terminate).
+    /// Returns `false` if the session is already dead or the server is
+    /// stopping.
+    fn enqueue(&self, slot: &Arc<Slot<'env>>, job: Job, stop: &AtomicBool) -> bool {
+        let mut state = slot.state.lock().expect("slot lock");
+        while !job.is_control() && state.pending.len() >= self.queue_depth {
+            if state.dead || stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            let (guard, _) = slot.space.wait_timeout(state, POLL).expect("slot lock");
+            state = guard;
+        }
+        if state.dead || stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        state.pending.push_back(job);
+        let newly_ready = !state.scheduled;
+        state.scheduled = true;
+        drop(state);
+        if newly_ready {
+            self.ready
+                .lock()
+                .expect("ready lock")
+                .push_back(Arc::clone(slot));
+            self.work.notify_one();
+        }
+        true
+    }
+
+    /// Blocks for the next ready session; `None` once the server stops.
+    fn next_ready(&self, stop: &AtomicBool) -> Option<Arc<Slot<'env>>> {
+        let mut ready = self.ready.lock().expect("ready lock");
+        loop {
+            if let Some(slot) = ready.pop_front() {
+                return Some(slot);
+            }
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            let (guard, _) = self.work.wait_timeout(ready, POLL).expect("ready lock");
+            ready = guard;
+        }
+    }
+
+    fn requeue(&self, slot: Arc<Slot<'env>>) {
+        self.ready.lock().expect("ready lock").push_back(slot);
+        self.work.notify_one();
+    }
+
+    /// Takes one scheduling quantum off a slot's queue: at most
+    /// `gop_batch` jobs, cutting *before* an intra packet so a quantum
+    /// never straddles a GOP boundary.
+    fn take_batch(&self, state: &mut SlotState) -> Vec<Job> {
+        let mut batch = Vec::new();
+        while batch.len() < self.gop_batch {
+            match state.pending.front() {
+                Some(Job::Packet(p)) if !batch.is_empty() && p.kind == FrameKind::Intra => break,
+                Some(_) => batch.push(state.pending.pop_front().expect("non-empty front")),
+                None => break,
+            }
+        }
+        batch
+    }
+}
+
+fn worker_loop<'env>(
+    sched: &Scheduler<'env>,
+    exec: &ExecPool,
+    threads_per_session: usize,
+    stop: &AtomicBool,
+    counters: &Counters,
+) {
+    while let Some(slot) = sched.next_ready(stop) {
+        let batch = {
+            let mut state = slot.state.lock().expect("slot lock");
+            sched.take_batch(&mut state)
+        };
+        slot.space.notify_all();
+        let mut finished = false;
+        if !batch.is_empty() {
+            // The lease (not the session's own context) is what caps the
+            // machine-wide fan-out: the runner's session computes on a
+            // context of exactly this width, so permits model threads.
+            let _lease = exec.lease(threads_per_session);
+            let mut runner = slot.runner.lock().expect("runner lock");
+            for job in batch {
+                let data = matches!(job, Job::Packet(_) | Job::Frame(_));
+                match runner.step(job) {
+                    StepOutcome::Continue => {
+                        if data {
+                            counters.frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    StepOutcome::Finished => {
+                        if data {
+                            counters.frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                        finished = true;
+                        break;
+                    }
+                    StepOutcome::Failed => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        finished = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut state = slot.state.lock().expect("slot lock");
+        if finished {
+            state.dead = true;
+            state.pending.clear();
+            state.scheduled = false;
+            drop(state);
+            slot.space.notify_all();
+            counters.active.fetch_sub(1, Ordering::Relaxed);
+        } else if state.pending.is_empty() {
+            state.scheduled = false;
+        } else {
+            drop(state);
+            sched.requeue(slot);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session runners
+// ---------------------------------------------------------------------
+
+enum StepOutcome {
+    Continue,
+    Finished,
+    Failed,
+}
+
+/// One live session: consumes jobs in stream order, writes responses to
+/// its own connection. A runner is only ever driven by one worker at a
+/// time (see [`SlotState::scheduled`]).
+trait SessionRunner {
+    fn step(&mut self, job: Job) -> StepOutcome;
+}
+
+fn hangup(out: &mut BufWriter<TcpStream>, message: Option<&str>) {
+    if let Some(message) = message {
+        let _ = write_error_msg(out, message);
+        let _ = out.flush();
+        // Deliver the error reliably: closing while client data is still
+        // queued unread would RST the connection, which can destroy the
+        // message before the peer reads it. Half-close, then drain and
+        // discard whatever the peer already sent (bounded by a deadline;
+        // the socket carries a `POLL` read timeout).
+        let sock = out.get_ref();
+        let _ = sock.shutdown(Shutdown::Write);
+        let deadline = std::time::Instant::now() + DRAIN_TIMEOUT;
+        let mut discard = [0u8; 4096];
+        while std::time::Instant::now() < deadline {
+            match (&mut &*sock).read(&mut discard) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => break,
+            }
+        }
+    } else {
+        let _ = out.flush();
+    }
+    let _ = out.get_ref().shutdown(Shutdown::Both);
+}
+
+struct DecodeRunner<S> {
+    sess: S,
+    out: BufWriter<TcpStream>,
+    /// Geometry from the handshake; the decoded stream must match it,
+    /// so clients can trust the negotiated size end to end.
+    negotiated: (usize, usize),
+    bytes_per_frame: Vec<usize>,
+    bits_per_frame: Vec<u64>,
+    total_bytes: usize,
+}
+
+impl<S: DecoderSession> DecodeRunner<S> {
+    fn new(sess: S, negotiated: (usize, usize), out: BufWriter<TcpStream>) -> Self {
+        DecodeRunner {
+            sess,
+            out,
+            negotiated,
+            bytes_per_frame: Vec::new(),
+            bits_per_frame: Vec::new(),
+            total_bytes: 0,
+        }
+    }
+}
+
+impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
+    fn step(&mut self, job: Job) -> StepOutcome {
+        match job {
+            Job::Packet(packet) => {
+                let bytes = packet.to_bytes();
+                match self.sess.push_packet(&bytes) {
+                    Ok(frame) if (frame.width(), frame.height()) != self.negotiated => {
+                        hangup(
+                            &mut self.out,
+                            Some(&format!(
+                                "bitstream is {}x{}, negotiated {}x{}",
+                                frame.width(),
+                                frame.height(),
+                                self.negotiated.0,
+                                self.negotiated.1
+                            )),
+                        );
+                        StepOutcome::Failed
+                    }
+                    Ok(frame) => {
+                        self.bytes_per_frame.push(packet.payload.len());
+                        self.bits_per_frame.push(bytes.len() as u64 * 8);
+                        self.total_bytes += bytes.len();
+                        let ok = write_frame_msg(&mut self.out, packet.frame_index, &frame)
+                            .and_then(|()| self.out.flush())
+                            .is_ok();
+                        if ok {
+                            StepOutcome::Continue
+                        } else {
+                            hangup(&mut self.out, None);
+                            StepOutcome::Failed
+                        }
+                    }
+                    Err(e) => {
+                        hangup(&mut self.out, Some(&format!("decode: {e}")));
+                        StepOutcome::Failed
+                    }
+                }
+            }
+            Job::Frame(_) => {
+                hangup(&mut self.out, Some("raw frame on a decode stream"));
+                StepOutcome::Failed
+            }
+            Job::End => {
+                let stats = StreamStats {
+                    frames: self.bytes_per_frame.len(),
+                    bytes_per_frame: std::mem::take(&mut self.bytes_per_frame),
+                    bits_per_frame: std::mem::take(&mut self.bits_per_frame),
+                    total_bytes: self.total_bytes,
+                };
+                let _ = write_stats_msg(&mut self.out, &stats);
+                hangup(&mut self.out, None);
+                StepOutcome::Finished
+            }
+            Job::Abort(message) => {
+                hangup(&mut self.out, Some(&message));
+                StepOutcome::Failed
+            }
+        }
+    }
+}
+
+struct EncodeRunner<S> {
+    sess: Option<S>,
+    out: BufWriter<TcpStream>,
+}
+
+impl<S: EncoderSession> EncodeRunner<S> {
+    fn new(sess: S, out: BufWriter<TcpStream>) -> Self {
+        EncodeRunner {
+            sess: Some(sess),
+            out,
+        }
+    }
+}
+
+impl<S: EncoderSession> SessionRunner for EncodeRunner<S> {
+    fn step(&mut self, job: Job) -> StepOutcome {
+        let Some(sess) = self.sess.as_mut() else {
+            hangup(&mut self.out, Some("stream already finished"));
+            return StepOutcome::Failed;
+        };
+        match job {
+            Job::Frame(frame) => match sess.push_frame(&frame) {
+                Ok(packet) => {
+                    let ok = write_packet_msg(&mut self.out, &packet)
+                        .and_then(|()| self.out.flush())
+                        .is_ok();
+                    if ok {
+                        StepOutcome::Continue
+                    } else {
+                        hangup(&mut self.out, None);
+                        StepOutcome::Failed
+                    }
+                }
+                Err(e) => {
+                    hangup(&mut self.out, Some(&format!("encode: {e}")));
+                    StepOutcome::Failed
+                }
+            },
+            Job::Packet(_) => {
+                hangup(&mut self.out, Some("coded packet on an encode stream"));
+                StepOutcome::Failed
+            }
+            Job::End => {
+                match self.sess.take().expect("session present").finish() {
+                    Ok(stats) => {
+                        let _ = write_stats_msg(&mut self.out, &stats);
+                    }
+                    Err(e) => {
+                        let _ = write_error_msg(&mut self.out, &format!("finish: {e}"));
+                    }
+                }
+                hangup(&mut self.out, None);
+                StepOutcome::Finished
+            }
+            Job::Abort(message) => {
+                hangup(&mut self.out, Some(&message));
+                StepOutcome::Failed
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+/// `Read` adapter that turns socket read timeouts into retries until the
+/// server's stop flag is raised, so `read_exact`-based incremental
+/// parsers ([`Packet::read_into`], frame bodies) never observe a spurious
+/// timeout mid-message and never outlive shutdown.
+struct StopRead<'a> {
+    inner: TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for StopRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return Err(io::Error::other("server shutting down"));
+            }
+            match self.inner.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Validates the semantic half of a handshake against the served codecs.
+fn validate_hello(hello: &Hello) -> Result<(), String> {
+    match hello.family {
+        Family::Ctvc => {
+            RatePoint::try_new(hello.rate)?;
+            if !hello.width.is_multiple_of(16) || !hello.height.is_multiple_of(16) {
+                return Err(format!(
+                    "CTVC streams need dimensions divisible by 16, got {}x{}",
+                    hello.width, hello.height
+                ));
+            }
+            Ok(())
+        }
+        Family::Hybrid => Ok(()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn connection<'env>(
+    stream: TcpStream,
+    ctvc: &'env CtvcCodec,
+    hybrid: &'env HybridCodec,
+    sched: &Scheduler<'env>,
+    max_sessions: usize,
+    stop: &AtomicBool,
+    counters: &Counters,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let Ok(write_half) = stream.try_clone() else {
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let mut out = BufWriter::new(write_half);
+    let mut reader = BufReader::new(StopRead {
+        inner: stream,
+        stop,
+    });
+
+    // Handshake: structural validation, semantic validation, admission.
+    let hello = match Hello::read_from(&mut reader) {
+        Ok(hello) => hello,
+        Err(e) => {
+            hangup(&mut out, Some(&format!("handshake: {e}")));
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    if let Err(reason) = validate_hello(&hello) {
+        hangup(&mut out, Some(&format!("handshake: {reason}")));
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // Atomic admission (reserve-then-ack): concurrent handshakes race
+    // for slots under the cap, never past it.
+    if counters
+        .active
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
+            (active < max_sessions).then_some(active + 1)
+        })
+        .is_err()
+    {
+        hangup(&mut out, Some("server at session capacity"));
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if out
+        .write_all(&[MSG_ACK, hello.rate])
+        .and_then(|()| out.flush())
+        .is_err()
+    {
+        counters.active.fetch_sub(1, Ordering::Relaxed);
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    counters.sessions.fetch_add(1, Ordering::Relaxed);
+
+    let negotiated = (hello.width, hello.height);
+    let runner: Box<dyn SessionRunner + Send + 'env> = match (hello.family, hello.direction) {
+        (Family::Ctvc, Direction::Decode) => {
+            Box::new(DecodeRunner::new(ctvc.start_decode(), negotiated, out))
+        }
+        (Family::Ctvc, Direction::Encode) => {
+            let rate = RatePoint::try_new(hello.rate).expect("validated above");
+            Box::new(EncodeRunner::new(ctvc.start_encode(rate), out))
+        }
+        (Family::Hybrid, Direction::Decode) => {
+            Box::new(DecodeRunner::new(hybrid.start_decode(), negotiated, out))
+        }
+        (Family::Hybrid, Direction::Encode) => {
+            Box::new(EncodeRunner::new(hybrid.start_encode(hello.rate), out))
+        }
+    };
+    let slot = Arc::new(Slot {
+        state: Mutex::new(SlotState::default()),
+        space: Condvar::new(),
+        runner: Mutex::new(runner),
+    });
+
+    // Reader loop: parse + validate one message at a time, queue it for
+    // the pool. Any wire-level failure turns into an Abort job so the
+    // error report flows through the session's single writer.
+    loop {
+        let tag = match read_u8(&mut reader) {
+            Ok(tag) => tag,
+            Err(e) => {
+                sched.enqueue(
+                    &slot,
+                    Job::Abort(format!("connection lost mid-stream: {e}")),
+                    stop,
+                );
+                return;
+            }
+        };
+        let job = match (tag, hello.direction) {
+            (MSG_PACKET, Direction::Decode) => match Packet::read_from(&mut reader) {
+                Ok(packet) => Job::Packet(packet),
+                Err(e) => Job::Abort(format!("bad packet: {e}")),
+            },
+            (MSG_FRAME, Direction::Encode) => {
+                // The negotiated geometry is enforced on the *header*,
+                // before any payload is read, so a hostile size field
+                // never drives an allocation.
+                match read_frame_body(&mut reader, Some((hello.width, hello.height))) {
+                    Ok((_, frame)) => Job::Frame(frame),
+                    Err(e) => Job::Abort(format!("bad frame: {e}")),
+                }
+            }
+            (MSG_END, _) => Job::End,
+            (tag, _) => Job::Abort(format!("unexpected message tag 0x{tag:02X}")),
+        };
+        let last = job.is_control();
+        if !sched.enqueue(&slot, job, stop) || last {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The serve loop
+// ---------------------------------------------------------------------
+
+fn run(
+    listener: TcpListener,
+    cfg: ServeConfig,
+    ctvc: CtvcCodec,
+    hybrid: HybridCodec,
+    stop: &AtomicBool,
+    counters: &Counters,
+) {
+    let hardware = nvc_core::ExecCtx::auto().threads();
+    let workers = if cfg.workers == 0 {
+        hardware
+    } else {
+        cfg.workers
+    };
+    let threads_per_session = cfg.threads_per_session.max(1);
+    let exec = ExecPool::new(cfg.exec_cap);
+    let sched = Scheduler::new(cfg.queue_depth, cfg.gop_batch);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| worker_loop(&sched, &exec, threads_per_session, stop, counters));
+        }
+        let max_sessions = cfg.max_sessions;
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let (ctvc, hybrid, sched) = (&ctvc, &hybrid, &sched);
+                    scope.spawn(move || {
+                        connection(stream, ctvc, hybrid, sched, max_sessions, stop, counters)
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(_) => break,
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        sched.work.notify_all();
+    });
+}

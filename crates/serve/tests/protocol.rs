@@ -1,0 +1,332 @@
+//! Protocol robustness and bit-exactness over a real loopback socket:
+//! clean handshakes, hostile handshakes, mid-stream truncation, CRC
+//! corruption, concurrent sessions. Every failure mode must yield a
+//! clean `Err` and a closed connection — never a panic or a hang (all
+//! clients run with read timeouts so a hang fails the test instead of
+//! wedging CI).
+
+use nvc_baseline::{HybridCodec, Profile};
+use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
+use nvc_serve::proto::{self, Hello};
+use nvc_serve::{ServeConfig, ServeError, Server, ServerHandle, StreamClient};
+use nvc_video::codec::encode_sequence;
+use nvc_video::synthetic::{SceneConfig, Synthesizer};
+use nvc_video::Sequence;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const W: usize = 48;
+const H: usize = 32;
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        ctvc: CtvcConfig::ctvc_fp(8),
+        hybrid: Profile::hevc_like(),
+        workers: 2,
+        queue_depth: 2,
+        max_sessions: 8,
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn_server() -> ServerHandle {
+    Server::spawn("127.0.0.1:0", test_config()).expect("bind loopback")
+}
+
+fn seq(frames: usize) -> Sequence {
+    Synthesizer::new(SceneConfig::uvg_like(W, H, frames)).generate()
+}
+
+fn connect(server: &ServerHandle, hello: Hello) -> Result<StreamClient, ServeError> {
+    let client = StreamClient::connect(server.addr(), hello)?;
+    client.set_read_timeout(Some(TIMEOUT)).unwrap();
+    Ok(client)
+}
+
+#[test]
+fn ctvc_decode_stream_is_bit_exact_with_in_process_sessions() {
+    let server = spawn_server();
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let source = seq(4);
+    let coded = encode_sequence(&codec, &source, RatePoint::new(1)).unwrap();
+
+    let mut client = connect(&server, Hello::ctvc_decode(1, W, H)).unwrap();
+    for packet in &coded.packets {
+        client.send_packet(packet).unwrap();
+    }
+    let summary = client.finish().unwrap();
+
+    assert_eq!(summary.frames.len(), 4);
+    for (remote, local) in summary.frames.iter().zip(coded.decoded.frames()) {
+        assert_eq!(
+            remote.tensor().as_slice(),
+            local.tensor().as_slice(),
+            "served decode must be byte-identical to the in-process loop"
+        );
+    }
+    // The trailer reflects what actually crossed the wire.
+    assert_eq!(summary.stats.frames, 4);
+    assert_eq!(
+        summary.stats.total_bytes,
+        coded.packets.iter().map(|p| p.encoded_len()).sum::<usize>()
+    );
+    assert_eq!(
+        summary.stats.bits_per_frame.iter().sum::<u64>(),
+        8 * summary.stats.total_bytes as u64
+    );
+    assert_eq!(summary.latencies.len(), 4);
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions, 1);
+    assert_eq!(report.frames, 4);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn ctvc_encode_stream_matches_in_process_packets_and_stats() {
+    let server = spawn_server();
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let source = seq(3);
+    let local = encode_sequence(&codec, &source, RatePoint::new(2)).unwrap();
+
+    let mut client = connect(&server, Hello::ctvc_encode(2, W, H)).unwrap();
+    for frame in source.frames() {
+        client.send_frame(frame).unwrap();
+    }
+    let summary = client.finish().unwrap();
+
+    assert_eq!(summary.packets.len(), 3);
+    for (remote, in_process) in summary.packets.iter().zip(&local.packets) {
+        assert_eq!(
+            remote.to_bytes(),
+            in_process.to_bytes(),
+            "served encode must produce byte-identical packets"
+        );
+    }
+    assert_eq!(summary.stats, local.stats);
+    server.shutdown();
+}
+
+#[test]
+fn hybrid_family_roundtrips_both_directions() {
+    let server = spawn_server();
+    let source = seq(3);
+    let qp = 34;
+
+    // Remote encode...
+    let mut enc = connect(&server, Hello::hybrid_encode(qp, W, H)).unwrap();
+    for frame in source.frames() {
+        enc.send_frame(frame).unwrap();
+    }
+    let encoded = enc.finish().unwrap();
+    assert_eq!(encoded.packets.len(), 3);
+
+    // ...then remote decode of those packets must match local decode.
+    let mut dec = connect(&server, Hello::hybrid_decode(qp, W, H)).unwrap();
+    for packet in &encoded.packets {
+        dec.send_packet(packet).unwrap();
+    }
+    let decoded = dec.finish().unwrap();
+
+    let local = HybridCodec::new(Profile::hevc_like());
+    let mut bitstream = Vec::new();
+    for packet in &encoded.packets {
+        bitstream.extend_from_slice(&packet.to_bytes());
+    }
+    let reference = local.decode(&bitstream).unwrap();
+    for (remote, local_frame) in decoded.frames.iter().zip(reference.frames()) {
+        assert_eq!(remote.tensor().as_slice(), local_frame.tensor().as_slice());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bogus_hellos_are_rejected_cleanly() {
+    let server = spawn_server();
+
+    // Invalid RatePoint (outside the calibrated sweep).
+    let err = connect(&server, Hello::ctvc_decode(9, W, H)).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("rate index 9")),
+        "{err}"
+    );
+    // CTVC geometry must be divisible by 16.
+    let err = connect(&server, Hello::ctvc_encode(1, 50, 34)).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("divisible by 16")),
+        "{err}"
+    );
+
+    // Raw garbage instead of a handshake.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut tag = [0u8; 1];
+    raw.read_exact(&mut tag).unwrap();
+    assert_eq!(tag[0], proto::MSG_ERROR, "server must answer with 'X'");
+    let msg = proto::read_error_body(&mut raw).unwrap();
+    assert!(msg.contains("handshake"), "{msg}");
+    // ...and then close the connection.
+    assert_eq!(raw.read(&mut tag).unwrap(), 0, "connection must be closed");
+
+    // Unknown codec family tag.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(b"NVCS\x01\x05\x01\x01\x30\x00\x20\x00")
+        .unwrap();
+    raw.read_exact(&mut tag).unwrap();
+    assert_eq!(tag[0], proto::MSG_ERROR);
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions, 0);
+    assert_eq!(report.rejected, 4);
+}
+
+#[test]
+fn corrupted_packet_crc_yields_clean_error_and_close() {
+    let server = spawn_server();
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let coded = encode_sequence(&codec, &seq(2), RatePoint::new(1)).unwrap();
+
+    // Speak the protocol raw so the CRC corruption actually reaches the
+    // wire (the typed client would recompute it).
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    let mut buf = Vec::new();
+    Hello::ctvc_decode(1, W, H).write_to(&mut buf).unwrap();
+    let mut packet = coded.packets[0].to_bytes();
+    *packet.last_mut().unwrap() ^= 0xFF;
+    buf.push(proto::MSG_PACKET);
+    buf.extend_from_slice(&packet);
+    raw.write_all(&buf).unwrap();
+
+    let mut head = [0u8; 2];
+    raw.read_exact(&mut head).unwrap(); // ack + echoed rate
+    assert_eq!(head[0], proto::MSG_ACK);
+    let mut tag = [0u8; 1];
+    raw.read_exact(&mut tag).unwrap();
+    assert_eq!(tag[0], proto::MSG_ERROR, "CRC corruption must be reported");
+    let msg = proto::read_error_body(&mut raw).unwrap();
+    assert!(msg.contains("CRC"), "{msg}");
+    assert_eq!(raw.read(&mut tag).unwrap(), 0, "connection must be closed");
+
+    let report = server.shutdown();
+    assert_eq!(report.errors, 1);
+}
+
+#[test]
+fn midstream_truncation_kills_the_session_not_the_server() {
+    let server = spawn_server();
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let coded = encode_sequence(&codec, &seq(2), RatePoint::new(1)).unwrap();
+
+    // A client that dies halfway through a packet.
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        let mut buf = Vec::new();
+        Hello::ctvc_decode(1, W, H).write_to(&mut buf).unwrap();
+        let packet = coded.packets[0].to_bytes();
+        buf.push(proto::MSG_PACKET);
+        buf.extend_from_slice(&packet[..packet.len() / 2]);
+        raw.write_all(&buf).unwrap();
+        // Drop the stream mid-packet.
+    }
+
+    // The server keeps serving: a well-behaved session still round-trips
+    // bit-exactly afterwards.
+    let mut client = connect(&server, Hello::ctvc_decode(1, W, H)).unwrap();
+    for packet in &coded.packets {
+        client.send_packet(packet).unwrap();
+    }
+    let summary = client.finish().unwrap();
+    for (remote, local) in summary.frames.iter().zip(coded.decoded.frames()) {
+        assert_eq!(remote.tensor().as_slice(), local.tensor().as_slice());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wrong_message_kind_for_direction_is_rejected() {
+    let server = spawn_server();
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let coded = encode_sequence(&codec, &seq(2), RatePoint::new(1)).unwrap();
+
+    // A coded packet on an encode-direction stream.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    let mut buf = Vec::new();
+    Hello::ctvc_encode(1, W, H).write_to(&mut buf).unwrap();
+    buf.push(proto::MSG_PACKET);
+    buf.extend_from_slice(&coded.packets[0].to_bytes());
+    raw.write_all(&buf).unwrap();
+    let mut head = [0u8; 2];
+    raw.read_exact(&mut head).unwrap();
+    assert_eq!(head[0], proto::MSG_ACK);
+    let mut tag = [0u8; 1];
+    raw.read_exact(&mut tag).unwrap();
+    assert_eq!(tag[0], proto::MSG_ERROR);
+    server.shutdown();
+}
+
+#[test]
+fn mismatched_frame_geometry_is_rejected() {
+    let server = spawn_server();
+    let mut client = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap();
+    // Negotiated 48x32, then push 32x32 frames: 16-divisible, so only the
+    // geometry check can catch it.
+    let wrong = Synthesizer::new(SceneConfig::uvg_like(32, 32, 1)).generate();
+    client.send_frame(&wrong.frames()[0]).unwrap();
+    let err = client.finish().unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("does not match negotiated")),
+        "{err}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_sessions_are_all_bit_exact() {
+    let server = spawn_server();
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let source = seq(3);
+    // Different rate per stream, so sessions cannot share results.
+    let coded: Vec<_> = (0..3)
+        .map(|r| encode_sequence(&codec, &source, RatePoint::new(r)).unwrap())
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = coded
+            .iter()
+            .enumerate()
+            .map(|(r, coded)| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut client = connect(server, Hello::ctvc_decode(r as u8, W, H)).unwrap();
+                    // Window 1 vs 2 exercises different pipelining depths.
+                    client.set_window(1 + r % 2);
+                    for packet in &coded.packets {
+                        client.send_packet(packet).unwrap();
+                    }
+                    let summary = client.finish().unwrap();
+                    for (remote, local) in summary.frames.iter().zip(coded.decoded.frames()) {
+                        assert_eq!(
+                            remote.tensor().as_slice(),
+                            local.tensor().as_slice(),
+                            "stream at rate {r} diverged"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions, 3);
+    assert_eq!(report.frames, 9);
+    assert_eq!(report.errors, 0);
+}

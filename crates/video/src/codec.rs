@@ -32,6 +32,12 @@ pub struct StreamStats {
     /// Coded payload bytes per frame (excluding packet/section framing),
     /// matching the accounting of the one-shot `encode` results.
     pub bytes_per_frame: Vec<usize>,
+    /// Serialized bits per frame *including* packet framing
+    /// (`Packet::encoded_len() × 8`) — the per-frame rate a transport or
+    /// a rate controller actually observes. Invariant:
+    /// `bits_per_frame.iter().sum::<u64>() == 8 * total_bytes as u64`, so
+    /// [`StreamStats::bpp`] stays consistent with the per-frame view.
+    pub bits_per_frame: Vec<u64>,
     /// Total serialized stream size in bytes, including packet headers.
     pub total_bytes: usize,
 }
@@ -43,6 +49,19 @@ impl StreamStats {
             return 0.0;
         }
         self.total_bytes as f64 * 8.0 / (pixels_per_frame * self.frames) as f64
+    }
+
+    /// Per-frame bits per pixel from the recorded bit counts (empty when
+    /// `pixels_per_frame` is 0). Averaging this vector reproduces
+    /// [`StreamStats::bpp`] exactly.
+    pub fn frame_bpp(&self, pixels_per_frame: usize) -> Vec<f64> {
+        if pixels_per_frame == 0 {
+            return Vec::new();
+        }
+        self.bits_per_frame
+            .iter()
+            .map(|&bits| bits as f64 / pixels_per_frame as f64)
+            .collect()
     }
 }
 
@@ -239,4 +258,29 @@ pub fn stream_roundtrip<C: VideoCodec>(
         worst = worst.max(drift);
     }
     Ok((coded, worst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_stats_per_frame_bits_agree_with_bpp() {
+        let stats = StreamStats {
+            frames: 2,
+            bytes_per_frame: vec![87, 13],
+            bits_per_frame: vec![(87 + 13) * 8, (13 + 13) * 8],
+            total_bytes: 87 + 13 + 13 + 13,
+        };
+        assert_eq!(
+            stats.bits_per_frame.iter().sum::<u64>(),
+            8 * stats.total_bytes as u64
+        );
+        let per_frame = stats.frame_bpp(100);
+        assert_eq!(per_frame.len(), 2);
+        let mean = per_frame.iter().sum::<f64>() / stats.frames as f64;
+        assert!((mean - stats.bpp(100)).abs() < 1e-12);
+        assert!(stats.frame_bpp(0).is_empty());
+        assert_eq!(stats.bpp(0), 0.0);
+    }
 }

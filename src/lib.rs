@@ -9,6 +9,7 @@ pub use nvc_entropy as entropy;
 pub use nvc_fastalg as fastalg;
 pub use nvc_model as model;
 pub use nvc_quant as quant;
+pub use nvc_serve as serve;
 pub use nvc_sim as sim;
 pub use nvc_tensor as tensor;
 pub use nvc_video as video;
