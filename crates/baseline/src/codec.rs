@@ -14,6 +14,7 @@ use nvc_video::codec::{
     DecoderSession as DecoderSessionTrait, EncoderSession as EncoderSessionTrait, StreamStats,
     VideoCodec,
 };
+use nvc_video::rate::{RateMode, RateOutcome, SessionRateControl};
 use nvc_video::{Frame, Sequence, VideoError};
 use std::error::Error;
 use std::fmt;
@@ -169,18 +170,22 @@ impl HybridCodec {
         out
     }
 
-    /// Opens a streaming encoder session at quality `qp` (lower = better,
-    /// 0..=51 useful).
-    pub fn start_encode(&self, qp: u8) -> HybridEncoderSession<'_> {
+    /// Opens a streaming encoder session under the given rate-control
+    /// mode — a fixed QP (lower = better, 0..=51 useful) converts via
+    /// `Into`, or pass a [`RateMode`] for the closed-loop /
+    /// external-controller modes.
+    pub fn start_encode(&self, mode: impl Into<RateMode<u8>>) -> HybridEncoderSession<'_> {
         HybridEncoderSession {
             codec: self,
-            qp,
-            step: dct::qp_to_step(qp),
+            control: SessionRateControl::new(mode.into()),
+            wire_qp: None,
             dims: None,
             reference: None,
             next_index: 0,
             bytes_per_frame: Vec::new(),
             bits_per_frame: Vec::new(),
+            frame_types: Vec::new(),
+            rate_per_frame: Vec::new(),
             total_bytes: 0,
             last_recon: None,
         }
@@ -458,36 +463,37 @@ impl HybridCodec {
 }
 
 /// Streaming encoder session for [`HybridCodec`]: carries the previous
-/// reconstruction (the prediction reference) across frames.
+/// reconstruction (the prediction reference) and the rate-control state
+/// across frames.
 #[derive(Debug)]
 pub struct HybridEncoderSession<'a> {
     codec: &'a HybridCodec,
-    qp: u8,
-    step: f32,
+    control: SessionRateControl<u8>,
+    /// The QP the decoder currently assumes (stream header, then any
+    /// in-band rate sections). `None` before the first frame.
+    wire_qp: Option<u8>,
     dims: Option<(usize, usize)>,
     reference: Option<[Plane; 3]>,
     next_index: u32,
     bytes_per_frame: Vec<usize>,
     bits_per_frame: Vec<u64>,
+    frame_types: Vec<FrameKind>,
+    rate_per_frame: Vec<u8>,
     total_bytes: usize,
     last_recon: Option<Frame>,
 }
 
 impl HybridEncoderSession<'_> {
-    /// The quality parameter this session encodes at.
-    pub fn qp(&self) -> u8 {
-        self.qp
-    }
-
-    /// Forces the next pushed frame to be coded intra, restarting the
-    /// prediction chain.
-    pub fn restart_gop(&mut self) {
-        self.reference = None;
+    /// The QP the stream is currently coded at (the most recent frame's
+    /// choice); `None` before the first frame.
+    pub fn current_qp(&self) -> Option<u8> {
+        self.wire_qp
     }
 }
 
 impl EncoderSessionTrait for HybridEncoderSession<'_> {
     type Error = CodecError;
+    type Rate = u8;
 
     fn push_frame(&mut self, frame: &Frame) -> Result<Packet, CodecError> {
         let (w, h) = (frame.width(), frame.height());
@@ -501,36 +507,40 @@ impl EncoderSessionTrait for HybridEncoderSession<'_> {
             }
             Some(_) => {}
         }
+        let is_intra = self.reference.is_none();
+        let qp = self
+            .control
+            .pick(u64::from(self.next_index), is_intra, w * h);
+        let step = dct::qp_to_step(qp);
         let mut sections = SectionWriter::new();
         if self.next_index == 0 {
             let mut header = BitWriter::new();
             header.write_bits(w as u32, 16);
             header.write_bits(h as u32, 16);
-            header.write_bits(u32::from(self.qp), 8);
+            header.write_bits(u32::from(qp), 8);
             sections.push(Section::SideInfo, header.finish());
+        } else if self.wire_qp != Some(qp) {
+            // In-band QP switch, signaled only on change so fixed-rate
+            // streams keep the legacy byte layout. Mid-GOP is fine: the
+            // reference is the previous reconstruction either way.
+            sections.push(Section::Rate, vec![qp]);
         }
+        self.wire_qp = Some(qp);
         let planes = HybridCodec::frame_to_planes(frame);
-        let is_intra = self.reference.is_none();
         let mut models = Models::new(self.codec.profile.search_range);
         let mut rc = RangeEncoder::new();
         let mut recon = [Plane::zeros(w, h), Plane::zeros(w, h), Plane::zeros(w, h)];
         if is_intra {
             self.codec
-                .encode_intra(&planes, self.step, &mut models, &mut rc, &mut recon);
+                .encode_intra(&planes, step, &mut models, &mut rc, &mut recon);
         } else {
             let reference = self.reference.as_ref().expect("P frame has a reference");
-            self.codec.encode_inter(
-                &planes,
-                reference,
-                self.step,
-                &mut models,
-                &mut rc,
-                &mut recon,
-            );
+            self.codec
+                .encode_inter(&planes, reference, step, &mut models, &mut rc, &mut recon);
         }
         if self.codec.profile.deblock {
             for p in &mut recon {
-                deblock(p, self.step);
+                deblock(p, step);
             }
         }
         let payload = rc.finish();
@@ -545,7 +555,17 @@ impl EncoderSessionTrait for HybridEncoderSession<'_> {
         self.reference = Some(recon);
         let packet = Packet::new(self.next_index, kind, sections.finish());
         self.total_bytes += packet.encoded_len();
-        self.bits_per_frame.push(packet.encoded_len() as u64 * 8);
+        let bits = packet.encoded_len() as u64 * 8;
+        self.bits_per_frame.push(bits);
+        self.frame_types.push(kind);
+        self.rate_per_frame.push(qp);
+        self.control.observe(RateOutcome {
+            frame_index: u64::from(self.next_index),
+            intra: is_intra,
+            pixels: w * h,
+            bits,
+            wire_rate: qp,
+        });
         self.next_index += 1;
         Ok(packet)
     }
@@ -558,11 +578,22 @@ impl EncoderSessionTrait for HybridEncoderSession<'_> {
         self.next_index as usize
     }
 
+    fn restart_gop(&mut self) -> bool {
+        self.reference = None;
+        true
+    }
+
+    fn set_rate_mode(&mut self, mode: RateMode<u8>) {
+        self.control.retarget(mode);
+    }
+
     fn finish(self) -> Result<StreamStats, CodecError> {
         Ok(StreamStats {
             frames: self.next_index as usize,
             bytes_per_frame: self.bytes_per_frame,
             bits_per_frame: self.bits_per_frame,
+            frame_types: self.frame_types,
+            rate_per_frame: self.rate_per_frame,
             total_bytes: self.total_bytes,
         })
     }
@@ -572,8 +603,9 @@ impl EncoderSessionTrait for HybridEncoderSession<'_> {
 #[derive(Debug)]
 pub struct HybridDecoderSession<'a> {
     codec: &'a HybridCodec,
-    /// `(w, h, step)` from the stream header.
-    stream: Option<(usize, usize, f32)>,
+    /// `(w, h, qp)` — geometry from the stream header, QP seeded by the
+    /// header and then following any in-band rate sections.
+    stream: Option<(usize, usize, u8)>,
     reference: Option<[Plane; 3]>,
     next_index: u32,
 }
@@ -611,12 +643,26 @@ impl DecoderSessionTrait for HybridDecoderSession<'_> {
             if w == 0 || h == 0 {
                 return Err(CodecError::BadInput(format!("bad stream geometry {w}x{h}")));
             }
-            self.stream = Some((w, h, dct::qp_to_step(qp)));
+            self.stream = Some((w, h, qp));
             rest = tail;
+        } else {
+            // An in-band QP switch may lead the packet's sections.
+            let (switch, tail) =
+                nvc_video::codec::take_rate_section(rest).map_err(CodecError::BadInput)?;
+            if let Some(qp) = switch {
+                let stream = self
+                    .stream
+                    .as_mut()
+                    .ok_or_else(|| CodecError::BadInput("no stream header yet".into()))?;
+                stream.2 =
+                    <u8 as nvc_video::RateParam>::from_wire(qp).map_err(CodecError::BadInput)?;
+                rest = tail;
+            }
         }
-        let (w, h, step) = self
+        let (w, h, qp) = self
             .stream
             .ok_or_else(|| CodecError::BadInput("no stream header yet".into()))?;
+        let step = dct::qp_to_step(qp);
         let payload = match (packet.kind, rest) {
             (FrameKind::Intra, [(Section::Intra, payload)]) => payload,
             (FrameKind::Predicted, [(Section::Motion, payload)]) => payload,
@@ -657,6 +703,10 @@ impl DecoderSessionTrait for HybridDecoderSession<'_> {
     fn frames_decoded(&self) -> usize {
         self.next_index as usize
     }
+
+    fn last_rate(&self) -> Option<u8> {
+        self.stream.map(|(_, _, qp)| qp)
+    }
 }
 
 impl VideoCodec for HybridCodec {
@@ -669,8 +719,8 @@ impl VideoCodec for HybridCodec {
         self.profile.name
     }
 
-    fn start_encode(&self, qp: u8) -> Result<HybridEncoderSession<'_>, CodecError> {
-        Ok(HybridCodec::start_encode(self, qp))
+    fn start_encode(&self, mode: RateMode<u8>) -> Result<HybridEncoderSession<'_>, CodecError> {
+        Ok(HybridCodec::start_encode(self, mode))
     }
 
     fn start_decode(&self) -> HybridDecoderSession<'_> {

@@ -25,6 +25,7 @@ use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_serve::{Hello, ServeConfig, Server, ServerHandle, StreamClient};
 use nvc_video::codec::{encode_sequence, EncodedStream};
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
+use nvc_video::{FrameType, Sequence};
 use std::time::{Duration, Instant};
 
 fn arg_value(args: &[String], name: &str) -> Option<usize> {
@@ -69,7 +70,72 @@ fn run_stream(
         8 * summary.stats.total_bytes as u64,
         "stats trailer bit counts inconsistent"
     );
+    // The per-frame rate/type columns must align with the bit counts and
+    // show exactly which frames carried which rate.
+    assert_eq!(summary.stats.frame_types.len(), summary.stats.frames);
+    assert_eq!(summary.stats.rate_per_frame.len(), summary.stats.frames);
+    assert_eq!(summary.stats.frame_types[0], FrameType::Intra);
+    assert!(
+        summary.stats.frame_types[1..]
+            .iter()
+            .all(|k| *k == FrameType::Predicted),
+        "fixed decode streams here are single-GOP IPPP"
+    );
+    assert!(
+        summary.stats.rate_per_frame.iter().all(|&r| r == rate),
+        "a fixed-rate stream must carry one rate on every frame"
+    );
     (elapsed, summary.latencies)
+}
+
+/// Runs one encode stream (fixed or target-bpp) concurrently with the
+/// decode fleet, asserting the rate-control invariants on its trailer.
+fn run_encode_stream(
+    server: &ServerHandle,
+    source: &Sequence,
+    reference: &EncodedStream,
+    hello: Hello,
+) {
+    let mut client = StreamClient::connect(server.addr(), hello).expect("connect encode");
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    for frame in source.frames() {
+        client.send_frame(frame).expect("send frame");
+    }
+    let summary = client.finish().expect("finish encode stream");
+    let stats = &summary.stats;
+    assert_eq!(stats.frames, source.frames().len());
+    assert_eq!(stats.frame_types.len(), stats.frames);
+    assert_eq!(stats.rate_per_frame.len(), stats.frames);
+    assert_eq!(
+        stats.bits_per_frame.iter().sum::<u64>(),
+        8 * stats.total_bytes as u64
+    );
+    match hello.target {
+        None => {
+            // Fixed mode: byte-identical to the in-process session.
+            assert!(stats.rate_per_frame.iter().all(|&r| r == hello.rate));
+            for (remote, local) in summary.packets.iter().zip(&reference.packets) {
+                assert_eq!(
+                    remote.to_bytes(),
+                    local.to_bytes(),
+                    "served fixed encode diverged from the in-process session"
+                );
+            }
+        }
+        Some(_) => {
+            // Closed loop: every chosen rate is valid, and the bits the
+            // controller reacted to are exactly the serialized sizes.
+            assert!(stats
+                .rate_per_frame
+                .iter()
+                .all(|&r| RatePoint::try_new(r).is_ok()));
+            for (bits, packet) in stats.bits_per_frame.iter().zip(&summary.packets) {
+                assert_eq!(*bits, packet.encoded_len() as u64 * 8);
+            }
+        }
+    }
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -145,6 +211,30 @@ fn main() {
         "  aggregate: {streams} streams -> {aggregate_fps:7.2} fps  (wall {aggregate_wall:.2?}, {speedup:.2}x serial)"
     );
 
+    // Mixed rate-control modes, concurrently on the same pool (untimed —
+    // the throughput numbers above stay decode-only): one fixed-rate
+    // encode, one closed-loop target-bpp encode and one decode stream
+    // must coexist, with the fixed encode still byte-identical to the
+    // in-process session.
+    let target_bpp = coded.stats.bpp(w * h);
+    std::thread::scope(|scope| {
+        let fixed_enc = scope
+            .spawn(|| run_encode_stream(&server, &source, &coded, Hello::ctvc_encode(rate, w, h)));
+        let target_enc = scope.spawn(|| {
+            run_encode_stream(
+                &server,
+                &source,
+                &coded,
+                Hello::ctvc_encode(rate, w, h).with_target_bpp(target_bpp, 4),
+            )
+        });
+        let dec = scope.spawn(|| run_stream(&server, &coded, rate, w, h, 2));
+        fixed_enc.join().expect("fixed encode thread");
+        target_enc.join().expect("target encode thread");
+        dec.join().expect("mixed-phase decode thread");
+    });
+    println!("  mixed:     fixed + target-bpp encode + decode, concurrent — OK");
+
     let mut lat_ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
     lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let (p50, p90, p99) = (
@@ -155,7 +245,11 @@ fn main() {
     println!("  latency:   p50 {p50:.2} ms, p90 {p90:.2} ms, p99 {p99:.2} ms");
 
     let report = server.shutdown();
-    assert_eq!(report.sessions, streams + 1, "every stream must register");
+    assert_eq!(
+        report.sessions,
+        streams + 4,
+        "every stream must register (serial + decode fleet + mixed phase)"
+    );
     assert_eq!(report.errors, 0, "no session may fail");
     println!(
         "  server:    {} sessions, {} frames, {} errors",

@@ -48,6 +48,12 @@ pub enum Section {
     SideInfo,
     /// Intra-coded (keyframe) payload.
     Intra,
+    /// In-band rate switch: a one-byte rate index (`RatePoint` index or
+    /// QP) that replaces the stream's current rate from this frame on.
+    /// Emitted only when the rate actually changes, so fixed-rate
+    /// bitstreams carry no trace of it (byte-identical to streams coded
+    /// before the section existed).
+    Rate,
 }
 
 impl Section {
@@ -57,6 +63,7 @@ impl Section {
             Section::Residual => 0x52, // 'R'
             Section::SideInfo => 0x53, // 'S'
             Section::Intra => 0x49,    // 'I'
+            Section::Rate => 0x51,     // 'Q' (quantizer)
         }
     }
 
@@ -66,6 +73,7 @@ impl Section {
             0x52 => Ok(Section::Residual),
             0x53 => Ok(Section::SideInfo),
             0x49 => Ok(Section::Intra),
+            0x51 => Ok(Section::Rate),
             other => Err(CodingError::BadContainer {
                 reason: format!("unknown tag 0x{other:02X}"),
             }),
@@ -422,6 +430,16 @@ mod tests {
         assert_eq!(sections[0], (Section::SideInfo, vec![9; 17]));
         assert_eq!(sections[1], (Section::Motion, vec![1, 2]));
         assert_eq!(sections[2], (Section::Residual, Vec::new()));
+    }
+
+    #[test]
+    fn rate_section_roundtrips() {
+        let mut w = SectionWriter::new();
+        w.push(Section::Rate, vec![2]);
+        w.push(Section::Motion, vec![1]);
+        let sections = read_sections(&w.finish()).unwrap();
+        assert_eq!(sections[0], (Section::Rate, vec![2]));
+        assert_eq!(sections[1], (Section::Motion, vec![1]));
     }
 
     #[test]

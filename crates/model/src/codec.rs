@@ -24,6 +24,7 @@ use nvc_video::codec::{
     DecoderSession as DecoderSessionTrait, EncoderSession as EncoderSessionTrait, StreamStats,
     VideoCodec,
 };
+use nvc_video::rate::{RateMode, RateOutcome, SessionRateControl};
 use nvc_video::{Frame, Sequence, VideoError};
 use std::error::Error;
 use std::fmt;
@@ -277,21 +278,27 @@ impl CtvcCodec {
         Ok((f_hat, px))
     }
 
-    /// Opens a streaming encoder session at the given rate point.
+    /// Opens a streaming encoder session under the given rate-control
+    /// mode — a fixed [`RatePoint`] converts via `Into`, or pass a
+    /// [`RateMode`] for the closed-loop / external-controller modes.
     ///
     /// The first pushed frame fixes the stream resolution and is coded
     /// intra; later frames are predicted unless
-    /// [`CtvcEncoderSession::restart_gop`] is called.
-    pub fn start_encode(&self, rate: RatePoint) -> CtvcEncoderSession<'_> {
+    /// [`restart_gop`](nvc_video::EncoderSession::restart_gop) is
+    /// called.
+    pub fn start_encode(&self, mode: impl Into<RateMode<RatePoint>>) -> CtvcEncoderSession<'_> {
         CtvcEncoderSession {
             codec: self,
-            rate,
+            control: SessionRateControl::new(mode.into()),
+            wire_rate: None,
             dims: None,
             reference_f: None,
             next_index: 0,
             gop_position: 0,
             bytes_per_frame: Vec::new(),
             bits_per_frame: Vec::new(),
+            frame_types: Vec::new(),
+            rate_per_frame: Vec::new(),
             total_bytes: 0,
             last_recon: None,
         }
@@ -340,7 +347,9 @@ impl CtvcCodec {
     }
 }
 
-/// Geometry and rate of an open decode stream (from the stream header).
+/// Geometry and *current* rate of an open decode stream: seeded by the
+/// stream header, the rate then follows any in-band [`Section::Rate`]
+/// switches.
 #[derive(Debug, Clone, Copy)]
 struct StreamInfo {
     w: usize,
@@ -351,26 +360,33 @@ struct StreamInfo {
 /// Streaming encoder session for [`CtvcCodec`].
 ///
 /// Carries the closed-loop reference *features* (FVC-style feature-space
-/// state), the stream geometry and the GOP position explicitly, instead
-/// of recomputing them per whole-sequence call.
+/// state), the stream geometry, the GOP position and the rate-control
+/// state explicitly, instead of recomputing them per whole-sequence
+/// call.
 #[derive(Debug)]
 pub struct CtvcEncoderSession<'a> {
     codec: &'a CtvcCodec,
-    rate: RatePoint,
+    control: SessionRateControl<RatePoint>,
+    /// The rate the decoder currently assumes (stream header, then any
+    /// in-band [`Section::Rate`] updates). `None` before the first frame.
+    wire_rate: Option<RatePoint>,
     dims: Option<(usize, usize)>,
     reference_f: Option<Tensor>,
     next_index: u32,
     gop_position: u32,
     bytes_per_frame: Vec<usize>,
     bits_per_frame: Vec<u64>,
+    frame_types: Vec<FrameKind>,
+    rate_per_frame: Vec<u8>,
     total_bytes: usize,
     last_recon: Option<Frame>,
 }
 
 impl CtvcEncoderSession<'_> {
-    /// The rate point this session encodes at.
-    pub fn rate(&self) -> RatePoint {
-        self.rate
+    /// The rate point the stream is currently coded at (the most recent
+    /// frame's choice); `None` before the first frame.
+    pub fn current_rate(&self) -> Option<RatePoint> {
+        self.wire_rate
     }
 
     /// Frames since the last intra frame (0 = the upcoming frame starts
@@ -379,19 +395,18 @@ impl CtvcEncoderSession<'_> {
         self.gop_position
     }
 
-    /// Forces the next pushed frame to be coded intra, restarting the
-    /// prediction chain (stream-join / error-recovery point).
-    pub fn restart_gop(&mut self) {
-        self.reference_f = None;
-        self.gop_position = 0;
-    }
-
-    fn encode_intra(&mut self, x: &Tensor, w: usize, h: usize) -> Result<Vec<u8>, CtvcError> {
+    fn encode_intra(
+        &mut self,
+        x: &Tensor,
+        w: usize,
+        h: usize,
+        rate: RatePoint,
+    ) -> Result<Vec<u8>, CtvcError> {
         let codec = self.codec;
         let f = codec.fe.forward_ctx(x, &codec.exec)?;
-        let symbols = latent::quantize(&f, self.rate.intra_step(), None)?;
+        let symbols = latent::quantize(&f, rate.intra_step(), None)?;
         let payload = latent::encode_intra_payload(&symbols, f.shape())?;
-        let (f_hat, rec) = codec.reconstruct_intra(&payload, w, h, self.rate)?;
+        let (f_hat, rec) = codec.reconstruct_intra(&payload, w, h, rate)?;
         self.reference_f = Some(f_hat);
         self.last_recon = Some(Frame::from_tensor(rec)?);
         Ok(payload)
@@ -401,6 +416,7 @@ impl CtvcEncoderSession<'_> {
         &mut self,
         x: &Tensor,
         f_ref: Tensor,
+        rate: RatePoint,
     ) -> Result<(Vec<u8>, Vec<u8>), CtvcError> {
         let codec = self.codec;
         let f_cur = codec.fe.forward_ctx(x, &codec.exec)?;
@@ -423,7 +439,7 @@ impl CtvcEncoderSession<'_> {
         });
         let zm = codec.motion_ae.analysis.forward_ctx(&o_t, &codec.exec)?;
         let (motion_payload, zm_hat) =
-            codec.code_latent(&zm, &codec.motion_ae, self.rate.latent_step())?;
+            codec.code_latent(&zm, &codec.motion_ae, rate.latent_step())?;
         // Closed loop: compensate with the *reconstructed* motion.
         let o_hat = codec
             .motion_ae
@@ -434,10 +450,9 @@ impl CtvcEncoderSession<'_> {
         let r_t = f_cur.sub(&f_bar)?;
         let zr = codec.residual_ae.analysis.forward_ctx(&r_t, &codec.exec)?;
         let (residual_payload, _zr_hat) =
-            codec.code_latent(&zr, &codec.residual_ae, self.rate.latent_step())?;
+            codec.code_latent(&zr, &codec.residual_ae, rate.latent_step())?;
         // Reconstruct exactly like the decoder will.
-        let (f_hat, rec) =
-            codec.reconstruct_p(&f_ref, &motion_payload, &residual_payload, self.rate)?;
+        let (f_hat, rec) = codec.reconstruct_p(&f_ref, &motion_payload, &residual_payload, rate)?;
         self.reference_f = Some(f_hat);
         self.last_recon = Some(Frame::from_tensor(rec)?);
         Ok((motion_payload, residual_payload))
@@ -446,6 +461,7 @@ impl CtvcEncoderSession<'_> {
 
 impl EncoderSessionTrait for CtvcEncoderSession<'_> {
     type Error = CtvcError;
+    type Rate = RatePoint;
 
     fn push_frame(&mut self, frame: &Frame) -> Result<Packet, CtvcError> {
         let (w, h) = (frame.width(), frame.height());
@@ -462,29 +478,38 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
             }
             Some(_) => {}
         }
+        let intra = self.reference_f.is_none();
+        let rate = self.control.pick(u64::from(self.next_index), intra, w * h);
         let mut sections = SectionWriter::new();
         if self.next_index == 0 {
-            // Stream header rides in the first packet.
+            // Stream header rides in the first packet; it carries the
+            // first frame's rate, so no separate rate section is needed.
             let mut header = BitWriter::new();
             header.write_bits(w as u32, 16);
             header.write_bits(h as u32, 16);
             header.write_bits(self.codec.cfg.n as u32, 16);
-            header.write_bits(u32::from(self.rate.index()), 8);
+            header.write_bits(u32::from(rate.index()), 8);
             header.write_bit(self.codec.cfg.attention);
             header.write_bit(self.codec.cfg.deformable);
             sections.push(Section::SideInfo, header.finish());
+        } else if self.wire_rate != Some(rate) {
+            // In-band rate switch: signaled only when the rate changes,
+            // so fixed-rate streams stay byte-identical to the legacy
+            // format. Legal mid-GOP — the reference chain is untouched.
+            sections.push(Section::Rate, vec![rate.index()]);
         }
+        self.wire_rate = Some(rate);
         let x = frame.tensor();
         let kind = match self.reference_f.take() {
             None => {
-                let payload = self.encode_intra(x, w, h)?;
+                let payload = self.encode_intra(x, w, h, rate)?;
                 self.bytes_per_frame.push(payload.len());
                 sections.push(Section::Intra, payload);
                 self.gop_position = 0;
                 FrameKind::Intra
             }
             Some(f_ref) => {
-                let (motion_payload, residual_payload) = self.encode_predicted(x, f_ref)?;
+                let (motion_payload, residual_payload) = self.encode_predicted(x, f_ref, rate)?;
                 self.bytes_per_frame
                     .push(motion_payload.len() + residual_payload.len());
                 sections.push(Section::Motion, motion_payload);
@@ -495,7 +520,17 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
         };
         let packet = Packet::new(self.next_index, kind, sections.finish());
         self.total_bytes += packet.encoded_len();
-        self.bits_per_frame.push(packet.encoded_len() as u64 * 8);
+        let bits = packet.encoded_len() as u64 * 8;
+        self.bits_per_frame.push(bits);
+        self.frame_types.push(kind);
+        self.rate_per_frame.push(rate.index());
+        self.control.observe(RateOutcome {
+            frame_index: u64::from(self.next_index),
+            intra: kind == FrameKind::Intra,
+            pixels: w * h,
+            bits,
+            wire_rate: rate.index(),
+        });
         self.next_index += 1;
         Ok(packet)
     }
@@ -508,11 +543,23 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
         self.next_index as usize
     }
 
+    fn restart_gop(&mut self) -> bool {
+        self.reference_f = None;
+        self.gop_position = 0;
+        true
+    }
+
+    fn set_rate_mode(&mut self, mode: RateMode<RatePoint>) {
+        self.control.retarget(mode);
+    }
+
     fn finish(self) -> Result<StreamStats, CtvcError> {
         Ok(StreamStats {
             frames: self.next_index as usize,
             bytes_per_frame: self.bytes_per_frame,
             bits_per_frame: self.bits_per_frame,
+            frame_types: self.frame_types,
+            rate_per_frame: self.rate_per_frame,
             total_bytes: self.total_bytes,
         })
     }
@@ -572,6 +619,18 @@ impl DecoderSessionTrait for CtvcDecoderSession<'_> {
             self.codec.check_dims(w, h)?;
             self.stream = Some(StreamInfo { w, h, rate });
             rest = tail;
+        } else {
+            // An in-band rate switch may lead the packet's sections.
+            let (switch, tail) =
+                nvc_video::codec::take_rate_section(rest).map_err(CtvcError::BadInput)?;
+            if let Some(index) = switch {
+                let stream = self
+                    .stream
+                    .as_mut()
+                    .ok_or_else(|| CtvcError::BadInput("no stream header yet".into()))?;
+                stream.rate = RatePoint::try_new(index).map_err(CtvcError::BadInput)?;
+                rest = tail;
+            }
         }
         let StreamInfo { w, h, rate } = self
             .stream
@@ -615,6 +674,10 @@ impl DecoderSessionTrait for CtvcDecoderSession<'_> {
     fn frames_decoded(&self) -> usize {
         self.next_index as usize
     }
+
+    fn last_rate(&self) -> Option<u8> {
+        self.stream.map(|s| s.rate.index())
+    }
 }
 
 impl VideoCodec for CtvcCodec {
@@ -627,8 +690,8 @@ impl VideoCodec for CtvcCodec {
         self.cfg.name
     }
 
-    fn start_encode(&self, rate: RatePoint) -> Result<CtvcEncoderSession<'_>, CtvcError> {
-        Ok(CtvcCodec::start_encode(self, rate))
+    fn start_encode(&self, mode: RateMode<RatePoint>) -> Result<CtvcEncoderSession<'_>, CtvcError> {
+        Ok(CtvcCodec::start_encode(self, mode))
     }
 
     fn start_decode(&self) -> CtvcDecoderSession<'_> {

@@ -73,6 +73,38 @@ impl fmt::Display for RatePoint {
     }
 }
 
+/// The 4-point sweep as a bitrate ladder: the wire byte is the rate
+/// index itself, and the index already increases with bitrate, so
+/// positions and indices coincide. Each step halves the quantizer step;
+/// with the codec's Laplacian-ish latent statistics that grows the
+/// coded bits by roughly 1.25× per index (measured on the synthetic
+/// sweeps), not the 2× a uniform-source intuition would suggest.
+impl nvc_video::RateParam for RatePoint {
+    fn to_wire(self) -> u8 {
+        self.0
+    }
+
+    fn from_wire(byte: u8) -> Result<Self, String> {
+        RatePoint::try_new(byte)
+    }
+
+    fn position(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    fn ladder_len() -> u32 {
+        u32::from(Self::MAX_INDEX) + 1
+    }
+
+    fn from_position(position: u32) -> Self {
+        RatePoint::new(position.min(u32::from(Self::MAX_INDEX)) as u8)
+    }
+
+    fn step_ratio() -> f64 {
+        1.25
+    }
+}
+
 /// Full configuration of a CTVC-Net instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CtvcConfig {

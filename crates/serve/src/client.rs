@@ -2,7 +2,8 @@
 
 use crate::proto::{
     read_error_body, read_frame_body, read_stats_body, read_u8, write_frame_msg, write_packet_msg,
-    Direction, Hello, MSG_ACK, MSG_END, MSG_ERROR, MSG_FRAME, MSG_PACKET, MSG_STATS,
+    write_retarget_msg, Direction, Hello, Retarget, MSG_ACK, MSG_END, MSG_ERROR, MSG_FRAME,
+    MSG_PACKET, MSG_STATS,
 };
 use crate::ServeError;
 use nvc_entropy::container::Packet;
@@ -167,6 +168,34 @@ impl StreamClient {
         self.on_sent()
     }
 
+    /// Retargets the rate control of an encode-direction stream
+    /// mid-flight (the `'R'` message): frames already sent keep the old
+    /// mode, frames sent after this use the new one. The message gets no
+    /// response of its own, so it does not consume pipelining window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on the wrong direction, a version-1
+    /// handshake, socket failure, or a server-reported error.
+    pub fn retarget(&mut self, retarget: Retarget) -> Result<(), ServeError> {
+        if self.hello.direction != Direction::Encode {
+            return Err(ServeError::Protocol(
+                "retarget on a decode-direction stream".into(),
+            ));
+        }
+        if self.hello.version < 2 {
+            return Err(ServeError::Protocol(
+                "retarget needs protocol version 2".into(),
+            ));
+        }
+        if let Err(e) =
+            write_retarget_msg(&mut self.writer, &retarget).and_then(|()| self.writer.flush())
+        {
+            return Err(self.surface_send_error(e.into()));
+        }
+        Ok(())
+    }
+
     /// A failed send usually means the server already aborted the stream
     /// and the real reason is queued on the read side — prefer reporting
     /// that over a bare broken-pipe error.
@@ -211,7 +240,10 @@ impl StreamClient {
                 Response::Frame(frame)
             }
             MSG_PACKET => Response::Packet(Packet::read_from(&mut self.reader)?),
-            MSG_STATS => return Ok(Response::Stats(read_stats_body(&mut self.reader)?)),
+            MSG_STATS => {
+                let version = self.hello.version;
+                return Ok(Response::Stats(read_stats_body(&mut self.reader, version)?));
+            }
             MSG_ERROR => return Err(ServeError::Remote(read_error_body(&mut self.reader)?)),
             tag => {
                 return Err(ServeError::Protocol(format!(

@@ -8,15 +8,20 @@
 //! small tagged-message protocol (see [`proto`]):
 //!
 //! 1. a [`Hello`] handshake fixes the codec family (learned CTVC-Net or
-//!    the classical hybrid), the stream geometry, the rate
-//!    (`RatePoint`/QP, validated server-side) and the *direction* —
+//!    the classical hybrid), the stream geometry, the rate mode —
+//!    fixed `RatePoint`/QP, validated server-side, or closed-loop
+//!    target-bpp ([`Hello::with_target_bpp`]) — and the *direction*:
 //!    whether the server runs the encoder (raw frames in, packets out)
 //!    or the decoder (packets in, reconstructed frames out);
 //! 2. length-delimited messages stream one coded [`Packet`] or one raw
-//!    frame at a time, each answered in order by the opposite kind;
+//!    frame at a time, each answered in order by the opposite kind; an
+//!    encode stream may interleave [`Retarget`] messages (`'R'`) to
+//!    switch its rate mode mid-stream, optionally forcing an intra
+//!    refresh at the switch;
 //! 3. an end-of-stream marker is answered with a
 //!    [`nvc_video::StreamStats`] trailer (per-frame byte and bit
-//!    counts), then the connection closes.
+//!    counts, frame types and the rate each frame was coded at), then
+//!    the connection closes.
 //!
 //! Server side, a [`Server`] runs an acceptor plus a session pool:
 //! every connection owns one live encoder/decoder session (the carried
@@ -71,7 +76,7 @@ pub mod proto;
 mod server;
 
 pub use client::{StreamClient, StreamSummary};
-pub use proto::{Direction, Family, Hello};
+pub use proto::{Direction, Family, Hello, Retarget, TargetBppWire};
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
 
 use std::error::Error;

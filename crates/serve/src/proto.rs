@@ -33,14 +33,22 @@
 use crate::ServeError;
 use nvc_entropy::container::{crc32, Packet};
 use nvc_tensor::{Shape, Tensor};
-use nvc_video::{Frame, StreamStats};
+use nvc_video::{Frame, FrameType, StreamStats};
 use std::io::{Read, Write};
 
 /// Handshake magic: every connection starts with these four bytes.
 pub const MAGIC: [u8; 4] = *b"NVCS";
 
-/// Wire-protocol version.
-pub const VERSION: u8 = 1;
+/// Wire-protocol version. Version 2 added the handshake's rate-mode
+/// field (closed-loop target-bpp streams), the `'R'` retarget message
+/// and the extended stats trailer (per-frame frame types and rate
+/// indices).
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version still accepted: version-1 (fixed-rate only)
+/// clients keep working against a version-2 server, and get the
+/// version-1 trailer they expect.
+pub const MIN_VERSION: u8 = 1;
 
 /// Hard cap on frame dimensions accepted from the wire, keeping a
 /// hostile `Hello` or frame header from forcing a giant allocation.
@@ -60,6 +68,11 @@ pub const MSG_PACKET: u8 = b'P';
 pub const MSG_FRAME: u8 = b'F';
 /// Message tag: end of stream (client → server).
 pub const MSG_END: u8 = b'E';
+/// Message tag: mid-stream rate retarget (client → server, encode
+/// streams, protocol version ≥ 2). Applies in stream order: frames sent
+/// before the retarget are coded under the old mode, frames after it
+/// under the new one.
+pub const MSG_RETARGET: u8 = b'R';
 /// Message tag: stream statistics trailer (server → client).
 pub const MSG_STATS: u8 = b'S';
 /// Message tag: failure description, connection closes after.
@@ -124,9 +137,43 @@ impl Direction {
     }
 }
 
+/// Closed-loop rate target as carried on the wire (protocol ≥ 2):
+/// bits-per-pixel in 1/1000 units plus a smoothing window in frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetBppWire {
+    /// Target rate in milli-bits-per-pixel (`1000 × bpp`).
+    pub milli_bpp: u32,
+    /// Smoothing window in frames (0 = server default).
+    pub window: u16,
+}
+
+impl TargetBppWire {
+    /// Builds the wire form from a bits-per-pixel target. Positive
+    /// targets below the wire's 1/1000 resolution round *up* to one
+    /// milli-bpp, so they stay positive on the wire instead of being
+    /// quantized to zero and rejected server-side.
+    pub fn from_bpp(bpp: f64, window: u16) -> Self {
+        let milli_bpp = if bpp > 0.0 {
+            ((bpp * 1000.0).round() as u32).max(1)
+        } else {
+            0
+        };
+        TargetBppWire { milli_bpp, window }
+    }
+
+    /// The target in bits per pixel.
+    pub fn bpp(&self) -> f64 {
+        f64::from(self.milli_bpp) / 1000.0
+    }
+}
+
 /// The handshake opening every connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hello {
+    /// Protocol version this handshake is serialized as. Constructors
+    /// set the current [`VERSION`]; set `1` to speak to (or emulate) a
+    /// fixed-rate-only peer — then `target` must be `None`.
+    pub version: u8,
     /// Codec family serving the stream.
     pub family: Family,
     /// Which side of the codec the server runs.
@@ -141,77 +188,112 @@ pub struct Hello {
     /// rides in the bitstream header; the handshake value is still
     /// validated so a bogus request fails fast.
     pub rate: u8,
+    /// Closed-loop rate mode for encode streams: when set, `rate` is
+    /// not used at all — the server's controller picks every frame's
+    /// rate, including the first (the ack still echoes `rate` for wire
+    /// compatibility). Must be `None` for decode streams and version-1
+    /// handshakes.
+    pub target: Option<TargetBppWire>,
 }
 
 impl Hello {
-    /// Handshake for a CTVC decode stream (client sends packets).
-    pub fn ctvc_decode(rate: u8, width: usize, height: usize) -> Self {
+    fn new(family: Family, direction: Direction, rate: u8, width: usize, height: usize) -> Self {
         Hello {
-            family: Family::Ctvc,
-            direction: Direction::Decode,
+            version: VERSION,
+            family,
+            direction,
             width,
             height,
             rate,
+            target: None,
         }
+    }
+
+    /// Handshake for a CTVC decode stream (client sends packets).
+    pub fn ctvc_decode(rate: u8, width: usize, height: usize) -> Self {
+        Self::new(Family::Ctvc, Direction::Decode, rate, width, height)
     }
 
     /// Handshake for a CTVC encode stream (client sends raw frames).
     pub fn ctvc_encode(rate: u8, width: usize, height: usize) -> Self {
-        Hello {
-            family: Family::Ctvc,
-            direction: Direction::Encode,
-            width,
-            height,
-            rate,
-        }
+        Self::new(Family::Ctvc, Direction::Encode, rate, width, height)
     }
 
     /// Handshake for a hybrid-baseline decode stream.
     pub fn hybrid_decode(qp: u8, width: usize, height: usize) -> Self {
-        Hello {
-            family: Family::Hybrid,
-            direction: Direction::Decode,
-            width,
-            height,
-            rate: qp,
-        }
+        Self::new(Family::Hybrid, Direction::Decode, qp, width, height)
     }
 
     /// Handshake for a hybrid-baseline encode stream.
     pub fn hybrid_encode(qp: u8, width: usize, height: usize) -> Self {
-        Hello {
-            family: Family::Hybrid,
-            direction: Direction::Encode,
-            width,
-            height,
-            rate: qp,
-        }
+        Self::new(Family::Hybrid, Direction::Encode, qp, width, height)
     }
 
-    /// Serializes the handshake.
+    /// Switches an encode handshake to closed-loop target-bpp mode
+    /// (`window` frames of smoothing, 0 = server default).
+    pub fn with_target_bpp(mut self, bpp: f64, window: u16) -> Self {
+        self.target = Some(TargetBppWire::from_bpp(bpp, window));
+        self
+    }
+
+    /// Serializes the handshake in its `version`'s layout.
     ///
     /// # Errors
     ///
     /// Returns `InvalidInput` for geometry outside `1..=`[`MAX_DIM`]
     /// (which would otherwise truncate silently in the `u16` wire
-    /// fields); propagates writer failures.
+    /// fields), for an unserializable version, or for a rate target on
+    /// a version-1 handshake; propagates writer failures.
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
         check_wire_dims(self.width, self.height)?;
+        if self.version < MIN_VERSION || self.version > VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("cannot serialize protocol version {}", self.version),
+            ));
+        }
+        if self.version < 2 && self.target.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "target-bpp mode needs protocol version 2",
+            ));
+        }
         w.write_all(&MAGIC)?;
-        w.write_all(&[VERSION, self.family.tag(), self.direction.tag(), self.rate])?;
+        w.write_all(&[
+            self.version,
+            self.family.tag(),
+            self.direction.tag(),
+            self.rate,
+        ])?;
         w.write_all(&(self.width as u16).to_le_bytes())?;
-        w.write_all(&(self.height as u16).to_le_bytes())
+        w.write_all(&(self.height as u16).to_le_bytes())?;
+        if self.version >= 2 {
+            match self.target {
+                None => {
+                    w.write_all(&[0])?;
+                    w.write_all(&0u32.to_le_bytes())?;
+                    w.write_all(&0u16.to_le_bytes())?;
+                }
+                Some(t) => {
+                    w.write_all(&[1])?;
+                    w.write_all(&t.milli_bpp.to_le_bytes())?;
+                    w.write_all(&t.window.to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
     }
 
-    /// Reads and structurally validates a handshake (magic, version,
-    /// known tags, plausible geometry). Semantic validation — rate range,
-    /// codec-specific geometry constraints — happens server-side after
-    /// this.
+    /// Reads and structurally validates a handshake (magic, supported
+    /// version, known tags, plausible geometry) — both the version-1 and
+    /// version-2 layouts. Semantic validation — rate range, target
+    /// plausibility, codec-specific geometry constraints — happens
+    /// server-side after this.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Protocol`] on anything that is not a
-    /// well-formed version-1 handshake.
+    /// well-formed handshake of a supported version.
     pub fn read_from(r: &mut impl Read) -> Result<Hello, ServeError> {
         let mut head = [0u8; 8];
         r.read_exact(&mut head)
@@ -222,10 +304,10 @@ impl Hello {
                 &head[0..4]
             )));
         }
-        if head[4] != VERSION {
+        let version = head[4];
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(ServeError::Protocol(format!(
-                "unsupported protocol version {} (expected {VERSION})",
-                head[4]
+                "unsupported protocol version {version} (accepted {MIN_VERSION}..={VERSION})"
             )));
         }
         let family = Family::from_tag(head[5])?;
@@ -238,14 +320,116 @@ impl Hello {
                 "implausible stream geometry {width}x{height}"
             )));
         }
+        let target = if version >= 2 {
+            let mode = read_u8(r)?;
+            let milli_bpp = read_u32(r)?;
+            let window = read_u16(r)?;
+            match mode {
+                0 => None,
+                1 => Some(TargetBppWire { milli_bpp, window }),
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "unknown rate-mode tag 0x{other:02X}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
         Ok(Hello {
+            version,
             family,
             direction,
             width,
             height,
             rate,
+            target,
         })
     }
+}
+
+/// A mid-stream rate retarget (the `'R'` message): replaces the encode
+/// session's rate mode in stream order, optionally forcing an intra
+/// refresh at the switch point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retarget {
+    /// New fixed rate (`RatePoint` index / QP) when `target` is `None`.
+    pub rate: u8,
+    /// New closed-loop target; takes precedence over `rate`.
+    pub target: Option<TargetBppWire>,
+    /// Whether the next frame must restart the GOP with an intra frame.
+    pub restart_gop: bool,
+}
+
+impl Retarget {
+    /// Retarget to a fixed rate.
+    pub fn fixed(rate: u8) -> Self {
+        Retarget {
+            rate,
+            target: None,
+            restart_gop: false,
+        }
+    }
+
+    /// Retarget to a closed-loop bpp target.
+    pub fn target_bpp(bpp: f64, window: u16) -> Self {
+        Retarget {
+            rate: 0,
+            target: Some(TargetBppWire::from_bpp(bpp, window)),
+            restart_gop: false,
+        }
+    }
+
+    /// Also force an intra refresh at the switch.
+    pub fn with_restart(mut self) -> Self {
+        self.restart_gop = true;
+        self
+    }
+}
+
+/// Writes one retarget message (`'R'` tag + body).
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_retarget_msg(w: &mut impl Write, retarget: &Retarget) -> std::io::Result<()> {
+    w.write_all(&[MSG_RETARGET])?;
+    let (mode, milli_bpp, window) = match retarget.target {
+        None => (0u8, 0u32, 0u16),
+        Some(t) => (1, t.milli_bpp, t.window),
+    };
+    w.write_all(&[mode, retarget.rate])?;
+    w.write_all(&milli_bpp.to_le_bytes())?;
+    w.write_all(&window.to_le_bytes())?;
+    w.write_all(&[u8::from(retarget.restart_gop)])
+}
+
+/// Reads a retarget body (after its `'R'` tag).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on truncation or an unknown
+/// rate-mode tag.
+pub fn read_retarget_body(r: &mut impl Read) -> Result<Retarget, ServeError> {
+    let mode = read_u8(r)?;
+    let rate = read_u8(r)?;
+    let milli_bpp = read_u32(r)?;
+    let window = read_u16(r)?;
+    let restart = read_u8(r)?;
+    let target = match mode {
+        0 => None,
+        1 => Some(TargetBppWire { milli_bpp, window }),
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "unknown rate-mode tag 0x{other:02X}"
+            )))
+        }
+    };
+    Ok(Retarget {
+        rate,
+        target,
+        restart_gop: restart != 0,
+    })
 }
 
 fn check_wire_dims(width: usize, height: usize) -> std::io::Result<()> {
@@ -366,12 +550,19 @@ pub fn write_packet_msg(w: &mut impl Write, packet: &Packet) -> std::io::Result<
     w.write_all(&packet.to_bytes())
 }
 
-/// Writes the stream-statistics trailer (`'S'` tag + body).
+/// Writes the stream-statistics trailer (`'S'` tag + body) in the given
+/// protocol version's layout: version ≥ 2 appends one frame-type byte
+/// (`'I'`/`'P'`) and one rate byte per frame, so clients can see which
+/// frames absorbed rate changes.
 ///
 /// # Errors
 ///
 /// Propagates writer failures.
-pub fn write_stats_msg(w: &mut impl Write, stats: &StreamStats) -> std::io::Result<()> {
+pub fn write_stats_msg(
+    w: &mut impl Write,
+    stats: &StreamStats,
+    version: u8,
+) -> std::io::Result<()> {
     w.write_all(&[MSG_STATS])?;
     w.write_all(&(stats.frames as u32).to_le_bytes())?;
     w.write_all(&(stats.total_bytes as u64).to_le_bytes())?;
@@ -381,16 +572,29 @@ pub fn write_stats_msg(w: &mut impl Write, stats: &StreamStats) -> std::io::Resu
     for &b in &stats.bits_per_frame {
         w.write_all(&b.to_le_bytes())?;
     }
+    if version >= 2 {
+        for kind in &stats.frame_types {
+            w.write_all(&[match kind {
+                FrameType::Intra => b'I',
+                FrameType::Predicted => b'P',
+            }])?;
+        }
+        for &rate in &stats.rate_per_frame {
+            w.write_all(&[rate])?;
+        }
+    }
     Ok(())
 }
 
-/// Reads a stream-statistics body (after its `'S'` tag).
+/// Reads a stream-statistics body (after its `'S'` tag) in the given
+/// protocol version's layout. Version-1 trailers leave
+/// `frame_types`/`rate_per_frame` empty.
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::Protocol`] on truncation or an implausible
-/// frame count.
-pub fn read_stats_body(r: &mut impl Read) -> Result<StreamStats, ServeError> {
+/// Returns [`ServeError::Protocol`] on truncation, an implausible frame
+/// count, or an unknown frame-type byte.
+pub fn read_stats_body(r: &mut impl Read, version: u8) -> Result<StreamStats, ServeError> {
     let frames = read_u32(r)? as usize;
     if frames > MAX_STATS_FRAMES {
         return Err(ServeError::Protocol(format!(
@@ -406,10 +610,32 @@ pub fn read_stats_body(r: &mut impl Read) -> Result<StreamStats, ServeError> {
     for _ in 0..frames {
         bits_per_frame.push(read_u64(r)?);
     }
+    let mut frame_types = Vec::new();
+    let mut rate_per_frame = Vec::new();
+    if version >= 2 {
+        frame_types.reserve(frames);
+        for _ in 0..frames {
+            frame_types.push(match read_u8(r)? {
+                b'I' => FrameType::Intra,
+                b'P' => FrameType::Predicted,
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "unknown frame-type byte 0x{other:02X} in stats trailer"
+                    )))
+                }
+            });
+        }
+        rate_per_frame.reserve(frames);
+        for _ in 0..frames {
+            rate_per_frame.push(read_u8(r)?);
+        }
+    }
     Ok(StreamStats {
         frames,
         bytes_per_frame,
         bits_per_frame,
+        frame_types,
+        rate_per_frame,
         total_bytes,
     })
 }
@@ -524,13 +750,70 @@ mod tests {
             frames: 3,
             bytes_per_frame: vec![120, 40, 41],
             bits_per_frame: vec![1064, 424, 432],
+            frame_types: vec![FrameType::Intra, FrameType::Predicted, FrameType::Predicted],
+            rate_per_frame: vec![1, 1, 2],
             total_bytes: 240,
         };
         let mut buf = Vec::new();
-        write_stats_msg(&mut buf, &stats).unwrap();
+        write_stats_msg(&mut buf, &stats, VERSION).unwrap();
         assert_eq!(buf[0], MSG_STATS);
-        assert_eq!(read_stats_body(&mut &buf[1..]).unwrap(), stats);
-        assert!(read_stats_body(&mut &buf[1..buf.len() - 1]).is_err());
+        assert_eq!(read_stats_body(&mut &buf[1..], VERSION).unwrap(), stats);
+        assert!(read_stats_body(&mut &buf[1..buf.len() - 1], VERSION).is_err());
+
+        // The version-1 layout drops the frame-type and rate columns.
+        let mut v1 = Vec::new();
+        write_stats_msg(&mut v1, &stats, 1).unwrap();
+        assert!(v1.len() < buf.len());
+        let back = read_stats_body(&mut &v1[1..], 1).unwrap();
+        assert_eq!(back.bits_per_frame, stats.bits_per_frame);
+        assert!(back.frame_types.is_empty() && back.rate_per_frame.is_empty());
+    }
+
+    #[test]
+    fn retarget_message_roundtrips() {
+        let mut buf = Vec::new();
+        for r in [
+            Retarget::fixed(2),
+            Retarget::fixed(3).with_restart(),
+            Retarget::target_bpp(0.25, 8),
+            Retarget::target_bpp(1.5, 0).with_restart(),
+        ] {
+            buf.clear();
+            write_retarget_msg(&mut buf, &r).unwrap();
+            assert_eq!(buf[0], MSG_RETARGET);
+            assert_eq!(read_retarget_body(&mut &buf[1..]).unwrap(), r);
+        }
+        // Truncation and unknown mode tags fail cleanly.
+        assert!(read_retarget_body(&mut &buf[1..buf.len() - 1]).is_err());
+        buf[1] = 0x07;
+        assert!(read_retarget_body(&mut &buf[1..]).is_err());
+    }
+
+    #[test]
+    fn version1_hello_still_parses() {
+        // The exact 12-byte layout version-1 clients send.
+        let mut v1 = Hello::ctvc_encode(1, 32, 32);
+        v1.version = 1;
+        let mut buf = Vec::new();
+        v1.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 12, "version-1 layout is 12 bytes");
+        assert_eq!(Hello::read_from(&mut &buf[..]).unwrap(), v1);
+        // A version-1 handshake cannot carry a rate target.
+        let bad = v1.with_target_bpp(0.3, 4);
+        assert!(bad.write_to(&mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn target_bpp_hello_roundtrips() {
+        let h = Hello::hybrid_encode(30, 64, 48).with_target_bpp(0.42, 6);
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        let back = Hello::read_from(&mut &buf[..]).unwrap();
+        assert_eq!(back, h);
+        let t = back.target.unwrap();
+        assert_eq!(t.milli_bpp, 420);
+        assert!((t.bpp() - 0.42).abs() < 1e-9);
+        assert_eq!(t.window, 6);
     }
 
     #[test]

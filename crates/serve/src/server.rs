@@ -26,14 +26,16 @@
 //!   under [`ServeConfig::exec_cap`] regardless of the connection count.
 
 use crate::proto::{
-    read_frame_body, read_u8, write_error_msg, write_frame_msg, write_packet_msg, write_stats_msg,
-    Direction, Family, Hello, MSG_ACK, MSG_END, MSG_FRAME, MSG_PACKET,
+    read_frame_body, read_retarget_body, read_u8, write_error_msg, write_frame_msg,
+    write_packet_msg, write_stats_msg, Direction, Family, Hello, Retarget, TargetBppWire, MSG_ACK,
+    MSG_END, MSG_FRAME, MSG_PACKET, MSG_RETARGET,
 };
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_core::ExecPool;
 use nvc_entropy::container::{FrameKind, Packet};
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_video::codec::{DecoderSession, EncoderSession, StreamStats};
+use nvc_video::rate::{RateMode, RateParam};
 use nvc_video::Frame;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
@@ -217,6 +219,9 @@ enum Job {
     Packet(Packet),
     /// A raw frame (encode sessions).
     Frame(Frame),
+    /// A mid-stream rate retarget (encode sessions): applies in stream
+    /// order between the frames around it.
+    Retarget(Retarget),
     /// Clean end of stream: finalize, send the stats trailer.
     End,
     /// Reader-detected failure: report to the peer and close.
@@ -444,19 +449,26 @@ struct DecodeRunner<S> {
     /// Geometry from the handshake; the decoded stream must match it,
     /// so clients can trust the negotiated size end to end.
     negotiated: (usize, usize),
+    /// Negotiated protocol version — fixes the stats-trailer layout.
+    version: u8,
     bytes_per_frame: Vec<usize>,
     bits_per_frame: Vec<u64>,
+    frame_types: Vec<FrameKind>,
+    rate_per_frame: Vec<u8>,
     total_bytes: usize,
 }
 
 impl<S: DecoderSession> DecodeRunner<S> {
-    fn new(sess: S, negotiated: (usize, usize), out: BufWriter<TcpStream>) -> Self {
+    fn new(sess: S, negotiated: (usize, usize), version: u8, out: BufWriter<TcpStream>) -> Self {
         DecodeRunner {
             sess,
             out,
             negotiated,
+            version,
             bytes_per_frame: Vec::new(),
             bits_per_frame: Vec::new(),
+            frame_types: Vec::new(),
+            rate_per_frame: Vec::new(),
             total_bytes: 0,
         }
     }
@@ -484,6 +496,10 @@ impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
                     Ok(frame) => {
                         self.bytes_per_frame.push(packet.payload.len());
                         self.bits_per_frame.push(bytes.len() as u64 * 8);
+                        self.frame_types.push(packet.kind);
+                        // The in-band rate governing this frame (stream
+                        // header or a per-packet rate switch).
+                        self.rate_per_frame.push(self.sess.last_rate().unwrap_or(0));
                         self.total_bytes += bytes.len();
                         let ok = write_frame_msg(&mut self.out, packet.frame_index, &frame)
                             .and_then(|()| self.out.flush())
@@ -505,14 +521,20 @@ impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
                 hangup(&mut self.out, Some("raw frame on a decode stream"));
                 StepOutcome::Failed
             }
+            Job::Retarget(_) => {
+                hangup(&mut self.out, Some("rate retarget on a decode stream"));
+                StepOutcome::Failed
+            }
             Job::End => {
                 let stats = StreamStats {
                     frames: self.bytes_per_frame.len(),
                     bytes_per_frame: std::mem::take(&mut self.bytes_per_frame),
                     bits_per_frame: std::mem::take(&mut self.bits_per_frame),
+                    frame_types: std::mem::take(&mut self.frame_types),
+                    rate_per_frame: std::mem::take(&mut self.rate_per_frame),
                     total_bytes: self.total_bytes,
                 };
-                let _ = write_stats_msg(&mut self.out, &stats);
+                let _ = write_stats_msg(&mut self.out, &stats, self.version);
                 hangup(&mut self.out, None);
                 StepOutcome::Finished
             }
@@ -527,13 +549,16 @@ impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
 struct EncodeRunner<S> {
     sess: Option<S>,
     out: BufWriter<TcpStream>,
+    /// Negotiated protocol version — fixes the stats-trailer layout.
+    version: u8,
 }
 
 impl<S: EncoderSession> EncodeRunner<S> {
-    fn new(sess: S, out: BufWriter<TcpStream>) -> Self {
+    fn new(sess: S, version: u8, out: BufWriter<TcpStream>) -> Self {
         EncodeRunner {
             sess: Some(sess),
             out,
+            version,
         }
     }
 }
@@ -566,10 +591,26 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<S> {
                 hangup(&mut self.out, Some("coded packet on an encode stream"));
                 StepOutcome::Failed
             }
+            Job::Retarget(retarget) => {
+                // Same conversion + plausibility bar as the handshake.
+                match wire_rate_mode::<S::Rate>(retarget.target, retarget.rate) {
+                    Ok(mode) => {
+                        sess.set_rate_mode(mode);
+                        if retarget.restart_gop {
+                            sess.restart_gop();
+                        }
+                        StepOutcome::Continue
+                    }
+                    Err(e) => {
+                        hangup(&mut self.out, Some(&format!("retarget: {e}")));
+                        StepOutcome::Failed
+                    }
+                }
+            }
             Job::End => {
                 match self.sess.take().expect("session present").finish() {
                     Ok(stats) => {
-                        let _ = write_stats_msg(&mut self.out, &stats);
+                        let _ = write_stats_msg(&mut self.out, &stats, self.version);
                     }
                     Err(e) => {
                         let _ = write_error_msg(&mut self.out, &format!("finish: {e}"));
@@ -621,11 +662,35 @@ impl Read for StopRead<'_> {
     }
 }
 
+/// Builds a session rate mode from the wire's `(target, fixed rate)`
+/// pair — the *single* conversion both the handshake and the mid-stream
+/// `'R'` retarget go through, so the two paths can never drift apart in
+/// what they accept. Note the hybrid QP domain is every byte (the
+/// quantizer step extrapolates beyond the useful 0..=51, exactly as
+/// before the rate-mode handshake existed), while CTVC validates
+/// against the calibrated sweep.
+fn wire_rate_mode<R: RateParam>(
+    target: Option<TargetBppWire>,
+    rate: u8,
+) -> Result<RateMode<R>, String> {
+    match target {
+        Some(t) if t.milli_bpp == 0 => Err("target bpp must be positive".into()),
+        Some(t) => Ok(RateMode::TargetBpp {
+            bpp: t.bpp(),
+            window: usize::from(t.window),
+        }),
+        None => Ok(RateMode::Fixed(R::from_wire(rate)?)),
+    }
+}
+
 /// Validates the semantic half of a handshake against the served codecs.
 fn validate_hello(hello: &Hello) -> Result<(), String> {
+    if hello.target.is_some() && hello.direction != Direction::Encode {
+        return Err("target-bpp mode only applies to encode streams".into());
+    }
     match hello.family {
         Family::Ctvc => {
-            RatePoint::try_new(hello.rate)?;
+            wire_rate_mode::<RatePoint>(hello.target, hello.rate)?;
             if !hello.width.is_multiple_of(16) || !hello.height.is_multiple_of(16) {
                 return Err(format!(
                     "CTVC streams need dimensions divisible by 16, got {}x{}",
@@ -634,7 +699,7 @@ fn validate_hello(hello: &Hello) -> Result<(), String> {
             }
             Ok(())
         }
-        Family::Hybrid => Ok(()),
+        Family::Hybrid => wire_rate_mode::<u8>(hello.target, hello.rate).map(|_| ()),
     }
 }
 
@@ -700,19 +765,28 @@ fn connection<'env>(
     counters.sessions.fetch_add(1, Ordering::Relaxed);
 
     let negotiated = (hello.width, hello.height);
+    let version = hello.version;
     let runner: Box<dyn SessionRunner + Send + 'env> = match (hello.family, hello.direction) {
-        (Family::Ctvc, Direction::Decode) => {
-            Box::new(DecodeRunner::new(ctvc.start_decode(), negotiated, out))
-        }
+        (Family::Ctvc, Direction::Decode) => Box::new(DecodeRunner::new(
+            ctvc.start_decode(),
+            negotiated,
+            version,
+            out,
+        )),
         (Family::Ctvc, Direction::Encode) => {
-            let rate = RatePoint::try_new(hello.rate).expect("validated above");
-            Box::new(EncodeRunner::new(ctvc.start_encode(rate), out))
+            let mode =
+                wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
+            Box::new(EncodeRunner::new(ctvc.start_encode(mode), version, out))
         }
-        (Family::Hybrid, Direction::Decode) => {
-            Box::new(DecodeRunner::new(hybrid.start_decode(), negotiated, out))
-        }
+        (Family::Hybrid, Direction::Decode) => Box::new(DecodeRunner::new(
+            hybrid.start_decode(),
+            negotiated,
+            version,
+            out,
+        )),
         (Family::Hybrid, Direction::Encode) => {
-            Box::new(EncodeRunner::new(hybrid.start_encode(hello.rate), out))
+            let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
+            Box::new(EncodeRunner::new(hybrid.start_encode(mode), version, out))
         }
     };
     let slot = Arc::new(Slot {
@@ -750,6 +824,13 @@ fn connection<'env>(
                     Err(e) => Job::Abort(format!("bad frame: {e}")),
                 }
             }
+            // Parsed for either direction so a decode stream gets the
+            // specific "retarget on a decode stream" diagnostic from
+            // its runner rather than a generic unexpected-tag abort.
+            (MSG_RETARGET, _) if hello.version >= 2 => match read_retarget_body(&mut reader) {
+                Ok(retarget) => Job::Retarget(retarget),
+                Err(e) => Job::Abort(format!("bad retarget: {e}")),
+            },
             (MSG_END, _) => Job::End,
             (tag, _) => Job::Abort(format!("unexpected message tag 0x{tag:02X}")),
         };

@@ -8,10 +8,11 @@
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_serve::proto::{self, Hello};
-use nvc_serve::{ServeConfig, ServeError, Server, ServerHandle, StreamClient};
-use nvc_video::codec::encode_sequence;
+use nvc_serve::{Retarget, ServeConfig, ServeError, Server, ServerHandle, StreamClient};
+use nvc_video::codec::{encode_sequence, encode_sequence_with};
+use nvc_video::rate::RateMode;
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
-use nvc_video::Sequence;
+use nvc_video::{FrameType, Sequence};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -283,6 +284,213 @@ fn mismatched_frame_geometry_is_rejected() {
         matches!(&err, ServeError::Remote(m) if m.contains("does not match negotiated")),
         "{err}"
     );
+    server.shutdown();
+}
+
+#[test]
+fn midstream_retarget_forces_intra_and_replays_bit_exact() {
+    let server = spawn_server();
+    let source = seq(4);
+
+    let run = || {
+        let mut client = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap();
+        for (i, frame) in source.frames().iter().enumerate() {
+            if i == 2 {
+                // Switch to r2 and force an intra refresh at the switch.
+                client.retarget(Retarget::fixed(2).with_restart()).unwrap();
+            }
+            client.send_frame(frame).unwrap();
+        }
+        client.finish().unwrap()
+    };
+    let summary = run();
+
+    assert_eq!(summary.packets.len(), 4);
+    assert_eq!(
+        summary.stats.frame_types,
+        vec![
+            FrameType::Intra,
+            FrameType::Predicted,
+            FrameType::Intra,
+            FrameType::Predicted
+        ],
+        "the retarget must land on an intra anchor"
+    );
+    assert_eq!(summary.stats.rate_per_frame, vec![1, 1, 2, 2]);
+
+    // The retargeted stream decodes cleanly in-process.
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let mut bitstream = Vec::new();
+    for packet in &summary.packets {
+        bitstream.extend_from_slice(&packet.to_bytes());
+    }
+    let decoded = codec.decode(&bitstream).unwrap();
+    assert_eq!(decoded.frames().len(), 4);
+
+    // Replaying the identical frames + retarget produces a byte-exact
+    // stream.
+    let replay = run();
+    for (a, b) in summary.packets.iter().zip(&replay.packets) {
+        assert_eq!(a.to_bytes(), b.to_bytes(), "retargeted replay diverged");
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn target_bpp_session_over_the_wire_matches_in_process() {
+    let server = spawn_server();
+    let source = seq(5);
+    let (bpp, window) = (0.8, 4);
+
+    let mut client = connect(
+        &server,
+        Hello::ctvc_encode(1, W, H).with_target_bpp(bpp, window),
+    )
+    .unwrap();
+    for frame in source.frames() {
+        client.send_frame(frame).unwrap();
+    }
+    let summary = client.finish().unwrap();
+    assert_eq!(summary.stats.rate_per_frame.len(), 5);
+    assert!(summary
+        .stats
+        .rate_per_frame
+        .iter()
+        .all(|&r| r <= RatePoint::MAX_INDEX));
+
+    // The wire session runs the same deterministic controller as the
+    // in-process API — packets must be byte-identical.
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let local = encode_sequence_with(
+        &codec,
+        &source,
+        RateMode::TargetBpp {
+            bpp,
+            window: usize::from(window),
+        },
+    )
+    .unwrap();
+    for (remote, in_process) in summary.packets.iter().zip(&local.packets) {
+        assert_eq!(remote.to_bytes(), in_process.to_bytes());
+    }
+    assert_eq!(summary.stats, local.stats);
+    server.shutdown();
+}
+
+#[test]
+fn version1_client_still_speaks_fixed_rate() {
+    let server = spawn_server();
+    let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+    let coded = encode_sequence(&codec, &seq(2), RatePoint::new(1)).unwrap();
+
+    // A raw version-1 session: 12-byte hello, packets, end — and the
+    // version-1 (short) stats trailer back.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    let mut hello = Hello::ctvc_decode(1, W, H);
+    hello.version = 1;
+    let mut buf = Vec::new();
+    hello.write_to(&mut buf).unwrap();
+    assert_eq!(buf.len(), 12);
+    for packet in &coded.packets {
+        buf.push(proto::MSG_PACKET);
+        buf.extend_from_slice(&packet.to_bytes());
+    }
+    buf.push(proto::MSG_END);
+    raw.write_all(&buf).unwrap();
+
+    let mut head = [0u8; 2];
+    raw.read_exact(&mut head).unwrap();
+    assert_eq!(head[0], proto::MSG_ACK, "v1 handshake must be accepted");
+    let mut reader = std::io::BufReader::new(raw);
+    for local in coded.decoded.frames() {
+        let mut tag = [0u8; 1];
+        reader.read_exact(&mut tag).unwrap();
+        assert_eq!(tag[0], proto::MSG_FRAME);
+        let (_, frame) = proto::read_frame_body(&mut reader, Some((W, H))).unwrap();
+        assert_eq!(frame.tensor().as_slice(), local.tensor().as_slice());
+    }
+    let mut tag = [0u8; 1];
+    reader.read_exact(&mut tag).unwrap();
+    assert_eq!(tag[0], proto::MSG_STATS);
+    let stats = proto::read_stats_body(&mut reader, 1).unwrap();
+    assert_eq!(stats.frames, 2);
+    assert!(
+        stats.frame_types.is_empty() && stats.rate_per_frame.is_empty(),
+        "a v1 client must get the trailer layout it expects"
+    );
+    assert_eq!(reader.read(&mut tag).unwrap(), 0, "clean close after stats");
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions, 1);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn retarget_is_rejected_on_decode_streams_and_bogus_rates() {
+    let server = spawn_server();
+
+    // Client-side guard: wrong direction.
+    let mut dec = connect(&server, Hello::ctvc_decode(1, W, H)).unwrap();
+    let err = dec.retarget(Retarget::fixed(2)).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Protocol(m) if m.contains("decode-direction")),
+        "{err}"
+    );
+
+    // Server-side guard: a fixed retarget outside the CTVC sweep kills
+    // the session with a clean remote error, not a panic.
+    let mut enc = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap();
+    enc.retarget(Retarget::fixed(9)).unwrap();
+    let source = seq(1);
+    let _ = enc.send_frame(&source.frames()[0]);
+    let err = enc.finish().unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("rate index 9")),
+        "{err}"
+    );
+
+    // A zero-bpp retarget is rejected with the same bar as the
+    // handshake's target validation.
+    let mut enc = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap();
+    enc.retarget(Retarget::target_bpp(0.0, 4)).unwrap();
+    let _ = enc.send_frame(&source.frames()[0]);
+    let err = enc.finish().unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("must be positive")),
+        "{err}"
+    );
+
+    // A retarget sent on a decode stream dies with the specific
+    // diagnostic, not a generic unexpected-tag abort.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    let mut buf = Vec::new();
+    Hello::ctvc_decode(1, W, H).write_to(&mut buf).unwrap();
+    proto::write_retarget_msg(&mut buf, &Retarget::fixed(2)).unwrap();
+    raw.write_all(&buf).unwrap();
+    let mut head = [0u8; 2];
+    raw.read_exact(&mut head).unwrap();
+    assert_eq!(head[0], proto::MSG_ACK);
+    let mut tag = [0u8; 1];
+    raw.read_exact(&mut tag).unwrap();
+    assert_eq!(tag[0], proto::MSG_ERROR);
+    let msg = proto::read_error_body(&mut raw).unwrap();
+    assert!(msg.contains("retarget on a decode stream"), "{msg}");
+    drop(raw);
+
+    // Legacy leniency: a hybrid encode handshake with QP > 51 (the RD
+    // anchor sweeps use up to 58) still opens a session and round-trips
+    // the requested quantizer.
+    let mut enc = connect(&server, Hello::hybrid_encode(60, W, H)).unwrap();
+    let source = seq(2);
+    for frame in source.frames() {
+        enc.send_frame(frame).unwrap();
+    }
+    let summary = enc.finish().unwrap();
+    assert!(summary.stats.rate_per_frame.iter().all(|&q| q == 60));
     server.shutdown();
 }
 

@@ -19,10 +19,15 @@
 //! [`decode_bitstream`]), so the two paths are bit-identical by
 //! construction.
 
+use crate::rate::{RateMode, RateParam};
 use crate::{Frame, Sequence};
-use nvc_entropy::container::{split_packets, Packet};
+use nvc_entropy::container::{split_packets, Packet, Section};
 use nvc_entropy::CodingError;
 use std::error::Error;
+
+/// Frame type of a coded frame, as carried in packet headers and
+/// [`StreamStats::frame_types`].
+pub use nvc_entropy::container::FrameKind as FrameType;
 
 /// Summary statistics returned by [`EncoderSession::finish`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +43,16 @@ pub struct StreamStats {
     /// `bits_per_frame.iter().sum::<u64>() == 8 * total_bytes as u64`, so
     /// [`StreamStats::bpp`] stays consistent with the per-frame view.
     pub bits_per_frame: Vec<u64>,
+    /// Frame type of every coded frame, aligned with
+    /// [`StreamStats::bits_per_frame`] — so rate-control consumers can
+    /// see *which* frames (intra anchors vs predicted) absorbed a rate
+    /// change.
+    pub frame_types: Vec<FrameType>,
+    /// Wire rate byte (`RatePoint` index / QP) each frame was coded at,
+    /// aligned with [`StreamStats::bits_per_frame`]. Constant in
+    /// [`RateMode::Fixed`] streams; in closed-loop modes this is the
+    /// controller's per-frame decision trace.
+    pub rate_per_frame: Vec<u8>,
     /// Total serialized stream size in bytes, including packet headers.
     pub total_bytes: usize,
 }
@@ -70,6 +85,9 @@ pub trait EncoderSession {
     /// Error type of the owning codec.
     type Error: Error;
 
+    /// Rate-control parameter of the owning codec (`RatePoint` / QP).
+    type Rate: RateParam;
+
     /// Encodes one frame and returns its packet. The first pushed frame
     /// fixes the stream's resolution and is coded intra; subsequent
     /// frames are predicted from the carried reconstruction state.
@@ -86,6 +104,21 @@ pub trait EncoderSession {
 
     /// Number of frames pushed so far.
     fn frames_pushed(&self) -> usize;
+
+    /// Forces the next pushed frame to restart the prediction chain
+    /// with an intra frame (stream-join / error-recovery point, and the
+    /// natural anchor for a rate switch). Returns whether the codec
+    /// honors the request; the default implementation is a no-op for
+    /// codecs without a prediction chain to restart.
+    fn restart_gop(&mut self) -> bool {
+        false
+    }
+
+    /// Replaces the session's rate control from the next frame on — the
+    /// in-process form of the wire's `'R'` retarget. Mid-GOP switches
+    /// are legal: the chosen rate rides in each packet, so the decoder
+    /// follows without an intra refresh.
+    fn set_rate_mode(&mut self, mode: RateMode<Self::Rate>);
 
     /// Ends the stream and returns its statistics.
     ///
@@ -116,6 +149,14 @@ pub trait DecoderSession {
 
     /// Number of frames decoded so far.
     fn frames_decoded(&self) -> usize;
+
+    /// Wire rate byte (`RatePoint` index / QP) governing the most
+    /// recently decoded frame, once the stream header (or a per-frame
+    /// rate update) has been seen. `None` before the first packet, and
+    /// for decoders without an in-band rate.
+    fn last_rate(&self) -> Option<u8> {
+        None
+    }
 }
 
 /// A video codec with streaming encode/decode sessions.
@@ -128,10 +169,11 @@ pub trait VideoCodec {
     /// Codec error type. `From<CodingError>` lets generic stream-level
     /// framing errors surface through the codec's own error.
     type Error: Error + From<CodingError>;
-    /// Rate-control parameter for an encode session.
-    type Rate: Copy + std::fmt::Debug;
+    /// Rate-control parameter for an encode session, pluggable into the
+    /// generic controllers through the [`RateParam`] ladder.
+    type Rate: RateParam;
     /// Encoder session type, borrowing the codec.
-    type Encoder<'a>: EncoderSession<Error = Self::Error>
+    type Encoder<'a>: EncoderSession<Error = Self::Error, Rate = Self::Rate>
     where
         Self: 'a;
     /// Decoder session type, borrowing the codec.
@@ -142,15 +184,46 @@ pub trait VideoCodec {
     /// Human-readable codec name for reports.
     fn codec_name(&self) -> &str;
 
-    /// Opens an encoder session at the given rate.
+    /// Opens an encoder session under the given rate-control mode —
+    /// [`RateMode::Fixed`] for the classic static rate (a plain rate
+    /// converts via `Into`), [`RateMode::TargetBpp`] for the built-in
+    /// closed loop, or an external controller.
     ///
     /// # Errors
     ///
     /// Returns the codec's error for invalid rate parameters.
-    fn start_encode(&self, rate: Self::Rate) -> Result<Self::Encoder<'_>, Self::Error>;
+    fn start_encode(&self, mode: RateMode<Self::Rate>) -> Result<Self::Encoder<'_>, Self::Error>;
 
     /// Opens a decoder session.
     fn start_decode(&self) -> Self::Decoder<'_>;
+}
+
+/// A packet's parsed section list, as produced by
+/// `nvc_entropy::container::read_sections`.
+pub type SectionList = [(Section, Vec<u8>)];
+
+/// Splits a leading in-band rate switch ([`Section::Rate`], one byte)
+/// off a packet's parsed section list — the shared decoder-side half of
+/// the in-band rate protocol, so both codec families stay in lockstep.
+/// Returns the wire rate byte (if a rate section led the packet) and
+/// the remaining sections; the codec validates the byte against its own
+/// rate domain.
+///
+/// # Errors
+///
+/// Returns a description if a rate section is present but malformed
+/// (any payload length other than one byte).
+pub fn take_rate_section(sections: &SectionList) -> Result<(Option<u8>, &SectionList), String> {
+    match sections.split_first() {
+        Some(((Section::Rate, payload), tail)) => match payload.as_slice() {
+            [byte] => Ok((Some(*byte), tail)),
+            other => Err(format!(
+                "rate section must carry exactly one byte, got {}",
+                other.len()
+            )),
+        },
+        _ => Ok((None, sections)),
+    }
 }
 
 /// Result of a generic whole-sequence encode over sessions.
@@ -175,8 +248,9 @@ impl EncodedStream {
     }
 }
 
-/// Encodes a whole sequence through a fresh [`EncoderSession`] — the
-/// shared body of every one-shot `encode` wrapper.
+/// Encodes a whole sequence at one fixed rate — the shared body of
+/// every one-shot `encode` wrapper. Equivalent to
+/// [`encode_sequence_with`] under [`RateMode::Fixed`].
 ///
 /// # Errors
 ///
@@ -186,7 +260,21 @@ pub fn encode_sequence<C: VideoCodec>(
     seq: &Sequence,
     rate: C::Rate,
 ) -> Result<EncodedStream, C::Error> {
-    let mut enc = codec.start_encode(rate)?;
+    encode_sequence_with(codec, seq, RateMode::Fixed(rate))
+}
+
+/// Encodes a whole sequence through a fresh [`EncoderSession`] under an
+/// arbitrary rate-control mode.
+///
+/// # Errors
+///
+/// Propagates the codec's error from any frame.
+pub fn encode_sequence_with<C: VideoCodec>(
+    codec: &C,
+    seq: &Sequence,
+    mode: RateMode<C::Rate>,
+) -> Result<EncodedStream, C::Error> {
+    let mut enc = codec.start_encode(mode)?;
     let mut packets = Vec::with_capacity(seq.frames().len());
     let mut decoded = Vec::with_capacity(seq.frames().len());
     for frame in seq.frames() {
@@ -245,7 +333,20 @@ pub fn stream_roundtrip<C: VideoCodec>(
     seq: &Sequence,
     rate: C::Rate,
 ) -> Result<(EncodedStream, f64), C::Error> {
-    let coded = encode_sequence(codec, seq, rate)?;
+    stream_roundtrip_with(codec, seq, RateMode::Fixed(rate))
+}
+
+/// [`stream_roundtrip`] under an arbitrary rate-control mode.
+///
+/// # Errors
+///
+/// Propagates codec errors from either direction.
+pub fn stream_roundtrip_with<C: VideoCodec>(
+    codec: &C,
+    seq: &Sequence,
+    mode: RateMode<C::Rate>,
+) -> Result<(EncodedStream, f64), C::Error> {
+    let coded = encode_sequence_with(codec, seq, mode)?;
     let mut dec = codec.start_decode();
     let mut worst = 0.0f64;
     for (packet, reference) in coded.packets.iter().zip(coded.decoded.frames()) {
@@ -270,6 +371,8 @@ mod tests {
             frames: 2,
             bytes_per_frame: vec![87, 13],
             bits_per_frame: vec![(87 + 13) * 8, (13 + 13) * 8],
+            frame_types: vec![FrameType::Intra, FrameType::Predicted],
+            rate_per_frame: vec![1, 1],
             total_bytes: 87 + 13 + 13 + 13,
         };
         assert_eq!(

@@ -36,10 +36,15 @@ pub mod bdrate;
 pub mod codec;
 mod frame;
 pub mod metrics;
+pub mod rate;
 pub mod synthetic;
 
 pub use codec::{
-    decode_bitstream, encode_sequence, DecoderSession, EncodedStream, EncoderSession, StreamStats,
-    VideoCodec,
+    decode_bitstream, encode_sequence, encode_sequence_with, DecoderSession, EncodedStream,
+    EncoderSession, FrameType, StreamStats, VideoCodec,
 };
 pub use frame::{Frame, Sequence, VideoError};
+pub use rate::{
+    RateController, RateMode, RateOutcome, RateParam, RateRequest, SessionRateControl,
+    TargetBppController,
+};

@@ -1,12 +1,14 @@
-//! Serving demo: spawn an `nvc-serve` server and two concurrent clients
-//! in one process — one remote-*decode* stream (packets up, frames back)
-//! and one remote-*encode* stream (frames up, packets back) — then print
-//! per-stream PSNR and bpp.
+//! Serving demo: spawn an `nvc-serve` server and three concurrent
+//! clients in one process — a remote-*decode* stream (packets up, frames
+//! back), a fixed-rate remote-*encode* stream (frames up, packets back)
+//! and a *closed-loop* encode stream steering toward a bpp target with a
+//! mid-stream retarget — then print per-stream PSNR, bpp and the rate
+//! trace the controller chose.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
-use nvc_serve::{Hello, ServeConfig, Server, StreamClient};
+use nvc_serve::{Hello, Retarget, ServeConfig, Server, StreamClient};
 use nvc_video::codec::{encode_sequence, DecoderSession};
 use nvc_video::metrics::psnr_sequence;
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
@@ -81,8 +83,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
         });
 
+        // Stream C: closed-loop encode toward a bpp target, retargeted
+        // (with an intra refresh) halfway through the stream.
+        let stream_c = scope.spawn(|| {
+            let hello = Hello::ctvc_encode(1, W, H).with_target_bpp(0.6, 4);
+            let mut client = StreamClient::connect(server.addr(), hello).expect("connect");
+            for (i, frame) in source.frames().iter().enumerate() {
+                if i == source.frames().len() / 2 {
+                    client
+                        .retarget(Retarget::target_bpp(0.9, 4).with_restart())
+                        .expect("retarget");
+                }
+                client.send_frame(frame).expect("send");
+            }
+            let summary = client.finish().expect("finish");
+            let mut dec = codec.start_decode();
+            let frames: Vec<Frame> = summary
+                .packets
+                .iter()
+                .map(|p| dec.push_packet(&p.to_bytes()).expect("decode"))
+                .collect();
+            (
+                mean_psnr(&source, &frames),
+                summary.stats.bpp(W * H),
+                summary.stats.rate_per_frame.clone(),
+            )
+        });
+
         let (psnr_a, bpp_a, n_a, exact_a) = stream_a.join().expect("stream A");
         let (psnr_b, bpp_b, n_b, exact_b) = stream_b.join().expect("stream B");
+        let (psnr_c, bpp_c, rates_c) = stream_c.join().expect("stream C");
         println!(
             "stream A (server decodes, r1): {n_a} frames, {psnr_a:.2} dB PSNR, \
              {bpp_a:.4} bpp, bit-exact with in-process loop: {exact_a}"
@@ -90,6 +120,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "stream B (server encodes, r2): {n_b} frames, {psnr_b:.2} dB PSNR, \
              {bpp_b:.4} bpp, decodable locally: {exact_b}"
+        );
+        println!(
+            "stream C (closed loop, 0.6 -> 0.9 bpp retarget): {psnr_c:.2} dB PSNR, \
+             {bpp_c:.4} bpp, rate trace {rates_c:?}"
         );
     });
 
