@@ -179,6 +179,7 @@ impl HybridCodec {
             codec: self,
             control: SessionRateControl::new(mode.into()),
             wire_qp: None,
+            join_headers: false,
             dims: None,
             reference: None,
             next_index: 0,
@@ -199,6 +200,7 @@ impl HybridCodec {
             stream: None,
             reference: None,
             next_index: 0,
+            decoded: 0,
         }
     }
 
@@ -472,6 +474,10 @@ pub struct HybridEncoderSession<'a> {
     /// The QP the decoder currently assumes (stream header, then any
     /// in-band rate sections). `None` before the first frame.
     wire_qp: Option<u8>,
+    /// Joinable-stream mode: every intra packet carries the stream
+    /// header, so decoders can join at any intra boundary. See
+    /// [`EncoderSession::set_join_headers`](nvc_video::EncoderSession::set_join_headers).
+    join_headers: bool,
     dims: Option<(usize, usize)>,
     reference: Option<[Plane; 3]>,
     next_index: u32,
@@ -513,7 +519,11 @@ impl EncoderSessionTrait for HybridEncoderSession<'_> {
             .pick(u64::from(self.next_index), is_intra, w * h);
         let step = dct::qp_to_step(qp);
         let mut sections = SectionWriter::new();
-        if self.next_index == 0 {
+        if self.next_index == 0 || (self.join_headers && is_intra) {
+            // Stream header rides in the first packet — and, in
+            // joinable-stream mode, in every intra packet, so a decoder
+            // can open the stream at any intra boundary. It carries the
+            // frame's own QP, so no separate rate section is needed.
             let mut header = BitWriter::new();
             header.write_bits(w as u32, 16);
             header.write_bits(h as u32, 16);
@@ -583,6 +593,15 @@ impl EncoderSessionTrait for HybridEncoderSession<'_> {
         true
     }
 
+    fn set_join_headers(&mut self, enabled: bool) -> bool {
+        self.join_headers = enabled;
+        true
+    }
+
+    fn last_rate(&self) -> Option<u8> {
+        self.wire_qp
+    }
+
     fn set_rate_mode(&mut self, mode: RateMode<u8>) {
         self.control.retarget(mode);
     }
@@ -608,6 +627,21 @@ pub struct HybridDecoderSession<'a> {
     stream: Option<(usize, usize, u8)>,
     reference: Option<[Plane; 3]>,
     next_index: u32,
+    decoded: usize,
+}
+
+impl HybridDecoderSession<'_> {
+    /// Parses a `SideInfo` stream-header section.
+    fn parse_header(payload: &[u8]) -> Result<(usize, usize, u8), CodecError> {
+        let mut hr = BitReader::new(payload);
+        let w = hr.read_bits(16)? as usize;
+        let h = hr.read_bits(16)? as usize;
+        let qp = hr.read_bits(8)? as u8;
+        if w == 0 || h == 0 {
+            return Err(CodecError::BadInput(format!("bad stream geometry {w}x{h}")));
+        }
+        Ok((w, h, qp))
+    }
 }
 
 impl DecoderSessionTrait for HybridDecoderSession<'_> {
@@ -621,7 +655,7 @@ impl DecoderSessionTrait for HybridDecoderSession<'_> {
                 bytes.len() - consumed
             )));
         }
-        if packet.frame_index != self.next_index {
+        if self.stream.is_some() && packet.frame_index != self.next_index {
             return Err(CodecError::BadInput(format!(
                 "expected frame {}, got packet for frame {}",
                 self.next_index, packet.frame_index
@@ -629,19 +663,34 @@ impl DecoderSessionTrait for HybridDecoderSession<'_> {
         }
         let sections = read_sections(&packet.payload)?;
         let mut rest: &[(Section, Vec<u8>)] = &sections;
-        if self.next_index == 0 {
+        if self.stream.is_none() {
+            // Stream join: the first pushed packet — frame 0 of a plain
+            // stream or, for joinable streams, any header-carrying
+            // intra — must lead with the stream header, which also
+            // seeds the frame-index sequence.
             let (first, tail) = rest
                 .split_first()
                 .ok_or_else(|| CodecError::BadInput("first packet has no sections".into()))?;
             if first.0 != Section::SideInfo {
                 return Err(CodecError::BadInput("missing stream header".into()));
             }
-            let mut hr = BitReader::new(&first.1);
-            let w = hr.read_bits(16)? as usize;
-            let h = hr.read_bits(16)? as usize;
-            let qp = hr.read_bits(8)? as u8;
-            if w == 0 || h == 0 {
-                return Err(CodecError::BadInput(format!("bad stream geometry {w}x{h}")));
+            self.stream = Some(Self::parse_header(&first.1)?);
+            self.next_index = packet.frame_index;
+            rest = tail;
+        } else if packet.kind == FrameKind::Intra
+            && matches!(rest.first(), Some((Section::SideInfo, _)))
+        {
+            // Joinable streams re-send the header on every intra; it
+            // must agree with the open stream and carries the frame's
+            // QP (no separate rate section).
+            let (first, tail) = rest.split_first().expect("checked non-empty");
+            let (w, h, qp) = Self::parse_header(&first.1)?;
+            let open = self.stream.expect("stream open");
+            if (w, h) != (open.0, open.1) {
+                return Err(CodecError::BadInput(format!(
+                    "mid-stream header {w}x{h} does not match open stream {}x{}",
+                    open.0, open.1
+                )));
             }
             self.stream = Some((w, h, qp));
             rest = tail;
@@ -650,18 +699,13 @@ impl DecoderSessionTrait for HybridDecoderSession<'_> {
             let (switch, tail) =
                 nvc_video::codec::take_rate_section(rest).map_err(CodecError::BadInput)?;
             if let Some(qp) = switch {
-                let stream = self
-                    .stream
-                    .as_mut()
-                    .ok_or_else(|| CodecError::BadInput("no stream header yet".into()))?;
+                let stream = self.stream.as_mut().expect("stream open");
                 stream.2 =
                     <u8 as nvc_video::RateParam>::from_wire(qp).map_err(CodecError::BadInput)?;
                 rest = tail;
             }
         }
-        let (w, h, qp) = self
-            .stream
-            .ok_or_else(|| CodecError::BadInput("no stream header yet".into()))?;
+        let (w, h, qp) = self.stream.expect("stream open");
         let step = dct::qp_to_step(qp);
         let payload = match (packet.kind, rest) {
             (FrameKind::Intra, [(Section::Intra, payload)]) => payload,
@@ -697,11 +741,12 @@ impl DecoderSessionTrait for HybridDecoderSession<'_> {
         let frame = HybridCodec::planes_to_frame(&recon);
         self.reference = Some(recon);
         self.next_index += 1;
+        self.decoded += 1;
         Ok(frame)
     }
 
     fn frames_decoded(&self) -> usize {
-        self.next_index as usize
+        self.decoded
     }
 
     fn last_rate(&self) -> Option<u8> {
@@ -1007,6 +1052,38 @@ mod tests {
         let mut dec = codec.start_decode();
         dec.push_packet(&bytes[0]).unwrap();
         assert!(dec.push_packet(&bytes[2]).is_err());
+    }
+
+    #[test]
+    fn joinable_stream_decodes_from_any_intra() {
+        use nvc_video::codec::{DecoderSession as _, EncoderSession as _};
+        let seq = test_seq(6);
+        let codec = HybridCodec::new(Profile::hevc_like());
+        let mut enc = codec.start_encode(24);
+        assert!(enc.set_join_headers(true), "hybrid supports joinable mode");
+        let mut packets = Vec::new();
+        for (i, frame) in seq.frames().iter().enumerate() {
+            if i == 3 {
+                enc.restart_gop();
+            }
+            packets.push(enc.push_frame(frame).unwrap());
+        }
+        assert_eq!(packets[3].kind, FrameKind::Intra);
+        let mut full = codec.start_decode();
+        let all: Vec<Frame> = packets
+            .iter()
+            .map(|p| full.push_packet(&p.to_bytes()).unwrap())
+            .collect();
+        let mut late = codec.start_decode();
+        for (i, p) in packets.iter().enumerate().skip(3) {
+            let f = late.push_packet(&p.to_bytes()).unwrap();
+            assert_eq!(
+                f.tensor().as_slice(),
+                all[i].tensor().as_slice(),
+                "late join diverged at frame {i}"
+            );
+        }
+        assert_eq!(late.frames_decoded(), 3);
     }
 
     #[test]

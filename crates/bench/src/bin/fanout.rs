@@ -1,0 +1,360 @@
+//! Broadcast fan-out bench for `nvc-serve`: one publisher encodes a
+//! stream once, K loopback subscribers receive the *same* packet bytes.
+//!
+//! Measures publisher encode throughput as the subscriber count grows
+//! (the relay must fan out without slowing the encoder down), asserts
+//! every subscriber's stream is byte-identical to the publisher's, and
+//! — in the full run — drives a stalled subscriber into lag eviction
+//! over a real socket while the publisher and a healthy subscriber keep
+//! running.
+//!
+//! Subscribers connect before the timed window and drain after it: each
+//! stream fits in the kernel's per-socket buffering, so the window
+//! captures publisher encode plus server-side fan-out writes (the cost
+//! the relay adds) rather than the loopback reader threads, which stand
+//! in for clients that would live on other machines.
+//!
+//! Usage:
+//!
+//! ```text
+//! fanout                   # full run: K up to 1000, eviction phase,
+//!                          # writes BENCH_PR6.json; asserts fps at
+//!                          # K=1000 within 15% of the K=1 baseline
+//! fanout --quick           # CI smoke: K=64 byte-identical and within
+//!                          # 10% of K=1 (exit != 0 on failure)
+//! fanout --subs K          # largest subscriber count (default 1000)
+//! fanout --frames N        # frames per broadcast (default 16)
+//! ```
+
+use nvc_bench::BENCH_N;
+use nvc_core::ExecCtx;
+use nvc_model::CtvcConfig;
+use nvc_serve::{
+    Hello, ServeConfig, ServeError, Server, ServerHandle, StreamClient, SubscribeClient,
+    SubscribeEvent,
+};
+use nvc_video::synthetic::{SceneConfig, Synthesizer};
+use nvc_video::Sequence;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn arg_value(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn subscribe(server: &ServerHandle, hello: Hello) -> SubscribeClient {
+    let client = SubscribeClient::connect(server.addr(), hello).expect("subscribe");
+    client.set_read_timeout(Some(TIMEOUT)).expect("timeout");
+    client
+}
+
+/// One broadcast: K subscribers attach, the publisher encodes `source`,
+/// every subscriber's drained stream is compared byte-for-byte against
+/// the packets the server echoed to the publisher. Returns the
+/// publisher's encode fps over the timed send+finish window.
+fn run_broadcast(
+    server: &ServerHandle,
+    source: &Sequence,
+    rate: u8,
+    subs: usize,
+    name: &str,
+) -> (f64, usize) {
+    let (w, h) = (source.width(), source.height());
+    let mut publisher = StreamClient::connect(
+        server.addr(),
+        Hello::ctvc_publish(rate, w, h, name).with_gop(8),
+    )
+    .expect("connect publisher");
+    publisher.set_read_timeout(Some(TIMEOUT)).expect("timeout");
+
+    // Attach the whole audience first (sequential connects double as
+    // accept-backlog pacing), so every subscriber sees the full stream.
+    let clients: Vec<SubscribeClient> = (0..subs)
+        .map(|_| subscribe(server, Hello::subscribe(name, w, h)))
+        .collect();
+    for client in &clients {
+        assert_eq!(client.join().start_index, 0, "pre-attached subscriber");
+    }
+
+    let frames = source.frames().len();
+    let start = Instant::now();
+    for frame in source.frames() {
+        publisher.send_frame(frame).expect("send frame");
+    }
+    let published = publisher.finish().expect("finish publish");
+    let elapsed = start.elapsed();
+    assert_eq!(published.packets.len(), frames);
+
+    // Drain and verify outside the window: the per-socket stream is far
+    // below kernel buffering, so no server-side write blocked and no
+    // ring filled — every byte is already in flight.
+    let expected: Vec<Vec<u8>> = published.packets.iter().map(|p| p.to_bytes()).collect();
+    for (i, client) in clients.into_iter().enumerate() {
+        let summary = client.collect().expect("collect subscription");
+        assert_eq!(summary.packets.len(), frames, "subscriber {i} short");
+        for (received, sent) in summary.packets.iter().zip(&expected) {
+            assert_eq!(
+                &received.to_bytes(),
+                sent,
+                "subscriber {i} bytes diverged from the publisher's"
+            );
+        }
+        assert_eq!(
+            summary.stats.total_bytes,
+            expected.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+    let coded: usize = expected.iter().map(Vec::len).sum();
+    (frames as f64 / elapsed.as_secs_f64(), coded)
+}
+
+/// Full-stack lag eviction: a subscriber that never reads while the
+/// publisher pushes enough bytes to fill its socket and overflow its
+/// ring must be evicted with a clean error; the publisher and a healthy
+/// subscriber never stall. Returns (frames published, total coded
+/// bytes, healthy-side packets, slow-side packets, eviction message).
+fn run_eviction(w: usize, h: usize, target_bytes: usize) -> (usize, usize, usize, usize, String) {
+    // The hybrid codec: cheap per coded byte, so the stream outruns the
+    // kernel's socket buffering quickly. A shallow ring makes eviction
+    // follow promptly once the stalled socket's writes block.
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            subscriber_ring: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn eviction server");
+    let source = Synthesizer::new(SceneConfig::uvg_like(w, h, 8)).generate();
+    let mut publisher = StreamClient::connect(
+        server.addr(),
+        Hello::hybrid_publish(1, w, h, "evict").with_gop(8),
+    )
+    .expect("connect publisher");
+    publisher.set_read_timeout(Some(TIMEOUT)).expect("timeout");
+
+    let hybrid = |name: &str| Hello::subscribe(name, w, h).with_family(nvc_serve::Family::Hybrid);
+    let mut slow = subscribe(&server, hybrid("evict")); // never reads until the end
+    let mut healthy = subscribe(&server, hybrid("evict"));
+
+    // The healthy subscriber doubles as the byte meter: the publisher
+    // keeps cycling the source until the audience has seen
+    // `target_bytes`, which comfortably exceeds what loopback kernel
+    // buffering absorbs for the stalled one before its writes block.
+    let seen = std::sync::atomic::AtomicUsize::new(0);
+    let (frames, total_bytes, healthy_n) = std::thread::scope(|scope| {
+        let seen = &seen;
+        let healthy_thread = scope.spawn(move || {
+            let mut packets = 0usize;
+            loop {
+                match healthy.next_event() {
+                    Ok(SubscribeEvent::Packet(p)) => {
+                        packets += 1;
+                        seen.fetch_add(p.encoded_len(), std::sync::atomic::Ordering::Relaxed);
+                    }
+                    Ok(SubscribeEvent::End(stats)) => break (packets, stats.frames),
+                    Err(e) => panic!("healthy subscriber failed: {e}"),
+                }
+            }
+        });
+        // The stalled socket's writer gives up (and hard-closes, losing
+        // the pending eviction notice) after the server's 30 s write
+        // timeout — a clock that starts only once that socket's ~3 MiB
+        // of kernel buffering is full and its writer actually blocks.
+        // Track a conservative estimate of that instant and make sure
+        // the drain below starts well inside the timeout.
+        let mut sent = 0usize;
+        let mut wedge: Option<Instant> = None;
+        while seen.load(std::sync::atomic::Ordering::Relaxed) < target_bytes {
+            for frame in source.frames() {
+                publisher.send_frame(frame).expect("send frame");
+            }
+            sent += source.frames().len();
+            let bytes = seen.load(std::sync::atomic::Ordering::Relaxed);
+            if wedge.is_none() && bytes > (5 << 19) {
+                wedge = Some(Instant::now());
+            }
+            assert!(
+                wedge.is_none_or(|w| w.elapsed() < Duration::from_secs(25)),
+                "publisher too slow past the wedge point ({sent} frames, {bytes} bytes seen)"
+            );
+        }
+        let published = publisher.finish().expect("finish publish");
+        assert_eq!(published.packets.len(), sent);
+        let total: usize = published.packets.iter().map(|p| p.encoded_len()).sum();
+        let (packets, trailer_frames) = healthy_thread.join().expect("healthy thread");
+        assert_eq!(packets, sent, "healthy subscriber short");
+        assert_eq!(trailer_frames, packets, "healthy trailer disagrees");
+        (sent, total, packets)
+    });
+
+    // Only now does the slow client read: everything the kernel
+    // buffered, then the eviction notice — never a clean trailer.
+    slow.set_read_timeout(Some(TIMEOUT)).expect("timeout");
+    let mut slow_n = 0usize;
+    let message = loop {
+        match slow.next_event() {
+            Ok(SubscribeEvent::Packet(_)) => slow_n += 1,
+            Ok(SubscribeEvent::End(_)) => panic!("lagging subscriber ended cleanly"),
+            Err(ServeError::Remote(m)) => break m,
+            Err(e) => panic!("slow subscriber: unexpected {e}"),
+        }
+    };
+    assert!(
+        message.contains("lagging"),
+        "eviction must name the cause: {message}"
+    );
+    assert!(
+        slow_n < frames,
+        "the stalled subscriber cannot have received the whole stream"
+    );
+    let report = server.shutdown();
+    assert!(report.evicted >= 1, "server must count the eviction");
+    assert_eq!(report.errors, 0, "eviction is not a session error");
+    (frames, total_bytes, healthy_n, slow_n, message)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let evict_only = args.iter().any(|a| a == "--evict-only");
+    let max_subs = arg_value(&args, "--subs").unwrap_or(1000).max(1);
+    let (dw, dh, n_ch, frames, sweep, margin) = if quick {
+        (
+            64,
+            48,
+            8,
+            arg_value(&args, "--frames").unwrap_or(8),
+            vec![64],
+            0.10,
+        )
+    } else {
+        (
+            256,
+            192,
+            BENCH_N,
+            arg_value(&args, "--frames").unwrap_or(12),
+            vec![64, 256, max_subs],
+            0.15,
+        )
+    };
+    let w = arg_value(&args, "--width").unwrap_or(dw);
+    let h = arg_value(&args, "--height").unwrap_or(dh);
+    let n_ch = arg_value(&args, "--n").unwrap_or(n_ch);
+    let host_cores = ExecCtx::auto().threads();
+    if evict_only {
+        println!("fanout: eviction phase only");
+        let (frames, bytes, healthy, slow, message) = run_eviction(256, 192, 4 << 20);
+        println!(
+            "  eviction:  {frames} frames / {bytes} bytes; healthy got {healthy}, \
+             stalled got {slow} then: {message:?}"
+        );
+        return;
+    }
+    println!(
+        "fanout: {w}x{h}, N={n_ch}, {frames} frames/broadcast, sweep {sweep:?}, host cores = {host_cores}"
+    );
+
+    // Rate 1 of a wide ladder: maximum compute per coded byte, which is
+    // the regime where fan-out overhead would show up soonest as a
+    // *fraction* of wall time if the relay ever blocked the encoder.
+    let rate = 1u8;
+    let source = Synthesizer::new(SceneConfig::uvg_like(w, h, frames)).generate();
+    // The fan-out permit budget is sized to the audience: the default
+    // (one permit per core) is a fairness cap for mixed codec + relay
+    // servers, but on a dedicated relay it would put every subscriber
+    // writer into a single-permit convoy per frame.
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            ctvc: CtvcConfig::ctvc_fp(n_ch),
+            workers: 1,
+            fanout_cap: max_subs.max(64),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn server");
+
+    // Warm-up (untimed), then the K=1 baseline.
+    run_broadcast(&server, &source, rate, 1, "warmup");
+    let (baseline_fps, coded) = run_broadcast(&server, &source, rate, 1, "baseline");
+    println!(
+        "  baseline:  1 subscriber    -> {baseline_fps:7.2} fps  ({} bytes/frame)",
+        coded / frames
+    );
+
+    let mut results: Vec<(usize, f64)> = Vec::new();
+    for &k in &sweep {
+        let (fps, _) = run_broadcast(&server, &source, rate, k, &format!("fanout-{k}"));
+        let ratio = fps / baseline_fps;
+        println!("  fan-out:   {k:4} subscribers -> {fps:7.2} fps  ({ratio:5.2}x baseline)");
+        results.push((k, fps));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.errors, 0, "no broadcast may fail");
+    assert_eq!(report.evicted, 0, "pre-attached drains must never evict");
+    assert_eq!(
+        report.subscribers,
+        2 + sweep.iter().sum::<usize>(),
+        "every subscriber must be counted (warmup + baseline + sweep)"
+    );
+
+    let &(gate_k, gate_fps) = results.last().expect("sweep ran");
+    let floor = (1.0 - margin) * baseline_fps;
+    assert!(
+        gate_fps >= floor,
+        "publisher fps at {gate_k} subscribers ({gate_fps:.2}) fell below \
+         {:.0}% of the 1-subscriber baseline ({baseline_fps:.2})",
+        100.0 * (1.0 - margin)
+    );
+    println!(
+        "  gate:      {gate_k} subscribers at {:.1}% of baseline (floor {:.0}%) — OK",
+        100.0 * gate_fps / baseline_fps,
+        100.0 * (1.0 - margin)
+    );
+
+    if quick {
+        println!("quick gate: byte-identical fan-out at K={gate_k}, fps within 10% — OK");
+        return;
+    }
+
+    // Full run only: drive a stalled subscriber into lag eviction over a
+    // real socket. 12 MiB comfortably exceeds what loopback kernel
+    // buffering absorbs before the server-side writer blocks (~3 MiB
+    // measured), so the slow ring must overflow.
+    println!("  eviction:  stalled subscriber vs a 4 MiB stream...");
+    let (evict_frames, evict_bytes, healthy_n, slow_n, message) = run_eviction(256, 192, 4 << 20);
+    println!(
+        "  eviction:  {evict_frames} frames / {evict_bytes} bytes published; healthy \
+         subscriber got {healthy_n}, stalled got {slow_n} then: {message:?}"
+    );
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let sweep_json: Vec<String> = results
+        .iter()
+        .map(|(k, fps)| {
+            format!(
+                "{{ \"subscribers\": {k}, \"publisher_fps\": {fps:.2}, \"vs_baseline\": {:.3} }}",
+                fps / baseline_fps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fanout\",\n  \"host_cores\": {host_cores},\n  \
+         \"width\": {w},\n  \"height\": {h},\n  \"n\": {n_ch},\n  \"rate\": {rate},\n  \
+         \"frames\": {frames},\n  \"byte_identical\": true,\n  \
+         \"baseline_fps\": {baseline_fps:.2},\n  \"sweep\": [\n    {}\n  ],\n  \
+         \"eviction\": {{ \"frames\": {evict_frames}, \"bytes\": {evict_bytes}, \
+         \"healthy_packets\": {healthy_n}, \"stalled_packets\": {slow_n}, \
+         \"evicted\": true }}\n}}\n",
+        sweep_json.join(",\n    ")
+    );
+    let path = format!("{root}/BENCH_PR6.json");
+    std::fs::write(&path, json).expect("write BENCH_PR6.json");
+    println!("wrote {path}");
+}

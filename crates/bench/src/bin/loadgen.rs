@@ -96,7 +96,7 @@ fn run_encode_stream(
     reference: &EncodedStream,
     hello: Hello,
 ) {
-    let mut client = StreamClient::connect(server.addr(), hello).expect("connect encode");
+    let mut client = StreamClient::connect(server.addr(), hello.clone()).expect("connect encode");
     client
         .set_read_timeout(Some(Duration::from_secs(120)))
         .expect("timeout");

@@ -50,6 +50,7 @@
 
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Minimum arithmetic work (multiply–accumulates, or comparable scalar
 /// ops) a [`ExecCtx::par_chunks_mut_gated`] call must carry before the
@@ -388,6 +389,35 @@ impl ExecPool {
         self.grant(want)
     }
 
+    /// [`ExecPool::lease`] with a deadline: blocks until the permits are
+    /// all free or `timeout` elapses, returning `None` on timeout.
+    ///
+    /// This is the shape fan-out work wants — e.g. the serving layer's
+    /// broadcast writers, where thousands of subscribers share a small
+    /// permit budget for their copy/serialize bursts: a brief wait rides
+    /// out contention, but a stalled holder must not turn into unbounded
+    /// head-of-line blocking for every other waiter.
+    pub fn lease_timeout(&self, want: usize, timeout: Duration) -> Option<ExecLease> {
+        let want = want.clamp(1, self.inner.cap);
+        let deadline = Instant::now() + timeout;
+        let mut available = self.inner.available.lock().expect("pool lock");
+        while *available < want {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .inner
+                .freed
+                .wait_timeout(available, deadline - now)
+                .expect("pool lock");
+            available = guard;
+        }
+        *available -= want;
+        drop(available);
+        Some(self.grant(want))
+    }
+
     /// Non-blocking [`ExecPool::lease`]: returns `None` when the permits
     /// are not currently free.
     pub fn try_lease(&self, want: usize) -> Option<ExecLease> {
@@ -663,6 +693,38 @@ mod tests {
             assert_eq!(waiter.join().unwrap(), 2);
         });
         assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn pool_lease_timeout_expires_and_succeeds() {
+        let pool = ExecPool::new(2);
+        let held = pool.lease(2);
+        // Saturated pool: a short deadline expires without permits.
+        let start = std::time::Instant::now();
+        assert!(pool
+            .lease_timeout(1, std::time::Duration::from_millis(30))
+            .is_none());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(25));
+        // A waiter whose deadline outlives the holder gets its grant.
+        let clone = pool.clone();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(move || {
+                clone
+                    .lease_timeout(2, std::time::Duration::from_secs(30))
+                    .expect("permits freed before the deadline")
+                    .permits()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(held);
+            assert_eq!(waiter.join().unwrap(), 2);
+        });
+        // A free pool grants immediately, even with a zero timeout.
+        assert_eq!(
+            pool.lease_timeout(1, std::time::Duration::ZERO)
+                .expect("free pool")
+                .permits(),
+            1
+        );
     }
 
     #[test]

@@ -291,6 +291,7 @@ impl CtvcCodec {
             codec: self,
             control: SessionRateControl::new(mode.into()),
             wire_rate: None,
+            join_headers: false,
             dims: None,
             reference_f: None,
             next_index: 0,
@@ -312,6 +313,7 @@ impl CtvcCodec {
             stream: None,
             reference_f: None,
             next_index: 0,
+            decoded: 0,
         }
     }
 
@@ -370,6 +372,10 @@ pub struct CtvcEncoderSession<'a> {
     /// The rate the decoder currently assumes (stream header, then any
     /// in-band [`Section::Rate`] updates). `None` before the first frame.
     wire_rate: Option<RatePoint>,
+    /// Joinable-stream mode: every intra packet carries the stream
+    /// header, so decoders can join at any intra boundary. See
+    /// [`EncoderSession::set_join_headers`](nvc_video::EncoderSession::set_join_headers).
+    join_headers: bool,
     dims: Option<(usize, usize)>,
     reference_f: Option<Tensor>,
     next_index: u32,
@@ -481,9 +487,11 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
         let intra = self.reference_f.is_none();
         let rate = self.control.pick(u64::from(self.next_index), intra, w * h);
         let mut sections = SectionWriter::new();
-        if self.next_index == 0 {
-            // Stream header rides in the first packet; it carries the
-            // first frame's rate, so no separate rate section is needed.
+        if self.next_index == 0 || (self.join_headers && intra) {
+            // Stream header rides in the first packet — and, in
+            // joinable-stream mode, in every intra packet, so a decoder
+            // can open the stream at any intra boundary. It carries the
+            // frame's own rate, so no separate rate section is needed.
             let mut header = BitWriter::new();
             header.write_bits(w as u32, 16);
             header.write_bits(h as u32, 16);
@@ -549,6 +557,15 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
         true
     }
 
+    fn set_join_headers(&mut self, enabled: bool) -> bool {
+        self.join_headers = enabled;
+        true
+    }
+
+    fn last_rate(&self) -> Option<u8> {
+        self.wire_rate.map(|r| r.index())
+    }
+
     fn set_rate_mode(&mut self, mode: RateMode<RatePoint>) {
         self.control.retarget(mode);
     }
@@ -572,6 +589,32 @@ pub struct CtvcDecoderSession<'a> {
     stream: Option<StreamInfo>,
     reference_f: Option<Tensor>,
     next_index: u32,
+    decoded: usize,
+}
+
+impl CtvcDecoderSession<'_> {
+    /// Parses a `SideInfo` stream-header section, validating the codec
+    /// configuration it claims against this decoder's.
+    fn parse_header(&self, payload: &[u8]) -> Result<StreamInfo, CtvcError> {
+        let mut hr = BitReader::new(payload);
+        let w = hr.read_bits(16)? as usize;
+        let h = hr.read_bits(16)? as usize;
+        let n = hr.read_bits(16)? as usize;
+        let rate = RatePoint::new(hr.read_bits(8)? as u8);
+        let attention = hr.read_bit()?;
+        let deformable = hr.read_bit()?;
+        let cfg = &self.codec.cfg;
+        if n != cfg.n || attention != cfg.attention || deformable != cfg.deformable {
+            return Err(CtvcError::BadInput(format!(
+                "bitstream coded with N={n}, attention={attention}, \
+                 deformable={deformable}; decoder configured as N={}, attention={}, \
+                 deformable={}",
+                cfg.n, cfg.attention, cfg.deformable
+            )));
+        }
+        self.codec.check_dims(w, h)?;
+        Ok(StreamInfo { w, h, rate })
+    }
 }
 
 impl DecoderSessionTrait for CtvcDecoderSession<'_> {
@@ -585,7 +628,7 @@ impl DecoderSessionTrait for CtvcDecoderSession<'_> {
                 bytes.len() - consumed
             )));
         }
-        if packet.frame_index != self.next_index {
+        if self.stream.is_some() && packet.frame_index != self.next_index {
             return Err(CtvcError::BadInput(format!(
                 "expected frame {}, got packet for frame {}",
                 self.next_index, packet.frame_index
@@ -593,48 +636,48 @@ impl DecoderSessionTrait for CtvcDecoderSession<'_> {
         }
         let sections = read_sections(&packet.payload)?;
         let mut rest: &[(Section, Vec<u8>)] = &sections;
-        if self.next_index == 0 {
+        if self.stream.is_none() {
+            // Stream join: the first pushed packet — frame 0 of a plain
+            // stream or, for joinable streams, any header-carrying
+            // intra — must lead with the stream header, which also
+            // seeds the frame-index sequence.
             let (first, tail) = rest
                 .split_first()
                 .ok_or_else(|| CtvcError::BadInput("first packet has no sections".into()))?;
             if first.0 != Section::SideInfo {
                 return Err(CtvcError::BadInput("missing stream header".into()));
             }
-            let mut hr = BitReader::new(&first.1);
-            let w = hr.read_bits(16)? as usize;
-            let h = hr.read_bits(16)? as usize;
-            let n = hr.read_bits(16)? as usize;
-            let rate = RatePoint::new(hr.read_bits(8)? as u8);
-            let attention = hr.read_bit()?;
-            let deformable = hr.read_bit()?;
-            let cfg = &self.codec.cfg;
-            if n != cfg.n || attention != cfg.attention || deformable != cfg.deformable {
+            self.stream = Some(self.parse_header(&first.1)?);
+            self.next_index = packet.frame_index;
+            rest = tail;
+        } else if packet.kind == FrameKind::Intra
+            && matches!(rest.first(), Some((Section::SideInfo, _)))
+        {
+            // Joinable streams re-send the header on every intra; it
+            // must agree with the open stream and carries the frame's
+            // rate (no separate rate section).
+            let (first, tail) = rest.split_first().expect("checked non-empty");
+            let header = self.parse_header(&first.1)?;
+            let open = self.stream.expect("stream open");
+            if (header.w, header.h) != (open.w, open.h) {
                 return Err(CtvcError::BadInput(format!(
-                    "bitstream coded with N={n}, attention={attention}, \
-                     deformable={deformable}; decoder configured as N={}, attention={}, \
-                     deformable={}",
-                    cfg.n, cfg.attention, cfg.deformable
+                    "mid-stream header {}x{} does not match open stream {}x{}",
+                    header.w, header.h, open.w, open.h
                 )));
             }
-            self.codec.check_dims(w, h)?;
-            self.stream = Some(StreamInfo { w, h, rate });
+            self.stream = Some(header);
             rest = tail;
         } else {
             // An in-band rate switch may lead the packet's sections.
             let (switch, tail) =
                 nvc_video::codec::take_rate_section(rest).map_err(CtvcError::BadInput)?;
             if let Some(index) = switch {
-                let stream = self
-                    .stream
-                    .as_mut()
-                    .ok_or_else(|| CtvcError::BadInput("no stream header yet".into()))?;
+                let stream = self.stream.as_mut().expect("stream open");
                 stream.rate = RatePoint::try_new(index).map_err(CtvcError::BadInput)?;
                 rest = tail;
             }
         }
-        let StreamInfo { w, h, rate } = self
-            .stream
-            .ok_or_else(|| CtvcError::BadInput("no stream header yet".into()))?;
+        let StreamInfo { w, h, rate } = self.stream.expect("stream open");
         let rec = match packet.kind {
             FrameKind::Intra => {
                 let payload = match rest {
@@ -668,11 +711,12 @@ impl DecoderSessionTrait for CtvcDecoderSession<'_> {
             }
         };
         self.next_index += 1;
+        self.decoded += 1;
         Ok(Frame::from_tensor(rec)?)
     }
 
     fn frames_decoded(&self) -> usize {
-        self.next_index as usize
+        self.decoded
     }
 
     fn last_rate(&self) -> Option<u8> {
@@ -870,6 +914,69 @@ mod tests {
         let mut padded = bytes[0].clone();
         padded.push(0);
         assert!(codec.start_decode().push_packet(&padded).is_err());
+    }
+
+    #[test]
+    fn joinable_stream_decodes_from_any_intra() {
+        use nvc_video::codec::{DecoderSession as _, EncoderSession as _};
+        let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+        let s = seq(6);
+        let mut enc = codec.start_encode(RatePoint::new(1));
+        assert!(enc.set_join_headers(true), "CTVC supports joinable mode");
+        let mut packets = Vec::new();
+        for (i, frame) in s.frames().iter().enumerate() {
+            if i == 3 {
+                enc.restart_gop();
+            }
+            packets.push(enc.push_frame(frame).unwrap());
+        }
+        assert_eq!(packets[3].kind, FrameKind::Intra);
+
+        // A from-start decoder consumes the whole stream…
+        let mut full = codec.start_decode();
+        let all: Vec<Frame> = packets
+            .iter()
+            .map(|p| full.push_packet(&p.to_bytes()).unwrap())
+            .collect();
+        // …while a late joiner opens at the mid-stream intra and must
+        // reconstruct the tail bit-exactly from the same packet bytes.
+        let mut late = codec.start_decode();
+        for (i, p) in packets.iter().enumerate().skip(3) {
+            let f = late.push_packet(&p.to_bytes()).unwrap();
+            assert_eq!(
+                f.tensor().as_slice(),
+                all[i].tensor().as_slice(),
+                "late join diverged at frame {i}"
+            );
+        }
+        assert_eq!(late.frames_decoded(), 3);
+        // Joining on a P packet is still rejected: no header to open on.
+        let mut bad = codec.start_decode();
+        assert!(bad.push_packet(&packets[4].to_bytes()).is_err());
+    }
+
+    #[test]
+    fn join_headers_leave_predicted_packets_unchanged() {
+        use nvc_video::codec::EncoderSession as _;
+        let codec = CtvcCodec::new(CtvcConfig::ctvc_fp(8)).unwrap();
+        let s = seq(4);
+        let mut plain = codec.start_encode(RatePoint::new(1));
+        let mut joinable = codec.start_encode(RatePoint::new(1));
+        joinable.set_join_headers(true);
+        for (i, frame) in s.frames().iter().enumerate() {
+            if i == 2 {
+                plain.restart_gop();
+                joinable.restart_gop();
+            }
+            let a = plain.push_frame(frame).unwrap().to_bytes();
+            let b = joinable.push_frame(frame).unwrap().to_bytes();
+            if i == 2 {
+                // The refreshed intra grows by exactly the re-sent header.
+                assert!(b.len() > a.len(), "joinable intra must carry header");
+            } else {
+                assert_eq!(a, b, "frame {i} must be unaffected by join mode");
+            }
+        }
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::proto::{
     read_error_body, read_frame_body, read_stats_body, read_u8, write_frame_msg, write_packet_msg,
-    write_retarget_msg, Direction, Hello, Retarget, MSG_ACK, MSG_END, MSG_ERROR, MSG_FRAME,
-    MSG_PACKET, MSG_STATS,
+    write_retarget_msg, Hello, Retarget, Role, MSG_ACK, MSG_END, MSG_ERROR, MSG_FRAME, MSG_PACKET,
+    MSG_STATS,
 };
 use crate::ServeError;
 use nvc_entropy::container::Packet;
@@ -73,6 +73,11 @@ impl StreamClient {
     ///
     /// Returns [`ServeError`] on connection, handshake or rejection.
     pub fn connect(addr: impl ToSocketAddrs, hello: Hello) -> Result<Self, ServeError> {
+        if hello.role == Role::Subscribe {
+            return Err(ServeError::Protocol(
+                "subscribe streams use SubscribeClient".into(),
+            ));
+        }
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -134,7 +139,7 @@ impl StreamClient {
     /// Returns [`ServeError`] on the wrong direction, socket failure, or
     /// a server-reported error.
     pub fn send_packet(&mut self, packet: &Packet) -> Result<(), ServeError> {
-        if self.hello.direction != Direction::Decode {
+        if self.hello.role != Role::Decode {
             return Err(ServeError::Protocol(
                 "send_packet on an encode-direction stream".into(),
             ));
@@ -154,7 +159,7 @@ impl StreamClient {
     /// Returns [`ServeError`] on the wrong direction, socket failure, or
     /// a server-reported error.
     pub fn send_frame(&mut self, frame: &Frame) -> Result<(), ServeError> {
-        if self.hello.direction != Direction::Encode {
+        if !matches!(self.hello.role, Role::Encode | Role::Publish) {
             return Err(ServeError::Protocol(
                 "send_frame on a decode-direction stream".into(),
             ));
@@ -178,7 +183,7 @@ impl StreamClient {
     /// Returns [`ServeError`] on the wrong direction, a version-1
     /// handshake, socket failure, or a server-reported error.
     pub fn retarget(&mut self, retarget: Retarget) -> Result<(), ServeError> {
-        if self.hello.direction != Direction::Encode {
+        if !matches!(self.hello.role, Role::Encode | Role::Publish) {
             return Err(ServeError::Protocol(
                 "retarget on a decode-direction stream".into(),
             ));
@@ -256,6 +261,31 @@ impl StreamClient {
         }
         self.outstanding = self.outstanding.saturating_sub(1);
         Ok(response)
+    }
+
+    /// Blocks until every in-flight request has been answered (the
+    /// pipelining window is empty). For publish streams this is a
+    /// sequencing point: once `drain` returns, every frame sent so far
+    /// has been encoded *and published*, so a subscriber attaching now
+    /// is a well-defined "late joiner" relative to those frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on socket failure or a server-reported
+    /// error.
+    pub fn drain(&mut self) -> Result<(), ServeError> {
+        while self.outstanding > 0 {
+            match self.recv()? {
+                Response::Frame(f) => self.frames.push(f),
+                Response::Packet(p) => self.packets.push(p),
+                Response::Stats(_) => {
+                    return Err(ServeError::Protocol(
+                        "stats trailer before end of stream".into(),
+                    ))
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Ends the stream: sends the end-of-stream marker, drains every

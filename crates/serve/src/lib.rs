@@ -40,6 +40,21 @@
 //! hang; bitstreams and reconstructions are bit-identical to the
 //! in-process session API at every worker count.
 //!
+//! # Broadcast
+//!
+//! Protocol version 3 adds two connection roles on top of the
+//! point-to-point encode/decode pairs: a [`Role::Publish`] connection is
+//! an encode stream whose coded packets are *also* published into a
+//! named broadcast, and any number of [`Role::Subscribe`] connections
+//! ([`SubscribeClient`]) attach to that name and receive the same packet
+//! bytes — encoded once, fanned out to everyone. The publisher's
+//! session runs in joinable-stream mode (every intra carries a full
+//! stream header), the server caches the current GOP-aligned segment,
+//! and a late joiner's stream starts at the most recent intra, so it is
+//! decodable from its first packet. A subscriber that stops reading
+//! while the publisher keeps going is evicted with a clean error rather
+//! than ever slowing the broadcast down.
+//!
 //! # Example
 //!
 //! ```
@@ -71,13 +86,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod broadcast;
 mod client;
 pub mod proto;
 mod server;
+mod subscribe;
 
 pub use client::{StreamClient, StreamSummary};
-pub use proto::{Direction, Family, Hello, Retarget, TargetBppWire};
+pub use proto::{Direction, Family, Hello, JoinInfo, Retarget, Role, TargetBppWire};
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
+pub use subscribe::{SubscribeClient, SubscribeEvent, SubscribeSummary};
 
 use std::error::Error;
 use std::fmt;

@@ -26,8 +26,28 @@
 //!   connection right after. It is valid at any point, including instead
 //!   of the handshake ack.
 //!
+//! Protocol version 3 adds *broadcast* roles. A [`Role::Publish`]
+//! connection looks like an encode stream (frames up, the publisher's
+//! own coded packets back), but the server also fans the packets out to
+//! every subscriber of the broadcast named in the handshake. A
+//! [`Role::Subscribe`] connection is read-mostly:
+//!
+//! ```text
+//! subscriber                            server
+//!   |-- Hello (Subscribe, name) ------->  |
+//!   |<------------- 'A' ack (rate) ------ |   (or 'X' error + close)
+//!   |<-- 'J' join info ------------------ |   family, geometry, start
+//!   |<-- 'P' packet --------------------- |   starting at an intra
+//!   |<-- ...                              |
+//!   |<-- 'S' stats trailer -------------- |   when the publisher ends
+//! ```
+//!
+//! Subscribers that stop draining are *evicted*: the server drops their
+//! ring and sends `'X'` instead of ever stalling the publisher.
+//!
 //! The module is public so alternative transports (or tests) can speak
-//! the protocol directly; [`StreamClient`](crate::StreamClient) and
+//! the protocol directly; [`StreamClient`](crate::StreamClient),
+//! [`SubscribeClient`](crate::SubscribeClient) and
 //! [`Server`](crate::Server) are the intended entry points.
 
 use crate::ServeError;
@@ -42,13 +62,18 @@ pub const MAGIC: [u8; 4] = *b"NVCS";
 /// Wire-protocol version. Version 2 added the handshake's rate-mode
 /// field (closed-loop target-bpp streams), the `'R'` retarget message
 /// and the extended stats trailer (per-frame frame types and rate
-/// indices).
-pub const VERSION: u8 = 2;
+/// indices). Version 3 added the broadcast roles ([`Role::Publish`] /
+/// [`Role::Subscribe`]), the handshake's GOP-length and broadcast-name
+/// fields, and the `'J'` join-info message.
+pub const VERSION: u8 = 3;
 
 /// Oldest protocol version still accepted: version-1 (fixed-rate only)
-/// clients keep working against a version-2 server, and get the
-/// version-1 trailer they expect.
+/// and version-2 (point-to-point only) clients keep working against a
+/// version-3 server, and get the trailer layout they expect.
 pub const MIN_VERSION: u8 = 1;
+
+/// Cap on a broadcast name as carried in a version-3 handshake.
+pub const MAX_NAME_BYTES: usize = 128;
 
 /// Hard cap on frame dimensions accepted from the wire, keeping a
 /// hostile `Hello` or frame header from forcing a giant allocation.
@@ -77,6 +102,11 @@ pub const MSG_RETARGET: u8 = b'R';
 pub const MSG_STATS: u8 = b'S';
 /// Message tag: failure description, connection closes after.
 pub const MSG_ERROR: u8 = b'X';
+/// Message tag: broadcast join info (server → subscriber, protocol
+/// version ≥ 3), sent right after the ack so the subscriber knows the
+/// stream's family, geometry, GOP length and starting frame index
+/// before the first packet arrives.
+pub const MSG_JOIN: u8 = b'J';
 
 /// Which codec family serves the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,33 +137,56 @@ impl Family {
     }
 }
 
-/// Which side of the codec the *server* runs.
+/// What the *server* does with the stream.
+///
+/// The first two roles are the point-to-point streams every protocol
+/// version supports; the broadcast roles need protocol version ≥ 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Direction {
+pub enum Role {
     /// Server encodes: the client streams raw frames and receives coded
     /// packets.
     Encode,
     /// Server decodes: the client streams coded packets and receives
     /// reconstructed frames.
     Decode,
+    /// Server encodes *and relays*: like [`Role::Encode`], but the coded
+    /// packets are also published under the handshake's broadcast name
+    /// for any number of subscribers (protocol version ≥ 3).
+    Publish,
+    /// Server relays: the client sends nothing after the handshake and
+    /// receives the named broadcast's packets, starting at an intra
+    /// boundary (protocol version ≥ 3).
+    Subscribe,
 }
 
-impl Direction {
+/// The server-side role of a connection. Known as `Direction` before
+/// the broadcast roles arrived in protocol version 3.
+pub type Direction = Role;
+
+impl Role {
     fn tag(self) -> u8 {
         match self {
-            Direction::Encode => 0,
-            Direction::Decode => 1,
+            Role::Encode => 0,
+            Role::Decode => 1,
+            Role::Publish => 2,
+            Role::Subscribe => 3,
         }
     }
 
     fn from_tag(tag: u8) -> Result<Self, ServeError> {
         match tag {
-            0 => Ok(Direction::Encode),
-            1 => Ok(Direction::Decode),
-            other => Err(ServeError::Protocol(format!(
-                "unknown direction 0x{other:02X}"
-            ))),
+            0 => Ok(Role::Encode),
+            1 => Ok(Role::Decode),
+            2 => Ok(Role::Publish),
+            3 => Ok(Role::Subscribe),
+            other => Err(ServeError::Protocol(format!("unknown role 0x{other:02X}"))),
         }
+    }
+
+    /// Whether this role takes part in a broadcast (and therefore needs
+    /// a broadcast name and protocol version ≥ 3).
+    pub fn is_broadcast(self) -> bool {
+        matches!(self, Role::Publish | Role::Subscribe)
     }
 }
 
@@ -168,7 +221,7 @@ impl TargetBppWire {
 }
 
 /// The handshake opening every connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
     /// Protocol version this handshake is serialized as. Constructors
     /// set the current [`VERSION`]; set `1` to speak to (or emulate) a
@@ -176,8 +229,8 @@ pub struct Hello {
     pub version: u8,
     /// Codec family serving the stream.
     pub family: Family,
-    /// Which side of the codec the server runs.
-    pub direction: Direction,
+    /// What the server does with the stream.
+    pub role: Role,
     /// Stream width in pixels.
     pub width: usize,
     /// Stream height in pixels.
@@ -186,47 +239,80 @@ pub struct Hello {
     /// (validated server-side via `try_new`), a QP for
     /// [`Family::Hybrid`]. For decode streams the authoritative rate
     /// rides in the bitstream header; the handshake value is still
-    /// validated so a bogus request fails fast.
+    /// validated so a bogus request fails fast. Subscribers send 0 and
+    /// learn the broadcast's rate from the ack.
     pub rate: u8,
-    /// Closed-loop rate mode for encode streams: when set, `rate` is
-    /// not used at all — the server's controller picks every frame's
-    /// rate, including the first (the ack still echoes `rate` for wire
-    /// compatibility). Must be `None` for decode streams and version-1
-    /// handshakes.
+    /// Closed-loop rate mode for encode/publish streams: when set,
+    /// `rate` is not used at all — the server's controller picks every
+    /// frame's rate, including the first (the ack still echoes `rate`
+    /// for wire compatibility). Must be `None` for decode/subscribe
+    /// streams and version-1 handshakes.
     pub target: Option<TargetBppWire>,
+    /// Publish streams: requested GOP length in frames (0 = server
+    /// default). Ignored for other roles; must be 0 below version 3.
+    pub gop: u16,
+    /// Broadcast name — required (non-empty, ≤ [`MAX_NAME_BYTES`]) for
+    /// the broadcast roles, forbidden otherwise.
+    pub broadcast: Option<String>,
 }
 
 impl Hello {
-    fn new(family: Family, direction: Direction, rate: u8, width: usize, height: usize) -> Self {
+    fn new(family: Family, role: Role, rate: u8, width: usize, height: usize) -> Self {
         Hello {
             version: VERSION,
             family,
-            direction,
+            role,
             width,
             height,
             rate,
             target: None,
+            gop: 0,
+            broadcast: None,
         }
     }
 
     /// Handshake for a CTVC decode stream (client sends packets).
     pub fn ctvc_decode(rate: u8, width: usize, height: usize) -> Self {
-        Self::new(Family::Ctvc, Direction::Decode, rate, width, height)
+        Self::new(Family::Ctvc, Role::Decode, rate, width, height)
     }
 
     /// Handshake for a CTVC encode stream (client sends raw frames).
     pub fn ctvc_encode(rate: u8, width: usize, height: usize) -> Self {
-        Self::new(Family::Ctvc, Direction::Encode, rate, width, height)
+        Self::new(Family::Ctvc, Role::Encode, rate, width, height)
     }
 
     /// Handshake for a hybrid-baseline decode stream.
     pub fn hybrid_decode(qp: u8, width: usize, height: usize) -> Self {
-        Self::new(Family::Hybrid, Direction::Decode, qp, width, height)
+        Self::new(Family::Hybrid, Role::Decode, qp, width, height)
     }
 
     /// Handshake for a hybrid-baseline encode stream.
     pub fn hybrid_encode(qp: u8, width: usize, height: usize) -> Self {
-        Self::new(Family::Hybrid, Direction::Encode, qp, width, height)
+        Self::new(Family::Hybrid, Role::Encode, qp, width, height)
+    }
+
+    /// Handshake publishing a CTVC broadcast under `name` (client sends
+    /// raw frames; the server encodes once and fans out).
+    pub fn ctvc_publish(rate: u8, width: usize, height: usize, name: &str) -> Self {
+        let mut h = Self::new(Family::Ctvc, Role::Publish, rate, width, height);
+        h.broadcast = Some(name.to_string());
+        h
+    }
+
+    /// Handshake publishing a hybrid-baseline broadcast under `name`.
+    pub fn hybrid_publish(qp: u8, width: usize, height: usize, name: &str) -> Self {
+        let mut h = Self::new(Family::Hybrid, Role::Publish, qp, width, height);
+        h.broadcast = Some(name.to_string());
+        h
+    }
+
+    /// Handshake subscribing to the broadcast named `name`. Geometry
+    /// must match the publisher's (the mismatch fails fast at the
+    /// handshake instead of at the first undecodable packet).
+    pub fn subscribe(name: &str, width: usize, height: usize) -> Self {
+        let mut h = Self::new(Family::Ctvc, Role::Subscribe, 0, width, height);
+        h.broadcast = Some(name.to_string());
+        h
     }
 
     /// Switches an encode handshake to closed-loop target-bpp mode
@@ -236,35 +322,74 @@ impl Hello {
         self
     }
 
+    /// Sets a publish stream's GOP length in frames (0 = server
+    /// default): the relay forces an intra refresh every `gop` frames so
+    /// late subscribers never wait longer than one GOP to join.
+    pub fn with_gop(mut self, gop: u16) -> Self {
+        self.gop = gop;
+        self
+    }
+
+    /// Switches a subscribe handshake's family expectation (the
+    /// constructor defaults to CTVC).
+    pub fn with_family(mut self, family: Family) -> Self {
+        self.family = family;
+        self
+    }
+
     /// Serializes the handshake in its `version`'s layout.
     ///
     /// # Errors
     ///
     /// Returns `InvalidInput` for geometry outside `1..=`[`MAX_DIM`]
     /// (which would otherwise truncate silently in the `u16` wire
-    /// fields), for an unserializable version, or for a rate target on
-    /// a version-1 handshake; propagates writer failures.
+    /// fields), for an unserializable version, for a rate target on a
+    /// version-1 handshake, for broadcast fields on a pre-version-3
+    /// handshake, or for a missing/oversized broadcast name; propagates
+    /// writer failures.
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
         check_wire_dims(self.width, self.height)?;
         if self.version < MIN_VERSION || self.version > VERSION {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                format!("cannot serialize protocol version {}", self.version),
-            ));
+            return Err(invalid(format!(
+                "cannot serialize protocol version {}",
+                self.version
+            )));
         }
         if self.version < 2 && self.target.is_some() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "target-bpp mode needs protocol version 2",
-            ));
+            return Err(invalid("target-bpp mode needs protocol version 2".into()));
+        }
+        if self.version < 3
+            && (self.role.is_broadcast() || self.gop != 0 || self.broadcast.is_some())
+        {
+            return Err(invalid("broadcast fields need protocol version 3".into()));
+        }
+        match &self.broadcast {
+            Some(name)
+                if self.role.is_broadcast() && (name.is_empty() || name.len() > MAX_NAME_BYTES) =>
+            {
+                return Err(invalid(format!(
+                    "broadcast name must be 1..={MAX_NAME_BYTES} bytes, got {}",
+                    name.len()
+                )));
+            }
+            Some(_) if self.role.is_broadcast() => {}
+            Some(_) => {
+                return Err(invalid(format!(
+                    "{:?} handshake cannot carry a broadcast name",
+                    self.role
+                )))
+            }
+            None if self.role.is_broadcast() => {
+                return Err(invalid(format!(
+                    "{:?} handshake needs a broadcast name",
+                    self.role
+                )))
+            }
+            None => {}
         }
         w.write_all(&MAGIC)?;
-        w.write_all(&[
-            self.version,
-            self.family.tag(),
-            self.direction.tag(),
-            self.rate,
-        ])?;
+        w.write_all(&[self.version, self.family.tag(), self.role.tag(), self.rate])?;
         w.write_all(&(self.width as u16).to_le_bytes())?;
         w.write_all(&(self.height as u16).to_le_bytes())?;
         if self.version >= 2 {
@@ -281,13 +406,20 @@ impl Hello {
                 }
             }
         }
+        if self.version >= 3 {
+            w.write_all(&self.gop.to_le_bytes())?;
+            let name = self.broadcast.as_deref().unwrap_or("");
+            w.write_all(&[name.len() as u8])?;
+            w.write_all(name.as_bytes())?;
+        }
         Ok(())
     }
 
     /// Reads and structurally validates a handshake (magic, supported
-    /// version, known tags, plausible geometry) — both the version-1 and
-    /// version-2 layouts. Semantic validation — rate range, target
-    /// plausibility, codec-specific geometry constraints — happens
+    /// version, known tags, plausible geometry, broadcast-name rules) —
+    /// the version-1 through version-3 layouts. Semantic validation —
+    /// rate range, target plausibility, codec-specific geometry
+    /// constraints, whether the named broadcast exists — happens
     /// server-side after this.
     ///
     /// # Errors
@@ -311,7 +443,12 @@ impl Hello {
             )));
         }
         let family = Family::from_tag(head[5])?;
-        let direction = Direction::from_tag(head[6])?;
+        let role = Role::from_tag(head[6])?;
+        if role.is_broadcast() && version < 3 {
+            return Err(ServeError::Protocol(format!(
+                "{role:?} role needs protocol version 3, handshake is version {version}"
+            )));
+        }
         let rate = head[7];
         let width = read_u16(r)? as usize;
         let height = read_u16(r)? as usize;
@@ -336,14 +473,43 @@ impl Hello {
         } else {
             None
         };
+        let (gop, broadcast) = if version >= 3 {
+            let gop = read_u16(r)?;
+            let len = read_u8(r)? as usize;
+            if len > MAX_NAME_BYTES {
+                return Err(ServeError::Protocol(format!(
+                    "broadcast name claims {len} bytes (cap {MAX_NAME_BYTES})"
+                )));
+            }
+            let mut bytes = vec![0u8; len];
+            r.read_exact(&mut bytes)
+                .map_err(|e| ServeError::Protocol(format!("truncated broadcast name: {e}")))?;
+            let name = String::from_utf8(bytes)
+                .map_err(|_| ServeError::Protocol("broadcast name is not UTF-8".into()))?;
+            (gop, if name.is_empty() { None } else { Some(name) })
+        } else {
+            (0, None)
+        };
+        if role.is_broadcast() && broadcast.is_none() {
+            return Err(ServeError::Protocol(format!(
+                "{role:?} handshake needs a broadcast name"
+            )));
+        }
+        if !role.is_broadcast() && broadcast.is_some() {
+            return Err(ServeError::Protocol(format!(
+                "{role:?} handshake cannot carry a broadcast name"
+            )));
+        }
         Ok(Hello {
             version,
             family,
-            direction,
+            role,
             width,
             height,
             rate,
             target,
+            gop,
+            broadcast,
         })
     }
 }
@@ -429,6 +595,69 @@ pub fn read_retarget_body(r: &mut impl Read) -> Result<Retarget, ServeError> {
         rate,
         target,
         restart_gop: restart != 0,
+    })
+}
+
+/// What a subscriber learns about the broadcast it just joined (the
+/// `'J'` message, server → subscriber, right after the ack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinInfo {
+    /// Codec family the broadcast is coded with.
+    pub family: Family,
+    /// Stream width in pixels.
+    pub width: usize,
+    /// Stream height in pixels.
+    pub height: usize,
+    /// Frame index of the first packet this subscriber will receive —
+    /// always an intra boundary; nonzero for late joiners.
+    pub start_index: u32,
+    /// Rate parameter the broadcast is currently coded at.
+    pub rate: u8,
+    /// The relay's GOP length in frames (how far apart join points are).
+    pub gop: u16,
+}
+
+/// Writes one join-info message (`'J'` tag + body).
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for geometry outside the wire range;
+/// propagates writer failures.
+pub fn write_join_msg(w: &mut impl Write, join: &JoinInfo) -> std::io::Result<()> {
+    check_wire_dims(join.width, join.height)?;
+    w.write_all(&[MSG_JOIN])?;
+    w.write_all(&[join.family.tag(), join.rate])?;
+    w.write_all(&(join.width as u16).to_le_bytes())?;
+    w.write_all(&(join.height as u16).to_le_bytes())?;
+    w.write_all(&join.start_index.to_le_bytes())?;
+    w.write_all(&join.gop.to_le_bytes())
+}
+
+/// Reads a join-info body (after its `'J'` tag).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on truncation, an unknown family
+/// tag or implausible geometry.
+pub fn read_join_body(r: &mut impl Read) -> Result<JoinInfo, ServeError> {
+    let family = Family::from_tag(read_u8(r)?)?;
+    let rate = read_u8(r)?;
+    let width = read_u16(r)? as usize;
+    let height = read_u16(r)? as usize;
+    if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+        return Err(ServeError::Protocol(format!(
+            "implausible broadcast geometry {width}x{height}"
+        )));
+    }
+    let start_index = read_u32(r)?;
+    let gop = read_u16(r)?;
+    Ok(JoinInfo {
+        family,
+        width,
+        height,
+        start_index,
+        rate,
+        gop,
     })
 }
 
@@ -801,6 +1030,113 @@ mod tests {
         // A version-1 handshake cannot carry a rate target.
         let bad = v1.with_target_bpp(0.3, 4);
         assert!(bad.write_to(&mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn version2_hello_still_parses() {
+        // The exact 19-byte layout version-2 clients send.
+        let mut v2 = Hello::ctvc_encode(1, 32, 32).with_target_bpp(0.5, 6);
+        v2.version = 2;
+        let mut buf = Vec::new();
+        v2.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 19, "version-2 layout is 19 bytes");
+        assert_eq!(Hello::read_from(&mut &buf[..]).unwrap(), v2);
+        // A version-2 handshake cannot carry broadcast fields…
+        let mut bad = v2.clone();
+        bad.broadcast = Some("game".into());
+        assert!(bad.write_to(&mut Vec::new()).is_err());
+        let mut bad = v2.clone();
+        bad.gop = 8;
+        assert!(bad.write_to(&mut Vec::new()).is_err());
+        // …and a broadcast role tag is rejected in a version-2 header.
+        let mut wire = buf.clone();
+        wire[6] = 2; // Publish
+        assert!(Hello::read_from(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn broadcast_hellos_roundtrip() {
+        for h in [
+            Hello::ctvc_publish(2, 96, 64, "game").with_gop(12),
+            Hello::hybrid_publish(28, 640, 368, "screen-share"),
+            Hello::subscribe("game", 96, 64),
+            Hello::subscribe("screen-share", 640, 368).with_family(Family::Hybrid),
+            Hello::ctvc_publish(1, 32, 32, "g").with_target_bpp(0.4, 4),
+        ] {
+            let mut buf = Vec::new();
+            h.write_to(&mut buf).unwrap();
+            assert_eq!(Hello::read_from(&mut &buf[..]).unwrap(), h, "{h:?}");
+        }
+        // Truncation at every prefix still fails cleanly.
+        let mut buf = Vec::new();
+        Hello::ctvc_publish(1, 32, 32, "game")
+            .write_to(&mut buf)
+            .unwrap();
+        for cut in 0..buf.len() {
+            assert!(Hello::read_from(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn broadcast_name_rules_are_enforced() {
+        // Broadcast roles need a name.
+        let mut nameless = Hello::ctvc_publish(1, 32, 32, "x");
+        nameless.broadcast = None;
+        assert!(nameless.write_to(&mut Vec::new()).is_err());
+        // Empty and oversized names are rejected.
+        assert!(Hello::ctvc_publish(1, 32, 32, "")
+            .write_to(&mut Vec::new())
+            .is_err());
+        let long = "n".repeat(MAX_NAME_BYTES + 1);
+        assert!(Hello::subscribe(&long, 32, 32)
+            .write_to(&mut Vec::new())
+            .is_err());
+        // Point-to-point roles cannot carry one.
+        let mut stray = Hello::ctvc_encode(1, 32, 32);
+        stray.broadcast = Some("game".into());
+        assert!(stray.write_to(&mut Vec::new()).is_err());
+        // The same rules hold on the read side (hand-built wire bytes).
+        let mut buf = Vec::new();
+        Hello::ctvc_publish(1, 32, 32, "game")
+            .write_to(&mut buf)
+            .unwrap();
+        let name_len_at = buf.len() - 5; // [len:u8]["game"]
+        let mut wire = buf.clone();
+        wire[name_len_at] = 0;
+        wire.truncate(name_len_at + 1);
+        assert!(
+            Hello::read_from(&mut &wire[..]).is_err(),
+            "publish without a name"
+        );
+        let mut wire = buf.clone();
+        wire[6] = 0; // Encode role, name still present
+        assert!(
+            Hello::read_from(&mut &wire[..]).is_err(),
+            "encode with a stray name"
+        );
+        let mut wire = buf;
+        wire[name_len_at + 1] = 0xFF; // not UTF-8
+        assert!(Hello::read_from(&mut &wire[..]).is_err(), "non-UTF-8 name");
+    }
+
+    #[test]
+    fn join_message_roundtrips() {
+        let join = JoinInfo {
+            family: Family::Ctvc,
+            width: 96,
+            height: 64,
+            start_index: 24,
+            rate: 2,
+            gop: 8,
+        };
+        let mut buf = Vec::new();
+        write_join_msg(&mut buf, &join).unwrap();
+        assert_eq!(buf[0], MSG_JOIN);
+        assert_eq!(read_join_body(&mut &buf[1..]).unwrap(), join);
+        // Truncation and a bad family tag fail cleanly.
+        assert!(read_join_body(&mut &buf[1..buf.len() - 1]).is_err());
+        buf[1] = 0x07;
+        assert!(read_join_body(&mut &buf[1..]).is_err());
     }
 
     #[test]

@@ -25,11 +25,13 @@
 //!   width while it computes, so total fan-out across all sessions stays
 //!   under [`ServeConfig::exec_cap`] regardless of the connection count.
 
+use crate::broadcast::{BroadcastInfo, BroadcastRegistry, CachedPacket, PublisherGuard};
 use crate::proto::{
-    read_frame_body, read_retarget_body, read_u8, write_error_msg, write_frame_msg,
-    write_packet_msg, write_stats_msg, Direction, Family, Hello, Retarget, TargetBppWire, MSG_ACK,
-    MSG_END, MSG_FRAME, MSG_PACKET, MSG_RETARGET,
+    read_frame_body, read_retarget_body, read_u8, write_error_msg, write_frame_msg, write_join_msg,
+    write_packet_msg, write_stats_msg, Family, Hello, JoinInfo, Retarget, Role, TargetBppWire,
+    MSG_ACK, MSG_END, MSG_FRAME, MSG_PACKET, MSG_RETARGET,
 };
+use crate::subscribe::serve_subscriber;
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_core::ExecPool;
 use nvc_entropy::container::{FrameKind, Packet};
@@ -84,6 +86,23 @@ pub struct ServeConfig {
     /// Maximum concurrent sessions; further connections are rejected
     /// with an error message.
     pub max_sessions: usize,
+    /// Relay GOP length for publish streams that do not request one in
+    /// the handshake: the publisher session forces an intra refresh
+    /// every this many frames, bounding how far a late joiner's start
+    /// point can lie in the past.
+    pub broadcast_gop: usize,
+    /// Per-subscriber ring capacity in packets. A subscriber falling
+    /// this far behind the publisher is evicted rather than ever
+    /// backpressuring the broadcast.
+    pub subscriber_ring: usize,
+    /// Maximum concurrent subscribers across all broadcasts. Counted
+    /// separately from [`ServeConfig::max_sessions`] — subscribers hold
+    /// no codec session and no worker-pool slot, so thousands are fine.
+    pub max_subscribers: usize,
+    /// Permits for subscriber fan-out write work (`0` = all available
+    /// hardware parallelism). A soft cap on the CPU side of fan-out;
+    /// socket waits never hold a permit. See [`ExecPool`].
+    pub fanout_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +116,10 @@ impl Default for ServeConfig {
             queue_depth: 4,
             gop_batch: 8,
             max_sessions: 64,
+            broadcast_gop: 8,
+            subscriber_ring: 64,
+            max_subscribers: 4096,
+            fanout_cap: 0,
         }
     }
 }
@@ -112,6 +135,10 @@ pub struct ServeReport {
     pub frames: u64,
     /// Sessions that ended in an error (protocol or codec failure).
     pub errors: u64,
+    /// Subscribers that completed a broadcast attach.
+    pub subscribers: usize,
+    /// Subscribers evicted for lagging behind their broadcast.
+    pub evicted: u64,
 }
 
 #[derive(Default)]
@@ -121,6 +148,9 @@ struct Counters {
     active: AtomicUsize,
     frames: AtomicU64,
     errors: AtomicU64,
+    subscribers: AtomicUsize,
+    active_subscribers: AtomicUsize,
+    evicted: AtomicU64,
 }
 
 impl Counters {
@@ -130,6 +160,8 @@ impl Counters {
             rejected: self.rejected.load(Ordering::Relaxed),
             frames: self.frames.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            subscribers: self.subscribers.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -412,7 +444,7 @@ trait SessionRunner {
     fn step(&mut self, job: Job) -> StepOutcome;
 }
 
-fn hangup(out: &mut BufWriter<TcpStream>, message: Option<&str>) {
+pub(crate) fn hangup(out: &mut BufWriter<TcpStream>, message: Option<&str>) {
     if let Some(message) = message {
         let _ = write_error_msg(out, message);
         let _ = out.flush();
@@ -627,6 +659,142 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<S> {
     }
 }
 
+/// An encode session that is also a broadcast publisher: every coded
+/// packet is echoed back to the publishing client *and* published into
+/// the broadcast for fan-out. The session runs in joinable-stream mode
+/// (every intra carries a full stream header) and forces an intra
+/// refresh every `gop` frames, so a late joiner's backlog always begins
+/// with a self-describing packet at most one GOP in the past.
+struct PublishRunner<'env, S> {
+    sess: Option<S>,
+    out: BufWriter<TcpStream>,
+    /// Negotiated protocol version — fixes the stats-trailer layout.
+    version: u8,
+    guard: PublisherGuard,
+    /// Relay GOP length: frames since the last intra before a forced
+    /// refresh.
+    gop: u32,
+    since_intra: u32,
+    counters: &'env Counters,
+}
+
+impl<'env, S: EncoderSession> PublishRunner<'env, S> {
+    fn new(
+        sess: S,
+        version: u8,
+        out: BufWriter<TcpStream>,
+        guard: PublisherGuard,
+        gop: u32,
+        counters: &'env Counters,
+    ) -> Self {
+        PublishRunner {
+            sess: Some(sess),
+            out,
+            version,
+            guard,
+            gop: gop.max(1),
+            since_intra: 0,
+            counters,
+        }
+    }
+}
+
+impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
+    fn step(&mut self, job: Job) -> StepOutcome {
+        let Some(sess) = self.sess.as_mut() else {
+            hangup(&mut self.out, Some("stream already finished"));
+            return StepOutcome::Failed;
+        };
+        match job {
+            Job::Frame(frame) => {
+                if self.since_intra >= self.gop {
+                    sess.restart_gop();
+                }
+                match sess.push_frame(&frame) {
+                    Ok(packet) => {
+                        self.since_intra = match packet.kind {
+                            FrameKind::Intra => 1,
+                            FrameKind::Predicted => self.since_intra + 1,
+                        };
+                        // Serialize once; subscribers get these exact
+                        // bytes (Arc-shared), the publisher an echo of
+                        // the same buffer — byte identity across every
+                        // receiver is by construction.
+                        let bytes = packet.to_bytes();
+                        let evicted = self.guard.broadcast().publish(CachedPacket {
+                            bytes: bytes.clone(),
+                            payload_len: packet.payload.len(),
+                            frame_index: packet.frame_index,
+                            kind: packet.kind,
+                            rate: sess.last_rate().unwrap_or(0),
+                        });
+                        if evicted > 0 {
+                            self.counters
+                                .evicted
+                                .fetch_add(evicted as u64, Ordering::Relaxed);
+                        }
+                        let ok = self
+                            .out
+                            .write_all(&[MSG_PACKET])
+                            .and_then(|()| self.out.write_all(&bytes))
+                            .and_then(|()| self.out.flush())
+                            .is_ok();
+                        if ok {
+                            StepOutcome::Continue
+                        } else {
+                            self.guard.fail("publisher connection lost");
+                            hangup(&mut self.out, None);
+                            StepOutcome::Failed
+                        }
+                    }
+                    Err(e) => {
+                        self.guard.fail(&format!("encode: {e}"));
+                        hangup(&mut self.out, Some(&format!("encode: {e}")));
+                        StepOutcome::Failed
+                    }
+                }
+            }
+            Job::Packet(_) => {
+                hangup(&mut self.out, Some("coded packet on a publish stream"));
+                StepOutcome::Failed
+            }
+            Job::Retarget(retarget) => {
+                match wire_rate_mode::<S::Rate>(retarget.target, retarget.rate) {
+                    Ok(mode) => {
+                        sess.set_rate_mode(mode);
+                        if retarget.restart_gop {
+                            sess.restart_gop();
+                        }
+                        StepOutcome::Continue
+                    }
+                    Err(e) => {
+                        hangup(&mut self.out, Some(&format!("retarget: {e}")));
+                        StepOutcome::Failed
+                    }
+                }
+            }
+            Job::End => {
+                match self.sess.take().expect("session present").finish() {
+                    Ok(stats) => {
+                        let _ = write_stats_msg(&mut self.out, &stats, self.version);
+                    }
+                    Err(e) => {
+                        let _ = write_error_msg(&mut self.out, &format!("finish: {e}"));
+                    }
+                }
+                self.guard.finish();
+                hangup(&mut self.out, None);
+                StepOutcome::Finished
+            }
+            Job::Abort(message) => {
+                self.guard.fail(&message);
+                hangup(&mut self.out, Some(&message));
+                StepOutcome::Failed
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Connection handling
 // ---------------------------------------------------------------------
@@ -684,13 +852,18 @@ fn wire_rate_mode<R: RateParam>(
 }
 
 /// Validates the semantic half of a handshake against the served codecs.
+/// Subscribe handshakes carry no rate of their own (the broadcast's rate
+/// is what they get), so only their geometry is checked here — the rest
+/// is validated against the named broadcast at attach time.
 fn validate_hello(hello: &Hello) -> Result<(), String> {
-    if hello.target.is_some() && hello.direction != Direction::Encode {
+    if hello.target.is_some() && !matches!(hello.role, Role::Encode | Role::Publish) {
         return Err("target-bpp mode only applies to encode streams".into());
     }
     match hello.family {
         Family::Ctvc => {
-            wire_rate_mode::<RatePoint>(hello.target, hello.rate)?;
+            if hello.role != Role::Subscribe {
+                wire_rate_mode::<RatePoint>(hello.target, hello.rate)?;
+            }
             if !hello.width.is_multiple_of(16) || !hello.height.is_multiple_of(16) {
                 return Err(format!(
                     "CTVC streams need dimensions divisible by 16, got {}x{}",
@@ -699,6 +872,7 @@ fn validate_hello(hello: &Hello) -> Result<(), String> {
             }
             Ok(())
         }
+        Family::Hybrid if hello.role == Role::Subscribe => Ok(()),
         Family::Hybrid => wire_rate_mode::<u8>(hello.target, hello.rate).map(|_| ()),
     }
 }
@@ -709,9 +883,11 @@ fn connection<'env>(
     ctvc: &'env CtvcCodec,
     hybrid: &'env HybridCodec,
     sched: &Scheduler<'env>,
-    max_sessions: usize,
+    cfg: &ServeConfig,
+    registry: &BroadcastRegistry,
+    fanout: &ExecPool,
     stop: &AtomicBool,
-    counters: &Counters,
+    counters: &'env Counters,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
@@ -740,18 +916,50 @@ fn connection<'env>(
         counters.rejected.fetch_add(1, Ordering::Relaxed);
         return;
     }
+    // Subscribers take a different path entirely: no codec session, no
+    // pool slot — just an attach and a writer loop on this thread.
+    if hello.role == Role::Subscribe {
+        subscriber_connection(out, &hello, registry, fanout, cfg, stop, counters);
+        return;
+    }
     // Atomic admission (reserve-then-ack): concurrent handshakes race
     // for slots under the cap, never past it.
     if counters
         .active
         .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
-            (active < max_sessions).then_some(active + 1)
+            (active < cfg.max_sessions).then_some(active + 1)
         })
         .is_err()
     {
         hangup(&mut out, Some("server at session capacity"));
         counters.rejected.fetch_add(1, Ordering::Relaxed);
         return;
+    }
+    // Publish streams claim their broadcast name *before* the ack, so a
+    // duplicate name is a handshake rejection, not a mid-stream abort.
+    let relay_gop: u16 = if hello.gop != 0 {
+        hello.gop
+    } else {
+        cfg.broadcast_gop.clamp(1, usize::from(u16::MAX)) as u16
+    };
+    let mut publish_guard = None;
+    if hello.role == Role::Publish {
+        let name = hello.broadcast.as_deref().unwrap_or_default();
+        let info = BroadcastInfo {
+            family: hello.family,
+            width: hello.width,
+            height: hello.height,
+            gop: relay_gop,
+        };
+        match registry.create(name, info, hello.rate) {
+            Ok(guard) => publish_guard = Some(guard),
+            Err(reason) => {
+                hangup(&mut out, Some(&format!("handshake: {reason}")));
+                counters.active.fetch_sub(1, Ordering::Relaxed);
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
     }
     if out
         .write_all(&[MSG_ACK, hello.rate])
@@ -766,28 +974,60 @@ fn connection<'env>(
 
     let negotiated = (hello.width, hello.height);
     let version = hello.version;
-    let runner: Box<dyn SessionRunner + Send + 'env> = match (hello.family, hello.direction) {
-        (Family::Ctvc, Direction::Decode) => Box::new(DecodeRunner::new(
+    let runner: Box<dyn SessionRunner + Send + 'env> = match (hello.family, hello.role) {
+        (Family::Ctvc, Role::Decode) => Box::new(DecodeRunner::new(
             ctvc.start_decode(),
             negotiated,
             version,
             out,
         )),
-        (Family::Ctvc, Direction::Encode) => {
+        (Family::Ctvc, Role::Encode) => {
             let mode =
                 wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
             Box::new(EncodeRunner::new(ctvc.start_encode(mode), version, out))
         }
-        (Family::Hybrid, Direction::Decode) => Box::new(DecodeRunner::new(
+        (Family::Hybrid, Role::Decode) => Box::new(DecodeRunner::new(
             hybrid.start_decode(),
             negotiated,
             version,
             out,
         )),
-        (Family::Hybrid, Direction::Encode) => {
+        (Family::Hybrid, Role::Encode) => {
             let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
             Box::new(EncodeRunner::new(hybrid.start_encode(mode), version, out))
         }
+        (Family::Ctvc, Role::Publish) => {
+            let mode =
+                wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
+            let mut sess = ctvc.start_encode(mode);
+            let joinable = sess.set_join_headers(true);
+            debug_assert!(joinable, "served CTVC codec lacks joinable-stream mode");
+            let guard = publish_guard.take().expect("claimed above");
+            Box::new(PublishRunner::new(
+                sess,
+                version,
+                out,
+                guard,
+                u32::from(relay_gop),
+                counters,
+            ))
+        }
+        (Family::Hybrid, Role::Publish) => {
+            let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
+            let mut sess = hybrid.start_encode(mode);
+            let joinable = sess.set_join_headers(true);
+            debug_assert!(joinable, "served hybrid codec lacks joinable-stream mode");
+            let guard = publish_guard.take().expect("claimed above");
+            Box::new(PublishRunner::new(
+                sess,
+                version,
+                out,
+                guard,
+                u32::from(relay_gop),
+                counters,
+            ))
+        }
+        (_, Role::Subscribe) => unreachable!("subscribers return above"),
     };
     let slot = Arc::new(Slot {
         state: Mutex::new(SlotState::default()),
@@ -810,12 +1050,12 @@ fn connection<'env>(
                 return;
             }
         };
-        let job = match (tag, hello.direction) {
-            (MSG_PACKET, Direction::Decode) => match Packet::read_from(&mut reader) {
+        let job = match (tag, hello.role) {
+            (MSG_PACKET, Role::Decode) => match Packet::read_from(&mut reader) {
                 Ok(packet) => Job::Packet(packet),
                 Err(e) => Job::Abort(format!("bad packet: {e}")),
             },
-            (MSG_FRAME, Direction::Encode) => {
+            (MSG_FRAME, Role::Encode | Role::Publish) => {
                 // The negotiated geometry is enforced on the *header*,
                 // before any payload is read, so a hostile size field
                 // never drives an allocation.
@@ -841,6 +1081,98 @@ fn connection<'env>(
     }
 }
 
+/// The subscriber half of [`connection`]: resolves the named broadcast,
+/// validates the handshake against its fixed facts, attaches, sends the
+/// ack plus the `'J'` join info, then runs the fan-out writer loop on
+/// this thread until the broadcast ends or the subscriber is evicted.
+fn subscriber_connection(
+    mut out: BufWriter<TcpStream>,
+    hello: &Hello,
+    registry: &BroadcastRegistry,
+    fanout: &ExecPool,
+    cfg: &ServeConfig,
+    stop: &AtomicBool,
+    counters: &Counters,
+) {
+    let name = hello.broadcast.as_deref().unwrap_or_default();
+    let Some(broadcast) = registry.get(name) else {
+        hangup(
+            &mut out,
+            Some(&format!("handshake: no broadcast named {name:?}")),
+        );
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let info = broadcast.info();
+    if info.family != hello.family {
+        hangup(
+            &mut out,
+            Some(&format!(
+                "handshake: broadcast {name:?} serves {:?} streams, not {:?}",
+                info.family, hello.family
+            )),
+        );
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if (info.width, info.height) != (hello.width, hello.height) {
+        hangup(
+            &mut out,
+            Some(&format!(
+                "handshake: broadcast {name:?} is {}x{}, requested {}x{}",
+                info.width, info.height, hello.width, hello.height
+            )),
+        );
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // Subscriber admission is separate from session admission: a
+    // subscriber holds no codec state and no pool slot, so the cap is
+    // orders of magnitude higher.
+    if counters
+        .active_subscribers
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
+            (active < cfg.max_subscribers).then_some(active + 1)
+        })
+        .is_err()
+    {
+        hangup(&mut out, Some("server at subscriber capacity"));
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let attachment = match broadcast.attach(cfg.subscriber_ring) {
+        Ok(attachment) => attachment,
+        Err(reason) => {
+            hangup(&mut out, Some(&format!("handshake: {reason}")));
+            counters.active_subscribers.fetch_sub(1, Ordering::Relaxed);
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let join = JoinInfo {
+        family: info.family,
+        width: info.width,
+        height: info.height,
+        start_index: attachment.start_index,
+        rate: attachment.rate,
+        gop: info.gop,
+    };
+    if out
+        .write_all(&[MSG_ACK, attachment.rate])
+        .and_then(|()| write_join_msg(&mut out, &join))
+        .and_then(|()| out.flush())
+        .is_err()
+    {
+        attachment.ring.detach();
+        counters.active_subscribers.fetch_sub(1, Ordering::Relaxed);
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    counters.subscribers.fetch_add(1, Ordering::Relaxed);
+    serve_subscriber(out, attachment, hello.version, fanout, stop);
+    counters.active_subscribers.fetch_sub(1, Ordering::Relaxed);
+}
+
 // ---------------------------------------------------------------------
 // The serve loop
 // ---------------------------------------------------------------------
@@ -861,18 +1193,25 @@ fn run(
     };
     let threads_per_session = cfg.threads_per_session.max(1);
     let exec = ExecPool::new(cfg.exec_cap);
+    // Fan-out write work gets its own permit pool so a thousand
+    // subscribers can never starve the codec workers of compute permits
+    // (and vice versa).
+    let fanout = ExecPool::new(cfg.fanout_cap);
+    let registry = BroadcastRegistry::new();
     let sched = Scheduler::new(cfg.queue_depth, cfg.gop_batch);
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
             scope.spawn(|| worker_loop(&sched, &exec, threads_per_session, stop, counters));
         }
-        let max_sessions = cfg.max_sessions;
         while !stop.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let (ctvc, hybrid, sched) = (&ctvc, &hybrid, &sched);
+                    let (cfg, registry, fanout) = (&cfg, &registry, &fanout);
                     scope.spawn(move || {
-                        connection(stream, ctvc, hybrid, sched, max_sessions, stop, counters)
+                        connection(
+                            stream, ctvc, hybrid, sched, cfg, registry, fanout, stop, counters,
+                        )
                     });
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
@@ -881,5 +1220,8 @@ fn run(
         }
         stop.store(true, Ordering::Relaxed);
         sched.work.notify_all();
+        // Wake every subscriber writer parked on a ring wait so the
+        // scope join is not at the mercy of the ring-wait backstop.
+        registry.fail_all("server shutting down");
     });
 }

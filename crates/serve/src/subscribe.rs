@@ -1,0 +1,391 @@
+//! The subscriber side of a broadcast: the server's per-subscriber
+//! writer loop and the blocking [`SubscribeClient`].
+
+use crate::broadcast::{Attachment, CachedPacket, RingPop};
+use crate::proto::{
+    read_error_body, read_join_body, read_stats_body, read_u8, write_stats_msg, JoinInfo, Role,
+    MSG_ACK, MSG_ERROR, MSG_JOIN, MSG_PACKET, MSG_STATS,
+};
+use crate::server::hangup;
+use crate::ServeError;
+use nvc_core::ExecPool;
+use nvc_entropy::container::Packet;
+use nvc_video::StreamStats;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Backstop wait for ring pops. Every way a subscription can end —
+/// publish, close, eviction, failure, registry shutdown — notifies the
+/// ring's condvar, so waits are event-driven and this bound only limits
+/// how often an idle writer re-checks the stop flag. A short poll here
+/// would melt a large fan-out: thousands of idle writer threads waking
+/// every few milliseconds costs more than the fan-out writes themselves.
+const RING_WAIT: Duration = Duration::from_secs(1);
+
+/// How long a subscriber writer waits for a fan-out permit before
+/// proceeding without one. The permit bounds the CPU-side fan-out work
+/// (stats accounting, buffer assembly) — it is a soft cap, so a stalled
+/// permit holder degrades fairness, never liveness.
+const FANOUT_LEASE_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Per-subscriber stats accumulator: the same per-frame columns an
+/// encode stream's trailer carries, derived from the cached packets so
+/// every subscriber's trailer describes exactly the bytes it received.
+#[derive(Default)]
+struct SubscriberStats {
+    bytes_per_frame: Vec<usize>,
+    bits_per_frame: Vec<u64>,
+    frame_types: Vec<nvc_entropy::container::FrameKind>,
+    rate_per_frame: Vec<u8>,
+    total_bytes: usize,
+}
+
+impl SubscriberStats {
+    fn finish(self) -> StreamStats {
+        StreamStats {
+            frames: self.bytes_per_frame.len(),
+            bytes_per_frame: self.bytes_per_frame,
+            bits_per_frame: self.bits_per_frame,
+            frame_types: self.frame_types,
+            rate_per_frame: self.rate_per_frame,
+            total_bytes: self.total_bytes,
+        }
+    }
+}
+
+/// The server's writer loop for one subscriber connection: replays the
+/// attachment's backlog, then relays live packets off the ring until the
+/// broadcast ends, the subscriber is evicted, or its socket dies. Runs
+/// on the connection's own thread — subscribers never occupy the
+/// compute worker pool.
+pub(crate) fn serve_subscriber(
+    mut out: BufWriter<TcpStream>,
+    attachment: Attachment,
+    version: u8,
+    fanout: &ExecPool,
+    stop: &AtomicBool,
+) {
+    let Attachment { ring, backlog, .. } = attachment;
+    let mut stats = SubscriberStats::default();
+    for packet in backlog {
+        if !send_packet(&mut out, &packet, &mut stats, fanout) {
+            ring.detach();
+            hangup(&mut out, None);
+            return;
+        }
+    }
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            ring.detach();
+            hangup(&mut out, None);
+            return;
+        }
+        match ring.pop(RING_WAIT) {
+            RingPop::Packet(packet) => {
+                if !send_packet(&mut out, &packet, &mut stats, fanout) {
+                    ring.detach();
+                    hangup(&mut out, None);
+                    return;
+                }
+            }
+            RingPop::Empty => {}
+            RingPop::Closed => {
+                let _ = write_stats_msg(&mut out, &stats.finish(), version);
+                hangup(&mut out, None);
+                return;
+            }
+            RingPop::Evicted(reason) => {
+                hangup(&mut out, Some(&reason));
+                return;
+            }
+            RingPop::Failed(reason) => {
+                hangup(&mut out, Some(&reason));
+                return;
+            }
+        }
+    }
+}
+
+/// Writes one cached packet and accounts it; returns `false` when the
+/// socket is gone. The fan-out permit is held only across the CPU-side
+/// accounting and buffer fill, never across the flush — blocked socket
+/// I/O parks on the subscriber's own thread, not on a shared permit.
+fn send_packet(
+    out: &mut BufWriter<TcpStream>,
+    packet: &Arc<CachedPacket>,
+    stats: &mut SubscriberStats,
+    fanout: &ExecPool,
+) -> bool {
+    {
+        let _lease = fanout.lease_timeout(1, FANOUT_LEASE_TIMEOUT);
+        stats.bytes_per_frame.push(packet.payload_len);
+        stats.bits_per_frame.push(packet.bytes.len() as u64 * 8);
+        stats.frame_types.push(packet.kind);
+        stats.rate_per_frame.push(packet.rate);
+        stats.total_bytes += packet.bytes.len();
+        if out
+            .write_all(&[MSG_PACKET])
+            .and_then(|()| out.write_all(&packet.bytes))
+            .is_err()
+        {
+            return false;
+        }
+    }
+    out.flush().is_ok()
+}
+
+/// One event off a subscription.
+#[derive(Debug, Clone)]
+pub enum SubscribeEvent {
+    /// The next coded packet, in publish order.
+    Packet(Packet),
+    /// The broadcast ended cleanly; the trailer covers exactly the
+    /// packets this subscriber received.
+    End(StreamStats),
+}
+
+/// Everything a completed subscription received.
+#[derive(Debug, Clone)]
+pub struct SubscribeSummary {
+    /// The join info the server sent on attach.
+    pub join: JoinInfo,
+    /// Every received packet, in publish order (the first is an intra).
+    pub packets: Vec<Packet>,
+    /// The trailer: per-frame stats for the received packet range.
+    pub stats: StreamStats,
+}
+
+/// A blocking subscriber connection to a broadcast on a
+/// [`Server`](crate::Server). Subscribers only read after the
+/// handshake: packets arrive as the publisher produces them, starting
+/// at an intra boundary (late joiners replay the current GOP segment).
+///
+/// A lagging subscriber — one that stops calling [`next_event`] while
+/// the publisher keeps going — is *evicted*: the server reports the lag
+/// as a [`ServeError::Remote`] and closes the connection rather than
+/// ever stalling the publisher.
+///
+/// [`next_event`]: SubscribeClient::next_event
+pub struct SubscribeClient {
+    reader: BufReader<TcpStream>,
+    version: u8,
+    join: JoinInfo,
+}
+
+impl std::fmt::Debug for SubscribeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubscribeClient({:?})", self.join)
+    }
+}
+
+impl SubscribeClient {
+    /// Connects and performs the subscribe handshake; `hello` must come
+    /// from [`Hello::subscribe`](crate::Hello::subscribe). A rejection
+    /// (unknown name, geometry mismatch, capacity) surfaces as
+    /// [`ServeError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on connection, handshake or rejection.
+    pub fn connect(addr: impl ToSocketAddrs, hello: crate::Hello) -> Result<Self, ServeError> {
+        if hello.role != Role::Subscribe {
+            return Err(ServeError::Protocol(
+                "SubscribeClient needs a subscribe handshake".into(),
+            ));
+        }
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        hello.write_to(&mut writer)?;
+        writer.flush()?;
+        match read_u8(&mut reader)? {
+            MSG_ACK => {
+                let _rate = read_u8(&mut reader)?;
+            }
+            MSG_ERROR => return Err(ServeError::Remote(read_error_body(&mut reader)?)),
+            tag => {
+                return Err(ServeError::Protocol(format!(
+                    "expected handshake ack, got tag 0x{tag:02X}"
+                )))
+            }
+        }
+        let join = match read_u8(&mut reader)? {
+            MSG_JOIN => read_join_body(&mut reader)?,
+            MSG_ERROR => return Err(ServeError::Remote(read_error_body(&mut reader)?)),
+            tag => {
+                return Err(ServeError::Protocol(format!(
+                    "expected join info, got tag 0x{tag:02X}"
+                )))
+            }
+        };
+        Ok(SubscribeClient {
+            reader,
+            version: hello.version,
+            join,
+        })
+    }
+
+    /// What the server said about the joined broadcast.
+    pub fn join(&self) -> &JoinInfo {
+        &self.join
+    }
+
+    /// Sets a read timeout on the underlying socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Blocks for the next event: a packet, or the end-of-broadcast
+    /// trailer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Remote`] when the server ends the
+    /// subscription with an error — eviction for lagging, or a
+    /// publisher-side failure.
+    pub fn next_event(&mut self) -> Result<SubscribeEvent, ServeError> {
+        match read_u8(&mut self.reader)? {
+            MSG_PACKET => Ok(SubscribeEvent::Packet(Packet::read_from(&mut self.reader)?)),
+            MSG_STATS => Ok(SubscribeEvent::End(read_stats_body(
+                &mut self.reader,
+                self.version,
+            )?)),
+            MSG_ERROR => Err(ServeError::Remote(read_error_body(&mut self.reader)?)),
+            tag => Err(ServeError::Protocol(format!(
+                "unexpected subscription tag 0x{tag:02X}"
+            ))),
+        }
+    }
+
+    /// Drains the subscription to completion: every packet until the
+    /// broadcast ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] as [`SubscribeClient::next`] does.
+    pub fn collect(mut self) -> Result<SubscribeSummary, ServeError> {
+        let mut packets = Vec::new();
+        loop {
+            match self.next_event()? {
+                SubscribeEvent::Packet(packet) => packets.push(packet),
+                SubscribeEvent::End(stats) => {
+                    return Ok(SubscribeSummary {
+                        join: self.join,
+                        packets,
+                        stats,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::{BroadcastInfo, BroadcastRegistry, CachedPacket};
+    use crate::proto::Family;
+    use nvc_entropy::container::FrameKind;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn socket_pair() -> (BufWriter<TcpStream>, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server
+            .set_write_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Mirror the real server's poll timeout: `hangup`'s post-error
+        // drain does blocking reads and relies on it to observe its
+        // deadline.
+        server
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        (BufWriter::new(server), client)
+    }
+
+    fn cached(frame_index: u32, kind: FrameKind) -> CachedPacket {
+        let packet = Packet::new(frame_index, kind, vec![frame_index as u8; 16]);
+        CachedPacket {
+            bytes: packet.to_bytes(),
+            payload_len: packet.payload.len(),
+            frame_index,
+            kind,
+            rate: 1,
+        }
+    }
+
+    /// Lag eviction over real sockets, made deterministic by publishing
+    /// into the rings *before* the writer threads start draining them:
+    /// the slow subscriber's ring (capacity 2) overflows, the fast one
+    /// holds everything. The evicted subscriber must receive a clean
+    /// `'X'` with the lag reason and a closed connection; the fast one
+    /// streams every packet and the trailer, unaffected.
+    #[test]
+    fn evicted_subscriber_gets_a_clean_error_while_others_stream_on() {
+        let registry = BroadcastRegistry::new();
+        let info = BroadcastInfo {
+            family: Family::Ctvc,
+            width: 32,
+            height: 32,
+            gop: 4,
+        };
+        let mut guard = registry.create("game", info, 1).unwrap();
+        let slow_att = guard.broadcast().attach(2).unwrap();
+        let fast_att = guard.broadcast().attach(64).unwrap();
+        let mut evicted = 0;
+        for i in 0..4 {
+            let kind = if i == 0 {
+                FrameKind::Intra
+            } else {
+                FrameKind::Predicted
+            };
+            evicted += guard.broadcast().publish(cached(i, kind));
+        }
+        assert_eq!(evicted, 1, "the capacity-2 ring must overflow");
+        guard.finish();
+
+        let fanout = ExecPool::new(1);
+        let stop = AtomicBool::new(false);
+        let (slow_out, mut slow_client) = socket_pair();
+        let (fast_out, mut fast_client) = socket_pair();
+        std::thread::scope(|scope| {
+            scope.spawn(|| serve_subscriber(slow_out, slow_att, 3, &fanout, &stop));
+            scope.spawn(|| serve_subscriber(fast_out, fast_att, 3, &fanout, &stop));
+
+            let mut tag = [0u8; 1];
+            slow_client.read_exact(&mut tag).unwrap();
+            assert_eq!(tag[0], MSG_ERROR, "eviction must arrive as 'X'");
+            let reason = read_error_body(&mut &slow_client).unwrap();
+            assert!(reason.contains("lagging"), "{reason}");
+            assert_eq!(
+                slow_client.read(&mut tag).unwrap(),
+                0,
+                "connection must close after the eviction notice"
+            );
+
+            for want in 0..4u32 {
+                fast_client.read_exact(&mut tag).unwrap();
+                assert_eq!(tag[0], MSG_PACKET);
+                let packet = Packet::read_from(&mut &fast_client).unwrap();
+                assert_eq!(packet.frame_index, want);
+            }
+            fast_client.read_exact(&mut tag).unwrap();
+            assert_eq!(tag[0], MSG_STATS, "clean end must carry the trailer");
+            let stats = read_stats_body(&mut &fast_client, 3).unwrap();
+            assert_eq!(stats.frames, 4);
+        });
+    }
+}

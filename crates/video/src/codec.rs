@@ -114,6 +114,30 @@ pub trait EncoderSession {
         false
     }
 
+    /// Switches the session into *joinable-stream* mode (or back out of
+    /// it): when enabled, every intra packet carries the full stream
+    /// header — not just frame 0 — so a decoder can join the stream at
+    /// any intra boundary ([`DecoderSession::push_packet`] accepts a
+    /// header-carrying intra as its first packet at any frame index).
+    /// The broadcast relay publishes streams in this mode so late
+    /// subscribers can start at the most recent intra segment. Off by
+    /// default, keeping plain streams byte-identical to the legacy
+    /// layout. Returns whether the codec honors the request; the
+    /// default implementation refuses.
+    fn set_join_headers(&mut self, enabled: bool) -> bool {
+        let _ = enabled;
+        false
+    }
+
+    /// Wire rate byte (`RatePoint` index / QP) the most recently pushed
+    /// frame was coded at — `None` before the first frame. Mirrors
+    /// [`DecoderSession::last_rate`]; the serving layer uses it to
+    /// record truthful per-packet rate columns without parsing codec
+    /// payloads.
+    fn last_rate(&self) -> Option<u8> {
+        None
+    }
+
     /// Replaces the session's rate control from the next frame on — the
     /// in-process form of the wire's `'R'` retarget. Mid-GOP switches
     /// are legal: the chosen rate rides in each packet, so the decoder

@@ -3,12 +3,14 @@
 //! back), a fixed-rate remote-*encode* stream (frames up, packets back)
 //! and a *closed-loop* encode stream steering toward a bpp target with a
 //! mid-stream retarget — then print per-stream PSNR, bpp and the rate
-//! trace the controller chose.
+//! trace the controller chose. A second phase runs a *broadcast*: one
+//! publisher encodes the clip once while three subscribers (one joining
+//! late, mid-GOP) receive the identical packet bytes.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
-use nvc_serve::{Hello, Retarget, ServeConfig, Server, StreamClient};
+use nvc_serve::{Hello, Retarget, ServeConfig, Server, StreamClient, SubscribeClient};
 use nvc_video::codec::{encode_sequence, DecoderSession};
 use nvc_video::metrics::psnr_sequence;
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
@@ -127,10 +129,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     });
 
+    // Broadcast phase: one publisher, three subscribers. The stream is
+    // encoded once; every subscriber gets the same bytes. The third
+    // subscriber attaches mid-stream and starts at the most recent
+    // intra rather than the stream head.
+    std::thread::scope(|scope| {
+        let mut publisher = StreamClient::connect(
+            server.addr(),
+            Hello::ctvc_publish(1, W, H, "demo").with_gop(4),
+        )
+        .expect("connect publisher");
+        let early: Vec<_> = (0..2)
+            .map(|i| {
+                let sub = SubscribeClient::connect(server.addr(), Hello::subscribe("demo", W, H))
+                    .expect("subscribe");
+                scope.spawn(move || (i, sub.collect().expect("collect")))
+            })
+            .collect();
+
+        // Publish five frames (the GOP of 4 puts intras at 0 and 4),
+        // *then* attach the late joiner: it must start at frame 4.
+        for frame in &source.frames()[..5] {
+            publisher.send_frame(frame).expect("send");
+        }
+        publisher.drain().expect("publish the backlog");
+        let late = SubscribeClient::connect(server.addr(), Hello::subscribe("demo", W, H))
+            .expect("late subscribe");
+        let late_start = late.join().start_index;
+        let late_reader = scope.spawn(move || late.collect().expect("late collect"));
+
+        publisher.send_frame(&source.frames()[5]).expect("send");
+        let published = publisher.finish().expect("finish publish");
+
+        for handle in early {
+            let (i, summary) = handle.join().expect("subscriber");
+            let identical = summary
+                .packets
+                .iter()
+                .zip(&published.packets)
+                .all(|(a, b)| a.to_bytes() == b.to_bytes());
+            println!(
+                "subscriber {i} (from start): {} packets, byte-identical to publisher: {identical}",
+                summary.packets.len()
+            );
+        }
+        let tail = late_reader.join().expect("late subscriber");
+        let mut dec = codec.start_decode();
+        let decodable = tail
+            .packets
+            .iter()
+            .all(|p| dec.push_packet(&p.to_bytes()).is_ok());
+        println!(
+            "subscriber 2 (late join):   {} packets from intra at frame {late_start}, \
+             decodable from the join point: {decodable}",
+            tail.packets.len()
+        );
+    });
+
     let report = server.shutdown();
     println!(
-        "server report: {} sessions, {} frames, {} errors",
-        report.sessions, report.frames, report.errors
+        "server report: {} sessions, {} frames, {} subscribers, {} evicted, {} errors",
+        report.sessions, report.frames, report.subscribers, report.evicted, report.errors
     );
     Ok(())
 }
