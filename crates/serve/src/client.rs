@@ -1,9 +1,9 @@
 //! The blocking client side of the protocol.
 
 use crate::proto::{
-    read_error_body, read_frame_body, read_stats_body, read_u8, write_frame_msg, write_packet_msg,
-    write_retarget_msg, Hello, Retarget, Role, MSG_ACK, MSG_END, MSG_ERROR, MSG_FRAME, MSG_PACKET,
-    MSG_STATS,
+    read_ack_body, read_error_body, read_frame_body, read_stats_body, read_u8, write_frame_msg,
+    write_packet_msg, write_retarget_msg, Ack, Hello, Retarget, Role, MSG_ACK, MSG_END, MSG_ERROR,
+    MSG_FRAME, MSG_PACKET, MSG_STATS,
 };
 use crate::ServeError;
 use nvc_entropy::container::Packet;
@@ -39,6 +39,7 @@ pub struct StreamClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     hello: Hello,
+    ack: Ack,
     window: usize,
     outstanding: usize,
     sent_at: VecDeque<Instant>,
@@ -88,6 +89,10 @@ impl StreamClient {
             reader,
             writer,
             hello,
+            ack: Ack {
+                rate: 0,
+                degraded: false,
+            },
             window: 4,
             outstanding: 0,
             sent_at: VecDeque::new(),
@@ -98,7 +103,7 @@ impl StreamClient {
         };
         match read_u8(&mut client.reader)? {
             MSG_ACK => {
-                let _negotiated_rate = read_u8(&mut client.reader)?;
+                client.ack = read_ack_body(&mut client.reader, client.hello.version)?;
                 Ok(client)
             }
             MSG_ERROR => Err(ServeError::Remote(read_error_body(&mut client.reader)?)),
@@ -111,6 +116,22 @@ impl StreamClient {
     /// The negotiated handshake.
     pub fn hello(&self) -> &Hello {
         &self.hello
+    }
+
+    /// The rate the server actually granted in its handshake ack. Equal
+    /// to the requested [`Hello::rate`] unless the session was admitted
+    /// degraded, in which case a fixed-rate stream starts at this wire
+    /// rate instead (target-bpp streams echo the request; the shrunk
+    /// target is applied server-side).
+    pub fn granted_rate(&self) -> u8 {
+        self.ack.rate
+    }
+
+    /// Whether the server admitted this session *degraded* — below its
+    /// requested rate because the governor's aggregate budget is under
+    /// pressure (protocol version 4; always `false` on older versions).
+    pub fn admitted_degraded(&self) -> bool {
+        self.ack.degraded
     }
 
     /// Sets the pipelining window (clamped to ≥ 1): how many requests

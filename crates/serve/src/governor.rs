@@ -1,0 +1,522 @@
+//! Cross-session rate governor: splits one aggregate bit budget across
+//! every live encode/publish session and decides admission.
+//!
+//! The governor is the serve-level analogue of a per-stream rate
+//! controller's reservoir: instead of smoothing one stream's bits over
+//! a window, it holds the *sum* of all streams' per-frame bits near a
+//! configured budget. Each session registers a demand — its requested
+//! target in bits per frame — and the governor hands back a *grant
+//! ratio* in `(0, 1]`: the fraction of that demand the session's fair
+//! share covers right now. Sessions re-read their ratio at every frame
+//! boundary and push the granted rate through the ordinary in-band
+//! retarget path, so a governed stream is indistinguishable on the wire
+//! from one whose client retargeted it.
+//!
+//! Three properties drive the design:
+//!
+//! * **Determinism** (invariant 3): a grant is a pure function of the
+//!   set of live sessions and the config — never of observed bits,
+//!   wall-clock time, or arrival jitter. Replaying the same admission
+//!   sequence with the same frame interleaving reproduces every
+//!   session's bitstream byte-for-byte.
+//! * **Per-client fairness**: a session's weight is its demand divided
+//!   by how many sessions its client has open, so a client opening 50
+//!   sessions competes for one client-sized slice, not 50.
+//! * **Degrade before drop**: overload walks every session down its
+//!   rate ladder (or shrinks its bpp target) step by step; admission
+//!   only rejects once projected demand exceeds `reject_overload`
+//!   budgets or the scheduler backlog passes `max_backlog`. Load
+//!   draining walks the survivors back up.
+
+use crate::server::Counters;
+use nvc_video::rate::{RateMode, RateParam};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Knobs for the cross-session rate governor ([`crate::ServeConfig`]'s
+/// `governor` field; `None` disables governing entirely).
+#[derive(Debug, Clone)]
+pub struct GovernorConfig {
+    /// Aggregate budget in coded bits per frame interval, summed across
+    /// all governed sessions — the reservoir every grant is carved
+    /// from. Values below 1 are clamped to 1.
+    pub budget_bits_per_frame: f64,
+    /// Demand assumed for a fixed-rate session, in bits per pixel at
+    /// its requested rung (closed-loop sessions declare their demand
+    /// exactly via their bpp target). Default 0.5.
+    pub assumed_bpp: f64,
+    /// Per-client fairness: when `true` (default) a session's weight is
+    /// divided by its client's open-session count, so budget is split
+    /// per client first and per session second.
+    pub fair_share: bool,
+    /// Floor of the degradation walk, as a ladder position (0 = the
+    /// cheapest rung). Sessions are never pushed below this — nor below
+    /// their own request if they asked for less. Default 0.
+    pub min_position: u32,
+    /// Admission rejects once *projected* aggregate demand exceeds this
+    /// many budgets — the headroom the degradation curve may spend
+    /// before new sessions bounce. Default 8.0.
+    pub reject_overload: f64,
+    /// Admission rejects while the scheduler backlog (queued jobs
+    /// across all sessions) exceeds this. `0` (default) derives
+    /// `queue_depth × max_sessions` from the serve config.
+    pub max_backlog: usize,
+}
+
+impl GovernorConfig {
+    /// A governor splitting `budget_bits_per_frame` across all live
+    /// sessions, with default fairness and admission knobs.
+    pub fn new(budget_bits_per_frame: f64) -> Self {
+        GovernorConfig {
+            budget_bits_per_frame,
+            assumed_bpp: 0.5,
+            fair_share: true,
+            min_position: 0,
+            reject_overload: 8.0,
+            max_backlog: 0,
+        }
+    }
+}
+
+struct GovSession {
+    client: String,
+    /// Demand in bits per frame interval.
+    want: f64,
+}
+
+struct GovState {
+    next_id: u64,
+    sessions: BTreeMap<u64, GovSession>,
+}
+
+/// The live governor: the session registry plus the allocation
+/// arithmetic. One per server, shared by every connection thread.
+pub(crate) struct Governor {
+    cfg: GovernorConfig,
+    budget: f64,
+    max_backlog: usize,
+    state: Mutex<GovState>,
+}
+
+impl Governor {
+    pub(crate) fn new(cfg: GovernorConfig, default_backlog: usize) -> Self {
+        let budget = cfg.budget_bits_per_frame.max(1.0);
+        let max_backlog = if cfg.max_backlog == 0 {
+            default_backlog.max(1)
+        } else {
+            cfg.max_backlog
+        };
+        Governor {
+            cfg,
+            budget,
+            max_backlog,
+            state: Mutex::new(GovState {
+                next_id: 0,
+                sessions: BTreeMap::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &GovernorConfig {
+        &self.cfg
+    }
+
+    /// Compute-side admission gate, applied to every governed
+    /// connection including decode streams: refuse new work while the
+    /// scheduler is drowning in queued jobs.
+    pub(crate) fn check_backlog(&self, backlog: usize) -> Result<(), String> {
+        if backlog > self.max_backlog {
+            Err(format!(
+                "server over compute budget ({backlog} jobs queued, cap {})",
+                self.max_backlog
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Bandwidth-side admission: registers a session wanting `want`
+    /// bits per frame for `client`, or explains the rejection. On
+    /// success the returned ratio is the session's starting grant —
+    /// below 1 means the session is admitted *degraded*.
+    pub(crate) fn admit(
+        &self,
+        client: &str,
+        want: f64,
+        backlog: usize,
+    ) -> Result<(u64, f64), String> {
+        self.check_backlog(backlog)?;
+        let want = want.max(1.0);
+        let mut state = self.state.lock().expect("governor lock");
+        let projected: f64 = state.sessions.values().map(|s| s.want).sum::<f64>() + want;
+        if projected > self.budget * self.cfg.reject_overload {
+            return Err(format!(
+                "server over bandwidth budget ({:.0} bits/frame demanded, budget {:.0} x{:.1})",
+                projected, self.budget, self.cfg.reject_overload
+            ));
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.sessions.insert(
+            id,
+            GovSession {
+                client: client.to_string(),
+                want,
+            },
+        );
+        let ratio = self.ratio_locked(&state, id);
+        Ok((id, ratio))
+    }
+
+    /// Unregisters a session; the freed share flows back to the
+    /// survivors at their next frame boundary.
+    pub(crate) fn release(&self, id: u64) {
+        let mut state = self.state.lock().expect("governor lock");
+        state.sessions.remove(&id);
+    }
+
+    /// The session's current grant ratio in `(0, 1]` — a pure function
+    /// of the live session set, so every evaluation between the same
+    /// admissions and releases returns the same value.
+    pub(crate) fn ratio(&self, id: u64) -> f64 {
+        let state = self.state.lock().expect("governor lock");
+        self.ratio_locked(&state, id)
+    }
+
+    fn ratio_locked(&self, state: &GovState, id: u64) -> f64 {
+        let Some(session) = state.sessions.get(&id) else {
+            return 1.0;
+        };
+        let client_sessions = |client: &str| {
+            state
+                .sessions
+                .values()
+                .filter(|s| s.client == client)
+                .count() as f64
+        };
+        let weight_of = |s: &GovSession| {
+            if self.cfg.fair_share {
+                s.want / client_sessions(&s.client)
+            } else {
+                s.want
+            }
+        };
+        // BTreeMap iteration keeps the summation order — and therefore
+        // the f64 rounding — identical across evaluations.
+        let total_weight: f64 = state.sessions.values().map(weight_of).sum();
+        if total_weight <= 0.0 {
+            return 1.0;
+        }
+        let allocated = self.budget * weight_of(session) / total_weight;
+        (allocated / session.want).clamp(f64::MIN_POSITIVE, 1.0)
+    }
+}
+
+/// Ladder position granted to a fixed-rate session whose share covers
+/// `ratio` of its demand: walk `R::steps_for_ratio(ratio)` rungs down
+/// from the request, stopping at the configured floor (or at the
+/// request itself if it already sits below the floor).
+pub(crate) fn granted_position<R: RateParam>(requested: &R, ratio: f64, floor: u32) -> u32 {
+    let req = requested.position();
+    req.saturating_sub(R::steps_for_ratio(ratio))
+        .max(floor.min(req))
+}
+
+/// What a governed session asked for at the handshake — the full-rate
+/// mode every grant is computed relative to.
+pub(crate) enum GovWant<R: RateParam> {
+    Fixed(R),
+    TargetBpp { bpp: f64, window: usize },
+}
+
+/// A session's registration with the governor, owned by its runner:
+/// re-derives the granted rate mode at every frame boundary, counts
+/// degrade/restore transitions, and releases the registration when the
+/// stream ends (or on drop, whichever comes first).
+pub(crate) struct Governed<'env, R: RateParam> {
+    gov: &'env Governor,
+    counters: &'env Counters,
+    id: u64,
+    want: GovWant<R>,
+    /// Grant currently applied to the session: a ladder position for
+    /// fixed-rate wants, a bpp target (scaled by the ratio) otherwise.
+    applied_position: u32,
+    applied_bpp: f64,
+    degraded: bool,
+    released: bool,
+}
+
+impl<'env, R: RateParam> Governed<'env, R> {
+    /// Wraps a fresh admission. The session object itself still holds
+    /// the full requested mode; the first [`Governed::refresh`] (before
+    /// frame one is coded) applies the admission grant, so a degraded
+    /// admission takes effect from the very first frame — exactly what
+    /// the ack promised.
+    pub(crate) fn new(
+        gov: &'env Governor,
+        counters: &'env Counters,
+        id: u64,
+        want: GovWant<R>,
+    ) -> Self {
+        let (applied_position, applied_bpp) = match &want {
+            GovWant::Fixed(rate) => (rate.position(), 0.0),
+            GovWant::TargetBpp { bpp, .. } => (0, *bpp),
+        };
+        Governed {
+            gov,
+            counters,
+            id,
+            want,
+            applied_position,
+            applied_bpp,
+            degraded: false,
+            released: false,
+        }
+    }
+
+    /// Re-derives the grant from the governor's current session set.
+    /// Returns the rate mode to retarget the session with when the
+    /// grant moved, `None` when it is already applied. Called once per
+    /// frame, in stream order, before the frame is coded.
+    pub(crate) fn refresh(&mut self) -> Option<RateMode<R>> {
+        let ratio = self.gov.ratio(self.id);
+        let floor = self.gov.config().min_position;
+        match &self.want {
+            GovWant::Fixed(requested) => {
+                let requested = *requested;
+                let position = granted_position(&requested, ratio, floor);
+                if position == self.applied_position {
+                    return None;
+                }
+                if position < self.applied_position {
+                    self.counters
+                        .bump_throttle(u64::from(self.applied_position - position));
+                }
+                self.applied_position = position;
+                self.transition(position >= requested.position());
+                Some(RateMode::Fixed(R::from_position(position)))
+            }
+            GovWant::TargetBpp { bpp, window } => {
+                let (bpp, window) = (*bpp, *window);
+                let granted = bpp * ratio;
+                if granted == self.applied_bpp {
+                    return None;
+                }
+                if granted < self.applied_bpp {
+                    self.counters.bump_throttle(1);
+                }
+                self.applied_bpp = granted;
+                self.transition(ratio >= 1.0);
+                Some(RateMode::TargetBpp {
+                    bpp: granted,
+                    window,
+                })
+            }
+        }
+    }
+
+    fn transition(&mut self, full: bool) {
+        if full && self.degraded {
+            self.degraded = false;
+            self.counters.bump_restored();
+        } else if !full && !self.degraded {
+            self.degraded = true;
+            self.counters.bump_degraded();
+        }
+    }
+
+    /// Releases the registration now — called when the stream ends,
+    /// *before* the stats trailer is written, so a client that has seen
+    /// its trailer knows its share is already back in the pool.
+    pub(crate) fn end(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.gov.release(self.id);
+        }
+    }
+}
+
+impl<R: RateParam> Drop for Governed<'_, R> {
+    fn drop(&mut self) {
+        self.end();
+    }
+}
+
+/// A just-admitted session not yet owned by a runner: releases the
+/// registration on drop so every early exit between admission and
+/// runner construction (publish-name clash, ack write failure, …)
+/// returns the share to the pool.
+pub(crate) struct GovAdmit<'env> {
+    gov: &'env Governor,
+    id: u64,
+    ratio: f64,
+    claimed: bool,
+}
+
+impl<'env> GovAdmit<'env> {
+    pub(crate) fn new(gov: &'env Governor, id: u64, ratio: f64) -> Self {
+        GovAdmit {
+            gov,
+            id,
+            ratio,
+            claimed: false,
+        }
+    }
+
+    pub(crate) fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Hands the registration to a runner's [`Governed`] wrapper.
+    pub(crate) fn claim(mut self) -> u64 {
+        self.claimed = true;
+        self.id
+    }
+}
+
+impl Drop for GovAdmit<'_> {
+    fn drop(&mut self) {
+        if !self.claimed {
+            self.gov.release(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvc_model::RatePoint;
+
+    fn governor(budget: f64) -> Governor {
+        Governor::new(GovernorConfig::new(budget), 64)
+    }
+
+    #[test]
+    fn solo_session_gets_full_grant() {
+        let gov = governor(1000.0);
+        let (id, ratio) = gov.admit("alice", 4000.0, 0).unwrap();
+        // Oversubscribed even alone: grant is budget/want.
+        assert!((ratio - 0.25).abs() < 1e-12);
+        gov.release(id);
+        let (_, ratio) = gov.admit("alice", 800.0, 0).unwrap();
+        // Under budget: grant caps at 1, surplus is not redistributed.
+        assert_eq!(ratio, 1.0);
+    }
+
+    #[test]
+    fn equal_sessions_split_the_budget_evenly() {
+        let gov = governor(1000.0);
+        let (a, _) = gov.admit("alice", 1000.0, 0).unwrap();
+        let (b, _) = gov.admit("bob", 1000.0, 0).unwrap();
+        assert!((gov.ratio(a) - 0.5).abs() < 1e-12);
+        assert!((gov.ratio(b) - 0.5).abs() < 1e-12);
+        // Releasing one restores the other to a full grant.
+        gov.release(b);
+        assert_eq!(gov.ratio(a), 1.0);
+    }
+
+    #[test]
+    fn fairness_stops_a_greedy_client_from_starving_the_rest() {
+        // Ten full-budget sessions would trip the overload rejection
+        // before fairness ever mattered; lift the ceiling so the test
+        // isolates the weighting.
+        let mut cfg = GovernorConfig::new(1000.0);
+        cfg.reject_overload = f64::INFINITY;
+        let gov = Governor::new(cfg, 64);
+        let (solo, _) = gov.admit("alice", 1000.0, 0).unwrap();
+        let greedy: Vec<u64> = (0..9)
+            .map(|_| gov.admit("mallory", 1000.0, 0).unwrap().0)
+            .collect();
+        // With fairness the two *clients* split the budget: alice keeps
+        // half, mallory's nine sessions share the other half.
+        assert!((gov.ratio(solo) - 0.5).abs() < 1e-12);
+        for &id in &greedy {
+            assert!((gov.ratio(id) - 0.5 / 9.0).abs() < 1e-12);
+        }
+
+        let mut unfair_cfg = GovernorConfig::new(1000.0);
+        unfair_cfg.fair_share = false;
+        unfair_cfg.reject_overload = f64::INFINITY;
+        let unfair = Governor::new(unfair_cfg, 64);
+        let (solo, _) = unfair.admit("alice", 1000.0, 0).unwrap();
+        for _ in 0..9 {
+            unfair.admit("mallory", 1000.0, 0).unwrap();
+        }
+        // Without fairness alice is starved down to a tenth.
+        assert!((unfair.ratio(solo) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grants_are_a_pure_function_of_the_session_set() {
+        let build = || {
+            let gov = governor(5000.0);
+            let ids: Vec<u64> = [
+                ("alice", 3000.0),
+                ("bob", 2000.0),
+                ("alice", 1000.0),
+                ("carol", 4000.0),
+            ]
+            .iter()
+            .map(|(c, w)| gov.admit(c, *w, 0).unwrap().0)
+            .collect();
+            gov.release(ids[1]);
+            ids.iter().map(|&id| gov.ratio(id)).collect::<Vec<f64>>()
+        };
+        // Bit-for-bit equal, not merely close: the same admissions and
+        // releases must reproduce the same f64s (invariant 3).
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn admission_rejects_on_overload_and_backlog() {
+        let mut cfg = GovernorConfig::new(1000.0);
+        cfg.reject_overload = 2.0;
+        cfg.max_backlog = 8;
+        let gov = Governor::new(cfg, 64);
+        gov.admit("a", 1500.0, 0).unwrap();
+        // 1500 + 1000 > 2 × 1000: over the overload ceiling.
+        let err = gov.admit("b", 1000.0, 0).unwrap_err();
+        assert!(err.contains("bandwidth budget"), "{err}");
+        // Within the ceiling it still admits (degraded).
+        let (_, ratio) = gov.admit("b", 400.0, 0).unwrap();
+        assert!(ratio < 1.0);
+        // Backlog past the cap refuses even tiny sessions.
+        let err = gov.admit("c", 1.0, 9).unwrap_err();
+        assert!(err.contains("compute budget"), "{err}");
+        assert!(gov.check_backlog(8).is_ok());
+    }
+
+    #[test]
+    fn ladder_walk_degrades_and_floors() {
+        let requested = RatePoint::try_new(3).unwrap();
+        // Full grant: no walk.
+        assert_eq!(granted_position(&requested, 1.0, 0), 3);
+        // step_ratio 1.25: a 0.7 grant costs ceil(ln(1/0.7)/ln(1.25)) =
+        // 2 rungs; 0.4 costs 5 but the 4-rung ladder bottoms out at 0.
+        assert_eq!(granted_position(&requested, 0.7, 0), 1);
+        assert_eq!(granted_position(&requested, 0.4, 0), 0);
+        // The floor holds the walk up…
+        assert_eq!(granted_position(&requested, 0.4, 2), 2);
+        // …unless the request already sits below it.
+        let low = RatePoint::try_new(1).unwrap();
+        assert_eq!(granted_position(&low, 1.0, 3), 1);
+    }
+
+    #[test]
+    fn steps_for_ratio_matches_the_step_ratio_prior() {
+        // QP ladder: one step per 2^(1/6) bits multiplier.
+        assert_eq!(<u8 as RateParam>::steps_for_ratio(1.0), 0);
+        assert_eq!(<u8 as RateParam>::steps_for_ratio(0.5), 6);
+        assert_eq!(<u8 as RateParam>::steps_for_ratio(0.25), 12);
+        // Degenerate ratios collapse to the ladder bottom, not a panic.
+        assert_eq!(
+            <u8 as RateParam>::steps_for_ratio(0.0),
+            <u8 as RateParam>::ladder_len() - 1
+        );
+        assert_eq!(
+            <u8 as RateParam>::steps_for_ratio(-1.0),
+            <u8 as RateParam>::ladder_len() - 1
+        );
+        assert_eq!(<u8 as RateParam>::steps_for_ratio(2.0), 0);
+    }
+}

@@ -55,6 +55,22 @@
 //! while the publisher keeps going is evicted with a clean error rather
 //! than ever slowing the broadcast down.
 //!
+//! # Governor & admission
+//!
+//! A server configured with [`ServeConfig::governor`] splits one
+//! aggregate bit budget ([`GovernorConfig`]) across every live
+//! encode/publish session, weighted by demand with per-client fairness
+//! (protocol version 4's client-identity handshake field,
+//! [`Hello::with_client`]). Admission becomes a three-step response:
+//! admit at full rate, admit *degraded* — started a few rungs down the
+//! rate ladder, flagged in the handshake ack — or reject with a clean
+//! `'X'` once projected demand or scheduler backlog pass the configured
+//! ceilings. Under load every session walks down its ladder before any
+//! session is dropped, and walks back up as load drains; grants are a
+//! pure function of the live session set, so governed streams replay
+//! byte-identically. [`ServeReport`]'s `degraded` / `throttle_steps` /
+//! `restored` counters expose the curve's work.
+//!
 //! # Example
 //!
 //! ```
@@ -88,12 +104,14 @@
 
 mod broadcast;
 mod client;
+mod governor;
 pub mod proto;
 mod server;
 mod subscribe;
 
 pub use client::{StreamClient, StreamSummary};
-pub use proto::{Direction, Family, Hello, JoinInfo, Retarget, Role, TargetBppWire};
+pub use governor::GovernorConfig;
+pub use proto::{Ack, Direction, Family, Hello, JoinInfo, Retarget, Role, TargetBppWire};
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
 pub use subscribe::{SubscribeClient, SubscribeEvent, SubscribeSummary};
 

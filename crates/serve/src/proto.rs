@@ -45,6 +45,12 @@
 //! Subscribers that stop draining are *evicted*: the server drops their
 //! ring and sends `'X'` instead of ever stalling the publisher.
 //!
+//! Protocol version 4 adds the *governed* handshake: the `Hello` may
+//! carry a client identity (the governor's per-client fairness key) and
+//! the ack grows a flags byte ([`Ack`]) so the server can admit a
+//! session *degraded* — granted a lower starting rung than requested —
+//! instead of rejecting it outright when the aggregate budget is tight.
+//!
 //! The module is public so alternative transports (or tests) can speak
 //! the protocol directly; [`StreamClient`](crate::StreamClient),
 //! [`SubscribeClient`](crate::SubscribeClient) and
@@ -64,15 +70,19 @@ pub const MAGIC: [u8; 4] = *b"NVCS";
 /// and the extended stats trailer (per-frame frame types and rate
 /// indices). Version 3 added the broadcast roles ([`Role::Publish`] /
 /// [`Role::Subscribe`]), the handshake's GOP-length and broadcast-name
-/// fields, and the `'J'` join-info message.
-pub const VERSION: u8 = 3;
+/// fields, and the `'J'` join-info message. Version 4 added the
+/// handshake's optional client-identity field (the governor's fairness
+/// key) and the ack's flags byte (degraded admission, see
+/// [`ACK_DEGRADED`]).
+pub const VERSION: u8 = 4;
 
 /// Oldest protocol version still accepted: version-1 (fixed-rate only)
-/// and version-2 (point-to-point only) clients keep working against a
-/// version-3 server, and get the trailer layout they expect.
+/// through version-3 (two-byte-ack) clients keep working against a
+/// version-4 server, and get the ack and trailer layouts they expect.
 pub const MIN_VERSION: u8 = 1;
 
-/// Cap on a broadcast name as carried in a version-3 handshake.
+/// Cap on a broadcast name as carried in a version-3 handshake, and on
+/// a client identity as carried in a version-4 handshake.
 pub const MAX_NAME_BYTES: usize = 128;
 
 /// Hard cap on frame dimensions accepted from the wire, keeping a
@@ -87,6 +97,12 @@ pub const MAX_STATS_FRAMES: usize = 1 << 20;
 
 /// Message tag: handshake acknowledgement (server → client).
 pub const MSG_ACK: u8 = b'A';
+/// Ack flags bit (protocol version ≥ 4): the session was admitted
+/// *degraded* — the server's governor granted less than the requested
+/// rate, and the ack's rate byte carries the granted starting rung
+/// instead of echoing the request. The stream still runs; the rate is
+/// restored in-band as load drains.
+pub const ACK_DEGRADED: u8 = 0x01;
 /// Message tag: one serialized coded packet.
 pub const MSG_PACKET: u8 = b'P';
 /// Message tag: one raw frame.
@@ -254,6 +270,12 @@ pub struct Hello {
     /// Broadcast name — required (non-empty, ≤ [`MAX_NAME_BYTES`]) for
     /// the broadcast roles, forbidden otherwise.
     pub broadcast: Option<String>,
+    /// Client identity (protocol version ≥ 4, optional): the governor's
+    /// per-client fairness key, so one client opening many sessions
+    /// shares one budget slice instead of multiplying its share. `None`
+    /// (or empty on the wire) makes the server fall back to the peer
+    /// address. Must be `None` below version 4.
+    pub client: Option<String>,
 }
 
 impl Hello {
@@ -268,6 +290,7 @@ impl Hello {
             target: None,
             gop: 0,
             broadcast: None,
+            client: None,
         }
     }
 
@@ -337,6 +360,14 @@ impl Hello {
         self
     }
 
+    /// Sets the client identity carried in a version-4 handshake — the
+    /// governor's per-client fairness key. Sessions sharing an identity
+    /// share one slice of the budget.
+    pub fn with_client(mut self, client: &str) -> Self {
+        self.client = Some(client.to_string());
+        self
+    }
+
     /// Serializes the handshake in its `version`'s layout.
     ///
     /// # Errors
@@ -363,6 +394,17 @@ impl Hello {
             && (self.role.is_broadcast() || self.gop != 0 || self.broadcast.is_some())
         {
             return Err(invalid("broadcast fields need protocol version 3".into()));
+        }
+        if self.version < 4 && self.client.is_some() {
+            return Err(invalid("client identity needs protocol version 4".into()));
+        }
+        if let Some(client) = &self.client {
+            if client.is_empty() || client.len() > MAX_NAME_BYTES {
+                return Err(invalid(format!(
+                    "client identity must be 1..={MAX_NAME_BYTES} bytes, got {}",
+                    client.len()
+                )));
+            }
         }
         match &self.broadcast {
             Some(name)
@@ -412,12 +454,17 @@ impl Hello {
             w.write_all(&[name.len() as u8])?;
             w.write_all(name.as_bytes())?;
         }
+        if self.version >= 4 {
+            let client = self.client.as_deref().unwrap_or("");
+            w.write_all(&[client.len() as u8])?;
+            w.write_all(client.as_bytes())?;
+        }
         Ok(())
     }
 
     /// Reads and structurally validates a handshake (magic, supported
     /// version, known tags, plausible geometry, broadcast-name rules) —
-    /// the version-1 through version-3 layouts. Semantic validation —
+    /// the version-1 through version-4 layouts. Semantic validation —
     /// rate range, target plausibility, codec-specific geometry
     /// constraints, whether the named broadcast exists — happens
     /// server-side after this.
@@ -500,6 +547,22 @@ impl Hello {
                 "{role:?} handshake cannot carry a broadcast name"
             )));
         }
+        let client = if version >= 4 {
+            let len = read_u8(r)? as usize;
+            if len > MAX_NAME_BYTES {
+                return Err(ServeError::Protocol(format!(
+                    "client identity claims {len} bytes (cap {MAX_NAME_BYTES})"
+                )));
+            }
+            let mut bytes = vec![0u8; len];
+            r.read_exact(&mut bytes)
+                .map_err(|e| ServeError::Protocol(format!("truncated client identity: {e}")))?;
+            let name = String::from_utf8(bytes)
+                .map_err(|_| ServeError::Protocol("client identity is not UTF-8".into()))?;
+            (!name.is_empty()).then_some(name)
+        } else {
+            None
+        };
         Ok(Hello {
             version,
             family,
@@ -510,8 +573,62 @@ impl Hello {
             target,
             gop,
             broadcast,
+            client,
         })
     }
+}
+
+/// The handshake acknowledgement (the `'A'` message, server → client).
+///
+/// Through protocol version 3 the ack is two bytes — the tag plus a
+/// rate byte echoing the request. Version 4 appends a flags byte and
+/// gives the rate byte teeth: under a governor the server may admit a
+/// session *degraded* ([`ACK_DEGRADED`] set), in which case the rate
+/// byte carries the granted starting rung rather than the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// Rate parameter the stream starts at. Equal to the handshake's
+    /// `rate` unless the session was admitted degraded (fixed-rate
+    /// streams only; closed-loop streams keep their bpp target and the
+    /// echo).
+    pub rate: u8,
+    /// Whether the session was admitted below its requested rate
+    /// (always `false` on pre-version-4 connections, which cannot carry
+    /// the flag).
+    pub degraded: bool,
+}
+
+/// Writes one handshake acknowledgement (`'A'` tag + body) in the given
+/// protocol version's layout: two bytes through version 3, three bytes
+/// (with the flags byte) from version 4.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_ack_msg(w: &mut impl Write, version: u8, ack: &Ack) -> std::io::Result<()> {
+    if version >= 4 {
+        w.write_all(&[MSG_ACK, ack.rate, u8::from(ack.degraded) * ACK_DEGRADED])
+    } else {
+        w.write_all(&[MSG_ACK, ack.rate])
+    }
+}
+
+/// Reads a handshake-acknowledgement body (after its `'A'` tag) in the
+/// given protocol version's layout. Unknown flag bits are ignored so a
+/// newer server can extend the byte.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on truncation.
+pub fn read_ack_body(r: &mut impl Read, version: u8) -> Result<Ack, ServeError> {
+    let rate = read_u8(r).map_err(|e| ServeError::Protocol(format!("truncated ack: {e}")))?;
+    let degraded = if version >= 4 {
+        let flags = read_u8(r).map_err(|e| ServeError::Protocol(format!("truncated ack: {e}")))?;
+        flags & ACK_DEGRADED != 0
+    } else {
+        false
+    };
+    Ok(Ack { rate, degraded })
 }
 
 /// A mid-stream rate retarget (the `'R'` message): replaces the encode
@@ -1052,6 +1169,88 @@ mod tests {
         let mut wire = buf.clone();
         wire[6] = 2; // Publish
         assert!(Hello::read_from(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn version3_hello_still_parses() {
+        // The exact layout version-3 clients send: version-2's 19 bytes
+        // plus [gop: u16][name_len: u8][name] and no client field.
+        let mut v3 = Hello::ctvc_publish(1, 32, 32, "game").with_gop(8);
+        v3.version = 3;
+        let mut buf = Vec::new();
+        v3.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 19 + 2 + 1 + 4, "version-3 layout");
+        assert_eq!(Hello::read_from(&mut &buf[..]).unwrap(), v3);
+        // A version-3 handshake cannot carry a client identity.
+        let bad = v3.with_client("alice");
+        assert!(bad.write_to(&mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn version4_client_identity_roundtrips() {
+        let h = Hello::hybrid_encode(30, 64, 48).with_client("alice");
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(Hello::read_from(&mut &buf[..]).unwrap(), h);
+        // Anonymous version-4 handshakes write a zero-length identity
+        // and read back as `None`.
+        let anon = Hello::hybrid_encode(30, 64, 48);
+        let mut buf = Vec::new();
+        anon.write_to(&mut buf).unwrap();
+        assert_eq!(*buf.last().unwrap(), 0);
+        assert_eq!(Hello::read_from(&mut &buf[..]).unwrap().client, None);
+        // Empty and oversized identities are rejected on the write side.
+        let mut empty = anon.clone();
+        empty.client = Some(String::new());
+        assert!(empty.write_to(&mut Vec::new()).is_err());
+        let long = "c".repeat(MAX_NAME_BYTES + 1);
+        assert!(Hello::hybrid_encode(30, 64, 48)
+            .with_client(&long)
+            .write_to(&mut Vec::new())
+            .is_err());
+        // Truncation inside the identity fails cleanly.
+        let mut buf = Vec::new();
+        Hello::hybrid_encode(30, 64, 48)
+            .with_client("alice")
+            .write_to(&mut buf)
+            .unwrap();
+        for cut in 0..buf.len() {
+            assert!(Hello::read_from(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn ack_layout_is_version_gated() {
+        // Pre-version-4 acks stay two bytes and can never say degraded.
+        let ack = Ack {
+            rate: 2,
+            degraded: true,
+        };
+        let mut v3 = Vec::new();
+        write_ack_msg(&mut v3, 3, &ack).unwrap();
+        assert_eq!(v3, [MSG_ACK, 2]);
+        let back = read_ack_body(&mut &v3[1..], 3).unwrap();
+        assert_eq!((back.rate, back.degraded), (2, false));
+        // Version-4 acks carry the flags byte.
+        let mut v4 = Vec::new();
+        write_ack_msg(&mut v4, VERSION, &ack).unwrap();
+        assert_eq!(v4, [MSG_ACK, 2, ACK_DEGRADED]);
+        assert_eq!(read_ack_body(&mut &v4[1..], VERSION).unwrap(), ack);
+        let mut plain = Vec::new();
+        write_ack_msg(
+            &mut plain,
+            VERSION,
+            &Ack {
+                rate: 30,
+                degraded: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, [MSG_ACK, 30, 0]);
+        // Unknown flag bits are ignored, truncation is not.
+        let future = [7u8, 0xFE];
+        assert!(!read_ack_body(&mut &future[..], VERSION).unwrap().degraded);
+        assert!(read_ack_body(&mut &v4[1..2], VERSION).is_err());
     }
 
     #[test]

@@ -26,10 +26,11 @@
 //!   under [`ServeConfig::exec_cap`] regardless of the connection count.
 
 use crate::broadcast::{BroadcastInfo, BroadcastRegistry, CachedPacket, PublisherGuard};
+use crate::governor::{granted_position, GovAdmit, GovWant, Governed, Governor, GovernorConfig};
 use crate::proto::{
-    read_frame_body, read_retarget_body, read_u8, write_error_msg, write_frame_msg, write_join_msg,
-    write_packet_msg, write_stats_msg, Family, Hello, JoinInfo, Retarget, Role, TargetBppWire,
-    MSG_ACK, MSG_END, MSG_FRAME, MSG_PACKET, MSG_RETARGET,
+    read_frame_body, read_retarget_body, read_u8, write_ack_msg, write_error_msg, write_frame_msg,
+    write_join_msg, write_packet_msg, write_stats_msg, Ack, Family, Hello, JoinInfo, Retarget,
+    Role, TargetBppWire, MSG_END, MSG_FRAME, MSG_PACKET, MSG_RETARGET,
 };
 use crate::subscribe::serve_subscriber;
 use nvc_baseline::{HybridCodec, Profile};
@@ -45,7 +46,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Poll interval for stop-flag checks in blocking reads and accepts.
 const POLL: Duration = Duration::from_millis(25);
@@ -103,6 +104,18 @@ pub struct ServeConfig {
     /// hardware parallelism). A soft cap on the CPU side of fan-out;
     /// socket waits never hold a permit. See [`ExecPool`].
     pub fanout_cap: usize,
+    /// Time a fresh connection gets to deliver its `Hello`: a peer that
+    /// completes TCP accept but stays silent is closed with `'X'` (and
+    /// counted under [`ServeReport::rejected`]) instead of pinning a
+    /// reader thread forever.
+    pub handshake_timeout: Duration,
+    /// Cross-session rate governor. `None` (the default) serves every
+    /// session at its requested rate with `max_sessions` as the only
+    /// admission gate — the exact pre-governor behavior. `Some` splits
+    /// the configured budget across all live encode/publish sessions
+    /// and turns admission into the three-step
+    /// admit / admit-degraded / reject response. See [`GovernorConfig`].
+    pub governor: Option<GovernorConfig>,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +133,8 @@ impl Default for ServeConfig {
             subscriber_ring: 64,
             max_subscribers: 4096,
             fanout_cap: 0,
+            handshake_timeout: Duration::from_secs(10),
+            governor: None,
         }
     }
 }
@@ -139,10 +154,21 @@ pub struct ServeReport {
     pub subscribers: usize,
     /// Subscribers evicted for lagging behind their broadcast.
     pub evicted: u64,
+    /// Governor degradations: how many times a session went from its
+    /// full requested rate to a reduced grant (degraded admissions
+    /// count on the session's first frame).
+    pub degraded: u64,
+    /// Total downward rate-grant updates the governor applied — ladder
+    /// rungs for fixed-rate sessions, one per shrink for closed-loop
+    /// targets. A measure of how hard the degradation curve worked.
+    pub throttle_steps: u64,
+    /// Governor restorations: sessions walked back up to their full
+    /// requested rate as load drained.
+    pub restored: u64,
 }
 
 #[derive(Default)]
-struct Counters {
+pub(crate) struct Counters {
     sessions: AtomicUsize,
     rejected: AtomicUsize,
     active: AtomicUsize,
@@ -151,6 +177,9 @@ struct Counters {
     subscribers: AtomicUsize,
     active_subscribers: AtomicUsize,
     evicted: AtomicU64,
+    degraded: AtomicU64,
+    throttle_steps: AtomicU64,
+    restored: AtomicU64,
 }
 
 impl Counters {
@@ -162,7 +191,22 @@ impl Counters {
             errors: self.errors.load(Ordering::Relaxed),
             subscribers: self.subscribers.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            throttle_steps: self.throttle_steps.load(Ordering::Relaxed),
+            restored: self.restored.load(Ordering::Relaxed),
         }
+    }
+
+    pub(crate) fn bump_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_restored(&self) {
+        self.restored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_throttle(&self, steps: u64) {
+        self.throttle_steps.fetch_add(steps, Ordering::Relaxed);
     }
 }
 
@@ -289,6 +333,9 @@ struct Scheduler<'env> {
     work: Condvar,
     queue_depth: usize,
     gop_batch: usize,
+    /// Jobs sitting in slot queues, not yet taken by a worker — the
+    /// governor's queue-length signal for compute-aware admission.
+    backlog: AtomicUsize,
 }
 
 impl<'env> Scheduler<'env> {
@@ -298,7 +345,12 @@ impl<'env> Scheduler<'env> {
             work: Condvar::new(),
             queue_depth: queue_depth.max(1),
             gop_batch: gop_batch.max(1),
+            backlog: AtomicUsize::new(0),
         }
+    }
+
+    fn backlog(&self) -> usize {
+        self.backlog.load(Ordering::Relaxed)
     }
 
     /// Queues one job for a session, blocking while the queue is full
@@ -318,6 +370,7 @@ impl<'env> Scheduler<'env> {
             return false;
         }
         state.pending.push_back(job);
+        self.backlog.fetch_add(1, Ordering::Relaxed);
         let newly_ready = !state.scheduled;
         state.scheduled = true;
         drop(state);
@@ -363,6 +416,7 @@ impl<'env> Scheduler<'env> {
                 None => break,
             }
         }
+        self.backlog.fetch_sub(batch.len(), Ordering::Relaxed);
         batch
     }
 }
@@ -413,6 +467,9 @@ fn worker_loop<'env>(
         let mut state = slot.state.lock().expect("slot lock");
         if finished {
             state.dead = true;
+            sched
+                .backlog
+                .fetch_sub(state.pending.len(), Ordering::Relaxed);
             state.pending.clear();
             state.scheduled = false;
             drop(state);
@@ -578,47 +635,63 @@ impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
     }
 }
 
-struct EncodeRunner<S> {
+struct EncodeRunner<'env, S: EncoderSession> {
     sess: Option<S>,
     out: BufWriter<TcpStream>,
     /// Negotiated protocol version — fixes the stats-trailer layout.
     version: u8,
+    /// Governor registration on a governed server: re-derives the
+    /// granted rate mode before every frame, in stream order.
+    gov: Option<Governed<'env, S::Rate>>,
 }
 
-impl<S: EncoderSession> EncodeRunner<S> {
-    fn new(sess: S, version: u8, out: BufWriter<TcpStream>) -> Self {
+impl<'env, S: EncoderSession> EncodeRunner<'env, S> {
+    fn new(
+        sess: S,
+        version: u8,
+        out: BufWriter<TcpStream>,
+        gov: Option<Governed<'env, S::Rate>>,
+    ) -> Self {
         EncodeRunner {
             sess: Some(sess),
             out,
             version,
+            gov,
         }
     }
 }
 
-impl<S: EncoderSession> SessionRunner for EncodeRunner<S> {
+impl<S: EncoderSession> SessionRunner for EncodeRunner<'_, S> {
     fn step(&mut self, job: Job) -> StepOutcome {
         let Some(sess) = self.sess.as_mut() else {
             hangup(&mut self.out, Some("stream already finished"));
             return StepOutcome::Failed;
         };
         match job {
-            Job::Frame(frame) => match sess.push_frame(&frame) {
-                Ok(packet) => {
-                    let ok = write_packet_msg(&mut self.out, &packet)
-                        .and_then(|()| self.out.flush())
-                        .is_ok();
-                    if ok {
-                        StepOutcome::Continue
-                    } else {
-                        hangup(&mut self.out, None);
+            Job::Frame(frame) => {
+                if let Some(gov) = self.gov.as_mut() {
+                    if let Some(mode) = gov.refresh() {
+                        sess.set_rate_mode(mode);
+                    }
+                }
+                match sess.push_frame(&frame) {
+                    Ok(packet) => {
+                        let ok = write_packet_msg(&mut self.out, &packet)
+                            .and_then(|()| self.out.flush())
+                            .is_ok();
+                        if ok {
+                            StepOutcome::Continue
+                        } else {
+                            hangup(&mut self.out, None);
+                            StepOutcome::Failed
+                        }
+                    }
+                    Err(e) => {
+                        hangup(&mut self.out, Some(&format!("encode: {e}")));
                         StepOutcome::Failed
                     }
                 }
-                Err(e) => {
-                    hangup(&mut self.out, Some(&format!("encode: {e}")));
-                    StepOutcome::Failed
-                }
-            },
+            }
             Job::Packet(_) => {
                 hangup(&mut self.out, Some("coded packet on an encode stream"));
                 StepOutcome::Failed
@@ -640,7 +713,15 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<S> {
                 }
             }
             Job::End => {
-                match self.sess.take().expect("session present").finish() {
+                let finished = self.sess.take().expect("session present").finish();
+                // Release the governor share *before* the trailer goes
+                // out: a client that has read its trailer may rely on
+                // the share being back in the pool (determinism tests
+                // sequence admissions against observed stream ends).
+                if let Some(gov) = self.gov.as_mut() {
+                    gov.end();
+                }
+                match finished {
                     Ok(stats) => {
                         let _ = write_stats_msg(&mut self.out, &stats, self.version);
                     }
@@ -652,6 +733,9 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<S> {
                 StepOutcome::Finished
             }
             Job::Abort(message) => {
+                if let Some(gov) = self.gov.as_mut() {
+                    gov.end();
+                }
                 hangup(&mut self.out, Some(&message));
                 StepOutcome::Failed
             }
@@ -665,7 +749,7 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<S> {
 /// (every intra carries a full stream header) and forces an intra
 /// refresh every `gop` frames, so a late joiner's backlog always begins
 /// with a self-describing packet at most one GOP in the past.
-struct PublishRunner<'env, S> {
+struct PublishRunner<'env, S: EncoderSession> {
     sess: Option<S>,
     out: BufWriter<TcpStream>,
     /// Negotiated protocol version — fixes the stats-trailer layout.
@@ -676,6 +760,9 @@ struct PublishRunner<'env, S> {
     gop: u32,
     since_intra: u32,
     counters: &'env Counters,
+    /// Governor registration on a governed server: re-derives the
+    /// granted rate mode before every frame, in stream order.
+    gov: Option<Governed<'env, S::Rate>>,
 }
 
 impl<'env, S: EncoderSession> PublishRunner<'env, S> {
@@ -686,6 +773,7 @@ impl<'env, S: EncoderSession> PublishRunner<'env, S> {
         guard: PublisherGuard,
         gop: u32,
         counters: &'env Counters,
+        gov: Option<Governed<'env, S::Rate>>,
     ) -> Self {
         PublishRunner {
             sess: Some(sess),
@@ -695,6 +783,7 @@ impl<'env, S: EncoderSession> PublishRunner<'env, S> {
             gop: gop.max(1),
             since_intra: 0,
             counters,
+            gov,
         }
     }
 }
@@ -707,6 +796,11 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
         };
         match job {
             Job::Frame(frame) => {
+                if let Some(gov) = self.gov.as_mut() {
+                    if let Some(mode) = gov.refresh() {
+                        sess.set_rate_mode(mode);
+                    }
+                }
                 if self.since_intra >= self.gop {
                     sess.restart_gop();
                 }
@@ -774,7 +868,11 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
                 }
             }
             Job::End => {
-                match self.sess.take().expect("session present").finish() {
+                let finished = self.sess.take().expect("session present").finish();
+                if let Some(gov) = self.gov.as_mut() {
+                    gov.end();
+                }
+                match finished {
                     Ok(stats) => {
                         let _ = write_stats_msg(&mut self.out, &stats, self.version);
                     }
@@ -787,6 +885,9 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
                 StepOutcome::Finished
             }
             Job::Abort(message) => {
+                if let Some(gov) = self.gov.as_mut() {
+                    gov.end();
+                }
                 self.guard.fail(&message);
                 hangup(&mut self.out, Some(&message));
                 StepOutcome::Failed
@@ -806,6 +907,11 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
 struct StopRead<'a> {
     inner: TcpStream,
     stop: &'a AtomicBool,
+    /// While set, the retry loop gives up at this instant instead of
+    /// spinning forever — bounds the handshake, so a connection that
+    /// never sends its `Hello` cannot pin a reader thread. Cleared once
+    /// the handshake lands; mid-stream liveness stays TCP's problem.
+    deadline: Option<Instant>,
 }
 
 impl Read for StopRead<'_> {
@@ -822,7 +928,16 @@ impl Read for StopRead<'_> {
                         ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
                     ) =>
                 {
-                    continue
+                    if self
+                        .deadline
+                        .is_some_and(|deadline| Instant::now() >= deadline)
+                    {
+                        return Err(io::Error::new(
+                            ErrorKind::TimedOut,
+                            "handshake deadline exceeded",
+                        ));
+                    }
+                    continue;
                 }
                 Err(e) => return Err(e),
             }
@@ -849,6 +964,44 @@ fn wire_rate_mode<R: RateParam>(
         }),
         None => Ok(RateMode::Fixed(R::from_wire(rate)?)),
     }
+}
+
+/// The rate byte a degraded admission acks: the rung the governor's
+/// grant puts a fixed-rate session at for its first frame (closed-loop
+/// sessions keep their bpp target, so their ack echoes the request).
+/// Reuses the exact walk the runner takes, so the ack and frame one
+/// can never disagree.
+fn degraded_ack_rate(hello: &Hello, ratio: f64, floor: u32) -> u8 {
+    if hello.target.is_some() {
+        return hello.rate;
+    }
+    match hello.family {
+        Family::Ctvc => RatePoint::from_wire(hello.rate)
+            .map(|r| RatePoint::from_position(granted_position(&r, ratio, floor)).to_wire())
+            .unwrap_or(hello.rate),
+        Family::Hybrid => <u8 as RateParam>::from_wire(hello.rate)
+            .map(|r| <u8 as RateParam>::from_position(granted_position(&r, ratio, floor)).to_wire())
+            .unwrap_or(hello.rate),
+    }
+}
+
+/// Turns a fresh admission into the runner-owned [`Governed`] wrapper,
+/// recording what the session asked for so every later grant is derived
+/// from the same request.
+fn claim_governed<'env, R: RateParam>(
+    gov: &'env Governor,
+    counters: &'env Counters,
+    admit: GovAdmit<'env>,
+    hello: &Hello,
+) -> Governed<'env, R> {
+    let want = match hello.target {
+        Some(t) => GovWant::TargetBpp {
+            bpp: t.bpp(),
+            window: usize::from(t.window),
+        },
+        None => GovWant::Fixed(R::from_wire(hello.rate).expect("validated above")),
+    };
+    Governed::new(gov, counters, admit.claim(), want)
 }
 
 /// Validates the semantic half of a handshake against the served codecs.
@@ -886,6 +1039,7 @@ fn connection<'env>(
     cfg: &ServeConfig,
     registry: &BroadcastRegistry,
     fanout: &ExecPool,
+    governor: Option<&'env Governor>,
     stop: &AtomicBool,
     counters: &'env Counters,
 ) {
@@ -900,6 +1054,7 @@ fn connection<'env>(
     let mut reader = BufReader::new(StopRead {
         inner: stream,
         stop,
+        deadline: Some(Instant::now() + cfg.handshake_timeout),
     });
 
     // Handshake: structural validation, semantic validation, admission.
@@ -911,6 +1066,9 @@ fn connection<'env>(
             return;
         }
     };
+    // The deadline only bounds the handshake; from here the connection
+    // is a live stream and quiet periods between frames are legitimate.
+    reader.get_mut().deadline = None;
     if let Err(reason) = validate_hello(&hello) {
         hangup(&mut out, Some(&format!("handshake: {reason}")));
         counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -934,6 +1092,40 @@ fn connection<'env>(
         hangup(&mut out, Some("server at session capacity"));
         counters.rejected.fetch_add(1, Ordering::Relaxed);
         return;
+    }
+    // Governed admission: backlog-aware for every session, budget-aware
+    // for the bandwidth-bearing roles. The three-step response — admit,
+    // admit-degraded (the ack says so), reject with a clean 'X' — all
+    // resolves here, before the ack.
+    let mut gov_admit: Option<GovAdmit<'env>> = None;
+    if let Some(gov) = governor {
+        let backlog = sched.backlog();
+        let admitted = if matches!(hello.role, Role::Encode | Role::Publish) {
+            let pixels = (hello.width * hello.height) as f64;
+            let want = match hello.target {
+                Some(t) => t.bpp() * pixels,
+                None => gov.config().assumed_bpp * pixels,
+            };
+            let client = hello.client.clone().unwrap_or_else(|| {
+                out.get_ref()
+                    .peer_addr()
+                    .map(|peer| peer.ip().to_string())
+                    .unwrap_or_else(|_| "unknown-peer".into())
+            });
+            gov.admit(&client, want, backlog)
+                .map(|(id, ratio)| Some(GovAdmit::new(gov, id, ratio)))
+        } else {
+            gov.check_backlog(backlog).map(|()| None)
+        };
+        match admitted {
+            Ok(admit) => gov_admit = admit,
+            Err(reason) => {
+                hangup(&mut out, Some(&format!("admission: {reason}")));
+                counters.active.fetch_sub(1, Ordering::Relaxed);
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
     }
     // Publish streams claim their broadcast name *before* the ack, so a
     // duplicate name is a handshake rejection, not a mid-stream abort.
@@ -961,8 +1153,21 @@ fn connection<'env>(
             }
         }
     }
-    if out
-        .write_all(&[MSG_ACK, hello.rate])
+    let ack = match &gov_admit {
+        Some(admit) if admit.ratio() < 1.0 => Ack {
+            rate: degraded_ack_rate(
+                &hello,
+                admit.ratio(),
+                governor.map_or(0, |g| g.config().min_position),
+            ),
+            degraded: true,
+        },
+        _ => Ack {
+            rate: hello.rate,
+            degraded: false,
+        },
+    };
+    if write_ack_msg(&mut out, hello.version, &ack)
         .and_then(|()| out.flush())
         .is_err()
     {
@@ -984,7 +1189,20 @@ fn connection<'env>(
         (Family::Ctvc, Role::Encode) => {
             let mode =
                 wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
-            Box::new(EncodeRunner::new(ctvc.start_encode(mode), version, out))
+            let governed = gov_admit.map(|admit| {
+                claim_governed::<RatePoint>(
+                    governor.expect("admission implies a governor"),
+                    counters,
+                    admit,
+                    &hello,
+                )
+            });
+            Box::new(EncodeRunner::new(
+                ctvc.start_encode(mode),
+                version,
+                out,
+                governed,
+            ))
         }
         (Family::Hybrid, Role::Decode) => Box::new(DecodeRunner::new(
             hybrid.start_decode(),
@@ -994,7 +1212,20 @@ fn connection<'env>(
         )),
         (Family::Hybrid, Role::Encode) => {
             let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
-            Box::new(EncodeRunner::new(hybrid.start_encode(mode), version, out))
+            let governed = gov_admit.map(|admit| {
+                claim_governed::<u8>(
+                    governor.expect("admission implies a governor"),
+                    counters,
+                    admit,
+                    &hello,
+                )
+            });
+            Box::new(EncodeRunner::new(
+                hybrid.start_encode(mode),
+                version,
+                out,
+                governed,
+            ))
         }
         (Family::Ctvc, Role::Publish) => {
             let mode =
@@ -1003,6 +1234,14 @@ fn connection<'env>(
             let joinable = sess.set_join_headers(true);
             debug_assert!(joinable, "served CTVC codec lacks joinable-stream mode");
             let guard = publish_guard.take().expect("claimed above");
+            let governed = gov_admit.map(|admit| {
+                claim_governed::<RatePoint>(
+                    governor.expect("admission implies a governor"),
+                    counters,
+                    admit,
+                    &hello,
+                )
+            });
             Box::new(PublishRunner::new(
                 sess,
                 version,
@@ -1010,6 +1249,7 @@ fn connection<'env>(
                 guard,
                 u32::from(relay_gop),
                 counters,
+                governed,
             ))
         }
         (Family::Hybrid, Role::Publish) => {
@@ -1018,6 +1258,14 @@ fn connection<'env>(
             let joinable = sess.set_join_headers(true);
             debug_assert!(joinable, "served hybrid codec lacks joinable-stream mode");
             let guard = publish_guard.take().expect("claimed above");
+            let governed = gov_admit.map(|admit| {
+                claim_governed::<u8>(
+                    governor.expect("admission implies a governor"),
+                    counters,
+                    admit,
+                    &hello,
+                )
+            });
             Box::new(PublishRunner::new(
                 sess,
                 version,
@@ -1025,6 +1273,7 @@ fn connection<'env>(
                 guard,
                 u32::from(relay_gop),
                 counters,
+                governed,
             ))
         }
         (_, Role::Subscribe) => unreachable!("subscribers return above"),
@@ -1157,8 +1406,11 @@ fn subscriber_connection(
         rate: attachment.rate,
         gop: info.gop,
     };
-    if out
-        .write_all(&[MSG_ACK, attachment.rate])
+    let ack = Ack {
+        rate: attachment.rate,
+        degraded: false,
+    };
+    if write_ack_msg(&mut out, hello.version, &ack)
         .and_then(|()| write_join_msg(&mut out, &join))
         .and_then(|()| out.flush())
         .is_err()
@@ -1198,6 +1450,14 @@ fn run(
     // (and vice versa).
     let fanout = ExecPool::new(cfg.fanout_cap);
     let registry = BroadcastRegistry::new();
+    // Default compute-admission ceiling: the deepest backlog the slot
+    // queues can legitimately hold at once. Declared before the
+    // scheduler so connection threads holding governor registrations
+    // outlive nothing that still references them.
+    let governor = cfg
+        .governor
+        .clone()
+        .map(|gov_cfg| Governor::new(gov_cfg, cfg.queue_depth.max(1) * cfg.max_sessions.max(1)));
     let sched = Scheduler::new(cfg.queue_depth, cfg.gop_batch);
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
@@ -1208,9 +1468,11 @@ fn run(
                 Ok((stream, _)) => {
                     let (ctvc, hybrid, sched) = (&ctvc, &hybrid, &sched);
                     let (cfg, registry, fanout) = (&cfg, &registry, &fanout);
+                    let governor = governor.as_ref();
                     scope.spawn(move || {
                         connection(
-                            stream, ctvc, hybrid, sched, cfg, registry, fanout, stop, counters,
+                            stream, ctvc, hybrid, sched, cfg, registry, fanout, governor, stop,
+                            counters,
                         )
                     });
                 }

@@ -3,8 +3,8 @@
 
 use crate::broadcast::{Attachment, CachedPacket, RingPop};
 use crate::proto::{
-    read_error_body, read_join_body, read_stats_body, read_u8, write_stats_msg, JoinInfo, Role,
-    MSG_ACK, MSG_ERROR, MSG_JOIN, MSG_PACKET, MSG_STATS,
+    read_ack_body, read_error_body, read_join_body, read_stats_body, read_u8, write_stats_msg,
+    JoinInfo, Role, MSG_ACK, MSG_ERROR, MSG_JOIN, MSG_PACKET, MSG_STATS,
 };
 use crate::server::hangup;
 use crate::ServeError;
@@ -182,8 +182,9 @@ impl std::fmt::Debug for SubscribeClient {
 }
 
 impl SubscribeClient {
-    /// Connects and performs the subscribe handshake; `hello` must come
-    /// from [`Hello::subscribe`](crate::Hello::subscribe). A rejection
+    /// Connects and performs the subscribe handshake with the default
+    /// ten-second join timeout; `hello` must come from
+    /// [`Hello::subscribe`](crate::Hello::subscribe). A rejection
     /// (unknown name, geometry mismatch, capacity) surfaces as
     /// [`ServeError::Remote`].
     ///
@@ -191,6 +192,25 @@ impl SubscribeClient {
     ///
     /// Returns [`ServeError`] on connection, handshake or rejection.
     pub fn connect(addr: impl ToSocketAddrs, hello: crate::Hello) -> Result<Self, ServeError> {
+        Self::connect_with(addr, hello, Some(Duration::from_secs(10)))
+    }
+
+    /// [`connect`](SubscribeClient::connect) with an explicit join
+    /// timeout: the ack and join-info reads of the handshake abort with
+    /// a timeout error instead of hanging forever when the server
+    /// accepts the socket but never answers. The socket reverts to
+    /// blocking reads once the join completes — a quiet broadcast is
+    /// normal, a quiet handshake is not. `None` disables the timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on connection, handshake, timeout or
+    /// rejection.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        hello: crate::Hello,
+        join_timeout: Option<Duration>,
+    ) -> Result<Self, ServeError> {
         if hello.role != Role::Subscribe {
             return Err(ServeError::Protocol(
                 "SubscribeClient needs a subscribe handshake".into(),
@@ -198,13 +218,14 @@ impl SubscribeClient {
         }
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(join_timeout)?;
         let mut writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream);
         hello.write_to(&mut writer)?;
         writer.flush()?;
         match read_u8(&mut reader)? {
             MSG_ACK => {
-                let _rate = read_u8(&mut reader)?;
+                let _ack = read_ack_body(&mut reader, hello.version)?;
             }
             MSG_ERROR => return Err(ServeError::Remote(read_error_body(&mut reader)?)),
             tag => {
@@ -222,6 +243,9 @@ impl SubscribeClient {
                 )))
             }
         };
+        // Joined: back to blocking reads. Waiting a long time for the
+        // next packet of a quiet broadcast is expected behavior.
+        reader.get_ref().set_read_timeout(None)?;
         Ok(SubscribeClient {
             reader,
             version: hello.version,

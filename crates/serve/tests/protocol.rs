@@ -8,7 +8,9 @@
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_serve::proto::{self, Hello};
-use nvc_serve::{Retarget, ServeConfig, ServeError, Server, ServerHandle, StreamClient};
+use nvc_serve::{
+    GovernorConfig, Retarget, ServeConfig, ServeError, Server, ServerHandle, StreamClient,
+};
 use nvc_video::codec::{encode_sequence, encode_sequence_with};
 use nvc_video::rate::RateMode;
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
@@ -203,8 +205,8 @@ fn corrupted_packet_crc_yields_clean_error_and_close() {
     buf.extend_from_slice(&packet);
     raw.write_all(&buf).unwrap();
 
-    let mut head = [0u8; 2];
-    raw.read_exact(&mut head).unwrap(); // ack + echoed rate
+    let mut head = [0u8; 3];
+    raw.read_exact(&mut head).unwrap(); // ack + echoed rate + flags
     assert_eq!(head[0], proto::MSG_ACK);
     let mut tag = [0u8; 1];
     raw.read_exact(&mut tag).unwrap();
@@ -262,7 +264,7 @@ fn wrong_message_kind_for_direction_is_rejected() {
     buf.push(proto::MSG_PACKET);
     buf.extend_from_slice(&coded.packets[0].to_bytes());
     raw.write_all(&buf).unwrap();
-    let mut head = [0u8; 2];
+    let mut head = [0u8; 3];
     raw.read_exact(&mut head).unwrap();
     assert_eq!(head[0], proto::MSG_ACK);
     let mut tag = [0u8; 1];
@@ -471,7 +473,7 @@ fn retarget_is_rejected_on_decode_streams_and_bogus_rates() {
     Hello::ctvc_decode(1, W, H).write_to(&mut buf).unwrap();
     proto::write_retarget_msg(&mut buf, &Retarget::fixed(2)).unwrap();
     raw.write_all(&buf).unwrap();
-    let mut head = [0u8; 2];
+    let mut head = [0u8; 3];
     raw.read_exact(&mut head).unwrap();
     assert_eq!(head[0], proto::MSG_ACK);
     let mut tag = [0u8; 1];
@@ -492,6 +494,182 @@ fn retarget_is_rejected_on_decode_streams_and_bogus_rates() {
     let summary = enc.finish().unwrap();
     assert!(summary.stats.rate_per_frame.iter().all(|&q| q == 60));
     server.shutdown();
+}
+
+#[test]
+fn handshake_deadline_rejects_a_silent_client() {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            handshake_timeout: Duration::from_millis(200),
+            ..test_config()
+        },
+    )
+    .expect("bind loopback");
+
+    // Connect and say nothing: the server must not hold the slot
+    // hostage forever — it answers with a clean 'X' and closes.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    let mut tag = [0u8; 1];
+    raw.read_exact(&mut tag).unwrap();
+    assert_eq!(tag[0], proto::MSG_ERROR, "silence must be answered by 'X'");
+    let msg = proto::read_error_body(&mut raw).unwrap();
+    assert!(msg.contains("deadline"), "{msg}");
+    assert_eq!(raw.read(&mut tag).unwrap(), 0, "connection must be closed");
+
+    // A prompt client on the same server is unaffected.
+    let source = seq(2);
+    let mut client = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap();
+    for frame in source.frames() {
+        client.send_frame(frame).unwrap();
+    }
+    client.finish().unwrap();
+
+    let report = server.shutdown();
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.sessions, 1);
+}
+
+#[test]
+fn session_capacity_overflow_is_rejected_cleanly() {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_sessions: 1,
+            ..test_config()
+        },
+    )
+    .expect("bind loopback");
+
+    let first = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap();
+    let err = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("capacity")),
+        "{err}"
+    );
+    // The surviving session still works; the slot frees on finish.
+    let source = seq(1);
+    let mut first = first;
+    first.send_frame(&source.frames()[0]).unwrap();
+    first.finish().unwrap();
+    let mut third = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap();
+    third.send_frame(&source.frames()[0]).unwrap();
+    third.finish().unwrap();
+
+    let report = server.shutdown();
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.sessions, 2);
+}
+
+#[test]
+fn governor_rejects_a_session_the_budget_cannot_carry() {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            governor: Some(GovernorConfig::new(1000.0)),
+            ..test_config()
+        },
+    )
+    .expect("bind loopback");
+
+    // 48x32 at 6.0 bpp projects 9216 bits/frame against a 1000-bit
+    // budget with the default 8x overload ceiling: reject, don't admit
+    // a stream the reservoir can never serve.
+    let err = connect(&server, Hello::ctvc_encode(1, W, H).with_target_bpp(6.0, 4)).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("budget")),
+        "{err}"
+    );
+
+    // A modest session on the same server is admitted at full rate.
+    let client = connect(&server, Hello::ctvc_encode(1, W, H)).unwrap();
+    assert!(!client.admitted_degraded());
+    assert_eq!(client.granted_rate(), 1);
+    drop(client);
+
+    let report = server.shutdown();
+    assert_eq!(report.rejected, 1);
+}
+
+/// The whole degradation curve over real sockets, twice: a second
+/// session pushes the pool past its budget, so it is admitted
+/// *degraded* (the ack says so and names the granted rung) and the
+/// first session is walked down the ladder in-band; the second
+/// session's exit restores the first to full rate. Lockstep `drain`
+/// barriers pin which frames see which session set, so the governed
+/// stream is a pure function of the scenario — replaying it must
+/// reproduce every packet byte-for-byte (invariant 3).
+#[test]
+fn governed_streams_degrade_restore_and_replay_byte_identically() {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            // assumed_bpp 0.5 x 48x32 = 768 bits/frame per fixed-rate
+            // session: one fits the 1000-bit budget, two do not
+            // (ratio 1000/1536 ~ 0.65, four QP rungs down).
+            governor: Some(GovernorConfig::new(1000.0)),
+            ..test_config()
+        },
+    )
+    .expect("bind loopback");
+    let source = seq(6);
+
+    let run = || {
+        let mut alice = connect(&server, Hello::hybrid_encode(32, W, H).with_client("alice"))
+            .expect("admit alice");
+        assert!(!alice.admitted_degraded(), "solo session must be full-rate");
+        assert_eq!(alice.granted_rate(), 32);
+        alice.send_frame(&source.frames()[0]).unwrap();
+        alice.send_frame(&source.frames()[1]).unwrap();
+        alice.drain().unwrap(); // frames 0-1 coded while alice is alone
+
+        let mut bob = connect(&server, Hello::hybrid_encode(32, W, H).with_client("bob"))
+            .expect("admit bob degraded");
+        assert!(bob.admitted_degraded(), "second session must be degraded");
+        assert_eq!(
+            bob.granted_rate(),
+            36,
+            "the ack must name the granted rung: QP 32 walked 4 steps down"
+        );
+        alice.send_frame(&source.frames()[2]).unwrap();
+        alice.send_frame(&source.frames()[3]).unwrap();
+        alice.drain().unwrap(); // frames 2-3 coded with bob registered
+        bob.send_frame(&source.frames()[0]).unwrap();
+        bob.send_frame(&source.frames()[1]).unwrap();
+        let bob_summary = bob.finish().unwrap(); // bob's share returns to the pool
+
+        alice.send_frame(&source.frames()[4]).unwrap();
+        alice.send_frame(&source.frames()[5]).unwrap();
+        let alice_summary = alice.finish().unwrap();
+        (alice_summary, bob_summary)
+    };
+
+    let (alice_a, bob_a) = run();
+    assert_eq!(
+        alice_a.stats.rate_per_frame,
+        vec![32, 32, 36, 36, 32, 32],
+        "degrade when bob joins, restore when he leaves"
+    );
+    assert_eq!(bob_a.stats.rate_per_frame, vec![36, 36]);
+
+    // Identical scenario, identical bytes.
+    let (alice_b, bob_b) = run();
+    for (x, y) in alice_a.packets.iter().zip(&alice_b.packets) {
+        assert_eq!(x.to_bytes(), y.to_bytes(), "governed replay diverged");
+    }
+    for (x, y) in bob_a.packets.iter().zip(&bob_b.packets) {
+        assert_eq!(x.to_bytes(), y.to_bytes(), "governed replay diverged");
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.sessions, 4);
+    // Per run: alice degrades + restores, bob runs degraded start to
+    // end; four downward rungs each.
+    assert_eq!(report.degraded, 4);
+    assert_eq!(report.restored, 2);
+    assert_eq!(report.throttle_steps, 16);
 }
 
 #[test]

@@ -62,6 +62,31 @@ pub trait RateParam: Copy + PartialEq + fmt::Debug + Send + 'static {
     /// the prior a controller extrapolates with before it has observed
     /// a position.
     fn step_ratio() -> f64;
+
+    /// Ladder steps *down* needed to scale produced bits by `ratio`
+    /// (≤ 1), extrapolating with [`RateParam::step_ratio`] — the walk a
+    /// budget governor takes when a session's fair share shrinks to
+    /// `ratio` of its demand. A ratio ≥ 1 needs no steps; a
+    /// non-positive ratio collapses to the bottom of the ladder.
+    fn steps_for_ratio(ratio: f64) -> u32 {
+        if ratio >= 1.0 {
+            return 0;
+        }
+        let bottom = Self::ladder_len().saturating_sub(1);
+        if ratio <= 0.0 {
+            return bottom;
+        }
+        let per_step = Self::step_ratio().max(1.0 + f64::EPSILON).ln();
+        // The 1e-9 slack keeps ratios landing exactly on a rung (0.5 on
+        // a 6-steps-per-octave ladder, say) from paying an extra step
+        // to floating-point noise in the logarithms.
+        let steps = (-ratio.ln() / per_step - 1e-9).ceil();
+        if steps >= f64::from(bottom) {
+            bottom
+        } else {
+            steps as u32
+        }
+    }
 }
 
 /// QP ladder of the classical hybrid codec: a *higher* QP means a
