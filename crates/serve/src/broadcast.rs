@@ -23,6 +23,7 @@
 //!
 //! [`publish`]: Broadcast::publish
 
+use crate::poll::PollWaker;
 use crate::proto::Family;
 use nvc_entropy::container::FrameKind;
 use std::collections::{HashMap, VecDeque};
@@ -88,12 +89,16 @@ struct RingState {
 }
 
 /// A bounded SPSC ring between the publisher's fan-out and one
-/// subscriber's writer thread.
+/// subscriber connection on the poller.
 #[derive(Debug)]
 pub(crate) struct SubscriberRing {
     cap: usize,
     state: Mutex<RingState>,
     avail: Condvar,
+    /// Wakes the poller thread that drains this ring, set when the
+    /// subscriber connection is registered. The condvar stays for
+    /// in-process consumers (tests) that block on `pop`.
+    notify: Mutex<Option<PollWaker>>,
 }
 
 impl SubscriberRing {
@@ -102,6 +107,19 @@ impl SubscriberRing {
             cap: cap.max(1),
             state: Mutex::new(RingState::default()),
             avail: Condvar::new(),
+            notify: Mutex::new(None),
+        }
+    }
+
+    /// Hooks the ring to a poller connection: every state change
+    /// (packet, overflow, close, fail) additionally wakes the poller.
+    pub(crate) fn set_notify(&self, waker: PollWaker) {
+        *self.notify.lock().expect("ring notify lock") = Some(waker);
+    }
+
+    fn wake_poller(&self) {
+        if let Some(waker) = self.notify.lock().expect("ring notify lock").as_ref() {
+            waker.wake();
         }
     }
 
@@ -117,11 +135,13 @@ impl SubscriberRing {
             state.evicted = Some(lag_reason());
             drop(state);
             self.avail.notify_all();
+            self.wake_poller();
             return RingPush::Overflow;
         }
         state.queue.push_back(packet);
         drop(state);
         self.avail.notify_all();
+        self.wake_poller();
         RingPush::Delivered
     }
 
@@ -167,6 +187,7 @@ impl SubscriberRing {
     fn close(&self) {
         self.state.lock().expect("ring lock").closed = true;
         self.avail.notify_all();
+        self.wake_poller();
     }
 
     fn fail(&self, reason: &str) {
@@ -176,6 +197,7 @@ impl SubscriberRing {
         }
         drop(state);
         self.avail.notify_all();
+        self.wake_poller();
     }
 }
 

@@ -226,18 +226,24 @@ impl StreamClient {
     /// and the real reason is queued on the read side — prefer reporting
     /// that over a bare broken-pipe error.
     fn surface_send_error(&mut self, original: ServeError) -> ServeError {
+        let prior = self.reader.get_ref().read_timeout().ok().flatten();
         let _ = self
             .reader
             .get_ref()
             .set_read_timeout(Some(Duration::from_secs(2)));
+        let mut verdict = original;
         for _ in 0..64 {
             match self.recv() {
                 Ok(_) => continue, // drain in-flight responses
-                Err(remote @ ServeError::Remote(_)) => return remote,
+                Err(remote @ ServeError::Remote(_)) => {
+                    verdict = remote;
+                    break;
+                }
                 Err(_) => break,
             }
         }
-        original
+        let _ = self.reader.get_ref().set_read_timeout(prior);
+        verdict
     }
 
     fn on_sent(&mut self) -> Result<(), ServeError> {

@@ -23,16 +23,23 @@
 //!    counts, frame types and the rate each frame was coded at), then
 //!    the connection closes.
 //!
-//! Server side, a [`Server`] runs an acceptor plus a session pool:
-//! every connection owns one live encoder/decoder session (the carried
-//! reference state stays resident between packets, VCT-style), a
-//! per-connection reader thread parses and CRC-validates messages into a
-//! bounded queue (backpressure), and a fixed set of workers schedules
-//! sessions onto the compute in GOP-grain batches — packet *N + 1* of
-//! stream A is parsed and validated while packet *N* of stream B runs
-//! reconstruction. Total compute fan-out is capped by a shared
-//! [`nvc_core::ExecPool`]. Client side, a blocking [`StreamClient`]
-//! pipelines up to a window of messages per stream.
+//! Server side, a [`Server`] runs an *event-driven core*: one poller
+//! thread owns the listener and every socket, all nonblocking, and
+//! multiplexes them through a readiness loop built from `std` primitives
+//! alone (a token-carrying wake channel plus a coarse timer wheel — no
+//! `epoll` binding, no external crates). Handshakes and mid-stream
+//! messages are parsed by resumable decoders that accept bytes in
+//! arbitrary chunks; parsed jobs land in a bounded per-session queue (a
+//! full queue parks the connection's decoder, backpressuring the client
+//! through TCP), and a fixed set of workers schedules sessions onto the
+//! compute in GOP-grain batches — packet *N + 1* of stream A is parsed
+//! and validated while packet *N* of stream B runs reconstruction.
+//! Every connection owns one live encoder/decoder session (the carried
+//! reference state stays resident between packets, VCT-style); total
+//! compute fan-out is capped by a shared [`nvc_core::ExecPool`], and the
+//! server's thread count is `1 + workers`, independent of how many
+//! thousands of connections are live. Client side, a blocking
+//! [`StreamClient`] pipelines up to a window of messages per stream.
 //!
 //! Malformed input — a bogus handshake, a truncated or CRC-corrupted
 //! packet, geometry that does not match the stream — yields a clean
@@ -104,7 +111,9 @@
 
 mod broadcast;
 mod client;
+mod conn;
 mod governor;
+mod poll;
 pub mod proto;
 mod server;
 mod subscribe;

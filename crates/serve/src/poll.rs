@@ -1,0 +1,293 @@
+//! A dependency-free readiness loop's moving parts: the cross-thread
+//! wake channel and a coarse timer wheel.
+//!
+//! The serving core runs every socket nonblocking on one poller thread
+//! (see `server.rs`). `std` offers no `epoll`-style readiness API, so
+//! the loop is built from the two primitives this module provides:
+//!
+//! * [`PollShared`] / [`PollWaker`] — a token-carrying wake channel.
+//!   Workers, subscriber rings and the acceptor push a connection token
+//!   and `unpark` the poller; an [`AtomicBool`] dedupes the unparks so
+//!   a 10 000-subscriber fan-out costs one `unpark` per batch, not one
+//!   per ring. `park_timeout`'s sticky permit makes the handoff
+//!   lost-wakeup-free: a wake landing between drain and park just makes
+//!   the next park return immediately.
+//! * [`TimerWheel`] — a hashed wheel (256 slots × 10 ms ticks) holding
+//!   the handshake deadline, write-stall, write-retry and post-error
+//!   drain timers.
+//!   Entries are never cancelled; each carries the connection's
+//!   generation counter and a stale fire (generation mismatch) is
+//!   ignored, which keeps arming O(1) with no per-timer bookkeeping.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+/// Timer granularity. Every deadline the wheel carries (handshake
+/// timeout, write stall, drain bound) is hundreds of milliseconds or
+/// more, so 10 ms of slack is invisible.
+const TIMER_TICK_MS: u64 = 10;
+
+/// Wheel size. Deadlines further than `WHEEL_SLOTS` ticks out simply
+/// stay in their slot across multiple revolutions (each entry stores
+/// its absolute tick).
+const WHEEL_SLOTS: usize = 256;
+
+/// State shared between the poller thread and everyone who needs to
+/// wake it: compute workers (outbox flushes, freed queue space) and
+/// broadcast rings (new packets for a subscriber).
+#[derive(Debug, Default)]
+pub(crate) struct PollShared {
+    /// Tokens with pending work, drained once per poller pass.
+    wakes: Mutex<Vec<u64>>,
+    /// Set once a wake has been delivered and not yet drained; dedupes
+    /// the `unpark` calls of a wake flood down to one.
+    notified: AtomicBool,
+    /// The poller thread, registered when its loop starts.
+    thread: Mutex<Option<Thread>>,
+}
+
+impl PollShared {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Called by the poller at loop start so wakers know whom to unpark.
+    pub(crate) fn register_thread(&self) {
+        *self.thread.lock().expect("poll thread lock") = Some(std::thread::current());
+    }
+
+    /// Queues a token for service and unparks the poller (deduped).
+    pub(crate) fn wake(&self, token: u64) {
+        self.wakes.lock().expect("poll wake lock").push(token);
+        if !self.notified.swap(true, Ordering::AcqRel) {
+            self.unpark();
+        }
+    }
+
+    /// Unconditional unpark — shutdown path, where losing the deduped
+    /// edge to a concurrent waker must not leave the poller parked.
+    pub(crate) fn kick(&self) {
+        self.notified.store(true, Ordering::Release);
+        self.unpark();
+    }
+
+    fn unpark(&self) {
+        if let Some(t) = self.thread.lock().expect("poll thread lock").as_ref() {
+            t.unpark();
+        }
+    }
+
+    /// Drains pending wake tokens into `wakes`. Clearing `notified`
+    /// *before* taking the queue keeps the handoff lost-wakeup-free:
+    /// a token pushed after the clear re-arms the unpark permit.
+    pub(crate) fn drain(&self, wakes: &mut Vec<u64>) {
+        self.notified.store(false, Ordering::Release);
+        wakes.append(&mut self.wakes.lock().expect("poll wake lock"));
+    }
+}
+
+/// A handle that wakes the poller on behalf of one connection.
+#[derive(Debug, Clone)]
+pub(crate) struct PollWaker {
+    shared: Arc<PollShared>,
+    token: u64,
+}
+
+impl PollWaker {
+    pub(crate) fn new(shared: Arc<PollShared>, token: u64) -> Self {
+        PollWaker { shared, token }
+    }
+
+    pub(crate) fn wake(&self) {
+        self.shared.wake(self.token);
+    }
+}
+
+/// What a timer was armed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerKind {
+    /// The handshake deadline: a connection that has not completed its
+    /// `Hello` by now is rejected.
+    Handshake,
+    /// A blocked write has not progressed; if still stalled when this
+    /// fires, the connection is dropped (the old per-thread
+    /// `SO_SNDTIMEO` write timeout, rebuilt on the wheel).
+    WriteStall,
+    /// Re-probe a blocked socket. Without a readiness API the only way
+    /// to learn the peer resumed reading is another write attempt;
+    /// these fire on a per-connection exponential backoff so ten
+    /// thousand stalled subscribers cost a bounded trickle of `EAGAIN`
+    /// probes instead of a sweep of every blocked socket per pass.
+    WriteRetry,
+    /// Bound on the post-error drain: how long a hung-up connection
+    /// waits for the peer to read the `'X'` before hard-closing.
+    Drain,
+}
+
+#[derive(Debug)]
+struct TimerEntry {
+    token: u64,
+    /// Connection generation at arm time; a fire whose generation no
+    /// longer matches the connection's is stale and ignored.
+    gen: u32,
+    kind: TimerKind,
+    /// Absolute tick the entry fires at.
+    tick: u64,
+}
+
+/// A hashed timer wheel: arming is a push into `deadline % slots`,
+/// advancing scans only the slots the clock passed through.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    start: Instant,
+    slots: Vec<Vec<TimerEntry>>,
+    /// Last tick fully advanced past.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            start: Instant::now(),
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_at(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.start).as_millis() as u64) / TIMER_TICK_MS
+    }
+
+    /// Arms a timer for `token` at `deadline` (rounded up to the next
+    /// tick, so timers never fire early).
+    pub(crate) fn arm(&mut self, token: u64, gen: u32, kind: TimerKind, deadline: Instant) {
+        let tick = (self.tick_at(deadline) + 1).max(self.cursor + 1);
+        self.slots[(tick % WHEEL_SLOTS as u64) as usize].push(TimerEntry {
+            token,
+            gen,
+            kind,
+            tick,
+        });
+        self.len += 1;
+    }
+
+    /// Collects every entry whose tick the clock has passed into
+    /// `fired` as `(token, gen, kind)` triples.
+    pub(crate) fn advance(&mut self, now: Instant, fired: &mut Vec<(u64, u32, TimerKind)>) {
+        let now_tick = self.tick_at(now);
+        if self.len == 0 || now_tick <= self.cursor {
+            self.cursor = self.cursor.max(now_tick);
+            return;
+        }
+        // A long idle gap would walk the cursor over every elapsed tick;
+        // past one full revolution a single sweep of all slots sees the
+        // same entries.
+        if now_tick - self.cursor >= WHEEL_SLOTS as u64 {
+            for slot in &mut self.slots {
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].tick <= now_tick {
+                        let e = slot.swap_remove(i);
+                        self.len -= 1;
+                        fired.push((e.token, e.gen, e.kind));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            self.cursor = now_tick;
+            return;
+        }
+        while self.cursor < now_tick {
+            self.cursor += 1;
+            let cursor = self.cursor;
+            let slot = &mut self.slots[(cursor % WHEEL_SLOTS as u64) as usize];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].tick <= cursor {
+                    let e = slot.swap_remove(i);
+                    self.len -= 1;
+                    fired.push((e.token, e.gen, e.kind));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// The earliest pending deadline, as an `Instant` — how long the
+    /// poller may park. `None` when no timers are armed.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        let tick = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|e| e.tick)
+            .min()
+            .expect("len > 0");
+        Some(self.start + Duration::from_millis(tick * TIMER_TICK_MS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_fires_in_order_and_never_early() {
+        let mut wheel = TimerWheel::new();
+        let t0 = wheel.start;
+        wheel.arm(1, 0, TimerKind::Handshake, t0 + Duration::from_millis(50));
+        wheel.arm(2, 0, TimerKind::Drain, t0 + Duration::from_millis(500));
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(40), &mut fired);
+        assert!(fired.is_empty(), "nothing may fire before its deadline");
+        wheel.advance(t0 + Duration::from_millis(70), &mut fired);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0], (1, 0, TimerKind::Handshake));
+        let next = wheel.next_deadline().expect("drain timer pending");
+        assert!(next >= t0 + Duration::from_millis(500));
+        fired.clear();
+        // A gap longer than one wheel revolution still fires everything.
+        wheel.advance(t0 + Duration::from_secs(30), &mut fired);
+        assert_eq!(fired, vec![(2, 0, TimerKind::Drain)]);
+        assert!(wheel.next_deadline().is_none());
+    }
+
+    #[test]
+    fn far_deadlines_survive_wheel_wraparound() {
+        let mut wheel = TimerWheel::new();
+        let t0 = wheel.start;
+        // 10 s is ~1000 ticks: several revolutions of a 256-slot wheel.
+        wheel.arm(7, 3, TimerKind::WriteStall, t0 + Duration::from_secs(10));
+        let mut fired = Vec::new();
+        for ms in [500u64, 2_000, 9_000] {
+            wheel.advance(t0 + Duration::from_millis(ms), &mut fired);
+            assert!(fired.is_empty(), "not due yet at {ms}ms");
+        }
+        wheel.advance(t0 + Duration::from_millis(10_050), &mut fired);
+        assert_eq!(fired, vec![(7, 3, TimerKind::WriteStall)]);
+    }
+
+    #[test]
+    fn wake_tokens_dedupe_unparks_but_never_tokens() {
+        let shared = PollShared::new();
+        shared.register_thread();
+        shared.wake(1);
+        shared.wake(2);
+        shared.wake(1);
+        let mut wakes = Vec::new();
+        shared.drain(&mut wakes);
+        assert_eq!(wakes, vec![1, 2, 1], "every token is delivered");
+        wakes.clear();
+        shared.drain(&mut wakes);
+        assert!(wakes.is_empty());
+    }
+}

@@ -57,7 +57,7 @@
 //! [`Server`](crate::Server) are the intended entry points.
 
 use crate::ServeError;
-use nvc_entropy::container::{crc32, Packet};
+use nvc_entropy::container::{crc32, Packet, MAX_PAYLOAD_BYTES, PACKET_HEADER_BYTES};
 use nvc_tensor::{Shape, Tensor};
 use nvc_video::{Frame, FrameType, StreamStats};
 use std::io::{Read, Write};
@@ -1016,6 +1016,304 @@ pub fn read_error_body(r: &mut impl Read) -> Result<String, ServeError> {
     r.read_exact(&mut bytes)
         .map_err(|e| ServeError::Protocol(format!("truncated error message: {e}")))?;
     Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+// ---------------------------------------------------------------------------
+// Incremental decoders
+// ---------------------------------------------------------------------------
+//
+// The event-driven server reads whatever the socket has — a byte, half a
+// message, three messages — and feeds it here. Both decoders are exact
+// re-expressions of the blocking readers above: they buffer until one
+// whole parse can succeed, then run the *same* parsing code over the
+// buffer, so every outcome (values and error strings alike) is
+// byte-identical to what a blocking `read_exact` loop would produce.
+
+/// A reader that serves a byte slice, then an optional injected error,
+/// then EOF. Re-running a blocking parser over a connection's partial
+/// buffer through this reproduces the exact error a blocking reader
+/// would have surfaced when the connection died (or timed out) at that
+/// point in the stream.
+struct TailRead<'a> {
+    buf: &'a [u8],
+    err: Option<std::io::Error>,
+}
+
+impl Read for TailRead<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if !self.buf.is_empty() {
+            let n = self.buf.len().min(out.len());
+            out[..n].copy_from_slice(&self.buf[..n]);
+            self.buf = &self.buf[n..];
+            return Ok(n);
+        }
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(0),
+        }
+    }
+}
+
+/// The error `read_exact` reports at a clean EOF ("failed to fill whole
+/// buffer") — what a blocking reader sees when the peer closes between
+/// messages.
+fn eof_error() -> std::io::Error {
+    let mut byte = [0u8; 1];
+    (&[][..])
+        .read_exact(&mut byte)
+        .expect_err("empty reader cannot fill")
+}
+
+fn is_truncation(e: &ServeError) -> bool {
+    match e {
+        ServeError::Io(e) => e.kind() == std::io::ErrorKind::UnexpectedEof,
+        ServeError::Protocol(s) => s.contains("truncated"),
+        _ => false,
+    }
+}
+
+/// Resumable [`Hello`] decoder: accepts handshake bytes in arbitrary
+/// chunks and yields the parsed `Hello` once enough have arrived.
+///
+/// [`feed`](HelloDecoder::feed) speculatively re-parses the buffered
+/// prefix after every chunk; a truncation-shaped failure means "need
+/// more bytes", anything else is the same terminal error
+/// [`Hello::read_from`] would have produced. The handshake is at most a
+/// few hundred bytes, so the re-parse is free.
+#[derive(Debug, Default)]
+pub struct HelloDecoder {
+    buf: Vec<u8>,
+}
+
+impl HelloDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers `chunk` and returns the handshake if it is now complete.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Hello::read_from`], surfaced as soon as
+    /// the buffered prefix is provably invalid.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Option<Hello>, ServeError> {
+        self.buf.extend_from_slice(chunk);
+        let mut cursor = &self.buf[..];
+        match Hello::read_from(&mut cursor) {
+            Ok(hello) => {
+                let consumed = self.buf.len() - cursor.len();
+                self.buf.drain(..consumed);
+                Ok(Some(hello))
+            }
+            Err(e) if is_truncation(&e) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Takes any bytes buffered *beyond* the handshake — the client may
+    /// pipeline its first messages behind the `Hello`, and they belong
+    /// to the stream decoder.
+    pub fn take_rest(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// The error a blocking [`Hello::read_from`] would have reported had
+    /// the connection hit `err` (or clean EOF, when `None`) at the
+    /// current point mid-handshake. Used when the peer hangs up or the
+    /// handshake deadline fires with the handshake still incomplete.
+    pub fn interrupt(&self, err: Option<std::io::Error>) -> ServeError {
+        let mut tail = TailRead {
+            buf: &self.buf,
+            err,
+        };
+        match Hello::read_from(&mut tail) {
+            Err(e) => e,
+            // Unreachable when the handshake is genuinely incomplete;
+            // cover it anyway rather than panic on a caller misuse.
+            Ok(_) => ServeError::Protocol("connection closed during handshake".into()),
+        }
+    }
+}
+
+/// One parsed post-handshake client message.
+#[derive(Debug)]
+pub enum WireMsg {
+    /// A coded packet on a decode stream (`'P'`).
+    Packet(Packet),
+    /// A raw frame and its sender-side index on an encode or publish
+    /// stream (`'F'`).
+    Frame(u32, Frame),
+    /// A mid-stream rate retarget (`'R'`, protocol ≥ 2).
+    Retarget(Retarget),
+    /// End of stream (`'E'`).
+    End,
+}
+
+/// Resumable decoder for the post-handshake client→server message
+/// stream: `'P'`/`'F'`/`'R'`/`'E'` tags, filtered by the stream's role
+/// and negotiated protocol version exactly like the blocking reader
+/// loop was.
+///
+/// Message sizes are computed from the self-delimiting framing (packet
+/// length prefix, frame geometry header), so between messages the
+/// decoder buffers nothing and inside a message it buffers only that
+/// message. Errors are terminal: the server hangs up on the first bad
+/// message, so the decoder never needs to resynchronize.
+#[derive(Debug)]
+pub struct MsgDecoder {
+    role: Role,
+    version: u8,
+    /// Negotiated geometry, checked against every frame header.
+    expect: (usize, usize),
+    buf: Vec<u8>,
+}
+
+impl MsgDecoder {
+    /// A decoder for a stream with the given negotiated handshake.
+    pub fn new(role: Role, version: u8, width: usize, height: usize) -> Self {
+        MsgDecoder {
+            role,
+            version,
+            expect: (width, height),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Buffers a chunk of stream bytes. Drain with
+    /// [`next`](MsgDecoder::next) until it returns `Ok(None)`.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Parses the next complete message out of the buffer, or `None` if
+    /// more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// The exact strings the blocking reader loop surfaced as abort
+    /// reasons: `bad packet: …`, `bad frame: …`, `bad retarget: …`, or
+    /// `unexpected message tag 0x…` (which also covers tags that are
+    /// valid in general but not for this role or version).
+    pub fn next_msg(&mut self) -> Result<Option<WireMsg>, String> {
+        /// Tag byte plus the packet container header — enough to know a
+        /// packet's full length (or reject its length claim).
+        const PACKET_NEED: usize = 1 + PACKET_HEADER_BYTES;
+        /// Tag byte plus the frame header (`index`, `w`, `h`, `crc`) —
+        /// enough to know a frame's full length (or reject its
+        /// geometry).
+        const FRAME_NEED: usize = 1 + 12;
+        /// Tag byte plus the fixed-size retarget body.
+        const RETARGET_NEED: usize = 1 + 9;
+        let Some(&tag) = self.buf.first() else {
+            return Ok(None);
+        };
+        match (tag, self.role) {
+            (MSG_PACKET, Role::Decode) => {
+                if self.buf.len() < PACKET_NEED {
+                    return Ok(None);
+                }
+                let len = u32::from_le_bytes(self.buf[1..5].try_into().expect("4 bytes")) as usize;
+                // An over-cap length claim parses (and fails) from the
+                // header alone — never wait for a payload that no
+                // legitimate sender produces.
+                if len <= MAX_PAYLOAD_BYTES && self.buf.len() < PACKET_NEED + len {
+                    return Ok(None);
+                }
+                let mut cursor = &self.buf[1..];
+                match Packet::read_from(&mut cursor) {
+                    Ok(packet) => {
+                        let consumed = self.buf.len() - cursor.len();
+                        self.buf.drain(..consumed);
+                        Ok(Some(WireMsg::Packet(packet)))
+                    }
+                    Err(e) => Err(format!("bad packet: {e}")),
+                }
+            }
+            (MSG_FRAME, Role::Encode | Role::Publish) => {
+                if self.buf.len() < FRAME_NEED {
+                    return Ok(None);
+                }
+                let width =
+                    u16::from_le_bytes(self.buf[5..7].try_into().expect("2 bytes")) as usize;
+                let height =
+                    u16::from_le_bytes(self.buf[7..9].try_into().expect("2 bytes")) as usize;
+                // A header that `read_frame_body` rejects before its
+                // payload read (implausible or mismatched geometry)
+                // parses from the header alone, like the blocking
+                // reader did.
+                let header_ok = width != 0
+                    && height != 0
+                    && width <= MAX_DIM
+                    && height <= MAX_DIM
+                    && (width, height) == self.expect;
+                if header_ok && self.buf.len() < FRAME_NEED + 12 * width * height {
+                    return Ok(None);
+                }
+                let mut cursor = &self.buf[1..];
+                match read_frame_body(&mut cursor, Some(self.expect)) {
+                    Ok((index, frame)) => {
+                        let consumed = self.buf.len() - cursor.len();
+                        self.buf.drain(..consumed);
+                        Ok(Some(WireMsg::Frame(index, frame)))
+                    }
+                    Err(e) => Err(format!("bad frame: {e}")),
+                }
+            }
+            (MSG_RETARGET, _) if self.version >= 2 => {
+                if self.buf.len() < RETARGET_NEED {
+                    return Ok(None);
+                }
+                let mut cursor = &self.buf[1..];
+                match read_retarget_body(&mut cursor) {
+                    Ok(retarget) => {
+                        let consumed = self.buf.len() - cursor.len();
+                        self.buf.drain(..consumed);
+                        Ok(Some(WireMsg::Retarget(retarget)))
+                    }
+                    Err(e) => Err(format!("bad retarget: {e}")),
+                }
+            }
+            (MSG_END, _) => {
+                self.buf.drain(..1);
+                Ok(Some(WireMsg::End))
+            }
+            (tag, _) => Err(format!("unexpected message tag 0x{tag:02X}")),
+        }
+    }
+
+    /// The abort reason a blocking reader loop would have reported had
+    /// the connection hit `err` (or clean EOF, when `None`) at the
+    /// current point in the stream: between messages that is
+    /// `connection lost mid-stream: …`; inside a message it is the
+    /// matching `bad packet/frame/retarget: …` truncation error.
+    pub fn interrupt(&self, err: Option<std::io::Error>) -> String {
+        let Some(&tag) = self.buf.first() else {
+            let e = err.unwrap_or_else(eof_error);
+            return format!("connection lost mid-stream: {e}");
+        };
+        let mut tail = TailRead {
+            buf: &self.buf[1..],
+            err,
+        };
+        match (tag, self.role) {
+            (MSG_PACKET, Role::Decode) => match Packet::read_from(&mut tail) {
+                Err(e) => format!("bad packet: {e}"),
+                Ok(_) => format!("connection lost mid-stream: {}", eof_error()),
+            },
+            (MSG_FRAME, Role::Encode | Role::Publish) => {
+                match read_frame_body(&mut tail, Some(self.expect)) {
+                    Err(e) => format!("bad frame: {e}"),
+                    Ok(_) => format!("connection lost mid-stream: {}", eof_error()),
+                }
+            }
+            (MSG_RETARGET, _) if self.version >= 2 => match read_retarget_body(&mut tail) {
+                Err(e) => format!("bad retarget: {e}"),
+                Ok(_) => format!("connection lost mid-stream: {}", eof_error()),
+            },
+            (tag, _) => format!("unexpected message tag 0x{tag:02X}"),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,38 +1,53 @@
-//! The serving side: acceptor, per-connection reader threads, and a
-//! session pool scheduling GOP-grain batches onto shared compute.
+//! The serving side: one event-driven poller thread multiplexing every
+//! socket, and a session pool scheduling GOP-grain batches onto shared
+//! compute.
 //!
 //! # Threading model
 //!
 //! ```text
-//! acceptor ──┬── reader(conn 1) ──► slot 1 queue ─┐   ready    ┌─ worker 1
-//!            ├── reader(conn 2) ──► slot 2 queue ─┼──►queue ──►┼─ worker 2
-//!            └── reader(conn K) ──► slot K queue ─┘            └─ worker W
+//!            ┌──────────── poller (this thread) ────────────┐
+//! accept ──► │ conn 1: Hello ──► Session ──► decode bytes   │   ready    ┌─ worker 1
+//!            │ conn 2: Session (jobs ──► slot queue) ───────┼──► queue ──┼─ worker 2
+//!            │ conn K: Subscriber (ring ──► outbox ──► sock)│            └─ worker W
+//!            └──── nonblocking reads/writes, timer wheel ───┘
 //! ```
 //!
-//! * Each **reader** parses and CRC-validates messages off its socket
-//!   ([`Packet::read_from`] — the stream is never buffered whole) into
-//!   the connection's bounded queue. A full queue blocks the reader,
-//!   which stops reading the socket, which backpressures the client
-//!   through TCP.
+//! * The **poller** owns every socket, all nonblocking. It accepts,
+//!   parses handshakes and messages incrementally ([`MsgDecoder`]
+//!   accepts bytes in arbitrary chunks), queues parsed jobs into the
+//!   per-session slot, pumps broadcast rings into subscriber outboxes,
+//!   and drains outboxes whenever sockets accept bytes. Deadlines (the
+//!   handshake timeout, write stalls, post-error drains) live on a
+//!   coarse [`TimerWheel`]. The thread count is fixed: one poller plus
+//!   the worker pool, independent of the connection count.
 //! * Each **worker** pops a ready session and runs one *GOP-grain batch*
 //!   of its queued jobs: up to [`ServeConfig::gop_batch`] frames,
 //!   cutting before the next intra packet so a scheduling quantum never
 //!   straddles a GOP boundary. One session is never on two workers at
 //!   once (frames of a stream are strictly ordered); different sessions
-//!   overlap freely — packet *N + 1* of stream A parses and validates
-//!   while packet *N* of stream B reconstructs.
+//!   overlap freely. Responses are queued into the connection's outbox
+//!   and the poller is woken to write them.
 //! * Every batch holds an [`ExecPool`] lease for the session's context
 //!   width while it computes, so total fan-out across all sessions stays
 //!   under [`ServeConfig::exec_cap`] regardless of the connection count.
+//!
+//! A full slot queue *parks* the decoded job instead of blocking: the
+//! connection drops out of the read set, TCP backpressures the client,
+//! and the worker's space wake re-admits it — the same backpressure the
+//! old per-connection reader threads provided, without the threads.
 
 use crate::broadcast::{BroadcastInfo, BroadcastRegistry, CachedPacket, PublisherGuard};
-use crate::governor::{granted_position, GovAdmit, GovWant, Governed, Governor, GovernorConfig};
-use crate::proto::{
-    read_frame_body, read_retarget_body, read_u8, write_ack_msg, write_error_msg, write_frame_msg,
-    write_join_msg, write_packet_msg, write_stats_msg, Ack, Family, Hello, JoinInfo, Retarget,
-    Role, TargetBppWire, MSG_END, MSG_FRAME, MSG_PACKET, MSG_RETARGET,
+use crate::conn::{
+    pump_subscriber, push_bytes, push_shared, queue_hangup, service_writes, CloseKind, Conn,
+    ConnKind, OutHandle, OutState, SubscriberStats, WriteStatus,
 };
-use crate::subscribe::serve_subscriber;
+use crate::governor::{granted_position, GovAdmit, GovWant, Governed, Governor, GovernorConfig};
+use crate::poll::{PollShared, PollWaker, TimerKind, TimerWheel};
+use crate::proto::{
+    write_ack_msg, write_error_msg, write_frame_msg, write_join_msg, write_packet_msg,
+    write_stats_msg, Ack, Family, Hello, HelloDecoder, JoinInfo, MsgDecoder, Retarget, Role,
+    TargetBppWire, WireMsg, MSG_PACKET,
+};
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_core::ExecPool;
 use nvc_entropy::container::{FrameKind, Packet};
@@ -40,23 +55,37 @@ use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_video::codec::{DecoderSession, EncoderSession, StreamStats};
 use nvc_video::rate::{RateMode, RateParam};
 use nvc_video::Frame;
-use std::collections::VecDeque;
-use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Poll interval for stop-flag checks in blocking reads and accepts.
+/// Idle-park backstop for the poller and the stop-flag poll interval for
+/// worker waits.
 const POLL: Duration = Duration::from_millis(25);
 
-/// Write timeout on server-side sockets, so a vanished client can never
-/// wedge a pool worker mid-response.
+/// Default for [`ServeConfig::write_timeout`]: how long a blocked write
+/// may sit without progress before the connection is dropped, so a
+/// vanished client can never pin its outbox (and whatever it retains)
+/// forever.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// First delay before re-probing a blocked socket. A peer that drains
+/// promptly is rediscovered within a timer tick; one that stays full
+/// backs off exponentially to [`RETRY_MAX`], so a swarm of stalled
+/// subscribers costs a bounded trickle of `EAGAIN` probes rather than
+/// one probe per socket per poller pass.
+const RETRY_MIN: Duration = Duration::from_millis(10);
+
+/// Cap on the blocked-write probe backoff: the longest a reopened
+/// receive window can go unnoticed.
+const RETRY_MAX: Duration = Duration::from_millis(320);
+
 /// How long an error-terminated connection drains unread peer data
-/// before hard-closing (see `hangup`).
+/// before hard-closing (see [`CloseKind::Drain`]).
 const DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Configuration of a [`Server`].
@@ -78,8 +107,9 @@ pub struct ServeConfig {
     /// Total compute-thread permits shared by all sessions (`0` = all
     /// available hardware parallelism). See [`ExecPool`].
     pub exec_cap: usize,
-    /// Per-session pending-job bound; a full queue blocks the
-    /// connection's reader (backpressure).
+    /// Per-session pending-job bound; a full queue parks the
+    /// connection's decoder, which stops reading the socket
+    /// (backpressure).
     pub queue_depth: usize,
     /// Maximum jobs one scheduling quantum may run before the session
     /// goes back to the ready queue (quanta also cut at GOP boundaries).
@@ -100,15 +130,21 @@ pub struct ServeConfig {
     /// separately from [`ServeConfig::max_sessions`] — subscribers hold
     /// no codec session and no worker-pool slot, so thousands are fine.
     pub max_subscribers: usize,
-    /// Permits for subscriber fan-out write work (`0` = all available
-    /// hardware parallelism). A soft cap on the CPU side of fan-out;
-    /// socket waits never hold a permit. See [`ExecPool`].
+    /// Kept for configuration compatibility: the event-driven core
+    /// performs all fan-out writes on the poller thread, so there is no
+    /// separate fan-out permit pool to cap anymore.
     pub fanout_cap: usize,
     /// Time a fresh connection gets to deliver its `Hello`: a peer that
     /// completes TCP accept but stays silent is closed with `'X'` (and
-    /// counted under [`ServeReport::rejected`]) instead of pinning a
-    /// reader thread forever.
+    /// counted under [`ServeReport::rejected`]) when the timer-wheel
+    /// deadline fires.
     pub handshake_timeout: Duration,
+    /// How long a blocked write may sit without progress before the
+    /// connection is dropped, so a vanished client can never pin its
+    /// outbox (and whatever it retains) forever. Any write that moves
+    /// bytes resets the clock — a slow-but-draining peer survives;
+    /// a wedged one does not.
+    pub write_timeout: Duration,
     /// Cross-session rate governor. `None` (the default) serves every
     /// session at its requested rate with `max_sessions` as the only
     /// admission gate — the exact pre-governor behavior. `Some` splits
@@ -134,6 +170,7 @@ impl Default for ServeConfig {
             max_subscribers: 4096,
             fanout_cap: 0,
             handshake_timeout: Duration::from_secs(10),
+            write_timeout: WRITE_TIMEOUT,
             governor: None,
         }
     }
@@ -165,6 +202,22 @@ pub struct ServeReport {
     /// Governor restorations: sessions walked back up to their full
     /// requested rate as load drained.
     pub restored: u64,
+    /// Poller passes: how many times the event loop woke and scanned
+    /// for work (accepts, wakes, readable sockets, timers).
+    pub poll_wakeups: u64,
+    /// Poller passes that found nothing to do — the cost of readiness
+    /// polling without an OS readiness API. High ratios against
+    /// [`ServeReport::poll_wakeups`] mean the loop is parked-bound, not
+    /// work-bound.
+    pub spurious_polls: u64,
+    /// High-water mark of concurrently registered connections
+    /// (sessions + subscribers + in-handshake), all multiplexed on the
+    /// one poller thread.
+    pub max_registered: u64,
+    /// Timer-wheel deadlines that fired and acted (handshake timeouts,
+    /// write-stall kills, post-error drain closes). Stale fires — the
+    /// connection moved on before the deadline — are not counted.
+    pub timer_fires: u64,
 }
 
 #[derive(Default)]
@@ -180,6 +233,10 @@ pub(crate) struct Counters {
     degraded: AtomicU64,
     throttle_steps: AtomicU64,
     restored: AtomicU64,
+    poll_wakeups: AtomicU64,
+    spurious_polls: AtomicU64,
+    max_registered: AtomicU64,
+    timer_fires: AtomicU64,
 }
 
 impl Counters {
@@ -194,6 +251,10 @@ impl Counters {
             degraded: self.degraded.load(Ordering::Relaxed),
             throttle_steps: self.throttle_steps.load(Ordering::Relaxed),
             restored: self.restored.load(Ordering::Relaxed),
+            poll_wakeups: self.poll_wakeups.load(Ordering::Relaxed),
+            spurious_polls: self.spurious_polls.load(Ordering::Relaxed),
+            max_registered: self.max_registered.load(Ordering::Relaxed),
+            timer_fires: self.timer_fires.load(Ordering::Relaxed),
         }
     }
 
@@ -232,14 +293,20 @@ impl Server {
         let hybrid = HybridCodec::with_threads(cfg.hybrid.clone(), threads);
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
-        let (stop2, counters2) = (Arc::clone(&stop), Arc::clone(&counters));
+        let shared = PollShared::new();
+        let (stop2, counters2, shared2) = (
+            Arc::clone(&stop),
+            Arc::clone(&counters),
+            Arc::clone(&shared),
+        );
         let join = std::thread::Builder::new()
             .name("nvc-serve".into())
-            .spawn(move || run(listener, cfg, ctvc, hybrid, &stop2, &counters2))?;
+            .spawn(move || run(listener, cfg, ctvc, hybrid, &stop2, &counters2, shared2))?;
         Ok(ServerHandle {
             addr,
             stop,
             counters,
+            shared,
             join: Some(join),
         })
     }
@@ -250,6 +317,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    shared: Arc<PollShared>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -273,6 +341,9 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // The poller may be parked mid-backoff; kick it so shutdown
+        // does not wait out the park timeout.
+        self.shared.kick();
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
@@ -289,8 +360,9 @@ impl Drop for ServerHandle {
 // Scheduling structures
 // ---------------------------------------------------------------------
 
-/// One unit of session work, produced by a reader, consumed by a worker.
-enum Job {
+/// One unit of session work, produced by the poller's protocol decoder,
+/// consumed by a worker.
+pub(crate) enum Job {
     /// A parsed, CRC-validated coded packet (decode sessions).
     Packet(Packet),
     /// A raw frame (encode sessions).
@@ -300,7 +372,7 @@ enum Job {
     Retarget(Retarget),
     /// Clean end of stream: finalize, send the stats trailer.
     End,
-    /// Reader-detected failure: report to the peer and close.
+    /// Poller-detected failure: report to the peer and close.
     Abort(String),
 }
 
@@ -319,13 +391,26 @@ struct SlotState {
     dead: bool,
 }
 
-/// Per-connection session state shared between its reader and the pool.
-struct Slot<'env> {
+/// Per-connection session state shared between the poller and the pool.
+pub(crate) struct Slot<'env> {
     state: Mutex<SlotState>,
-    /// Signalled when a worker drains jobs (readers wait here when the
-    /// queue is full) and when the slot dies.
+    /// Signalled when a worker drains jobs and when the slot dies.
     space: Condvar,
     runner: Mutex<Box<dyn SessionRunner + Send + 'env>>,
+    /// Wakes the owning connection's poller when queue space frees, so
+    /// a parked job retries.
+    waker: PollWaker,
+}
+
+/// Outcome of a nonblocking enqueue attempt.
+enum Enqueue {
+    /// Queued; a worker will run it in stream order.
+    Queued,
+    /// The bounded queue is full — the job comes back to be parked, and
+    /// the connection stops reading until the worker's space wake.
+    Full(Job),
+    /// The session already died; the job was dropped.
+    Dead,
 }
 
 struct Scheduler<'env> {
@@ -353,21 +438,15 @@ impl<'env> Scheduler<'env> {
         self.backlog.load(Ordering::Relaxed)
     }
 
-    /// Queues one job for a session, blocking while the queue is full
-    /// (control jobs bypass the bound so a stream can always terminate).
-    /// Returns `false` if the session is already dead or the server is
-    /// stopping.
-    fn enqueue(&self, slot: &Arc<Slot<'env>>, job: Job, stop: &AtomicBool) -> bool {
+    /// Queues one job for a session without ever blocking (control jobs
+    /// bypass the bound so a stream can always terminate).
+    fn try_enqueue(&self, slot: &Arc<Slot<'env>>, job: Job) -> Enqueue {
         let mut state = slot.state.lock().expect("slot lock");
-        while !job.is_control() && state.pending.len() >= self.queue_depth {
-            if state.dead || stop.load(Ordering::Relaxed) {
-                return false;
-            }
-            let (guard, _) = slot.space.wait_timeout(state, POLL).expect("slot lock");
-            state = guard;
+        if state.dead {
+            return Enqueue::Dead;
         }
-        if state.dead || stop.load(Ordering::Relaxed) {
-            return false;
+        if !job.is_control() && state.pending.len() >= self.queue_depth {
+            return Enqueue::Full(job);
         }
         state.pending.push_back(job);
         self.backlog.fetch_add(1, Ordering::Relaxed);
@@ -381,7 +460,7 @@ impl<'env> Scheduler<'env> {
                 .push_back(Arc::clone(slot));
             self.work.notify_one();
         }
-        true
+        Enqueue::Queued
     }
 
     /// Blocks for the next ready session; `None` once the server stops.
@@ -434,6 +513,9 @@ fn worker_loop<'env>(
             sched.take_batch(&mut state)
         };
         slot.space.notify_all();
+        // Freed queue space: the owning connection may have a parked
+        // job waiting for it.
+        slot.waker.wake();
         let mut finished = false;
         if !batch.is_empty() {
             // The lease (not the session's own context) is what caps the
@@ -474,7 +556,10 @@ fn worker_loop<'env>(
             state.scheduled = false;
             drop(state);
             slot.space.notify_all();
-            counters.active.fetch_sub(1, Ordering::Relaxed);
+            // `active` is NOT decremented here: the poller frees the
+            // capacity slot when it removes the connection, ordering
+            // the free against the next accept.
+            slot.waker.wake();
         } else if state.pending.is_empty() {
             state.scheduled = false;
         } else {
@@ -494,47 +579,16 @@ enum StepOutcome {
     Failed,
 }
 
-/// One live session: consumes jobs in stream order, writes responses to
-/// its own connection. A runner is only ever driven by one worker at a
-/// time (see [`SlotState::scheduled`]).
+/// One live session: consumes jobs in stream order, queues responses
+/// into its connection's outbox. A runner is only ever driven by one
+/// worker at a time (see [`SlotState::scheduled`]).
 trait SessionRunner {
     fn step(&mut self, job: Job) -> StepOutcome;
 }
 
-pub(crate) fn hangup(out: &mut BufWriter<TcpStream>, message: Option<&str>) {
-    if let Some(message) = message {
-        let _ = write_error_msg(out, message);
-        let _ = out.flush();
-        // Deliver the error reliably: closing while client data is still
-        // queued unread would RST the connection, which can destroy the
-        // message before the peer reads it. Half-close, then drain and
-        // discard whatever the peer already sent (bounded by a deadline;
-        // the socket carries a `POLL` read timeout).
-        let sock = out.get_ref();
-        let _ = sock.shutdown(Shutdown::Write);
-        let deadline = std::time::Instant::now() + DRAIN_TIMEOUT;
-        let mut discard = [0u8; 4096];
-        while std::time::Instant::now() < deadline {
-            match (&mut &*sock).read(&mut discard) {
-                Ok(0) => break,
-                Ok(_) => {}
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                    ) => {}
-                Err(_) => break,
-            }
-        }
-    } else {
-        let _ = out.flush();
-    }
-    let _ = out.get_ref().shutdown(Shutdown::Both);
-}
-
 struct DecodeRunner<S> {
     sess: S,
-    out: BufWriter<TcpStream>,
+    out: OutHandle,
     /// Geometry from the handshake; the decoded stream must match it,
     /// so clients can trust the negotiated size end to end.
     negotiated: (usize, usize),
@@ -548,7 +602,7 @@ struct DecodeRunner<S> {
 }
 
 impl<S: DecoderSession> DecodeRunner<S> {
-    fn new(sess: S, negotiated: (usize, usize), version: u8, out: BufWriter<TcpStream>) -> Self {
+    fn new(sess: S, negotiated: (usize, usize), version: u8, out: OutHandle) -> Self {
         DecodeRunner {
             sess,
             out,
@@ -570,16 +624,13 @@ impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
                 let bytes = packet.to_bytes();
                 match self.sess.push_packet(&bytes) {
                     Ok(frame) if (frame.width(), frame.height()) != self.negotiated => {
-                        hangup(
-                            &mut self.out,
-                            Some(&format!(
-                                "bitstream is {}x{}, negotiated {}x{}",
-                                frame.width(),
-                                frame.height(),
-                                self.negotiated.0,
-                                self.negotiated.1
-                            )),
-                        );
+                        self.out.hangup(Some(&format!(
+                            "bitstream is {}x{}, negotiated {}x{}",
+                            frame.width(),
+                            frame.height(),
+                            self.negotiated.0,
+                            self.negotiated.1
+                        )));
                         StepOutcome::Failed
                     }
                     Ok(frame) => {
@@ -596,22 +647,22 @@ impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
                         if ok {
                             StepOutcome::Continue
                         } else {
-                            hangup(&mut self.out, None);
+                            self.out.hangup(None);
                             StepOutcome::Failed
                         }
                     }
                     Err(e) => {
-                        hangup(&mut self.out, Some(&format!("decode: {e}")));
+                        self.out.hangup(Some(&format!("decode: {e}")));
                         StepOutcome::Failed
                     }
                 }
             }
             Job::Frame(_) => {
-                hangup(&mut self.out, Some("raw frame on a decode stream"));
+                self.out.hangup(Some("raw frame on a decode stream"));
                 StepOutcome::Failed
             }
             Job::Retarget(_) => {
-                hangup(&mut self.out, Some("rate retarget on a decode stream"));
+                self.out.hangup(Some("rate retarget on a decode stream"));
                 StepOutcome::Failed
             }
             Job::End => {
@@ -624,11 +675,11 @@ impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
                     total_bytes: self.total_bytes,
                 };
                 let _ = write_stats_msg(&mut self.out, &stats, self.version);
-                hangup(&mut self.out, None);
+                self.out.hangup(None);
                 StepOutcome::Finished
             }
             Job::Abort(message) => {
-                hangup(&mut self.out, Some(&message));
+                self.out.hangup(Some(&message));
                 StepOutcome::Failed
             }
         }
@@ -637,7 +688,7 @@ impl<S: DecoderSession> SessionRunner for DecodeRunner<S> {
 
 struct EncodeRunner<'env, S: EncoderSession> {
     sess: Option<S>,
-    out: BufWriter<TcpStream>,
+    out: OutHandle,
     /// Negotiated protocol version — fixes the stats-trailer layout.
     version: u8,
     /// Governor registration on a governed server: re-derives the
@@ -646,12 +697,7 @@ struct EncodeRunner<'env, S: EncoderSession> {
 }
 
 impl<'env, S: EncoderSession> EncodeRunner<'env, S> {
-    fn new(
-        sess: S,
-        version: u8,
-        out: BufWriter<TcpStream>,
-        gov: Option<Governed<'env, S::Rate>>,
-    ) -> Self {
+    fn new(sess: S, version: u8, out: OutHandle, gov: Option<Governed<'env, S::Rate>>) -> Self {
         EncodeRunner {
             sess: Some(sess),
             out,
@@ -664,7 +710,7 @@ impl<'env, S: EncoderSession> EncodeRunner<'env, S> {
 impl<S: EncoderSession> SessionRunner for EncodeRunner<'_, S> {
     fn step(&mut self, job: Job) -> StepOutcome {
         let Some(sess) = self.sess.as_mut() else {
-            hangup(&mut self.out, Some("stream already finished"));
+            self.out.hangup(Some("stream already finished"));
             return StepOutcome::Failed;
         };
         match job {
@@ -682,18 +728,18 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<'_, S> {
                         if ok {
                             StepOutcome::Continue
                         } else {
-                            hangup(&mut self.out, None);
+                            self.out.hangup(None);
                             StepOutcome::Failed
                         }
                     }
                     Err(e) => {
-                        hangup(&mut self.out, Some(&format!("encode: {e}")));
+                        self.out.hangup(Some(&format!("encode: {e}")));
                         StepOutcome::Failed
                     }
                 }
             }
             Job::Packet(_) => {
-                hangup(&mut self.out, Some("coded packet on an encode stream"));
+                self.out.hangup(Some("coded packet on an encode stream"));
                 StepOutcome::Failed
             }
             Job::Retarget(retarget) => {
@@ -707,7 +753,7 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<'_, S> {
                         StepOutcome::Continue
                     }
                     Err(e) => {
-                        hangup(&mut self.out, Some(&format!("retarget: {e}")));
+                        self.out.hangup(Some(&format!("retarget: {e}")));
                         StepOutcome::Failed
                     }
                 }
@@ -729,14 +775,14 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<'_, S> {
                         let _ = write_error_msg(&mut self.out, &format!("finish: {e}"));
                     }
                 }
-                hangup(&mut self.out, None);
+                self.out.hangup(None);
                 StepOutcome::Finished
             }
             Job::Abort(message) => {
                 if let Some(gov) = self.gov.as_mut() {
                     gov.end();
                 }
-                hangup(&mut self.out, Some(&message));
+                self.out.hangup(Some(&message));
                 StepOutcome::Failed
             }
         }
@@ -751,7 +797,7 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<'_, S> {
 /// with a self-describing packet at most one GOP in the past.
 struct PublishRunner<'env, S: EncoderSession> {
     sess: Option<S>,
-    out: BufWriter<TcpStream>,
+    out: OutHandle,
     /// Negotiated protocol version — fixes the stats-trailer layout.
     version: u8,
     guard: PublisherGuard,
@@ -769,7 +815,7 @@ impl<'env, S: EncoderSession> PublishRunner<'env, S> {
     fn new(
         sess: S,
         version: u8,
-        out: BufWriter<TcpStream>,
+        out: OutHandle,
         guard: PublisherGuard,
         gop: u32,
         counters: &'env Counters,
@@ -791,7 +837,7 @@ impl<'env, S: EncoderSession> PublishRunner<'env, S> {
 impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
     fn step(&mut self, job: Job) -> StepOutcome {
         let Some(sess) = self.sess.as_mut() else {
-            hangup(&mut self.out, Some("stream already finished"));
+            self.out.hangup(Some("stream already finished"));
             return StepOutcome::Failed;
         };
         match job {
@@ -837,19 +883,19 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
                             StepOutcome::Continue
                         } else {
                             self.guard.fail("publisher connection lost");
-                            hangup(&mut self.out, None);
+                            self.out.hangup(None);
                             StepOutcome::Failed
                         }
                     }
                     Err(e) => {
                         self.guard.fail(&format!("encode: {e}"));
-                        hangup(&mut self.out, Some(&format!("encode: {e}")));
+                        self.out.hangup(Some(&format!("encode: {e}")));
                         StepOutcome::Failed
                     }
                 }
             }
             Job::Packet(_) => {
-                hangup(&mut self.out, Some("coded packet on a publish stream"));
+                self.out.hangup(Some("coded packet on a publish stream"));
                 StepOutcome::Failed
             }
             Job::Retarget(retarget) => {
@@ -862,7 +908,7 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
                         StepOutcome::Continue
                     }
                     Err(e) => {
-                        hangup(&mut self.out, Some(&format!("retarget: {e}")));
+                        self.out.hangup(Some(&format!("retarget: {e}")));
                         StepOutcome::Failed
                     }
                 }
@@ -881,7 +927,7 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
                     }
                 }
                 self.guard.finish();
-                hangup(&mut self.out, None);
+                self.out.hangup(None);
                 StepOutcome::Finished
             }
             Job::Abort(message) => {
@@ -889,7 +935,7 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
                     gov.end();
                 }
                 self.guard.fail(&message);
-                hangup(&mut self.out, Some(&message));
+                self.out.hangup(Some(&message));
                 StepOutcome::Failed
             }
         }
@@ -897,53 +943,8 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
 }
 
 // ---------------------------------------------------------------------
-// Connection handling
+// Handshake validation helpers
 // ---------------------------------------------------------------------
-
-/// `Read` adapter that turns socket read timeouts into retries until the
-/// server's stop flag is raised, so `read_exact`-based incremental
-/// parsers ([`Packet::read_into`], frame bodies) never observe a spurious
-/// timeout mid-message and never outlive shutdown.
-struct StopRead<'a> {
-    inner: TcpStream,
-    stop: &'a AtomicBool,
-    /// While set, the retry loop gives up at this instant instead of
-    /// spinning forever — bounds the handshake, so a connection that
-    /// never sends its `Hello` cannot pin a reader thread. Cleared once
-    /// the handshake lands; mid-stream liveness stays TCP's problem.
-    deadline: Option<Instant>,
-}
-
-impl Read for StopRead<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        loop {
-            if self.stop.load(Ordering::Relaxed) {
-                return Err(io::Error::other("server shutting down"));
-            }
-            match self.inner.read(buf) {
-                Ok(n) => return Ok(n),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                    ) =>
-                {
-                    if self
-                        .deadline
-                        .is_some_and(|deadline| Instant::now() >= deadline)
-                    {
-                        return Err(io::Error::new(
-                            ErrorKind::TimedOut,
-                            "handshake deadline exceeded",
-                        ));
-                    }
-                    continue;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-}
 
 /// Builds a session rate mode from the wire's `(target, fixed rate)`
 /// pair — the *single* conversion both the handshake and the mid-stream
@@ -1030,399 +1031,1079 @@ fn validate_hello(hello: &Hello) -> Result<(), String> {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn connection<'env>(
-    stream: TcpStream,
-    ctvc: &'env CtvcCodec,
-    hybrid: &'env HybridCodec,
-    sched: &Scheduler<'env>,
-    cfg: &ServeConfig,
-    registry: &BroadcastRegistry,
-    fanout: &ExecPool,
-    governor: Option<&'env Governor>,
-    stop: &AtomicBool,
-    counters: &'env Counters,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL));
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let Ok(write_half) = stream.try_clone() else {
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
-    };
-    let mut out = BufWriter::new(write_half);
-    let mut reader = BufReader::new(StopRead {
-        inner: stream,
-        stop,
-        deadline: Some(Instant::now() + cfg.handshake_timeout),
-    });
+// ---------------------------------------------------------------------
+// The poller
+// ---------------------------------------------------------------------
 
-    // Handshake: structural validation, semantic validation, admission.
-    let hello = match Hello::read_from(&mut reader) {
-        Ok(hello) => hello,
-        Err(e) => {
-            hangup(&mut out, Some(&format!("handshake: {e}")));
-            counters.rejected.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-    };
-    // The deadline only bounds the handshake; from here the connection
-    // is a live stream and quiet periods between frames are legitimate.
-    reader.get_mut().deadline = None;
-    if let Err(reason) = validate_hello(&hello) {
-        hangup(&mut out, Some(&format!("handshake: {reason}")));
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    // Subscribers take a different path entirely: no codec session, no
-    // pool slot — just an attach and a writer loop on this thread.
-    if hello.role == Role::Subscribe {
-        subscriber_connection(out, &hello, registry, fanout, cfg, stop, counters);
-        return;
-    }
-    // Atomic admission (reserve-then-ack): concurrent handshakes race
-    // for slots under the cap, never past it.
-    if counters
-        .active
-        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
-            (active < cfg.max_sessions).then_some(active + 1)
-        })
-        .is_err()
-    {
-        hangup(&mut out, Some("server at session capacity"));
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    // Governed admission: backlog-aware for every session, budget-aware
-    // for the bandwidth-bearing roles. The three-step response — admit,
-    // admit-degraded (the ack says so), reject with a clean 'X' — all
-    // resolves here, before the ack.
-    let mut gov_admit: Option<GovAdmit<'env>> = None;
-    if let Some(gov) = governor {
-        let backlog = sched.backlog();
-        let admitted = if matches!(hello.role, Role::Encode | Role::Publish) {
-            let pixels = (hello.width * hello.height) as f64;
-            let want = match hello.target {
-                Some(t) => t.bpp() * pixels,
-                None => gov.config().assumed_bpp * pixels,
-            };
-            let client = hello.client.clone().unwrap_or_else(|| {
-                out.get_ref()
-                    .peer_addr()
-                    .map(|peer| peer.ip().to_string())
-                    .unwrap_or_else(|_| "unknown-peer".into())
-            });
-            gov.admit(&client, want, backlog)
-                .map(|(id, ratio)| Some(GovAdmit::new(gov, id, ratio)))
-        } else {
-            gov.check_backlog(backlog).map(|()| None)
-        };
-        match admitted {
-            Ok(admit) => gov_admit = admit,
-            Err(reason) => {
-                hangup(&mut out, Some(&format!("admission: {reason}")));
-                counters.active.fetch_sub(1, Ordering::Relaxed);
-                counters.rejected.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        }
-    }
-    // Publish streams claim their broadcast name *before* the ack, so a
-    // duplicate name is a handshake rejection, not a mid-stream abort.
-    let relay_gop: u16 = if hello.gop != 0 {
-        hello.gop
-    } else {
-        cfg.broadcast_gop.clamp(1, usize::from(u16::MAX)) as u16
-    };
-    let mut publish_guard = None;
-    if hello.role == Role::Publish {
-        let name = hello.broadcast.as_deref().unwrap_or_default();
-        let info = BroadcastInfo {
-            family: hello.family,
-            width: hello.width,
-            height: hello.height,
-            gop: relay_gop,
-        };
-        match registry.create(name, info, hello.rate) {
-            Ok(guard) => publish_guard = Some(guard),
-            Err(reason) => {
-                hangup(&mut out, Some(&format!("handshake: {reason}")));
-                counters.active.fetch_sub(1, Ordering::Relaxed);
-                counters.rejected.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        }
-    }
-    let ack = match &gov_admit {
-        Some(admit) if admit.ratio() < 1.0 => Ack {
-            rate: degraded_ack_rate(
-                &hello,
-                admit.ratio(),
-                governor.map_or(0, |g| g.config().min_position),
-            ),
-            degraded: true,
-        },
-        _ => Ack {
-            rate: hello.rate,
-            degraded: false,
-        },
-    };
-    if write_ack_msg(&mut out, hello.version, &ack)
-        .and_then(|()| out.flush())
-        .is_err()
-    {
-        counters.active.fetch_sub(1, Ordering::Relaxed);
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    counters.sessions.fetch_add(1, Ordering::Relaxed);
-
-    let negotiated = (hello.width, hello.height);
-    let version = hello.version;
-    let runner: Box<dyn SessionRunner + Send + 'env> = match (hello.family, hello.role) {
-        (Family::Ctvc, Role::Decode) => Box::new(DecodeRunner::new(
-            ctvc.start_decode(),
-            negotiated,
-            version,
-            out,
-        )),
-        (Family::Ctvc, Role::Encode) => {
-            let mode =
-                wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
-            let governed = gov_admit.map(|admit| {
-                claim_governed::<RatePoint>(
-                    governor.expect("admission implies a governor"),
-                    counters,
-                    admit,
-                    &hello,
-                )
-            });
-            Box::new(EncodeRunner::new(
-                ctvc.start_encode(mode),
-                version,
-                out,
-                governed,
-            ))
-        }
-        (Family::Hybrid, Role::Decode) => Box::new(DecodeRunner::new(
-            hybrid.start_decode(),
-            negotiated,
-            version,
-            out,
-        )),
-        (Family::Hybrid, Role::Encode) => {
-            let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
-            let governed = gov_admit.map(|admit| {
-                claim_governed::<u8>(
-                    governor.expect("admission implies a governor"),
-                    counters,
-                    admit,
-                    &hello,
-                )
-            });
-            Box::new(EncodeRunner::new(
-                hybrid.start_encode(mode),
-                version,
-                out,
-                governed,
-            ))
-        }
-        (Family::Ctvc, Role::Publish) => {
-            let mode =
-                wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
-            let mut sess = ctvc.start_encode(mode);
-            let joinable = sess.set_join_headers(true);
-            debug_assert!(joinable, "served CTVC codec lacks joinable-stream mode");
-            let guard = publish_guard.take().expect("claimed above");
-            let governed = gov_admit.map(|admit| {
-                claim_governed::<RatePoint>(
-                    governor.expect("admission implies a governor"),
-                    counters,
-                    admit,
-                    &hello,
-                )
-            });
-            Box::new(PublishRunner::new(
-                sess,
-                version,
-                out,
-                guard,
-                u32::from(relay_gop),
-                counters,
-                governed,
-            ))
-        }
-        (Family::Hybrid, Role::Publish) => {
-            let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
-            let mut sess = hybrid.start_encode(mode);
-            let joinable = sess.set_join_headers(true);
-            debug_assert!(joinable, "served hybrid codec lacks joinable-stream mode");
-            let guard = publish_guard.take().expect("claimed above");
-            let governed = gov_admit.map(|admit| {
-                claim_governed::<u8>(
-                    governor.expect("admission implies a governor"),
-                    counters,
-                    admit,
-                    &hello,
-                )
-            });
-            Box::new(PublishRunner::new(
-                sess,
-                version,
-                out,
-                guard,
-                u32::from(relay_gop),
-                counters,
-                governed,
-            ))
-        }
-        (_, Role::Subscribe) => unreachable!("subscribers return above"),
-    };
-    let slot = Arc::new(Slot {
-        state: Mutex::new(SlotState::default()),
-        space: Condvar::new(),
-        runner: Mutex::new(runner),
-    });
-
-    // Reader loop: parse + validate one message at a time, queue it for
-    // the pool. Any wire-level failure turns into an Abort job so the
-    // error report flows through the session's single writer.
-    loop {
-        let tag = match read_u8(&mut reader) {
-            Ok(tag) => tag,
-            Err(e) => {
-                sched.enqueue(
-                    &slot,
-                    Job::Abort(format!("connection lost mid-stream: {e}")),
-                    stop,
-                );
-                return;
-            }
-        };
-        let job = match (tag, hello.role) {
-            (MSG_PACKET, Role::Decode) => match Packet::read_from(&mut reader) {
-                Ok(packet) => Job::Packet(packet),
-                Err(e) => Job::Abort(format!("bad packet: {e}")),
-            },
-            (MSG_FRAME, Role::Encode | Role::Publish) => {
-                // The negotiated geometry is enforced on the *header*,
-                // before any payload is read, so a hostile size field
-                // never drives an allocation.
-                match read_frame_body(&mut reader, Some((hello.width, hello.height))) {
-                    Ok((_, frame)) => Job::Frame(frame),
-                    Err(e) => Job::Abort(format!("bad frame: {e}")),
-                }
-            }
-            // Parsed for either direction so a decode stream gets the
-            // specific "retarget on a decode stream" diagnostic from
-            // its runner rather than a generic unexpected-tag abort.
-            (MSG_RETARGET, _) if hello.version >= 2 => match read_retarget_body(&mut reader) {
-                Ok(retarget) => Job::Retarget(retarget),
-                Err(e) => Job::Abort(format!("bad retarget: {e}")),
-            },
-            (MSG_END, _) => Job::End,
-            (tag, _) => Job::Abort(format!("unexpected message tag 0x{tag:02X}")),
-        };
-        let last = job.is_control();
-        if !sched.enqueue(&slot, job, stop) || last {
-            return;
-        }
-    }
+/// What one socket read produced.
+enum Input {
+    Data(usize),
+    Eof,
+    Failed(io::Error),
+    Block,
 }
 
-/// The subscriber half of [`connection`]: resolves the named broadcast,
-/// validates the handshake against its fixed facts, attaches, sends the
-/// ack plus the `'J'` join info, then runs the fan-out writer loop on
-/// this thread until the broadcast ends or the subscriber is evicted.
-fn subscriber_connection(
-    mut out: BufWriter<TcpStream>,
-    hello: &Hello,
-    registry: &BroadcastRegistry,
-    fanout: &ExecPool,
-    cfg: &ServeConfig,
-    stop: &AtomicBool,
-    counters: &Counters,
-) {
-    let name = hello.broadcast.as_deref().unwrap_or_default();
-    let Some(broadcast) = registry.get(name) else {
-        hangup(
-            &mut out,
-            Some(&format!("handshake: no broadcast named {name:?}")),
-        );
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
-    };
-    let info = broadcast.info();
-    if info.family != hello.family {
-        hangup(
-            &mut out,
-            Some(&format!(
-                "handshake: broadcast {name:?} serves {:?} streams, not {:?}",
-                info.family, hello.family
-            )),
-        );
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
+/// The event loop's state: every registered connection, the read/write
+/// interest sets, and the timer wheel. Runs on the `nvc-serve` thread.
+struct Poller<'p, 'env: 'p> {
+    cfg: &'env ServeConfig,
+    ctvc: &'env CtvcCodec,
+    hybrid: &'env HybridCodec,
+    // A shorter borrow than `'env`: the scheduler's queues hold
+    // `Slot<'env>`s (invariant over `'env`), so borrowing it *for*
+    // `'env` would demand the scheduler outlive its own drop.
+    sched: &'p Scheduler<'env>,
+    registry: &'env BroadcastRegistry,
+    governor: Option<&'env Governor>,
+    counters: &'env Counters,
+    shared: Arc<PollShared>,
+    conns: HashMap<u64, Conn<'env>>,
+    /// Tokens whose sockets are read each pass: in-handshake, active
+    /// non-parked sessions, and draining connections (reads discarded).
+    /// Subscribers are write-only — their death surfaces on a write.
+    /// Blocked writes are *not* swept per pass; they re-probe via
+    /// [`TimerKind::WriteRetry`] entries on the wheel.
+    read_set: HashSet<u64>,
+    wheel: TimerWheel,
+    fired: Vec<(u64, u32, TimerKind)>,
+    next_token: u64,
+    scratch: Vec<u8>,
+}
+
+impl<'p, 'env> Poller<'p, 'env> {
+    #[allow(clippy::too_many_arguments)] // one borrow per serving subsystem
+    fn new(
+        cfg: &'env ServeConfig,
+        ctvc: &'env CtvcCodec,
+        hybrid: &'env HybridCodec,
+        sched: &'p Scheduler<'env>,
+        registry: &'env BroadcastRegistry,
+        governor: Option<&'env Governor>,
+        counters: &'env Counters,
+        shared: Arc<PollShared>,
+    ) -> Self {
+        Poller {
+            cfg,
+            ctvc,
+            hybrid,
+            sched,
+            registry,
+            governor,
+            counters,
+            shared,
+            conns: HashMap::new(),
+            read_set: HashSet::new(),
+            wheel: TimerWheel::new(),
+            fired: Vec::new(),
+            next_token: 0,
+            scratch: vec![0u8; 64 * 1024],
+        }
     }
-    if (info.width, info.height) != (hello.width, hello.height) {
-        hangup(
-            &mut out,
-            Some(&format!(
-                "handshake: broadcast {name:?} is {}x{}, requested {}x{}",
-                info.width, info.height, hello.width, hello.height
-            )),
-        );
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
+
+    /// Recomputes whether `token`'s socket should be read each pass.
+    fn sync_interest(&mut self, token: u64) {
+        let want = match self.conns.get(&token) {
+            Some(conn) => {
+                conn.draining
+                    || match &conn.kind {
+                        ConnKind::Hello(_) => true,
+                        ConnKind::Session { ended, parked, .. } => !*ended && parked.is_none(),
+                        ConnKind::Subscriber { .. } | ConnKind::Finishing => false,
+                    }
+            }
+            None => false,
+        };
+        if want {
+            self.read_set.insert(token);
+        } else {
+            self.read_set.remove(&token);
+        }
     }
-    // Subscriber admission is separate from session admission: a
-    // subscriber holds no codec state and no pool slot, so the cap is
-    // orders of magnitude higher.
-    if counters
-        .active_subscribers
-        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
-            (active < cfg.max_subscribers).then_some(active + 1)
-        })
-        .is_err()
-    {
-        hangup(&mut out, Some("server at subscriber capacity"));
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    let attachment = match broadcast.attach(cfg.subscriber_ring) {
-        Ok(attachment) => attachment,
-        Err(reason) => {
-            hangup(&mut out, Some(&format!("handshake: {reason}")));
-            counters.active_subscribers.fetch_sub(1, Ordering::Relaxed);
-            counters.rejected.fetch_add(1, Ordering::Relaxed);
+
+    /// Registers a fresh accept: nonblocking socket, handshake decoder,
+    /// deadline on the wheel.
+    fn register(&mut self, sock: TcpStream, now: Instant) {
+        let _ = sock.set_nodelay(true);
+        if sock.set_nonblocking(true).is_err() {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return;
         }
-    };
-    let join = JoinInfo {
-        family: info.family,
-        width: info.width,
-        height: info.height,
-        start_index: attachment.start_index,
-        rate: attachment.rate,
-        gop: info.gop,
-    };
-    let ack = Ack {
-        rate: attachment.rate,
-        degraded: false,
-    };
-    if write_ack_msg(&mut out, hello.version, &ack)
-        .and_then(|()| write_join_msg(&mut out, &join))
-        .and_then(|()| out.flush())
-        .is_err()
-    {
-        attachment.ring.detach();
-        counters.active_subscribers.fetch_sub(1, Ordering::Relaxed);
-        counters.rejected.fetch_add(1, Ordering::Relaxed);
-        return;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.wheel.arm(
+            token,
+            0,
+            TimerKind::Handshake,
+            now + self.cfg.handshake_timeout,
+        );
+        self.conns.insert(
+            token,
+            Conn {
+                sock,
+                out: Arc::new(Mutex::new(OutState::default())),
+                gen: 0,
+                draining: false,
+                stalled_since: None,
+                retry_backoff: RETRY_MIN,
+                retry_armed: false,
+                kind: ConnKind::Hello(HelloDecoder::new()),
+            },
+        );
+        self.read_set.insert(token);
     }
-    counters.subscribers.fetch_add(1, Ordering::Relaxed);
-    serve_subscriber(out, attachment, hello.version, fanout, stop);
-    counters.active_subscribers.fetch_sub(1, Ordering::Relaxed);
+
+    /// Rejects an in-progress handshake (or kills an established
+    /// connection) with an `'X'` notice: queue the message and a
+    /// draining close, count it, and stop feeding the protocol machine.
+    fn reject(&mut self, token: u64, message: &str) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.kind = ConnKind::Finishing;
+            conn.gen = conn.gen.wrapping_add(1);
+            queue_hangup(&conn.out, Some(message));
+        }
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        self.sync_interest(token);
+    }
+
+    /// Unregisters a connection. `lost` says the peer vanished with the
+    /// stream still live — an established session then still needs its
+    /// runner driven once (governor share release, publisher failure),
+    /// so a synthesized abort is queued for the workers.
+    fn remove_conn(&mut self, token: u64, lost: bool) {
+        self.read_set.remove(&token);
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        match conn.kind {
+            ConnKind::Session {
+                slot,
+                decoder,
+                ended,
+                ..
+            } => {
+                if lost && !ended {
+                    let _ = self
+                        .sched
+                        .try_enqueue(&slot, Job::Abort(decoder.interrupt(None)));
+                }
+                // The capacity slot frees *here*, on the poller thread:
+                // strictly after this session's last byte went out and
+                // strictly before the next accept is admitted, so a
+                // client that saw the trailer can always reconnect.
+                self.counters.active.fetch_sub(1, Ordering::Relaxed);
+            }
+            ConnKind::Subscriber { ring, .. } => {
+                ring.detach();
+                self.counters
+                    .active_subscribers
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            ConnKind::Hello(_) | ConnKind::Finishing => {}
+        }
+    }
+
+    /// Services one woken token: phase-specific forward progress, then
+    /// the outbox.
+    fn service(&mut self, token: u64, now: Instant) {
+        enum Act {
+            Drive,
+            Pump,
+            Nothing,
+        }
+        let act = match self.conns.get(&token) {
+            Some(conn) => match &conn.kind {
+                ConnKind::Session { .. } => Act::Drive,
+                ConnKind::Subscriber { .. } => Act::Pump,
+                _ => Act::Nothing,
+            },
+            None => return,
+        };
+        match act {
+            Act::Drive => self.drive_session(token),
+            Act::Pump => {
+                self.flush_subscriber(token, now);
+                return;
+            }
+            Act::Nothing => {}
+        }
+        // A socket known to be blocked can't take the new bytes anyway;
+        // its pending `WriteRetry` probe rediscovers writability.
+        // Skipping the attempt keeps a frame's fan-out from paying one
+        // futile `EAGAIN` per stalled subscriber.
+        let blocked = self
+            .conns
+            .get(&token)
+            .is_some_and(|conn| conn.stalled_since.is_some());
+        if !blocked {
+            self.apply_write(token, now);
+        }
+    }
+
+    /// Drains a subscriber's ring through its outbox until the ring
+    /// runs dry, the socket blocks, or the connection goes terminal.
+    ///
+    /// The loop matters: [`pump`](Server::pump) stops
+    /// moving ring packets while the outbox sits at its cap, and a
+    /// terminal ring state (closed broadcast, eviction notice) stays
+    /// parked *behind* that backlog — with its one-shot ring wake long
+    /// spent. One pump-then-write round would strand the tail the
+    /// moment the writes catch up, so keep refilling while bytes move.
+    /// A socket known to be blocked is left to its pending
+    /// [`TimerKind::WriteRetry`] probe — no futile `EAGAIN` per pass.
+    fn flush_subscriber(&mut self, token: u64, now: Instant) {
+        loop {
+            self.pump(token);
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            if conn.draining || conn.stalled_since.is_some() {
+                return;
+            }
+            if !self.apply_write(token, now) {
+                return;
+            }
+        }
+    }
+
+    /// Decodes buffered session bytes into jobs until the buffer runs
+    /// dry, the queue fills (job parked, reads paused), or the stream
+    /// terminates.
+    fn drive_session(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let ConnKind::Session {
+                slot,
+                decoder,
+                parked,
+                ended,
+            } = &mut conn.kind
+            else {
+                return;
+            };
+            if *ended {
+                break;
+            }
+            let job = if let Some(job) = parked.take() {
+                job
+            } else {
+                match decoder.next_msg() {
+                    Ok(Some(WireMsg::Packet(packet))) => Job::Packet(packet),
+                    // The frame index is client-assigned bookkeeping the
+                    // encoder re-derives; drop it exactly as the old
+                    // blocking reader did.
+                    Ok(Some(WireMsg::Frame(_, frame))) => Job::Frame(frame),
+                    Ok(Some(WireMsg::Retarget(retarget))) => Job::Retarget(retarget),
+                    Ok(Some(WireMsg::End)) => Job::End,
+                    Ok(None) => break,
+                    Err(message) => Job::Abort(message),
+                }
+            };
+            let control = job.is_control();
+            match self.sched.try_enqueue(slot, job) {
+                Enqueue::Queued => {
+                    if control {
+                        *ended = true;
+                        break;
+                    }
+                }
+                Enqueue::Full(job) => {
+                    *parked = Some(job);
+                    break;
+                }
+                Enqueue::Dead => {
+                    *ended = true;
+                    break;
+                }
+            }
+        }
+        self.sync_interest(token);
+    }
+
+    /// Transfers ring packets into a subscriber's outbox (bounded by the
+    /// outbox cap); marks the subscription done on a terminal ring state.
+    fn pump(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if let ConnKind::Subscriber {
+            ring,
+            stats,
+            version,
+            done,
+        } = &mut conn.kind
+        {
+            if !*done {
+                *done = pump_subscriber(ring, &conn.out, stats, *version);
+            }
+        }
+    }
+
+    /// Drains a connection's outbox into its socket and applies the
+    /// outcome: stall tracking, queued closes, peer death. Returns
+    /// whether any bytes moved.
+    fn apply_write(&mut self, token: u64, now: Instant) -> bool {
+        let status = {
+            let Some(conn) = self.conns.get(&token) else {
+                return false;
+            };
+            if conn.draining {
+                return false;
+            }
+            service_writes(&conn.sock, &conn.out)
+        };
+        match status {
+            WriteStatus::Idle => {
+                self.clear_stall(token);
+                false
+            }
+            WriteStatus::Progress => {
+                self.clear_stall(token);
+                true
+            }
+            WriteStatus::Blocked { progressed } => {
+                let (stall, retry) = {
+                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    let first = conn.stalled_since.is_none();
+                    if progressed || first {
+                        conn.stalled_since = Some(now);
+                    }
+                    if progressed {
+                        // The peer is draining, just slower than we
+                        // write; probe promptly again.
+                        conn.retry_backoff = RETRY_MIN;
+                    }
+                    let retry = (!conn.retry_armed).then(|| {
+                        conn.retry_armed = true;
+                        let delay = conn.retry_backoff;
+                        conn.retry_backoff = (conn.retry_backoff * 2).min(RETRY_MAX);
+                        (conn.gen, delay)
+                    });
+                    (first.then_some(conn.gen), retry)
+                };
+                if let Some(gen) = stall {
+                    self.wheel.arm(
+                        token,
+                        gen,
+                        TimerKind::WriteStall,
+                        now + self.cfg.write_timeout,
+                    );
+                }
+                if let Some((gen, delay)) = retry {
+                    self.wheel
+                        .arm(token, gen, TimerKind::WriteRetry, now + delay);
+                }
+                progressed
+            }
+            WriteStatus::Gone => {
+                self.remove_conn(token, true);
+                true
+            }
+            WriteStatus::Close(CloseKind::Graceful) => {
+                if let Some(conn) = self.conns.get(&token) {
+                    let _ = conn.sock.shutdown(Shutdown::Both);
+                }
+                self.remove_conn(token, false);
+                true
+            }
+            WriteStatus::Close(CloseKind::Drain) => {
+                // Half-close so the peer sees the notice plus EOF, then
+                // give it a bounded window to read before the hard
+                // close — the old post-error drain, now on the wheel.
+                let gen = {
+                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    let _ = conn.sock.shutdown(Shutdown::Write);
+                    conn.draining = true;
+                    conn.stalled_since = None;
+                    conn.gen = conn.gen.wrapping_add(1);
+                    conn.gen
+                };
+                self.wheel
+                    .arm(token, gen, TimerKind::Drain, now + DRAIN_TIMEOUT);
+                self.sync_interest(token);
+                true
+            }
+        }
+    }
+
+    fn clear_stall(&mut self, token: u64) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.stalled_since = None;
+            conn.retry_backoff = RETRY_MIN;
+        }
+    }
+
+    /// One nonblocking read on a read-interested connection.
+    fn service_read(&mut self, token: u64, now: Instant) -> bool {
+        let input = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            match (&conn.sock).read(&mut self.scratch) {
+                Ok(0) => Input::Eof,
+                Ok(n) => Input::Data(n),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    Input::Block
+                }
+                Err(e) => Input::Failed(e),
+            }
+        };
+        match input {
+            Input::Block => false,
+            Input::Data(n) => {
+                self.on_bytes(token, n, now);
+                true
+            }
+            Input::Eof => {
+                self.on_read_lost(token, None, now);
+                true
+            }
+            Input::Failed(e) => {
+                self.on_read_lost(token, Some(e), now);
+                true
+            }
+        }
+    }
+
+    /// Routes `n` fresh bytes into the connection's protocol machine.
+    fn on_bytes(&mut self, token: u64, n: usize, now: Instant) {
+        enum Next {
+            Establish(Hello, Vec<u8>),
+            Reject(String),
+            Drive,
+            Nothing,
+        }
+        let next = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.draining {
+                // Post-error drain: discard whatever the peer sends.
+                Next::Nothing
+            } else {
+                match &mut conn.kind {
+                    ConnKind::Hello(decoder) => match decoder.feed(&self.scratch[..n]) {
+                        Ok(Some(hello)) => Next::Establish(hello, decoder.take_rest()),
+                        Ok(None) => Next::Nothing,
+                        Err(e) => Next::Reject(format!("handshake: {e}")),
+                    },
+                    ConnKind::Session { decoder, ended, .. } if !*ended => {
+                        decoder.feed(&self.scratch[..n]);
+                        Next::Drive
+                    }
+                    _ => Next::Nothing,
+                }
+            }
+        };
+        match next {
+            Next::Establish(hello, rest) => self.establish(token, hello, rest, now),
+            Next::Reject(message) => {
+                self.reject(token, &message);
+                self.apply_write(token, now);
+            }
+            Next::Drive => {
+                self.drive_session(token);
+                self.apply_write(token, now);
+            }
+            Next::Nothing => {}
+        }
+    }
+
+    /// The read side died (EOF or a hard error): reproduce the old
+    /// blocking reader's diagnostics from the decoder's buffered state.
+    fn on_read_lost(&mut self, token: u64, err: Option<io::Error>, now: Instant) {
+        enum Next {
+            CloseNow,
+            Reject(String),
+            Abort(String),
+            Nothing,
+        }
+        let next = {
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            if conn.draining {
+                Next::CloseNow
+            } else {
+                match &conn.kind {
+                    ConnKind::Hello(decoder) => {
+                        Next::Reject(format!("handshake: {}", decoder.interrupt(err)))
+                    }
+                    ConnKind::Session { decoder, ended, .. } if !*ended => {
+                        Next::Abort(decoder.interrupt(err))
+                    }
+                    _ => Next::Nothing,
+                }
+            }
+        };
+        match next {
+            Next::CloseNow => {
+                if let Some(conn) = self.conns.get(&token) {
+                    let _ = conn.sock.shutdown(Shutdown::Both);
+                }
+                self.remove_conn(token, false);
+            }
+            Next::Reject(message) => {
+                self.reject(token, &message);
+                self.apply_write(token, now);
+            }
+            Next::Abort(message) => {
+                {
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return;
+                    };
+                    let ConnKind::Session {
+                        slot,
+                        parked,
+                        ended,
+                        ..
+                    } = &mut conn.kind
+                    else {
+                        return;
+                    };
+                    *parked = None;
+                    let _ = self.sched.try_enqueue(slot, Job::Abort(message));
+                    *ended = true;
+                }
+                self.sync_interest(token);
+            }
+            Next::Nothing => {
+                self.sync_interest(token);
+            }
+        }
+    }
+
+    /// Handles every due timer. Returns whether any acted.
+    fn on_timers(&mut self, now: Instant) -> bool {
+        self.wheel.advance(now, &mut self.fired);
+        let mut acted = false;
+        while let Some((token, gen, kind)) = self.fired.pop() {
+            acted |= self.on_timer(token, gen, kind, now);
+        }
+        acted
+    }
+
+    fn on_timer(&mut self, token: u64, gen: u32, kind: TimerKind, now: Instant) -> bool {
+        let Some(conn) = self.conns.get(&token) else {
+            return false;
+        };
+        // Stale: the connection changed phase after arming.
+        if conn.gen != gen {
+            return false;
+        }
+        match kind {
+            TimerKind::Handshake => {
+                let message = match &conn.kind {
+                    ConnKind::Hello(decoder) => format!(
+                        "handshake: {}",
+                        decoder.interrupt(Some(io::Error::new(
+                            ErrorKind::TimedOut,
+                            "handshake deadline exceeded",
+                        )))
+                    ),
+                    _ => return false,
+                };
+                self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                self.reject(token, &message);
+                self.apply_write(token, now);
+                true
+            }
+            TimerKind::WriteStall => {
+                let Some(since) = conn.stalled_since else {
+                    return false;
+                };
+                if now.saturating_duration_since(since) >= self.cfg.write_timeout {
+                    self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                    self.remove_conn(token, true);
+                    true
+                } else {
+                    // Progress reset the stall clock after arming;
+                    // re-arm for the remainder (not counted as a fire).
+                    self.wheel.arm(
+                        token,
+                        gen,
+                        TimerKind::WriteStall,
+                        since + self.cfg.write_timeout,
+                    );
+                    false
+                }
+            }
+            TimerKind::WriteRetry => {
+                let blocked = conn.stalled_since.is_some();
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.retry_armed = false;
+                }
+                if !blocked {
+                    // Progress beat the probe; the backoff was already
+                    // reset and nothing is pending.
+                    return false;
+                }
+                self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                let acted = self.apply_write(token, now);
+                // A probe that cleared the stall may have exposed ring
+                // backlog (or an eviction notice) the pump parked under
+                // outbox backpressure; drain it now or it starves.
+                self.flush_subscriber(token, now);
+                acted
+            }
+            TimerKind::Drain => {
+                if !conn.draining {
+                    return false;
+                }
+                self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.sock.shutdown(Shutdown::Both);
+                self.remove_conn(token, false);
+                true
+            }
+        }
+    }
+
+    /// The event loop. Exits when `stop` is raised or the listener
+    /// fails hard.
+    fn poll_loop(&mut self, listener: &TcpListener, stop: &AtomicBool) {
+        self.shared.register_thread();
+        let mut wakes: Vec<u64> = Vec::new();
+        let mut tokens: Vec<u64> = Vec::new();
+        let mut backoff = Duration::from_micros(200);
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            self.counters.poll_wakeups.fetch_add(1, Ordering::Relaxed);
+            let mut progress = false;
+            let mut fatal = false;
+            // 1. Accept everything pending.
+            let now = Instant::now();
+            loop {
+                match listener.accept() {
+                    Ok((sock, _)) => {
+                        self.register(sock, now);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+            self.counters
+                .max_registered
+                .fetch_max(self.conns.len() as u64, Ordering::Relaxed);
+            // 2. Service explicit wakes (worker flushes, ring pushes,
+            // freed queue space).
+            wakes.clear();
+            self.shared.drain(&mut wakes);
+            if !wakes.is_empty() {
+                progress = true;
+                wakes.sort_unstable();
+                wakes.dedup();
+                let now = Instant::now();
+                for &token in &wakes {
+                    self.service(token, now);
+                }
+            }
+            // 3. Read every read-interested socket once.
+            tokens.clear();
+            tokens.extend(self.read_set.iter().copied());
+            let now = Instant::now();
+            for &token in &tokens {
+                progress |= self.service_read(token, now);
+            }
+            // 4. Fire due timers (including blocked-write re-probes —
+            // no socket is swept per pass just for being blocked).
+            progress |= self.on_timers(Instant::now());
+            if fatal {
+                break;
+            }
+            // 5. Park. Live readers cap the park low; otherwise sleep
+            // until the next timer or the idle backstop. A wake landing
+            // between drain and park makes park return immediately
+            // (sticky unpark permit), so nothing is lost.
+            if progress {
+                backoff = Duration::from_micros(200);
+                continue;
+            }
+            self.counters.spurious_polls.fetch_add(1, Ordering::Relaxed);
+            let cap = if !self.read_set.is_empty() {
+                Duration::from_millis(2)
+            } else {
+                POLL
+            };
+            backoff = (backoff * 2).min(cap);
+            let mut park = backoff;
+            if let Some(deadline) = self.wheel.next_deadline() {
+                park = park.min(deadline.saturating_duration_since(Instant::now()));
+            }
+            if !park.is_zero() {
+                std::thread::park_timeout(park);
+            }
+        }
+        // Shutdown sweep: one best-effort flush so trailers already
+        // queued have a chance to leave, then drop every socket.
+        tokens.clear();
+        tokens.extend(self.conns.keys().copied());
+        let now = Instant::now();
+        for &token in &tokens {
+            self.apply_write(token, now);
+        }
+    }
+
+    /// Completes a handshake: structural validation already passed (the
+    /// `Hello` parsed); this is semantic validation, admission, the ack,
+    /// and the phase change to a live session or subscriber. `rest` is
+    /// whatever the client pipelined behind its `Hello`.
+    fn establish(&mut self, token: u64, hello: Hello, rest: Vec<u8>, now: Instant) {
+        if let Err(reason) = validate_hello(&hello) {
+            self.reject(token, &format!("handshake: {reason}"));
+            self.apply_write(token, now);
+            return;
+        }
+        // Subscribers take a different path entirely: no codec session,
+        // no pool slot — just an attach and a ring-fed outbox.
+        if hello.role == Role::Subscribe {
+            self.establish_subscriber(token, hello, now);
+            return;
+        }
+        // Atomic admission (reserve-then-ack): handshakes race for
+        // slots under the cap, never past it.
+        if self
+            .counters
+            .active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
+                (active < self.cfg.max_sessions).then_some(active + 1)
+            })
+            .is_err()
+        {
+            self.reject(token, "server at session capacity");
+            self.apply_write(token, now);
+            return;
+        }
+        // Governed admission: backlog-aware for every session,
+        // budget-aware for the bandwidth-bearing roles. The three-step
+        // response — admit, admit-degraded (the ack says so), reject
+        // with a clean 'X' — all resolves here, before the ack.
+        let mut gov_admit: Option<GovAdmit<'env>> = None;
+        if let Some(gov) = self.governor {
+            let backlog = self.sched.backlog();
+            let admitted = if matches!(hello.role, Role::Encode | Role::Publish) {
+                let pixels = (hello.width * hello.height) as f64;
+                let want = match hello.target {
+                    Some(t) => t.bpp() * pixels,
+                    None => gov.config().assumed_bpp * pixels,
+                };
+                let client = hello.client.clone().unwrap_or_else(|| {
+                    self.conns
+                        .get(&token)
+                        .and_then(|conn| conn.sock.peer_addr().ok())
+                        .map(|peer| peer.ip().to_string())
+                        .unwrap_or_else(|| "unknown-peer".into())
+                });
+                gov.admit(&client, want, backlog)
+                    .map(|(id, ratio)| Some(GovAdmit::new(gov, id, ratio)))
+            } else {
+                gov.check_backlog(backlog).map(|()| None)
+            };
+            match admitted {
+                Ok(admit) => gov_admit = admit,
+                Err(reason) => {
+                    self.counters.active.fetch_sub(1, Ordering::Relaxed);
+                    self.reject(token, &format!("admission: {reason}"));
+                    self.apply_write(token, now);
+                    return;
+                }
+            }
+        }
+        // Publish streams claim their broadcast name *before* the ack,
+        // so a duplicate name is a handshake rejection, not a
+        // mid-stream abort.
+        let relay_gop: u16 = if hello.gop != 0 {
+            hello.gop
+        } else {
+            self.cfg.broadcast_gop.clamp(1, usize::from(u16::MAX)) as u16
+        };
+        let mut publish_guard = None;
+        if hello.role == Role::Publish {
+            let name = hello.broadcast.as_deref().unwrap_or_default();
+            let info = BroadcastInfo {
+                family: hello.family,
+                width: hello.width,
+                height: hello.height,
+                gop: relay_gop,
+            };
+            match self.registry.create(name, info, hello.rate) {
+                Ok(guard) => publish_guard = Some(guard),
+                Err(reason) => {
+                    self.counters.active.fetch_sub(1, Ordering::Relaxed);
+                    self.reject(token, &format!("handshake: {reason}"));
+                    self.apply_write(token, now);
+                    return;
+                }
+            }
+        }
+        let ack = match &gov_admit {
+            Some(admit) if admit.ratio() < 1.0 => Ack {
+                rate: degraded_ack_rate(
+                    &hello,
+                    admit.ratio(),
+                    self.governor.map_or(0, |g| g.config().min_position),
+                ),
+                degraded: true,
+            },
+            _ => Ack {
+                rate: hello.rate,
+                degraded: false,
+            },
+        };
+        let mut ack_bytes = Vec::new();
+        write_ack_msg(&mut ack_bytes, hello.version, &ack).expect("vec write cannot fail");
+        let (out, waker) = {
+            let conn = self.conns.get(&token).expect("registered");
+            (
+                Arc::clone(&conn.out),
+                PollWaker::new(Arc::clone(&self.shared), token),
+            )
+        };
+        push_bytes(&out, ack_bytes);
+        self.counters.sessions.fetch_add(1, Ordering::Relaxed);
+
+        let negotiated = (hello.width, hello.height);
+        let version = hello.version;
+        let governor = self.governor;
+        let counters = self.counters;
+        let out_handle = OutHandle::new(Arc::clone(&out), waker.clone());
+        let runner: Box<dyn SessionRunner + Send + 'env> = match (hello.family, hello.role) {
+            (Family::Ctvc, Role::Decode) => Box::new(DecodeRunner::new(
+                self.ctvc.start_decode(),
+                negotiated,
+                version,
+                out_handle,
+            )),
+            (Family::Ctvc, Role::Encode) => {
+                let mode =
+                    wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
+                let governed = gov_admit.map(|admit| {
+                    claim_governed::<RatePoint>(
+                        governor.expect("admission implies a governor"),
+                        counters,
+                        admit,
+                        &hello,
+                    )
+                });
+                Box::new(EncodeRunner::new(
+                    self.ctvc.start_encode(mode),
+                    version,
+                    out_handle,
+                    governed,
+                ))
+            }
+            (Family::Hybrid, Role::Decode) => Box::new(DecodeRunner::new(
+                self.hybrid.start_decode(),
+                negotiated,
+                version,
+                out_handle,
+            )),
+            (Family::Hybrid, Role::Encode) => {
+                let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
+                let governed = gov_admit.map(|admit| {
+                    claim_governed::<u8>(
+                        governor.expect("admission implies a governor"),
+                        counters,
+                        admit,
+                        &hello,
+                    )
+                });
+                Box::new(EncodeRunner::new(
+                    self.hybrid.start_encode(mode),
+                    version,
+                    out_handle,
+                    governed,
+                ))
+            }
+            (Family::Ctvc, Role::Publish) => {
+                let mode =
+                    wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
+                let mut sess = self.ctvc.start_encode(mode);
+                let joinable = sess.set_join_headers(true);
+                debug_assert!(joinable, "served CTVC codec lacks joinable-stream mode");
+                let guard = publish_guard.take().expect("claimed above");
+                let governed = gov_admit.map(|admit| {
+                    claim_governed::<RatePoint>(
+                        governor.expect("admission implies a governor"),
+                        counters,
+                        admit,
+                        &hello,
+                    )
+                });
+                Box::new(PublishRunner::new(
+                    sess,
+                    version,
+                    out_handle,
+                    guard,
+                    u32::from(relay_gop),
+                    counters,
+                    governed,
+                ))
+            }
+            (Family::Hybrid, Role::Publish) => {
+                let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
+                let mut sess = self.hybrid.start_encode(mode);
+                let joinable = sess.set_join_headers(true);
+                debug_assert!(joinable, "served hybrid codec lacks joinable-stream mode");
+                let guard = publish_guard.take().expect("claimed above");
+                let governed = gov_admit.map(|admit| {
+                    claim_governed::<u8>(
+                        governor.expect("admission implies a governor"),
+                        counters,
+                        admit,
+                        &hello,
+                    )
+                });
+                Box::new(PublishRunner::new(
+                    sess,
+                    version,
+                    out_handle,
+                    guard,
+                    u32::from(relay_gop),
+                    counters,
+                    governed,
+                ))
+            }
+            (_, Role::Subscribe) => unreachable!("subscribers return above"),
+        };
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::default()),
+            space: Condvar::new(),
+            runner: Mutex::new(runner),
+            waker,
+        });
+        {
+            let conn = self.conns.get_mut(&token).expect("registered");
+            conn.gen = conn.gen.wrapping_add(1);
+            let mut decoder = MsgDecoder::new(hello.role, hello.version, hello.width, hello.height);
+            // Bytes the client pipelined behind its Hello.
+            decoder.feed(&rest);
+            conn.kind = ConnKind::Session {
+                slot,
+                decoder,
+                parked: None,
+                ended: false,
+            };
+        }
+        self.drive_session(token);
+        self.apply_write(token, now);
+    }
+
+    /// The subscriber half of [`Poller::establish`]: resolves the named
+    /// broadcast, validates the handshake against its fixed facts,
+    /// attaches, queues the ack plus the `'J'` join info and the backlog,
+    /// and flips the connection into ring-fed mode.
+    fn establish_subscriber(&mut self, token: u64, hello: Hello, now: Instant) {
+        let name = hello.broadcast.as_deref().unwrap_or_default();
+        let Some(broadcast) = self.registry.get(name) else {
+            self.reject(token, &format!("handshake: no broadcast named {name:?}"));
+            self.apply_write(token, now);
+            return;
+        };
+        let info = broadcast.info();
+        if info.family != hello.family {
+            self.reject(
+                token,
+                &format!(
+                    "handshake: broadcast {name:?} serves {:?} streams, not {:?}",
+                    info.family, hello.family
+                ),
+            );
+            self.apply_write(token, now);
+            return;
+        }
+        if (info.width, info.height) != (hello.width, hello.height) {
+            self.reject(
+                token,
+                &format!(
+                    "handshake: broadcast {name:?} is {}x{}, requested {}x{}",
+                    info.width, info.height, hello.width, hello.height
+                ),
+            );
+            self.apply_write(token, now);
+            return;
+        }
+        // Subscriber admission is separate from session admission: a
+        // subscriber holds no codec state and no pool slot, so the cap
+        // is orders of magnitude higher.
+        if self
+            .counters
+            .active_subscribers
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
+                (active < self.cfg.max_subscribers).then_some(active + 1)
+            })
+            .is_err()
+        {
+            self.reject(token, "server at subscriber capacity");
+            self.apply_write(token, now);
+            return;
+        }
+        let attachment = match broadcast.attach(self.cfg.subscriber_ring) {
+            Ok(attachment) => attachment,
+            Err(reason) => {
+                self.counters
+                    .active_subscribers
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.reject(token, &format!("handshake: {reason}"));
+                self.apply_write(token, now);
+                return;
+            }
+        };
+        let join = JoinInfo {
+            family: info.family,
+            width: info.width,
+            height: info.height,
+            start_index: attachment.start_index,
+            rate: attachment.rate,
+            gop: info.gop,
+        };
+        let ack = Ack {
+            rate: attachment.rate,
+            degraded: false,
+        };
+        let mut bytes = Vec::new();
+        write_ack_msg(&mut bytes, hello.version, &ack).expect("vec write cannot fail");
+        write_join_msg(&mut bytes, &join).expect("vec write cannot fail");
+        let out = Arc::clone(&self.conns.get(&token).expect("registered").out);
+        push_bytes(&out, bytes);
+        self.counters.subscribers.fetch_add(1, Ordering::Relaxed);
+        // Ring pushes from the publisher's worker now wake this token.
+        attachment
+            .ring
+            .set_notify(PollWaker::new(Arc::clone(&self.shared), token));
+        // The join-time backlog (at most one GOP segment) goes straight
+        // into the outbox, bypassing the pump's cap, and is accounted in
+        // the trailer like every later packet.
+        let mut stats = SubscriberStats::default();
+        for packet in &attachment.backlog {
+            stats.account(packet);
+            push_shared(&out, Arc::clone(packet));
+        }
+        {
+            let conn = self.conns.get_mut(&token).expect("registered");
+            conn.gen = conn.gen.wrapping_add(1);
+            conn.kind = ConnKind::Subscriber {
+                ring: Arc::clone(&attachment.ring),
+                stats: Some(stats),
+                version: hello.version,
+                done: false,
+            };
+        }
+        self.sync_interest(token);
+        self.flush_subscriber(token, now);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1436,6 +2117,7 @@ fn run(
     hybrid: HybridCodec,
     stop: &AtomicBool,
     counters: &Counters,
+    shared: Arc<PollShared>,
 ) {
     let hardware = nvc_core::ExecCtx::auto().threads();
     let workers = if cfg.workers == 0 {
@@ -1445,15 +2127,9 @@ fn run(
     };
     let threads_per_session = cfg.threads_per_session.max(1);
     let exec = ExecPool::new(cfg.exec_cap);
-    // Fan-out write work gets its own permit pool so a thousand
-    // subscribers can never starve the codec workers of compute permits
-    // (and vice versa).
-    let fanout = ExecPool::new(cfg.fanout_cap);
     let registry = BroadcastRegistry::new();
     // Default compute-admission ceiling: the deepest backlog the slot
-    // queues can legitimately hold at once. Declared before the
-    // scheduler so connection threads holding governor registrations
-    // outlive nothing that still references them.
+    // queues can legitimately hold at once.
     let governor = cfg
         .governor
         .clone()
@@ -1463,27 +2139,21 @@ fn run(
         for _ in 0..workers.max(1) {
             scope.spawn(|| worker_loop(&sched, &exec, threads_per_session, stop, counters));
         }
-        while !stop.load(Ordering::Relaxed) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let (ctvc, hybrid, sched) = (&ctvc, &hybrid, &sched);
-                    let (cfg, registry, fanout) = (&cfg, &registry, &fanout);
-                    let governor = governor.as_ref();
-                    scope.spawn(move || {
-                        connection(
-                            stream, ctvc, hybrid, sched, cfg, registry, fanout, governor, stop,
-                            counters,
-                        )
-                    });
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
-                Err(_) => break,
-            }
-        }
+        // The poller runs right here on the `nvc-serve` thread: one
+        // event loop for the listener and every connection.
+        let mut poller = Poller::new(
+            &cfg,
+            &ctvc,
+            &hybrid,
+            &sched,
+            &registry,
+            governor.as_ref(),
+            counters,
+            Arc::clone(&shared),
+        );
+        poller.poll_loop(&listener, stop);
         stop.store(true, Ordering::Relaxed);
         sched.work.notify_all();
-        // Wake every subscriber writer parked on a ring wait so the
-        // scope join is not at the mercy of the ring-wait backstop.
         registry.fail_all("server shutting down");
     });
 }

@@ -1,141 +1,20 @@
-//! The subscriber side of a broadcast: the server's per-subscriber
-//! writer loop and the blocking [`SubscribeClient`].
+//! The subscriber side of a broadcast: the blocking [`SubscribeClient`].
+//!
+//! The server half of a subscription lives in the event-driven core —
+//! `conn::pump_subscriber` transfers ring packets into the connection's
+//! outbox and the poller drains the outbox on write-readiness — so this
+//! module is purely the client.
 
-use crate::broadcast::{Attachment, CachedPacket, RingPop};
 use crate::proto::{
-    read_ack_body, read_error_body, read_join_body, read_stats_body, read_u8, write_stats_msg,
-    JoinInfo, Role, MSG_ACK, MSG_ERROR, MSG_JOIN, MSG_PACKET, MSG_STATS,
+    read_ack_body, read_error_body, read_join_body, read_stats_body, read_u8, JoinInfo, Role,
+    MSG_ACK, MSG_ERROR, MSG_JOIN, MSG_PACKET, MSG_STATS,
 };
-use crate::server::hangup;
 use crate::ServeError;
-use nvc_core::ExecPool;
 use nvc_entropy::container::Packet;
 use nvc_video::StreamStats;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
-
-/// Backstop wait for ring pops. Every way a subscription can end —
-/// publish, close, eviction, failure, registry shutdown — notifies the
-/// ring's condvar, so waits are event-driven and this bound only limits
-/// how often an idle writer re-checks the stop flag. A short poll here
-/// would melt a large fan-out: thousands of idle writer threads waking
-/// every few milliseconds costs more than the fan-out writes themselves.
-const RING_WAIT: Duration = Duration::from_secs(1);
-
-/// How long a subscriber writer waits for a fan-out permit before
-/// proceeding without one. The permit bounds the CPU-side fan-out work
-/// (stats accounting, buffer assembly) — it is a soft cap, so a stalled
-/// permit holder degrades fairness, never liveness.
-const FANOUT_LEASE_TIMEOUT: Duration = Duration::from_millis(5);
-
-/// Per-subscriber stats accumulator: the same per-frame columns an
-/// encode stream's trailer carries, derived from the cached packets so
-/// every subscriber's trailer describes exactly the bytes it received.
-#[derive(Default)]
-struct SubscriberStats {
-    bytes_per_frame: Vec<usize>,
-    bits_per_frame: Vec<u64>,
-    frame_types: Vec<nvc_entropy::container::FrameKind>,
-    rate_per_frame: Vec<u8>,
-    total_bytes: usize,
-}
-
-impl SubscriberStats {
-    fn finish(self) -> StreamStats {
-        StreamStats {
-            frames: self.bytes_per_frame.len(),
-            bytes_per_frame: self.bytes_per_frame,
-            bits_per_frame: self.bits_per_frame,
-            frame_types: self.frame_types,
-            rate_per_frame: self.rate_per_frame,
-            total_bytes: self.total_bytes,
-        }
-    }
-}
-
-/// The server's writer loop for one subscriber connection: replays the
-/// attachment's backlog, then relays live packets off the ring until the
-/// broadcast ends, the subscriber is evicted, or its socket dies. Runs
-/// on the connection's own thread — subscribers never occupy the
-/// compute worker pool.
-pub(crate) fn serve_subscriber(
-    mut out: BufWriter<TcpStream>,
-    attachment: Attachment,
-    version: u8,
-    fanout: &ExecPool,
-    stop: &AtomicBool,
-) {
-    let Attachment { ring, backlog, .. } = attachment;
-    let mut stats = SubscriberStats::default();
-    for packet in backlog {
-        if !send_packet(&mut out, &packet, &mut stats, fanout) {
-            ring.detach();
-            hangup(&mut out, None);
-            return;
-        }
-    }
-    loop {
-        if stop.load(Ordering::Relaxed) {
-            ring.detach();
-            hangup(&mut out, None);
-            return;
-        }
-        match ring.pop(RING_WAIT) {
-            RingPop::Packet(packet) => {
-                if !send_packet(&mut out, &packet, &mut stats, fanout) {
-                    ring.detach();
-                    hangup(&mut out, None);
-                    return;
-                }
-            }
-            RingPop::Empty => {}
-            RingPop::Closed => {
-                let _ = write_stats_msg(&mut out, &stats.finish(), version);
-                hangup(&mut out, None);
-                return;
-            }
-            RingPop::Evicted(reason) => {
-                hangup(&mut out, Some(&reason));
-                return;
-            }
-            RingPop::Failed(reason) => {
-                hangup(&mut out, Some(&reason));
-                return;
-            }
-        }
-    }
-}
-
-/// Writes one cached packet and accounts it; returns `false` when the
-/// socket is gone. The fan-out permit is held only across the CPU-side
-/// accounting and buffer fill, never across the flush — blocked socket
-/// I/O parks on the subscriber's own thread, not on a shared permit.
-fn send_packet(
-    out: &mut BufWriter<TcpStream>,
-    packet: &Arc<CachedPacket>,
-    stats: &mut SubscriberStats,
-    fanout: &ExecPool,
-) -> bool {
-    {
-        let _lease = fanout.lease_timeout(1, FANOUT_LEASE_TIMEOUT);
-        stats.bytes_per_frame.push(packet.payload_len);
-        stats.bits_per_frame.push(packet.bytes.len() as u64 * 8);
-        stats.frame_types.push(packet.kind);
-        stats.rate_per_frame.push(packet.rate);
-        stats.total_bytes += packet.bytes.len();
-        if out
-            .write_all(&[MSG_PACKET])
-            .and_then(|()| out.write_all(&packet.bytes))
-            .is_err()
-        {
-            return false;
-        }
-    }
-    out.flush().is_ok()
-}
 
 /// One event off a subscription.
 #[derive(Debug, Clone)]
@@ -199,8 +78,10 @@ impl SubscribeClient {
     /// timeout: the ack and join-info reads of the handshake abort with
     /// a timeout error instead of hanging forever when the server
     /// accepts the socket but never answers. The socket reverts to
-    /// blocking reads once the join completes — a quiet broadcast is
-    /// normal, a quiet handshake is not. `None` disables the timeout.
+    /// blocking reads once the join resolves — success *or* failure;
+    /// a rejected handshake must not leave the timeout armed on a
+    /// socket the caller may keep using — a quiet broadcast is normal,
+    /// a quiet handshake is not. `None` disables the timeout.
     ///
     /// # Errors
     ///
@@ -219,8 +100,26 @@ impl SubscribeClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(join_timeout)?;
+        let result = Self::join_handshake(&stream, hello);
+        // Revert the handshake timeout on *every* path. On errors the
+        // revert is best-effort: the join failure is what the caller
+        // needs to see, not a second socket error from the cleanup.
+        match &result {
+            Ok(_) => stream.set_read_timeout(None)?,
+            Err(_) => {
+                let _ = stream.set_read_timeout(None);
+            }
+        }
+        result
+    }
+
+    /// The timeout-guarded half of [`connect_with`]: hello out, ack and
+    /// join info back.
+    ///
+    /// [`connect_with`]: SubscribeClient::connect_with
+    fn join_handshake(stream: &TcpStream, hello: crate::Hello) -> Result<Self, ServeError> {
         let mut writer = BufWriter::new(stream.try_clone()?);
-        let mut reader = BufReader::new(stream);
+        let mut reader = BufReader::new(stream.try_clone()?);
         hello.write_to(&mut writer)?;
         writer.flush()?;
         match read_u8(&mut reader)? {
@@ -243,9 +142,6 @@ impl SubscribeClient {
                 )))
             }
         };
-        // Joined: back to blocking reads. Waiting a long time for the
-        // next packet of a quiet broadcast is expected behavior.
-        reader.get_ref().set_read_timeout(None)?;
         Ok(SubscribeClient {
             reader,
             version: hello.version,
@@ -309,107 +205,5 @@ impl SubscribeClient {
                 }
             }
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::broadcast::{BroadcastInfo, BroadcastRegistry, CachedPacket};
-    use crate::proto::Family;
-    use nvc_entropy::container::FrameKind;
-    use std::io::Read;
-    use std::net::TcpListener;
-
-    fn socket_pair() -> (BufWriter<TcpStream>, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
-        let (server, _) = listener.accept().unwrap();
-        server
-            .set_write_timeout(Some(Duration::from_secs(10)))
-            .unwrap();
-        // Mirror the real server's poll timeout: `hangup`'s post-error
-        // drain does blocking reads and relies on it to observe its
-        // deadline.
-        server
-            .set_read_timeout(Some(Duration::from_millis(25)))
-            .unwrap();
-        client
-            .set_read_timeout(Some(Duration::from_secs(10)))
-            .unwrap();
-        (BufWriter::new(server), client)
-    }
-
-    fn cached(frame_index: u32, kind: FrameKind) -> CachedPacket {
-        let packet = Packet::new(frame_index, kind, vec![frame_index as u8; 16]);
-        CachedPacket {
-            bytes: packet.to_bytes(),
-            payload_len: packet.payload.len(),
-            frame_index,
-            kind,
-            rate: 1,
-        }
-    }
-
-    /// Lag eviction over real sockets, made deterministic by publishing
-    /// into the rings *before* the writer threads start draining them:
-    /// the slow subscriber's ring (capacity 2) overflows, the fast one
-    /// holds everything. The evicted subscriber must receive a clean
-    /// `'X'` with the lag reason and a closed connection; the fast one
-    /// streams every packet and the trailer, unaffected.
-    #[test]
-    fn evicted_subscriber_gets_a_clean_error_while_others_stream_on() {
-        let registry = BroadcastRegistry::new();
-        let info = BroadcastInfo {
-            family: Family::Ctvc,
-            width: 32,
-            height: 32,
-            gop: 4,
-        };
-        let mut guard = registry.create("game", info, 1).unwrap();
-        let slow_att = guard.broadcast().attach(2).unwrap();
-        let fast_att = guard.broadcast().attach(64).unwrap();
-        let mut evicted = 0;
-        for i in 0..4 {
-            let kind = if i == 0 {
-                FrameKind::Intra
-            } else {
-                FrameKind::Predicted
-            };
-            evicted += guard.broadcast().publish(cached(i, kind));
-        }
-        assert_eq!(evicted, 1, "the capacity-2 ring must overflow");
-        guard.finish();
-
-        let fanout = ExecPool::new(1);
-        let stop = AtomicBool::new(false);
-        let (slow_out, mut slow_client) = socket_pair();
-        let (fast_out, mut fast_client) = socket_pair();
-        std::thread::scope(|scope| {
-            scope.spawn(|| serve_subscriber(slow_out, slow_att, 3, &fanout, &stop));
-            scope.spawn(|| serve_subscriber(fast_out, fast_att, 3, &fanout, &stop));
-
-            let mut tag = [0u8; 1];
-            slow_client.read_exact(&mut tag).unwrap();
-            assert_eq!(tag[0], MSG_ERROR, "eviction must arrive as 'X'");
-            let reason = read_error_body(&mut &slow_client).unwrap();
-            assert!(reason.contains("lagging"), "{reason}");
-            assert_eq!(
-                slow_client.read(&mut tag).unwrap(),
-                0,
-                "connection must close after the eviction notice"
-            );
-
-            for want in 0..4u32 {
-                fast_client.read_exact(&mut tag).unwrap();
-                assert_eq!(tag[0], MSG_PACKET);
-                let packet = Packet::read_from(&mut &fast_client).unwrap();
-                assert_eq!(packet.frame_index, want);
-            }
-            fast_client.read_exact(&mut tag).unwrap();
-            assert_eq!(tag[0], MSG_STATS, "clean end must carry the trailer");
-            let stats = read_stats_body(&mut &fast_client, 3).unwrap();
-            assert_eq!(stats.frames, 4);
-        });
     }
 }

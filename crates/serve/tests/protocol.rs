@@ -85,6 +85,10 @@ fn ctvc_decode_stream_is_bit_exact_with_in_process_sessions() {
     assert_eq!(report.sessions, 1);
     assert_eq!(report.frames, 4);
     assert_eq!(report.errors, 0);
+    // Poller accounting: every pass counts, and the one connection was
+    // registered while it streamed.
+    assert!(report.poll_wakeups > 0, "poller must have run passes");
+    assert_eq!(report.max_registered, 1);
 }
 
 #[test]
@@ -529,6 +533,18 @@ fn handshake_deadline_rejects_a_silent_client() {
     let report = server.shutdown();
     assert_eq!(report.rejected, 1);
     assert_eq!(report.sessions, 1);
+    // The deadline came off the poller's timer wheel, and the 200ms of
+    // client silence means the poller parked through passes that found
+    // no work.
+    assert!(
+        report.timer_fires >= 1,
+        "timer_fires = {}",
+        report.timer_fires
+    );
+    assert!(
+        report.spurious_polls > 0,
+        "a silent 200ms window must show up as spurious polls"
+    );
 }
 
 #[test]
@@ -715,4 +731,10 @@ fn concurrent_sessions_are_all_bit_exact() {
     assert_eq!(report.sessions, 3);
     assert_eq!(report.frames, 9);
     assert_eq!(report.errors, 0);
+    // All three sessions multiplexed on the one poller.
+    assert!(
+        (1..=3).contains(&report.max_registered),
+        "max_registered = {}",
+        report.max_registered
+    );
 }

@@ -191,5 +191,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "server report: {} sessions, {} frames, {} subscribers, {} evicted, {} errors",
         report.sessions, report.frames, report.subscribers, report.evicted, report.errors
     );
+    println!(
+        "poller report: {} wakeups ({} spurious), {} sockets registered at peak, \
+         {} timer fires",
+        report.poll_wakeups, report.spurious_polls, report.max_registered, report.timer_fires
+    );
     Ok(())
 }
