@@ -59,8 +59,8 @@ use nvc_bench::BENCH_N;
 use nvc_core::ExecCtx;
 use nvc_model::CtvcConfig;
 use nvc_serve::{
-    Hello, ServeConfig, ServeError, Server, ServerHandle, StreamClient, SubscribeClient,
-    SubscribeEvent,
+    scrape_metrics, Hello, ServeConfig, ServeError, Server, ServerHandle, StreamClient,
+    SubscribeClient, SubscribeEvent,
 };
 use nvc_video::synthetic::{SceneConfig, Synthesizer};
 use nvc_video::Sequence;
@@ -422,6 +422,7 @@ fn main() {
             ctvc: CtvcConfig::ctvc_fp(n_ch),
             workers: 1,
             max_subscribers: top_k + 16,
+            metrics_addr: Some("127.0.0.1:0".into()),
             ..ServeConfig::default()
         },
     )
@@ -453,6 +454,24 @@ fn main() {
             fps / baseline_fps
         );
     }
+    // Live observability over the same loopback: the endpoint answers
+    // while the sweep's server is still up, and the subscriber-ring
+    // fan-out shows up in the process-global registry it rides on.
+    let scrape = scrape_metrics(server.metrics_addr().expect("metrics endpoint configured"))
+        .expect("scrape live metrics");
+    for name in [
+        "nvc_serve_subscribers_total",
+        "nvc_poll_wakeups_total",
+        "nvc_poll_park_us_count",
+        "nvc_ring_occupancy",
+        "nvc_ring_drained_total",
+    ] {
+        assert!(scrape.contains(name), "live scrape is missing {name}");
+    }
+    println!(
+        "  metrics:   live scrape OK ({} bytes, ring + poller series present)",
+        scrape.len()
+    );
     let report = server.shutdown();
     println!(
         "  poller:    {} wakeups ({} spurious), {} sockets registered at peak, \

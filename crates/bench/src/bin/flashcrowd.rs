@@ -32,6 +32,7 @@
 //!                       # failure)
 //! ```
 
+use nvc_bench::percentile;
 use nvc_core::ExecCtx;
 use nvc_serve::{
     GovernorConfig, Hello, ServeConfig, ServeError, Server, ServerHandle, StreamClient,
@@ -59,14 +60,6 @@ fn connect(server: &ServerHandle, hello: Hello) -> Result<StreamClient, ServeErr
 
 fn source(w: usize, h: usize, frames: usize) -> Sequence {
     Synthesizer::new(SceneConfig::uvg_like(w, h, frames)).generate()
-}
-
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
-    sorted_ms[idx]
 }
 
 struct BudgetResult {

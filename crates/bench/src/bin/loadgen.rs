@@ -19,7 +19,7 @@
 //! loadgen --frames N       # frames per stream (default 16)
 //! ```
 
-use nvc_bench::BENCH_N;
+use nvc_bench::{percentile, BENCH_N};
 use nvc_core::ExecCtx;
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_serve::{Hello, ServeConfig, Server, ServerHandle, StreamClient};
@@ -136,14 +136,6 @@ fn run_encode_stream(
             }
         }
     }
-}
-
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
-    sorted_ms[idx]
 }
 
 fn main() {

@@ -19,8 +19,15 @@
 //!                        # != 0 if any regresses > 15 % vs the recorded
 //!                        # baseline (default BENCH_PR2.json), after
 //!                        # calibrating out the host-speed difference
-//!                        # with the median measured/baseline ratio
+//!                        # with the median measured/baseline ratio;
+//!                        # also gates the telemetry span overhead
+//!                        # (enabled vs disabled) at 2 %
 //! ```
+//!
+//! All kernel timings run with telemetry spans disabled
+//! (`nvc_telemetry::Mode::Off`) so they stay comparable with baselines
+//! recorded before the instrumentation existed; the dedicated overhead
+//! gate is what measures the enabled path.
 
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_bench::BENCH_N;
@@ -199,6 +206,42 @@ fn baseline_ms(json: &str, kernel: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+/// Telemetry-overhead gate: times the span-instrumented Winograd kernel
+/// with telemetry enabled and disabled, interleaved per round so clock
+/// or cache drift cannot bias one mode, and fails if the enabled path
+/// costs more than 2 % over best-of-round times. Leaves telemetry off,
+/// matching the rest of the benchmark.
+fn telemetry_overhead_ok(fast: &FastConv2d, x: &Tensor, ctx: &ExecCtx) -> bool {
+    const ROUNDS: usize = 15;
+    const BATCH: usize = 3;
+    let time_batch = |mode: nvc_telemetry::Mode| {
+        nvc_telemetry::set_mode(mode);
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            fast.forward_ctx(x, ctx).unwrap();
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // Median of per-round enabled/disabled ratios: each round holds its
+    // own off-vs-on pair, so a noise spike perturbs one ratio instead
+    // of skewing a global best-of, and the median discards it.
+    let mut ratios: Vec<f64> = (0..ROUNDS)
+        .map(|_| {
+            let t_off = time_batch(nvc_telemetry::Mode::Off);
+            let t_on = time_batch(nvc_telemetry::Mode::Full);
+            t_on / t_off
+        })
+        .collect();
+    nvc_telemetry::set_mode(nvc_telemetry::Mode::Off);
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ratio = ratios[ROUNDS / 2];
+    println!(
+        "telemetry overhead: enabled/disabled = {ratio:.4} \
+         (span-instrumented fast conv, median of {ROUNDS} interleaved rounds of {BATCH})"
+    );
+    ratio <= 1.02
+}
+
 /// Perf-regression gate: compares freshly measured kernel times against
 /// a recorded baseline, failing any kernel > 15 % slower after host
 /// calibration.
@@ -281,6 +324,10 @@ fn main() {
         .unwrap_or_else(|| format!("{root}/BENCH_PR2.json"));
     let max_threads = ExecCtx::auto().threads();
     let mut divergence = false;
+    // Span-free timings: keep every number comparable with baselines
+    // recorded before the telemetry layer existed. The overhead gate
+    // below is the one place the enabled path is measured.
+    nvc_telemetry::set_mode(nvc_telemetry::Mode::Off);
 
     // ---- kernel benchmarks at the paper's N = 36 ----
     let n_ch = if quick { BENCH_N } else { 36 };
@@ -415,11 +462,15 @@ fn main() {
 
     if check {
         let ok = run_check(&rows, &baseline_path, naive_conv_ms);
-        if divergence || !ok {
+        let overhead_ok = telemetry_overhead_ok(&fast_sparse, &x, &ctx1);
+        if !overhead_ok {
+            eprintln!("--check: telemetry span overhead exceeds 2%");
+        }
+        if divergence || !ok || !overhead_ok {
             eprintln!("perf_hotpath --check: FAILED");
             std::process::exit(1);
         }
-        println!("perf_hotpath --check: all kernels within 15% of baseline");
+        println!("perf_hotpath --check: all kernels within 15% of baseline, telemetry overhead within 2%");
         return;
     }
 

@@ -178,6 +178,17 @@ pub fn fmt_bd(bd: Result<f64, nvc_video::VideoError>) -> String {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice (`p` in
+/// `[0, 1]`); `0.0` for an empty slice. Shared by the latency-reporting
+/// load harnesses.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +208,16 @@ mod tests {
     #[test]
     fn dataset_presets_are_three() {
         assert_eq!(dataset_presets().len(), 3);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 5.0);
+        assert_eq!(percentile(&sorted, 0.9), 5.0, "0.9 of 4 rounds to rank 4");
     }
 
     #[test]

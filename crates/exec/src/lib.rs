@@ -340,6 +340,27 @@ struct PoolInner {
     cap: usize,
     available: Mutex<usize>,
     freed: Condvar,
+    metrics: PoolMetrics,
+}
+
+/// The pool's process-global instrumentation. Every pool in the process
+/// reports into the same three metrics — lease waits, lease hold times
+/// and permits currently out — which is the aggregate the serving layer
+/// wants (one compute budget, however many pool handles exist).
+struct PoolMetrics {
+    lease_wait_us: nvc_telemetry::Histogram,
+    lease_hold_us: nvc_telemetry::Histogram,
+    leased: nvc_telemetry::Gauge,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        PoolMetrics {
+            lease_wait_us: nvc_telemetry::histogram("nvc_pool_lease_wait_us"),
+            lease_hold_us: nvc_telemetry::histogram("nvc_pool_lease_hold_us"),
+            leased: nvc_telemetry::gauge("nvc_pool_permits_leased"),
+        }
+    }
 }
 
 impl ExecPool {
@@ -358,6 +379,7 @@ impl ExecPool {
                 cap,
                 available: Mutex::new(cap),
                 freed: Condvar::new(),
+                metrics: PoolMetrics::new(),
             }),
         }
     }
@@ -380,12 +402,14 @@ impl ExecPool {
     /// the lease purely as an admission token of equal width.
     pub fn lease(&self, want: usize) -> ExecLease {
         let want = want.clamp(1, self.inner.cap);
+        let wait = self.inner.metrics.lease_wait_us.time();
         let mut available = self.inner.available.lock().expect("pool lock");
         while *available < want {
             available = self.inner.freed.wait(available).expect("pool lock");
         }
         *available -= want;
         drop(available);
+        drop(wait);
         self.grant(want)
     }
 
@@ -400,6 +424,7 @@ impl ExecPool {
     pub fn lease_timeout(&self, want: usize, timeout: Duration) -> Option<ExecLease> {
         let want = want.clamp(1, self.inner.cap);
         let deadline = Instant::now() + timeout;
+        let wait = self.inner.metrics.lease_wait_us.time();
         let mut available = self.inner.available.lock().expect("pool lock");
         while *available < want {
             let now = Instant::now();
@@ -415,6 +440,7 @@ impl ExecPool {
         }
         *available -= want;
         drop(available);
+        drop(wait);
         Some(self.grant(want))
     }
 
@@ -432,7 +458,9 @@ impl ExecPool {
     }
 
     fn grant(&self, permits: usize) -> ExecLease {
+        self.inner.metrics.leased.add(permits as i64);
         ExecLease {
+            hold: self.inner.metrics.lease_hold_us.time(),
             inner: Arc::clone(&self.inner),
             ctx: ExecCtx::with_threads(permits),
             permits,
@@ -452,6 +480,9 @@ pub struct ExecLease {
     inner: Arc<PoolInner>,
     ctx: ExecCtx,
     permits: usize,
+    /// Open span timing how long the grant is held — the pool's "task
+    /// run time" proxy; records into `nvc_pool_lease_hold_us` on drop.
+    hold: Option<nvc_telemetry::SpanGuard>,
 }
 
 impl ExecLease {
@@ -476,6 +507,8 @@ impl std::ops::Deref for ExecLease {
 
 impl Drop for ExecLease {
     fn drop(&mut self) {
+        self.hold.take();
+        self.inner.metrics.leased.sub(self.permits as i64);
         if let Ok(mut available) = self.inner.available.lock() {
             *available += self.permits;
         }

@@ -1,5 +1,5 @@
 use crate::sparse::{pack_co_streams, prune, CoStream, SparseKernel, Sparsity};
-use crate::tile_exec::{forward_tiled, TileProblem};
+use crate::tile_exec::{forward_tiled, KernelFamily, TileProblem};
 use crate::transforms::{winograd_f2x2_3x3, TransformPair};
 use nvc_core::ExecCtx;
 use nvc_tensor::mat::Mat;
@@ -183,6 +183,7 @@ impl FastConv2d {
         }
         forward_tiled(
             &TileProblem {
+                family: KernelFamily::Winograd,
                 transform: &self.transform,
                 kernels: &self.kernels,
                 streams: self.streams.as_deref(),

@@ -1,5 +1,5 @@
 use crate::sparse::{pack_co_streams, prune, CoStream, SparseKernel, Sparsity};
-use crate::tile_exec::{forward_tiled, TileProblem};
+use crate::tile_exec::{forward_tiled, KernelFamily, TileProblem};
 use crate::transforms::{fta_t3_6x6_4x4, TransformPair};
 use nvc_core::ExecCtx;
 use nvc_tensor::mat::Mat;
@@ -176,6 +176,7 @@ impl FastDeConv2d {
         }
         forward_tiled(
             &TileProblem {
+                family: KernelFamily::Fta,
                 transform: &self.transform,
                 kernels: &self.kernels,
                 streams: self.streams.as_deref(),

@@ -55,8 +55,38 @@ use crate::transforms::{TransformPair, MAX_MU, MAX_PATCH, MAX_TILE};
 use nvc_core::ExecCtx;
 use nvc_tensor::{Shape, Tensor, TensorError};
 
+/// Which fast transform a [`TileProblem`] runs — the label its timings
+/// are reported under.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum KernelFamily {
+    /// Winograd `F(2×2, 3×3)` convolution ([`crate::FastConv2d`]).
+    Winograd,
+    /// FTA `T3(6×6, 4×4)` deconvolution ([`crate::FastDeConv2d`]).
+    Fta,
+}
+
+/// The per-kernel-family forward-call histogram (microseconds), global
+/// so every operator instance of a family aggregates into one metric.
+/// Dense and grouped-compressed runs report separately: their cost
+/// models differ (`µ²` vs `nnz`), so mixing them would bury exactly the
+/// comparison the sparsity work needs.
+fn family_histogram(family: KernelFamily, sparse: bool) -> &'static nvc_telemetry::Histogram {
+    static HISTS: std::sync::OnceLock<[nvc_telemetry::Histogram; 4]> = std::sync::OnceLock::new();
+    let hists = HISTS.get_or_init(|| {
+        [
+            nvc_telemetry::histogram("nvc_kernel_winograd_dense_us"),
+            nvc_telemetry::histogram("nvc_kernel_winograd_sparse_us"),
+            nvc_telemetry::histogram("nvc_kernel_fta_dense_us"),
+            nvc_telemetry::histogram("nvc_kernel_fta_sparse_us"),
+        ]
+    });
+    &hists[usize::from(matches!(family, KernelFamily::Fta)) * 2 + usize::from(sparse)]
+}
+
 /// One fast-operator invocation, described geometrically.
 pub(crate) struct TileProblem<'a> {
+    /// The reporting family (conv/deconv).
+    pub family: KernelFamily,
     /// The transform pair (fixes patch/tile/µ geometry).
     pub transform: &'a TransformPair,
     /// Transform-domain kernels, indexed `[co * c_in + ci]`.
@@ -126,6 +156,7 @@ pub(crate) fn forward_tiled(
     input: &Tensor,
     ctx: &ExecCtx,
 ) -> Result<Tensor, TensorError> {
+    let _span = family_histogram(prob.family, prob.streams.is_some()).time();
     match prob.streams {
         Some(streams) => forward_grouped(prob, streams, input, ctx),
         None => forward_dense(prob, input, ctx),

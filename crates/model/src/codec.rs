@@ -28,6 +28,26 @@ use nvc_video::rate::{RateMode, RateOutcome, SessionRateControl};
 use nvc_video::{Frame, Sequence, VideoError};
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Per-frame codec instrumentation, shared by every CTVC session in the
+/// process: encode/decode wall time and coded bits per frame. Purely
+/// observational — nothing here feeds back into coding decisions, so
+/// bitstreams are byte-identical with telemetry in any mode.
+struct CodecMetrics {
+    encode_frame_us: nvc_telemetry::Histogram,
+    decode_frame_us: nvc_telemetry::Histogram,
+    frame_bits: nvc_telemetry::Histogram,
+}
+
+fn codec_metrics() -> &'static CodecMetrics {
+    static METRICS: OnceLock<CodecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CodecMetrics {
+        encode_frame_us: nvc_telemetry::histogram("nvc_ctvc_encode_frame_us"),
+        decode_frame_us: nvc_telemetry::histogram("nvc_ctvc_decode_frame_us"),
+        frame_bits: nvc_telemetry::histogram("nvc_ctvc_frame_bits"),
+    })
+}
 
 /// Error type for the CTVC codec.
 #[derive(Debug)]
@@ -470,6 +490,7 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
     type Rate = RatePoint;
 
     fn push_frame(&mut self, frame: &Frame) -> Result<Packet, CtvcError> {
+        let _span = codec_metrics().encode_frame_us.time();
         let (w, h) = (frame.width(), frame.height());
         match self.dims {
             None => {
@@ -529,6 +550,7 @@ impl EncoderSessionTrait for CtvcEncoderSession<'_> {
         let packet = Packet::new(self.next_index, kind, sections.finish());
         self.total_bytes += packet.encoded_len();
         let bits = packet.encoded_len() as u64 * 8;
+        codec_metrics().frame_bits.record(bits);
         self.bits_per_frame.push(bits);
         self.frame_types.push(kind);
         self.rate_per_frame.push(rate.index());
@@ -621,6 +643,7 @@ impl DecoderSessionTrait for CtvcDecoderSession<'_> {
     type Error = CtvcError;
 
     fn push_packet(&mut self, bytes: &[u8]) -> Result<Frame, CtvcError> {
+        let _span = codec_metrics().decode_frame_us.time();
         let (packet, consumed) = Packet::from_bytes(bytes)?;
         if consumed != bytes.len() {
             return Err(CtvcError::BadInput(format!(

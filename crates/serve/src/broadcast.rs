@@ -27,8 +27,33 @@ use crate::poll::PollWaker;
 use crate::proto::Family;
 use nvc_entropy::container::FrameKind;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Ring fan-out metrics, on the process-global registry (rings are
+/// created deep inside the publisher path, far from the server's
+/// [`Counters`](crate::server)).
+struct RingMetrics {
+    /// Queue depth observed after each delivered push: how close the
+    /// fan-out runs to the eviction cliff.
+    occupancy: nvc_telemetry::Histogram,
+    /// Packets subscribers drained from their rings.
+    drained: nvc_telemetry::Counter,
+    /// Full-ring evictions at push time.
+    overflows: nvc_telemetry::Counter,
+}
+
+fn ring_metrics() -> &'static RingMetrics {
+    static METRICS: OnceLock<RingMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = nvc_telemetry::Registry::global();
+        RingMetrics {
+            occupancy: registry.histogram("nvc_ring_occupancy"),
+            drained: registry.counter("nvc_ring_drained_total"),
+            overflows: registry.counter("nvc_ring_overflow_total"),
+        }
+    })
+}
 
 /// One coded packet as cached for fan-out: the serialized wire bytes
 /// (shared by every subscriber) plus the metadata subscribers account
@@ -134,11 +159,13 @@ impl SubscriberRing {
             state.queue.clear();
             state.evicted = Some(lag_reason());
             drop(state);
+            ring_metrics().overflows.inc();
             self.avail.notify_all();
             self.wake_poller();
             return RingPush::Overflow;
         }
         state.queue.push_back(packet);
+        ring_metrics().occupancy.record(state.queue.len() as u64);
         drop(state);
         self.avail.notify_all();
         self.wake_poller();
@@ -153,6 +180,7 @@ impl SubscriberRing {
         let mut state = self.state.lock().expect("ring lock");
         loop {
             if let Some(packet) = state.queue.pop_front() {
+                ring_metrics().drained.inc();
                 return RingPop::Packet(packet);
             }
             if let Some(reason) = &state.evicted {

@@ -121,7 +121,7 @@ mod subscribe;
 pub use client::{StreamClient, StreamSummary};
 pub use governor::GovernorConfig;
 pub use proto::{Ack, Direction, Family, Hello, JoinInfo, Retarget, Role, TargetBppWire};
-pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
+pub use server::{scrape_metrics, ServeConfig, ServeReport, Server, ServerHandle};
 pub use subscribe::{SubscribeClient, SubscribeEvent, SubscribeSummary};
 
 use std::error::Error;

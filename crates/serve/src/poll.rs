@@ -19,7 +19,7 @@
 //!   generation counter and a stale fire (generation mismatch) is
 //!   ignored, which keeps arming O(1) with no per-timer bookkeeping.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
@@ -44,6 +44,10 @@ pub(crate) struct PollShared {
     /// Set once a wake has been delivered and not yet drained; dedupes
     /// the `unpark` calls of a wake flood down to one.
     notified: AtomicBool,
+    /// Epoch-µs timestamp of the wake that armed `notified` (0 = no
+    /// undrained batch). [`PollShared::drain`] hands it back so the
+    /// poller can record wake-to-work latency per batch.
+    wake_since: AtomicU64,
     /// The poller thread, registered when its loop starts.
     thread: Mutex<Option<Thread>>,
 }
@@ -62,6 +66,10 @@ impl PollShared {
     pub(crate) fn wake(&self, token: u64) {
         self.wakes.lock().expect("poll wake lock").push(token);
         if !self.notified.swap(true, Ordering::AcqRel) {
+            // This wake opened the batch: stamp it so drain can measure
+            // how long the batch waited for the poller.
+            self.wake_since
+                .store(nvc_telemetry::epoch_micros().max(1), Ordering::Release);
             self.unpark();
         }
     }
@@ -82,9 +90,18 @@ impl PollShared {
     /// Drains pending wake tokens into `wakes`. Clearing `notified`
     /// *before* taking the queue keeps the handoff lost-wakeup-free:
     /// a token pushed after the clear re-arms the unpark permit.
-    pub(crate) fn drain(&self, wakes: &mut Vec<u64>) {
+    ///
+    /// Returns the epoch-µs stamp of the wake that opened the drained
+    /// batch (`None` when no stamped wake was pending). A wake racing
+    /// the drain may hand its stamp to this batch instead of its own —
+    /// harmless for a latency histogram.
+    pub(crate) fn drain(&self, wakes: &mut Vec<u64>) -> Option<u64> {
         self.notified.store(false, Ordering::Release);
         wakes.append(&mut self.wakes.lock().expect("poll wake lock"));
+        match self.wake_since.swap(0, Ordering::AcqRel) {
+            0 => None,
+            since => Some(since),
+        }
     }
 }
 
@@ -146,6 +163,10 @@ pub(crate) struct TimerWheel {
     /// Last tick fully advanced past.
     cursor: u64,
     len: usize,
+    /// Records how far past its due tick each fired entry was
+    /// collected, in µs. Injectable so tests can assert the wheel's
+    /// lag bound in isolation.
+    fire_lag: Option<nvc_telemetry::Histogram>,
 }
 
 impl TimerWheel {
@@ -155,7 +176,13 @@ impl TimerWheel {
             slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
             cursor: 0,
             len: 0,
+            fire_lag: None,
         }
+    }
+
+    /// Installs the histogram fire lag is recorded into.
+    pub(crate) fn set_fire_lag(&mut self, hist: nvc_telemetry::Histogram) {
+        self.fire_lag = Some(hist);
     }
 
     fn tick_at(&self, at: Instant) -> u64 {
@@ -183,6 +210,7 @@ impl TimerWheel {
             self.cursor = self.cursor.max(now_tick);
             return;
         }
+        let now_us = now.saturating_duration_since(self.start).as_micros() as u64;
         // A long idle gap would walk the cursor over every elapsed tick;
         // past one full revolution a single sweep of all slots sees the
         // same entries.
@@ -193,6 +221,9 @@ impl TimerWheel {
                     if slot[i].tick <= now_tick {
                         let e = slot.swap_remove(i);
                         self.len -= 1;
+                        if let Some(h) = &self.fire_lag {
+                            h.record(now_us.saturating_sub(e.tick * TIMER_TICK_MS * 1000));
+                        }
                         fired.push((e.token, e.gen, e.kind));
                     } else {
                         i += 1;
@@ -211,6 +242,9 @@ impl TimerWheel {
                 if slot[i].tick <= cursor {
                     let e = slot.swap_remove(i);
                     self.len -= 1;
+                    if let Some(h) = &self.fire_lag {
+                        h.record(now_us.saturating_sub(e.tick * TIMER_TICK_MS * 1000));
+                    }
                     fired.push((e.token, e.gen, e.kind));
                 } else {
                     i += 1;
@@ -274,6 +308,39 @@ mod tests {
         }
         wheel.advance(t0 + Duration::from_millis(10_050), &mut fired);
         assert_eq!(fired, vec![(7, 3, TimerKind::WriteStall)]);
+    }
+
+    #[test]
+    fn fire_lag_stays_within_one_tick_of_collection() {
+        let mut wheel = TimerWheel::new();
+        let lag = nvc_telemetry::Histogram::detached("test_fire_lag_us");
+        wheel.set_fire_lag(lag.clone());
+        let t0 = wheel.start;
+        let mut fired = Vec::new();
+        for (token, ms) in [(1u64, 35u64), (2, 80), (3, 410)] {
+            wheel.arm(
+                token,
+                0,
+                TimerKind::Handshake,
+                t0 + Duration::from_millis(ms),
+            );
+        }
+        // Collect each entry 3 ms past the instant the wheel says it is
+        // due — the poller parks until `next_deadline`, so this models
+        // the worst case of one scheduling hiccup per fire.
+        while let Some(due) = wheel.next_deadline() {
+            wheel.advance(due + Duration::from_millis(3), &mut fired);
+        }
+        assert_eq!(fired.len(), 3);
+        assert_eq!(lag.count(), 3);
+        // Deadlines round up to a tick boundary, so collecting 3 ms past
+        // the due instant bounds every recorded lag by one tick.
+        assert!(
+            lag.max() <= TIMER_TICK_MS * 1000,
+            "fire lag {} µs exceeds one {} ms tick",
+            lag.max(),
+            TIMER_TICK_MS
+        );
     }
 
     #[test]

@@ -52,13 +52,14 @@ use nvc_baseline::{HybridCodec, Profile};
 use nvc_core::ExecPool;
 use nvc_entropy::container::{FrameKind, Packet};
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
+use nvc_telemetry::{Counter as TCounter, Gauge, Histogram as TH, Registry};
 use nvc_video::codec::{DecoderSession, EncoderSession, StreamStats};
 use nvc_video::rate::{RateMode, RateParam};
 use nvc_video::Frame;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -152,6 +153,13 @@ pub struct ServeConfig {
     /// and turns admission into the three-step
     /// admit / admit-degraded / reject response. See [`GovernorConfig`].
     pub governor: Option<GovernorConfig>,
+    /// Bind address for the live metrics endpoint (e.g.
+    /// `"127.0.0.1:0"`). When set, [`Server::spawn`] opens a second
+    /// listener whose every connection receives one Prometheus-style
+    /// text snapshot of the server's registry, the process-global
+    /// registry, and the most recent spans — then is closed. `None`
+    /// (the default) serves no metrics endpoint.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +180,7 @@ impl Default for ServeConfig {
             handshake_timeout: Duration::from_secs(10),
             write_timeout: WRITE_TIMEOUT,
             governor: None,
+            metrics_addr: None,
         }
     }
 }
@@ -220,54 +229,104 @@ pub struct ServeReport {
     pub timer_fires: u64,
 }
 
-#[derive(Default)]
+/// The server's live state, counted on a per-server
+/// [`nvc_telemetry::Registry`]. [`ServeReport`] and the live metrics
+/// endpoint both read this same storage, so the shutdown view and a
+/// mid-run scrape can never disagree about a counter.
 pub(crate) struct Counters {
-    sessions: AtomicUsize,
-    rejected: AtomicUsize,
-    active: AtomicUsize,
-    frames: AtomicU64,
-    errors: AtomicU64,
-    subscribers: AtomicUsize,
-    active_subscribers: AtomicUsize,
-    evicted: AtomicU64,
-    degraded: AtomicU64,
-    throttle_steps: AtomicU64,
-    restored: AtomicU64,
-    poll_wakeups: AtomicU64,
-    spurious_polls: AtomicU64,
-    max_registered: AtomicU64,
-    timer_fires: AtomicU64,
+    /// The server-scoped registry the handles below live in; the
+    /// metrics endpoint renders it (plus the process-global registry).
+    registry: Registry,
+    sessions: TCounter,
+    rejected: TCounter,
+    active: Gauge,
+    frames: TCounter,
+    errors: TCounter,
+    subscribers: TCounter,
+    active_subscribers: Gauge,
+    evicted: TCounter,
+    degraded: TCounter,
+    throttle_steps: TCounter,
+    restored: TCounter,
+    poll_wakeups: TCounter,
+    spurious_polls: TCounter,
+    max_registered: Gauge,
+    timer_fires: TCounter,
+    /// How long each poller park actually lasted.
+    park_us: TH,
+    /// Wake-to-work latency: from the first `PollShared::wake` of a
+    /// batch to the poller pass that drains it.
+    wake_latency_us: TH,
+    /// Timer-wheel fire lag: how far past its due tick each fired
+    /// deadline was collected.
+    fire_lag_us: TH,
+    /// Governor grant ratio at admission, in percent (100 = full rate).
+    gov_grant_ratio_pct: TH,
+    gov_admit: TCounter,
+    gov_degraded_admit: TCounter,
+    gov_reject: TCounter,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        let registry = Registry::new();
+        Counters {
+            sessions: registry.counter("nvc_serve_sessions_total"),
+            rejected: registry.counter("nvc_serve_rejected_total"),
+            active: registry.gauge("nvc_serve_active_sessions"),
+            frames: registry.counter("nvc_serve_frames_total"),
+            errors: registry.counter("nvc_serve_errors_total"),
+            subscribers: registry.counter("nvc_serve_subscribers_total"),
+            active_subscribers: registry.gauge("nvc_serve_active_subscribers"),
+            evicted: registry.counter("nvc_serve_evicted_total"),
+            degraded: registry.counter("nvc_governor_degraded_total"),
+            throttle_steps: registry.counter("nvc_governor_throttle_steps_total"),
+            restored: registry.counter("nvc_governor_restored_total"),
+            poll_wakeups: registry.counter("nvc_poll_wakeups_total"),
+            spurious_polls: registry.counter("nvc_poll_spurious_total"),
+            max_registered: registry.gauge("nvc_poll_max_registered"),
+            timer_fires: registry.counter("nvc_poll_timer_fires_total"),
+            park_us: registry.histogram("nvc_poll_park_us"),
+            wake_latency_us: registry.histogram("nvc_poll_wake_latency_us"),
+            fire_lag_us: registry.histogram("nvc_poll_timer_fire_lag_us"),
+            gov_grant_ratio_pct: registry.histogram("nvc_governor_grant_ratio_pct"),
+            gov_admit: registry.counter("nvc_governor_admit_total"),
+            gov_degraded_admit: registry.counter("nvc_governor_degraded_admit_total"),
+            gov_reject: registry.counter("nvc_governor_reject_total"),
+            registry,
+        }
+    }
 }
 
 impl Counters {
     fn report(&self) -> ServeReport {
         ServeReport {
-            sessions: self.sessions.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            frames: self.frames.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            subscribers: self.subscribers.load(Ordering::Relaxed),
-            evicted: self.evicted.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            throttle_steps: self.throttle_steps.load(Ordering::Relaxed),
-            restored: self.restored.load(Ordering::Relaxed),
-            poll_wakeups: self.poll_wakeups.load(Ordering::Relaxed),
-            spurious_polls: self.spurious_polls.load(Ordering::Relaxed),
-            max_registered: self.max_registered.load(Ordering::Relaxed),
-            timer_fires: self.timer_fires.load(Ordering::Relaxed),
+            sessions: self.sessions.get() as usize,
+            rejected: self.rejected.get() as usize,
+            frames: self.frames.get(),
+            errors: self.errors.get(),
+            subscribers: self.subscribers.get() as usize,
+            evicted: self.evicted.get(),
+            degraded: self.degraded.get(),
+            throttle_steps: self.throttle_steps.get(),
+            restored: self.restored.get(),
+            poll_wakeups: self.poll_wakeups.get(),
+            spurious_polls: self.spurious_polls.get(),
+            max_registered: self.max_registered.get().max(0) as u64,
+            timer_fires: self.timer_fires.get(),
         }
     }
 
     pub(crate) fn bump_degraded(&self) {
-        self.degraded.fetch_add(1, Ordering::Relaxed);
+        self.degraded.inc();
     }
 
     pub(crate) fn bump_restored(&self) {
-        self.restored.fetch_add(1, Ordering::Relaxed);
+        self.restored.inc();
     }
 
     pub(crate) fn bump_throttle(&self, steps: u64) {
-        self.throttle_steps.fetch_add(steps, Ordering::Relaxed);
+        self.throttle_steps.add(steps);
     }
 }
 
@@ -294,6 +353,21 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
         let shared = PollShared::new();
+        // The metrics listener binds before the serving thread takes
+        // `cfg`, so a bad metrics address fails the spawn cleanly.
+        let mut metrics_addr = None;
+        let mut metrics_join = None;
+        if let Some(bind) = cfg.metrics_addr.as_deref() {
+            let metrics_listener = TcpListener::bind(bind)?;
+            metrics_listener.set_nonblocking(true)?;
+            metrics_addr = Some(metrics_listener.local_addr()?);
+            let (stop_m, counters_m) = (Arc::clone(&stop), Arc::clone(&counters));
+            metrics_join = Some(
+                std::thread::Builder::new()
+                    .name("nvc-metrics".into())
+                    .spawn(move || metrics_loop(&metrics_listener, &stop_m, &counters_m))?,
+            );
+        }
         let (stop2, counters2, shared2) = (
             Arc::clone(&stop),
             Arc::clone(&counters),
@@ -304,10 +378,12 @@ impl Server {
             .spawn(move || run(listener, cfg, ctvc, hybrid, &stop2, &counters2, shared2))?;
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             stop,
             counters,
             shared,
             join: Some(join),
+            metrics_join,
         })
     }
 }
@@ -315,16 +391,24 @@ impl Server {
 /// Handle to a running [`Server`]; shuts it down on drop.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
     shared: Arc<PollShared>,
     join: Option<JoinHandle<()>>,
+    metrics_join: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the live metrics endpoint, when
+    /// [`ServeConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// A point-in-time snapshot of the serving counters.
@@ -345,6 +429,9 @@ impl ServerHandle {
         // does not wait out the park timeout.
         self.shared.kick();
         if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        if let Some(join) = self.metrics_join.take() {
             let _ = join.join();
         }
     }
@@ -528,18 +615,18 @@ fn worker_loop<'env>(
                 match runner.step(job) {
                     StepOutcome::Continue => {
                         if data {
-                            counters.frames.fetch_add(1, Ordering::Relaxed);
+                            counters.frames.inc();
                         }
                     }
                     StepOutcome::Finished => {
                         if data {
-                            counters.frames.fetch_add(1, Ordering::Relaxed);
+                            counters.frames.inc();
                         }
                         finished = true;
                         break;
                     }
                     StepOutcome::Failed => {
-                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        counters.errors.inc();
                         finished = true;
                         break;
                     }
@@ -869,9 +956,7 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
                             rate: sess.last_rate().unwrap_or(0),
                         });
                         if evicted > 0 {
-                            self.counters
-                                .evicted
-                                .fetch_add(evicted as u64, Ordering::Relaxed);
+                            self.counters.evicted.add(evicted as u64);
                         }
                         let ok = self
                             .out
@@ -1093,7 +1178,11 @@ impl<'p, 'env> Poller<'p, 'env> {
             shared,
             conns: HashMap::new(),
             read_set: HashSet::new(),
-            wheel: TimerWheel::new(),
+            wheel: {
+                let mut wheel = TimerWheel::new();
+                wheel.set_fire_lag(counters.fire_lag_us.clone());
+                wheel
+            },
             fired: Vec::new(),
             next_token: 0,
             scratch: vec![0u8; 64 * 1024],
@@ -1125,7 +1214,7 @@ impl<'p, 'env> Poller<'p, 'env> {
     fn register(&mut self, sock: TcpStream, now: Instant) {
         let _ = sock.set_nodelay(true);
         if sock.set_nonblocking(true).is_err() {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.counters.rejected.inc();
             return;
         }
         let token = self.next_token;
@@ -1161,7 +1250,7 @@ impl<'p, 'env> Poller<'p, 'env> {
             conn.gen = conn.gen.wrapping_add(1);
             queue_hangup(&conn.out, Some(message));
         }
-        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        self.counters.rejected.inc();
         self.sync_interest(token);
     }
 
@@ -1190,13 +1279,11 @@ impl<'p, 'env> Poller<'p, 'env> {
                 // strictly after this session's last byte went out and
                 // strictly before the next accept is admitted, so a
                 // client that saw the trailer can always reconnect.
-                self.counters.active.fetch_sub(1, Ordering::Relaxed);
+                self.counters.active.sub(1);
             }
             ConnKind::Subscriber { ring, .. } => {
                 ring.detach();
-                self.counters
-                    .active_subscribers
-                    .fetch_sub(1, Ordering::Relaxed);
+                self.counters.active_subscribers.sub(1);
             }
             ConnKind::Hello(_) | ConnKind::Finishing => {}
         }
@@ -1609,7 +1696,7 @@ impl<'p, 'env> Poller<'p, 'env> {
                     ),
                     _ => return false,
                 };
-                self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                self.counters.timer_fires.inc();
                 self.reject(token, &message);
                 self.apply_write(token, now);
                 true
@@ -1619,7 +1706,7 @@ impl<'p, 'env> Poller<'p, 'env> {
                     return false;
                 };
                 if now.saturating_duration_since(since) >= self.cfg.write_timeout {
-                    self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                    self.counters.timer_fires.inc();
                     self.remove_conn(token, true);
                     true
                 } else {
@@ -1644,7 +1731,7 @@ impl<'p, 'env> Poller<'p, 'env> {
                     // reset and nothing is pending.
                     return false;
                 }
-                self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                self.counters.timer_fires.inc();
                 let acted = self.apply_write(token, now);
                 // A probe that cleared the stall may have exposed ring
                 // backlog (or an eviction notice) the pump parked under
@@ -1656,7 +1743,7 @@ impl<'p, 'env> Poller<'p, 'env> {
                 if !conn.draining {
                     return false;
                 }
-                self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                self.counters.timer_fires.inc();
                 let _ = conn.sock.shutdown(Shutdown::Both);
                 self.remove_conn(token, false);
                 true
@@ -1675,7 +1762,7 @@ impl<'p, 'env> Poller<'p, 'env> {
             if stop.load(Ordering::Relaxed) {
                 break;
             }
-            self.counters.poll_wakeups.fetch_add(1, Ordering::Relaxed);
+            self.counters.poll_wakeups.inc();
             let mut progress = false;
             let mut fatal = false;
             // 1. Accept everything pending.
@@ -1696,11 +1783,15 @@ impl<'p, 'env> Poller<'p, 'env> {
             }
             self.counters
                 .max_registered
-                .fetch_max(self.conns.len() as u64, Ordering::Relaxed);
+                .record_max(self.conns.len() as i64);
             // 2. Service explicit wakes (worker flushes, ring pushes,
             // freed queue space).
             wakes.clear();
-            self.shared.drain(&mut wakes);
+            if let Some(since) = self.shared.drain(&mut wakes) {
+                self.counters
+                    .wake_latency_us
+                    .record(nvc_telemetry::epoch_micros().saturating_sub(since));
+            }
             if !wakes.is_empty() {
                 progress = true;
                 wakes.sort_unstable();
@@ -1731,7 +1822,7 @@ impl<'p, 'env> Poller<'p, 'env> {
                 backoff = Duration::from_micros(200);
                 continue;
             }
-            self.counters.spurious_polls.fetch_add(1, Ordering::Relaxed);
+            self.counters.spurious_polls.inc();
             let cap = if !self.read_set.is_empty() {
                 Duration::from_millis(2)
             } else {
@@ -1743,6 +1834,7 @@ impl<'p, 'env> Poller<'p, 'env> {
                 park = park.min(deadline.saturating_duration_since(Instant::now()));
             }
             if !park.is_zero() {
+                let _park = self.counters.park_us.time();
                 std::thread::park_timeout(park);
             }
         }
@@ -1774,14 +1866,7 @@ impl<'p, 'env> Poller<'p, 'env> {
         }
         // Atomic admission (reserve-then-ack): handshakes race for
         // slots under the cap, never past it.
-        if self
-            .counters
-            .active
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
-                (active < self.cfg.max_sessions).then_some(active + 1)
-            })
-            .is_err()
-        {
+        if !self.counters.active.try_inc(self.cfg.max_sessions as i64) {
             self.reject(token, "server at session capacity");
             self.apply_write(token, now);
             return;
@@ -1812,9 +1897,21 @@ impl<'p, 'env> Poller<'p, 'env> {
                 gov.check_backlog(backlog).map(|()| None)
             };
             match admitted {
-                Ok(admit) => gov_admit = admit,
+                Ok(admit) => {
+                    self.counters.gov_admit.inc();
+                    if let Some(admit) = &admit {
+                        self.counters
+                            .gov_grant_ratio_pct
+                            .record((admit.ratio() * 100.0).round() as u64);
+                        if admit.ratio() < 1.0 {
+                            self.counters.gov_degraded_admit.inc();
+                        }
+                    }
+                    gov_admit = admit;
+                }
                 Err(reason) => {
-                    self.counters.active.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.gov_reject.inc();
+                    self.counters.active.sub(1);
                     self.reject(token, &format!("admission: {reason}"));
                     self.apply_write(token, now);
                     return;
@@ -1841,7 +1938,7 @@ impl<'p, 'env> Poller<'p, 'env> {
             match self.registry.create(name, info, hello.rate) {
                 Ok(guard) => publish_guard = Some(guard),
                 Err(reason) => {
-                    self.counters.active.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.active.sub(1);
                     self.reject(token, &format!("handshake: {reason}"));
                     self.apply_write(token, now);
                     return;
@@ -1872,7 +1969,7 @@ impl<'p, 'env> Poller<'p, 'env> {
             )
         };
         push_bytes(&out, ack_bytes);
-        self.counters.sessions.fetch_add(1, Ordering::Relaxed);
+        self.counters.sessions.inc();
 
         let negotiated = (hello.width, hello.height);
         let version = hello.version;
@@ -2038,13 +2135,10 @@ impl<'p, 'env> Poller<'p, 'env> {
         // Subscriber admission is separate from session admission: a
         // subscriber holds no codec state and no pool slot, so the cap
         // is orders of magnitude higher.
-        if self
+        if !self
             .counters
             .active_subscribers
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
-                (active < self.cfg.max_subscribers).then_some(active + 1)
-            })
-            .is_err()
+            .try_inc(self.cfg.max_subscribers as i64)
         {
             self.reject(token, "server at subscriber capacity");
             self.apply_write(token, now);
@@ -2053,9 +2147,7 @@ impl<'p, 'env> Poller<'p, 'env> {
         let attachment = match broadcast.attach(self.cfg.subscriber_ring) {
             Ok(attachment) => attachment,
             Err(reason) => {
-                self.counters
-                    .active_subscribers
-                    .fetch_sub(1, Ordering::Relaxed);
+                self.counters.active_subscribers.sub(1);
                 self.reject(token, &format!("handshake: {reason}"));
                 self.apply_write(token, now);
                 return;
@@ -2078,7 +2170,7 @@ impl<'p, 'env> Poller<'p, 'env> {
         write_join_msg(&mut bytes, &join).expect("vec write cannot fail");
         let out = Arc::clone(&self.conns.get(&token).expect("registered").out);
         push_bytes(&out, bytes);
-        self.counters.subscribers.fetch_add(1, Ordering::Relaxed);
+        self.counters.subscribers.inc();
         // Ring pushes from the publisher's worker now wake this token.
         attachment
             .ring
@@ -2156,4 +2248,85 @@ fn run(
         sched.work.notify_all();
         registry.fail_all("server shutting down");
     });
+}
+
+// ---------------------------------------------------------------------
+// The live metrics endpoint
+// ---------------------------------------------------------------------
+
+/// Accept loop for the metrics listener: every connection gets one
+/// snapshot and is closed. Runs on the `nvc-metrics` thread; never
+/// touches the serving poller or any session state — a scrape can slow
+/// nothing but itself.
+fn metrics_loop(listener: &TcpListener, stop: &AtomicBool, counters: &Counters) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut sock, _)) => {
+                let _ = answer_scrape(&mut sock, counters);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Writes one HTTP/1.0 response carrying the metrics snapshot. The
+/// request itself is drained best-effort and ignored: whatever path was
+/// asked, the answer is the same text snapshot.
+fn answer_scrape(sock: &mut TcpStream, counters: &Counters) -> io::Result<()> {
+    sock.set_nonblocking(false)?;
+    sock.set_read_timeout(Some(Duration::from_millis(500)))?;
+    sock.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut request = [0u8; 1024];
+    let _ = sock.read(&mut request);
+    let body = metrics_snapshot(counters);
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    sock.write_all(header.as_bytes())?;
+    sock.write_all(body.as_bytes())?;
+    sock.flush()
+}
+
+/// One text snapshot: the server's own registry (serving counters,
+/// poller and governor histograms), the process-global registry
+/// (kernel, codec, pool and ring metrics), and the most recent spans.
+fn metrics_snapshot(counters: &Counters) -> String {
+    use std::fmt::Write as _;
+    let mut out = counters.registry.render();
+    out.push_str(&Registry::global().render());
+    let spans = nvc_telemetry::recent_spans(32);
+    if !spans.is_empty() {
+        out.push_str("# recent spans: name start_us dur_us\n");
+        for s in spans {
+            let _ = writeln!(out, "# span {} {} {}", s.name, s.start_us, s.dur_us);
+        }
+    }
+    out
+}
+
+/// Fetches one metrics snapshot from a server's live endpoint (see
+/// [`ServeConfig::metrics_addr`]) and returns the response body.
+///
+/// # Errors
+///
+/// Returns an error if the endpoint cannot be reached or the response
+/// is not valid UTF-8.
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let mut sock = TcpStream::connect(addr)?;
+    sock.set_read_timeout(Some(Duration::from_secs(5)))?;
+    sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let _ = sock.shutdown(Shutdown::Write);
+    let mut raw = Vec::new();
+    sock.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(ErrorKind::InvalidData, "metrics response not UTF-8"))?;
+    let body = match text.split_once("\r\n\r\n") {
+        Some((_, body)) => body,
+        None => &text,
+    };
+    Ok(body.to_string())
 }

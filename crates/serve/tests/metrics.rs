@@ -1,0 +1,148 @@
+//! The live metrics endpoint over a real loopback socket: a running
+//! server must answer a scrape with poller, governor, per-kernel and
+//! per-frame histograms, and the live view must agree with the
+//! shutdown [`ServeReport`] — both read the same registry.
+
+use nvc_baseline::Profile;
+use nvc_model::CtvcConfig;
+use nvc_serve::proto::Hello;
+use nvc_serve::{scrape_metrics, GovernorConfig, ServeConfig, Server, StreamClient};
+use nvc_video::synthetic::{SceneConfig, Synthesizer};
+use nvc_video::Sequence;
+use std::time::Duration;
+
+const W: usize = 48;
+const H: usize = 32;
+
+fn seq(frames: usize) -> Sequence {
+    Synthesizer::new(SceneConfig::uvg_like(W, H, frames)).generate()
+}
+
+fn metrics_config() -> ServeConfig {
+    ServeConfig {
+        // The sparse profile routes convolutions through the
+        // Winograd/FTA fast path, so per-kernel-family histograms show
+        // up in the scrape.
+        ctvc: CtvcConfig::ctvc_sparse(8),
+        hybrid: Profile::hevc_like(),
+        workers: 2,
+        queue_depth: 2,
+        max_sessions: 8,
+        metrics_addr: Some("127.0.0.1:0".into()),
+        governor: Some(GovernorConfig::new(1e9)),
+        ..ServeConfig::default()
+    }
+}
+
+/// Reads the value of a plain `name value` sample line from a scrape.
+fn sample(body: &str, name: &str) -> Option<u64> {
+    body.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+#[test]
+fn live_scrape_reports_every_instrumented_subsystem() {
+    let server = Server::spawn("127.0.0.1:0", metrics_config()).expect("bind loopback");
+    let metrics = server.metrics_addr().expect("metrics endpoint configured");
+
+    // Push real traffic through so every layer has something to report.
+    let source = seq(4);
+    let mut client =
+        StreamClient::connect(server.addr(), Hello::ctvc_encode(1, W, H)).expect("admit session");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    for frame in source.frames() {
+        client.send_frame(frame).unwrap();
+    }
+    let summary = client.finish().unwrap();
+    assert_eq!(summary.packets.len(), 4);
+
+    // Scrape while the server is still running.
+    let body = scrape_metrics(metrics).expect("scrape live endpoint");
+
+    // Serving counters, on the server's own registry.
+    assert_eq!(sample(&body, "nvc_serve_sessions_total"), Some(1));
+    assert_eq!(sample(&body, "nvc_serve_frames_total"), Some(4));
+    assert_eq!(sample(&body, "nvc_serve_errors_total"), Some(0));
+    assert!(sample(&body, "nvc_poll_wakeups_total").unwrap() > 0);
+
+    // Governor decisions: the session above was admitted.
+    assert_eq!(sample(&body, "nvc_governor_admit_total"), Some(1));
+    assert_eq!(sample(&body, "nvc_governor_reject_total"), Some(0));
+
+    // Poller histograms render with count/sum/bucket series.
+    assert!(sample(&body, "nvc_poll_park_us_count").unwrap() > 0);
+    assert!(body.contains("nvc_poll_park_us_bucket{le="));
+    assert!(body.contains("nvc_poll_wake_latency_us_count"));
+    assert!(body.contains("nvc_poll_timer_fire_lag_us_count"));
+
+    // Process-global registry rides along: per-frame codec latency,
+    // per-kernel-family timings and the exec-pool lease metrics all
+    // saw the four encoded frames.
+    assert!(sample(&body, "nvc_ctvc_encode_frame_us_count").unwrap() >= 4);
+    assert!(sample(&body, "nvc_ctvc_frame_bits_count").unwrap() >= 4);
+    assert!(
+        body.contains("nvc_kernel_winograd_sparse_us"),
+        "sparse CTVC encode must surface Winograd kernel timings:\n{body}"
+    );
+    assert!(
+        body.contains("nvc_kernel_fta_sparse_us"),
+        "sparse CTVC encode must surface FTA kernel timings:\n{body}"
+    );
+    assert!(body.contains("nvc_pool_lease_wait_us"));
+
+    server.shutdown();
+}
+
+#[test]
+fn live_scrape_and_shutdown_report_read_the_same_registry() {
+    let server = Server::spawn("127.0.0.1:0", metrics_config()).expect("bind loopback");
+    let metrics = server.metrics_addr().expect("metrics endpoint configured");
+
+    let source = seq(3);
+    for _ in 0..2 {
+        let mut client = StreamClient::connect(server.addr(), Hello::ctvc_encode(1, W, H))
+            .expect("admit session");
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        for frame in source.frames() {
+            client.send_frame(frame).unwrap();
+        }
+        client.finish().unwrap();
+    }
+
+    // Every count the live endpoint reports after the sessions finished
+    // must be exactly what the shutdown report hands back: one storage,
+    // two views, no drift possible.
+    let body = scrape_metrics(metrics).expect("scrape live endpoint");
+    let live_sessions = sample(&body, "nvc_serve_sessions_total").unwrap();
+    let live_frames = sample(&body, "nvc_serve_frames_total").unwrap();
+    let live_errors = sample(&body, "nvc_serve_errors_total").unwrap();
+    let live_admits = sample(&body, "nvc_governor_admit_total").unwrap();
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions as u64, live_sessions);
+    assert_eq!(report.frames, live_frames);
+    assert_eq!(report.errors, live_errors);
+    assert_eq!(live_admits, 2);
+    assert_eq!(report.sessions, 2);
+    assert_eq!(report.frames, 6);
+}
+
+#[test]
+fn servers_without_a_metrics_addr_expose_nothing() {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            metrics_addr: None,
+            ..metrics_config()
+        },
+    )
+    .expect("bind loopback");
+    assert!(server.metrics_addr().is_none());
+    server.shutdown();
+}

@@ -1,0 +1,173 @@
+//! `nvc-telemetry` — a std-only metrics and tracing layer cheap enough
+//! for the workspace's hot paths.
+//!
+//! Three metric kinds, all lock-free on the record path:
+//!
+//! * [`Counter`] — a monotonic sum sharded across cache-line-padded
+//!   atomics; threads hash to shards so contended increments don't
+//!   bounce one line, and [`Counter::get`] sums the shards for an
+//!   *exact* total (no sampling, no loss).
+//! * [`Gauge`] — a single signed atomic with set/add and a CAS-based
+//!   [`Gauge::try_inc`] for capacity admission.
+//! * [`Histogram`] — 65 fixed log2 buckets (bucket *i* holds values of
+//!   bit-length *i*), so recording is a `leading_zeros` plus three
+//!   relaxed adds and p50/p90/p99 fall out of a bucket walk
+//!   ([`Histogram::quantile`]).
+//!
+//! Metrics live in a [`Registry`]: either the process-wide
+//! [`Registry::global`] (kernel and codec instrumentation) or an owned
+//! instance (each server owns one, so multiple servers in one process
+//! don't bleed into each other). [`Registry::render`] emits a
+//! Prometheus-style text snapshot.
+//!
+//! On top of histograms sit *span timers* ([`Histogram::time`]): an RAII
+//! guard that records the elapsed microseconds into the histogram and
+//! appends a [`SpanRecord`] to a per-thread ring buffer
+//! ([`recent_spans`] collects the rings). Spans are gated by the global
+//! [`Mode`] — `Off` reduces [`Histogram::time`] to one relaxed load and
+//! a branch, `Sampled(n)` keeps every *n*-th span — while counters,
+//! gauges and direct `record` calls are always live (they back
+//! shutdown reports and admission decisions, not just introspection).
+//!
+//! Telemetry never touches data it observes: instrumented code paths
+//! produce bit-identical results with telemetry off, on, or sampled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod registry;
+mod span;
+
+pub use metric::{Counter, Gauge, Histogram, HIST_BUCKETS};
+pub use registry::Registry;
+pub use span::{recent_spans, SpanGuard, SpanRecord};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// How much the span-timer layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Span timers are inert: [`Histogram::time`] is one relaxed load
+    /// and a branch. Counters, gauges and direct records stay live.
+    Off,
+    /// Every span is recorded.
+    Full,
+    /// Every *n*-th span per thread is recorded (`Sampled(1)` is
+    /// `Full`; `Sampled(0)` normalizes to `Full`).
+    Sampled(u32),
+}
+
+/// `0 = Off`, `1 = Full`, `n >= 2 = Sampled(n)`.
+static MODE: AtomicU32 = AtomicU32::new(1);
+
+/// Sets the global span-recording [`Mode`]. Takes effect immediately on
+/// every thread; spans already in flight record under the mode they
+/// started with.
+pub fn set_mode(mode: Mode) {
+    let raw = match mode {
+        Mode::Off => 0,
+        Mode::Full | Mode::Sampled(0) | Mode::Sampled(1) => 1,
+        Mode::Sampled(n) => n,
+    };
+    MODE.store(raw, Ordering::Relaxed);
+}
+
+/// The current global span-recording [`Mode`].
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => Mode::Off,
+        1 => Mode::Full,
+        n => Mode::Sampled(n),
+    }
+}
+
+/// One sampling decision: should the span about to start be recorded?
+/// `Off` is a single relaxed load; `Sampled(n)` bumps a per-thread
+/// counter so each thread keeps every n-th span.
+pub(crate) fn span_pass() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        n => {
+            use std::cell::Cell;
+            thread_local! {
+                static TICK: Cell<u32> = const { Cell::new(0) };
+            }
+            TICK.with(|t| {
+                let v = t.get().wrapping_add(1);
+                if v >= n {
+                    t.set(0);
+                    true
+                } else {
+                    t.set(v);
+                    false
+                }
+            })
+        }
+    }
+}
+
+/// Microseconds since the process's telemetry epoch (the first call to
+/// this function). Span records and wake timestamps share this base so
+/// cross-thread deltas are meaningful.
+pub fn epoch_micros() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().saturating_duration_since(epoch).as_micros() as u64
+}
+
+/// [`Registry::global`]'s counter shorthand.
+pub fn counter(name: &str) -> Counter {
+    Registry::global().counter(name)
+}
+
+/// [`Registry::global`]'s gauge shorthand.
+pub fn gauge(name: &str) -> Gauge {
+    Registry::global().gauge(name)
+}
+
+/// [`Registry::global`]'s histogram shorthand.
+pub fn histogram(name: &str) -> Histogram {
+    Registry::global().histogram(name)
+}
+
+/// Serializes unit tests that read or mutate the global [`Mode`], which
+/// would otherwise race under the parallel test runner.
+#[cfg(test)]
+pub(crate) fn mode_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_roundtrips_normalizes_and_samples() {
+        let _guard = mode_test_lock();
+        set_mode(Mode::Sampled(4));
+        assert_eq!(mode(), Mode::Sampled(4));
+        set_mode(Mode::Sampled(1));
+        assert_eq!(mode(), Mode::Full);
+        set_mode(Mode::Off);
+        assert_eq!(mode(), Mode::Off);
+        assert!(!span_pass());
+        set_mode(Mode::Sampled(3));
+        let kept = (0..9).filter(|_| span_pass()).count();
+        set_mode(Mode::Full);
+        assert!(span_pass());
+        assert_eq!(kept, 3, "every 3rd of 9 decisions passes");
+    }
+
+    #[test]
+    fn epoch_is_monotonic() {
+        let a = epoch_micros();
+        let b = epoch_micros();
+        assert!(b >= a);
+    }
+}

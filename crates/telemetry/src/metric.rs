@@ -1,0 +1,365 @@
+//! The three metric kinds: sharded [`Counter`], [`Gauge`], and the
+//! fixed-log2-bucket [`Histogram`].
+
+use crate::span::SpanGuard;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shard count for [`Counter`]. Eight padded lines absorb the worst
+/// contention the workspace produces (a dozen workers bumping the same
+/// frame counter); `get` sums all eight, so the total stays exact.
+const COUNTER_SHARDS: usize = 8;
+
+/// Bucket count of [`Histogram`]: one bucket per possible bit-length of
+/// a `u64` (0..=64). Bucket 0 holds exactly the value 0; bucket `i > 0`
+/// holds values in `[2^(i-1), 2^i)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The shard a thread's counter increments land in. Assigned round-robin
+/// on first use per thread, so long-lived worker threads spread evenly.
+fn shard_index() -> usize {
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut i = s.get();
+        if i == usize::MAX {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            i = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+            s.set(i);
+        }
+        i
+    })
+}
+
+/// One cache line's worth of counter, so neighbouring shards never
+/// false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterInner {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+/// A monotonic counter sharded across cache-line-padded atomics.
+///
+/// Handles are cheap clones of one shared value; every clone obtained
+/// from a [`Registry`](crate::Registry) under the same name observes the
+/// same total. Increments are relaxed atomics on the calling thread's
+/// shard; [`get`](Counter::get) sums the shards and is exact (each
+/// increment lands in exactly one shard).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (starts at zero).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.inner.shards[shard_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The exact total across all shards.
+    pub fn get(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A signed instantaneous value: one atomic, no shards (gauges are
+/// read-modify-write — `try_inc` must see the true current value).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry (starts at zero).
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.inner.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Subtracts `d`.
+    pub fn sub(&self, d: i64) {
+        self.inner.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is currently lower — a high-water
+    /// mark.
+    pub fn record_max(&self, v: i64) {
+        self.inner.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Atomically increments if the result would not exceed `limit`;
+    /// returns whether the slot was taken. This is the capacity
+    /// admission primitive: session and subscriber caps reserve a slot
+    /// with it before doing any work.
+    pub fn try_inc(&self, limit: i64) -> bool {
+        self.inner
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < limit).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    /// Rendered metric name; also labels span records from
+    /// [`Histogram::time`].
+    name: Arc<str>,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A histogram with 65 fixed log2 buckets: recording a `u64` is a
+/// bit-length computation plus relaxed adds, and quantiles come from a
+/// cumulative bucket walk — no allocation, no locks, no configuration.
+///
+/// Bucket `i > 0` covers `[2^(i-1), 2^i)`; bucket 0 covers exactly 0.
+/// A quantile estimate returns its bucket's inclusive upper bound, so
+/// estimates are conservative (never below the true quantile) and at
+/// most 2x it. The exact maximum is tracked separately
+/// ([`max`](Histogram::max)).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+/// The log2 bucket a value lands in: its bit length.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i`.
+pub(crate) fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub(crate) fn with_name(name: Arc<str>) -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                name,
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A histogram not attached to any registry — for injection into
+    /// components under test.
+    pub fn detached(name: &str) -> Self {
+        Histogram::with_name(Arc::from(name))
+    }
+
+    /// The metric name (labels rendered lines and span records).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Starts a span timer: the returned guard records the elapsed
+    /// microseconds into this histogram (and the thread's span ring) on
+    /// drop. Returns `None` when the global [`Mode`](crate::Mode) gates
+    /// this span out — the disabled path is one relaxed load and a
+    /// branch, with no clock read.
+    pub fn time(&self) -> Option<SpanGuard> {
+        if crate::span_pass() {
+            Some(SpanGuard::new(self.clone(), Instant::now()))
+        } else {
+            None
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the inclusive upper bound of
+    /// the bucket holding that rank; 0 when empty. `quantile(0.5)` is
+    /// p50, `quantile(0.99)` p99.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Per-bucket counts, index = bit length of the values it holds.
+    pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sum_is_exact_under_contention() {
+        let c = Counter::detached();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000, "no increment may be lost or doubled");
+    }
+
+    #[test]
+    fn gauge_try_inc_respects_limit() {
+        let g = Gauge::detached();
+        assert!(g.try_inc(2));
+        assert!(g.try_inc(2));
+        assert!(!g.try_inc(2), "third slot must be refused at limit 2");
+        g.sub(1);
+        assert!(g.try_inc(2), "freed slot is grantable again");
+        g.record_max(10);
+        assert_eq!(g.get(), 10);
+        g.record_max(3);
+        assert_eq!(g.get(), 10, "record_max never lowers");
+    }
+
+    #[test]
+    fn gauge_try_inc_is_exact_under_contention() {
+        let g = Gauge::detached();
+        let granted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        if g.try_inc(100) {
+                            granted.fetch_add(1, Ordering::Relaxed);
+                            g.sub(1);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0, "every grant was returned");
+        assert!(granted.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram::detached("t");
+        // One value at each power-of-two boundary and its neighbour.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let b = h.buckets();
+        assert_eq!(b[0], 1, "bucket 0 holds exactly the value 0");
+        assert_eq!(b[1], 1, "value 1 has bit length 1");
+        assert_eq!(b[2], 2, "2 and 3 share bucket 2");
+        assert_eq!(b[3], 2, "4 and 7 share bucket 3");
+        assert_eq!(b[4], 1, "8 opens bucket 4");
+        assert_eq!(b[10], 1, "1023 closes bucket 10");
+        assert_eq!(b[11], 1, "1024 opens bucket 11");
+        assert_eq!(b[64], 1, "u64::MAX lands in the last bucket");
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_conservative_upper_bounds() {
+        let h = Histogram::detached("t");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // True p50 is 50 → bucket 6 (values 32..=63) → bound 63.
+        assert_eq!(h.quantile(0.5), 63);
+        // True p99 is 99 → bucket 7 (values 64..=127) → bound 127.
+        assert_eq!(h.quantile(0.99), 127);
+        // Quantile never undershoots the true value and is within 2x.
+        for (q, truth) in [(0.25, 25u64), (0.75, 75), (1.0, 100)] {
+            let est = h.quantile(q);
+            assert!(est >= truth && est < truth * 2, "q={q}: {est} vs {truth}");
+        }
+        assert_eq!(h.quantile(0.0), 1, "rank clamps to the first sample");
+        assert_eq!(Histogram::detached("e").quantile(0.5), 0, "empty → 0");
+    }
+
+    #[test]
+    fn histogram_sum_and_count_track_records() {
+        let h = Histogram::detached("t");
+        h.record(5);
+        h.record(7);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Metric registries and the Prometheus-style text render.
+
+use crate::metric::{bucket_bound, Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    metrics: Mutex<BTreeMap<Arc<str>, Metric>>,
+}
+
+/// A named set of metrics. Handles are created on first lookup and
+/// shared thereafter: `registry.counter("x")` called twice returns two
+/// handles onto the same value.
+///
+/// Two scopes exist side by side. [`Registry::global`] holds
+/// process-wide instrumentation (kernel timings, codec frame spans,
+/// pool waits). An owned `Registry::new()` scopes metrics to one
+/// component — each server keeps its own, so two servers in one process
+/// report their own sessions, and a shutdown report reads the same
+/// storage the live endpoint renders.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+/// Looking up a name as the wrong kind is a bug at the call site, not a
+/// runtime condition: panic with both kinds named.
+fn kind_clash(name: &str, want: &'static str, have: &'static str) -> ! {
+    panic!("metric `{name}` is a {have}, requested as {want}");
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new).clone()
+    }
+
+    /// The counter registered under `name`, created if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
+        match metrics
+            .entry(Arc::from(name))
+            .or_insert_with(|| Metric::Counter(Counter::detached()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => kind_clash(name, "counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, created if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
+        match metrics
+            .entry(Arc::from(name))
+            .or_insert_with(|| Metric::Gauge(Gauge::detached()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => kind_clash(name, "gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, created if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
+        match metrics
+            .entry(Arc::from(name))
+            .or_insert_with_key(|k| Metric::Histogram(Histogram::with_name(k.clone())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => kind_clash(name, "histogram", other.kind()),
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition style, names
+    /// sorted. Histograms emit cumulative `_bucket{le="..."}` lines for
+    /// occupied buckets (plus `+Inf`), `_sum`, `_count`, and a comment
+    /// with derived p50/p90/p99 for human readers.
+    pub fn render(&self) -> String {
+        let metrics: Vec<(Arc<str>, Metric)> = {
+            let map = self.inner.metrics.lock().expect("registry lock");
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = String::new();
+        for (name, metric) in metrics {
+            let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "# {name}: p50={} p90={} p99={} max={}",
+                        h.quantile(0.5),
+                        h.quantile(0.9),
+                        h.quantile(0.99),
+                        h.max()
+                    );
+                    let mut cumulative = 0u64;
+                    for (i, n) in h.buckets().iter().enumerate() {
+                        if *n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                            bucket_bound(i)
+                        );
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_storage_by_name() {
+        let r = Registry::new();
+        r.counter("nvc_a_total").add(3);
+        r.counter("nvc_a_total").add(4);
+        assert_eq!(r.counter("nvc_a_total").get(), 7);
+        r.gauge("nvc_g").set(-2);
+        assert_eq!(r.gauge("nvc_g").get(), -2);
+        r.histogram("nvc_h_us").record(10);
+        assert_eq!(r.histogram("nvc_h_us").count(), 1);
+    }
+
+    #[test]
+    fn registries_are_isolated() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("nvc_x_total").inc();
+        assert_eq!(b.counter("nvc_x_total").get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, requested as gauge")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        r.counter("nvc_clash").inc();
+        r.gauge("nvc_clash");
+    }
+
+    #[test]
+    fn render_emits_prometheus_text() {
+        let r = Registry::new();
+        r.counter("nvc_frames_total").add(5);
+        r.gauge("nvc_active").set(3);
+        let h = r.histogram("nvc_lat_us");
+        h.record(0);
+        h.record(3);
+        h.record(1000);
+        let text = r.render();
+        assert!(text.contains("# TYPE nvc_frames_total counter\nnvc_frames_total 5\n"));
+        assert!(text.contains("# TYPE nvc_active gauge\nnvc_active 3\n"));
+        assert!(text.contains("# TYPE nvc_lat_us histogram\n"));
+        assert!(text.contains("nvc_lat_us_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(
+            text.contains("nvc_lat_us_bucket{le=\"3\"} 2\n"),
+            "cumulative"
+        );
+        assert!(text.contains("nvc_lat_us_bucket{le=\"1023\"} 3\n"));
+        assert!(text.contains("nvc_lat_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("nvc_lat_us_sum 1003\n"));
+        assert!(text.contains("nvc_lat_us_count 3\n"));
+    }
+}

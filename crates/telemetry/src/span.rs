@@ -1,0 +1,171 @@
+//! Span timers and the per-thread rings their records land in.
+
+use crate::epoch_micros;
+use crate::metric::Histogram;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+/// Records kept per thread; old spans fall off the back. Sized so a
+/// snapshot shows the last few scheduling quanta of every thread
+/// without the rings ever mattering for memory.
+const RING_CAP: usize = 128;
+
+/// One completed span: which histogram timed it, when it started
+/// (microseconds since the telemetry epoch) and how long it ran.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// The owning histogram's metric name.
+    pub name: Arc<str>,
+    /// Start time, microseconds since [`epoch_micros`]'s epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct SpanRing {
+    records: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl SpanRing {
+    fn push(&self, rec: SpanRecord) {
+        let mut records = self.records.lock().expect("span ring lock");
+        if records.len() == RING_CAP {
+            records.pop_front();
+        }
+        records.push_back(rec);
+    }
+}
+
+/// Every live thread ring, weakly held so exited threads clean up.
+static RINGS: Mutex<Vec<Weak<SpanRing>>> = Mutex::new(Vec::new());
+
+fn thread_ring() -> Arc<SpanRing> {
+    thread_local! {
+        static RING: Arc<SpanRing> = {
+            let ring = Arc::new(SpanRing::default());
+            let mut rings = RINGS.lock().expect("span rings lock");
+            rings.retain(|w| w.strong_count() > 0);
+            rings.push(Arc::downgrade(&ring));
+            ring
+        };
+    }
+    RING.with(Arc::clone)
+}
+
+/// The most recent spans across all threads, newest first, at most
+/// `max` of them. A diagnostic view — the rings are bounded, so this is
+/// the tail of activity, not a complete trace.
+pub fn recent_spans(max: usize) -> Vec<SpanRecord> {
+    let rings: Vec<Arc<SpanRing>> = RINGS
+        .lock()
+        .expect("span rings lock")
+        .iter()
+        .filter_map(Weak::upgrade)
+        .collect();
+    let mut all: Vec<SpanRecord> = rings
+        .iter()
+        .flat_map(|r| {
+            r.records
+                .lock()
+                .expect("span ring lock")
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    all.sort_by_key(|r| std::cmp::Reverse(r.start_us));
+    all.truncate(max);
+    all
+}
+
+/// RAII timer from [`Histogram::time`]: on drop, records the elapsed
+/// microseconds into the histogram and the current thread's span ring.
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Histogram,
+    start: Instant,
+    start_us: u64,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(hist: Histogram, start: Instant) -> Self {
+        SpanGuard {
+            hist,
+            start,
+            start_us: epoch_micros(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        self.hist.record(dur_us);
+        thread_ring().push(SpanRecord {
+            name: Arc::from(self.hist.name()),
+            start_us: self.start_us,
+            dur_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_land_in_histogram_and_ring() {
+        let _guard = crate::mode_test_lock();
+        crate::set_mode(crate::Mode::Full);
+        let h = Histogram::detached("nvc_test_span_us");
+        {
+            let _span = h.time();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1_000, "a 2ms span is at least 1000us");
+        let spans = recent_spans(16);
+        assert!(
+            spans.iter().any(|s| &*s.name == "nvc_test_span_us"),
+            "span visible in recent_spans"
+        );
+    }
+
+    #[test]
+    fn spans_are_inert_when_off() {
+        let _guard = crate::mode_test_lock();
+        crate::set_mode(crate::Mode::Off);
+        let h = Histogram::detached("nvc_test_off_us");
+        assert!(h.time().is_none());
+        crate::set_mode(crate::Mode::Full);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _guard = crate::mode_test_lock();
+        crate::set_mode(crate::Mode::Full);
+        let h = Histogram::detached("nvc_test_ring_us");
+        // Overflow one thread's ring; the ring keeps only the tail.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..(RING_CAP + 50) {
+                    drop(h.time());
+                }
+                let mine: usize = recent_spans(usize::MAX)
+                    .iter()
+                    .filter(|r| &*r.name == "nvc_test_ring_us")
+                    .count();
+                assert!(mine <= RING_CAP, "ring capped at {RING_CAP}, saw {mine}");
+                assert!(mine >= RING_CAP / 2, "tail retained");
+            });
+        });
+        assert_eq!(
+            h.count() as usize,
+            RING_CAP + 50,
+            "histogram sees every span"
+        );
+    }
+}

@@ -31,10 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServeConfig {
             ctvc: cfg.clone(),
             workers: 2,
+            metrics_addr: Some("127.0.0.1:0".into()),
             ..ServeConfig::default()
         },
     )?;
     println!("nvc-serve listening on {}", server.addr());
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint configured");
+    println!("live metrics on      {metrics_addr}");
 
     let source = Synthesizer::new(SceneConfig::uvg_like(W, H, 6)).generate();
     let codec = CtvcCodec::new(cfg)?; // local twin for encode + verification
@@ -128,6 +131,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              {bpp_c:.4} bpp, rate trace {rates_c:?}"
         );
     });
+
+    // Mid-run observability: the server is still live — scrape the
+    // metrics endpoint the way an external collector would and show
+    // the counters plus the histogram quantile summaries (the full
+    // bucket series is elided for readability).
+    let scrape = nvc_serve::scrape_metrics(metrics_addr)?;
+    println!("\nlive metrics after the stream phase (bucket series elided):");
+    for line in scrape.lines().filter(|line| {
+        (!line.starts_with('#') && !line.contains("_bucket{")) || line.contains(": p50=")
+    }) {
+        println!("  {line}");
+    }
+    println!();
 
     // Broadcast phase: one publisher, three subscribers. The stream is
     // encoded once; every subscriber gets the same bytes. The third

@@ -11,6 +11,7 @@ pub use nvc_model as model;
 pub use nvc_quant as quant;
 pub use nvc_serve as serve;
 pub use nvc_sim as sim;
+pub use nvc_telemetry as telemetry;
 pub use nvc_tensor as tensor;
 pub use nvc_video as video;
 pub use nvca as core;
