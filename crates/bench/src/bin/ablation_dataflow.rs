@@ -1,6 +1,8 @@
 //! Ablation **E8**: input-buffer bank count vs off-chip traffic and fps —
 //! why the paper's Fig. 7 input buffer has 10 banks.
 
+#![forbid(unsafe_code)]
+
 use nvc_model::CtvcConfig;
 use nvc_sim::{Dataflow, NvcaConfig};
 use nvca::Nvca;

@@ -2,6 +2,8 @@
 //! fast algorithms vs direct execution (paper §III-B: 16 vs 36 muls for
 //! `F(2×2,3×3)`; 64 muls per `T3(6×6,4×4)` tile).
 
+#![forbid(unsafe_code)]
+
 use nvc_fastalg::{fta_t3_6x6_4x4, winograd_f2x2_3x3, FastConv2d, FastDeConv2d, Sparsity};
 use nvc_sim::{Dataflow, NvcaConfig, SimLayer, SimOp, Simulator, Workload};
 use nvc_tensor::ops::{Conv2d, DeConv2d};

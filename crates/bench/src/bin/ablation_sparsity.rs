@@ -7,6 +7,8 @@
 //! This is what keeps the dense-padded-buffer detour — where pruning
 //! bought storage but zero compute — from silently coming back.
 
+#![forbid(unsafe_code)]
+
 use nvc_bench::{BENCH_FRAMES, BENCH_H, BENCH_N, BENCH_W};
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_sim::{Dataflow, NvcaConfig};

@@ -55,6 +55,8 @@
 //! fanout --frames N        # frames per broadcast (default 12)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use nvc_bench::BENCH_N;
 use nvc_core::ExecCtx;
 use nvc_model::CtvcConfig;
@@ -309,6 +311,8 @@ fn run_eviction(w: usize, h: usize, target_bytes: usize) -> (usize, usize, usize
                 match healthy.next_event() {
                     Ok(SubscribeEvent::Packet(p)) => {
                         packets += 1;
+                        // order: Relaxed — a progress count the driver
+                        // loop polls; no data rides on it.
                         seen.fetch_add(p.encoded_len(), std::sync::atomic::Ordering::Relaxed);
                     }
                     Ok(SubscribeEvent::End(stats)) => break (packets, stats.frames),
@@ -317,6 +321,7 @@ fn run_eviction(w: usize, h: usize, target_bytes: usize) -> (usize, usize, usize
             }
         });
         let mut sent = 0usize;
+        // order: Relaxed — polled progress count, see above.
         while seen.load(std::sync::atomic::Ordering::Relaxed) < target_bytes {
             for frame in source.frames() {
                 publisher.send_frame(frame).expect("send frame");

@@ -1,6 +1,8 @@
 //! Regenerates **Fig. 8**: rate–distortion curves (PSNR and MS-SSIM vs
 //! bpp) on the UVG-like and HEVC-B-like presets.
 
+#![forbid(unsafe_code)]
+
 use nvc_bench::{dataset_presets, rd_sweep, LadderCodec};
 use nvc_video::synthetic::Synthesizer;
 

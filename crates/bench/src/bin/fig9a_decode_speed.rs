@@ -5,6 +5,8 @@
 //! paper's figure are carried as cited approximations; NVCA comes from
 //! the cycle-level simulator.
 
+#![forbid(unsafe_code)]
+
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_bench::BENCH_N;
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};

@@ -1,6 +1,8 @@
 //! Regenerates **Fig. 9(b)**: per-module off-chip memory traffic,
 //! layer-by-layer baseline vs the heterogeneous layer chaining dataflow.
 
+#![forbid(unsafe_code)]
+
 use nvc_model::CtvcConfig;
 use nvca::{offchip_comparison, Nvca};
 

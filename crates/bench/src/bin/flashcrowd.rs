@@ -32,6 +32,8 @@
 //!                       # failure)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use nvc_bench::percentile;
 use nvc_core::ExecCtx;
 use nvc_serve::{

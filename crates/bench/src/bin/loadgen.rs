@@ -19,6 +19,8 @@
 //! loadgen --frames N       # frames per stream (default 16)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use nvc_bench::{percentile, BENCH_N};
 use nvc_core::ExecCtx;
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};

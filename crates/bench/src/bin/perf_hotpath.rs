@@ -29,6 +29,8 @@
 //! recorded before the instrumentation existed; the dedicated overhead
 //! gate is what measures the enabled path.
 
+#![forbid(unsafe_code)]
+
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_bench::BENCH_N;
 use nvc_core::ExecCtx;

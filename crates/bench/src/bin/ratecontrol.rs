@@ -20,6 +20,8 @@
 //!                        # failure)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_bench::BENCH_N;
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};

@@ -1,6 +1,8 @@
 //! Regenerates **Table I**: BDBR(%) against the H.265-like anchor, for
 //! PSNR and MS-SSIM, on the three dataset presets.
 
+#![forbid(unsafe_code)]
+
 use nvc_bench::{dataset_presets, fmt_bd, msssim_curve, psnr_curve, rd_sweep, LadderCodec};
 use nvc_video::bdrate::bd_rate;
 use nvc_video::synthetic::Synthesizer;

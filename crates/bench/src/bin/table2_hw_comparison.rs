@@ -3,6 +3,8 @@
 //! "NVCA (this repo)" row comes from the cycle-level simulator; the CPU
 //! row is additionally re-measured on this machine.
 
+#![forbid(unsafe_code)]
+
 use nvc_bench::BENCH_N;
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_sim::comparators::{cited_rows, Provenance};

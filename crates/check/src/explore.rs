@@ -1,0 +1,212 @@
+//! A bounded-interleaving explorer for small concurrency protocols.
+//!
+//! A [`Model`] is a handful of threads, each a little program counter
+//! machine over shared state, where one [`Model::step`] is one atomic
+//! action (a mutex critical section, one atomic RMW, an unpark). Models
+//! are pure and deterministic — all nondeterminism lives in *which*
+//! thread steps next, i.e. in the scheduler.
+//!
+//! Scheduling is abstracted behind [`Sched`]: [`FixedSched`] replays
+//! one recorded interleaving (unit tests, counterexample printing),
+//! while [`explore`] *is* the adversarial scheduler — it forks on every
+//! choice point and visits every reachable interleaving, checking the
+//! model's invariant in every state.
+//!
+//! States are memoized (the models are `Eq + Hash`), so the state graph
+//! is walked once per distinct state while the interleaving count —
+//! the number of distinct schedules, which is what "exhaustive" means
+//! here — is still counted exactly, as root-to-terminal paths in the
+//! memoized DAG.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// A protocol model the explorer can drive. One instance is one state;
+/// stepping clones cheaply and mutates the clone.
+pub trait Model: Clone + Eq + Hash {
+    /// Display name, e.g. `waker/fixed`.
+    fn name(&self) -> String;
+    /// Number of threads (thread ids are `0..threads()`).
+    fn threads(&self) -> usize;
+    fn thread_name(&self, tid: usize) -> &'static str;
+    /// Thread finished its program (terminal, never enabled again).
+    fn done(&self, tid: usize) -> bool;
+    /// Thread can take a step now. `false` while `!done` models
+    /// blocking (a parked thread, a pop on an empty ring).
+    fn enabled(&self, tid: usize) -> bool;
+    /// Performs `tid`'s next atomic action. Only called when enabled.
+    fn step(&mut self, tid: usize);
+    /// Human label of the action `step(tid)` would perform — used to
+    /// print counterexample traces.
+    fn step_label(&self, tid: usize) -> String;
+    /// Safety invariant, checked in every reachable state.
+    fn invariant(&self) -> Result<(), String>;
+    /// Checked in states where every thread is done.
+    fn final_check(&self) -> Result<(), String>;
+    /// Message for the no-thread-enabled-but-not-all-done state. A
+    /// deadlock is always a violation; models refine the message (for
+    /// the waker model it *is* the lost-wakeup bug).
+    fn deadlock_msg(&self) -> String {
+        "deadlock: no thread can make progress".to_string()
+    }
+}
+
+/// Picks which runnable thread moves next. The explorer enumerates all
+/// choices; a `Sched` impl commits to one per step.
+pub trait Sched {
+    /// `runnable` is non-empty and sorted. `None` stops the run early.
+    fn pick(&mut self, runnable: &[usize]) -> Option<usize>;
+}
+
+/// Replays a recorded interleaving, e.g. a counterexample trace.
+pub struct FixedSched {
+    trace: Vec<usize>,
+    at: usize,
+}
+
+impl FixedSched {
+    pub fn new(trace: Vec<usize>) -> Self {
+        FixedSched { trace, at: 0 }
+    }
+}
+
+impl Sched for FixedSched {
+    fn pick(&mut self, runnable: &[usize]) -> Option<usize> {
+        let t = *self.trace.get(self.at)?;
+        self.at += 1;
+        runnable.contains(&t).then_some(t)
+    }
+}
+
+/// A violated invariant (or deadlock / failed final check), with the
+/// interleaving that reached it.
+#[derive(Debug)]
+pub struct Violation {
+    pub msg: String,
+    /// Thread ids, in step order, from the initial state.
+    pub trace: Vec<usize>,
+}
+
+impl Violation {
+    /// Pretty-prints the counterexample by replaying the trace.
+    pub fn render<M: Model>(&self, init: &M) -> String {
+        let mut out = String::new();
+        let mut m = init.clone();
+        for (i, &tid) in self.trace.iter().enumerate() {
+            out.push_str(&format!(
+                "    {:>2}. {}: {}\n",
+                i + 1,
+                m.thread_name(tid),
+                m.step_label(tid)
+            ));
+            m.step(tid);
+        }
+        out.push_str(&format!("    => {}\n", self.msg));
+        out
+    }
+}
+
+/// What an exhaustive run covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Distinct reachable states (invariant checked in each).
+    pub states: u64,
+    /// Distinct complete interleavings (schedules) those states admit.
+    pub interleavings: u128,
+    /// Longest schedule, in steps.
+    pub max_depth: usize,
+}
+
+/// Runnable threads of `m`, sorted.
+fn runnable<M: Model>(m: &M) -> Vec<usize> {
+    (0..m.threads())
+        .filter(|&t| !m.done(t) && m.enabled(t))
+        .collect()
+}
+
+/// Runs one schedule under `sched`, checking the invariant after every
+/// step. Returns the final model (which may be mid-protocol if the
+/// sched stopped early).
+pub fn run<M: Model, S: Sched>(mut m: M, sched: &mut S) -> Result<M, Violation> {
+    let mut trace = Vec::new();
+    loop {
+        m.invariant().map_err(|msg| Violation {
+            msg,
+            trace: trace.clone(),
+        })?;
+        let r = runnable(&m);
+        if r.is_empty() {
+            break;
+        }
+        let Some(t) = sched.pick(&r) else { break };
+        m.step(t);
+        trace.push(t);
+    }
+    Ok(m)
+}
+
+/// Exhaustively explores every interleaving of `init`, checking the
+/// invariant in every reachable state, the final check in every
+/// terminal state, and treating deadlock as a violation.
+pub fn explore<M: Model>(init: &M) -> Result<Stats, Violation> {
+    let mut stats = Stats::default();
+    let mut memo: HashMap<M, u128> = HashMap::new();
+    let mut on_stack: HashSet<M> = HashSet::new();
+    let mut trace = Vec::new();
+    stats.interleavings = dfs(init, &mut memo, &mut on_stack, &mut trace, &mut stats)?;
+    Ok(stats)
+}
+
+fn dfs<M: Model>(
+    m: &M,
+    memo: &mut HashMap<M, u128>,
+    on_stack: &mut HashSet<M>,
+    trace: &mut Vec<usize>,
+    stats: &mut Stats,
+) -> Result<u128, Violation> {
+    if let Some(&n) = memo.get(m) {
+        stats.max_depth = stats.max_depth.max(trace.len());
+        return Ok(n);
+    }
+    if !on_stack.insert(m.clone()) {
+        // A cycle would mean a schedule that never terminates; the
+        // protocols here are all finite, so this is a model bug.
+        return Err(Violation {
+            msg: "cycle in model state graph (non-terminating schedule)".to_string(),
+            trace: trace.clone(),
+        });
+    }
+    stats.states += 1;
+    stats.max_depth = stats.max_depth.max(trace.len());
+    let fail = |msg: String, trace: &[usize]| Violation {
+        msg,
+        trace: trace.to_vec(),
+    };
+    if let Err(msg) = m.invariant() {
+        return Err(fail(msg, trace));
+    }
+    let r = runnable(m);
+    let paths = if r.is_empty() {
+        if (0..m.threads()).all(|t| m.done(t)) {
+            if let Err(msg) = m.final_check() {
+                return Err(fail(msg, trace));
+            }
+        } else {
+            return Err(fail(m.deadlock_msg(), trace));
+        }
+        1
+    } else {
+        let mut total: u128 = 0;
+        for t in r {
+            let mut next = m.clone();
+            next.step(t);
+            trace.push(t);
+            total = total.saturating_add(dfs(&next, memo, on_stack, trace, stats)?);
+            trace.pop();
+        }
+        total
+    };
+    on_stack.remove(m);
+    memo.insert(m.clone(), paths);
+    Ok(paths)
+}

@@ -1,0 +1,357 @@
+//! A token-level lexer over Rust source, in the spirit of `rustc`'s raw
+//! token stream (`rustc_lexer`): no parsing, no spans beyond line
+//! numbers, but *correct* tokenization of the constructs that defeat
+//! regex-based linting — raw strings, nested block comments, `//` inside
+//! string literals, char literals vs lifetimes, raw identifiers.
+//!
+//! The lint rules in [`crate::lint`] work on this token stream, so a
+//! string literal containing `"Ordering::Relaxed"` or a commented-out
+//! `unwrap()` can never produce a false positive.
+
+/// What a token is. Comments and whitespace are real tokens here (the
+/// annotation rules need to see comments); parsers that don't care
+/// filter them out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// A numeric literal (integers and floats, any radix).
+    Num,
+    /// `// …` to end of line (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, with nesting.
+    BlockComment,
+    /// A run of whitespace.
+    Whitespace,
+    /// Any other single character (`{`, `:`, `#`, …).
+    Punct,
+}
+
+/// One token: kind, byte range into the source, and 1-based line of its
+/// first byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a complete token stream (lossless: concatenating all
+/// token texts reproduces the input). Malformed input (unterminated
+/// strings or comments) is tolerated — the offending token simply runs
+/// to end of file — so the linter never panics on a half-written file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            self.toks.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let b = self.peek(0);
+        match b {
+            b if b.is_ascii_whitespace() => {
+                while self.peek(0).is_ascii_whitespace() && self.pos < self.src.len() {
+                    self.bump();
+                }
+                TokKind::Whitespace
+            }
+            b'/' if self.peek(1) == b'/' => {
+                while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                    self.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if self.peek(1) == b'*' => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' | b'c' if self.literal_prefix().is_some() => {
+                // Split again on what the prefix scan found: raw string,
+                // plain string, byte char, or raw identifier.
+                match self.literal_prefix() {
+                    Some(Prefix::RawStr(hashes)) => self.raw_string(hashes),
+                    Some(Prefix::Str) => self.prefixed_string(),
+                    Some(Prefix::Char) => self.prefixed_char(),
+                    Some(Prefix::RawIdent) => self.raw_ident(),
+                    None => unreachable!("guard checked"),
+                }
+            }
+            b if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                while is_ident_continue(self.peek(0)) && self.pos < self.src.len() {
+                    self.bump();
+                }
+                TokKind::Ident
+            }
+            b if b.is_ascii_digit() => self.number(),
+            _ => {
+                self.bump();
+                TokKind::Punct
+            }
+        }
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// A plain `"…"` string with backslash escapes.
+    fn string(&mut self) -> TokKind {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' if self.pos < self.src.len() => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        TokKind::Str
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal). A quote
+    /// followed by an escape is always a char; a quote followed by an
+    /// identifier char is a lifetime unless the char after that is a
+    /// closing quote.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // opening quote
+        if self.peek(0) == b'\\' {
+            self.bump();
+            if self.pos < self.src.len() {
+                self.bump(); // the escaped char
+            }
+            // Consume to the closing quote ('\u{1F600}' spans bytes).
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            if self.peek(0) == b'\'' {
+                self.bump();
+            }
+            return TokKind::Char;
+        }
+        if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+            // Lifetime or label: 'ident with no closing quote.
+            while is_ident_continue(self.peek(0)) && self.pos < self.src.len() {
+                self.bump();
+            }
+            return TokKind::Lifetime;
+        }
+        // 'x' — any single (possibly multi-byte) char then the quote.
+        while self.pos < self.src.len() && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        TokKind::Char
+    }
+
+    /// Scans (without consuming) whether the cursor sits on a literal
+    /// prefix: `r"`/`r#"` raw strings, `b"`/`br"`/`c"`/`cr#"` variants,
+    /// `b'` byte chars, or `r#ident` raw identifiers.
+    fn literal_prefix(&self) -> Option<Prefix> {
+        let (mut i, first) = (1usize, self.peek(0));
+        // Optional second prefix letter: br, cr, rb is not legal but
+        // accepting it lints fine.
+        let second = self.peek(1);
+        let raw = if first == b'r' {
+            true
+        } else if (first == b'b' || first == b'c') && second == b'r' {
+            i = 2;
+            true
+        } else {
+            false
+        };
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(i) == b'#' {
+                hashes += 1;
+                i += 1;
+            }
+            if self.peek(i) == b'"' {
+                return Some(Prefix::RawStr(hashes));
+            }
+            if first == b'r' && hashes == 1 && is_ident_start(self.peek(2)) {
+                return Some(Prefix::RawIdent);
+            }
+            return None;
+        }
+        if (first == b'b' || first == b'c') && second == b'"' {
+            return Some(Prefix::Str);
+        }
+        if first == b'b' && second == b'\'' {
+            return Some(Prefix::Char);
+        }
+        None
+    }
+
+    /// `r#…#"…"#…#` with `hashes` hashes. The prefix letters and hashes
+    /// are consumed here.
+    fn raw_string(&mut self, hashes: usize) -> TokKind {
+        while self.peek(0) != b'"' {
+            self.bump(); // prefix letters and hashes
+        }
+        self.bump(); // opening quote
+        'scan: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for k in 0..hashes {
+                    if self.peek(k) != b'#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        TokKind::Str
+    }
+
+    /// `b"…"` / `c"…"`: consume the prefix letter, then a plain string.
+    fn prefixed_string(&mut self) -> TokKind {
+        self.bump();
+        self.string()
+    }
+
+    /// `b'…'`: consume the `b`, then a char literal.
+    fn prefixed_char(&mut self) -> TokKind {
+        self.bump();
+        self.char_or_lifetime();
+        TokKind::Char
+    }
+
+    /// `r#ident`: consume `r#` and the identifier.
+    fn raw_ident(&mut self) -> TokKind {
+        self.bump(); // r
+        self.bump(); // #
+        while is_ident_continue(self.peek(0)) && self.pos < self.src.len() {
+            self.bump();
+        }
+        TokKind::Ident
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Greedy and permissive: digits, radix prefixes, underscores,
+        // `.` followed by a digit, exponents, and type suffixes. The
+        // rules never inspect numbers, so permissive is safe.
+        self.bump();
+        loop {
+            let b = self.peek(0);
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // An exponent's sign rides with the `e` only inside a
+                // number (1e-5); consume it so `-` isn't split off.
+                if (b == b'e' || b == b'E') && matches!(self.peek(1), b'+' | b'-') {
+                    self.bump();
+                }
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Num
+    }
+}
+
+enum Prefix {
+    RawStr(usize),
+    Str,
+    Char,
+    RawIdent,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80
+}
+
+/// The token stream with whitespace/comments removed, as `(index into
+/// the full stream)` — rules that pattern-match code structure use this
+/// view, then map back for line numbers and adjacent-comment checks.
+pub fn code_indices(toks: &[Tok]) -> Vec<usize> {
+    toks.iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect()
+}

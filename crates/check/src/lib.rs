@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+//! In-tree correctness tooling for the nvc workspace.
+//!
+//! Two pillars, both dependency-free so an offline build can always run
+//! them:
+//!
+//! * [`lint`] — a token-level source analyzer (backed by the real lexer
+//!   in [`lexer`], not regex) enforcing the repo's concurrency and
+//!   determinism invariants: justified atomic orderings, no wall-clock
+//!   reads in deterministic crates, a ratcheted panic count in the
+//!   serving core, and the declared lock hierarchy. Configured by
+//!   `lint-ratchet.toml` at the workspace root; run via the `nvc-lint`
+//!   binary.
+//! * [`explore`] + [`models`] — a bounded-interleaving model checker.
+//!   The waker, timer-wheel and subscriber-ring protocols from
+//!   `crates/serve` are extracted into pure state machines generic over
+//!   a scheduler ([`explore::Sched`]); the explorer enumerates every
+//!   interleaving, asserting no lost wakeup, no stale-generation timer
+//!   fire, and no publish-after-evict delivery. Run via `nvc-explore`.
+
+pub mod config;
+pub mod explore;
+pub mod lexer;
+pub mod lint;
+pub mod models;

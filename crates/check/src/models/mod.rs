@@ -1,0 +1,15 @@
+//! Pure state-machine extractions of the `crates/serve` concurrency
+//! protocols, ready for [`crate::explore`]:
+//!
+//! * [`waker`] — the `PollShared` park/notify/unpark wake channel.
+//! * [`timer`] — the `TimerWheel` generation guard.
+//! * [`ring`] — the subscriber-ring publish/evict/close protocol.
+//!
+//! Each module ships the protocol as implemented in-tree plus one or
+//! more *known-bad* variants. The bad variants double as self-tests:
+//! if the explorer cannot reproduce their counterexamples, the checker
+//! itself is broken.
+
+pub mod ring;
+pub mod timer;
+pub mod waker;

@@ -1,0 +1,209 @@
+//! The subscriber-ring publish/evict/close protocol
+//! (`crates/serve/src/broadcast.rs`) as a state machine: one publisher
+//! fans a packet sequence out to per-subscriber bounded rings; a ring
+//! that overflows is evicted (queue cleared, sticky terminal flag) so a
+//! slow subscriber can never block the publisher; close lets
+//! subscribers drain what is queued before they observe the terminal
+//! state.
+//!
+//! Threads: the publisher and two subscribers — one on a ring small
+//! enough to overflow, one on a ring that always keeps up. Checked over
+//! every interleaving:
+//!
+//! * **Gapless in-order prefix** — each subscriber's deliveries are
+//!   exactly `1..=k` for some `k`: eviction may truncate, never skip.
+//! * **No publish-after-evict delivery** — an evicted ring is dead;
+//!   the [`RingModel::publish_after_evict`] variant keeps pushing into
+//!   it and is caught as a gap.
+//! * **Eviction clears** — an evicted ring's queue is empty.
+//! * **Completeness** — the keeping-up ring always delivers the full
+//!   sequence; an unevicted slow ring does too (drain-before-close).
+//! * **The publisher never blocks** — structurally: its thread has no
+//!   waiting state.
+
+use crate::explore::Model;
+
+const PUBLISHER: usize = 0;
+const N_PACKETS: u8 = 4;
+/// Ring capacities per subscriber: `sub-1` can overflow, `sub-2` never.
+const CAPS: [usize; 2] = [2, 4];
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Ring {
+    q: Vec<u8>,
+    evicted: bool,
+    closed: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RingModel {
+    buggy: bool,
+    rings: [Ring; 2],
+    delivered: [Vec<u8>; 2],
+    /// Publisher pc: `0..N_PACKETS` publishes packet `pc + 1`, then one
+    /// close step.
+    ppc: u8,
+    sub_done: [bool; 2],
+}
+
+impl RingModel {
+    /// The in-tree protocol.
+    pub fn fixed() -> Self {
+        Self::new(false)
+    }
+
+    /// Known-bad variant: the publisher ignores the evicted flag and
+    /// keeps pushing, so a subscriber drains packets published after
+    /// its eviction — a gap in the delivered sequence.
+    pub fn publish_after_evict() -> Self {
+        Self::new(true)
+    }
+
+    fn new(buggy: bool) -> Self {
+        let ring = Ring {
+            q: Vec::new(),
+            evicted: false,
+            closed: false,
+        };
+        RingModel {
+            buggy,
+            rings: [ring.clone(), ring],
+            delivered: [Vec::new(), Vec::new()],
+            ppc: 0,
+            sub_done: [false, false],
+        }
+    }
+}
+
+impl Model for RingModel {
+    fn name(&self) -> String {
+        if self.buggy {
+            "ring/publish-after-evict".to_string()
+        } else {
+            "ring/fixed".to_string()
+        }
+    }
+
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn thread_name(&self, tid: usize) -> &'static str {
+        ["publisher", "sub-1", "sub-2"][tid]
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        if tid == PUBLISHER {
+            self.ppc > N_PACKETS
+        } else {
+            self.sub_done[tid - 1]
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        if self.done(tid) {
+            return false;
+        }
+        if tid == PUBLISHER {
+            // Never blocks: every pass either pushes or evicts.
+            return true;
+        }
+        // A subscriber's pop parks until there is a packet or a
+        // terminal state to observe.
+        let r = &self.rings[tid - 1];
+        !r.q.is_empty() || r.evicted || r.closed
+    }
+
+    fn step(&mut self, tid: usize) {
+        if tid == PUBLISHER {
+            if self.ppc < N_PACKETS {
+                let seq = self.ppc + 1;
+                for (i, r) in self.rings.iter_mut().enumerate() {
+                    if r.closed || (r.evicted && !self.buggy) {
+                        continue;
+                    }
+                    if r.q.len() == CAPS[i] {
+                        // Overflow: clear and mark the ring dead rather
+                        // than block or grow.
+                        r.q.clear();
+                        r.evicted = true;
+                    } else {
+                        r.q.push(seq);
+                    }
+                }
+                self.ppc += 1;
+            } else {
+                for r in &mut self.rings {
+                    r.closed = true;
+                }
+                self.ppc += 1;
+            }
+            return;
+        }
+        let i = tid - 1;
+        let r = &mut self.rings[i];
+        if let Some(&first) = r.q.first() {
+            r.q.remove(0);
+            self.delivered[i].push(first);
+        } else if r.evicted || r.closed {
+            self.sub_done[i] = true;
+        }
+    }
+
+    fn step_label(&self, tid: usize) -> String {
+        if tid == PUBLISHER {
+            if self.ppc < N_PACKETS {
+                format!("publish packet {}", self.ppc + 1)
+            } else {
+                "close all rings".to_string()
+            }
+        } else {
+            let r = &self.rings[tid - 1];
+            match r.q.first() {
+                Some(seq) => format!("pop packet {seq}"),
+                None if r.evicted => "observe Evicted".to_string(),
+                None => "observe Closed".to_string(),
+            }
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        for (i, d) in self.delivered.iter().enumerate() {
+            for (k, &seq) in d.iter().enumerate() {
+                if seq as usize != k + 1 {
+                    return Err(format!(
+                        "sub-{} saw a gap: delivery #{} was packet {seq} (expected {}) — \
+                         a packet published into an evicted ring was delivered",
+                        i + 1,
+                        k + 1,
+                        k + 1
+                    ));
+                }
+            }
+        }
+        if self.rings[1].evicted {
+            return Err("the keeping-up ring overflowed".to_string());
+        }
+        if !self.buggy {
+            for (i, r) in self.rings.iter().enumerate() {
+                if r.evicted && !r.q.is_empty() {
+                    return Err(format!("sub-{}'s evicted ring still holds packets", i + 1));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        for (i, r) in self.rings.iter().enumerate() {
+            if !r.evicted && self.delivered[i].len() != N_PACKETS as usize {
+                return Err(format!(
+                    "sub-{} was never evicted but drained only {} of {N_PACKETS} packets",
+                    i + 1,
+                    self.delivered[i].len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,230 @@
+//! The `TimerWheel` generation guard (`crates/serve/src/poll.rs`) as a
+//! state machine: entries are never cancelled, so a connection slot
+//! that is reset and reused must not be hit by a timer armed for its
+//! previous life. Each entry carries the connection's generation at arm
+//! time; a fire whose generation no longer matches is discarded.
+//!
+//! Threads: an *armer* driving one connection slot through
+//! arm → reset (generation bump) → re-arm, and a *ticker* advancing the
+//! wheel and collecting due entries. Checked over every interleaving:
+//!
+//! * **No early fire** — an entry is never collected before its tick.
+//! * **No stale fire** — a delivered entry's generation matches the
+//!   connection's generation at delivery ([`TimerModel::unguarded`]
+//!   drops the check and is caught here).
+//! * **No spurious discard** — a discarded entry really was stale.
+//! * **Accounting** — when both threads finish, every entry whose tick
+//!   the clock passed was either delivered or discarded, and (guarded)
+//!   every still-current due entry was delivered.
+
+use crate::explore::Model;
+
+const ARMER: usize = 0;
+const DONE: u8 = 9;
+
+/// How far the ticker advances. Far enough that both arms (due ticks
+/// clamp to `tick + 1`, and the armer runs at most 3 steps) land due
+/// before the clock stops.
+const MAX_TICK: u8 = 6;
+
+/// One fire event: the entry's arm-time generation, the connection's
+/// generation at collection, the due tick, and the collection tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fire {
+    pub gen: u8,
+    pub conn_gen: u8,
+    pub due: u8,
+    pub at: u8,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TimerModel {
+    guarded: bool,
+    /// The connection slot's current generation.
+    conn_gen: u8,
+    /// Armed, uncollected entries: `(gen, due_tick)`.
+    wheel: Vec<(u8, u8)>,
+    /// Every arm ever made, for final accounting.
+    armed: Vec<(u8, u8)>,
+    delivered: Vec<Fire>,
+    discarded: Vec<Fire>,
+    tick: u8,
+    apc: u8,
+}
+
+impl TimerModel {
+    pub fn guarded() -> Self {
+        Self::new(true)
+    }
+
+    /// The generation check removed — the known-bad variant the
+    /// explorer must catch.
+    pub fn unguarded() -> Self {
+        Self::new(false)
+    }
+
+    fn new(guarded: bool) -> Self {
+        TimerModel {
+            guarded,
+            conn_gen: 0,
+            wheel: Vec::new(),
+            armed: Vec::new(),
+            delivered: Vec::new(),
+            discarded: Vec::new(),
+            tick: 0,
+            apc: 0,
+        }
+    }
+
+    /// `TimerWheel::arm`: the due tick is clamped to the future so
+    /// timers never fire early.
+    fn arm(&mut self, due: u8) {
+        let due = due.max(self.tick + 1);
+        self.wheel.push((self.conn_gen, due));
+        self.armed.push((self.conn_gen, due));
+    }
+}
+
+impl Model for TimerModel {
+    fn name(&self) -> String {
+        if self.guarded {
+            "timer/guarded".to_string()
+        } else {
+            "timer/unguarded".to_string()
+        }
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn thread_name(&self, tid: usize) -> &'static str {
+        ["armer", "ticker"][tid]
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        match tid {
+            ARMER => self.apc == DONE,
+            _ => self.tick >= MAX_TICK,
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        !self.done(tid)
+    }
+
+    fn step(&mut self, tid: usize) {
+        if tid == ARMER {
+            match self.apc {
+                // The connection's first life arms a timer…
+                0 => {
+                    self.arm(2);
+                    self.apc = 1;
+                }
+                // …the slot is reset and reused (handshake restart,
+                // subscriber replaced): generation bump, no cancel…
+                1 => {
+                    self.conn_gen += 1;
+                    self.apc = 2;
+                }
+                // …and the new life arms its own timer.
+                2 => {
+                    self.arm(3);
+                    self.apc = DONE;
+                }
+                pc => unreachable!("armer pc {pc}"),
+            }
+            return;
+        }
+        // `TimerWheel::advance`: one tick, collect everything due. The
+        // wheel is owned by the poller thread, so the scan is one
+        // atomic action.
+        self.tick += 1;
+        let mut i = 0;
+        while i < self.wheel.len() {
+            let (gen, due) = self.wheel[i];
+            if due > self.tick {
+                i += 1;
+                continue;
+            }
+            self.wheel.swap_remove(i);
+            let fire = Fire {
+                gen,
+                conn_gen: self.conn_gen,
+                due,
+                at: self.tick,
+            };
+            if self.guarded && gen != self.conn_gen {
+                self.discarded.push(fire);
+            } else {
+                self.delivered.push(fire);
+            }
+        }
+    }
+
+    fn step_label(&self, tid: usize) -> String {
+        if tid == ARMER {
+            match self.apc {
+                0 => format!("arm(gen={}, due=2)", self.conn_gen),
+                1 => format!("reset slot: gen {} -> {}", self.conn_gen, self.conn_gen + 1),
+                2 => format!("arm(gen={}, due=3)", self.conn_gen),
+                _ => "?".to_string(),
+            }
+        } else {
+            format!("advance to tick {}; collect due entries", self.tick + 1)
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        for f in &self.delivered {
+            if f.at < f.due {
+                return Err(format!(
+                    "early fire: entry due at tick {} collected at tick {}",
+                    f.due, f.at
+                ));
+            }
+            if f.gen != f.conn_gen {
+                return Err(format!(
+                    "stale-generation fire delivered: entry armed at gen {} hit the \
+                     connection at gen {}",
+                    f.gen, f.conn_gen
+                ));
+            }
+        }
+        for f in &self.discarded {
+            if f.gen == f.conn_gen {
+                return Err(format!(
+                    "spurious discard: current-generation entry (gen {}) dropped",
+                    f.gen
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        for &(gen, due) in &self.armed {
+            if due > self.tick {
+                continue; // clock never reached it
+            }
+            let collected = self.delivered.iter().chain(&self.discarded);
+            if !collected.clone().any(|f| f.gen == gen && f.due == due) {
+                return Err(format!(
+                    "entry (gen {gen}, due {due}) was due by tick {} but never \
+                     collected",
+                    self.tick
+                ));
+            }
+            if self.guarded
+                && gen == self.conn_gen
+                && !self.delivered.iter().any(|f| f.gen == gen && f.due == due)
+            {
+                return Err(format!(
+                    "current-generation entry (gen {gen}, due {due}) was due but not \
+                     delivered"
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,312 @@
+//! The `PollShared` wake channel (`crates/serve/src/poll.rs`) as a
+//! state machine: two wakers race a poller over a token queue, a
+//! `notified` dedup flag, and a park/unpark permit.
+//!
+//! Atomic actions (one [`Model::step`] each) mirror the real
+//! primitives: a mutex critical section, one atomic swap/store, one
+//! park or unpark. What must hold over *every* interleaving:
+//!
+//! * **No lost wakeup** — the poller never stays parked while a token
+//!   is queued (modeled as deadlock, since the model parks without the
+//!   real loop's timeout crutch).
+//! * **Batches are stamped** — a drained non-empty batch always comes
+//!   with a non-zero "wake that opened it" stamp, so the wake-to-drain
+//!   latency histogram never attributes a batch's wait to the wrong
+//!   batch.
+//!
+//! Variants:
+//! * [`Variant::Fixed`] — the in-tree protocol: the stamp lives *in*
+//!   the wakes mutex and is set by the same critical section that
+//!   pushes the batch-opening token. Passes both properties.
+//! * [`Variant::LegacyStamp`] — the stamp in a separate atomic, stored
+//!   only *after* the `notified` swap (the pre-fix protocol). A drain
+//!   racing between swap and store observes a non-empty batch with a
+//!   zero stamp — the regression this model exists to pin down.
+//! * [`Variant::DrainBeforeClear`] — drain takes the queue before
+//!   clearing `notified`. A wake landing in between is deduped against
+//!   a batch that was already taken: classic lost wakeup, caught as a
+//!   deadlock.
+
+use crate::explore::Model;
+
+/// Number of waker threads; each delivers exactly one token.
+pub const N_WAKERS: usize = 2;
+const POLLER: usize = N_WAKERS;
+
+/// Terminal program counter for every thread.
+const DONE: u8 = 9;
+/// Poller pc while blocked in `park()`.
+const PARKED: u8 = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    Fixed,
+    LegacyStamp,
+    DrainBeforeClear,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WakerModel {
+    variant: Variant,
+    /// Queued tokens (tokens are interchangeable, so a count suffices).
+    queue: u8,
+    /// Whether the pending batch carries its opening-wake stamp.
+    since: bool,
+    /// The unpark-dedup flag (`PollShared::notified`).
+    notified: bool,
+    /// The sticky park permit (`std::thread::park` semantics).
+    permit: bool,
+    /// Poller currently blocked in `park()`.
+    parked: bool,
+    /// Tokens the poller has drained and serviced.
+    consumed: u8,
+    /// Poller-local: batch taken but stamp not yet read (legacy drain
+    /// splits those into two atomic actions).
+    batch: u8,
+    /// Set when a drain observed a non-empty batch with no stamp.
+    zero_stamp: bool,
+    wpc: [u8; N_WAKERS],
+    ppc: u8,
+}
+
+impl WakerModel {
+    pub fn new(variant: Variant) -> Self {
+        WakerModel {
+            variant,
+            queue: 0,
+            since: false,
+            notified: false,
+            permit: false,
+            parked: false,
+            consumed: 0,
+            batch: 0,
+            zero_stamp: false,
+            wpc: [0; N_WAKERS],
+            ppc: 0,
+        }
+    }
+
+    fn unpark(&mut self) {
+        if self.parked {
+            self.parked = false;
+        } else {
+            self.permit = true;
+        }
+    }
+
+    /// One critical section of the in-tree drain: take the queue and
+    /// its stamp together.
+    fn drain_locked(&mut self) -> (u8, bool) {
+        let taken = (self.queue, self.since);
+        self.queue = 0;
+        self.since = false;
+        taken
+    }
+
+    fn note_batch(&mut self, batch: u8, stamped: bool) {
+        if batch > 0 && !stamped {
+            self.zero_stamp = true;
+        }
+        self.consumed += batch;
+    }
+
+    /// End of a poller pass: finish, spin again on a stored permit, or
+    /// park.
+    fn park_or_loop(&mut self) {
+        if self.consumed as usize == N_WAKERS {
+            self.ppc = DONE;
+        } else if self.permit {
+            self.permit = false;
+            self.ppc = 0;
+        } else {
+            self.parked = true;
+            self.ppc = PARKED;
+        }
+    }
+
+    fn step_waker(&mut self, w: usize) {
+        let legacy = self.variant == Variant::LegacyStamp;
+        match self.wpc[w] {
+            0 => {
+                // wake(): push under the mutex; the fixed protocol also
+                // stamps the batch opener in the same critical section.
+                self.queue += 1;
+                if !legacy && !self.since {
+                    self.since = true;
+                }
+                self.wpc[w] = 1;
+            }
+            1 => {
+                // notified.swap(true): only the batch opener unparks.
+                let prev = self.notified;
+                self.notified = true;
+                self.wpc[w] = if prev { DONE } else { 2 };
+            }
+            2 => {
+                if legacy {
+                    // The pre-fix stamp: a separate atomic, stored after
+                    // the swap — this window is the bug.
+                    self.since = true;
+                    self.wpc[w] = 3;
+                } else {
+                    self.unpark();
+                    self.wpc[w] = DONE;
+                }
+            }
+            3 => {
+                self.unpark();
+                self.wpc[w] = DONE;
+            }
+            pc => unreachable!("waker pc {pc}"),
+        }
+    }
+
+    fn step_poller(&mut self) {
+        match (self.variant, self.ppc) {
+            (_, PARKED) => self.ppc = 0, // park() returned
+            (Variant::Fixed, 0) => {
+                self.notified = false;
+                self.ppc = 1;
+            }
+            (Variant::Fixed, 1) => {
+                let (batch, stamped) = self.drain_locked();
+                self.note_batch(batch, stamped);
+                self.ppc = 2;
+            }
+            (Variant::Fixed, 2) => self.park_or_loop(),
+            (Variant::LegacyStamp, 0) => {
+                self.notified = false;
+                self.ppc = 1;
+            }
+            (Variant::LegacyStamp, 1) => {
+                // Legacy drain, first half: take the queue…
+                self.batch = self.queue;
+                self.queue = 0;
+                self.ppc = 2;
+            }
+            (Variant::LegacyStamp, 2) => {
+                // …second half: wake_since.swap(0), a separate atomic.
+                let stamped = self.since;
+                self.since = false;
+                let batch = self.batch;
+                self.batch = 0;
+                self.note_batch(batch, stamped);
+                self.ppc = 3;
+            }
+            (Variant::LegacyStamp, 3) => self.park_or_loop(),
+            (Variant::DrainBeforeClear, 0) => {
+                let (batch, stamped) = self.drain_locked();
+                self.note_batch(batch, stamped);
+                self.ppc = 1;
+            }
+            (Variant::DrainBeforeClear, 1) => {
+                // Clearing notified *after* taking the queue: a wake in
+                // between was deduped against an already-taken batch.
+                self.notified = false;
+                self.ppc = 2;
+            }
+            (Variant::DrainBeforeClear, 2) => self.park_or_loop(),
+            (v, pc) => unreachable!("poller pc {pc} in {v:?}"),
+        }
+    }
+}
+
+impl Model for WakerModel {
+    fn name(&self) -> String {
+        match self.variant {
+            Variant::Fixed => "waker/fixed".to_string(),
+            Variant::LegacyStamp => "waker/legacy-stamp".to_string(),
+            Variant::DrainBeforeClear => "waker/drain-before-clear".to_string(),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        N_WAKERS + 1
+    }
+
+    fn thread_name(&self, tid: usize) -> &'static str {
+        ["waker-1", "waker-2", "poller"][tid]
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        if tid == POLLER {
+            self.ppc == DONE
+        } else {
+            self.wpc[tid] == DONE
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        if self.done(tid) {
+            return false;
+        }
+        if tid == POLLER && self.ppc == PARKED {
+            return !self.parked;
+        }
+        true
+    }
+
+    fn step(&mut self, tid: usize) {
+        if tid == POLLER {
+            self.step_poller();
+        } else {
+            self.step_waker(tid);
+        }
+    }
+
+    fn step_label(&self, tid: usize) -> String {
+        if tid != POLLER {
+            return match (self.variant, self.wpc[tid]) {
+                (Variant::LegacyStamp, 0) => "lock wakes; push token",
+                (_, 0) => "lock wakes; push token + stamp batch opener",
+                (_, 1) => "notified.swap(true)",
+                (Variant::LegacyStamp, 2) => "wake_since.store(now)  [late stamp]",
+                (_, 2) | (_, 3) => "unpark poller",
+                _ => "?",
+            }
+            .to_string();
+        }
+        match (self.variant, self.ppc) {
+            (_, PARKED) => "return from park()".to_string(),
+            (Variant::Fixed, 0) | (Variant::LegacyStamp, 0) => "notified.store(false)".to_string(),
+            (Variant::Fixed, 1) => "lock wakes; take queue + stamp".to_string(),
+            (Variant::Fixed, 2) | (Variant::LegacyStamp, 3) | (Variant::DrainBeforeClear, 2) => {
+                "service batch; park or loop".to_string()
+            }
+            (Variant::LegacyStamp, 1) => "lock wakes; take queue".to_string(),
+            (Variant::LegacyStamp, 2) => "wake_since.swap(0)".to_string(),
+            (Variant::DrainBeforeClear, 0) => "lock wakes; take queue + stamp".to_string(),
+            (Variant::DrainBeforeClear, 1) => "notified.store(false)  [too late]".to_string(),
+            _ => "?".to_string(),
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.zero_stamp {
+            return Err(
+                "drained a non-empty wake batch whose stamp read 0: the opener's stamp \
+                 lands after the drain and is mis-attributed to the next batch"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.consumed as usize != N_WAKERS || self.queue != 0 {
+            return Err(format!(
+                "tokens lost: {} of {N_WAKERS} serviced, {} still queued",
+                self.consumed, self.queue
+            ));
+        }
+        Ok(())
+    }
+
+    fn deadlock_msg(&self) -> String {
+        format!(
+            "lost wakeup: poller parked forever with {} token(s) queued and {} of \
+             {N_WAKERS} serviced",
+            self.queue, self.consumed
+        )
+    }
+}

@@ -1,0 +1,180 @@
+//! Lexer tests over the constructs that defeat regex-based linting:
+//! raw strings, nested block comments, `//` inside string literals,
+//! char-vs-lifetime disambiguation, prefixed literals, raw identifiers.
+
+use nvc_check::lexer::{code_indices, lex, Tok, TokKind};
+
+/// Concatenating every token's text must reproduce the input byte for
+/// byte — the lexer drops nothing, whatever it is fed.
+fn assert_lossless(src: &str) {
+    let toks = lex(src);
+    let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+    assert_eq!(rebuilt, src, "lexing must be lossless");
+}
+
+/// The non-trivia tokens as `(kind, text)` pairs, for compact asserts.
+fn code(src: &str) -> Vec<(TokKind, String)> {
+    let toks = lex(src);
+    code_indices(&toks)
+        .into_iter()
+        .map(|i| (toks[i].kind, toks[i].text(src).to_string()))
+        .collect()
+}
+
+fn kinds(src: &str) -> Vec<TokKind> {
+    code(src).into_iter().map(|(k, _)| k).collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_hashes() {
+    let src = r##"let s = r#"has " and // inside"#;"##;
+    let toks = code(src);
+    assert_eq!(
+        toks[3],
+        (TokKind::Str, r##"r#"has " and // inside"#"##.to_string())
+    );
+    assert_eq!(toks[4].1, ";");
+    assert_lossless(src);
+
+    // More hashes, and a terminator candidate with too few hashes
+    // mid-string that must NOT close it.
+    let src = r###"r##"ends "# not yet"##"###;
+    let toks = code(src);
+    assert_eq!(toks.len(), 1);
+    assert_eq!(toks[0].0, TokKind::Str);
+    assert_eq!(toks[0].1, src);
+    assert_lossless(src);
+}
+
+#[test]
+fn block_comments_nest() {
+    let src = "a /* outer /* inner */ still comment */ b";
+    let toks = lex(src);
+    let comment: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::BlockComment)
+        .collect();
+    assert_eq!(comment.len(), 1, "one nested comment, not two");
+    assert_eq!(
+        comment[0].text(src),
+        "/* outer /* inner */ still comment */"
+    );
+    assert_eq!(
+        code(src)
+            .iter()
+            .map(|(_, t)| t.as_str())
+            .collect::<Vec<_>>(),
+        vec!["a", "b"]
+    );
+    assert_lossless(src);
+}
+
+#[test]
+fn slashes_inside_strings_are_not_comments() {
+    let src = r#"let url = "http://example//x"; let n = 1;"#;
+    let toks = lex(src);
+    assert!(
+        toks.iter().all(|t| t.kind != TokKind::LineComment),
+        "no comment token may come from a string body"
+    );
+    assert_eq!(code(src)[3].1, r#""http://example//x""#);
+    assert_lossless(src);
+}
+
+#[test]
+fn escaped_quote_does_not_close_a_string() {
+    let src = r#""she said \"hi\" // still a string""#;
+    let toks = code(src);
+    assert_eq!(toks.len(), 1);
+    assert_eq!(toks[0].0, TokKind::Str);
+    assert_lossless(src);
+}
+
+#[test]
+fn chars_vs_lifetimes() {
+    assert_eq!(
+        kinds("'a 'static 'x' '\\n' '\\u{1F600}' b'\\0'"),
+        vec![
+            TokKind::Lifetime,
+            TokKind::Lifetime,
+            TokKind::Char,
+            TokKind::Char,
+            TokKind::Char,
+            TokKind::Char,
+        ]
+    );
+    // A labelled loop: label, not an unterminated char literal.
+    let src = "'outer: loop { break 'outer; }";
+    assert_eq!(kinds(src)[0], TokKind::Lifetime);
+    assert_lossless(src);
+}
+
+#[test]
+fn prefixed_literals() {
+    assert_eq!(
+        kinds(r##"b"bytes" br#"raw bytes"# c"cstr" b'\xff'"##),
+        vec![TokKind::Str, TokKind::Str, TokKind::Str, TokKind::Char]
+    );
+    // Idents that merely START with the prefix letters stay idents.
+    assert_eq!(
+        kinds("break crate r b c"),
+        vec![TokKind::Ident; 5],
+        "prefix letters alone are identifiers"
+    );
+}
+
+#[test]
+fn raw_identifiers_are_idents() {
+    let toks = code("let r#match = r#fn;");
+    assert_eq!(toks[1], (TokKind::Ident, "r#match".to_string()));
+    assert_eq!(toks[3], (TokKind::Ident, "r#fn".to_string()));
+}
+
+#[test]
+fn numbers_stay_whole() {
+    assert_eq!(
+        code("1_000 0xFF_u8 2.5e-3 0b1010 1.0f32")
+            .iter()
+            .map(|(k, _)| *k)
+            .collect::<Vec<_>>(),
+        vec![TokKind::Num; 5]
+    );
+    // `1..2` is a range, not a float: the dot must split off.
+    let toks = code("1..2");
+    assert_eq!(toks[0], (TokKind::Num, "1".to_string()));
+    assert_eq!(toks[3], (TokKind::Num, "2".to_string()));
+}
+
+#[test]
+fn line_numbers_are_one_based_and_track_newlines() {
+    let src = "a\nbb\n\n  c /* x\ny */ d";
+    let toks = lex(src);
+    let lines: Vec<(String, u32)> = code_indices(&toks)
+        .into_iter()
+        .map(|i| (toks[i].text(src).to_string(), toks[i].line))
+        .collect();
+    assert_eq!(
+        lines,
+        vec![
+            ("a".to_string(), 1),
+            ("bb".to_string(), 2),
+            ("c".to_string(), 4),
+            // The block comment spans lines 4-5, so `d` is on line 5.
+            ("d".to_string(), 5),
+        ]
+    );
+}
+
+#[test]
+fn malformed_input_never_panics() {
+    for src in [
+        "\"unterminated",
+        "r#\"unterminated raw",
+        "/* unterminated",
+        "'",
+        "b'",
+        "r#",
+    ] {
+        assert_lossless(src);
+    }
+}

@@ -25,6 +25,7 @@
 
 use crate::poll::PollWaker;
 use crate::proto::Family;
+use crate::sync::LockExt;
 use nvc_entropy::container::FrameKind;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -118,38 +119,38 @@ struct RingState {
 #[derive(Debug)]
 pub(crate) struct SubscriberRing {
     cap: usize,
-    state: Mutex<RingState>,
+    ring: Mutex<RingState>,
     avail: Condvar,
     /// Wakes the poller thread that drains this ring, set when the
     /// subscriber connection is registered. The condvar stays for
     /// in-process consumers (tests) that block on `pop`.
-    notify: Mutex<Option<PollWaker>>,
+    ring_notify: Mutex<Option<PollWaker>>,
 }
 
 impl SubscriberRing {
     fn new(cap: usize) -> Self {
         SubscriberRing {
             cap: cap.max(1),
-            state: Mutex::new(RingState::default()),
+            ring: Mutex::new(RingState::default()),
             avail: Condvar::new(),
-            notify: Mutex::new(None),
+            ring_notify: Mutex::new(None),
         }
     }
 
     /// Hooks the ring to a poller connection: every state change
     /// (packet, overflow, close, fail) additionally wakes the poller.
     pub(crate) fn set_notify(&self, waker: PollWaker) {
-        *self.notify.lock().expect("ring notify lock") = Some(waker);
+        *self.ring_notify.lock_clean() = Some(waker);
     }
 
     fn wake_poller(&self) {
-        if let Some(waker) = self.notify.lock().expect("ring notify lock").as_ref() {
+        if let Some(waker) = self.ring_notify.lock_clean().as_ref() {
             waker.wake();
         }
     }
 
     fn push(&self, packet: Arc<CachedPacket>, lag_reason: impl FnOnce() -> String) -> RingPush {
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = self.ring.lock_clean();
         if state.detached || state.evicted.is_some() || state.closed || state.failed.is_some() {
             return RingPush::Detached;
         }
@@ -177,7 +178,7 @@ impl SubscriberRing {
     /// which already cleared the queue).
     pub(crate) fn pop(&self, timeout: Duration) -> RingPop {
         let deadline = Instant::now() + timeout;
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = self.ring.lock_clean();
         loop {
             if let Some(packet) = state.queue.pop_front() {
                 ring_metrics().drained.inc();
@@ -199,7 +200,7 @@ impl SubscriberRing {
             let (guard, _) = self
                 .avail
                 .wait_timeout(state, deadline - now)
-                .expect("ring lock");
+                .unwrap_or_else(|e| e.into_inner());
             state = guard;
         }
     }
@@ -207,19 +208,19 @@ impl SubscriberRing {
     /// Marks the subscriber as gone (its socket died); the publisher
     /// quietly drops the ring at the next publish.
     pub(crate) fn detach(&self) {
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = self.ring.lock_clean();
         state.detached = true;
         state.queue.clear();
     }
 
     fn close(&self) {
-        self.state.lock().expect("ring lock").closed = true;
+        self.ring.lock_clean().closed = true;
         self.avail.notify_all();
         self.wake_poller();
     }
 
     fn fail(&self, reason: &str) {
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = self.ring.lock_clean();
         if state.failed.is_none() {
             state.failed = Some(reason.to_string());
         }
@@ -279,14 +280,14 @@ pub(crate) struct Attachment {
 /// subscriber fan-out list.
 pub(crate) struct Broadcast {
     info: BroadcastInfo,
-    state: Mutex<BroadcastState>,
+    broadcast: Mutex<BroadcastState>,
 }
 
 impl Broadcast {
     fn new(info: BroadcastInfo, rate: u8) -> Self {
         Broadcast {
             info,
-            state: Mutex::new(BroadcastState {
+            broadcast: Mutex::new(BroadcastState {
                 segment: Vec::new(),
                 rings: Vec::new(),
                 next_frame_index: 0,
@@ -306,7 +307,7 @@ impl Broadcast {
     /// many lagging subscribers were evicted by this publish.
     pub(crate) fn publish(&self, packet: CachedPacket) -> usize {
         let packet = Arc::new(packet);
-        let mut state = self.state.lock().expect("broadcast lock");
+        let mut state = self.broadcast.lock_clean();
         if packet.kind == FrameKind::Intra {
             state.segment.clear();
         }
@@ -339,7 +340,7 @@ impl Broadcast {
     /// Returns the failure message to send when the broadcast has
     /// already ended.
     pub(crate) fn attach(&self, ring_cap: usize) -> Result<Attachment, String> {
-        let mut state = self.state.lock().expect("broadcast lock");
+        let mut state = self.broadcast.lock_clean();
         match &state.done {
             Some(Done::Finished) => return Err("broadcast has ended".into()),
             Some(Done::Failed(reason)) => return Err(format!("broadcast failed: {reason}")),
@@ -363,11 +364,11 @@ impl Broadcast {
     /// next publish drops them).
     #[cfg(test)]
     pub(crate) fn subscriber_count(&self) -> usize {
-        self.state.lock().expect("broadcast lock").rings.len()
+        self.broadcast.lock_clean().rings.len()
     }
 
     fn end(&self, done: Done) {
-        let mut state = self.state.lock().expect("broadcast lock");
+        let mut state = self.broadcast.lock_clean();
         for ring in state.rings.drain(..) {
             match &done {
                 Done::Finished => ring.close(),
@@ -384,7 +385,7 @@ impl Broadcast {
 /// fails their subscribers — however the publishing connection ends.
 #[derive(Clone, Default)]
 pub(crate) struct BroadcastRegistry {
-    inner: Arc<Mutex<HashMap<String, Arc<Broadcast>>>>,
+    registry: Arc<Mutex<HashMap<String, Arc<Broadcast>>>>,
 }
 
 impl BroadcastRegistry {
@@ -403,7 +404,7 @@ impl BroadcastRegistry {
         info: BroadcastInfo,
         rate: u8,
     ) -> Result<PublisherGuard, String> {
-        let mut map = self.inner.lock().expect("registry lock");
+        let mut map = self.registry.lock_clean();
         if map.contains_key(name) {
             return Err(format!("broadcast name {name:?} already in use"));
         }
@@ -418,7 +419,7 @@ impl BroadcastRegistry {
     }
 
     pub(crate) fn get(&self, name: &str) -> Option<Arc<Broadcast>> {
-        self.inner.lock().expect("registry lock").get(name).cloned()
+        self.registry.lock_clean().get(name).cloned()
     }
 
     /// Fails every live broadcast (server shutdown): wakes and ends all
@@ -426,7 +427,7 @@ impl BroadcastRegistry {
     /// sleeping out a ring wait.
     pub(crate) fn fail_all(&self, reason: &str) {
         let broadcasts: Vec<Arc<Broadcast>> = {
-            let mut map = self.inner.lock().expect("registry lock");
+            let mut map = self.registry.lock_clean();
             map.drain().map(|(_, b)| b).collect()
         };
         for broadcast in broadcasts {
@@ -435,7 +436,7 @@ impl BroadcastRegistry {
     }
 
     fn remove(&self, name: &str, broadcast: &Arc<Broadcast>) {
-        let mut map = self.inner.lock().expect("registry lock");
+        let mut map = self.registry.lock_clean();
         // Only remove our own entry — the name may have been re-created
         // by a newer publisher after this one ended.
         if map.get(name).is_some_and(|b| Arc::ptr_eq(b, broadcast)) {

@@ -18,8 +18,9 @@
 
 use crate::broadcast::{CachedPacket, RingPop, SubscriberRing};
 use crate::poll::PollWaker;
-use crate::proto::{write_error_msg, write_stats_msg, HelloDecoder, MsgDecoder, MSG_PACKET};
+use crate::proto::{error_msg_bytes, stats_msg_bytes, HelloDecoder, MsgDecoder, MSG_PACKET};
 use crate::server::{Job, Slot};
+use crate::sync::LockExt;
 use nvc_video::StreamStats;
 use std::collections::VecDeque;
 use std::io::{IoSlice, Write};
@@ -90,7 +91,7 @@ pub(crate) fn push_bytes(out: &Mutex<OutState>, bytes: Vec<u8>) {
     if bytes.is_empty() {
         return;
     }
-    let mut st = out.lock().expect("outbox lock");
+    let mut st = out.lock_clean();
     if st.gone {
         return;
     }
@@ -100,7 +101,7 @@ pub(crate) fn push_bytes(out: &Mutex<OutState>, bytes: Vec<u8>) {
 
 /// Queues one `Arc`-shared broadcast packet.
 pub(crate) fn push_shared(out: &Mutex<OutState>, packet: Arc<CachedPacket>) {
-    let mut st = out.lock().expect("outbox lock");
+    let mut st = out.lock_clean();
     if st.gone {
         return;
     }
@@ -112,7 +113,7 @@ pub(crate) fn push_shared(out: &Mutex<OutState>, packet: Arc<CachedPacket>) {
 /// different close (say a graceful end racing an eviction) must not
 /// override what the peer is already being told.
 pub(crate) fn set_close(out: &Mutex<OutState>, kind: CloseKind) {
-    let mut st = out.lock().expect("outbox lock");
+    let mut st = out.lock_clean();
     if st.close.is_none() {
         st.close = Some(kind);
     }
@@ -124,9 +125,7 @@ pub(crate) fn set_close(out: &Mutex<OutState>, kind: CloseKind) {
 pub(crate) fn queue_hangup(out: &Mutex<OutState>, message: Option<&str>) {
     match message {
         Some(message) => {
-            let mut bytes = Vec::new();
-            write_error_msg(&mut bytes, message).expect("vec write cannot fail");
-            push_bytes(out, bytes);
+            push_bytes(out, error_msg_bytes(message));
             set_close(out, CloseKind::Drain);
         }
         None => set_close(out, CloseKind::Graceful),
@@ -165,7 +164,7 @@ const GATHER_MAX: usize = 32;
 /// subscriber, one syscall moves them all, which is what keeps the
 /// per-subscriber cost from scaling with backlog depth.
 pub(crate) fn service_writes(sock: &TcpStream, out: &Mutex<OutState>) -> WriteStatus {
-    let mut st = out.lock().expect("outbox lock");
+    let mut st = out.lock_clean();
     if st.gone {
         return WriteStatus::Gone;
     }
@@ -213,12 +212,14 @@ pub(crate) fn service_writes(sock: &TcpStream, out: &Mutex<OutState>) -> WriteSt
                 progressed = true;
                 st.queued -= n;
                 while n > 0 {
-                    let front_len = st
-                        .chunks
-                        .front()
-                        .expect("bytes written imply a chunk")
-                        .len();
-                    let left = front_len - st.front_pos;
+                    // The kernel never reports more written than was
+                    // submitted, so bytes always map onto chunks; bail
+                    // rather than panic if that assumption ever breaks.
+                    let Some(front) = st.chunks.front() else {
+                        st.front_pos = 0;
+                        break;
+                    };
+                    let left = front.len() - st.front_pos;
                     if n >= left {
                         n -= left;
                         st.chunks.pop_front();
@@ -273,7 +274,7 @@ impl OutHandle {
     pub(crate) fn hangup(&mut self, message: Option<&str>) {
         let close = match message {
             Some(message) => {
-                write_error_msg(self, message).expect("buffered write cannot fail");
+                self.buf.extend_from_slice(&error_msg_bytes(message));
                 CloseKind::Drain
             }
             None => CloseKind::Graceful,
@@ -294,7 +295,7 @@ impl Write for OutHandle {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let mut st = self.out.lock().expect("outbox lock");
+        let mut st = self.out.lock_clean();
         if st.gone {
             // Surface the death like a failed socket write would have,
             // so runner steps that flush mid-stream report an error.
@@ -359,7 +360,7 @@ pub(crate) fn pump_subscriber(
 ) -> bool {
     loop {
         {
-            let st = out.lock().expect("outbox lock");
+            let st = out.lock_clean();
             if st.gone || st.close.is_some() {
                 return false;
             }
@@ -379,9 +380,7 @@ pub(crate) fn pump_subscriber(
             RingPop::Empty => return false,
             RingPop::Closed => {
                 let trailer = stats.take().unwrap_or_default().finish();
-                let mut bytes = Vec::new();
-                write_stats_msg(&mut bytes, &trailer, version).expect("vec write cannot fail");
-                push_bytes(out, bytes);
+                push_bytes(out, stats_msg_bytes(&trailer, version));
                 set_close(out, CloseKind::Graceful);
                 return true;
             }

@@ -29,6 +29,7 @@
 //!   draining walks the survivors back up.
 
 use crate::server::Counters;
+use crate::sync::LockExt;
 use nvc_video::rate::{RateMode, RateParam};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -147,7 +148,7 @@ impl Governor {
     ) -> Result<(u64, f64), String> {
         self.check_backlog(backlog)?;
         let want = want.max(1.0);
-        let mut state = self.state.lock().expect("governor lock");
+        let mut state = self.state.lock_clean();
         let projected: f64 = state.sessions.values().map(|s| s.want).sum::<f64>() + want;
         if projected > self.budget * self.cfg.reject_overload {
             return Err(format!(
@@ -171,7 +172,7 @@ impl Governor {
     /// Unregisters a session; the freed share flows back to the
     /// survivors at their next frame boundary.
     pub(crate) fn release(&self, id: u64) {
-        let mut state = self.state.lock().expect("governor lock");
+        let mut state = self.state.lock_clean();
         state.sessions.remove(&id);
     }
 
@@ -179,7 +180,7 @@ impl Governor {
     /// of the live session set, so every evaluation between the same
     /// admissions and releases returns the same value.
     pub(crate) fn ratio(&self, id: u64) -> f64 {
-        let state = self.state.lock().expect("governor lock");
+        let state = self.state.lock_clean();
         self.ratio_locked(&state, id)
     }
 
@@ -365,6 +366,11 @@ impl<'env> GovAdmit<'env> {
 
     pub(crate) fn ratio(&self) -> f64 {
         self.ratio
+    }
+
+    /// The governor this admission was granted by.
+    pub(crate) fn governor(&self) -> &'env Governor {
+        self.gov
     }
 
     /// Hands the registration to a runner's [`Governed`] wrapper.

@@ -117,6 +117,7 @@ mod poll;
 pub mod proto;
 mod server;
 mod subscribe;
+mod sync;
 
 pub use client::{StreamClient, StreamSummary};
 pub use governor::GovernorConfig;

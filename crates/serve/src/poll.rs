@@ -19,7 +19,8 @@
 //!   generation counter and a stale fire (generation mismatch) is
 //!   ignored, which keeps arming O(1) with no per-timer bookkeeping.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::LockExt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
@@ -34,20 +35,33 @@ const TIMER_TICK_MS: u64 = 10;
 /// its absolute tick).
 const WHEEL_SLOTS: usize = 256;
 
+/// The pending wake batch: the token queue and the epoch-µs stamp of
+/// the wake that opened it, kept under ONE mutex so "batch non-empty ⇔
+/// stamp set" holds in every reachable state. (An earlier revision kept
+/// the stamp in a separate `AtomicU64` stored after the `notified`
+/// swap; a drain racing that window observed a non-empty batch with a
+/// zero stamp and mis-attributed the late stamp to the next batch. The
+/// `waker/legacy-stamp` model in `nvc-explore` reproduces that race.)
+#[derive(Debug, Default)]
+struct WakeQueue {
+    /// Tokens with pending work, drained once per poller pass.
+    tokens: Vec<u64>,
+    /// Epoch-µs timestamp of the wake that opened this batch (0 = no
+    /// undrained batch). [`PollShared::drain`] hands it back so the
+    /// poller can record wake-to-work latency per batch.
+    since: u64,
+}
+
 /// State shared between the poller thread and everyone who needs to
 /// wake it: compute workers (outbox flushes, freed queue space) and
 /// broadcast rings (new packets for a subscriber).
 #[derive(Debug, Default)]
 pub(crate) struct PollShared {
-    /// Tokens with pending work, drained once per poller pass.
-    wakes: Mutex<Vec<u64>>,
+    /// The pending batch (tokens + opening stamp).
+    wakes: Mutex<WakeQueue>,
     /// Set once a wake has been delivered and not yet drained; dedupes
     /// the `unpark` calls of a wake flood down to one.
     notified: AtomicBool,
-    /// Epoch-µs timestamp of the wake that armed `notified` (0 = no
-    /// undrained batch). [`PollShared::drain`] hands it back so the
-    /// poller can record wake-to-work latency per batch.
-    wake_since: AtomicU64,
     /// The poller thread, registered when its loop starts.
     thread: Mutex<Option<Thread>>,
 }
@@ -59,17 +73,27 @@ impl PollShared {
 
     /// Called by the poller at loop start so wakers know whom to unpark.
     pub(crate) fn register_thread(&self) {
-        *self.thread.lock().expect("poll thread lock") = Some(std::thread::current());
+        *self.thread.lock_clean() = Some(std::thread::current());
     }
 
     /// Queues a token for service and unparks the poller (deduped).
     pub(crate) fn wake(&self, token: u64) {
-        self.wakes.lock().expect("poll wake lock").push(token);
+        {
+            let mut q = self.wakes.lock_clean();
+            q.tokens.push(token);
+            if q.since == 0 {
+                // This wake opened the batch: stamp it, under the same
+                // lock as the push, so drain can measure how long the
+                // batch waited for the poller and can never see a
+                // non-empty batch without its stamp.
+                q.since = nvc_telemetry::epoch_micros().max(1);
+            }
+        }
+        // order: AcqRel — the false→true edge elects exactly one waker
+        // per undrained batch to pay the unpark; pairs with the Release
+        // clear in `drain` so the election happens-after the previous
+        // batch was taken.
         if !self.notified.swap(true, Ordering::AcqRel) {
-            // This wake opened the batch: stamp it so drain can measure
-            // how long the batch waited for the poller.
-            self.wake_since
-                .store(nvc_telemetry::epoch_micros().max(1), Ordering::Release);
             self.unpark();
         }
     }
@@ -77,12 +101,14 @@ impl PollShared {
     /// Unconditional unpark — shutdown path, where losing the deduped
     /// edge to a concurrent waker must not leave the poller parked.
     pub(crate) fn kick(&self) {
+        // order: Release — unconditional store; only needs to not sink
+        // below the shutdown flag the caller set before kicking.
         self.notified.store(true, Ordering::Release);
         self.unpark();
     }
 
     fn unpark(&self) {
-        if let Some(t) = self.thread.lock().expect("poll thread lock").as_ref() {
+        if let Some(t) = self.thread.lock_clean().as_ref() {
             t.unpark();
         }
     }
@@ -90,15 +116,21 @@ impl PollShared {
     /// Drains pending wake tokens into `wakes`. Clearing `notified`
     /// *before* taking the queue keeps the handoff lost-wakeup-free:
     /// a token pushed after the clear re-arms the unpark permit.
+    /// (`nvc-explore`'s `waker/drain-before-clear` model shows the
+    /// opposite order losing a wakeup.)
     ///
     /// Returns the epoch-µs stamp of the wake that opened the drained
-    /// batch (`None` when no stamped wake was pending). A wake racing
-    /// the drain may hand its stamp to this batch instead of its own —
-    /// harmless for a latency histogram.
+    /// batch (`None` iff the batch was empty): the stamp travels with
+    /// the tokens under one lock, so it can neither be missing for a
+    /// non-empty batch nor leak onto the next one.
     pub(crate) fn drain(&self, wakes: &mut Vec<u64>) -> Option<u64> {
+        // order: Release — re-arms the wake edge; pairs with the AcqRel
+        // swap in `wake` so a push after this clear wins the election
+        // and unparks us again.
         self.notified.store(false, Ordering::Release);
-        wakes.append(&mut self.wakes.lock().expect("poll wake lock"));
-        match self.wake_since.swap(0, Ordering::AcqRel) {
+        let mut q = self.wakes.lock_clean();
+        wakes.append(&mut q.tokens);
+        match std::mem::take(&mut q.since) {
             0 => None,
             since => Some(since),
         }
@@ -256,16 +288,7 @@ impl TimerWheel {
     /// The earliest pending deadline, as an `Instant` — how long the
     /// poller may park. `None` when no timers are armed.
     pub(crate) fn next_deadline(&self) -> Option<Instant> {
-        if self.len == 0 {
-            return None;
-        }
-        let tick = self
-            .slots
-            .iter()
-            .flatten()
-            .map(|e| e.tick)
-            .min()
-            .expect("len > 0");
+        let tick = self.slots.iter().flatten().map(|e| e.tick).min()?;
         Some(self.start + Duration::from_millis(tick * TIMER_TICK_MS))
     }
 }
@@ -356,5 +379,39 @@ mod tests {
         wakes.clear();
         shared.drain(&mut wakes);
         assert!(wakes.is_empty());
+    }
+
+    /// Regression for the `wake_since` race: the batch stamp lives under
+    /// the same mutex as the token queue, so a drain either takes tokens
+    /// *and* their stamp or neither. (The old two-atomics scheme could
+    /// return a stamp for an empty batch, or tokens with a zeroed stamp;
+    /// `nvc-explore`'s `waker/legacy-stamp` model enumerates that race.)
+    #[test]
+    fn batch_stamp_travels_with_its_tokens() {
+        let shared = PollShared::new();
+        shared.register_thread();
+        let mut wakes = Vec::new();
+        assert_eq!(
+            shared.drain(&mut wakes),
+            None,
+            "an empty batch has no stamp"
+        );
+        shared.wake(7);
+        shared.wake(8);
+        let stamp = shared.drain(&mut wakes);
+        assert_eq!(wakes, vec![7, 8]);
+        assert!(stamp.is_some(), "a non-empty batch carries its stamp");
+        wakes.clear();
+        assert_eq!(
+            shared.drain(&mut wakes),
+            None,
+            "the stamp left with its batch"
+        );
+        // A fresh wake opens a fresh batch with a fresh stamp.
+        shared.wake(9);
+        let restamp = shared.drain(&mut wakes);
+        assert_eq!(wakes, vec![9]);
+        assert!(restamp.is_some());
+        assert!(restamp >= stamp, "stamps never run backwards");
     }
 }

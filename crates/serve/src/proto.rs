@@ -613,6 +613,14 @@ pub fn write_ack_msg(w: &mut impl Write, version: u8, ack: &Ack) -> std::io::Res
     }
 }
 
+/// [`write_ack_msg`] into owned bytes (see [`stats_msg_bytes`] for why
+/// this is infallible).
+pub fn ack_msg_bytes(version: u8, ack: &Ack) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let _ = write_ack_msg(&mut bytes, version, ack);
+    bytes
+}
+
 /// Reads a handshake-acknowledgement body (after its `'A'` tag) in the
 /// given protocol version's layout. Unknown flag bits are ignored so a
 /// newer server can extend the byte.
@@ -880,7 +888,8 @@ pub fn read_frame_body(
         .iter_mut()
         .zip(payload.chunks_exact(4))
     {
-        *v = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        // `chunks_exact(4)` guarantees the width without a fallible cast.
+        *v = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
     }
     let frame = Frame::from_tensor(tensor).map_err(|e| ServeError::Protocol(e.to_string()))?;
     Ok((index, frame))
@@ -930,6 +939,14 @@ pub fn write_stats_msg(
         }
     }
     Ok(())
+}
+
+/// [`write_stats_msg`] into owned bytes. A `Vec` writer cannot fail, so
+/// the `io::Result` is vacuous and dropped rather than unwrapped.
+pub fn stats_msg_bytes(stats: &StreamStats, version: u8) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let _ = write_stats_msg(&mut bytes, stats, version);
+    bytes
 }
 
 /// Reads a stream-statistics body (after its `'S'` tag) in the given
@@ -998,6 +1015,14 @@ pub fn write_error_msg(w: &mut impl Write, message: &str) -> std::io::Result<()>
     w.write_all(&[MSG_ERROR])?;
     w.write_all(&(len as u32).to_le_bytes())?;
     w.write_all(&bytes[..len])
+}
+
+/// [`write_error_msg`] into owned bytes (see [`stats_msg_bytes`] for
+/// why this is infallible).
+pub fn error_msg_bytes(message: &str) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let _ = write_error_msg(&mut bytes, message);
+    bytes
 }
 
 /// Reads a failure-description body (after its `'X'` tag).
@@ -1213,7 +1238,9 @@ impl MsgDecoder {
                 if self.buf.len() < PACKET_NEED {
                     return Ok(None);
                 }
-                let len = u32::from_le_bytes(self.buf[1..5].try_into().expect("4 bytes")) as usize;
+                // Length-guarded by the `PACKET_NEED` check above.
+                let len = u32::from_le_bytes([self.buf[1], self.buf[2], self.buf[3], self.buf[4]])
+                    as usize;
                 // An over-cap length claim parses (and fails) from the
                 // header alone — never wait for a payload that no
                 // legitimate sender produces.
@@ -1234,10 +1261,9 @@ impl MsgDecoder {
                 if self.buf.len() < FRAME_NEED {
                     return Ok(None);
                 }
-                let width =
-                    u16::from_le_bytes(self.buf[5..7].try_into().expect("2 bytes")) as usize;
-                let height =
-                    u16::from_le_bytes(self.buf[7..9].try_into().expect("2 bytes")) as usize;
+                // Length-guarded by the `FRAME_NEED` check above.
+                let width = u16::from_le_bytes([self.buf[5], self.buf[6]]) as usize;
+                let height = u16::from_le_bytes([self.buf[7], self.buf[8]]) as usize;
                 // A header that `read_frame_body` rejects before its
                 // payload read (implausible or mismatched geometry)
                 // parses from the header alone, like the blocking

@@ -44,10 +44,11 @@ use crate::conn::{
 use crate::governor::{granted_position, GovAdmit, GovWant, Governed, Governor, GovernorConfig};
 use crate::poll::{PollShared, PollWaker, TimerKind, TimerWheel};
 use crate::proto::{
-    write_ack_msg, write_error_msg, write_frame_msg, write_join_msg, write_packet_msg,
+    ack_msg_bytes, write_error_msg, write_frame_msg, write_join_msg, write_packet_msg,
     write_stats_msg, Ack, Family, Hello, HelloDecoder, JoinInfo, MsgDecoder, Retarget, Role,
     TargetBppWire, WireMsg, MSG_PACKET,
 };
+use crate::sync::LockExt;
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_core::ExecPool;
 use nvc_entropy::container::{FrameKind, Packet};
@@ -424,6 +425,8 @@ impl ServerHandle {
     }
 
     fn stop_and_join(&mut self) {
+        // order: Relaxed — the stop flag is a latch the loops poll; the
+        // join() below is the real synchronization point.
         self.stop.store(true, Ordering::Relaxed);
         // The poller may be parked mid-backoff; kick it so shutdown
         // does not wait out the park timeout.
@@ -522,13 +525,15 @@ impl<'env> Scheduler<'env> {
     }
 
     fn backlog(&self) -> usize {
+        // order: Relaxed — an admission hint, not a guard; a slightly
+        // stale count only shifts the admission decision by one job.
         self.backlog.load(Ordering::Relaxed)
     }
 
     /// Queues one job for a session without ever blocking (control jobs
     /// bypass the bound so a stream can always terminate).
     fn try_enqueue(&self, slot: &Arc<Slot<'env>>, job: Job) -> Enqueue {
-        let mut state = slot.state.lock().expect("slot lock");
+        let mut state = slot.state.lock_clean();
         if state.dead {
             return Enqueue::Dead;
         }
@@ -536,15 +541,14 @@ impl<'env> Scheduler<'env> {
             return Enqueue::Full(job);
         }
         state.pending.push_back(job);
+        // order: Relaxed — a statistic for the admission gate; the job
+        // itself is published by the slot mutex.
         self.backlog.fetch_add(1, Ordering::Relaxed);
         let newly_ready = !state.scheduled;
         state.scheduled = true;
         drop(state);
         if newly_ready {
-            self.ready
-                .lock()
-                .expect("ready lock")
-                .push_back(Arc::clone(slot));
+            self.ready.lock_clean().push_back(Arc::clone(slot));
             self.work.notify_one();
         }
         Enqueue::Queued
@@ -552,21 +556,26 @@ impl<'env> Scheduler<'env> {
 
     /// Blocks for the next ready session; `None` once the server stops.
     fn next_ready(&self, stop: &AtomicBool) -> Option<Arc<Slot<'env>>> {
-        let mut ready = self.ready.lock().expect("ready lock");
+        let mut ready = self.ready.lock_clean();
         loop {
             if let Some(slot) = ready.pop_front() {
                 return Some(slot);
             }
+            // order: Relaxed — a latch re-polled every wait timeout;
+            // missing one edge only costs a POLL interval.
             if stop.load(Ordering::Relaxed) {
                 return None;
             }
-            let (guard, _) = self.work.wait_timeout(ready, POLL).expect("ready lock");
+            let (guard, _) = self
+                .work
+                .wait_timeout(ready, POLL)
+                .unwrap_or_else(|e| e.into_inner());
             ready = guard;
         }
     }
 
     fn requeue(&self, slot: Arc<Slot<'env>>) {
-        self.ready.lock().expect("ready lock").push_back(slot);
+        self.ready.lock_clean().push_back(slot);
         self.work.notify_one();
     }
 
@@ -576,12 +585,18 @@ impl<'env> Scheduler<'env> {
     fn take_batch(&self, state: &mut SlotState) -> Vec<Job> {
         let mut batch = Vec::new();
         while batch.len() < self.gop_batch {
-            match state.pending.front() {
-                Some(Job::Packet(p)) if !batch.is_empty() && p.kind == FrameKind::Intra => break,
-                Some(_) => batch.push(state.pending.pop_front().expect("non-empty front")),
+            match state.pending.pop_front() {
+                Some(Job::Packet(p)) if !batch.is_empty() && p.kind == FrameKind::Intra => {
+                    // The next GOP starts here; leave its intra queued.
+                    state.pending.push_front(Job::Packet(p));
+                    break;
+                }
+                Some(job) => batch.push(job),
                 None => break,
             }
         }
+        // order: Relaxed — see `try_enqueue`; the slot mutex publishes
+        // the jobs themselves.
         self.backlog.fetch_sub(batch.len(), Ordering::Relaxed);
         batch
     }
@@ -596,7 +611,7 @@ fn worker_loop<'env>(
 ) {
     while let Some(slot) = sched.next_ready(stop) {
         let batch = {
-            let mut state = slot.state.lock().expect("slot lock");
+            let mut state = slot.state.lock_clean();
             sched.take_batch(&mut state)
         };
         slot.space.notify_all();
@@ -609,7 +624,7 @@ fn worker_loop<'env>(
             // machine-wide fan-out: the runner's session computes on a
             // context of exactly this width, so permits model threads.
             let _lease = exec.lease(threads_per_session);
-            let mut runner = slot.runner.lock().expect("runner lock");
+            let mut runner = slot.runner.lock_clean();
             for job in batch {
                 let data = matches!(job, Job::Packet(_) | Job::Frame(_));
                 match runner.step(job) {
@@ -633,9 +648,10 @@ fn worker_loop<'env>(
                 }
             }
         }
-        let mut state = slot.state.lock().expect("slot lock");
+        let mut state = slot.state.lock_clean();
         if finished {
             state.dead = true;
+            // order: Relaxed — see `Scheduler::try_enqueue`.
             sched
                 .backlog
                 .fetch_sub(state.pending.len(), Ordering::Relaxed);
@@ -846,7 +862,9 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<'_, S> {
                 }
             }
             Job::End => {
-                let finished = self.sess.take().expect("session present").finish();
+                // Non-`None` by the guard at entry; `map` keeps this
+                // arm total rather than panicking on a repeat End.
+                let finished = self.sess.take().map(S::finish);
                 // Release the governor share *before* the trailer goes
                 // out: a client that has read its trailer may rely on
                 // the share being back in the pool (determinism tests
@@ -855,12 +873,13 @@ impl<S: EncoderSession> SessionRunner for EncodeRunner<'_, S> {
                     gov.end();
                 }
                 match finished {
-                    Ok(stats) => {
+                    Some(Ok(stats)) => {
                         let _ = write_stats_msg(&mut self.out, &stats, self.version);
                     }
-                    Err(e) => {
+                    Some(Err(e)) => {
                         let _ = write_error_msg(&mut self.out, &format!("finish: {e}"));
                     }
+                    None => {}
                 }
                 self.out.hangup(None);
                 StepOutcome::Finished
@@ -999,17 +1018,19 @@ impl<S: EncoderSession> SessionRunner for PublishRunner<'_, S> {
                 }
             }
             Job::End => {
-                let finished = self.sess.take().expect("session present").finish();
+                // Non-`None` by the guard at entry (see `EncodeRunner`).
+                let finished = self.sess.take().map(S::finish);
                 if let Some(gov) = self.gov.as_mut() {
                     gov.end();
                 }
                 match finished {
-                    Ok(stats) => {
+                    Some(Ok(stats)) => {
                         let _ = write_stats_msg(&mut self.out, &stats, self.version);
                     }
-                    Err(e) => {
+                    Some(Err(e)) => {
                         let _ = write_error_msg(&mut self.out, &format!("finish: {e}"));
                     }
+                    None => {}
                 }
                 self.guard.finish();
                 self.out.hangup(None);
@@ -1052,6 +1073,51 @@ fn wire_rate_mode<R: RateParam>(
     }
 }
 
+/// The codec-facing shape an accepted handshake resolves to, computed
+/// *before* admission so every fallible wire conversion sits behind the
+/// reject path and the runner construction below it cannot fail.
+enum SessionPlan {
+    CtvcDecode,
+    HybridDecode,
+    CtvcEncode(RateMode<RatePoint>),
+    HybridEncode(RateMode<u8>),
+    CtvcPublish(RateMode<RatePoint>),
+    HybridPublish(RateMode<u8>),
+}
+
+impl SessionPlan {
+    /// Resolves a non-subscribe handshake. [`validate_hello`] already
+    /// accepted the rate, so this succeeds on every reachable input —
+    /// routing the conversion through a `Result` anyway keeps the
+    /// handshake total.
+    fn resolve(hello: &Hello) -> Result<SessionPlan, String> {
+        match (hello.family, hello.role) {
+            (Family::Ctvc, Role::Decode) => Ok(SessionPlan::CtvcDecode),
+            (Family::Hybrid, Role::Decode) => Ok(SessionPlan::HybridDecode),
+            (Family::Ctvc, Role::Encode) => {
+                wire_rate_mode::<RatePoint>(hello.target, hello.rate).map(SessionPlan::CtvcEncode)
+            }
+            (Family::Ctvc, Role::Publish) => {
+                wire_rate_mode::<RatePoint>(hello.target, hello.rate).map(SessionPlan::CtvcPublish)
+            }
+            (Family::Hybrid, Role::Encode) => {
+                wire_rate_mode::<u8>(hello.target, hello.rate).map(SessionPlan::HybridEncode)
+            }
+            (Family::Hybrid, Role::Publish) => {
+                wire_rate_mode::<u8>(hello.target, hello.rate).map(SessionPlan::HybridPublish)
+            }
+            (_, Role::Subscribe) => Err("subscribe streams hold no codec session".into()),
+        }
+    }
+
+    fn is_publish(&self) -> bool {
+        matches!(
+            self,
+            SessionPlan::CtvcPublish(_) | SessionPlan::HybridPublish(_)
+        )
+    }
+}
+
 /// The rate byte a degraded admission acks: the rung the governor's
 /// grant puts a fixed-rate session at for its first frame (closed-loop
 /// sessions keep their bpp target, so their ack echoes the request).
@@ -1073,21 +1139,27 @@ fn degraded_ack_rate(hello: &Hello, ratio: f64, floor: u32) -> u8 {
 
 /// Turns a fresh admission into the runner-owned [`Governed`] wrapper,
 /// recording what the session asked for so every later grant is derived
-/// from the same request.
+/// from the same request. The want is read off the already-converted
+/// session rate mode, so no fallible wire conversion happens here.
 fn claim_governed<'env, R: RateParam>(
-    gov: &'env Governor,
     counters: &'env Counters,
     admit: GovAdmit<'env>,
-    hello: &Hello,
-) -> Governed<'env, R> {
-    let want = match hello.target {
-        Some(t) => GovWant::TargetBpp {
-            bpp: t.bpp(),
-            window: usize::from(t.window),
+    mode: &RateMode<R>,
+) -> Option<Governed<'env, R>> {
+    let want = match mode {
+        RateMode::TargetBpp { bpp, window } => GovWant::TargetBpp {
+            bpp: *bpp,
+            window: *window,
         },
-        None => GovWant::Fixed(R::from_wire(hello.rate).expect("validated above")),
+        RateMode::Fixed(rate) => GovWant::Fixed(*rate),
+        // Callback/controller modes are not constructible from the
+        // wire; dropping the admission (which releases its share)
+        // leaves such a session ungoverned rather than inventing a
+        // demand the governor cannot re-derive.
+        RateMode::PerFrame(_) | RateMode::Controller(_) => return None,
     };
-    Governed::new(gov, counters, admit.claim(), want)
+    let gov = admit.governor();
+    Some(Governed::new(gov, counters, admit.claim(), want))
 }
 
 /// Validates the semantic half of a handshake against the served codecs.
@@ -1451,7 +1523,9 @@ impl<'p, 'env> Poller<'p, 'env> {
             }
             WriteStatus::Blocked { progressed } => {
                 let (stall, retry) = {
-                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return progressed;
+                    };
                     let first = conn.stalled_since.is_none();
                     if progressed || first {
                         conn.stalled_since = Some(now);
@@ -1499,7 +1573,9 @@ impl<'p, 'env> Poller<'p, 'env> {
                 // give it a bounded window to read before the hard
                 // close — the old post-error drain, now on the wheel.
                 let gen = {
-                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return true;
+                    };
                     let _ = conn.sock.shutdown(Shutdown::Write);
                     conn.draining = true;
                     conn.stalled_since = None;
@@ -1759,6 +1835,8 @@ impl<'p, 'env> Poller<'p, 'env> {
         let mut tokens: Vec<u64> = Vec::new();
         let mut backoff = Duration::from_micros(200);
         loop {
+            // order: Relaxed — the stop latch is re-polled every pass;
+            // `ServerHandle::stop_and_join` joins for the real sync.
             if stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -1864,6 +1942,24 @@ impl<'p, 'env> Poller<'p, 'env> {
             self.establish_subscriber(token, hello, now);
             return;
         }
+        let plan = match SessionPlan::resolve(&hello) {
+            Ok(plan) => plan,
+            Err(reason) => {
+                self.reject(token, &format!("handshake: {reason}"));
+                self.apply_write(token, now);
+                return;
+            }
+        };
+        // The connection's outbox and peer identity, captured before
+        // any admission state changes hands — nothing to unwind if the
+        // token already raced away.
+        let (out, peer) = match self.conns.get(&token) {
+            Some(conn) => (
+                Arc::clone(&conn.out),
+                conn.sock.peer_addr().ok().map(|p| p.ip().to_string()),
+            ),
+            None => return,
+        };
         // Atomic admission (reserve-then-ack): handshakes race for
         // slots under the cap, never past it.
         if !self.counters.active.try_inc(self.cfg.max_sessions as i64) {
@@ -1884,13 +1980,11 @@ impl<'p, 'env> Poller<'p, 'env> {
                     Some(t) => t.bpp() * pixels,
                     None => gov.config().assumed_bpp * pixels,
                 };
-                let client = hello.client.clone().unwrap_or_else(|| {
-                    self.conns
-                        .get(&token)
-                        .and_then(|conn| conn.sock.peer_addr().ok())
-                        .map(|peer| peer.ip().to_string())
-                        .unwrap_or_else(|| "unknown-peer".into())
-                });
+                let client = hello
+                    .client
+                    .clone()
+                    .or_else(|| peer.clone())
+                    .unwrap_or_else(|| "unknown-peer".into());
                 gov.admit(&client, want, backlog)
                     .map(|(id, ratio)| Some(GovAdmit::new(gov, id, ratio)))
             } else {
@@ -1959,41 +2053,38 @@ impl<'p, 'env> Poller<'p, 'env> {
                 degraded: false,
             },
         };
-        let mut ack_bytes = Vec::new();
-        write_ack_msg(&mut ack_bytes, hello.version, &ack).expect("vec write cannot fail");
-        let (out, waker) = {
-            let conn = self.conns.get(&token).expect("registered");
-            (
-                Arc::clone(&conn.out),
-                PollWaker::new(Arc::clone(&self.shared), token),
-            )
-        };
-        push_bytes(&out, ack_bytes);
+        // A publish plan must have claimed its broadcast name above;
+        // recover by rejecting (not panicking) if that pairing ever
+        // breaks. The dropped `gov_admit` returns its share on its own.
+        if plan.is_publish() && publish_guard.is_none() {
+            self.counters.active.sub(1);
+            self.reject(token, "internal: publish stream without a broadcast claim");
+            self.apply_write(token, now);
+            return;
+        }
+        let waker = PollWaker::new(Arc::clone(&self.shared), token);
+        push_bytes(&out, ack_msg_bytes(hello.version, &ack));
         self.counters.sessions.inc();
 
         let negotiated = (hello.width, hello.height);
         let version = hello.version;
-        let governor = self.governor;
         let counters = self.counters;
         let out_handle = OutHandle::new(Arc::clone(&out), waker.clone());
-        let runner: Box<dyn SessionRunner + Send + 'env> = match (hello.family, hello.role) {
-            (Family::Ctvc, Role::Decode) => Box::new(DecodeRunner::new(
+        let runner: Box<dyn SessionRunner + Send + 'env> = match plan {
+            SessionPlan::CtvcDecode => Box::new(DecodeRunner::new(
                 self.ctvc.start_decode(),
                 negotiated,
                 version,
                 out_handle,
             )),
-            (Family::Ctvc, Role::Encode) => {
-                let mode =
-                    wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
-                let governed = gov_admit.map(|admit| {
-                    claim_governed::<RatePoint>(
-                        governor.expect("admission implies a governor"),
-                        counters,
-                        admit,
-                        &hello,
-                    )
-                });
+            SessionPlan::HybridDecode => Box::new(DecodeRunner::new(
+                self.hybrid.start_decode(),
+                negotiated,
+                version,
+                out_handle,
+            )),
+            SessionPlan::CtvcEncode(mode) => {
+                let governed = gov_admit.and_then(|admit| claim_governed(counters, admit, &mode));
                 Box::new(EncodeRunner::new(
                     self.ctvc.start_encode(mode),
                     version,
@@ -2001,22 +2092,8 @@ impl<'p, 'env> Poller<'p, 'env> {
                     governed,
                 ))
             }
-            (Family::Hybrid, Role::Decode) => Box::new(DecodeRunner::new(
-                self.hybrid.start_decode(),
-                negotiated,
-                version,
-                out_handle,
-            )),
-            (Family::Hybrid, Role::Encode) => {
-                let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
-                let governed = gov_admit.map(|admit| {
-                    claim_governed::<u8>(
-                        governor.expect("admission implies a governor"),
-                        counters,
-                        admit,
-                        &hello,
-                    )
-                });
+            SessionPlan::HybridEncode(mode) => {
+                let governed = gov_admit.and_then(|admit| claim_governed(counters, admit, &mode));
                 Box::new(EncodeRunner::new(
                     self.hybrid.start_encode(mode),
                     version,
@@ -2024,21 +2101,17 @@ impl<'p, 'env> Poller<'p, 'env> {
                     governed,
                 ))
             }
-            (Family::Ctvc, Role::Publish) => {
-                let mode =
-                    wire_rate_mode::<RatePoint>(hello.target, hello.rate).expect("validated above");
+            SessionPlan::CtvcPublish(mode) => {
+                let governed = gov_admit.and_then(|admit| claim_governed(counters, admit, &mode));
                 let mut sess = self.ctvc.start_encode(mode);
                 let joinable = sess.set_join_headers(true);
                 debug_assert!(joinable, "served CTVC codec lacks joinable-stream mode");
-                let guard = publish_guard.take().expect("claimed above");
-                let governed = gov_admit.map(|admit| {
-                    claim_governed::<RatePoint>(
-                        governor.expect("admission implies a governor"),
-                        counters,
-                        admit,
-                        &hello,
-                    )
-                });
+                let Some(guard) = publish_guard.take() else {
+                    // Checked non-`None` before the ack went out.
+                    self.counters.active.sub(1);
+                    self.remove_conn(token, false);
+                    return;
+                };
                 Box::new(PublishRunner::new(
                     sess,
                     version,
@@ -2049,20 +2122,17 @@ impl<'p, 'env> Poller<'p, 'env> {
                     governed,
                 ))
             }
-            (Family::Hybrid, Role::Publish) => {
-                let mode = wire_rate_mode::<u8>(hello.target, hello.rate).expect("validated above");
+            SessionPlan::HybridPublish(mode) => {
+                let governed = gov_admit.and_then(|admit| claim_governed(counters, admit, &mode));
                 let mut sess = self.hybrid.start_encode(mode);
                 let joinable = sess.set_join_headers(true);
                 debug_assert!(joinable, "served hybrid codec lacks joinable-stream mode");
-                let guard = publish_guard.take().expect("claimed above");
-                let governed = gov_admit.map(|admit| {
-                    claim_governed::<u8>(
-                        governor.expect("admission implies a governor"),
-                        counters,
-                        admit,
-                        &hello,
-                    )
-                });
+                let Some(guard) = publish_guard.take() else {
+                    // Checked non-`None` before the ack went out.
+                    self.counters.active.sub(1);
+                    self.remove_conn(token, false);
+                    return;
+                };
                 Box::new(PublishRunner::new(
                     sess,
                     version,
@@ -2073,7 +2143,6 @@ impl<'p, 'env> Poller<'p, 'env> {
                     governed,
                 ))
             }
-            (_, Role::Subscribe) => unreachable!("subscribers return above"),
         };
         let slot = Arc::new(Slot {
             state: Mutex::new(SlotState::default()),
@@ -2082,7 +2151,13 @@ impl<'p, 'env> Poller<'p, 'env> {
             waker,
         });
         {
-            let conn = self.conns.get_mut(&token).expect("registered");
+            let Some(conn) = self.conns.get_mut(&token) else {
+                // The token raced away mid-establish: free the capacity
+                // slot the admission above reserved (dropping the slot's
+                // runner releases any governor share and publish claim).
+                self.counters.active.sub(1);
+                return;
+            };
             conn.gen = conn.gen.wrapping_add(1);
             let mut decoder = MsgDecoder::new(hello.role, hello.version, hello.width, hello.height);
             // Bytes the client pipelined behind its Hello.
@@ -2165,10 +2240,22 @@ impl<'p, 'env> Poller<'p, 'env> {
             rate: attachment.rate,
             degraded: false,
         };
-        let mut bytes = Vec::new();
-        write_ack_msg(&mut bytes, hello.version, &ack).expect("vec write cannot fail");
-        write_join_msg(&mut bytes, &join).expect("vec write cannot fail");
-        let out = Arc::clone(&self.conns.get(&token).expect("registered").out);
+        let mut bytes = ack_msg_bytes(hello.version, &ack);
+        if write_join_msg(&mut bytes, &join).is_err() {
+            // The broadcast's geometry was wire-validated when it was
+            // created, so a failed re-encode is unreachable; unwind the
+            // attach rather than panicking if it ever happens.
+            attachment.ring.detach();
+            self.counters.active_subscribers.sub(1);
+            self.reject(token, "handshake: broadcast geometry not encodable");
+            self.apply_write(token, now);
+            return;
+        }
+        let Some(out) = self.conns.get(&token).map(|conn| Arc::clone(&conn.out)) else {
+            attachment.ring.detach();
+            self.counters.active_subscribers.sub(1);
+            return;
+        };
         push_bytes(&out, bytes);
         self.counters.subscribers.inc();
         // Ring pushes from the publisher's worker now wake this token.
@@ -2184,7 +2271,11 @@ impl<'p, 'env> Poller<'p, 'env> {
             push_shared(&out, Arc::clone(packet));
         }
         {
-            let conn = self.conns.get_mut(&token).expect("registered");
+            let Some(conn) = self.conns.get_mut(&token) else {
+                attachment.ring.detach();
+                self.counters.active_subscribers.sub(1);
+                return;
+            };
             conn.gen = conn.gen.wrapping_add(1);
             conn.kind = ConnKind::Subscriber {
                 ring: Arc::clone(&attachment.ring),
@@ -2244,6 +2335,8 @@ fn run(
             Arc::clone(&shared),
         );
         poller.poll_loop(&listener, stop);
+        // order: Relaxed — workers re-poll the latch under the notified
+        // condvar; the scope join below is the synchronization point.
         stop.store(true, Ordering::Relaxed);
         sched.work.notify_all();
         registry.fail_all("server shutting down");
@@ -2259,6 +2352,7 @@ fn run(
 /// touches the serving poller or any session state — a scrape can slow
 /// nothing but itself.
 fn metrics_loop(listener: &TcpListener, stop: &AtomicBool, counters: &Counters) {
+    // order: Relaxed — a stop latch re-polled every accept round.
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((mut sock, _)) => {

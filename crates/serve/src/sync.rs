@@ -1,0 +1,22 @@
+//! Poison-tolerant locking for the serving core.
+//!
+//! A poisoned mutex means some thread panicked while holding it. The
+//! serving core's locks guard state that stays structurally valid at
+//! every await-free point (counters, queues, registries — each critical
+//! section leaves them consistent), so the right response is to keep
+//! serving with the data as-is, not to cascade the panic into every
+//! thread that touches the lock afterwards.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub(crate) trait LockExt<T> {
+    /// Locks, recovering the guard from a poisoned mutex instead of
+    /// panicking.
+    fn lock_clean(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_clean(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -72,11 +72,14 @@ pub fn set_mode(mode: Mode) {
         Mode::Full | Mode::Sampled(0) | Mode::Sampled(1) => 1,
         Mode::Sampled(n) => n,
     };
+    // order: Relaxed — a lone mode flag; readers only need to see the
+    // new value eventually, nothing else is published with it.
     MODE.store(raw, Ordering::Relaxed);
 }
 
 /// The current global span-recording [`Mode`].
 pub fn mode() -> Mode {
+    // order: Relaxed — see `set_mode`; no associated data to acquire.
     match MODE.load(Ordering::Relaxed) {
         0 => Mode::Off,
         1 => Mode::Full,
@@ -88,6 +91,7 @@ pub fn mode() -> Mode {
 /// `Off` is a single relaxed load; `Sampled(n)` bumps a per-thread
 /// counter so each thread keeps every n-th span.
 pub(crate) fn span_pass() -> bool {
+    // order: Relaxed — see `set_mode`; the hot gating load.
     match MODE.load(Ordering::Relaxed) {
         0 => false,
         1 => true,

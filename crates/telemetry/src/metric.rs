@@ -27,6 +27,7 @@ fn shard_index() -> usize {
         let mut i = s.get();
         if i == usize::MAX {
             static NEXT: AtomicUsize = AtomicUsize::new(0);
+            // order: Relaxed — only uniqueness of the ticket matters.
             i = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
             s.set(i);
         }
@@ -70,6 +71,7 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // order: Relaxed — pure statistics; counters never guard data.
         self.inner.shards[shard_index()]
             .0
             .fetch_add(n, Ordering::Relaxed);
@@ -77,6 +79,8 @@ impl Counter {
 
     /// The exact total across all shards.
     pub fn get(&self) -> u64 {
+        // order: Relaxed — a statistical snapshot; shard loads need no
+        // mutual ordering.
         self.inner
             .shards
             .iter()
@@ -100,22 +104,27 @@ impl Gauge {
 
     /// Overwrites the value.
     pub fn set(&self, v: i64) {
+        // order: Relaxed — a lone observable value, no guarded data.
         self.inner.store(v, Ordering::Relaxed);
     }
 
     /// Adds `d` (may be negative).
     pub fn add(&self, d: i64) {
+        // order: Relaxed — atomic RMW keeps the count exact; ordering
+        // against other memory is not needed.
         self.inner.fetch_add(d, Ordering::Relaxed);
     }
 
     /// Subtracts `d`.
     pub fn sub(&self, d: i64) {
+        // order: Relaxed — see `add`.
         self.inner.fetch_sub(d, Ordering::Relaxed);
     }
 
     /// Raises the value to `v` if it is currently lower — a high-water
     /// mark.
     pub fn record_max(&self, v: i64) {
+        // order: Relaxed — the max is exact via the RMW itself.
         self.inner.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -124,6 +133,9 @@ impl Gauge {
     /// admission primitive: session and subscriber caps reserve a slot
     /// with it before doing any work.
     pub fn try_inc(&self, limit: i64) -> bool {
+        // order: SeqCst — admission slots must interleave in one total
+        // order so concurrent reservations can never oversubscribe the
+        // cap; the conservative choice on a cold path.
         self.inner
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
                 (n < limit).then_some(n + 1)
@@ -133,6 +145,7 @@ impl Gauge {
 
     /// The current value.
     pub fn get(&self) -> i64 {
+        // order: Relaxed — a statistical snapshot.
         self.inner.load(Ordering::Relaxed)
     }
 }
@@ -202,9 +215,14 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&self, v: u64) {
+        // order: Relaxed — statistics; a scrape may see the bucket
+        // before the count, which only skews one in-flight sample.
         self.inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        // order: Relaxed — as above.
         self.inner.count.fetch_add(1, Ordering::Relaxed);
+        // order: Relaxed — as above.
         self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        // order: Relaxed — as above.
         self.inner.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -223,16 +241,19 @@ impl Histogram {
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
+        // order: Relaxed — a statistical snapshot.
         self.inner.count.load(Ordering::Relaxed)
     }
 
     /// Sum of recorded observations.
     pub fn sum(&self) -> u64 {
+        // order: Relaxed — a statistical snapshot.
         self.inner.sum.load(Ordering::Relaxed)
     }
 
     /// Largest recorded observation (exact, not bucketed).
     pub fn max(&self) -> u64 {
+        // order: Relaxed — a statistical snapshot.
         self.inner.max.load(Ordering::Relaxed)
     }
 
@@ -247,6 +268,7 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
         let mut seen = 0u64;
         for (i, b) in self.inner.buckets.iter().enumerate() {
+            // order: Relaxed — a statistical snapshot.
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 return bucket_bound(i);
@@ -257,6 +279,7 @@ impl Histogram {
 
     /// Per-bucket counts, index = bit length of the values it holds.
     pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
+        // order: Relaxed — a statistical snapshot.
         std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed))
     }
 }

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example accelerator_explorer`
 
+#![forbid(unsafe_code)]
+
 use nvc_model::{CtvcConfig, RatePoint};
 use nvc_sim::{Dataflow, NvcaConfig};
 use nvc_video::synthetic::{SceneConfig, Synthesizer};

@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example codec_shootout`
 
+#![forbid(unsafe_code)]
+
 use nvc_baseline::{HybridCodec, Profile};
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_video::codec::{stream_roundtrip, VideoCodec};

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![forbid(unsafe_code)]
+
 use nvc_model::{CtvcConfig, RatePoint};
 use nvc_sim::Dataflow;
 use nvc_video::codec::{DecoderSession, EncoderSession};

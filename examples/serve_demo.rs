@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
+#![forbid(unsafe_code)]
+
 use nvc_model::{CtvcCodec, CtvcConfig, RatePoint};
 use nvc_serve::{Hello, Retarget, ServeConfig, Server, StreamClient, SubscribeClient};
 use nvc_video::codec::{encode_sequence, DecoderSession};

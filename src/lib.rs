@@ -3,6 +3,8 @@
 //! Re-exports the member crates so examples and integration tests can use
 //! a single dependency. See the individual crates for the real APIs.
 
+#![forbid(unsafe_code)]
+
 pub use nvc_baseline as baseline;
 pub use nvc_core as exec;
 pub use nvc_entropy as entropy;
